@@ -1,0 +1,75 @@
+// Ablation bench: what signal correlation is worth. The paper's
+// observation 5 attributes SPSTA's residual error to ignored correlations;
+// this bench quantifies it by comparing the independence-based moment
+// engine against the canonical-form engine (shared source-arrival
+// parameters) across the suite, with Monte Carlo as reference.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/spsta.hpp"
+#include "core/spsta_canonical.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/graph.hpp"
+#include "netlist/iscas89.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace spsta;
+
+  std::printf("=== Ablation: correlation-blind vs canonical-form SPSTA ===\n");
+  std::printf("(mean |sigma error| vs 20K MC over exercised endpoints, scenario I)\n\n");
+
+  report::Table table({"test", "reconv nodes", "endpoints", "plain sig err",
+                       "canonical sig err", "plain mu err", "canonical mu err"});
+
+  for (std::string_view name : netlist::paper_circuit_names()) {
+    const netlist::Netlist n = netlist::make_paper_circuit(name);
+    const netlist::DelayModel d = netlist::DelayModel::unit(n);
+    const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+
+    const core::SpstaResult plain = core::run_spsta_moment(n, d, sc);
+    const core::SpstaCanonicalResult canon = core::run_spsta_canonical(n, d, sc);
+
+    mc::MonteCarloConfig cfg;
+    cfg.runs = 20000;
+    cfg.seed = 11;
+    const mc::MonteCarloResult mcr = mc::run_monte_carlo(n, d, sc, cfg);
+
+    double plain_sig = 0.0, canon_sig = 0.0, plain_mu = 0.0, canon_mu = 0.0;
+    std::size_t count = 0;
+    for (netlist::NodeId ep : n.timing_endpoints()) {
+      for (const bool rising : {true, false}) {
+        const auto& mom = rising ? mcr.node[ep].rise_time : mcr.node[ep].fall_time;
+        if (mom.count() < 200) continue;
+        const auto& pt = rising ? plain.node[ep].rise : plain.node[ep].fall;
+        const auto& ct = rising ? canon.node[ep].rise : canon.node[ep].fall;
+        plain_sig += std::abs(pt.arrival.stddev() - mom.stddev());
+        canon_sig += std::abs(std::sqrt(ct.arrival.variance()) - mom.stddev());
+        plain_mu += std::abs(pt.arrival.mean - mom.mean());
+        canon_mu += std::abs(ct.arrival.mean() - mom.mean());
+        ++count;
+      }
+    }
+    if (count == 0) {
+      table.add_row({std::string(name),
+                     std::to_string(netlist::reconvergent_nodes(n).size()), "0", "-",
+                     "-", "-", "-"});
+      continue;
+    }
+    const double k = static_cast<double>(count);
+    table.add_row({std::string(name),
+                   std::to_string(netlist::reconvergent_nodes(n).size()),
+                   std::to_string(count), report::Table::num(plain_sig / k, 3),
+                   report::Table::num(canon_sig / k, 3),
+                   report::Table::num(plain_mu / k, 3),
+                   report::Table::num(canon_mu / k, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Canonical forms carry source-arrival correlation through the MAX,\n"
+              "removing the variance the independence assumption double-counts on\n"
+              "reconvergent paths; value-probability correlation (paper Sec. 3.5)\n"
+              "remains as the residual.\n");
+  return 0;
+}

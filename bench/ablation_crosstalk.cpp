@@ -1,0 +1,100 @@
+// Ablation bench: the paper's motivating crosstalk argument, quantified.
+// "The probability for two signals to arrive at about the same time to
+// activate the crosstalk coupling effect cannot be accurately estimated in
+// SSTA, it can only be assumed, e.g., that it always happens in worst case
+// analysis" (Sec. 1). We compute the victim delay push three ways:
+//   worst-case (always aligned, always switching)  — the SSTA assumption,
+//   statistical with SSTA-style inputs (switching probability forced to 1),
+//   statistical with SPSTA's four-value probabilities and t.o.p.s,
+// against a Monte Carlo that samples alignment and switching jointly.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/spsta.hpp"
+#include "interconnect/crosstalk.hpp"
+#include "netlist/iscas89.hpp"
+#include "report/table.hpp"
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+int main() {
+  using namespace spsta;
+
+  std::printf("=== Ablation: crosstalk aggressor alignment (paper Sec. 1) ===\n\n");
+
+  // Victim and aggressor nets driven by internal nodes of a benchmark:
+  // take two mid-depth nodes of s344 under scenario I.
+  const netlist::Netlist n = netlist::make_paper_circuit("s344");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  core::SpstaOptions opt;
+  opt.grid_dt = 0.02;
+  const core::SpstaNumericResult spsta = core::run_spsta_numeric(n, d, sc, opt);
+
+  // Pick the two exercised endpoints with the largest transition masses.
+  netlist::NodeId victim = netlist::kInvalidNode, aggressor = netlist::kInvalidNode;
+  double best1 = -1.0, best2 = -1.0;
+  for (netlist::NodeId ep : n.timing_endpoints()) {
+    const double mass = spsta.node[ep].probs.toggle_probability();
+    if (mass > best1) {
+      best2 = best1;
+      aggressor = victim;
+      best1 = mass;
+      victim = ep;
+    } else if (mass > best2) {
+      best2 = mass;
+      aggressor = ep;
+    }
+  }
+  std::printf("victim %s (P_switch %.2f), aggressor %s (P_switch %.2f)\n\n",
+              n.node(victim).name.c_str(), spsta.node[victim].probs.toggle_probability(),
+              n.node(aggressor).name.c_str(),
+              spsta.node[aggressor].probs.toggle_probability());
+
+  report::Table table({"coupling window", "worst-case push", "stat push (P=1)",
+                       "stat push (SPSTA)", "MC push"});
+
+  // Conditional arrival distributions from the t.o.p. densities.
+  const auto vic_rise = spsta.node[victim].rise.normalized();
+  stats::PiecewiseDensity agg_top = spsta.node[aggressor].rise;
+  agg_top.add_scaled(spsta.node[aggressor].fall, 1.0);  // either direction couples
+
+  const double p_agg = spsta.node[aggressor].probs.toggle_probability();
+  const stats::Gaussian vic_g = vic_rise.moments();
+  const stats::Gaussian agg_g = agg_top.normalized().moments();
+
+  stats::Xoshiro256 rng(12);
+  for (double window : {0.25, 0.5, 1.0, 2.0}) {
+    const interconnect::CouplingModel cm{0.5, window};
+    const auto always =
+        interconnect::analyze_crosstalk(vic_g, agg_g, 1.0, cm);
+    const auto weighted = interconnect::analyze_crosstalk(vic_rise, agg_top, cm);
+
+    // MC: sample both arrivals from the t.o.p. summaries.
+    stats::RunningMoments push;
+    for (int run = 0; run < 200000; ++run) {
+      if (!rng.bernoulli(p_agg)) {
+        push.add(0.0);
+        continue;
+      }
+      const double u = rng.normal(agg_g.mean, agg_g.stddev()) -
+                       rng.normal(vic_g.mean, vic_g.stddev());
+      push.add(std::abs(u) <= window ? 0.5 * (1.0 - std::abs(u) / window) : 0.0);
+    }
+
+    const auto stat_p1 = interconnect::analyze_crosstalk(vic_g, agg_g, 1.0, cm);
+    table.add_row({report::Table::num(window, 2),
+                   report::Table::num(always.worst_case_push, 3),
+                   report::Table::num(stat_p1.mean_push, 3),
+                   report::Table::num(weighted.mean_push, 3),
+                   report::Table::num(push.mean(), 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Worst-case charges the full push regardless of alignment odds; the\n"
+              "alignment-statistics column removes the timing pessimism; the SPSTA\n"
+              "column additionally weights by the aggressor's actual transition\n"
+              "probability (%.2f here) — the input-statistics term SSTA lacks.\n",
+              p_agg);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation bench: the signal-probability accuracy/efficiency tradeoff the
+// paper describes in Sec. 3.5 — independent propagation (Eq. 5) vs
+// first-order correlation truncation (Eq. 14-17) vs exact BDD evaluation,
+// measured against the exact engine on the benchmark suite.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "netlist/graph.hpp"
+#include "netlist/iscas89.hpp"
+#include "report/table.hpp"
+#include "sigprob/correlated.hpp"
+#include "sigprob/exact_bdd.hpp"
+#include "sigprob/signal_prob.hpp"
+
+namespace {
+double seconds(auto&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+int main() {
+  using namespace spsta;
+
+  std::printf("=== Ablation: signal probability engines (P=0.5 sources) ===\n\n");
+  report::Table table({"test", "nets", "reconv", "indep err", "corr err", "indep (s)",
+                       "corr (s)", "exact (s)", "BDD nodes"});
+
+  const std::string_view circuits[] = {"s27",  "s208", "s298", "s344",
+                                       "s382", "s386", "s526"};
+  for (std::string_view name : circuits) {
+    const netlist::Netlist n = netlist::make_paper_circuit(name);
+    const std::vector<double> src{0.5};
+
+    std::vector<double> indep;
+    const double t_indep =
+        seconds([&] { indep = sigprob::propagate_signal_probabilities(n, src); });
+
+    sigprob::CorrelatedSignalProbabilities corr(0);
+    const double t_corr =
+        seconds([&] { corr = sigprob::propagate_correlated(n, src); });
+
+    sigprob::ExactSignalProbabilities exact;
+    const double t_exact =
+        seconds([&] { exact = sigprob::exact_signal_probabilities(n, src); });
+
+    double err_indep = 0.0, err_corr = 0.0;
+    std::size_t count = 0;
+    for (netlist::NodeId id = 0; id < n.node_count(); ++id) {
+      if (!exact.probability[id]) continue;
+      err_indep += std::abs(indep[id] - *exact.probability[id]);
+      err_corr += std::abs(corr.probability(id) - *exact.probability[id]);
+      ++count;
+    }
+    err_indep /= static_cast<double>(count);
+    err_corr /= static_cast<double>(count);
+
+    table.add_row({std::string(name), std::to_string(n.node_count()),
+                   std::to_string(netlist::reconvergent_nodes(n).size()),
+                   report::Table::num(err_indep, 4), report::Table::num(err_corr, 4),
+                   report::Table::num(t_indep, 4), report::Table::num(t_corr, 4),
+                   report::Table::num(t_exact, 4), std::to_string(exact.bdd_nodes)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("errors are mean |P - P_exact| over all nets. The correlation-\n"
+              "truncated engine buys accuracy on reconvergent logic at O(n^2) cost;\n"
+              "the exact engine pays for BDDs (node column) — the paper's Sec. 3.5\n"
+              "accuracy/efficiency spectrum.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Ablation bench: die-to-die vs independent delay variation. Sweeps the
+// global-variance fraction in the canonical SSTA model and compares
+// endpoint sigma and endpoint-pair correlation against a Monte Carlo that
+// actually shares a per-run global delay factor — the corner-vs-statistics
+// territory of the paper's introduction (categories 1-3).
+
+#include <cmath>
+#include <cstdio>
+
+#include "mc/logic_sim.hpp"
+#include "netlist/iscas89.hpp"
+#include "report/table.hpp"
+#include "ssta/canonical_ssta.hpp"
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+int main() {
+  using namespace spsta;
+
+  const netlist::Netlist n = netlist::make_paper_circuit("s386");
+  const double kSigma = 0.1;
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, kSigma);
+  netlist::SourceStats sc;
+  sc.probs = {0.0, 0.0, 1.0, 0.0};  // always-rising so every run measures
+  sc.rise_arrival = {0.0, 0.25};
+
+  // Pick the two endpoints that transition most often (under all-rising
+  // inputs, glitch filtering turns many deep endpoints into constants).
+  const netlist::Levelization pre_levels = netlist::levelize(n);
+  const auto pre_sources = n.timing_sources();
+  std::vector<std::size_t> transitions(n.node_count(), 0);
+  {
+    stats::Xoshiro256 rng(3);
+    std::vector<mc::SimValue> sv(pre_sources.size());
+    std::vector<double> gd(n.node_count(), 0.0);
+    for (netlist::NodeId id = 0; id < n.node_count(); ++id) gd[id] = d.delay(id).mean;
+    for (int run = 0; run < 400; ++run) {
+      for (auto& s : sv) {
+        s.value = netlist::FourValue::Rise;
+        s.time = rng.normal(0.0, 0.5);
+      }
+      const auto value = mc::simulate_once(n, pre_levels, sv, gd);
+      for (netlist::NodeId ep : n.timing_endpoints()) {
+        if (value[ep].value == netlist::FourValue::Rise ||
+            value[ep].value == netlist::FourValue::Fall) {
+          ++transitions[ep];
+        }
+      }
+    }
+  }
+  netlist::NodeId e0 = n.timing_endpoints().front(), e1 = e0;
+  for (netlist::NodeId ep : n.timing_endpoints()) {
+    if (transitions[ep] > transitions[e0]) {
+      e1 = e0;
+      e0 = ep;
+    } else if (ep != e0 && transitions[ep] > transitions[e1]) {
+      e1 = ep;
+    }
+  }
+
+  // Which direction does e0 settle in? Use the matching canonical lane.
+  bool e0_rising = true;
+  {
+    stats::Xoshiro256 rng(4);
+    std::vector<mc::SimValue> sv(pre_sources.size());
+    std::vector<double> gd(n.node_count(), 0.0);
+    for (netlist::NodeId id = 0; id < n.node_count(); ++id) gd[id] = d.delay(id).mean;
+    std::size_t rises = 0, falls = 0;
+    for (int run = 0; run < 200; ++run) {
+      for (auto& s : sv) {
+        s.value = netlist::FourValue::Rise;
+        s.time = rng.normal(0.0, 0.5);
+      }
+      const auto value = mc::simulate_once(n, pre_levels, sv, gd);
+      if (value[e0].value == netlist::FourValue::Rise) ++rises;
+      if (value[e0].value == netlist::FourValue::Fall) ++falls;
+    }
+    e0_rising = rises >= falls;
+  }
+
+  std::printf("=== Ablation: global (D2D) vs independent delay variation ===\n");
+  std::printf("circuit %s, delay N(1.0, %.2f^2), endpoints %s / %s\n\n",
+              n.name().c_str(), kSigma, n.node(e0).name.c_str(),
+              n.node(e1).name.c_str());
+
+  report::Table table({"global frac", "canon sig@e0", "MC sig@e0", "canon corr",
+                       "MC corr"});
+
+  const netlist::Levelization levels = netlist::levelize(n);
+  const auto sources = n.timing_sources();
+
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ssta::VariationModel vm;
+    vm.global_fraction = frac;
+    const ssta::CanonicalSstaResult canon =
+        run_canonical_ssta(n, d, std::vector{sc}, vm);
+
+    // Hand-rolled MC with the matching variance split: per run one global
+    // delta (variance frac*sigma^2) plus per-gate residuals.
+    stats::Xoshiro256 rng(7);
+    stats::RunningMoments m0;
+    stats::RunningCovariance cov01;
+    const double g_sd = kSigma * std::sqrt(frac);
+    const double r_sd = kSigma * std::sqrt(1.0 - frac);
+    std::vector<mc::SimValue> src_values(sources.size());
+    std::vector<double> gate_delays(n.node_count(), 0.0);
+    for (int run = 0; run < 8000; ++run) {
+      for (auto& sv : src_values) {
+        sv.value = netlist::FourValue::Rise;
+        sv.time = rng.normal(0.0, 0.5);
+      }
+      const double global = rng.normal(0.0, g_sd);
+      for (netlist::NodeId id = 0; id < n.node_count(); ++id) {
+        gate_delays[id] =
+            d.delay(id).mean > 0.0 ? 1.0 + global + rng.normal(0.0, r_sd) : 0.0;
+      }
+      const auto value = mc::simulate_once(n, levels, src_values, gate_delays);
+      const auto switched = [](const mc::SimValue& v) {
+        return v.value == netlist::FourValue::Rise ||
+               v.value == netlist::FourValue::Fall;
+      };
+      if (switched(value[e0])) m0.add(value[e0].time);
+      if (switched(value[e0]) && switched(value[e1])) {
+        cov01.add(value[e0].time, value[e1].time);
+      }
+    }
+
+    const variational::CanonicalForm& lane =
+        e0_rising ? canon.arrival[e0].rise : canon.arrival[e0].fall;
+    table.add_row({report::Table::num(frac, 2),
+                   report::Table::num(std::sqrt(lane.variance()), 3),
+                   report::Table::num(m0.stddev(), 3),
+                   report::Table::num(canon.rise_correlation(e0, e1), 3),
+                   report::Table::num(cov01.correlation(), 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("As the die-to-die share grows, endpoint sigma grows (delays add\n"
+              "linearly instead of in quadrature) and endpoint correlation rises in\n"
+              "both the canonical model and the shared-factor MC — the trend plain\n"
+              "min/max SSTA cannot represent at all. Absolute offsets remain: the\n"
+              "canonical engine is transition-oblivious (no glitch filtering, so it\n"
+              "overestimates sigma here), and its Clark tightness concentrates each\n"
+              "MAX's sensitivity into the dominant input, underestimating the\n"
+              "structural correlation the MC shows even at zero global share.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 1: a VLSI timing performance distribution (solid curve) captured
+// by STA in two bounds (dotted) and by SSTA in best/worst-case
+// distributions (dashed). Reproduced on one benchmark circuit:
+//   * "actual"      — Monte Carlo histogram of the critical endpoint's
+//                      rising arrival (input statistics included),
+//   * "STA bounds"  — interval STA corners,
+//   * "SSTA dists"  — the min/max-separated SSTA rise (worst) and an
+//                      earliest-arrival variant (best).
+// Printed as a CSV series ready to plot.
+
+#include <cstdio>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/iscas89.hpp"
+#include "report/table.hpp"
+#include "ssta/ssta.hpp"
+#include "stats/compare.hpp"
+#include "variational/interval.hpp"
+
+int main() {
+  using namespace spsta;
+
+  const netlist::Netlist design = netlist::make_paper_circuit("s386");
+  const netlist::DelayModel delays = netlist::DelayModel::unit(design);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+
+  // SSTA worst-case rise distribution; critical endpoint restricted to
+  // ones Monte Carlo actually exercises (a never-rising endpoint is a
+  // false path with no "actual" distribution to draw — the exclusion
+  // Fig. 1's caption makes). SPSTA's independence assumption can over-
+  // promise on reconvergent endpoints, so the prescan uses MC directly.
+  const ssta::SstaResult ssta_result = ssta::run_ssta(design, delays, sc);
+  mc::MonteCarloConfig prescan_cfg;
+  prescan_cfg.runs = 2000;
+  prescan_cfg.seed = 2;
+  const mc::MonteCarloResult prescan =
+      mc::run_monte_carlo(design, delays, sc, prescan_cfg);
+  netlist::NodeId ep = design.timing_endpoints().front();
+  double best_mean = -1e300;
+  for (netlist::NodeId cand : design.timing_endpoints()) {
+    if (prescan.node[cand].rise_probability() < 0.02) continue;
+    if (ssta_result.arrival[cand].rise.mean > best_mean) {
+      best_mean = ssta_result.arrival[cand].rise.mean;
+      ep = cand;
+    }
+  }
+  const stats::Gaussian worst = ssta_result.arrival[ep].rise;
+  // "Best case" analogue: earliest endpoint arrival (min over endpoints).
+  stats::Gaussian best = worst;
+  for (netlist::NodeId cand : design.timing_endpoints()) {
+    if (ssta_result.arrival[cand].rise.mean < best.mean) {
+      best = ssta_result.arrival[cand].rise;
+    }
+  }
+
+  // STA corner bounds over a 3-sigma source/delay box.
+  const auto bounds = variational::interval_sta(design, delays, {-3.0, 3.0}, 3.0);
+
+  // The actual distribution: Monte Carlo histogram at the endpoint.
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 50000;
+  cfg.seed = 1;
+  cfg.histogram_node = ep;
+  cfg.histogram_lo = worst.mean - 8.0;
+  cfg.histogram_hi = worst.mean + 8.0;
+  cfg.histogram_bins = 80;
+  const mc::MonteCarloResult mcr = mc::run_monte_carlo(design, delays, sc, cfg);
+  const auto actual = mcr.histogram->to_density().normalized();
+
+  std::printf("=== Figure 1: actual distribution vs STA bounds vs SSTA ===\n");
+  std::printf("circuit %s, endpoint %s\n", design.name().c_str(),
+              design.node(ep).name.c_str());
+  std::printf("P(rising transition) = %.3f  (STA/SSTA implicitly assume 1.0)\n",
+              mcr.node[ep].rise_probability());
+  std::printf("STA corner bounds: [%.2f, %.2f]\n", bounds[ep].lo, bounds[ep].hi);
+  std::printf("SSTA worst-case: N(%.2f, %.2f^2); best-case: N(%.2f, %.2f^2)\n\n",
+              worst.mean, worst.stddev(), best.mean, best.stddev());
+
+  std::printf("series: t, actual_pdf(MC), ssta_worst_pdf, ssta_best_pdf\n");
+  for (double t = worst.mean - 6.0; t <= worst.mean + 6.0001; t += 0.5) {
+    std::printf("%.2f,%.5f,%.5f,%.5f\n", t, actual.value_at(t), worst.pdf(t),
+                best.pdf(t));
+  }
+
+  // Quantify the mismatch (shape distances, conditional distributions).
+  const auto ssta_pdf = stats::PiecewiseDensity::from_gaussian_auto(worst, 8.0, 801);
+  std::printf("\nshape distance SSTA-worst vs actual: KS %.3f, Wasserstein %.3f\n",
+              stats::ks_distance(ssta_pdf, actual),
+              stats::wasserstein_distance(ssta_pdf, actual));
+  std::printf("\nThe MC curve is the conditional arrival pdf; multiplied by the\n"
+              "transition probability it is the t.o.p. SPSTA propagates. SSTA's\n"
+              "worst-case curve is narrower (min/max shrinks sigma) and shifted —\n"
+              "it neither matches nor bounds the actual distribution (paper Sec. 1).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 2: the two basic SSTA operations, SUM and MAX (paper Sec. 2.1).
+// Prints the analytic Clark results, the exact numeric (piecewise) results
+// and Monte Carlo references across a sweep of operand geometries, showing
+// where moment matching is exact (independent operands) and how the MAX
+// departs from normality.
+
+#include <cstdio>
+
+#include "report/table.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/piecewise.hpp"
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+int main() {
+  using namespace spsta;
+  using stats::Gaussian;
+
+  std::printf("=== Figure 2: SUM and MAX of two Gaussian arrival times ===\n\n");
+
+  struct Case {
+    double m1, s1, m2, s2;
+  };
+  const Case cases[] = {
+      {0.0, 1.0, 0.0, 1.0}, {0.0, 1.0, 1.0, 1.0}, {0.0, 1.0, 0.0, 2.0},
+      {0.0, 0.5, 2.0, 0.5}, {1.0, 2.0, 1.0, 0.2},
+  };
+
+  report::Table table({"mu1", "sig1", "mu2", "sig2", "SUM mu", "SUM sig", "MAX mu(Clark)",
+                       "MAX sig(Clark)", "MAX mu(MC)", "MAX sig(MC)", "MAX skew(MC)"});
+  for (const Case& c : cases) {
+    const Gaussian a{c.m1, c.s1 * c.s1};
+    const Gaussian b{c.m2, c.s2 * c.s2};
+    const Gaussian s = stats::sum(a, b);
+    const stats::ClarkResult mx = stats::clark_max(a, b);
+
+    stats::Xoshiro256 rng(7);
+    stats::RunningMoments mom;
+    for (int i = 0; i < 200000; ++i) {
+      mom.add(std::max(rng.normal(c.m1, c.s1), rng.normal(c.m2, c.s2)));
+    }
+    table.add_row({report::Table::num(c.m1), report::Table::num(c.s1),
+                   report::Table::num(c.m2), report::Table::num(c.s2),
+                   report::Table::num(s.mean), report::Table::num(s.stddev()),
+                   report::Table::num(mx.moments.mean),
+                   report::Table::num(mx.moments.stddev()),
+                   report::Table::num(mom.mean()), report::Table::num(mom.stddev()),
+                   report::Table::num(mom.skewness())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The density curves behind the figure (CSV series, numeric engine).
+  std::printf("series: t, pdf_sum, pdf_max  (operands N(0,1) and N(0,4))\n");
+  const auto pa = stats::PiecewiseDensity::from_gaussian_auto({0.0, 1.0}, 8.0, 801);
+  const auto pb = stats::PiecewiseDensity::from_gaussian_auto({0.0, 4.0}, 8.0, 801);
+  const auto psum = stats::PiecewiseDensity::convolve(pa, pb);
+  const auto pmax = stats::PiecewiseDensity::max_independent(pa, pb);
+  for (double t = -6.0; t <= 6.0001; t += 0.5) {
+    std::printf("%.2f,%.5f,%.5f\n", t, psum.value_at(t), pmax.value_at(t));
+  }
+  std::printf("\nNote the MAX density's positive skew (last column above): moment-\n"
+              "matched SSTA discards it; the numeric engine retains the shape.\n");
+  return 0;
+}

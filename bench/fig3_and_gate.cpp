@@ -1,0 +1,65 @@
+// Figure 3: signal probability and signal toggling rate computation for an
+// AND gate (paper Sec. 2.2). Reproduces the worked example P(y) =
+// P(x1)P(x2) and rho_y = sum P(dy/dx_i) rho_i, sweeping input statistics
+// and cross-checking against Monte Carlo.
+
+#include <cstdio>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+#include "power/transition_density.hpp"
+#include "report/table.hpp"
+#include "sigprob/signal_prob.hpp"
+
+int main() {
+  using namespace spsta;
+  using netlist::GateType;
+
+  std::printf("=== Figure 3: signal probability & toggling rate of an AND gate ===\n\n");
+
+  report::Table table({"P(x1)", "P(x2)", "rho1", "rho2", "P(y)=P1*P2", "rho(y)=Eq.6",
+                       "P(y) MC", "rho(y) MC raw"});
+
+  for (const auto& [p1, p2, r1, r2] :
+       {std::tuple{0.5, 0.5, 0.5, 0.5}, std::tuple{0.5, 0.5, 1.0, 1.0},
+        std::tuple{0.9, 0.9, 0.2, 0.2}, std::tuple{0.2, 0.8, 0.1, 0.4},
+        std::tuple{0.3, 0.3, 0.6, 0.1}}) {
+    netlist::Netlist n;
+    const auto a = n.add_input("a");
+    const auto b = n.add_input("b");
+    const auto y = n.add_gate(GateType::And, "y", {a, b});
+
+    const std::vector<double> probs{p1, p2};
+    const std::vector<double> dens{r1, r2};
+    const double p_closed =
+        sigprob::gate_output_probability(GateType::And, probs);
+    const power::TransitionDensities td =
+        power::propagate_transition_density(n, probs, dens);
+
+    // Monte Carlo: per-source four-value distribution consistent with the
+    // (probability, toggle-rate) pair: pr = pf = rho/2, p1 = P - rho/2.
+    const auto make_stats = [](double p, double rho) {
+      netlist::SourceStats st;
+      const double half = 0.5 * rho;
+      st.probs = netlist::FourValueProbs{1.0 - p - half, p - half, half, half}
+                     .normalized();
+      return st;
+    };
+    mc::MonteCarloConfig cfg;
+    cfg.runs = 50000;
+    cfg.seed = 12;
+    const std::vector<netlist::SourceStats> sc{make_stats(p1, r1), make_stats(p2, r2)};
+    const auto mcr = mc::run_monte_carlo(n, netlist::DelayModel::unit(n), sc, cfg);
+
+    table.add_row({report::Table::num(p1), report::Table::num(p2),
+                   report::Table::num(r1), report::Table::num(r2),
+                   report::Table::num(p_closed, 3), report::Table::num(td.density[y], 3),
+                   report::Table::num(mcr.node[y].probs().final_one(), 3),
+                   report::Table::num(mcr.node[y].raw_edge_rate(), 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("P(y) column reproduces the paper's P(y) = P(x1)P(x2); the rho column\n"
+              "is Eq. 6 with Boolean-difference weights P(x_other).\n");
+  return 0;
+}

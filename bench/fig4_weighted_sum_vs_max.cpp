@@ -1,0 +1,84 @@
+// Figure 4: the result of MAX vs WEIGHTED SUM for an AND gate whose two
+// inputs both have signal probability 0.9 and arrival times with the same
+// mean but different deviations (the paper's exact setup). Prints both
+// output densities as a CSV series plus their moments, and a sweep over
+// the deviation ratio.
+
+#include <cstdio>
+
+#include "core/spsta.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+#include "report/table.hpp"
+#include "stats/compare.hpp"
+#include "stats/piecewise.hpp"
+
+int main() {
+  using namespace spsta;
+  using netlist::GateType;
+
+  std::printf("=== Figure 4: MAX vs WEIGHTED SUM at an AND gate ===\n");
+  std::printf("inputs: signal probability 0.9, arrivals same mean 0, sigma 0.5 vs 2.0\n\n");
+
+  netlist::Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto y = n.add_gate(GateType::And, "y", {a, b});
+  n.mark_output(y);
+
+  // Signal probability 0.9 = P1 + Pr with a 0.1 transition share.
+  netlist::SourceStats sa;
+  sa.probs = {0.1, 0.8, 0.1, 0.0};
+  sa.rise_arrival = {0.0, 0.25};
+  netlist::SourceStats sb = sa;
+  sb.rise_arrival = {0.0, 4.0};
+
+  core::SpstaOptions opt;
+  opt.grid_dt = 0.02;
+  const netlist::DelayModel zero_delay(n);
+  const core::SpstaNumericResult r =
+      core::run_spsta_numeric(n, zero_delay, std::vector{sa, sb}, opt);
+
+  const auto weighted = r.node[y].rise.normalized();
+  const auto pa = stats::PiecewiseDensity::from_gaussian(sa.rise_arrival, r.grid);
+  const auto pb = stats::PiecewiseDensity::from_gaussian(sb.rise_arrival, r.grid);
+  const auto max_pdf = stats::PiecewiseDensity::max_independent(pa, pb);
+
+  std::printf("moments:\n");
+  std::printf("  WEIGHTED SUM: mass %.3f, mean %+.3f, sigma %.3f, skew %+.3f\n",
+              r.node[y].rise.mass(), weighted.mean(), weighted.stddev(),
+              weighted.skewness());
+  std::printf("  MAX         : mass %.3f, mean %+.3f, sigma %.3f, skew %+.3f\n",
+              max_pdf.mass(), max_pdf.mean(), max_pdf.stddev(), max_pdf.skewness());
+  std::printf("  shape distance between them: KS %.3f, Wasserstein %.3f\n\n",
+              stats::ks_distance(weighted, max_pdf),
+              stats::wasserstein_distance(weighted, max_pdf));
+
+  std::printf("series: t, weighted_sum_pdf, max_pdf\n");
+  for (double t = -5.0; t <= 5.0001; t += 0.25) {
+    std::printf("%.2f,%.5f,%.5f\n", t, weighted.value_at(t), max_pdf.value_at(t));
+  }
+
+  // Sweep the sigma ratio: the WEIGHTED SUM stays centered, the MAX drifts.
+  std::printf("\nsweep of input sigma ratio (sigma1 = 0.5 fixed):\n");
+  report::Table table({"sigma2/sigma1", "wsum mean", "wsum sigma", "max mean", "max sigma"});
+  for (double ratio : {1.0, 2.0, 4.0, 8.0}) {
+    netlist::SourceStats s2 = sa;
+    const double sd2 = 0.5 * ratio;
+    s2.rise_arrival = {0.0, sd2 * sd2};
+    const core::SpstaNumericResult rr =
+        core::run_spsta_numeric(n, zero_delay, std::vector{sa, s2}, opt);
+    const auto w = rr.node[y].rise.normalized();
+    const auto p1 = stats::PiecewiseDensity::from_gaussian(sa.rise_arrival, rr.grid);
+    const auto p2 = stats::PiecewiseDensity::from_gaussian(s2.rise_arrival, rr.grid);
+    const auto mx = stats::PiecewiseDensity::max_independent(p1, p2);
+    table.add_row({report::Table::num(ratio, 1), report::Table::num(w.mean(), 3),
+                   report::Table::num(w.stddev(), 3), report::Table::num(mx.mean(), 3),
+                   report::Table::num(mx.stddev(), 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("The WEIGHTED SUM keeps a (near-)symmetric, centered density because\n"
+              "single-input-switching scenarios dominate at P=0.9; the MAX is skewed\n"
+              "upward regardless of how rarely both inputs actually switch.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Netlist toolkit tour: parse, transform, verify, and export a design —
+// the substrate workflow around the timing engines.
+//
+//   $ ./example_netlist_toolkit [circuit-or-.bench-path]   (default: s344)
+//
+// Steps: load -> sweep buffers -> decompose to 2-input gates -> prove
+// equivalence with the BDD checker -> report the effect on SPSTA runtime
+// -> emit structural Verilog and a DOT view of the critical path.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bdd/equivalence.hpp"
+#include "core/spsta.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/dot_export.hpp"
+#include "netlist/graph.hpp"
+#include "netlist/iscas89.hpp"
+#include "netlist/transform.hpp"
+#include "netlist/verilog_io.hpp"
+
+namespace {
+double seconds(auto&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spsta;
+
+  const std::string which = argc > 1 ? argv[1] : "s344";
+  netlist::Netlist design;
+  if (std::filesystem::exists(which)) {
+    std::ifstream in(which);
+    design = netlist::parse_bench_stream(in, std::filesystem::path(which).stem().string());
+  } else {
+    design = netlist::make_paper_circuit(which);
+  }
+  std::printf("loaded %s: %zu nodes, %zu gates\n", design.name().c_str(),
+              design.node_count(), design.gate_count());
+
+  // Transform chain.
+  netlist::TransformStats sweep_stats, decomp_stats;
+  const netlist::Netlist swept = netlist::sweep_buffers(design, &sweep_stats);
+  const netlist::Netlist narrow =
+      netlist::decompose_wide_gates(swept, 2, &decomp_stats);
+  std::printf("sweep_buffers: bypassed %zu gates (%zu nodes remain)\n",
+              sweep_stats.gates_bypassed, swept.node_count());
+  std::printf("decompose(2):  added %zu gates (%zu nodes now)\n",
+              decomp_stats.gates_added, narrow.node_count());
+
+  // Prove the chain preserved every output / DFF function.
+  const bdd::EquivalenceResult eq = bdd::check_equivalence(design, narrow);
+  std::printf("equivalence:   %s\n",
+              eq.equivalent ? "PROVEN (BDD)" :
+              eq.failure_reason.empty() ? ("MISMATCH at " + eq.counterexample_output).c_str()
+                                        : eq.failure_reason.c_str());
+
+  // Effect on the enumeration-based engine.
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  double t_orig = 0.0, t_narrow = 0.0;
+  t_orig = seconds([&] {
+    (void)core::run_spsta_moment(design, netlist::DelayModel::unit(design), sc);
+  });
+  t_narrow = seconds([&] {
+    (void)core::run_spsta_moment(narrow, netlist::DelayModel::unit(narrow), sc);
+  });
+  std::printf("SPSTA runtime: %.4fs original vs %.4fs after fanin-2 decomposition\n",
+              t_orig, t_narrow);
+
+  // Exports.
+  const std::string vpath = design.name() + "_narrow.v";
+  std::ofstream(vpath) << netlist::write_verilog(narrow);
+  std::printf("wrote %s\n", vpath.c_str());
+
+  const netlist::DelayModel delays = netlist::DelayModel::unit(design);
+  const auto paths = netlist::critical_paths(design, delays.means(), 1);
+  netlist::DotOptions dot_opt;
+  if (!paths.empty()) dot_opt.highlight = paths[0].nodes;
+  const std::string dpath = design.name() + ".dot";
+  std::ofstream(dpath) << netlist::to_dot(design, dot_opt);
+  std::printf("wrote %s (critical path highlighted)\n", dpath.c_str());
+  return 0;
+}

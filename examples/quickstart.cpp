@@ -1,0 +1,63 @@
+// Quickstart: build a small circuit through the Netlist API, attach input
+// statistics, and run signal-probability-based statistical timing analysis.
+//
+//   $ ./example_quickstart
+//
+// Walks through the three analyses of the paper on a 5-gate circuit and
+// prints per-net four-value probabilities and arrival statistics.
+
+#include <cstdio>
+
+#include "core/spsta.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+#include "ssta/ssta.hpp"
+
+int main() {
+  using namespace spsta;
+
+  // 1. Describe the circuit: y = (a & b) | !(c & d).
+  netlist::Netlist design("quickstart");
+  const auto a = design.add_input("a");
+  const auto b = design.add_input("b");
+  const auto c = design.add_input("c");
+  const auto d = design.add_input("d");
+  const auto g1 = design.add_gate(netlist::GateType::And, "g1", {a, b});
+  const auto g2 = design.add_gate(netlist::GateType::Nand, "g2", {c, d});
+  const auto y = design.add_gate(netlist::GateType::Or, "y", {g1, g2});
+  design.mark_output(y);
+
+  // 2. Input statistics: the paper's scenario I — each source is 0/1/r/f
+  //    with probability 1/4 and transitions arrive as N(0, 1).
+  const std::vector<netlist::SourceStats> stats{netlist::scenario_I()};
+
+  // 3. Unit gate delays, zero net delays (the paper's experiment model).
+  const netlist::DelayModel delays = netlist::DelayModel::unit(design);
+
+  // 4. SPSTA: four-value probabilities plus transition t.o.p. per net.
+  const core::SpstaResult spsta = core::run_spsta_moment(design, delays, stats);
+
+  // 5. The SSTA baseline and a 10K-run Monte Carlo reference.
+  const ssta::SstaResult ssta_result = ssta::run_ssta(design, delays, stats);
+  mc::MonteCarloConfig mc_cfg;
+  mc_cfg.runs = 10000;
+  const mc::MonteCarloResult mc_result = mc::run_monte_carlo(design, delays, stats, mc_cfg);
+
+  std::printf("net   P0    P1    Pr    Pf    | SPSTA rise mu/sigma | SSTA rise mu/sigma | MC rise mu/sigma\n");
+  for (netlist::NodeId id = 0; id < design.node_count(); ++id) {
+    const core::NodeTop& nt = spsta.node[id];
+    const auto& sa = ssta_result.arrival[id];
+    const auto& est = mc_result.node[id];
+    std::printf("%-4s  %.3f %.3f %.3f %.3f |   %6.3f / %-6.3f   |  %6.3f / %-6.3f   | %6.3f / %-6.3f\n",
+                design.node(id).name.c_str(), nt.probs.p0, nt.probs.p1, nt.probs.pr,
+                nt.probs.pf, nt.rise.arrival.mean, nt.rise.arrival.stddev(),
+                sa.rise.mean, sa.rise.stddev(), est.rise_time.mean(),
+                est.rise_time.stddev());
+  }
+
+  std::printf("\noutput y: transition probability (rise) SPSTA=%.3f MC=%.3f\n",
+              spsta.node[y].rise.mass, mc_result.node[y].rise_probability());
+  std::printf("SSTA assumes a transition always happens - it has no such number.\n");
+  return 0;
+}

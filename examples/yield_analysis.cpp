@@ -1,0 +1,85 @@
+// Timing-yield analysis: P(circuit meets a clock period) as a function of
+// the period — the quantity the paper argues SSTA's min/max distributions
+// cannot deliver (Sec. 3.7, point 3) but transition-occurrence-weighted
+// analysis can. Compares SPSTA's numeric t.o.p. CDF against Monte Carlo
+// and the SSTA Gaussian at the critical endpoint.
+//
+//   $ ./example_yield_analysis [circuit]     (default: s386)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/spsta.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/iscas89.hpp"
+#include "ssta/ssta.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spsta;
+
+  const std::string which = argc > 1 ? argv[1] : "s386";
+  const netlist::Netlist design = netlist::make_paper_circuit(which);
+  const netlist::DelayModel delays = netlist::DelayModel::unit(design);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+
+  // Critical endpoint by SSTA mean rise arrival.
+  const ssta::SstaResult ssta_result = ssta::run_ssta(design, delays, sc);
+  netlist::NodeId ep = netlist::kInvalidNode;
+  double best = -1e300;
+  for (netlist::NodeId cand : design.timing_endpoints()) {
+    if (ssta_result.arrival[cand].rise.mean > best) {
+      best = ssta_result.arrival[cand].rise.mean;
+      ep = cand;
+    }
+  }
+
+  core::SpstaOptions opt;
+  opt.grid_dt = 0.02;
+  const core::SpstaNumericResult spsta =
+      core::run_spsta_numeric(design, delays, sc, opt);
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 20000;
+  const mc::MonteCarloResult mcr = mc::run_monte_carlo(design, delays, sc, cfg);
+  std::vector<double> mc_samples;
+  // Rebuild the empirical distribution from the histogram facility.
+  mc::MonteCarloConfig cfg_hist = cfg;
+  cfg_hist.histogram_node = ep;
+  cfg_hist.histogram_lo = -6.0;
+  cfg_hist.histogram_hi = best + 10.0;
+  cfg_hist.histogram_bins = 200;
+  const mc::MonteCarloResult mc_hist = mc::run_monte_carlo(design, delays, sc, cfg_hist);
+
+  const double p_transition_spsta = spsta.node[ep].rise.mass();
+  const double p_transition_mc = mcr.node[ep].rise_probability();
+
+  std::printf("circuit %s, endpoint %s\n", design.name().c_str(),
+              design.node(ep).name.c_str());
+  std::printf("P(rising transition per cycle): SPSTA %.3f, MC %.3f\n\n",
+              p_transition_spsta, p_transition_mc);
+  std::printf("timing yield = P(no late rising transition at period T)\n");
+  std::printf("%-8s  %-10s  %-10s  %-10s\n", "T", "SPSTA", "MC", "SSTA-naive");
+
+  const auto& top = spsta.node[ep].rise;  // mass = transition probability
+  const auto& mc_density = mc_hist.histogram->to_density();
+  const double mc_mass =
+      p_transition_mc;  // fraction of cycles with a rising transition
+
+  for (double period = best - 4.0; period <= best + 4.0; period += 1.0) {
+    // Yield: either no transition happens, or it happens before T.
+    const double yield_spsta = (1.0 - top.mass()) + top.cdf_at(period);
+    const double yield_mc =
+        (1.0 - mc_mass) + mc_mass * mc_density.normalized().cdf_at(period);
+    // The SSTA "yield" (assumes a transition always occurs).
+    const double yield_ssta = ssta_result.arrival[ep].rise.cdf(period);
+    std::printf("%-8.2f  %-10.4f  %-10.4f  %-10.4f\n", period, yield_spsta, yield_mc,
+                yield_ssta);
+  }
+
+  std::printf("\nSSTA-naive treats every cycle as transitioning, so it understates\n"
+              "yield whenever the transition probability is below one.\n");
+  return 0;
+}

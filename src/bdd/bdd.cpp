@@ -1,0 +1,193 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+namespace spsta::bdd {
+
+namespace {
+constexpr std::size_t kMaxNodesHard = 1u << 26;
+constexpr std::size_t kMaxVarsHard = 0xFFFFFFFEu;
+}  // namespace
+
+BddManager::BddManager(std::size_t num_vars, std::size_t max_nodes)
+    : num_vars_(num_vars), max_nodes_(std::min(max_nodes, kMaxNodesHard)) {
+  if (num_vars > kMaxVarsHard) {
+    throw std::invalid_argument("BddManager: too many variables");
+  }
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0 = false
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1 = true
+  var_refs_.resize(num_vars_, kFalse);
+  for (std::size_t i = 0; i < num_vars_; ++i) {
+    var_refs_[i] = make_node(static_cast<std::uint32_t>(i), kFalse, kTrue);
+  }
+}
+
+BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  const std::array<std::uint32_t, 3> key{var, low, high};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= max_nodes_) throw BddOverflow();
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::var(std::size_t i) { return var_refs_.at(i); }
+
+BddRef BddManager::nvar(std::size_t i) {
+  return make_node(static_cast<std::uint32_t>(i), kTrue, kFalse);
+}
+
+std::uint32_t BddManager::top_var(BddRef f, BddRef g, BddRef h) const noexcept {
+  std::uint32_t v = kTerminalVar;
+  v = std::min(v, nodes_[f].var);
+  v = std::min(v, nodes_[g].var);
+  v = std::min(v, nodes_[h].var);
+  return v;
+}
+
+BddRef BddManager::cofactor(BddRef f, std::uint32_t var, bool value) const noexcept {
+  const Node& n = nodes_[f];
+  if (n.var != var) return f;
+  return value ? n.high : n.low;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::array<std::uint32_t, 3> cache_key{f, g, h};
+  const auto it = ite_cache_.find(cache_key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const std::uint32_t v = top_var(f, g, h);
+  const BddRef f0 = cofactor(f, v, false), f1 = cofactor(f, v, true);
+  const BddRef g0 = cofactor(g, v, false), g1 = cofactor(g, v, true);
+  const BddRef h0 = cofactor(h, v, false), h1 = cofactor(h, v, true);
+  const BddRef low = ite(f0, g0, h0);
+  const BddRef high = ite(f1, g1, h1);
+  const BddRef result = make_node(v, low, high);
+  ite_cache_.emplace(cache_key, result);
+  return result;
+}
+
+BddRef BddManager::apply_not(BddRef f) { return ite(f, kFalse, kTrue); }
+BddRef BddManager::apply_and(BddRef f, BddRef g) { return ite(f, g, kFalse); }
+BddRef BddManager::apply_or(BddRef f, BddRef g) { return ite(f, kTrue, g); }
+BddRef BddManager::apply_xor(BddRef f, BddRef g) { return ite(f, apply_not(g), g); }
+BddRef BddManager::apply_nand(BddRef f, BddRef g) { return apply_not(apply_and(f, g)); }
+BddRef BddManager::apply_nor(BddRef f, BddRef g) { return apply_not(apply_or(f, g)); }
+BddRef BddManager::apply_xnor(BddRef f, BddRef g) { return apply_not(apply_xor(f, g)); }
+
+BddRef BddManager::restrict_var(BddRef f, std::size_t i, bool value) {
+  const Node& n = nodes_[f];
+  if (n.var == kTerminalVar || n.var > i) return f;
+  if (n.var == i) return value ? n.high : n.low;
+  const std::array<std::uint32_t, 3> key{
+      f, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(value)};
+  const auto it = restrict_cache_.find(key);
+  if (it != restrict_cache_.end()) return it->second;
+  const BddRef low = restrict_var(n.low, i, value);
+  const BddRef high = restrict_var(n.high, i, value);
+  const BddRef result = make_node(n.var, low, high);
+  restrict_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::boolean_difference(BddRef f, std::size_t i) {
+  return apply_xor(restrict_var(f, i, true), restrict_var(f, i, false));
+}
+
+BddRef BddManager::exists(BddRef f, std::size_t i) {
+  return apply_or(restrict_var(f, i, true), restrict_var(f, i, false));
+}
+
+bool BddManager::evaluate(BddRef f, std::span<const bool> assignment) const {
+  while (nodes_[f].var != kTerminalVar) {
+    const Node& n = nodes_[f];
+    f = assignment[n.var] ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+double BddManager::probability(BddRef f, std::span<const double> var_probs) const {
+  std::unordered_map<BddRef, double> memo;
+  memo.emplace(kFalse, 0.0);
+  memo.emplace(kTrue, 1.0);
+  // Iterative post-order to avoid recursion depth issues on deep BDDs.
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef cur = stack.back();
+    if (memo.contains(cur)) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[cur];
+    const bool lo_done = memo.contains(n.low);
+    const bool hi_done = memo.contains(n.high);
+    if (lo_done && hi_done) {
+      const double p = var_probs[n.var];
+      memo.emplace(cur, (1.0 - p) * memo.at(n.low) + p * memo.at(n.high));
+      stack.pop_back();
+    } else {
+      if (!lo_done) stack.push_back(n.low);
+      if (!hi_done) stack.push_back(n.high);
+    }
+  }
+  return memo.at(f);
+}
+
+double BddManager::sat_count(BddRef f) const {
+  std::vector<double> probs(num_vars_, 0.5);
+  double count = probability(f, probs);
+  for (std::size_t i = 0; i < num_vars_; ++i) count *= 2.0;
+  return count;
+}
+
+std::vector<std::size_t> BddManager::support(BddRef f) const {
+  std::vector<char> seen_node(nodes_.size(), 0);
+  std::vector<char> seen_var(num_vars_, 0);
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef cur = stack.back();
+    stack.pop_back();
+    if (seen_node[cur]) continue;
+    seen_node[cur] = 1;
+    const Node& n = nodes_[cur];
+    if (n.var == kTerminalVar) continue;
+    seen_var[n.var] = 1;
+    stack.push_back(n.low);
+    stack.push_back(n.high);
+  }
+  std::vector<std::size_t> vars;
+  for (std::size_t i = 0; i < num_vars_; ++i) {
+    if (seen_var[i]) vars.push_back(i);
+  }
+  return vars;
+}
+
+std::size_t BddManager::node_count(BddRef f) const {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<BddRef> stack{f};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BddRef cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = 1;
+    ++count;
+    const Node& n = nodes_[cur];
+    if (n.var != kTerminalVar) {
+      stack.push_back(n.low);
+      stack.push_back(n.high);
+    }
+  }
+  return count;
+}
+
+}  // namespace spsta::bdd

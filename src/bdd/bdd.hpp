@@ -1,0 +1,126 @@
+/// \file bdd.hpp
+/// A reduced ordered binary decision diagram (ROBDD) package, built for the
+/// paper's exact signal-probability computation (Sec. 2.2.1: "by
+/// representing a Boolean function in a BDD, such computation takes linear
+/// time in terms of the BDD size") and for Boolean-difference probabilities
+/// in transition-density power estimation (Sec. 2.2.2).
+///
+/// Design: integer node references into a manager-owned node table, a
+/// unique table guaranteeing canonicity, an ITE computed-table, and a
+/// weighted terminal-probability evaluator.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace spsta::bdd {
+
+/// Reference to a BDD node owned by a BddManager. 0 and 1 are the
+/// constant-false / constant-true terminals.
+using BddRef = std::uint32_t;
+inline constexpr BddRef kFalse = 0;
+inline constexpr BddRef kTrue = 1;
+
+/// Thrown when a construction would exceed the manager's node limit.
+class BddOverflow : public std::runtime_error {
+ public:
+  BddOverflow() : std::runtime_error("BDD node limit exceeded") {}
+};
+
+/// Manager for BDDs over a fixed number of variables with a fixed order
+/// (variable 0 is the topmost). All BddRefs returned by one manager stay
+/// valid for the manager's lifetime (no garbage collection; analyses are
+/// one-shot netlist traversals).
+class BddManager {
+ public:
+  /// \p max_nodes bounds the node table; constructions that would grow
+  /// past it throw BddOverflow (callers fall back to approximations).
+  explicit BddManager(std::size_t num_vars, std::size_t max_nodes = 1u << 22);
+
+  [[nodiscard]] std::size_t num_vars() const noexcept { return num_vars_; }
+  /// Total nodes allocated (including both terminals).
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// The function "variable i".
+  [[nodiscard]] BddRef var(std::size_t i);
+  /// The function "NOT variable i".
+  [[nodiscard]] BddRef nvar(std::size_t i);
+
+  /// If-then-else: ite(f, g, h) = f·g + f'·h — the universal connective.
+  [[nodiscard]] BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  [[nodiscard]] BddRef apply_not(BddRef f);
+  [[nodiscard]] BddRef apply_and(BddRef f, BddRef g);
+  [[nodiscard]] BddRef apply_or(BddRef f, BddRef g);
+  [[nodiscard]] BddRef apply_xor(BddRef f, BddRef g);
+  [[nodiscard]] BddRef apply_nand(BddRef f, BddRef g);
+  [[nodiscard]] BddRef apply_nor(BddRef f, BddRef g);
+  [[nodiscard]] BddRef apply_xnor(BddRef f, BddRef g);
+
+  /// Cofactor: f with variable \p i fixed to \p value.
+  [[nodiscard]] BddRef restrict_var(BddRef f, std::size_t i, bool value);
+
+  /// Boolean difference df/dx_i = f|x=1 XOR f|x=0 (paper Eq. 7): the
+  /// condition under which a toggle on x_i propagates to f.
+  [[nodiscard]] BddRef boolean_difference(BddRef f, std::size_t i);
+
+  /// Existential quantification over variable \p i.
+  [[nodiscard]] BddRef exists(BddRef f, std::size_t i);
+
+  /// Evaluates f on a complete input assignment.
+  [[nodiscard]] bool evaluate(BddRef f, std::span<const bool> assignment) const;
+
+  /// P(f = 1) given independent P(x_i = 1) probabilities (paper Eq. 5
+  /// computed exactly over the DAG). Linear in the BDD size.
+  [[nodiscard]] double probability(BddRef f, std::span<const double> var_probs) const;
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  [[nodiscard]] double sat_count(BddRef f) const;
+
+  /// Variables f structurally depends on, in order.
+  [[nodiscard]] std::vector<std::size_t> support(BddRef f) const;
+
+  /// Count of distinct nodes reachable from f (terminals included).
+  [[nodiscard]] std::size_t node_count(BddRef f) const;
+
+ private:
+  struct Node {
+    std::uint32_t var;  ///< kTerminalVar for terminals
+    BddRef low;
+    BddRef high;
+  };
+  static constexpr std::uint32_t kTerminalVar = 0xFFFFFFFFu;
+
+  [[nodiscard]] BddRef make_node(std::uint32_t var, BddRef low, BddRef high);
+  [[nodiscard]] std::uint32_t top_var(BddRef f, BddRef g, BddRef h) const noexcept;
+  [[nodiscard]] BddRef cofactor(BddRef f, std::uint32_t var, bool value) const noexcept;
+
+  /// Exact-key hash for (f, g, h) triples and (var, low, high) triples.
+  struct TripleHash {
+    std::size_t operator()(const std::array<std::uint32_t, 3>& k) const noexcept {
+      std::uint64_t x = k[0];
+      x = x * 0x9E3779B97F4A7C15ULL + k[1];
+      x = x * 0x9E3779B97F4A7C15ULL + k[2];
+      x ^= x >> 29;
+      x *= 0xBF58476D1CE4E5B9ULL;
+      x ^= x >> 32;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  using TripleMap = std::unordered_map<std::array<std::uint32_t, 3>, BddRef, TripleHash>;
+
+  std::size_t num_vars_;
+  std::size_t max_nodes_;
+  std::vector<Node> nodes_;
+  TripleMap unique_;
+  TripleMap ite_cache_;
+  TripleMap restrict_cache_;
+  std::vector<BddRef> var_refs_;
+};
+
+}  // namespace spsta::bdd

@@ -1,0 +1,78 @@
+#include "bdd/bdd_netlist.hpp"
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::bdd {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+BddRef combine(BddManager& m, GateType type, const std::vector<BddRef>& ins) {
+  switch (type) {
+    case GateType::Const0: return kFalse;
+    case GateType::Const1: return kTrue;
+    case GateType::Buf: return ins.at(0);
+    case GateType::Not: return m.apply_not(ins.at(0));
+    case GateType::And:
+    case GateType::Nand: {
+      BddRef acc = kTrue;
+      for (BddRef f : ins) acc = m.apply_and(acc, f);
+      return type == GateType::And ? acc : m.apply_not(acc);
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      BddRef acc = kFalse;
+      for (BddRef f : ins) acc = m.apply_or(acc, f);
+      return type == GateType::Or ? acc : m.apply_not(acc);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      BddRef acc = kFalse;
+      for (BddRef f : ins) acc = m.apply_xor(acc, f);
+      return type == GateType::Xor ? acc : m.apply_not(acc);
+    }
+    case GateType::Input:
+    case GateType::Dff: break;  // handled by caller
+  }
+  return kFalse;
+}
+
+}  // namespace
+
+NetlistBdds build_netlist_bdds(const netlist::Netlist& design, std::size_t max_nodes) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  NetlistBdds out(sources.size(), max_nodes);
+  out.sources = sources;
+  out.function.assign(design.node_count(), std::nullopt);
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out.function[sources[i]] = out.manager.var(i);
+  }
+
+  const netlist::Levelization lv = netlist::levelize(design);
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    std::vector<BddRef> ins;
+    ins.reserve(node.fanins.size());
+    bool ok = true;
+    for (NodeId f : node.fanins) {
+      if (!out.function[f]) {
+        ok = false;
+        break;
+      }
+      ins.push_back(*out.function[f]);
+    }
+    if (!ok) continue;
+    try {
+      out.function[id] = combine(out.manager, node.type, ins);
+    } catch (const BddOverflow&) {
+      out.function[id] = std::nullopt;  // this node and its dependents degrade
+    }
+  }
+  return out;
+}
+
+}  // namespace spsta::bdd

@@ -1,0 +1,40 @@
+/// \file bdd_netlist.hpp
+/// Symbolic simulation of a netlist into BDDs: one Boolean function per
+/// net over the timing-source variables (PIs and DFF outputs). This is the
+/// "symbolic simulation which computes Boolean functions for each node"
+/// of paper Sec. 3.5, enabling exact signal probabilities that respect
+/// reconvergent-fanout correlation.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::bdd {
+
+/// BDDs for every node of a netlist.
+struct NetlistBdds {
+  /// The manager owning all functions; variable i corresponds to
+  /// sources[i].
+  BddManager manager;
+  /// Timing sources in variable order.
+  std::vector<netlist::NodeId> sources;
+  /// function[node]: the node's Boolean function, or nullopt if the
+  /// per-node growth cap was exceeded (clients fall back to approximate
+  /// propagation for such nodes).
+  std::vector<std::optional<BddRef>> function;
+
+  explicit NetlistBdds(std::size_t num_vars, std::size_t max_nodes)
+      : manager(num_vars, max_nodes) {}
+};
+
+/// Builds BDDs for all nodes in topological order. Nodes whose function
+/// would push the manager past \p max_nodes are marked nullopt, as is
+/// every node depending on them.
+[[nodiscard]] NetlistBdds build_netlist_bdds(const netlist::Netlist& design,
+                                             std::size_t max_nodes = 1u << 22);
+
+}  // namespace spsta::bdd

@@ -1,0 +1,155 @@
+#include "bdd/equivalence.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "bdd/bdd_netlist.hpp"
+#include "netlist/levelize.hpp"
+
+namespace spsta::bdd {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+/// Output functions keyed by a stable name: PO net names plus
+/// "<dff>.D" for flip-flop data pins.
+std::map<std::string, NodeId> output_map(const Netlist& n) {
+  std::map<std::string, NodeId> out;
+  for (NodeId id : n.primary_outputs()) out.emplace(n.node(id).name, id);
+  for (NodeId q : n.dffs()) {
+    if (!n.node(q).fanins.empty()) {
+      out.emplace(n.node(q).name + ".D", n.node(q).fanins[0]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    std::size_t max_bdd_nodes) {
+  EquivalenceResult result;
+
+  // Source name sets must match; build b's variable order to mirror a's.
+  std::vector<std::string> a_sources, b_sources;
+  for (NodeId id : a.timing_sources()) a_sources.push_back(a.node(id).name);
+  for (NodeId id : b.timing_sources()) b_sources.push_back(b.node(id).name);
+  std::vector<std::string> a_sorted = a_sources, b_sorted = b_sources;
+  std::sort(a_sorted.begin(), a_sorted.end());
+  std::sort(b_sorted.begin(), b_sorted.end());
+  if (a_sorted != b_sorted) {
+    result.failure_reason = "timing source name sets differ";
+    return result;
+  }
+  const std::map<std::string, NodeId> a_outs = output_map(a);
+  const std::map<std::string, NodeId> b_outs = output_map(b);
+  if (a_outs.size() != b_outs.size() ||
+      !std::equal(a_outs.begin(), a_outs.end(), b_outs.begin(),
+                  [](const auto& x, const auto& y) { return x.first == y.first; })) {
+    result.failure_reason = "output name sets differ";
+    return result;
+  }
+  result.source_names = a_sources;
+
+  // Build both designs' BDDs in one shared manager so functions compare
+  // by canonical reference. Compose manually: build a's BDDs, then b's
+  // with variables remapped to a's order.
+  NetlistBdds a_bdds = build_netlist_bdds(a, max_bdd_nodes);
+  // Map b's source index -> a's variable index by name.
+  std::map<std::string, std::size_t> var_of;
+  for (std::size_t i = 0; i < a_sources.size(); ++i) var_of.emplace(a_sources[i], i);
+
+  // Evaluate b's functions inside a's manager by topological rebuild.
+  std::vector<std::optional<BddRef>> b_fn(b.node_count());
+  const netlist::Levelization lv = netlist::levelize(b);
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = b.node(id);
+    if (!netlist::is_combinational(node.type)) {
+      b_fn[id] = a_bdds.manager.var(var_of.at(node.name));
+      continue;
+    }
+    bool ok = true;
+    std::vector<BddRef> ins;
+    for (NodeId f : node.fanins) {
+      if (!b_fn[f]) {
+        ok = false;
+        break;
+      }
+      ins.push_back(*b_fn[f]);
+    }
+    if (!ok) continue;
+    try {
+      BddRef acc;
+      switch (node.type) {
+        case netlist::GateType::Const0: acc = kFalse; break;
+        case netlist::GateType::Const1: acc = kTrue; break;
+        case netlist::GateType::Buf: acc = ins.at(0); break;
+        case netlist::GateType::Not: acc = a_bdds.manager.apply_not(ins.at(0)); break;
+        case netlist::GateType::And:
+        case netlist::GateType::Nand: {
+          acc = kTrue;
+          for (BddRef f : ins) acc = a_bdds.manager.apply_and(acc, f);
+          if (node.type == netlist::GateType::Nand) acc = a_bdds.manager.apply_not(acc);
+          break;
+        }
+        case netlist::GateType::Or:
+        case netlist::GateType::Nor: {
+          acc = kFalse;
+          for (BddRef f : ins) acc = a_bdds.manager.apply_or(acc, f);
+          if (node.type == netlist::GateType::Nor) acc = a_bdds.manager.apply_not(acc);
+          break;
+        }
+        case netlist::GateType::Xor:
+        case netlist::GateType::Xnor: {
+          acc = kFalse;
+          for (BddRef f : ins) acc = a_bdds.manager.apply_xor(acc, f);
+          if (node.type == netlist::GateType::Xnor) acc = a_bdds.manager.apply_not(acc);
+          break;
+        }
+        default: acc = kFalse; break;
+      }
+      b_fn[id] = acc;
+    } catch (const BddOverflow&) {
+      result.failure_reason = "BDD node budget exceeded";
+      return result;
+    }
+  }
+
+  for (const auto& [name, a_node] : a_outs) {
+    const NodeId b_node = b_outs.at(name);
+    if (!a_bdds.function[a_node] || !b_fn[b_node]) {
+      result.failure_reason = "BDD unavailable for output '" + name + "'";
+      return result;
+    }
+    const BddRef fa = *a_bdds.function[a_node];
+    const BddRef fb = *b_fn[b_node];
+    if (fa != fb) {
+      result.counterexample_output = name;
+      // Distinguishing assignment: restrict-based descent of the XOR
+      // toward the true terminal (diff is satisfiable since fa != fb).
+      const BddRef diff = a_bdds.manager.apply_xor(fa, fb);
+      const std::size_t nv = a_sources.size();
+      std::vector<bool> cex(nv, false);
+      BddRef walk = diff;
+      for (std::size_t i = 0; i < nv && walk != kTrue; ++i) {
+        BddManager& m = a_bdds.manager;
+        const BddRef hi = m.restrict_var(walk, i, true);
+        if (hi != kFalse) {
+          cex[i] = true;
+          walk = hi;
+        } else {
+          walk = m.restrict_var(walk, i, false);
+        }
+      }
+      result.counterexample = cex;
+      result.equivalent = false;
+      return result;
+    }
+  }
+  result.equivalent = true;
+  return result;
+}
+
+}  // namespace spsta::bdd

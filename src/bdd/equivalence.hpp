@@ -1,0 +1,39 @@
+/// \file equivalence.hpp
+/// Combinational equivalence checking via BDDs: two netlists are
+/// equivalent when every like-named primary output (and DFF D pin)
+/// computes the same Boolean function of the like-named timing sources.
+/// Used to validate netlist transformations and parser round-trips.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::bdd {
+
+/// Result of an equivalence check.
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// First mismatching output name (empty when equivalent or on setup
+  /// mismatch).
+  std::string counterexample_output;
+  /// A source assignment distinguishing the two (parallel to
+  /// `source_names`), present when a functional mismatch was found.
+  std::optional<std::vector<bool>> counterexample;
+  std::vector<std::string> source_names;
+  /// Non-empty when the designs are structurally incomparable (different
+  /// source/output name sets) or a BDD overflowed.
+  std::string failure_reason;
+};
+
+/// Checks combinational equivalence of \p a and \p b. Sources are matched
+/// by name (both designs must have identical source name sets), as are
+/// outputs (primary outputs plus DFF D functions, keyed by the DFF name).
+[[nodiscard]] EquivalenceResult check_equivalence(const netlist::Netlist& a,
+                                                  const netlist::Netlist& b,
+                                                  std::size_t max_bdd_nodes = 1u << 22);
+
+}  // namespace spsta::bdd

@@ -1,0 +1,64 @@
+#include "core/criticality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spsta::core {
+
+using netlist::NodeId;
+
+CriticalityResult endpoint_criticality(const netlist::Netlist& design,
+                                       const SpstaNumericResult& result) {
+  CriticalityResult out;
+  out.endpoints = design.timing_endpoints();
+  const std::size_t k = out.endpoints.size();
+  out.probability.assign(k, 0.0);
+  if (k == 0) {
+    out.quiet_probability = 1.0;
+    return out;
+  }
+
+  const stats::GridSpec& grid = result.grid;
+
+  // Combined per-endpoint transition density (rise + fall are mutually
+  // exclusive events on one net) and its running CDF, on the engine grid.
+  std::vector<std::vector<double>> density(k, std::vector<double>(grid.n, 0.0));
+  std::vector<std::vector<double>> cdf(k);
+  std::vector<double> mass(k, 0.0);
+  for (std::size_t e = 0; e < k; ++e) {
+    const NodeTopDensity& node = result.node[out.endpoints[e]];
+    const auto rise = node.rise.resampled(grid);
+    const auto fall = node.fall.resampled(grid);
+    for (std::size_t i = 0; i < grid.n; ++i) {
+      density[e][i] = rise.values()[i] + fall.values()[i];
+    }
+    const stats::PiecewiseDensity combined(grid, density[e]);
+    cdf[e] = combined.cumulative();
+    mass[e] = cdf[e].empty() ? 0.0 : cdf[e].back();
+    mass[e] = std::min(mass[e], 1.0);
+  }
+
+  double quiet = 1.0;
+  for (std::size_t e = 0; e < k; ++e) quiet *= 1.0 - mass[e];
+  out.quiet_probability = std::clamp(quiet, 0.0, 1.0);
+
+  // Trapezoid integral of f_e(t) * prod_{e'!=e}(1 - m_e' + F_e'(t)).
+  for (std::size_t e = 0; e < k; ++e) {
+    double acc = 0.0;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < grid.n; ++i) {
+      double others = 1.0;
+      for (std::size_t o = 0; o < k; ++o) {
+        if (o == e) continue;
+        others *= std::clamp(1.0 - mass[o] + cdf[o][i], 0.0, 1.0);
+      }
+      const double integrand = density[e][i] * others;
+      if (i > 0) acc += 0.5 * (prev + integrand) * grid.dt;
+      prev = integrand;
+    }
+    out.probability[e] = std::clamp(acc, 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace spsta::core

@@ -1,0 +1,41 @@
+/// \file criticality.hpp
+/// Endpoint criticality probabilities from SPSTA's numeric t.o.p.
+/// densities: P(endpoint e produces the latest transition of the cycle).
+/// This is the statistical analogue of "the critical path" — the
+/// probability-weighted answer the paper's Sec. 1 background attributes to
+/// path-based SSTA ("timing criticality probabilities ... for signoff"),
+/// here computed from occurrence-weighted arrival distributions instead
+/// of always-switching path delays.
+///
+/// Under endpoint independence:
+///   P(e critical) = integral f_e(t) * prod_{e' != e} (1 - m_e' + F_e'(t)) dt
+/// where f_e combines the endpoint's rise and fall t.o.p. (mutually
+/// exclusive per cycle), m is total transition mass and F the t.o.p. CDF.
+/// P(quiet cycle) = prod_e (1 - m_e) accounts for cycles with no endpoint
+/// transition at all.
+
+#pragma once
+
+#include <vector>
+
+#include "core/spsta.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::core {
+
+/// Criticality distribution over endpoints.
+struct CriticalityResult {
+  /// Endpoint ids in design.timing_endpoints() order.
+  std::vector<netlist::NodeId> endpoints;
+  /// P(endpoint is the latest to transition); sums with quiet_probability
+  /// to ~1 (up to discretization).
+  std::vector<double> probability;
+  /// P(no endpoint transitions in a cycle).
+  double quiet_probability = 0.0;
+};
+
+/// Computes endpoint criticalities from a numeric SPSTA result.
+[[nodiscard]] CriticalityResult endpoint_criticality(const netlist::Netlist& design,
+                                                     const SpstaNumericResult& result);
+
+}  // namespace spsta::core

@@ -1,0 +1,139 @@
+#include "core/incremental_spsta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spsta::core {
+
+using netlist::NodeId;
+
+namespace {
+
+bool nearly_equal(const stats::Gaussian& a, const stats::Gaussian& b) {
+  constexpr double kEps = 1e-12;
+  return std::abs(a.mean - b.mean) <= kEps && std::abs(a.var - b.var) <= kEps;
+}
+
+bool nearly_equal(const TransitionTop& a, const TransitionTop& b) {
+  return std::abs(a.mass - b.mass) <= 1e-12 && nearly_equal(a.arrival, b.arrival);
+}
+
+bool nearly_equal(const netlist::FourValueProbs& a, const netlist::FourValueProbs& b) {
+  constexpr double kEps = 1e-12;
+  return std::abs(a.p0 - b.p0) <= kEps && std::abs(a.p1 - b.p1) <= kEps &&
+         std::abs(a.pr - b.pr) <= kEps && std::abs(a.pf - b.pf) <= kEps;
+}
+
+bool nearly_equal(const NodeTop& a, const NodeTop& b) {
+  return nearly_equal(a.probs, b.probs) && nearly_equal(a.rise, b.rise) &&
+         nearly_equal(a.fall, b.fall);
+}
+
+NodeTop source_top(const netlist::SourceStats& st) {
+  NodeTop top;
+  top.probs = st.probs.normalized();
+  top.rise = {top.probs.pr, st.rise_arrival};
+  top.fall = {top.probs.pf, st.fall_arrival};
+  return top;
+}
+
+}  // namespace
+
+IncrementalSpsta::IncrementalSpsta(const netlist::Netlist& design,
+                                   netlist::DelayModel delays,
+                                   std::span<const netlist::SourceStats> source_stats)
+    : design_(design), delays_(std::move(delays)), levels_(netlist::levelize(design)) {
+  const std::vector<NodeId> sources = design_.timing_sources();
+  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
+    throw std::invalid_argument("IncrementalSpsta: source stats count mismatch");
+  }
+  order_pos_.assign(design_.node_count(), 0);
+  for (std::size_t i = 0; i < levels_.order.size(); ++i) {
+    order_pos_[levels_.order[i]] = i;
+  }
+  state_.assign(design_.node_count(), NodeTop{});
+  dirty_.assign(design_.node_count(), 0);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    state_[sources[i]] =
+        source_top(source_stats.size() == 1 ? source_stats[0] : source_stats[i]);
+  }
+  for (NodeId id : levels_.order) {
+    if (!netlist::is_combinational(design_.node(id).type)) continue;
+    state_[id] = propagate_node_top(design_, id, state_, delays_);
+  }
+}
+
+void IncrementalSpsta::mark_dirty(NodeId id) {
+  if (dirty_[id]) return;
+  dirty_[id] = 1;
+  const std::size_t pos = order_pos_[id];
+  if (!any_dirty_) {
+    dirty_lo_ = dirty_hi_ = pos;
+    any_dirty_ = true;
+  } else {
+    dirty_lo_ = std::min(dirty_lo_, pos);
+    dirty_hi_ = std::max(dirty_hi_, pos);
+  }
+}
+
+bool IncrementalSpsta::recompute(NodeId id) {
+  const NodeTop updated = propagate_node_top(design_, id, state_, delays_);
+  ++nodes_reevaluated_;
+  if (nearly_equal(updated, state_[id])) return false;
+  state_[id] = updated;
+  return true;
+}
+
+void IncrementalSpsta::propagate_dirty() {
+  if (!any_dirty_) return;
+  for (std::size_t pos = dirty_lo_;
+       pos <= dirty_hi_ && pos < levels_.order.size(); ++pos) {
+    const NodeId id = levels_.order[pos];
+    if (!dirty_[id]) continue;
+    dirty_[id] = 0;
+    if (!netlist::is_combinational(design_.node(id).type)) continue;
+    if (recompute(id)) {
+      for (NodeId fo : design_.node(id).fanouts) {
+        if (!netlist::is_combinational(design_.node(fo).type)) continue;
+        mark_dirty(fo);
+      }
+    }
+  }
+  any_dirty_ = false;
+}
+
+const NodeTop& IncrementalSpsta::node(NodeId id) {
+  propagate_dirty();
+  return state_.at(id);
+}
+
+const std::vector<NodeTop>& IncrementalSpsta::flush() {
+  propagate_dirty();
+  return state_;
+}
+
+void IncrementalSpsta::set_delay(NodeId id, const stats::Gaussian& delay) {
+  if (id >= design_.node_count()) {
+    throw std::invalid_argument("IncrementalSpsta::set_delay: bad node id");
+  }
+  if (nearly_equal(delays_.delay(id), delay)) return;
+  delays_.set_delay(id, delay);
+  if (netlist::is_combinational(design_.node(id).type)) mark_dirty(id);
+}
+
+void IncrementalSpsta::set_source_stats(std::size_t source_index,
+                                        const netlist::SourceStats& stats) {
+  const std::vector<NodeId> sources = design_.timing_sources();
+  if (source_index >= sources.size()) {
+    throw std::invalid_argument("IncrementalSpsta::set_source_stats: bad index");
+  }
+  const NodeId src = sources[source_index];
+  state_[src] = source_top(stats);
+  for (NodeId fo : design_.node(src).fanouts) {
+    if (!netlist::is_combinational(design_.node(fo).type)) continue;
+    mark_dirty(fo);
+  }
+}
+
+}  // namespace spsta::core

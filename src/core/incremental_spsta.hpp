@@ -1,0 +1,62 @@
+/// \file incremental_spsta.hpp
+/// Incremental SPSTA: the property the paper's background prizes in
+/// block-based SSTA ("efficient, incremental, and suitable for
+/// optimization") carried over to the signal-probability engine. After a
+/// local change — a gate delay, a source's value probabilities or arrival
+/// statistics — only the transitive fanout cone is re-propagated, and the
+/// update stops early where both the four-value probabilities and the
+/// rise/fall tops settle.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/spsta.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/levelize.hpp"
+
+namespace spsta::core {
+
+/// Incremental SPSTA session over a fixed netlist topology.
+class IncrementalSpsta {
+ public:
+  /// Runs the initial full analysis.
+  IncrementalSpsta(const netlist::Netlist& design, netlist::DelayModel delays,
+                   std::span<const netlist::SourceStats> source_stats);
+
+  /// Current state at \p id, lazily updating any dirty fanin cone.
+  [[nodiscard]] const NodeTop& node(netlist::NodeId id);
+  /// Updates all dirty nodes and returns the full state.
+  [[nodiscard]] const std::vector<NodeTop>& flush();
+
+  /// Changes one gate's delay distribution; dirties its fanout cone.
+  void set_delay(netlist::NodeId id, const stats::Gaussian& delay);
+  /// Changes one timing source's statistics (probabilities and arrivals);
+  /// dirties its fanout cone. Index follows design.timing_sources().
+  void set_source_stats(std::size_t source_index, const netlist::SourceStats& stats);
+
+  /// Nodes re-evaluated by updates since construction.
+  [[nodiscard]] std::uint64_t nodes_reevaluated() const noexcept {
+    return nodes_reevaluated_;
+  }
+
+ private:
+  void mark_dirty(netlist::NodeId id);
+  void propagate_dirty();
+  [[nodiscard]] bool recompute(netlist::NodeId id);
+
+  const netlist::Netlist& design_;
+  netlist::DelayModel delays_;
+  netlist::Levelization levels_;
+  std::vector<std::size_t> order_pos_;
+  std::vector<NodeTop> state_;
+  std::vector<char> dirty_;
+  std::size_t dirty_lo_ = 0;
+  std::size_t dirty_hi_ = 0;
+  bool any_dirty_ = false;
+  std::uint64_t nodes_reevaluated_ = 0;
+};
+
+}  // namespace spsta::core

@@ -1,0 +1,91 @@
+#include "core/patterns.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace spsta::core {
+
+using netlist::FourValue;
+using netlist::FourValueProbs;
+using netlist::GateType;
+
+namespace {
+
+/// Settled-time operation for a homogeneous switching set. Inputs moving
+/// toward the gate's controlling value decide the output at the *first*
+/// event (MIN); inputs moving away decide at the *last* (MAX). Parity and
+/// single-input gates settle at the last event (MAX).
+SettleOp settle_op(GateType type, bool inputs_rising) {
+  if (netlist::has_controlling_value(type)) {
+    const bool toward_controlling = inputs_rising == netlist::controlling_value(type);
+    return toward_controlling ? SettleOp::Min : SettleOp::Max;
+  }
+  return SettleOp::Max;
+}
+
+}  // namespace
+
+std::vector<SwitchPattern> enumerate_switch_patterns(
+    GateType type, std::span<const FourValueProbs> inputs) {
+  const std::size_t n = inputs.size();
+  if (n > 16) {
+    throw std::invalid_argument("enumerate_switch_patterns: fanin > 16 unsupported");
+  }
+
+  // Key: (switching_mask, rising_mask, output_rising) -> accumulated weight.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, bool>, double> acc;
+
+  static constexpr FourValue kValues[4] = {FourValue::Zero, FourValue::One,
+                                           FourValue::Rise, FourValue::Fall};
+  std::vector<FourValue> assignment(n, FourValue::Zero);
+  std::size_t combos = 1;
+  for (std::size_t i = 0; i < n; ++i) combos *= 4;
+
+  for (std::size_t code = 0; code < combos; ++code) {
+    double weight = 1.0;
+    std::uint32_t switching = 0;
+    std::uint32_t rising = 0;
+    std::size_t rem = code;
+    for (std::size_t i = 0; i < n && weight > 0.0; ++i) {
+      const FourValue v = kValues[rem & 3u];
+      rem >>= 2;
+      assignment[i] = v;
+      weight *= inputs[i].prob(v);
+      if (v == FourValue::Rise) {
+        switching |= 1u << i;
+        rising |= 1u << i;
+      } else if (v == FourValue::Fall) {
+        switching |= 1u << i;
+      }
+    }
+    if (weight <= 0.0) continue;
+    const FourValue out = netlist::eval_four_value(type, assignment);
+    if (out != FourValue::Rise && out != FourValue::Fall) continue;
+    acc[{switching, rising, out == FourValue::Rise}] += weight;
+  }
+
+  std::vector<SwitchPattern> patterns;
+  patterns.reserve(acc.size());
+  for (const auto& [key, weight] : acc) {
+    const auto& [switching, rising, output_rising] = key;
+    SwitchPattern p;
+    p.weight = weight;
+    p.output_rising = output_rising;
+    p.switching_mask = switching;
+    p.rising_mask = rising;
+    // Homogeneous sets take the family op; mixed-direction sets (parity
+    // gates only) settle at the last event.
+    const bool all_rising = rising == switching;
+    const bool all_falling = rising == 0;
+    if (all_rising || all_falling) {
+      p.op = settle_op(type, all_rising);
+    } else {
+      p.op = SettleOp::Max;
+    }
+    patterns.push_back(p);
+  }
+  return patterns;
+}
+
+}  // namespace spsta::core

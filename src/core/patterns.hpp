@@ -1,0 +1,52 @@
+/// \file patterns.hpp
+/// Input-switching scenario enumeration behind the WEIGHTED SUM operation
+/// (paper Eq. 8/11/12): for a k-input gate, every subset of switching
+/// inputs that produces an output transition contributes one weighted term
+/// whose arrival distribution is the MAX (or MIN) over the subset.
+///
+/// Enumeration is exact over the 4^k joint input assignments (independence
+/// assumed) but collapses assignments sharing the same switching set and
+/// directions, so each distinct (subset, directions) pair appears once
+/// with its total probability weight — the O(2^k) form the paper quotes.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::core {
+
+/// Which order statistic the settled output transition time takes over
+/// the switching inputs of one scenario.
+enum class SettleOp : std::uint8_t { Max, Min };
+
+/// One weighted switching scenario of a gate.
+struct SwitchPattern {
+  /// Total probability of the scenario (over all compatible static values
+  /// of the non-switching inputs).
+  double weight = 0.0;
+  /// Direction of the resulting output transition.
+  bool output_rising = false;
+  /// Settled-time operation over the switching inputs.
+  SettleOp op = SettleOp::Max;
+  /// Bit i set: input i switches in this scenario.
+  std::uint32_t switching_mask = 0;
+  /// Bit i set: input i rises (valid only where switching_mask has bit i).
+  std::uint32_t rising_mask = 0;
+};
+
+/// Enumerates all output-transition scenarios of \p type under the given
+/// independent input four-value probabilities. Zero-weight scenarios are
+/// dropped. Throws std::invalid_argument for more than 16 inputs.
+///
+/// Invariants (tested):
+///   sum of weights over rising scenarios  == gate_four_value(...).pr
+///   sum of weights over falling scenarios == gate_four_value(...).pf
+[[nodiscard]] std::vector<SwitchPattern> enumerate_switch_patterns(
+    netlist::GateType type, std::span<const netlist::FourValueProbs> inputs);
+
+}  // namespace spsta::core

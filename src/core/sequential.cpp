@@ -1,0 +1,94 @@
+#include "core/sequential.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sigprob/four_value_prop.hpp"
+
+namespace spsta::core {
+
+using netlist::FourValueProbs;
+using netlist::NodeId;
+
+namespace {
+
+/// FF output four-values from two independent consecutive cycles of the D
+/// pin's final-value distribution (see header).
+FourValueProbs ff_output_from_d(const FourValueProbs& d) {
+  const double p1 = d.final_one();
+  const double p0 = 1.0 - p1;
+  return FourValueProbs{p0 * p0, p1 * p1, p0 * p1, p1 * p0}.normalized();
+}
+
+double linf(const FourValueProbs& a, const FourValueProbs& b) {
+  return std::max({std::abs(a.p0 - b.p0), std::abs(a.p1 - b.p1),
+                   std::abs(a.pr - b.pr), std::abs(a.pf - b.pf)});
+}
+
+FourValueProbs damp(const FourValueProbs& next, const FourValueProbs& prev,
+                    double damping) {
+  const auto mix = [&](double n, double p) { return damping * n + (1.0 - damping) * p; };
+  return FourValueProbs{mix(next.p0, prev.p0), mix(next.p1, prev.p1),
+                        mix(next.pr, prev.pr), mix(next.pf, prev.pf)}
+      .normalized();
+}
+
+}  // namespace
+
+SequentialResult solve_sequential_fixpoint(const netlist::Netlist& design,
+                                           const SequentialConfig& config) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  const std::vector<NodeId>& dffs = design.dffs();
+
+  SequentialResult out;
+  out.source_stats.assign(sources.size(), config.input_stats);
+  // DFF sources start from the initial guess, with clock-edge arrivals.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (design.node(sources[i]).type == netlist::GateType::Dff) {
+      out.source_stats[i] = config.ff_initial;
+      out.source_stats[i].rise_arrival = config.clock_arrival;
+      out.source_stats[i].fall_arrival = config.clock_arrival;
+    }
+  }
+
+  // Map DFF node -> index in sources.
+  std::vector<std::size_t> source_index(design.node_count(), SIZE_MAX);
+  for (std::size_t i = 0; i < sources.size(); ++i) source_index[sources[i]] = i;
+
+  std::vector<FourValueProbs> probs;
+  for (out.iterations = 0; out.iterations < config.max_iterations; ++out.iterations) {
+    std::vector<FourValueProbs> source_probs(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      source_probs[i] = out.source_stats[i].probs;
+    }
+    probs = sigprob::propagate_four_value(design, source_probs);
+
+    double residual = 0.0;
+    for (NodeId q : dffs) {
+      const netlist::Node& ff = design.node(q);
+      if (ff.fanins.empty()) continue;
+      const FourValueProbs next = ff_output_from_d(probs[ff.fanins[0]]);
+      const std::size_t idx = source_index[q];
+      const FourValueProbs damped =
+          damp(next, out.source_stats[idx].probs, config.damping);
+      residual = std::max(residual, linf(damped, out.source_stats[idx].probs));
+      out.source_stats[idx].probs = damped;
+    }
+    out.residual = residual;
+    if (residual <= config.tolerance) {
+      out.converged = true;
+      ++out.iterations;
+      break;
+    }
+  }
+
+  // Final propagation under the converged statistics.
+  std::vector<FourValueProbs> source_probs(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    source_probs[i] = out.source_stats[i].probs;
+  }
+  out.node_probs = sigprob::propagate_four_value(design, source_probs);
+  return out;
+}
+
+}  // namespace spsta::core

@@ -1,0 +1,65 @@
+/// \file sequential.hpp
+/// Steady-state sequential analysis. The paper (like the power-estimation
+/// literature it builds on) assigns *given* statistics to flip-flop
+/// outputs. This extension computes those statistics self-consistently:
+/// iterate the four-value propagation, feeding each DFF's D-pin
+/// probabilities back into its output (time-shifted by one cycle, so a D
+/// value of r/f becomes a *next-cycle* initial value), until the
+/// flip-flop statistics reach a fixpoint.
+///
+/// The cycle-to-cycle abstraction: if the D pin ends a cycle at value v
+/// (final value), the FF output holds v for the whole next cycle... except
+/// that consecutive cycles with different sampled values produce an output
+/// transition at the clock edge. Under the cycle-independence
+/// approximation, the FF output four-value probabilities follow from the
+/// D pin's final-value distribution of two consecutive cycles:
+///   P(out = 1)    = P(D final 1)^2         (one both cycles)
+///   P(out = 0)    = P(D final 0)^2
+///   P(out = rise) = P(D final 0) * P(D final 1)
+///   P(out = fall) = P(D final 1) * P(D final 0)
+/// with output transitions at the (deterministic) clock edge, jittered by
+/// the configured clock arrival distribution.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::core {
+
+/// Configuration of the fixpoint iteration.
+struct SequentialConfig {
+  /// Statistics of the primary inputs (held fixed across iterations).
+  netlist::SourceStats input_stats = netlist::scenario_I();
+  /// Initial guess for the flip-flop outputs.
+  netlist::SourceStats ff_initial = netlist::scenario_I();
+  /// Clock-edge arrival distribution applied to FF output transitions.
+  stats::Gaussian clock_arrival{0.0, 0.01};
+  std::size_t max_iterations = 64;
+  /// L-inf convergence tolerance on FF output probabilities.
+  double tolerance = 1e-9;
+  /// Damping factor in (0, 1]: new = damping*computed + (1-damping)*old.
+  double damping = 1.0;
+};
+
+/// Result of the fixpoint computation.
+struct SequentialResult {
+  /// Converged per-source statistics (PIs keep input_stats; DFFs get
+  /// their steady-state values), in design.timing_sources() order.
+  std::vector<netlist::SourceStats> source_stats;
+  /// Final per-node four-value probabilities under those statistics.
+  std::vector<netlist::FourValueProbs> node_probs;
+  std::size_t iterations = 0;
+  bool converged = false;
+  /// Final L-inf change on FF probabilities.
+  double residual = 0.0;
+};
+
+/// Runs the steady-state iteration on \p design.
+[[nodiscard]] SequentialResult solve_sequential_fixpoint(const netlist::Netlist& design,
+                                                         const SequentialConfig& config = {});
+
+}  // namespace spsta::core

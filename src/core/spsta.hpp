@@ -1,0 +1,103 @@
+/// \file spsta.hpp
+/// The paper's contribution: Signal Probability based Statistical Timing
+/// Analysis. Two interchangeable back-ends over the same WEIGHTED SUM
+/// recursion (Eq. 8/11):
+///
+///  * run_spsta_moment  — each transition t.o.p. is (mass, mean, var);
+///    in-scenario MAX/MIN uses Clark moment matching and the weighted sum
+///    collapses a Gaussian mixture to matched moments (paper Sec. 3.4).
+///  * run_spsta_numeric — each t.o.p. is a piecewise-linear density;
+///    MAX/MIN are CDF products and the weighted sum is linear, recovering
+///    full non-Gaussian t.o.p. shapes (paper Fig. 4).
+///
+/// Both produce, per net: four-value probabilities (P0, P1, Pr, Pf) and
+/// rise/fall transition temporal-occurrence-probability functions whose
+/// masses are the transition probabilities — i.e. timing *and* toggling
+/// information at once (paper Sec. 3.1).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/piecewise.hpp"
+
+namespace spsta::core {
+
+/// Moment-form t.o.p. of one transition direction: occurrence probability
+/// plus the conditional arrival-time moments.
+struct TransitionTop {
+  double mass = 0.0;
+  stats::Gaussian arrival;
+  /// Third central moment of the conditional arrival. In-scenario MAX/MIN
+  /// results are treated as Gaussian (zero third moment); the mixture
+  /// across scenarios contributes the dominant skew term exactly, so this
+  /// tracks the shape asymmetry moment matching usually discards.
+  double third_central = 0.0;
+
+  /// Standardized skewness (0 when degenerate).
+  [[nodiscard]] double skewness() const noexcept;
+};
+
+/// Moment-engine result for one net.
+struct NodeTop {
+  netlist::FourValueProbs probs;
+  TransitionTop rise;
+  TransitionTop fall;
+};
+
+/// Moment-engine result.
+struct SpstaResult {
+  std::vector<NodeTop> node;
+};
+
+/// Numeric-engine result for one net: densities integrate to Pr / Pf.
+struct NodeTopDensity {
+  netlist::FourValueProbs probs;
+  stats::PiecewiseDensity rise;
+  stats::PiecewiseDensity fall;
+};
+
+/// Numeric-engine result.
+struct SpstaNumericResult {
+  std::vector<NodeTopDensity> node;
+  stats::GridSpec grid;
+};
+
+/// Engine options.
+struct SpstaOptions {
+  /// Numeric engine: grid step (time units; the paper's unit is one gate
+  /// delay).
+  double grid_dt = 0.05;
+  /// Numeric engine: grid padding beyond the structural delay span, in
+  /// source-arrival standard deviations.
+  double grid_pad_sigma = 8.0;
+  /// Hard cap on numeric grid points.
+  std::size_t max_grid_points = 4096;
+};
+
+/// Runs the moment-based engine. \p source_stats follows
+/// design.timing_sources() order (single element broadcasts).
+[[nodiscard]] SpstaResult run_spsta_moment(
+    const netlist::Netlist& design, const netlist::DelayModel& delays,
+    std::span<const netlist::SourceStats> source_stats);
+
+/// Recomputes one combinational gate's four-value probabilities and
+/// rise/fall tops from the current state — the single-node kernel shared
+/// by the batch and incremental moment engines.
+[[nodiscard]] NodeTop propagate_node_top(const netlist::Netlist& design,
+                                         netlist::NodeId id,
+                                         std::span<const NodeTop> state,
+                                         const netlist::DelayModel& delays);
+
+/// Runs the numeric (piecewise-density) engine.
+[[nodiscard]] SpstaNumericResult run_spsta_numeric(
+    const netlist::Netlist& design, const netlist::DelayModel& delays,
+    std::span<const netlist::SourceStats> source_stats,
+    const SpstaOptions& options = {});
+
+}  // namespace spsta::core

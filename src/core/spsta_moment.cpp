@@ -1,0 +1,125 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "core/patterns.hpp"
+#include "core/spsta.hpp"
+#include "netlist/levelize.hpp"
+#include "sigprob/four_value_prop.hpp"
+#include "stats/mixture.hpp"
+
+namespace spsta::core {
+
+using netlist::FourValueProbs;
+using netlist::NodeId;
+using stats::Gaussian;
+
+double TransitionTop::skewness() const noexcept {
+  if (arrival.var <= 0.0) return 0.0;
+  return third_central / std::pow(arrival.var, 1.5);
+}
+
+namespace {
+
+/// Third central moment of a Gaussian mixture whose components carry zero
+/// third moment themselves:
+///   m3 = sum_i q_i * (3 d_i var_i + d_i^3),  d_i = mu_i - mu.
+double mixture_third_central(const stats::GaussianMixture& mix) {
+  const double mass = mix.mass();
+  if (mass <= 0.0) return 0.0;
+  const double mu = mix.mean();
+  double m3 = 0.0;
+  for (const auto& c : mix.components()) {
+    const double q = c.weight / mass;
+    const double d = c.component.mean - mu;
+    m3 += q * (3.0 * d * c.component.var + d * d * d);
+  }
+  return m3;
+}
+
+}  // namespace
+
+namespace {
+
+/// Folds the conditional arrival Gaussians of a scenario's switching
+/// inputs with Clark MAX/MIN (inputs treated as independent, as in the
+/// paper's implementation — see Sec. 4 observation 5).
+Gaussian fold_arrivals(const SwitchPattern& p, std::span<const NodeTop> node,
+                       const std::vector<NodeId>& fanins) {
+  Gaussian acc;
+  bool first = true;
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    if (!(p.switching_mask & (1u << i))) continue;
+    const NodeTop& in = node[fanins[i]];
+    const Gaussian contrib =
+        (p.rising_mask & (1u << i)) ? in.rise.arrival : in.fall.arrival;
+    if (first) {
+      acc = contrib;
+      first = false;
+    } else {
+      acc = (p.op == SettleOp::Max) ? stats::clark_max(acc, contrib).moments
+                                    : stats::clark_min(acc, contrib).moments;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+NodeTop propagate_node_top(const netlist::Netlist& design, NodeId id,
+                           std::span<const NodeTop> state,
+                           const netlist::DelayModel& delays) {
+  const netlist::Node& node = design.node(id);
+  NodeTop top;
+  std::vector<FourValueProbs> fanin_probs;
+  fanin_probs.reserve(node.fanins.size());
+  for (NodeId f : node.fanins) fanin_probs.push_back(state[f].probs);
+  top.probs = sigprob::gate_four_value(node.type, fanin_probs);
+
+  if (node.fanins.empty()) return top;  // constants: no transitions
+
+  const std::vector<SwitchPattern> patterns =
+      enumerate_switch_patterns(node.type, fanin_probs);
+  stats::GaussianMixture rise_mix, fall_mix;
+  for (const SwitchPattern& p : patterns) {
+    const Gaussian arrival = fold_arrivals(p, state, node.fanins);
+    (p.output_rising ? rise_mix : fall_mix).add(p.weight, arrival);
+  }
+  // Adding the (symmetric) gate delay leaves the third central moment of
+  // the mixture unchanged.
+  top.rise = {rise_mix.mass(), stats::sum(rise_mix.moments(), delays.delay(id, true)),
+              mixture_third_central(rise_mix)};
+  top.fall = {fall_mix.mass(), stats::sum(fall_mix.moments(), delays.delay(id, false)),
+              mixture_third_central(fall_mix)};
+  if (top.rise.mass <= 0.0) top.rise = {};
+  if (top.fall.mass <= 0.0) top.fall = {};
+  return top;
+}
+
+SpstaResult run_spsta_moment(const netlist::Netlist& design,
+                             const netlist::DelayModel& delays,
+                             std::span<const netlist::SourceStats> source_stats) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
+    throw std::invalid_argument("run_spsta_moment: source stats count mismatch");
+  }
+
+  SpstaResult result;
+  result.node.assign(design.node_count(), NodeTop{});
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const netlist::SourceStats& st =
+        source_stats.size() == 1 ? source_stats[0] : source_stats[i];
+    NodeTop& top = result.node[sources[i]];
+    top.probs = st.probs.normalized();
+    top.rise = {top.probs.pr, st.rise_arrival};
+    top.fall = {top.probs.pf, st.fall_arrival};
+  }
+
+  const netlist::Levelization lv = netlist::levelize(design);
+  for (NodeId id : lv.order) {
+    if (!netlist::is_combinational(design.node(id).type)) continue;
+    result.node[id] = propagate_node_top(design, id, result.node, delays);
+  }
+  return result;
+}
+
+}  // namespace spsta::core

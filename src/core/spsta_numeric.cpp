@@ -1,0 +1,149 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/patterns.hpp"
+#include "core/spsta.hpp"
+#include "netlist/graph.hpp"
+#include "netlist/levelize.hpp"
+#include "sigprob/four_value_prop.hpp"
+
+namespace spsta::core {
+
+using netlist::FourValueProbs;
+using netlist::NodeId;
+using stats::GridSpec;
+using stats::PiecewiseDensity;
+
+namespace {
+
+/// Chooses one engine grid spanning every arrival the analysis can
+/// produce: [earliest source arrival - pad, critical-path delay + latest
+/// source arrival + pad].
+GridSpec choose_grid(const netlist::Netlist& design, const netlist::DelayModel& delays,
+                     std::span<const netlist::SourceStats> source_stats,
+                     const SpstaOptions& options) {
+  double lo = 0.0, hi = 0.0, max_sd = 1.0;
+  bool first = true;
+  const std::size_t count = source_stats.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const netlist::SourceStats& st = source_stats[i];
+    for (const stats::Gaussian& g : {st.rise_arrival, st.fall_arrival}) {
+      const double sd = g.stddev();
+      max_sd = std::max(max_sd, sd);
+      const double a = g.mean - options.grid_pad_sigma * sd;
+      const double b = g.mean + options.grid_pad_sigma * sd;
+      if (first) {
+        lo = a;
+        hi = b;
+        first = false;
+      } else {
+        lo = std::min(lo, a);
+        hi = std::max(hi, b);
+      }
+    }
+  }
+  // Structural worst-case delay (mean) plus margin for delay variation.
+  double structural = 0.0;
+  double delay_sd = 0.0;
+  const std::vector<double> means = delays.means();
+  for (const netlist::Path& p : netlist::critical_paths(design, means, 1)) {
+    structural = std::max(structural, p.delay);
+  }
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    delay_sd = std::max(delay_sd, delays.delay(id).stddev());
+  }
+  const netlist::Levelization lv = netlist::levelize(design);
+  hi += structural + options.grid_pad_sigma * delay_sd * std::sqrt(double(lv.depth) + 1.0);
+
+  double dt = options.grid_dt;
+  std::size_t n = static_cast<std::size_t>(std::ceil((hi - lo) / dt)) + 1;
+  if (n > options.max_grid_points) {
+    n = options.max_grid_points;
+    dt = (hi - lo) / static_cast<double>(n - 1);
+  }
+  return {lo, dt, std::max<std::size_t>(n, 8)};
+}
+
+/// Folds the switching inputs' normalized arrival densities with exact
+/// independent MAX/MIN (CDF products).
+PiecewiseDensity fold_arrivals(const SwitchPattern& p,
+                               const std::vector<NodeTopDensity>& node,
+                               const std::vector<NodeId>& fanins) {
+  PiecewiseDensity acc;
+  bool first = true;
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    if (!(p.switching_mask & (1u << i))) continue;
+    const NodeTopDensity& in = node[fanins[i]];
+    const PiecewiseDensity contrib =
+        ((p.rising_mask & (1u << i)) ? in.rise : in.fall).normalized();
+    if (first) {
+      acc = contrib;
+      first = false;
+    } else {
+      acc = (p.op == SettleOp::Max) ? PiecewiseDensity::max_independent(acc, contrib)
+                                    : PiecewiseDensity::min_independent(acc, contrib);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
+                                     const netlist::DelayModel& delays,
+                                     std::span<const netlist::SourceStats> source_stats,
+                                     const SpstaOptions& options) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
+    throw std::invalid_argument("run_spsta_numeric: source stats count mismatch");
+  }
+
+  SpstaNumericResult result;
+  result.grid = choose_grid(design, delays, source_stats, options);
+  result.node.assign(design.node_count(), NodeTopDensity{});
+  for (auto& n : result.node) {
+    n.rise = PiecewiseDensity::zero(result.grid);
+    n.fall = PiecewiseDensity::zero(result.grid);
+  }
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const netlist::SourceStats& st =
+        source_stats.size() == 1 ? source_stats[0] : source_stats[i];
+    NodeTopDensity& top = result.node[sources[i]];
+    top.probs = st.probs.normalized();
+    top.rise = PiecewiseDensity::from_gaussian(st.rise_arrival, result.grid, top.probs.pr);
+    top.fall = PiecewiseDensity::from_gaussian(st.fall_arrival, result.grid, top.probs.pf);
+  }
+
+  const netlist::Levelization lv = netlist::levelize(design);
+  std::vector<FourValueProbs> fanin_probs;
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+
+    NodeTopDensity& top = result.node[id];
+    fanin_probs.clear();
+    for (NodeId f : node.fanins) fanin_probs.push_back(result.node[f].probs);
+    top.probs = sigprob::gate_four_value(node.type, fanin_probs);
+
+    if (node.fanins.empty()) continue;  // constants: zero densities stay
+
+    const std::vector<SwitchPattern> patterns =
+        enumerate_switch_patterns(node.type, fanin_probs);
+    PiecewiseDensity rise_acc = PiecewiseDensity::zero(result.grid);
+    PiecewiseDensity fall_acc = PiecewiseDensity::zero(result.grid);
+    for (const SwitchPattern& p : patterns) {
+      const PiecewiseDensity arrival = fold_arrivals(p, result.node, node.fanins);
+      if (arrival.empty()) continue;
+      (p.output_rising ? rise_acc : fall_acc).add_scaled(arrival, p.weight);
+    }
+    top.rise = PiecewiseDensity::convolve_gaussian(rise_acc, delays.delay(id, true))
+                   .resampled(result.grid);
+    top.fall = PiecewiseDensity::convolve_gaussian(fall_acc, delays.delay(id, false))
+                   .resampled(result.grid);
+  }
+  return result;
+}
+
+}  // namespace spsta::core

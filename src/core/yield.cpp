@@ -1,0 +1,58 @@
+#include "core/yield.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spsta::core {
+
+double endpoint_yield(const SpstaNumericResult& result, netlist::NodeId endpoint,
+                      double period) {
+  const NodeTopDensity& node = result.node.at(endpoint);
+  const double late_rise =
+      std::max(0.0, node.rise.mass() - node.rise.cdf_at(period));
+  const double late_fall =
+      std::max(0.0, node.fall.mass() - node.fall.cdf_at(period));
+  // Late rise and late fall are mutually exclusive per cycle (a net takes
+  // one four-value), so the late probability adds.
+  return std::clamp(1.0 - late_rise - late_fall, 0.0, 1.0);
+}
+
+double timing_yield(const netlist::Netlist& design, const SpstaNumericResult& result,
+                    double period) {
+  double yield = 1.0;
+  for (netlist::NodeId ep : design.timing_endpoints()) {
+    yield *= endpoint_yield(result, ep, period);
+  }
+  return yield;
+}
+
+std::vector<YieldPoint> yield_curve(const netlist::Netlist& design,
+                                    const SpstaNumericResult& result, double t_lo,
+                                    double t_hi, std::size_t points) {
+  std::vector<YieldPoint> curve;
+  if (points == 0) return curve;
+  curve.reserve(points);
+  const double step = points > 1 ? (t_hi - t_lo) / static_cast<double>(points - 1) : 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = t_lo + step * static_cast<double>(i);
+    curve.push_back({t, timing_yield(design, result, t)});
+  }
+  return curve;
+}
+
+double period_for_yield(const netlist::Netlist& design, const SpstaNumericResult& result,
+                        double target, double t_lo, double t_hi) {
+  if (timing_yield(design, result, t_hi) < target) return t_hi;
+  double lo = t_lo, hi = t_hi;
+  for (int iter = 0; iter < 64 && hi - lo > 1e-9; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (timing_yield(design, result, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace spsta::core

@@ -1,0 +1,49 @@
+/// \file yield.hpp
+/// Timing yield from SPSTA results (paper Sec. 3.7, point 5: the
+/// transition occurrence probability "is an integral part in estimating
+/// the probability for a chip to meet its performance requirement").
+///
+/// For one endpoint and direction, the probability of a *late* transition
+/// at clock period T is `mass - cdf(T)` of its t.o.p.; the endpoint meets
+/// timing with probability `1 - P(late)`. Circuit yield multiplies
+/// endpoints under an independence approximation (exact correlations would
+/// need the joint analysis of paper Sec. 3.5).
+
+#pragma once
+
+#include <vector>
+
+#include "core/spsta.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::core {
+
+/// P(the endpoint produces no transition later than \p period) for both
+/// directions combined, from the numeric engine's t.o.p. densities.
+[[nodiscard]] double endpoint_yield(const SpstaNumericResult& result,
+                                    netlist::NodeId endpoint, double period);
+
+/// Circuit timing yield at \p period over all timing endpoints
+/// (independence approximation). Also usable with any endpoint subset.
+[[nodiscard]] double timing_yield(const netlist::Netlist& design,
+                                  const SpstaNumericResult& result, double period);
+
+/// One point of a yield curve.
+struct YieldPoint {
+  double period = 0.0;
+  double yield = 0.0;
+};
+
+/// Samples the yield curve over [t_lo, t_hi] at \p points periods.
+[[nodiscard]] std::vector<YieldPoint> yield_curve(const netlist::Netlist& design,
+                                                  const SpstaNumericResult& result,
+                                                  double t_lo, double t_hi,
+                                                  std::size_t points);
+
+/// Smallest period meeting \p target yield (bisection over the curve
+/// range; returns t_hi if even that misses the target).
+[[nodiscard]] double period_for_yield(const netlist::Netlist& design,
+                                      const SpstaNumericResult& result, double target,
+                                      double t_lo, double t_hi);
+
+}  // namespace spsta::core

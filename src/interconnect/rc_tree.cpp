@@ -1,0 +1,135 @@
+#include "interconnect/rc_tree.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spsta::interconnect {
+
+RcTree::RcTree(std::string root_name) {
+  parent_.push_back(0);  // root is its own parent
+  r_.push_back(0.0);
+  c_.push_back(0.0);
+  name_.push_back(std::move(root_name));
+}
+
+RcNodeId RcTree::add_node(RcNodeId parent, std::string name, double r, double c) {
+  if (parent >= parent_.size()) {
+    throw std::invalid_argument("RcTree::add_node: bad parent");
+  }
+  if (r < 0.0 || c < 0.0) {
+    throw std::invalid_argument("RcTree::add_node: negative R or C");
+  }
+  const RcNodeId id = static_cast<RcNodeId>(parent_.size());
+  parent_.push_back(parent);
+  r_.push_back(r);
+  c_.push_back(c);
+  name_.push_back(std::move(name));
+  return id;
+}
+
+void RcTree::set_capacitance(RcNodeId id, double c) {
+  if (c < 0.0) throw std::invalid_argument("RcTree::set_capacitance: negative");
+  c_.at(id) = c;
+}
+
+void RcTree::set_resistance(RcNodeId id, double r) {
+  if (r < 0.0) throw std::invalid_argument("RcTree::set_resistance: negative");
+  r_.at(id) = r;
+}
+
+double RcTree::total_capacitance() const noexcept {
+  double total = 0.0;
+  for (double c : c_) total += c;
+  return total;
+}
+
+bool RcTree::on_path(RcNodeId edge, RcNodeId sink) const {
+  // The branch resistance of `edge` lies on root->sink iff edge is an
+  // ancestor-or-self of sink.
+  RcNodeId cur = sink;
+  while (cur != 0) {
+    if (cur == edge) return true;
+    cur = parent_[cur];
+  }
+  return false;
+}
+
+double RcTree::shared_resistance(RcNodeId a, RcNodeId b) const {
+  // Sum branch resistances over ancestors common to both paths.
+  double shared = 0.0;
+  RcNodeId cur = a;
+  while (cur != 0) {
+    if (on_path(cur, b)) shared += r_[cur];
+    cur = parent_[cur];
+  }
+  return shared;
+}
+
+double RcTree::elmore_delay(RcNodeId sink) const {
+  if (sink >= parent_.size()) throw std::invalid_argument("RcTree: bad sink");
+  double delay = 0.0;
+  for (RcNodeId k = 1; k < parent_.size(); ++k) {
+    if (c_[k] == 0.0) continue;
+    delay += c_[k] * shared_resistance(sink, k);
+  }
+  return delay;
+}
+
+double RcTree::second_moment(RcNodeId sink) const {
+  if (sink >= parent_.size()) throw std::invalid_argument("RcTree: bad sink");
+  // m2 = sum_k C_k * R_shared(sink, k) * T_D(k)   (standard recursion).
+  double m2 = 0.0;
+  for (RcNodeId k = 1; k < parent_.size(); ++k) {
+    if (c_[k] == 0.0) continue;
+    m2 += c_[k] * shared_resistance(sink, k) * elmore_delay(k);
+  }
+  return m2;
+}
+
+double RcTree::d2m_delay(RcNodeId sink) const {
+  const double m1 = elmore_delay(sink);
+  const double m2 = second_moment(sink);
+  if (m2 <= 0.0) return m1;
+  return M_LN2 * m1 * m1 / std::sqrt(m2);
+}
+
+RcTree::ElmoreSensitivities RcTree::elmore_sensitivities(RcNodeId sink) const {
+  ElmoreSensitivities s;
+  s.d_dr.assign(parent_.size(), 0.0);
+  s.d_dc.assign(parent_.size(), 0.0);
+  // d(T_D)/d(C_k) = R_shared(sink, k).
+  for (RcNodeId k = 1; k < parent_.size(); ++k) {
+    s.d_dc[k] = shared_resistance(sink, k);
+  }
+  // d(T_D)/d(R_e) = downstream capacitance of e, restricted to edges on
+  // the root->sink path... actually R_e contributes to every term whose
+  // node k has e on its shared path with sink, i.e. e on root->sink AND e
+  // ancestor of k: the total is the capacitance of e's subtree.
+  for (RcNodeId e = 1; e < parent_.size(); ++e) {
+    if (!on_path(e, sink)) continue;
+    double downstream = 0.0;
+    for (RcNodeId k = 1; k < parent_.size(); ++k) {
+      if (on_path(e, k)) downstream += c_[k];
+    }
+    s.d_dr[e] = downstream;
+  }
+  return s;
+}
+
+RcTree uniform_wire(double r_total, double c_total, std::size_t sections,
+                    double load_capacitance) {
+  if (sections == 0) throw std::invalid_argument("uniform_wire: zero sections");
+  RcTree tree("drv");
+  const double r = r_total / static_cast<double>(sections);
+  const double c = c_total / static_cast<double>(sections);
+  RcNodeId prev = 0;
+  for (std::size_t i = 0; i < sections; ++i) {
+    prev = tree.add_node(prev, "n" + std::to_string(i + 1), r, c);
+  }
+  if (load_capacitance > 0.0) {
+    tree.set_capacitance(prev, tree.capacitance(prev) + load_capacitance);
+  }
+  return tree;
+}
+
+}  // namespace spsta::interconnect

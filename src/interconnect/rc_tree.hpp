@@ -1,0 +1,80 @@
+/// \file rc_tree.hpp
+/// RC interconnect trees and moment-based delay metrics: Elmore delay
+/// (first moment of the impulse response) and the second moment behind
+/// D2M-style metrics — the interconnect analysis layer the paper's
+/// background builds on (refs [9, 10, 17]: variational model order
+/// reduction and interval-valued interconnect modeling).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spsta::interconnect {
+
+/// Index of a node within its tree; 0 is always the driver (root).
+using RcNodeId = std::uint32_t;
+
+/// A distributed RC tree: every node except the root has a resistance to
+/// its parent and a grounded capacitance.
+class RcTree {
+ public:
+  /// Creates the tree with a root (driver) node named \p root_name.
+  explicit RcTree(std::string root_name = "drv");
+
+  /// Adds a node under \p parent with resistance \p r (ohms) to the
+  /// parent and capacitance \p c (farads) to ground. Negative values are
+  /// rejected.
+  RcNodeId add_node(RcNodeId parent, std::string name, double r, double c);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return parent_.size(); }
+  [[nodiscard]] RcNodeId parent(RcNodeId id) const { return parent_.at(id); }
+  [[nodiscard]] double resistance(RcNodeId id) const { return r_.at(id); }
+  [[nodiscard]] double capacitance(RcNodeId id) const { return c_.at(id); }
+  [[nodiscard]] const std::string& name(RcNodeId id) const { return name_.at(id); }
+  void set_capacitance(RcNodeId id, double c);
+  void set_resistance(RcNodeId id, double r);
+
+  /// Total capacitance of the tree (the load the driver sees at DC).
+  [[nodiscard]] double total_capacitance() const noexcept;
+
+  /// Elmore delay (first moment m1 of the impulse response) at \p sink:
+  ///   T_D(sink) = sum_k C_k * R(path(root->sink) intersect path(root->k)).
+  [[nodiscard]] double elmore_delay(RcNodeId sink) const;
+
+  /// Second moment m2 at \p sink (for D2M / two-pole metrics):
+  ///   m2(sink) = sum_k C_k * R_shared(sink,k) * T_D(k).
+  [[nodiscard]] double second_moment(RcNodeId sink) const;
+
+  /// D2M delay metric: ln(2) * m1^2 / sqrt(m2) (Alpert et al.) — the
+  /// two-moment 50%-delay estimate that removes Elmore's far-sink
+  /// pessimism (exactly ln2 * RC for a single lump, matching the true
+  /// single-pole 50% delay).
+  [[nodiscard]] double d2m_delay(RcNodeId sink) const;
+
+  /// Per-node sensitivity of the sink's Elmore delay:
+  /// d(T_D)/d(R_e) and d(T_D)/d(C_k), for variational analysis.
+  struct ElmoreSensitivities {
+    std::vector<double> d_dr;  ///< indexed by node (its branch resistance)
+    std::vector<double> d_dc;  ///< indexed by node (its capacitance)
+  };
+  [[nodiscard]] ElmoreSensitivities elmore_sensitivities(RcNodeId sink) const;
+
+ private:
+  /// Shared path resistance between root->a and root->b.
+  [[nodiscard]] double shared_resistance(RcNodeId a, RcNodeId b) const;
+  [[nodiscard]] bool on_path(RcNodeId edge, RcNodeId sink) const;
+
+  std::vector<RcNodeId> parent_;
+  std::vector<double> r_;
+  std::vector<double> c_;
+  std::vector<std::string> name_;
+};
+
+/// A uniform wire segmented into an n-section RC ladder (pi-ish model):
+/// total resistance \p r_total and capacitance \p c_total split evenly.
+[[nodiscard]] RcTree uniform_wire(double r_total, double c_total, std::size_t sections,
+                                  double load_capacitance = 0.0);
+
+}  // namespace spsta::interconnect

@@ -1,0 +1,27 @@
+#include "interconnect/variational_elmore.hpp"
+
+#include <vector>
+
+namespace spsta::interconnect {
+
+variational::CanonicalForm variational_elmore(const RcTree& tree, RcNodeId sink,
+                                              const WireVariation& variation) {
+  const double nominal = tree.elmore_delay(sink);
+  const RcTree::ElmoreSensitivities sens = tree.elmore_sensitivities(sink);
+
+  const std::size_t num_params = variation.per_segment ? tree.node_count() : 1;
+  std::vector<double> s(num_params, 0.0);
+  for (RcNodeId i = 1; i < tree.node_count(); ++i) {
+    // dT/dW_i = dT/dR_i * R0_i * r_sens + dT/dC_i * C0_i * c_sens.
+    const double dt_dw = sens.d_dr[i] * tree.resistance(i) * variation.r_sensitivity +
+                         sens.d_dc[i] * tree.capacitance(i) * variation.c_sensitivity;
+    if (variation.per_segment) {
+      s[i] += dt_dw;
+    } else {
+      s[0] += dt_dw;
+    }
+  }
+  return {nominal, std::move(s), 0.0};
+}
+
+}  // namespace spsta::interconnect

@@ -1,0 +1,42 @@
+/// \file variational_elmore.hpp
+/// Variational interconnect delay (paper background refs [9, 10]): wire
+/// width/thickness variations perturb each segment's R and C; first-order
+/// Elmore sensitivities turn them into a canonical form over N(0,1)
+/// parameters, ready for the same machinery as gate-delay variation
+/// (sensitivity-based analysis, ref [3]).
+///
+/// Geometry model per segment i with unit-variance parameter dW:
+///   R_i = R0_i * (1 + r_sensitivity * dW_i)
+///   C_i = C0_i * (1 + c_sensitivity * dW_i)
+/// A wider wire lowers R and raises C, so r_sensitivity and c_sensitivity
+/// typically carry opposite signs.
+
+#pragma once
+
+#include "interconnect/rc_tree.hpp"
+#include "variational/canonical.hpp"
+
+namespace spsta::interconnect {
+
+/// Variation model of a routed wire.
+struct WireVariation {
+  /// Relative R change per sigma of the width parameter (often < 0: wider
+  /// means less resistive).
+  double r_sensitivity = -0.1;
+  /// Relative C change per sigma (wider means more capacitive).
+  double c_sensitivity = 0.15;
+  /// true: every tree segment gets its own independent parameter
+  /// (local/random variation); false: one shared parameter for the whole
+  /// wire (systematic width bias).
+  bool per_segment = false;
+};
+
+/// First-order canonical form of the Elmore delay at \p sink under
+/// \p variation. The parameter space has one entry (shared) or
+/// tree.node_count() entries (per-segment, parameter i for node i;
+/// the root's entry stays zero).
+[[nodiscard]] variational::CanonicalForm variational_elmore(const RcTree& tree,
+                                                            RcNodeId sink,
+                                                            const WireVariation& variation);
+
+}  // namespace spsta::interconnect

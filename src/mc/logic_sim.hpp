@@ -1,0 +1,68 @@
+/// \file logic_sim.hpp
+/// One run of the paper's four-value logic-timing simulator (Sec. 4):
+/// values in {0, 1, r, f} with arrival times on transitions, propagated
+/// through the levelized netlist with glitch filtering.
+///
+/// Timing semantics: a gate's switching inputs partition time into
+/// intervals; the output's transition time is the instant after which the
+/// output stays at its final value (its *last* change), plus the gate
+/// delay. For an AND gate this reduces to Table 1's rules — MAX over
+/// rising inputs for an output rise, MIN over falling inputs for an output
+/// fall — and it generalizes to every gate type, including XOR.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/four_value.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::mc {
+
+/// Value of one net during a run. `time` is meaningful only when `value`
+/// is Rise or Fall.
+struct SimValue {
+  netlist::FourValue value = netlist::FourValue::Zero;
+  double time = 0.0;
+};
+
+/// Per-run observability extras.
+struct SimRunStats {
+  /// Gates whose output pulsed (changed and returned) — the glitches the
+  /// four-value logic filters out.
+  std::size_t glitching_gates = 0;
+  /// Total filtered output changes beyond the settled transition.
+  std::size_t filtered_changes = 0;
+};
+
+/// Evaluates one gate: four-value output plus settled transition time
+/// (before gate delay). Exposed for unit tests of the Table 1 semantics.
+/// \p raw_changes (optional) receives the number of output value changes
+/// *before* glitch filtering — the edge count transition-density power
+/// estimation predicts.
+[[nodiscard]] SimValue eval_gate_timed(netlist::GateType type,
+                                       std::span<const SimValue> inputs,
+                                       SimRunStats* stats = nullptr,
+                                       std::size_t* raw_changes = nullptr);
+
+/// Simulates one vector. \p source_values follows
+/// design.timing_sources() order; \p gate_delays supplies one realized
+/// delay per node id. Returns a value per node id. \p raw_changes
+/// (optional, size node_count) receives per-node pre-filter edge counts.
+[[nodiscard]] std::vector<SimValue> simulate_once(
+    const netlist::Netlist& design, const netlist::Levelization& levels,
+    std::span<const SimValue> source_values, std::span<const double> gate_delays,
+    SimRunStats* stats = nullptr, std::vector<std::uint32_t>* raw_changes = nullptr);
+
+/// Direction-aware variant: a gate whose output rises uses
+/// \p rise_delays, a falling output uses \p fall_delays.
+[[nodiscard]] std::vector<SimValue> simulate_once(
+    const netlist::Netlist& design, const netlist::Levelization& levels,
+    std::span<const SimValue> source_values, std::span<const double> rise_delays,
+    std::span<const double> fall_delays, SimRunStats* stats = nullptr,
+    std::vector<std::uint32_t>* raw_changes = nullptr);
+
+}  // namespace spsta::mc

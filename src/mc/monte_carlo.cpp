@@ -1,0 +1,161 @@
+#include "mc/monte_carlo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace spsta::mc {
+
+using netlist::FourValue;
+using netlist::NodeId;
+
+netlist::FourValueProbs NodeEstimate::probs() const noexcept {
+  const double total = static_cast<double>(count[0] + count[1] + count[2] + count[3]);
+  if (total <= 0.0) return {1.0, 0.0, 0.0, 0.0};
+  return {static_cast<double>(count[static_cast<int>(FourValue::Zero)]) / total,
+          static_cast<double>(count[static_cast<int>(FourValue::One)]) / total,
+          static_cast<double>(count[static_cast<int>(FourValue::Rise)]) / total,
+          static_cast<double>(count[static_cast<int>(FourValue::Fall)]) / total};
+}
+
+double NodeEstimate::rise_probability() const noexcept {
+  const double total = static_cast<double>(count[0] + count[1] + count[2] + count[3]);
+  return total <= 0.0
+             ? 0.0
+             : static_cast<double>(count[static_cast<int>(FourValue::Rise)]) / total;
+}
+
+double NodeEstimate::fall_probability() const noexcept {
+  const double total = static_cast<double>(count[0] + count[1] + count[2] + count[3]);
+  return total <= 0.0
+             ? 0.0
+             : static_cast<double>(count[static_cast<int>(FourValue::Fall)]) / total;
+}
+
+double NodeEstimate::raw_edge_rate() const noexcept {
+  const double total = static_cast<double>(count[0] + count[1] + count[2] + count[3]);
+  return total <= 0.0 ? 0.0 : static_cast<double>(raw_edges) / total;
+}
+
+double MonteCarloResult::empirical_yield(double period) const {
+  if (runs == 0) return 1.0;
+  const auto it = std::upper_bound(circuit_max_samples.begin(),
+                                   circuit_max_samples.end(), period);
+  const auto met = static_cast<std::uint64_t>(it - circuit_max_samples.begin());
+  return static_cast<double>(met + quiet_runs) / static_cast<double>(runs);
+}
+
+MonteCarloResult run_monte_carlo(const netlist::Netlist& design,
+                                 const netlist::DelayModel& delays,
+                                 std::span<const netlist::SourceStats> source_stats,
+                                 const MonteCarloConfig& config) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
+    throw std::invalid_argument("run_monte_carlo: source stats count mismatch");
+  }
+  const netlist::Levelization levels = netlist::levelize(design);
+  const std::vector<NodeId> endpoints = design.timing_endpoints();
+
+  MonteCarloResult result;
+  result.node.resize(design.node_count());
+  result.critical_count.assign(design.node_count(), 0);
+  result.runs = config.runs;
+  if (config.histogram_node) {
+    result.histogram.emplace(config.histogram_lo, config.histogram_hi,
+                             config.histogram_bins);
+  }
+
+  stats::Xoshiro256 rng(config.seed);
+  std::vector<SimValue> source_values(sources.size());
+  std::vector<double> rise_delays(design.node_count());
+  std::vector<double> fall_delays(design.node_count());
+  bool delays_fixed = true;
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    rise_delays[id] = delays.delay(id, true).mean;
+    fall_delays[id] = delays.delay(id, false).mean;
+    if (delays.delay(id, true).var > 0.0 || delays.delay(id, false).var > 0.0) {
+      delays_fixed = false;
+    }
+  }
+
+  for (std::uint64_t run = 0; run < config.runs; ++run) {
+    // Draw source values and transition times.
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const netlist::SourceStats& st =
+          source_stats.size() == 1 ? source_stats[0] : source_stats[i];
+      const std::array<double, 4> weights{st.probs.p0, st.probs.p1, st.probs.pr,
+                                          st.probs.pf};
+      static constexpr std::array<FourValue, 4> values{FourValue::Zero, FourValue::One,
+                                                       FourValue::Rise, FourValue::Fall};
+      const FourValue v = values[rng.categorical(weights)];
+      SimValue sv;
+      sv.value = v;
+      if (v == FourValue::Rise) {
+        sv.time = rng.normal(st.rise_arrival.mean, st.rise_arrival.stddev());
+      } else if (v == FourValue::Fall) {
+        sv.time = rng.normal(st.fall_arrival.mean, st.fall_arrival.stddev());
+      }
+      source_values[i] = sv;
+    }
+    // Re-sample variational gate delays (per direction; only one applies
+    // per gate per cycle, so independent draws are fine).
+    if (!delays_fixed) {
+      for (NodeId id = 0; id < design.node_count(); ++id) {
+        const stats::Gaussian& dr = delays.delay(id, true);
+        const stats::Gaussian& df = delays.delay(id, false);
+        rise_delays[id] = dr.var > 0.0 ? rng.normal(dr.mean, dr.stddev()) : dr.mean;
+        fall_delays[id] = df.var > 0.0 ? rng.normal(df.mean, df.stddev()) : df.mean;
+      }
+    }
+
+    SimRunStats run_stats;
+    std::vector<std::uint32_t> raw_changes;
+    const std::vector<SimValue> value =
+        simulate_once(design, levels, source_values, rise_delays, fall_delays,
+                      &run_stats, &raw_changes);
+    result.glitching_gates += run_stats.glitching_gates;
+
+    for (NodeId id = 0; id < design.node_count(); ++id) {
+      NodeEstimate& est = result.node[id];
+      ++est.count[static_cast<int>(value[id].value)];
+      est.raw_edges += raw_changes[id];
+      if (value[id].value == FourValue::Rise) {
+        est.rise_time.add(value[id].time);
+      } else if (value[id].value == FourValue::Fall) {
+        est.fall_time.add(value[id].time);
+      }
+    }
+    if (config.histogram_node && result.histogram) {
+      const SimValue& v = value[*config.histogram_node];
+      if (v.value == FourValue::Rise) result.histogram->add(v.time);
+    }
+    if (config.track_circuit_max) {
+      bool any = false;
+      double latest = 0.0;
+      NodeId latest_ep = 0;
+      for (NodeId ep : endpoints) {
+        const SimValue& v = value[ep];
+        if (v.value == FourValue::Rise || v.value == FourValue::Fall) {
+          if (!any || v.time > latest) {
+            latest = v.time;
+            latest_ep = ep;
+          }
+          any = true;
+        }
+      }
+      if (any) {
+        result.circuit_max.add(latest);
+        result.circuit_max_samples.push_back(latest);
+        ++result.critical_count[latest_ep];
+      } else {
+        ++result.quiet_runs;
+      }
+    }
+  }
+  std::sort(result.circuit_max_samples.begin(), result.circuit_max_samples.end());
+  return result;
+}
+
+}  // namespace spsta::mc

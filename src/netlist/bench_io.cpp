@@ -1,0 +1,188 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::netlist {
+
+BenchParseError::BenchParseError(std::size_t line, const std::string& message)
+    : std::runtime_error("bench:" + std::to_string(line) + ": " + message), line_(line) {}
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+// One parsed statement before netlist construction.
+struct Statement {
+  std::size_t line = 0;
+  enum class Kind { Input, Output, Gate } kind = Kind::Gate;
+  std::string target;
+  GateType type = GateType::Input;
+  std::vector<std::string> args;
+};
+
+std::vector<std::string> split_args(std::string_view inside, std::size_t line) {
+  std::vector<std::string> args;
+  std::size_t start = 0;
+  while (start <= inside.size()) {
+    const std::size_t comma = inside.find(',', start);
+    const std::string_view piece =
+        trim(inside.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                                  : comma - start));
+    if (piece.empty()) {
+      if (!(comma == std::string_view::npos && args.empty() && trim(inside).empty())) {
+        throw BenchParseError(line, "empty signal name in argument list");
+      }
+      break;
+    }
+    args.emplace_back(piece);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return args;
+}
+
+// Parses "HEAD(arg, arg, ...)" returning {HEAD, args}.
+std::pair<std::string, std::vector<std::string>> parse_call(std::string_view s,
+                                                            std::size_t line) {
+  const std::size_t open = s.find('(');
+  const std::size_t close = s.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    throw BenchParseError(line, "expected '<name>(<args>)'");
+  }
+  if (!trim(s.substr(close + 1)).empty()) {
+    throw BenchParseError(line, "trailing characters after ')'");
+  }
+  const std::string head(trim(s.substr(0, open)));
+  if (head.empty()) throw BenchParseError(line, "missing gate/keyword name");
+  return {head, split_args(s.substr(open + 1, close - open - 1), line)};
+}
+
+}  // namespace
+
+Netlist parse_bench(std::string_view text, std::string name) {
+  std::vector<Statement> statements;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    Statement st;
+    st.line = line_no;
+    if (eq == std::string_view::npos) {
+      auto [head, args] = parse_call(line, line_no);
+      if (args.size() != 1) {
+        throw BenchParseError(line_no, head + " takes exactly one signal");
+      }
+      if (head == "INPUT" || head == "input") {
+        st.kind = Statement::Kind::Input;
+      } else if (head == "OUTPUT" || head == "output") {
+        st.kind = Statement::Kind::Output;
+      } else {
+        throw BenchParseError(line_no, "unknown declaration '" + head + "'");
+      }
+      st.target = args[0];
+    } else {
+      st.kind = Statement::Kind::Gate;
+      st.target = std::string(trim(line.substr(0, eq)));
+      if (st.target.empty()) throw BenchParseError(line_no, "missing gate output name");
+      auto [head, args] = parse_call(line.substr(eq + 1), line_no);
+      const auto type = parse_gate_type(head);
+      if (!type || *type == GateType::Input) {
+        throw BenchParseError(line_no, "unknown gate type '" + head + "'");
+      }
+      st.type = *type;
+      st.args = std::move(args);
+    }
+    statements.push_back(std::move(st));
+  }
+
+  // Pass 1: declare every defined signal.
+  Netlist design(std::move(name));
+  for (const Statement& st : statements) {
+    if (st.kind == Statement::Kind::Output) continue;
+    const GateType type = st.kind == Statement::Kind::Input ? GateType::Input : st.type;
+    if (design.find(st.target) != kInvalidNode) {
+      throw BenchParseError(st.line, "signal '" + st.target + "' defined twice");
+    }
+    design.declare(type, st.target);
+  }
+  // Pass 2: connect gates and mark outputs.
+  for (const Statement& st : statements) {
+    if (st.kind == Statement::Kind::Input) continue;
+    const NodeId target = design.find(st.target);
+    if (target == kInvalidNode) {
+      throw BenchParseError(st.line, "output '" + st.target + "' references undefined signal");
+    }
+    if (st.kind == Statement::Kind::Output) {
+      design.mark_output(target);
+      continue;
+    }
+    std::vector<NodeId> fanins;
+    fanins.reserve(st.args.size());
+    for (const std::string& arg : st.args) {
+      const NodeId f = design.find(arg);
+      if (f == kInvalidNode) {
+        throw BenchParseError(st.line, "undefined signal '" + arg + "'");
+      }
+      fanins.push_back(f);
+    }
+    try {
+      design.connect(target, std::move(fanins));
+    } catch (const std::invalid_argument& e) {
+      throw BenchParseError(st.line, e.what());
+    }
+  }
+  design.validate();
+  return design;
+}
+
+Netlist parse_bench_stream(std::istream& in, std::string name) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_bench(buffer.str(), std::move(name));
+}
+
+std::string write_bench(const Netlist& design) {
+  std::ostringstream out;
+  out << "# " << design.name() << " — written by spsta\n";
+  for (NodeId id : design.primary_inputs()) {
+    out << "INPUT(" << design.node(id).name << ")\n";
+  }
+  for (NodeId id : design.primary_outputs()) {
+    out << "OUTPUT(" << design.node(id).name << ")\n";
+  }
+  const Levelization lv = levelize(design);
+  for (NodeId id : lv.order) {
+    const Node& n = design.node(id);
+    if (n.type == GateType::Input) continue;
+    out << n.name << " = " << to_string(n.type) << "(";
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << design.node(n.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,46 @@
+/// \file bench_io.hpp
+/// Reader and writer for the ISCAS'89 .bench netlist format:
+///
+///   # comment
+///   INPUT(G0)
+///   OUTPUT(G17)
+///   G10 = DFF(G14)
+///   G11 = NAND(G0, G10)
+///
+/// Forward references are allowed (a gate may use a signal defined later),
+/// as in the published benchmark files.
+
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// Error thrown by the parser; carries the 1-based line number.
+class BenchParseError : public std::runtime_error {
+ public:
+  BenchParseError(std::size_t line, const std::string& message);
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses .bench text. \p name becomes the netlist name.
+/// Throws BenchParseError on malformed input (unknown gate type, duplicate
+/// definition, undefined signal, bad syntax).
+[[nodiscard]] Netlist parse_bench(std::string_view text, std::string name = "bench");
+
+/// Parses a .bench file from a stream.
+[[nodiscard]] Netlist parse_bench_stream(std::istream& in, std::string name = "bench");
+
+/// Serializes \p design to .bench text (INPUTs, OUTPUTs, then gates in
+/// topological order). parse_bench(write_bench(n)) reproduces the design.
+[[nodiscard]] std::string write_bench(const Netlist& design);
+
+}  // namespace spsta::netlist

@@ -1,0 +1,97 @@
+#include "netlist/cell_library.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace spsta::netlist {
+
+CellLibraryParseError::CellLibraryParseError(std::size_t line, const std::string& message)
+    : std::runtime_error("celllib:" + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+CellLibrary CellLibrary::parse(std::string_view text) {
+  CellLibrary lib;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+
+    std::istringstream in{std::string(raw)};
+    std::string name;
+    if (!(in >> name)) continue;  // blank line
+
+    CellTiming t;
+    if (!(in >> t.mean >> t.sigma >> t.load_coeff)) {
+      throw CellLibraryParseError(line_no,
+                                  "expected '<type> <mean> <sigma> <load_coeff>'");
+    }
+    std::string extra;
+    if (in >> extra) {
+      throw CellLibraryParseError(line_no, "trailing token '" + extra + "'");
+    }
+    if (t.mean < 0.0 || t.sigma < 0.0) {
+      throw CellLibraryParseError(line_no, "negative delay parameters");
+    }
+
+    if (name == "default" || name == "DEFAULT") {
+      lib.default_ = t;
+      continue;
+    }
+    const auto type = parse_gate_type(name);
+    if (!type || *type == GateType::Input) {
+      throw CellLibraryParseError(line_no, "unknown cell type '" + name + "'");
+    }
+    lib.entries_[static_cast<std::size_t>(*type)] = t;
+  }
+  return lib;
+}
+
+std::optional<CellTiming> CellLibrary::timing(GateType type) const {
+  return entries_[static_cast<std::size_t>(type)];
+}
+
+void CellLibrary::set_timing(GateType type, CellTiming t) {
+  entries_[static_cast<std::size_t>(type)] = t;
+}
+
+stats::Gaussian CellLibrary::delay_of(const Netlist& design, NodeId id) const {
+  const Node& node = design.node(id);
+  if (!is_combinational(node.type) || node.type == GateType::Const0 ||
+      node.type == GateType::Const1) {
+    return {0.0, 0.0};
+  }
+  const CellTiming t = entries_[static_cast<std::size_t>(node.type)].value_or(default_);
+  const double load = static_cast<double>(node.fanouts.size());
+  return {t.mean + t.load_coeff * load, t.sigma * t.sigma};
+}
+
+DelayModel CellLibrary::apply(const Netlist& design) const {
+  DelayModel model(design);
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    model.set_delay(id, delay_of(design, id));
+  }
+  return model;
+}
+
+std::string CellLibrary::to_text() const {
+  std::ostringstream out;
+  out << "# type mean sigma load_coeff\n";
+  for (std::size_t i = 0; i < kTypes; ++i) {
+    if (!entries_[i]) continue;
+    const CellTiming& t = *entries_[i];
+    out << to_string(static_cast<GateType>(i)) << ' ' << t.mean << ' ' << t.sigma << ' '
+        << t.load_coeff << '\n';
+  }
+  out << "default " << default_.mean << ' ' << default_.sigma << ' '
+      << default_.load_coeff << '\n';
+  return out.str();
+}
+
+}  // namespace spsta::netlist

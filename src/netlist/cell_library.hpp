@@ -1,0 +1,83 @@
+/// \file cell_library.hpp
+/// A minimal cell timing library: per-gate-type delay distributions with a
+/// linear fanout-load term — the Liberty-style ingredient that turns the
+/// paper's unit-delay experiment into a technology-aware one.
+///
+/// Text format (one entry per line, '#' comments):
+///
+///   # type   mean   sigma   load_coeff
+///   NAND     0.90   0.05    0.08
+///   NOT      0.45   0.02    0.05
+///   default  1.00   0.00    0.00
+///
+/// A gate's delay is N(mean + load_coeff * fanout_count, sigma^2); types
+/// without an entry use the `default` row (unit deterministic delay if no
+/// default is given either).
+
+#pragma once
+
+#include <array>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// Error thrown by the library parser; carries the 1-based line number.
+class CellLibraryParseError : public std::runtime_error {
+ public:
+  CellLibraryParseError(std::size_t line, const std::string& message);
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Timing of one cell type.
+struct CellTiming {
+  double mean = 1.0;
+  double sigma = 0.0;
+  double load_coeff = 0.0;
+
+  friend bool operator==(const CellTiming&, const CellTiming&) = default;
+};
+
+/// Parsed cell library.
+class CellLibrary {
+ public:
+  /// Empty library: everything falls back to the default timing.
+  CellLibrary() = default;
+
+  /// Parses the text format above.
+  [[nodiscard]] static CellLibrary parse(std::string_view text);
+
+  /// Timing entry for a gate type; nullopt when only the default applies.
+  [[nodiscard]] std::optional<CellTiming> timing(GateType type) const;
+  /// The default row (unit deterministic delay unless parsed otherwise).
+  [[nodiscard]] const CellTiming& default_timing() const noexcept { return default_; }
+
+  void set_timing(GateType type, CellTiming t);
+  void set_default(CellTiming t) { default_ = t; }
+
+  /// Effective delay distribution of one node in \p design: sources and
+  /// constants get zero delay, gates get their (or the default) entry
+  /// with the load term applied.
+  [[nodiscard]] stats::Gaussian delay_of(const Netlist& design, NodeId id) const;
+
+  /// Builds a full DelayModel for \p design.
+  [[nodiscard]] DelayModel apply(const Netlist& design) const;
+
+  /// Serializes back to the text format (parse round-trips).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  static constexpr std::size_t kTypes = static_cast<std::size_t>(GateType::Dff) + 1;
+  std::array<std::optional<CellTiming>, kTypes> entries_{};
+  CellTiming default_{1.0, 0.0, 0.0};
+};
+
+}  // namespace spsta::netlist

@@ -1,0 +1,38 @@
+#include "netlist/delay_model.hpp"
+
+#include <algorithm>
+
+namespace spsta::netlist {
+
+DelayModel DelayModel::unit(const Netlist& design) {
+  DelayModel m(design);
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    const GateType t = design.node(id).type;
+    if (is_combinational(t) && t != GateType::Const0 && t != GateType::Const1) {
+      m.delay_[id] = {1.0, 0.0};
+    }
+  }
+  return m;
+}
+
+DelayModel DelayModel::gaussian(const Netlist& design, double mean, double stddev) {
+  DelayModel m(design);
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    const GateType t = design.node(id).type;
+    if (is_combinational(t) && t != GateType::Const0 && t != GateType::Const1) {
+      m.delay_[id] = {mean, stddev * stddev};
+    }
+  }
+  return m;
+}
+
+std::vector<double> DelayModel::means() const {
+  std::vector<double> out(delay_.size());
+  for (std::size_t i = 0; i < delay_.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    out[i] = std::max(delay(id, true).mean, delay(id, false).mean);
+  }
+  return out;
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,73 @@
+/// \file delay_model.hpp
+/// Per-gate delay distributions shared by every timing engine. The paper's
+/// experiment uses deterministic unit gate delays and zero net delays; the
+/// model also carries Gaussian per-gate delays so process variation can be
+/// layered on (library feature + ablation benches).
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stats/gaussian.hpp"
+
+namespace spsta::netlist {
+
+/// One delay distribution per node. Sources (inputs, DFF outputs) and
+/// constants have zero delay; combinational gates have the assigned
+/// distribution (var == 0 means deterministic).
+///
+/// Real cells have different rise and fall delays; per-direction overrides
+/// are optional and fall back to the common delay. Direction refers to the
+/// *output* transition the gate produces.
+class DelayModel {
+ public:
+  /// Zero delay everywhere.
+  explicit DelayModel(const Netlist& design)
+      : delay_(design.node_count(), stats::Gaussian{0.0, 0.0}),
+        rise_(design.node_count()),
+        fall_(design.node_count()) {}
+
+  /// The paper's model: unit deterministic delay per combinational gate.
+  [[nodiscard]] static DelayModel unit(const Netlist& design);
+
+  /// Uniform Gaussian delay for every combinational gate.
+  [[nodiscard]] static DelayModel gaussian(const Netlist& design, double mean,
+                                           double stddev);
+
+  /// Common (direction-independent) delay.
+  [[nodiscard]] const stats::Gaussian& delay(NodeId id) const { return delay_.at(id); }
+  /// Delay for the given output transition direction: the per-direction
+  /// override when set, else the common delay.
+  [[nodiscard]] const stats::Gaussian& delay(NodeId id, bool rising) const {
+    const auto& dir = rising ? rise_.at(id) : fall_.at(id);
+    return dir ? *dir : delay_.at(id);
+  }
+  /// True when the node carries distinct rise/fall delays.
+  [[nodiscard]] bool is_directional(NodeId id) const {
+    return rise_.at(id).has_value() || fall_.at(id).has_value();
+  }
+
+  /// Sets the common delay (and clears any per-direction overrides).
+  void set_delay(NodeId id, stats::Gaussian d) {
+    delay_.at(id) = d;
+    rise_.at(id).reset();
+    fall_.at(id).reset();
+  }
+  void set_rise_delay(NodeId id, stats::Gaussian d) { rise_.at(id) = d; }
+  void set_fall_delay(NodeId id, stats::Gaussian d) { fall_.at(id) = d; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return delay_.size(); }
+
+  /// Mean delays as a plain vector (for structural critical-path search);
+  /// directional nodes report the worse (larger) direction.
+  [[nodiscard]] std::vector<double> means() const;
+
+ private:
+  std::vector<stats::Gaussian> delay_;
+  std::vector<std::optional<stats::Gaussian>> rise_;
+  std::vector<std::optional<stats::Gaussian>> fall_;
+};
+
+}  // namespace spsta::netlist

@@ -1,0 +1,64 @@
+#include "netlist/dot_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spsta::netlist {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Netlist& design, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(design.name()) << "\" {\n";
+  if (options.left_to_right) out << "  rankdir=LR;\n";
+  out << "  node [fontsize=10];\n";
+
+  const auto highlighted = [&](NodeId id) {
+    return std::find(options.highlight.begin(), options.highlight.end(), id) !=
+           options.highlight.end();
+  };
+
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    const Node& n = design.node(id);
+    out << "  n" << id << " [label=\"" << escape(n.name);
+    if (n.type != GateType::Input) {
+      out << "\\n" << to_string(n.type);
+    }
+    if (options.annotate) {
+      const std::string extra = options.annotate(id);
+      if (!extra.empty()) out << "\\n" << escape(extra);
+    }
+    out << "\"";
+    switch (n.type) {
+      case GateType::Input: out << ", shape=box"; break;
+      case GateType::Dff: out << ", shape=doublecircle"; break;
+      default: out << ", shape=ellipse"; break;
+    }
+    if (highlighted(id)) out << ", color=red, penwidth=2";
+    const auto& outs = design.primary_outputs();
+    if (std::find(outs.begin(), outs.end(), id) != outs.end()) {
+      out << ", peripheries=2";
+    }
+    out << "];\n";
+  }
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    for (NodeId f : design.node(id).fanins) {
+      out << "  n" << f << " -> n" << id;
+      if (highlighted(id) && highlighted(f)) out << " [color=red, penwidth=2]";
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,30 @@
+/// \file dot_export.hpp
+/// Graphviz DOT export of netlists, with optional per-node annotations
+/// (levels, probabilities, slack...) and critical-path highlighting —
+/// the debugging view every netlist tool grows eventually.
+
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  /// Extra label text per node (appended under the name), may be empty.
+  std::function<std::string(NodeId)> annotate;
+  /// Nodes to highlight (e.g. a critical path); drawn bold red.
+  std::span<const NodeId> highlight;
+  /// Rank inputs on the left (rankdir=LR).
+  bool left_to_right = true;
+};
+
+/// Renders \p design as a DOT digraph. Inputs are boxes, DFFs are
+/// double-circles, gates are ellipses labeled with their type.
+[[nodiscard]] std::string to_dot(const Netlist& design, const DotOptions& options = {});
+
+}  // namespace spsta::netlist

@@ -1,0 +1,93 @@
+#include "netlist/four_value.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace spsta::netlist {
+
+std::string_view to_string(FourValue v) noexcept {
+  switch (v) {
+    case FourValue::Zero: return "0";
+    case FourValue::One: return "1";
+    case FourValue::Rise: return "r";
+    case FourValue::Fall: return "f";
+  }
+  return "?";
+}
+
+bool initial_value(FourValue v) noexcept {
+  return v == FourValue::One || v == FourValue::Fall;
+}
+
+bool final_value(FourValue v) noexcept {
+  return v == FourValue::One || v == FourValue::Rise;
+}
+
+FourValue from_initial_final(bool initial, bool final_) noexcept {
+  if (initial) return final_ ? FourValue::One : FourValue::Fall;
+  return final_ ? FourValue::Rise : FourValue::Zero;
+}
+
+FourValue eval_four_value(GateType type, std::span<const FourValue> inputs) noexcept {
+  // Evaluate the Boolean gate on the initial and on the final input values;
+  // equal results collapse to a constant (glitch filtering).
+  constexpr std::size_t kStackFanin = 64;
+  bool ini_arr[kStackFanin];
+  bool fin_arr[kStackFanin];
+  const std::size_t n = inputs.size();
+  bool* ini = ini_arr;
+  bool* fin = fin_arr;
+  std::vector<std::uint8_t> big;  // only for gates wider than kStackFanin
+  if (n > kStackFanin) {
+    static_assert(sizeof(bool) == 1);
+    big.resize(2 * n);
+    ini = reinterpret_cast<bool*>(big.data());
+    fin = reinterpret_cast<bool*>(big.data() + n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ini[i] = initial_value(inputs[i]);
+    fin[i] = final_value(inputs[i]);
+  }
+  const bool out_initial = eval_gate(type, std::span<const bool>(ini, n));
+  const bool out_final = eval_gate(type, std::span<const bool>(fin, n));
+  return from_initial_final(out_initial, out_final);
+}
+
+double FourValueProbs::prob(FourValue v) const noexcept {
+  switch (v) {
+    case FourValue::Zero: return p0;
+    case FourValue::One: return p1;
+    case FourValue::Rise: return pr;
+    case FourValue::Fall: return pf;
+  }
+  return 0.0;
+}
+
+bool FourValueProbs::is_valid(double eps) const noexcept {
+  const auto in_range = [eps](double p) { return p >= -eps && p <= 1.0 + eps; };
+  return in_range(p0) && in_range(p1) && in_range(pr) && in_range(pf) &&
+         std::abs(p0 + p1 + pr + pf - 1.0) <= eps;
+}
+
+FourValueProbs FourValueProbs::normalized() const noexcept {
+  FourValueProbs out{std::max(p0, 0.0), std::max(p1, 0.0), std::max(pr, 0.0),
+                     std::max(pf, 0.0)};
+  const double sum = out.p0 + out.p1 + out.pr + out.pf;
+  if (sum <= 0.0) return {0.25, 0.25, 0.25, 0.25};
+  out.p0 /= sum;
+  out.p1 /= sum;
+  out.pr /= sum;
+  out.pf /= sum;
+  return out;
+}
+
+SourceStats scenario_I() noexcept {
+  return SourceStats{{0.25, 0.25, 0.25, 0.25}, {0.0, 1.0}, {0.0, 1.0}};
+}
+
+SourceStats scenario_II() noexcept {
+  return SourceStats{{0.75, 0.15, 0.02, 0.08}, {0.0, 1.0}, {0.0, 1.0}};
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,92 @@
+/// \file four_value.hpp
+/// The paper's four-value logic (Sec. 3.3): each net in a clock cycle is
+/// logic zero '0', logic one '1', a rising transition 'r', or a falling
+/// transition 'f'.
+///
+/// A four-value is equivalently a pair (initial value, final value):
+///   0 = (0,0), 1 = (1,1), r = (0,1), f = (1,0).
+/// Gate evaluation applies the Boolean gate to the initial values and to
+/// the final values; when both agree the output is a constant — which is
+/// exactly the paper's glitch filtering ("a rising and a falling signal
+/// transition for an AND gate give logic zero at the output") and
+/// reproduces Table 1 for every gate type.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "netlist/gate_type.hpp"
+#include "stats/gaussian.hpp"
+
+namespace spsta::netlist {
+
+/// The four logic values of a net over one clock cycle.
+enum class FourValue : std::uint8_t { Zero, One, Rise, Fall };
+
+/// "0", "1", "r", "f".
+[[nodiscard]] std::string_view to_string(FourValue v) noexcept;
+
+/// Initial Boolean value of the cycle (0/r -> 0, 1/f -> 1).
+[[nodiscard]] bool initial_value(FourValue v) noexcept;
+/// Final Boolean value of the cycle (0/f -> 0, 1/r -> 1).
+[[nodiscard]] bool final_value(FourValue v) noexcept;
+/// The four-value with the given initial/final Boolean pair.
+[[nodiscard]] FourValue from_initial_final(bool initial, bool final_) noexcept;
+
+/// Glitch-filtered four-value gate evaluation (reproduces paper Table 1).
+[[nodiscard]] FourValue eval_four_value(GateType type, std::span<const FourValue> inputs) noexcept;
+
+/// Per-cycle occurrence probabilities of the four values on one net
+/// (paper Sec. 3.3). Always sums to 1 for a valid state.
+struct FourValueProbs {
+  double p0 = 0.25;
+  double p1 = 0.25;
+  double pr = 0.25;
+  double pf = 0.25;
+
+  /// Classical signal probability P(final value = 1) = p1 + pr. With
+  /// cycle-stationary inputs this equals p1 + pf as well; for general
+  /// inputs the *final* value is the convention used throughout.
+  [[nodiscard]] double signal_probability() const noexcept { return p1 + pr; }
+  /// Transition (toggling) probability per cycle = pr + pf.
+  [[nodiscard]] double toggle_probability() const noexcept { return pr + pf; }
+  /// Cycle-averaged probability of logic one, p1 + (pr + pf)/2 — the
+  /// convention behind the paper's "0.2 signal probability" for its
+  /// scenario II (15% one, 75% zero, 2% rise, 8% fall).
+  [[nodiscard]] double average_one() const noexcept { return p1 + 0.5 * (pr + pf); }
+  /// P(initial value = 1) = p1 + pf.
+  [[nodiscard]] double initial_one() const noexcept { return p1 + pf; }
+  /// P(final value = 1) = p1 + pr.
+  [[nodiscard]] double final_one() const noexcept { return p1 + pr; }
+  /// Probability of the given value.
+  [[nodiscard]] double prob(FourValue v) const noexcept;
+
+  /// True when all probabilities are within [-eps, 1+eps] and the sum is
+  /// within eps of 1.
+  [[nodiscard]] bool is_valid(double eps = 1e-9) const noexcept;
+  /// Clamps negatives to 0 and rescales to unit sum.
+  [[nodiscard]] FourValueProbs normalized() const noexcept;
+
+  friend bool operator==(const FourValueProbs&, const FourValueProbs&) = default;
+};
+
+/// Input statistics for one timing source: value probabilities plus the
+/// arrival-time distributions of its rising and falling transitions.
+struct SourceStats {
+  FourValueProbs probs;
+  stats::Gaussian rise_arrival{0.0, 1.0};
+  stats::Gaussian fall_arrival{0.0, 1.0};
+};
+
+/// The paper's experiment scenarios (Sec. 4): uniform statistics for every
+/// primary input and flip-flop output, standard-normal transition arrivals.
+///
+/// Scenario I : p0=p1=pr=pf=0.25 (0.5 signal probability, 0.5 toggle rate).
+/// Scenario II: p1=15%, p0=75%, pr=2%, pf=8% (0.2 signal probability,
+///              0.1 toggle rate).
+[[nodiscard]] SourceStats scenario_I() noexcept;
+[[nodiscard]] SourceStats scenario_II() noexcept;
+
+}  // namespace spsta::netlist

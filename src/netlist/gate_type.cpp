@@ -1,0 +1,114 @@
+#include "netlist/gate_type.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <string>
+
+namespace spsta::netlist {
+
+std::string_view to_string(GateType t) noexcept {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Buf: return "BUFF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Dff: return "DFF";
+  }
+  return "?";
+}
+
+std::optional<GateType> parse_gate_type(std::string_view s) noexcept {
+  std::string u(s);
+  std::transform(u.begin(), u.end(), u.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  if (u == "INPUT") return GateType::Input;
+  if (u == "BUF" || u == "BUFF") return GateType::Buf;
+  if (u == "NOT" || u == "INV") return GateType::Not;
+  if (u == "AND") return GateType::And;
+  if (u == "NAND") return GateType::Nand;
+  if (u == "OR") return GateType::Or;
+  if (u == "NOR") return GateType::Nor;
+  if (u == "XOR") return GateType::Xor;
+  if (u == "XNOR") return GateType::Xnor;
+  if (u == "CONST0" || u == "GND") return GateType::Const0;
+  if (u == "CONST1" || u == "VDD") return GateType::Const1;
+  if (u == "DFF") return GateType::Dff;
+  return std::nullopt;
+}
+
+bool has_controlling_value(GateType t) noexcept {
+  return t == GateType::And || t == GateType::Nand || t == GateType::Or ||
+         t == GateType::Nor;
+}
+
+bool controlling_value(GateType t) noexcept {
+  return t == GateType::Or || t == GateType::Nor;
+}
+
+bool is_inverting(GateType t) noexcept {
+  return t == GateType::Not || t == GateType::Nand || t == GateType::Nor ||
+         t == GateType::Xnor;
+}
+
+bool is_combinational(GateType t) noexcept {
+  return t != GateType::Input && t != GateType::Dff;
+}
+
+bool eval_gate(GateType t, std::span<const bool> inputs) noexcept {
+  switch (t) {
+    case GateType::Const0: return false;
+    case GateType::Const1: return true;
+    case GateType::Buf:
+    case GateType::Dff:
+    case GateType::Input: return !inputs.empty() && inputs[0];
+    case GateType::Not: return !(inputs.empty() ? false : inputs[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      bool all = true;
+      for (bool b : inputs) all = all && b;
+      return t == GateType::And ? all : !all;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool any = false;
+      for (bool b : inputs) any = any || b;
+      return t == GateType::Or ? any : !any;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      bool parity = false;
+      for (bool b : inputs) parity = parity != b;
+      return t == GateType::Xor ? parity : !parity;
+    }
+  }
+  return false;
+}
+
+ArityRange arity_range(GateType t) noexcept {
+  constexpr std::size_t unbounded = std::numeric_limits<std::size_t>::max();
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1: return {0, 0};
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Dff: return {1, 1};
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor: return {1, unbounded};
+  }
+  return {0, 0};
+}
+
+}  // namespace spsta::netlist

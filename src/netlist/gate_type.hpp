@@ -1,0 +1,68 @@
+/// \file gate_type.hpp
+/// Gate/node kinds of the ISCAS'89 netlist model and their logical traits
+/// (controlling values, inversion, Boolean evaluation).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace spsta::netlist {
+
+/// Node kinds. `Input` is a primary input; `Dff` represents a flip-flop
+/// whose output acts as a combinational timing source and whose single
+/// fanin (the D pin) is a timing endpoint.
+enum class GateType : std::uint8_t {
+  Input,
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Const0,
+  Const1,
+  Dff,
+};
+
+/// Canonical upper-case mnemonic (matches .bench spelling, e.g. "NAND").
+[[nodiscard]] std::string_view to_string(GateType t) noexcept;
+
+/// Parses a .bench gate mnemonic (case-insensitive; accepts "BUF"/"BUFF").
+/// Returns nullopt for unknown mnemonics.
+[[nodiscard]] std::optional<GateType> parse_gate_type(std::string_view s) noexcept;
+
+/// True for AND/NAND/OR/NOR: gates with a controlling input value.
+[[nodiscard]] bool has_controlling_value(GateType t) noexcept;
+
+/// The controlling input value of AND/NAND (false) or OR/NOR (true).
+/// Precondition: has_controlling_value(t).
+[[nodiscard]] bool controlling_value(GateType t) noexcept;
+
+/// True for NOT/NAND/NOR/XNOR: the gate inverts (its non-controlled output
+/// value is the inversion of the non-controlling input value).
+[[nodiscard]] bool is_inverting(GateType t) noexcept;
+
+/// True if the node kind evaluates a Boolean function of its fanins
+/// (everything except Input/Dff, which are sequential/primary sources).
+[[nodiscard]] bool is_combinational(GateType t) noexcept;
+
+/// Evaluates the gate on Boolean inputs. Const0/Const1 ignore inputs;
+/// Buf/Not/Dff use exactly one input. Precondition: is_combinational(t) or
+/// t == Dff (a Dff forwards its input, used by sequential sweeps), and
+/// `inputs` is non-empty for non-constant gates.
+[[nodiscard]] bool eval_gate(GateType t, std::span<const bool> inputs) noexcept;
+
+/// Valid fanin-count range for the node kind, e.g. {1,1} for NOT,
+/// {2, unbounded} for AND. Inputs/constants are {0,0}.
+struct ArityRange {
+  std::size_t min = 0;
+  std::size_t max = 0;  ///< 0 together with min==0 means "exactly zero"; SIZE_MAX = unbounded.
+};
+[[nodiscard]] ArityRange arity_range(GateType t) noexcept;
+
+}  // namespace spsta::netlist

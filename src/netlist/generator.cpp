@@ -1,0 +1,151 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace spsta::netlist {
+
+namespace {
+
+GateType pick_type(stats::Xoshiro256& rng, const GeneratorSpec& spec) {
+  const std::array<double, 6> weights{spec.weight_and, spec.weight_nand, spec.weight_or,
+                                      spec.weight_nor, spec.weight_not, spec.weight_buf};
+  static constexpr std::array<GateType, 6> kinds{GateType::And,  GateType::Nand,
+                                                 GateType::Or,   GateType::Nor,
+                                                 GateType::Not,  GateType::Buf};
+  return kinds[rng.categorical(weights)];
+}
+
+}  // namespace
+
+Netlist generate_circuit(const GeneratorSpec& spec) {
+  if (spec.num_inputs + spec.num_dffs == 0) {
+    throw std::invalid_argument("generate_circuit: need at least one timing source");
+  }
+  if (spec.num_gates == 0 && (spec.num_outputs > 0 || spec.num_dffs > 0)) {
+    throw std::invalid_argument("generate_circuit: outputs/DFFs require gates");
+  }
+  if (spec.max_fanin < 2) {
+    throw std::invalid_argument("generate_circuit: max_fanin must be >= 2");
+  }
+
+  stats::Xoshiro256 rng(spec.seed);
+  Netlist design(spec.name);
+
+  // Timing sources: primary inputs and DFF outputs (D pins wired last).
+  std::vector<NodeId> sources;
+  for (std::size_t i = 0; i < spec.num_inputs; ++i) {
+    sources.push_back(design.add_input("pi" + std::to_string(i)));
+  }
+  std::vector<NodeId> dffs;
+  for (std::size_t i = 0; i < spec.num_dffs; ++i) {
+    const NodeId q = design.declare(GateType::Dff, "ff" + std::to_string(i));
+    dffs.push_back(q);
+    sources.push_back(q);
+  }
+
+  const std::size_t depth = std::max<std::size_t>(
+      1, std::min(spec.target_depth, std::max<std::size_t>(spec.num_gates, 1)));
+
+  // Distribute gates over levels 1..depth: one guaranteed per level, the
+  // remainder spread uniformly at random.
+  std::vector<std::size_t> gates_at_level(depth + 1, 0);
+  for (std::size_t l = 1; l <= depth && l <= spec.num_gates; ++l) gates_at_level[l] = 1;
+  std::size_t assigned = std::min(depth, spec.num_gates);
+  while (assigned < spec.num_gates) {
+    const std::size_t l = 1 + static_cast<std::size_t>(rng.uniform_index(depth));
+    ++gates_at_level[l];
+    ++assigned;
+  }
+
+  // by_level[l]: node ids whose level is exactly l (level 0 = sources).
+  std::vector<std::vector<NodeId>> by_level(depth + 1);
+  by_level[0] = sources;
+  std::vector<std::size_t> fanout_load(design.node_count() + spec.num_gates, 0);
+
+  // Picks a fanin from levels [0, below], biased toward the top level and
+  // toward lightly loaded nodes so most gates end up observable.
+  const auto pick_fanin = [&](std::size_t below) -> NodeId {
+    std::size_t lvl = below;
+    while (lvl > 0 && rng.uniform() < 0.45) --lvl;
+    // Walk down until a non-empty level is found (level 0 is never empty).
+    while (by_level[lvl].empty()) --lvl;
+    const auto& pool = by_level[lvl];
+    NodeId pick = pool[rng.uniform_index(pool.size())];
+    // One retry preferring an unused node keeps dangling logic rare.
+    if (fanout_load[pick] > 0) {
+      const NodeId alt = pool[rng.uniform_index(pool.size())];
+      if (fanout_load[alt] < fanout_load[pick]) pick = alt;
+    }
+    return pick;
+  };
+
+  std::size_t gate_index = 0;
+  for (std::size_t l = 1; l <= depth; ++l) {
+    for (std::size_t g = 0; g < gates_at_level[l]; ++g) {
+      GateType type = pick_type(rng, spec);
+      std::size_t fanin_count;
+      if (type == GateType::Not || type == GateType::Buf) {
+        fanin_count = 1;
+      } else {
+        fanin_count = 2;
+        while (fanin_count < spec.max_fanin && rng.uniform() < 0.25) ++fanin_count;
+      }
+      std::vector<NodeId> fanins;
+      // First fanin comes from level l-1 so the gate's level is exactly l.
+      std::size_t prev = l - 1;
+      while (by_level[prev].empty()) --prev;
+      fanins.push_back(by_level[prev][rng.uniform_index(by_level[prev].size())]);
+      while (fanins.size() < fanin_count) {
+        const NodeId f = pick_fanin(l - 1);
+        if (std::find(fanins.begin(), fanins.end(), f) == fanins.end()) {
+          fanins.push_back(f);
+        } else if (by_level[l - 1].size() + (l >= 2 ? by_level[l - 2].size() : 0) <= 1) {
+          break;  // tiny circuits: give up on distinct fanins
+        }
+      }
+      // (two-step concat avoids a GCC-12 -Wrestrict false positive)
+      std::string gate_name = "g";
+      gate_name += std::to_string(gate_index++);
+      const NodeId id = design.add_gate(type, gate_name, fanins);
+      for (NodeId f : fanins) ++fanout_load[f];
+      if (id >= fanout_load.size()) fanout_load.resize(id + 1, 0);
+      by_level[l].push_back(id);
+    }
+  }
+
+  // Endpoint selection pool: gates, deepest levels first.
+  std::vector<NodeId> deep_first;
+  for (std::size_t l = depth; l >= 1; --l) {
+    deep_first.insert(deep_first.end(), by_level[l].begin(), by_level[l].end());
+    if (l == 1) break;
+  }
+  if (deep_first.empty()) deep_first = sources;
+
+  // Primary outputs: the deepest gates, then random ones if more needed.
+  for (std::size_t i = 0; i < spec.num_outputs; ++i) {
+    const NodeId pick = i < deep_first.size()
+                            ? deep_first[i]
+                            : deep_first[rng.uniform_index(deep_first.size())];
+    design.mark_output(pick);
+    ++fanout_load[pick];
+  }
+  // DFF D pins: random gates biased toward unconsumed deep logic.
+  for (NodeId q : dffs) {
+    NodeId d = deep_first[rng.uniform_index(deep_first.size())];
+    for (int attempt = 0; attempt < 4 && fanout_load[d] > 0; ++attempt) {
+      d = deep_first[rng.uniform_index(deep_first.size())];
+    }
+    design.connect(q, {d});
+    ++fanout_load[d];
+  }
+
+  design.validate();
+  return design;
+}
+
+}  // namespace spsta::netlist

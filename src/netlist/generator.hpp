@@ -1,0 +1,49 @@
+/// \file generator.hpp
+/// Deterministic random-logic circuit generator.
+///
+/// The paper evaluates on the ISCAS'89 benchmarks, whose netlist files are
+/// not redistributable here; this generator builds structurally comparable
+/// circuits (same PI/PO/DFF/gate counts, targeted logic depth, mixed
+/// AND/NAND/OR/NOR/NOT/BUFF gates, reconvergent fanout) from a fixed seed,
+/// so every experiment is reproducible bit-for-bit. See DESIGN.md §5.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// Parameters of a generated circuit.
+struct GeneratorSpec {
+  std::string name = "random";
+  std::size_t num_inputs = 4;
+  std::size_t num_outputs = 1;
+  std::size_t num_dffs = 0;
+  /// Combinational gates to create (including inverters/buffers).
+  std::size_t num_gates = 16;
+  /// Desired combinational depth in gate levels (>= 1). The generator
+  /// guarantees this exact depth when num_gates >= target_depth.
+  std::size_t target_depth = 4;
+  std::uint64_t seed = 1;
+  /// Maximum gate fanin (>= 2); fanin counts are biased toward 2.
+  std::size_t max_fanin = 4;
+  /// Relative gate-type weights.
+  double weight_and = 3.0;
+  double weight_nand = 3.0;
+  double weight_or = 2.0;
+  double weight_nor = 2.0;
+  double weight_not = 1.5;
+  double weight_buf = 0.5;
+};
+
+/// Generates a valid, acyclic netlist per \p spec. The result always
+/// passes Netlist::validate() and levelize(); its depth equals
+/// min(target_depth, num_gates) and its node counts match the spec.
+/// Throws std::invalid_argument on inconsistent specs (no sources, zero
+/// gates with nonzero outputs, etc.).
+[[nodiscard]] Netlist generate_circuit(const GeneratorSpec& spec);
+
+}  // namespace spsta::netlist

@@ -1,0 +1,161 @@
+#include "netlist/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::netlist {
+
+namespace {
+
+// Generic BFS over fanins or fanouts; DFF boundaries stop combinational
+// fanin traversal (a DFF is a source) but are included themselves.
+std::vector<NodeId> cone(const Netlist& design, NodeId root, bool toward_fanins) {
+  std::vector<char> seen(design.node_count(), 0);
+  std::vector<NodeId> stack{root};
+  std::vector<NodeId> result;
+  seen[root] = 1;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    result.push_back(id);
+    const Node& n = design.node(id);
+    if (toward_fanins) {
+      if (!is_combinational(n.type)) continue;  // stop at sources
+      for (NodeId f : n.fanins) {
+        if (!seen[f]) {
+          seen[f] = 1;
+          stack.push_back(f);
+        }
+      }
+    } else {
+      for (NodeId f : n.fanouts) {
+        if (!is_combinational(design.node(f).type)) continue;  // D pin boundary
+        if (!seen[f]) {
+          seen[f] = 1;
+          stack.push_back(f);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<NodeId> fanin_cone(const Netlist& design, NodeId node) {
+  return cone(design, node, /*toward_fanins=*/true);
+}
+
+std::vector<NodeId> fanout_cone(const Netlist& design, NodeId node) {
+  return cone(design, node, /*toward_fanins=*/false);
+}
+
+bool has_reconvergent_fanin(const Netlist& design, NodeId node) {
+  // A node is reconvergent iff within its fanin cone some node is reached
+  // through two or more of `node`'s direct fanin branches, or more
+  // generally iff the cone contains a node with >= 2 fanouts inside the
+  // cone that both lead to `node`. Counting in-cone fanout edges suffices:
+  // in a tree (no reconvergence) every in-cone node except the root has
+  // exactly one in-cone fanout on a path to the root.
+  const std::vector<NodeId> nodes = fanin_cone(design, node);
+  std::vector<char> in_cone(design.node_count(), 0);
+  for (NodeId id : nodes) in_cone[id] = 1;
+  for (NodeId id : nodes) {
+    if (id == node) continue;
+    std::size_t edges = 0;
+    for (NodeId fo : design.node(id).fanouts) {
+      // Count edges that stay inside the cone and enter a combinational
+      // consumer (paths through a DFF are sequential, not reconvergent).
+      if (in_cone[fo] && is_combinational(design.node(fo).type)) ++edges;
+    }
+    if (edges >= 2) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> reconvergent_nodes(const Netlist& design) {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    if (is_combinational(design.node(id).type) && has_reconvergent_fanin(design, id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> path_counts(const Netlist& design) {
+  constexpr std::uint64_t kCap = 1000000000000000000ULL;
+  const Levelization lv = levelize(design);
+  std::vector<std::uint64_t> count(design.node_count(), 0);
+  for (NodeId id : lv.order) {
+    const Node& n = design.node(id);
+    if (!is_combinational(n.type)) {
+      count[id] = 1;
+      continue;
+    }
+    std::uint64_t total = n.fanins.empty() ? 1 : 0;  // constants: one path
+    for (NodeId f : n.fanins) {
+      total = total > kCap - count[f] ? kCap : total + count[f];
+    }
+    count[id] = std::min(total, kCap);
+  }
+  return count;
+}
+
+Path critical_path_to(const Netlist& design, NodeId endpoint,
+                      const std::vector<double>& delay) {
+  if (delay.size() != design.node_count()) {
+    throw std::invalid_argument("critical_path_to: delay vector size mismatch");
+  }
+  const Levelization lv = levelize(design);
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> arrival(design.node_count(), kNegInf);
+  std::vector<NodeId> pred(design.node_count(), kInvalidNode);
+  for (NodeId id : lv.order) {
+    const Node& n = design.node(id);
+    if (!is_combinational(n.type)) {
+      arrival[id] = 0.0;
+      continue;
+    }
+    if (n.fanins.empty()) {  // constant
+      arrival[id] = 0.0;
+      continue;
+    }
+    double best = kNegInf;
+    NodeId best_pred = kInvalidNode;
+    for (NodeId f : n.fanins) {
+      if (arrival[f] > best || (arrival[f] == best && f < best_pred)) {
+        best = arrival[f];
+        best_pred = f;
+      }
+    }
+    arrival[id] = best + delay[id];
+    pred[id] = best_pred;
+  }
+
+  Path path;
+  path.delay = arrival[endpoint] == kNegInf ? 0.0 : arrival[endpoint];
+  for (NodeId cur = endpoint; cur != kInvalidNode; cur = pred[cur]) {
+    path.nodes.push_back(cur);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+std::vector<Path> critical_paths(const Netlist& design, const std::vector<double>& delay,
+                                 std::size_t k) {
+  std::vector<Path> paths;
+  for (NodeId endpoint : design.timing_endpoints()) {
+    paths.push_back(critical_path_to(design, endpoint, delay));
+  }
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const Path& a, const Path& b) { return a.delay > b.delay; });
+  if (paths.size() > k) paths.resize(k);
+  return paths;
+}
+
+}  // namespace spsta::netlist

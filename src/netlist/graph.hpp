@@ -1,0 +1,55 @@
+/// \file graph.hpp
+/// Structural graph queries on netlists: fanin/fanout cones, reconvergent
+/// fanout detection, path counting, and deterministic critical-path
+/// extraction under a per-gate delay assignment.
+///
+/// Reconvergence is what separates the paper's independent signal
+/// probability propagation (Sec. 2.2.1) from its exact BDD/correlation
+/// methods (Sec. 3.5); these queries let clients and tests locate it.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// Set of nodes in the transitive fanin of \p node (inclusive).
+[[nodiscard]] std::vector<NodeId> fanin_cone(const Netlist& design, NodeId node);
+
+/// Set of nodes in the transitive fanout of \p node (inclusive).
+[[nodiscard]] std::vector<NodeId> fanout_cone(const Netlist& design, NodeId node);
+
+/// True if some node with >= 2 fanouts has two distinct combinational
+/// paths into \p node — i.e. the fanin cone of \p node is reconvergent,
+/// so input independence assumptions are violated at \p node.
+[[nodiscard]] bool has_reconvergent_fanin(const Netlist& design, NodeId node);
+
+/// Ids of all nodes whose fanin cone is reconvergent.
+[[nodiscard]] std::vector<NodeId> reconvergent_nodes(const Netlist& design);
+
+/// Number of distinct source-to-node combinational paths per node
+/// (saturating at ~1e18). Sources count one path (themselves).
+[[nodiscard]] std::vector<std::uint64_t> path_counts(const Netlist& design);
+
+/// One structural path and its total delay.
+struct Path {
+  std::vector<NodeId> nodes;  ///< source first, endpoint last
+  double delay = 0.0;
+};
+
+/// The longest-delay path ending at \p endpoint when each combinational
+/// gate contributes delay[gate] (sources contribute 0). Ties break toward
+/// the lowest node id, keeping extraction deterministic.
+[[nodiscard]] Path critical_path_to(const Netlist& design, NodeId endpoint,
+                                    const std::vector<double>& delay);
+
+/// The K largest-delay endpoint paths (one per endpoint, sorted by
+/// decreasing delay; at most one path per endpoint).
+[[nodiscard]] std::vector<Path> critical_paths(const Netlist& design,
+                                               const std::vector<double>& delay,
+                                               std::size_t k);
+
+}  // namespace spsta::netlist

@@ -1,0 +1,100 @@
+#include "netlist/iscas89.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "netlist/bench_io.hpp"
+
+namespace spsta::netlist {
+
+std::string_view s27_bench_text() noexcept {
+  // The ISCAS'89 s27 benchmark (Brglez, Bryan, Kozminski 1989), public.
+  return R"(# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+}
+
+Netlist make_s27() { return parse_bench(s27_bench_text(), "s27"); }
+
+namespace {
+
+struct SuiteEntry {
+  std::string_view name;
+  std::size_t pis, pos, dffs, gates, depth;
+  std::uint64_t seed;
+};
+
+// PI/PO/DFF/gate counts follow the published ISCAS'89 statistics; depths
+// are tuned so unit-delay critical paths land near the paper's Table 2
+// SSTA means (s208 ~7-8, ..., s1196 ~14).
+constexpr std::array<SuiteEntry, 9> kSuite{{
+    {"s208", 10, 1, 8, 96, 8, 0x5208},
+    {"s298", 3, 6, 14, 119, 6, 0x5298},
+    {"s344", 9, 11, 15, 160, 9, 0x5344},
+    {"s349", 9, 11, 15, 161, 9, 0x5349},
+    {"s382", 3, 6, 21, 158, 7, 0x5382},
+    {"s386", 7, 7, 6, 159, 9, 0x5386},
+    {"s526", 3, 6, 21, 193, 6, 0x5526},
+    {"s1196", 14, 14, 18, 529, 14, 0x51196},
+    {"s1238", 14, 14, 18, 508, 13, 0x51238},
+}};
+
+constexpr std::array<std::string_view, 9> kNames{
+    "s208", "s298", "s344", "s349", "s382", "s386", "s526", "s1196", "s1238"};
+
+}  // namespace
+
+std::span<const std::string_view> paper_circuit_names() noexcept { return kNames; }
+
+GeneratorSpec paper_circuit_spec(std::string_view name) {
+  for (const SuiteEntry& e : kSuite) {
+    if (e.name == name) {
+      GeneratorSpec spec;
+      spec.name = std::string(name);
+      spec.num_inputs = e.pis;
+      spec.num_outputs = e.pos;
+      spec.num_dffs = e.dffs;
+      spec.num_gates = e.gates;
+      spec.target_depth = e.depth;
+      spec.seed = e.seed;
+      // The published netlists are inverter/buffer-rich (roughly a third
+      // of ISCAS'89 gates are NOT/BUFF), which lets transitions survive to
+      // the deep endpoints; mirror that so critical-path transition
+      // probabilities are in the paper's regime rather than ~0.
+      spec.weight_and = 2.0;
+      spec.weight_nand = 2.0;
+      spec.weight_or = 1.5;
+      spec.weight_nor = 1.5;
+      spec.weight_not = 3.5;
+      spec.weight_buf = 1.5;
+      spec.max_fanin = 3;
+      return spec;
+    }
+  }
+  throw std::invalid_argument("paper_circuit_spec: unknown circuit '" +
+                              std::string(name) + "'");
+}
+
+Netlist make_paper_circuit(std::string_view name) {
+  if (name == "s27") return make_s27();
+  return generate_circuit(paper_circuit_spec(name));
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,38 @@
+/// \file iscas89.hpp
+/// The benchmark suite the paper evaluates on (ISCAS'89 s208..s1238).
+///
+/// The genuine s27 netlist (public and tiny) is embedded verbatim as a
+/// parser fixture and smoke-test circuit. The nine circuits of the paper's
+/// Tables 2-3 are produced by the deterministic generator with the
+/// published PI/PO/DFF/gate counts and depths chosen so unit-delay
+/// critical-path lengths land near the paper's SSTA means (DESIGN.md §5).
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "netlist/generator.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// The published s27 netlist in .bench format.
+[[nodiscard]] std::string_view s27_bench_text() noexcept;
+
+/// Parses and returns s27.
+[[nodiscard]] Netlist make_s27();
+
+/// Circuit names of the paper's evaluation, in Table 2 order:
+/// s208 s298 s344 s349 s382 s386 s526 s1196 s1238.
+[[nodiscard]] std::span<const std::string_view> paper_circuit_names() noexcept;
+
+/// The generator spec used for a paper circuit. Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] GeneratorSpec paper_circuit_spec(std::string_view name);
+
+/// Builds a paper circuit ("s208".."s1238") or s27.
+[[nodiscard]] Netlist make_paper_circuit(std::string_view name);
+
+}  // namespace spsta::netlist

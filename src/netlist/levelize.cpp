@@ -1,0 +1,43 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spsta::netlist {
+
+Levelization levelize(const Netlist& design) {
+  const std::size_t n = design.node_count();
+  Levelization out;
+  out.level.assign(n, 0);
+  out.order.reserve(n);
+
+  // Kahn's algorithm over combinational dependences only: DFFs consume
+  // their fanin as a timing endpoint, not as a combinational input.
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = design.node(id);
+    const bool source = !is_combinational(node.type);
+    pending[id] = source ? 0 : node.fanins.size();
+    if (pending[id] == 0) ready.push_back(id);
+  }
+
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const NodeId id = ready[head];
+    out.order.push_back(id);
+    for (NodeId fo : design.node(id).fanouts) {
+      if (!is_combinational(design.node(fo).type)) continue;  // DFF D pin
+      out.level[fo] = std::max(out.level[fo], out.level[id] + 1);
+      if (--pending[fo] == 0) ready.push_back(fo);
+    }
+  }
+
+  if (out.order.size() != n) {
+    throw std::logic_error("levelize: combinational cycle detected in netlist '" +
+                           design.name() + "'");
+  }
+  for (std::size_t lvl : out.level) out.depth = std::max(out.depth, lvl);
+  return out;
+}
+
+}  // namespace spsta::netlist

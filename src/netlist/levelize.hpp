@@ -1,0 +1,32 @@
+/// \file levelize.hpp
+/// Topological ordering and levelization of the combinational core of a
+/// netlist. Every propagation engine (signal probability, SSTA, SPSTA,
+/// Monte Carlo) walks nodes in this order — the "single netlist traversal"
+/// the paper's complexity claims refer to.
+
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// Result of levelizing a netlist.
+struct Levelization {
+  /// All nodes in a topological order: every node appears after its fanins
+  /// (DFF and Input nodes are sources and appear first).
+  std::vector<NodeId> order;
+  /// level[id]: 0 for timing sources and constants; 1 + max fanin level
+  /// for gates.
+  std::vector<std::size_t> level;
+  /// Largest level in the design (combinational depth in gate counts).
+  std::size_t depth = 0;
+};
+
+/// Levelizes \p design. DFF nodes are treated as sources (their D fanin is
+/// an endpoint, not a combinational dependence), which breaks sequential
+/// loops. Throws std::logic_error if a *combinational* cycle remains.
+[[nodiscard]] Levelization levelize(const Netlist& design);
+
+}  // namespace spsta::netlist

@@ -1,0 +1,135 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spsta::netlist {
+
+NodeId Netlist::declare(GateType type, std::string_view name) {
+  if (name.empty()) throw std::invalid_argument("Netlist::declare: empty node name");
+  if (by_name_.contains(std::string(name))) {
+    throw std::invalid_argument("Netlist::declare: duplicate node name '" +
+                                std::string(name) + "'");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::string(name), type, {}, {}});
+  by_name_.emplace(std::string(name), id);
+  if (type == GateType::Input) inputs_.push_back(id);
+  if (type == GateType::Dff) dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::connect(NodeId node, std::vector<NodeId> fanins) {
+  if (node >= nodes_.size()) throw std::invalid_argument("Netlist::connect: bad node id");
+  for (NodeId f : fanins) {
+    if (f >= nodes_.size()) throw std::invalid_argument("Netlist::connect: bad fanin id");
+  }
+  Node& n = nodes_[node];
+  const ArityRange ar = arity_range(n.type);
+  if (fanins.size() < ar.min || fanins.size() > ar.max) {
+    throw std::invalid_argument("Netlist::connect: illegal fanin count for " +
+                                std::string(to_string(n.type)) + " node '" + n.name + "'");
+  }
+  // Detach previous fanouts, then attach the new ones.
+  for (NodeId f : n.fanins) {
+    auto& fo = nodes_[f].fanouts;
+    fo.erase(std::remove(fo.begin(), fo.end(), node), fo.end());
+  }
+  n.fanins = std::move(fanins);
+  for (NodeId f : n.fanins) nodes_[f].fanouts.push_back(node);
+}
+
+NodeId Netlist::add_gate(GateType type, std::string_view name, std::vector<NodeId> fanins) {
+  // Pre-validate so a failed connect does not leave a dangling declaration.
+  const ArityRange ar = arity_range(type);
+  if (fanins.size() < ar.min || fanins.size() > ar.max) {
+    throw std::invalid_argument("Netlist::add_gate: illegal fanin count for " +
+                                std::string(to_string(type)) + " node '" +
+                                std::string(name) + "'");
+  }
+  for (NodeId f : fanins) {
+    if (f >= nodes_.size()) {
+      throw std::invalid_argument("Netlist::add_gate: bad fanin id");
+    }
+  }
+  const NodeId id = declare(type, name);
+  connect(id, std::move(fanins));
+  return id;
+}
+
+NodeId Netlist::add_input(std::string_view name) {
+  return declare(GateType::Input, name);
+}
+
+void Netlist::mark_output(NodeId node) {
+  if (node >= nodes_.size()) throw std::invalid_argument("Netlist::mark_output: bad id");
+  if (std::find(outputs_.begin(), outputs_.end(), node) == outputs_.end()) {
+    outputs_.push_back(node);
+  }
+}
+
+NodeId Netlist::find(std::string_view name) const noexcept {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<NodeId> Netlist::timing_sources() const {
+  std::vector<NodeId> out = inputs_;
+  out.insert(out.end(), dffs_.begin(), dffs_.end());
+  return out;
+}
+
+std::vector<NodeId> Netlist::timing_endpoints() const {
+  std::vector<NodeId> out = outputs_;
+  for (NodeId d : dffs_) {
+    const Node& n = nodes_[d];
+    if (!n.fanins.empty()) out.push_back(n.fanins[0]);
+  }
+  // A node may be both a PO and a DFF input; deduplicate, preserving order.
+  std::vector<NodeId> unique;
+  for (NodeId id : out) {
+    if (std::find(unique.begin(), unique.end(), id) == unique.end()) unique.push_back(id);
+  }
+  return unique;
+}
+
+bool Netlist::is_timing_source(NodeId id) const {
+  const GateType t = node(id).type;
+  return t == GateType::Input || t == GateType::Dff;
+}
+
+std::size_t Netlist::gate_count() const noexcept {
+  std::size_t c = 0;
+  for (const Node& n : nodes_) {
+    if (is_combinational(n.type)) ++c;
+  }
+  return c;
+}
+
+std::vector<std::size_t> Netlist::type_histogram() const {
+  std::vector<std::size_t> h(static_cast<std::size_t>(GateType::Dff) + 1, 0);
+  for (const Node& n : nodes_) ++h[static_cast<std::size_t>(n.type)];
+  return h;
+}
+
+void Netlist::validate() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    const ArityRange ar = arity_range(n.type);
+    if (n.fanins.size() < ar.min || n.fanins.size() > ar.max) {
+      throw std::logic_error("Netlist::validate: node '" + n.name + "' (" +
+                             std::string(to_string(n.type)) + ") has " +
+                             std::to_string(n.fanins.size()) + " fanins");
+    }
+    for (NodeId f : n.fanins) {
+      if (f >= nodes_.size()) {
+        throw std::logic_error("Netlist::validate: node '" + n.name + "' has invalid fanin");
+      }
+    }
+  }
+  for (NodeId o : outputs_) {
+    if (o >= nodes_.size()) throw std::logic_error("Netlist::validate: invalid output id");
+  }
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,103 @@
+/// \file netlist.hpp
+/// The gate-level netlist data model shared by every analysis engine.
+///
+/// A netlist is a set of named nodes; each node drives exactly one net, so
+/// nodes and nets are identified. Primary inputs and DFF outputs are the
+/// *timing sources* of combinational analysis; primary outputs and DFF D
+/// pins are the *timing endpoints* — matching the paper's treatment of the
+/// ISCAS'89 sequential benchmarks (values/arrival statistics are assigned
+/// to "the primary inputs and the flip-flop outputs").
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate_type.hpp"
+
+namespace spsta::netlist {
+
+/// Index of a node within its netlist.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// One netlist node: a primary input, a constant, a logic gate, or a DFF.
+struct Node {
+  std::string name;
+  GateType type = GateType::Input;
+  std::vector<NodeId> fanins;
+  std::vector<NodeId> fanouts;  ///< maintained by Netlist
+};
+
+/// Mutable gate-level netlist.
+///
+/// Construction is two-phase friendly: `declare` creates a node whose
+/// fanins may be set later with `connect`, which is what the .bench parser
+/// needs for forward references. `validate()` checks the completed design.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Creates a node with no fanins. Throws std::invalid_argument if the
+  /// name is empty or already taken.
+  NodeId declare(GateType type, std::string_view name);
+
+  /// Sets a node's fanins (replacing any previous connection) and updates
+  /// fanout lists. Throws on invalid ids or arity violations.
+  void connect(NodeId node, std::vector<NodeId> fanins);
+
+  /// declare + connect in one step for fully-known gates.
+  NodeId add_gate(GateType type, std::string_view name, std::vector<NodeId> fanins);
+  /// Shorthand for declare(GateType::Input, name).
+  NodeId add_input(std::string_view name);
+
+  /// Marks an existing node as a primary output (idempotent).
+  void mark_output(NodeId node);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+  /// Looks a node up by name; kInvalidNode if absent.
+  [[nodiscard]] NodeId find(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::vector<NodeId>& primary_inputs() const noexcept { return inputs_; }
+  [[nodiscard]] const std::vector<NodeId>& primary_outputs() const noexcept { return outputs_; }
+  [[nodiscard]] const std::vector<NodeId>& dffs() const noexcept { return dffs_; }
+
+  /// PIs plus DFF outputs: the nodes that carry externally supplied
+  /// values/arrival statistics.
+  [[nodiscard]] std::vector<NodeId> timing_sources() const;
+  /// POs plus DFF D-pin driver nodes: where arrival times are measured.
+  [[nodiscard]] std::vector<NodeId> timing_endpoints() const;
+
+  /// True for PI and DFF nodes (level-0 nodes of combinational traversal).
+  [[nodiscard]] bool is_timing_source(NodeId id) const;
+
+  /// Number of combinational gates (excludes inputs and DFFs).
+  [[nodiscard]] std::size_t gate_count() const noexcept;
+  /// Per-type node counts indexed by static_cast<size_t>(GateType).
+  [[nodiscard]] std::vector<std::size_t> type_histogram() const;
+
+  /// Checks structural invariants (all fanins connected with legal arity,
+  /// outputs marked on existing nodes). Throws std::logic_error with a
+  /// description of the first violation. Acyclicity is checked separately
+  /// by levelize().
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> dffs_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace spsta::netlist

@@ -1,0 +1,299 @@
+#include "netlist/transform.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::netlist {
+
+namespace {
+
+bool is_primary_output(const Netlist& n, NodeId id) {
+  const auto& outs = n.primary_outputs();
+  return std::find(outs.begin(), outs.end(), id) != outs.end();
+}
+
+/// Copies a node's declaration into `out` (without fanins).
+NodeId clone_declare(Netlist& out, const Node& node) {
+  return out.declare(node.type, node.name);
+}
+
+/// The non-inverting base operation of a decomposable gate.
+GateType base_type(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand: return GateType::And;
+    case GateType::Or:
+    case GateType::Nor: return GateType::Or;
+    case GateType::Xor:
+    case GateType::Xnor: return GateType::Xor;
+    default: return t;
+  }
+}
+
+bool is_decomposable(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor: return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+Netlist decompose_wide_gates(const Netlist& design, std::size_t max_fanin,
+                             TransformStats* stats) {
+  if (max_fanin < 2) {
+    throw std::invalid_argument("decompose_wide_gates: max_fanin must be >= 2");
+  }
+  Netlist out(design.name());
+  std::vector<NodeId> map(design.node_count(), kInvalidNode);
+
+  // Declare everything first (two-phase, preserving names), connect after.
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    map[id] = clone_declare(out, design.node(id));
+  }
+  std::size_t fresh = 0;
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    const Node& node = design.node(id);
+    std::vector<NodeId> fanins;
+    fanins.reserve(node.fanins.size());
+    for (NodeId f : node.fanins) fanins.push_back(map[f]);
+
+    if (!is_decomposable(node.type) || fanins.size() <= max_fanin) {
+      out.connect(map[id], std::move(fanins));
+      continue;
+    }
+
+    // Reduce operands level by level with base-op gates of <= max_fanin
+    // inputs until at most max_fanin remain; the original node becomes
+    // the root (keeping its type, hence any inversion).
+    const GateType base = base_type(node.type);
+    std::vector<NodeId> level = std::move(fanins);
+    while (level.size() > max_fanin) {
+      std::vector<NodeId> next;
+      for (std::size_t i = 0; i < level.size(); i += max_fanin) {
+        const std::size_t end = std::min(i + max_fanin, level.size());
+        if (end - i == 1) {
+          next.push_back(level[i]);
+          continue;
+        }
+        std::vector<NodeId> group(level.begin() + static_cast<std::ptrdiff_t>(i),
+                                  level.begin() + static_cast<std::ptrdiff_t>(end));
+        const NodeId g = out.add_gate(
+            base, node.name + ".d" + std::to_string(fresh++), std::move(group));
+        if (stats) ++stats->gates_added;
+        next.push_back(g);
+      }
+      level = std::move(next);
+    }
+    out.connect(map[id], std::move(level));
+  }
+
+  for (NodeId po : design.primary_outputs()) out.mark_output(map[po]);
+  out.validate();
+  return out;
+}
+
+Netlist sweep_buffers(const Netlist& design, TransformStats* stats) {
+  const Levelization lv = levelize(design);
+  Netlist out(design.name());
+  // rep[old] = node id in `out` carrying the same function.
+  std::vector<NodeId> rep(design.node_count(), kInvalidNode);
+
+  // DFF declarations must exist before their fanouts connect, and their
+  // D fanins may resolve later; declare non-bypassed nodes in topological
+  // order, then wire DFF D pins at the end.
+  for (NodeId id : lv.order) {
+    const Node& node = design.node(id);
+    const bool po = is_primary_output(design, id);
+
+    if (node.type == GateType::Buf && !po) {
+      rep[id] = rep[node.fanins[0]];
+      if (stats) ++stats->gates_bypassed;
+      continue;
+    }
+    if (node.type == GateType::Not && !po) {
+      const Node& in = design.node(node.fanins[0]);
+      if (in.type == GateType::Not) {
+        rep[id] = rep[in.fanins[0]];
+        if (stats) ++stats->gates_bypassed;
+        continue;
+      }
+    }
+    const NodeId fresh = out.declare(node.type, node.name);
+    rep[id] = fresh;
+    if (node.type != GateType::Dff) {
+      std::vector<NodeId> fanins;
+      for (NodeId f : node.fanins) fanins.push_back(rep[f]);
+      out.connect(fresh, std::move(fanins));
+    }
+  }
+  for (NodeId q : design.dffs()) {
+    const Node& node = design.node(q);
+    if (!node.fanins.empty()) out.connect(rep[q], {rep[node.fanins[0]]});
+  }
+  for (NodeId po : design.primary_outputs()) out.mark_output(rep[po]);
+  out.validate();
+  return out;
+}
+
+Netlist propagate_constants(const Netlist& design, TransformStats* stats) {
+  const Levelization lv = levelize(design);
+  Netlist out(design.name());
+
+  struct Mapped {
+    NodeId node = kInvalidNode;             ///< valid when not constant
+    std::optional<bool> constant;
+  };
+  std::vector<Mapped> map(design.node_count());
+
+  const auto materialize = [&](const Mapped& m, const std::string& name) -> NodeId {
+    if (!m.constant) return m.node;
+    // A constant needed as a real node (PO, DFF pin): create it once per
+    // use site with a derived name.
+    return out.add_gate(*m.constant ? GateType::Const1 : GateType::Const0, name, {});
+  };
+
+  for (NodeId id : lv.order) {
+    const Node& node = design.node(id);
+    const bool po = is_primary_output(design, id);
+
+    if (node.type == GateType::Input) {
+      map[id].node = out.declare(GateType::Input, node.name);
+      continue;
+    }
+    if (node.type == GateType::Dff) {
+      map[id].node = out.declare(GateType::Dff, node.name);
+      continue;
+    }
+    if (node.type == GateType::Const0 || node.type == GateType::Const1) {
+      if (po) {
+        map[id].node = out.add_gate(node.type, node.name, {});
+      } else {
+        map[id].constant = node.type == GateType::Const1;
+        if (stats) ++stats->constants_folded;
+      }
+      continue;
+    }
+
+    // Gather fanins, folding constants per gate semantics.
+    bool forced = false;
+    bool forced_value = false;
+    bool parity_flip = false;
+    std::vector<NodeId> live;
+    for (NodeId f : node.fanins) {
+      const Mapped& m = map[f];
+      if (!m.constant) {
+        live.push_back(m.node);
+        continue;
+      }
+      const bool v = *m.constant;
+      switch (node.type) {
+        case GateType::And:
+        case GateType::Nand:
+          if (!v) {
+            forced = true;
+            forced_value = false;  // AND output before inversion
+          }
+          break;
+        case GateType::Or:
+        case GateType::Nor:
+          if (v) {
+            forced = true;
+            forced_value = true;
+          }
+          break;
+        case GateType::Xor:
+        case GateType::Xnor:
+          if (v) parity_flip = !parity_flip;
+          break;
+        case GateType::Buf:
+        case GateType::Not:
+          forced = true;
+          forced_value = v;
+          break;
+        default: break;
+      }
+    }
+
+    const bool inverting = is_inverting(node.type);
+    std::optional<bool> const_result;
+    if (forced) {
+      const_result = inverting ? !forced_value : forced_value;
+      if (node.type == GateType::Not) const_result = !forced_value;
+      if (node.type == GateType::Buf) const_result = forced_value;
+    } else if (live.empty()) {
+      // All inputs were non-forcing constants.
+      switch (node.type) {
+        case GateType::And: const_result = true; break;   // empty AND
+        case GateType::Nand: const_result = false; break;
+        case GateType::Or: const_result = false; break;
+        case GateType::Nor: const_result = true; break;
+        case GateType::Xor: const_result = parity_flip; break;
+        case GateType::Xnor: const_result = !parity_flip; break;
+        default: const_result = false; break;
+      }
+    }
+
+    if (const_result) {
+      if (po) {
+        map[id].node = out.add_gate(
+            *const_result ? GateType::Const1 : GateType::Const0, node.name, {});
+      } else {
+        map[id].constant = *const_result;
+      }
+      if (stats) ++stats->constants_folded;
+      continue;
+    }
+
+    // Some live inputs remain: rebuild, possibly simplified.
+    GateType type = node.type;
+    if (live.size() == 1) {
+      // Single-operand reduction per family: AND(x)=OR(x)=x,
+      // NAND(x)=NOR(x)=!x, XOR folds its constant parity.
+      bool needs_not = false;
+      switch (type) {
+        case GateType::And:
+        case GateType::Or:
+        case GateType::Buf: needs_not = false; break;
+        case GateType::Nand:
+        case GateType::Nor:
+        case GateType::Not: needs_not = true; break;
+        case GateType::Xor: needs_not = parity_flip; break;
+        case GateType::Xnor: needs_not = !parity_flip; break;
+        default: break;
+      }
+      map[id].node =
+          out.add_gate(needs_not ? GateType::Not : GateType::Buf, node.name, {live[0]});
+      continue;
+    }
+    // Multiple live inputs: XOR parity flips toggle the gate's inversion.
+    if ((type == GateType::Xor && parity_flip)) type = GateType::Xnor;
+    else if ((type == GateType::Xnor && parity_flip)) type = GateType::Xor;
+    map[id].node = out.add_gate(type, node.name, std::move(live));
+  }
+
+  for (NodeId q : design.dffs()) {
+    const Node& node = design.node(q);
+    if (node.fanins.empty()) continue;
+    const Mapped& m = map[node.fanins[0]];
+    const NodeId d = materialize(m, node.name + ".const");
+    out.connect(map[q].node, {d});
+  }
+  for (NodeId po : design.primary_outputs()) {
+    out.mark_output(map[po].node);  // POs were always materialized above
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,47 @@
+/// \file transform.hpp
+/// Function-preserving netlist transformations:
+///   * decompose_wide_gates — split k-input AND/NAND/OR/NOR/XOR/XNOR into
+///     balanced trees of <= max_fanin gates (the enumeration-based SPSTA
+///     engines are O(4^k) per gate, so fanin reduction is their scaling
+///     lever);
+///   * sweep_buffers — bypass BUF gates (and collapse NOT-NOT pairs);
+///   * propagate_constants — fold constant inputs through gate logic.
+/// All transformations are validated by BDD equivalence checking in the
+/// test suite.
+
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// Statistics of one transformation run.
+struct TransformStats {
+  std::size_t gates_added = 0;
+  std::size_t gates_bypassed = 0;
+  std::size_t constants_folded = 0;
+};
+
+/// Returns a copy of \p design where every decomposable gate has at most
+/// \p max_fanin inputs (>= 2). Inverting gates become a non-inverting
+/// tree with an inverting root, preserving functions. Node names of new
+/// internal gates are derived from the original ("g.d0", "g.d1", ...).
+[[nodiscard]] Netlist decompose_wide_gates(const Netlist& design, std::size_t max_fanin,
+                                           TransformStats* stats = nullptr);
+
+/// Returns a copy of \p design with BUF gates bypassed (their consumers
+/// rewired to the buffer's fanin). Buffers that are primary outputs are
+/// kept (the net name is the interface). NOT gates fed by NOT gates
+/// collapse to the grandparent signal.
+[[nodiscard]] Netlist sweep_buffers(const Netlist& design,
+                                    TransformStats* stats = nullptr);
+
+/// Returns a copy of \p design with Const0/Const1 values folded through
+/// gate logic (AND with 0 becomes 0, AND with 1 drops the input, ...).
+/// Gates that become constant are replaced by constant nodes.
+[[nodiscard]] Netlist propagate_constants(const Netlist& design,
+                                          TransformStats* stats = nullptr);
+
+}  // namespace spsta::netlist

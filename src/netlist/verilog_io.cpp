@@ -1,0 +1,330 @@
+#include "netlist/verilog_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::netlist {
+
+VerilogParseError::VerilogParseError(std::size_t line, const std::string& message)
+    : std::runtime_error("verilog:" + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+};
+
+/// Strips comments, splits into identifiers and single-char punctuation.
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) throw VerilogParseError(line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\\' ||
+        c == '$' || c == '.' || c == '[' || c == ']') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_' || text[i] == '\\' || text[i] == '$' ||
+                       text[i] == '.' || text[i] == '[' || text[i] == ']')) {
+        ++i;
+      }
+      tokens.push_back({std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';') {
+      tokens.push_back({std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    throw VerilogParseError(line, std::string("unexpected character '") + c + "'");
+  }
+  return tokens;
+}
+
+struct Cursor {
+  const std::vector<Token>& tokens;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= tokens.size(); }
+  [[nodiscard]] const Token& peek() const {
+    if (done()) throw VerilogParseError(tokens.empty() ? 1 : tokens.back().line,
+                                        "unexpected end of input");
+    return tokens[pos];
+  }
+  Token take() {
+    const Token t = peek();
+    ++pos;
+    return t;
+  }
+  Token expect(std::string_view what) {
+    const Token t = take();
+    if (t.text != what) {
+      throw VerilogParseError(t.line, "expected '" + std::string(what) + "', got '" +
+                                          t.text + "'");
+    }
+    return t;
+  }
+};
+
+std::optional<GateType> primitive_of(std::string_view word) {
+  if (word == "and") return GateType::And;
+  if (word == "nand") return GateType::Nand;
+  if (word == "or") return GateType::Or;
+  if (word == "nor") return GateType::Nor;
+  if (word == "xor") return GateType::Xor;
+  if (word == "xnor") return GateType::Xnor;
+  if (word == "not") return GateType::Not;
+  if (word == "buf") return GateType::Buf;
+  if (word == "dff" || word == "DFF") return GateType::Dff;
+  return std::nullopt;
+}
+
+bool is_identifier(const std::string& s) {
+  return !s.empty() && s != "(" && s != ")" && s != "," && s != ";";
+}
+
+/// Comma-separated identifier list terminated by ';'.
+std::vector<Token> identifier_list(Cursor& cur) {
+  std::vector<Token> names;
+  while (true) {
+    const Token t = cur.take();
+    if (!is_identifier(t.text)) {
+      throw VerilogParseError(t.line, "expected identifier, got '" + t.text + "'");
+    }
+    names.push_back(t);
+    const Token sep = cur.take();
+    if (sep.text == ";") break;
+    if (sep.text != ",") {
+      throw VerilogParseError(sep.line, "expected ',' or ';', got '" + sep.text + "'");
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+Netlist parse_verilog(std::string_view text) {
+  const std::vector<Token> tokens = tokenize(text);
+  Cursor cur{tokens};
+
+  cur.expect("module");
+  const Token name = cur.take();
+  if (!is_identifier(name.text)) {
+    throw VerilogParseError(name.line, "expected module name");
+  }
+
+  // Port list (names only; directions come from input/output declarations).
+  cur.expect("(");
+  while (cur.peek().text != ")") {
+    const Token t = cur.take();
+    if (t.text != "," && !is_identifier(t.text)) {
+      throw VerilogParseError(t.line, "bad port list token '" + t.text + "'");
+    }
+  }
+  cur.expect(")");
+  cur.expect(";");
+
+  struct Instance {
+    GateType type;
+    std::size_t line;
+    std::vector<std::string> ports;  // output first
+  };
+  std::vector<Token> inputs, outputs, wires;
+  std::vector<Instance> instances;
+
+  while (true) {
+    const Token head = cur.take();
+    if (head.text == "endmodule") break;
+    if (head.text == "input") {
+      const auto list = identifier_list(cur);
+      inputs.insert(inputs.end(), list.begin(), list.end());
+      continue;
+    }
+    if (head.text == "output") {
+      const auto list = identifier_list(cur);
+      outputs.insert(outputs.end(), list.begin(), list.end());
+      continue;
+    }
+    if (head.text == "wire" || head.text == "reg") {
+      const auto list = identifier_list(cur);
+      wires.insert(wires.end(), list.begin(), list.end());
+      continue;
+    }
+    const auto type = primitive_of(head.text);
+    if (!type) {
+      throw VerilogParseError(head.line, "unknown primitive or keyword '" +
+                                             head.text + "'");
+    }
+    // Optional instance name.
+    Token next = cur.take();
+    if (next.text != "(") {
+      if (!is_identifier(next.text)) {
+        throw VerilogParseError(next.line, "expected instance name or '('");
+      }
+      cur.expect("(");
+    }
+    Instance inst;
+    inst.type = *type;
+    inst.line = head.line;
+    while (true) {
+      const Token port = cur.take();
+      if (!is_identifier(port.text)) {
+        throw VerilogParseError(port.line, "expected port name, got '" + port.text + "'");
+      }
+      inst.ports.push_back(port.text);
+      const Token sep = cur.take();
+      if (sep.text == ")") break;
+      if (sep.text != ",") {
+        throw VerilogParseError(sep.line, "expected ',' or ')'");
+      }
+    }
+    cur.expect(";");
+    if (inst.ports.size() < 2) {
+      throw VerilogParseError(inst.line, "primitive needs an output and inputs");
+    }
+    instances.push_back(std::move(inst));
+  }
+
+  // Build the netlist: declare inputs and instance outputs, then connect.
+  Netlist design(name.text);
+  for (const Token& t : inputs) {
+    if (design.find(t.text) != kInvalidNode) {
+      throw VerilogParseError(t.line, "signal '" + t.text + "' declared twice");
+    }
+    design.add_input(t.text);
+  }
+  for (const Instance& inst : instances) {
+    if (design.find(inst.ports[0]) != kInvalidNode) {
+      throw VerilogParseError(inst.line,
+                              "signal '" + inst.ports[0] + "' driven twice");
+    }
+    design.declare(inst.type, inst.ports[0]);
+  }
+  for (const Instance& inst : instances) {
+    std::vector<NodeId> fanins;
+    for (std::size_t i = 1; i < inst.ports.size(); ++i) {
+      const NodeId f = design.find(inst.ports[i]);
+      if (f == kInvalidNode) {
+        throw VerilogParseError(inst.line, "undriven signal '" + inst.ports[i] + "'");
+      }
+      fanins.push_back(f);
+    }
+    try {
+      design.connect(design.find(inst.ports[0]), std::move(fanins));
+    } catch (const std::invalid_argument& e) {
+      throw VerilogParseError(inst.line, e.what());
+    }
+  }
+  for (const Token& t : outputs) {
+    const NodeId id = design.find(t.text);
+    if (id == kInvalidNode) {
+      throw VerilogParseError(t.line, "output '" + t.text + "' is undriven");
+    }
+    design.mark_output(id);
+  }
+  design.validate();
+  return design;
+}
+
+Netlist parse_verilog_stream(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_verilog(buffer.str());
+}
+
+std::string write_verilog(const Netlist& design) {
+  std::ostringstream out;
+  out << "// " << design.name() << " — written by spsta\n";
+  out << "module " << (design.name().empty() ? "top" : design.name()) << " (";
+  bool first = true;
+  for (NodeId id : design.primary_inputs()) {
+    out << (first ? "" : ", ") << design.node(id).name;
+    first = false;
+  }
+  for (NodeId id : design.primary_outputs()) {
+    out << (first ? "" : ", ") << design.node(id).name;
+    first = false;
+  }
+  out << ");\n";
+
+  for (NodeId id : design.primary_inputs()) {
+    out << "  input " << design.node(id).name << ";\n";
+  }
+  for (NodeId id : design.primary_outputs()) {
+    out << "  output " << design.node(id).name << ";\n";
+  }
+  // Internal nets.
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    const Node& n = design.node(id);
+    if (n.type == GateType::Input) continue;
+    const auto& outs = design.primary_outputs();
+    if (std::find(outs.begin(), outs.end(), id) != outs.end()) continue;
+    out << "  wire " << n.name << ";\n";
+  }
+
+  const Levelization lv = levelize(design);
+  std::size_t index = 0;
+  for (NodeId id : lv.order) {
+    const Node& n = design.node(id);
+    if (n.type == GateType::Input) continue;
+    std::string prim;
+    switch (n.type) {
+      case GateType::And: prim = "and"; break;
+      case GateType::Nand: prim = "nand"; break;
+      case GateType::Or: prim = "or"; break;
+      case GateType::Nor: prim = "nor"; break;
+      case GateType::Xor: prim = "xor"; break;
+      case GateType::Xnor: prim = "xnor"; break;
+      case GateType::Not: prim = "not"; break;
+      case GateType::Buf: prim = "buf"; break;
+      case GateType::Dff: prim = "dff"; break;
+      case GateType::Const0:
+      case GateType::Const1:
+        // Constants as buffers of themselves are not expressible in this
+        // subset; emit a supply-style comment and a buf from nothing is
+        // illegal, so reject.
+        throw std::invalid_argument("write_verilog: constants unsupported");
+      case GateType::Input: continue;
+    }
+    out << "  " << prim << " g" << index++ << " (" << n.name;
+    for (NodeId f : n.fanins) out << ", " << design.node(f).name;
+    out << ");\n";
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,48 @@
+/// \file verilog_io.hpp
+/// Reader and writer for gate-level structural Verilog, the subset
+/// produced by academic synthesis flows for the ISCAS benchmarks:
+///
+///   module s27 (G0, G1, G17);
+///     input G0, G1;
+///     output G17;
+///     wire G8, G9;
+///     nand g0 (G9, G16, G15);   // output port first, then inputs
+///     not  g1 (G17, G11);
+///     dff  ff0 (G5, G10);       // (Q, D)
+///   endmodule
+///
+/// Primitives: and, nand, or, nor, xor, xnor, not, buf, dff. Line (`//`)
+/// and block (`/* */`) comments are handled; instance names are optional.
+
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// Error thrown by the Verilog parser; carries the 1-based line number.
+class VerilogParseError : public std::runtime_error {
+ public:
+  VerilogParseError(std::size_t line, const std::string& message);
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses one structural module. The netlist name is the module name.
+[[nodiscard]] Netlist parse_verilog(std::string_view text);
+
+/// Parses from a stream.
+[[nodiscard]] Netlist parse_verilog_stream(std::istream& in);
+
+/// Serializes \p design as one structural module.
+/// parse_verilog(write_verilog(n)) reproduces the design.
+[[nodiscard]] std::string write_verilog(const Netlist& design);
+
+}  // namespace spsta::netlist

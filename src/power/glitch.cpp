@@ -1,0 +1,57 @@
+#include "power/glitch.hpp"
+
+#include <algorithm>
+
+#include "power/transition_density.hpp"
+#include "sigprob/four_value_prop.hpp"
+
+namespace spsta::power {
+
+using netlist::NodeId;
+
+double GlitchEstimate::total_glitch_rate() const {
+  double total = 0.0;
+  for (double g : glitch_rate) total += g;
+  return total;
+}
+
+double GlitchEstimate::glitch_fraction() const {
+  double edges = 0.0, glitches = 0.0;
+  for (std::size_t i = 0; i < edge_rate.size(); ++i) {
+    edges += edge_rate[i];
+    glitches += glitch_rate[i];
+  }
+  return edges > 0.0 ? glitches / edges : 0.0;
+}
+
+GlitchEstimate estimate_glitches(const netlist::Netlist& design,
+                                 std::span<const netlist::FourValueProbs> source_probs) {
+  // Settled rates from the four-value propagation.
+  const std::vector<netlist::FourValueProbs> probs =
+      sigprob::propagate_four_value(design, source_probs);
+
+  // Edge rates from transition density, fed with consistent marginals.
+  std::vector<double> sp, sd;
+  if (source_probs.size() == 1) {
+    sp.push_back(source_probs[0].final_one());
+    sd.push_back(source_probs[0].toggle_probability());
+  } else {
+    for (const netlist::FourValueProbs& p : source_probs) {
+      sp.push_back(p.final_one());
+      sd.push_back(p.toggle_probability());
+    }
+  }
+  const TransitionDensities td = propagate_transition_density(design, sp, sd);
+
+  GlitchEstimate out;
+  out.edge_rate = td.density;
+  out.settled_rate.resize(design.node_count());
+  out.glitch_rate.resize(design.node_count());
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    out.settled_rate[id] = probs[id].toggle_probability();
+    out.glitch_rate[id] = std::max(0.0, out.edge_rate[id] - out.settled_rate[id]);
+  }
+  return out;
+}
+
+}  // namespace spsta::power

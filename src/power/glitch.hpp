@@ -1,0 +1,40 @@
+/// \file glitch.hpp
+/// Glitch-rate estimation: the gap between the edge count transition
+/// density predicts (paper Eq. 6, no filtering) and the settled transition
+/// probability the four-value analysis yields (paper Sec. 3.3's filtering).
+/// Glitch power is exactly the energy the four-value abstraction removes;
+/// estimating it closes the loop with the paper's power-estimation
+/// motivation.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::power {
+
+/// Per-node glitch statistics.
+struct GlitchEstimate {
+  /// Unfiltered edge rate (transition density, Eq. 6).
+  std::vector<double> edge_rate;
+  /// Settled (glitch-filtered) transition probability (four-value Pr+Pf).
+  std::vector<double> settled_rate;
+  /// max(0, edge_rate - settled_rate): expected glitch edges per cycle.
+  std::vector<double> glitch_rate;
+
+  /// Total expected glitch edges per cycle over all nodes.
+  [[nodiscard]] double total_glitch_rate() const;
+  /// Fraction of all predicted edges that are glitches.
+  [[nodiscard]] double glitch_fraction() const;
+};
+
+/// Estimates glitch rates for \p design. Source statistics follow
+/// design.timing_sources() order (single element broadcasts).
+[[nodiscard]] GlitchEstimate estimate_glitches(
+    const netlist::Netlist& design,
+    std::span<const netlist::FourValueProbs> source_probs);
+
+}  // namespace spsta::power

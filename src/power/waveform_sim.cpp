@@ -1,0 +1,110 @@
+#include "power/waveform_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netlist/levelize.hpp"
+#include "sigprob/signal_prob.hpp"
+
+namespace spsta::power {
+
+using netlist::NodeId;
+
+double ProbabilityWaveform::at(double t) const noexcept {
+  if (p_one.empty()) return 0.0;
+  if (grid.dt <= 0.0) return p_one.front();
+  const double pos = (t - grid.t0) / grid.dt;
+  if (pos <= 0.0) return p_one.front();
+  if (pos >= static_cast<double>(p_one.size() - 1)) return p_one.back();
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  return p_one[i] * (1.0 - frac) + p_one[i + 1] * frac;
+}
+
+double ProbabilityWaveform::total_variation() const noexcept {
+  double tv = 0.0;
+  for (std::size_t i = 1; i < p_one.size(); ++i) {
+    tv += std::abs(p_one[i] - p_one[i - 1]);
+  }
+  return tv;
+}
+
+WaveformResult simulate_waveforms(const netlist::Netlist& design,
+                                  const netlist::DelayModel& delays,
+                                  std::span<const SourceWaveform> sources,
+                                  double grid_dt) {
+  const std::vector<NodeId> source_ids = design.timing_sources();
+  if (sources.size() != source_ids.size() && sources.size() != 1) {
+    throw std::invalid_argument("simulate_waveforms: source count mismatch");
+  }
+  if (grid_dt <= 0.0) throw std::invalid_argument("simulate_waveforms: bad grid_dt");
+
+  // Grid spanning source transitions plus the structural delay span.
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < (sources.size() == 1 ? 1 : sources.size()); ++i) {
+    const SourceWaveform& s = sources[i];
+    const double sd = std::max(s.transition.stddev(), 1e-9);
+    const double a = s.transition.mean - 8.0 * sd;
+    const double b = s.transition.mean + 8.0 * sd;
+    if (first) {
+      lo = a;
+      hi = b;
+      first = false;
+    } else {
+      lo = std::min(lo, a);
+      hi = std::max(hi, b);
+    }
+  }
+  // Structural span: the longest mean-delay arrival over *all* nodes
+  // (not just marked outputs — internal nets get waveforms too).
+  const netlist::Levelization lv = netlist::levelize(design);
+  std::vector<double> latest(design.node_count(), 0.0);
+  double structural = 0.0;
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    double in_latest = 0.0;
+    for (NodeId f : node.fanins) in_latest = std::max(in_latest, latest[f]);
+    latest[id] = in_latest + delays.delay(id).mean;
+    structural = std::max(structural, latest[id]);
+  }
+  hi += structural;
+  std::size_t n = static_cast<std::size_t>(std::ceil((hi - lo) / grid_dt)) + 1;
+  n = std::clamp<std::size_t>(n, 8, 1u << 15);
+
+  WaveformResult out;
+  out.grid = {lo, grid_dt, n};
+  out.node.resize(design.node_count());
+  for (auto& w : out.node) {
+    w.grid = out.grid;
+    w.p_one.assign(n, 0.0);
+  }
+
+  for (std::size_t i = 0; i < source_ids.size(); ++i) {
+    const SourceWaveform& s = sources.size() == 1 ? sources[0] : sources[i];
+    ProbabilityWaveform& w = out.node[source_ids[i]];
+    for (std::size_t k = 0; k < n; ++k) {
+      const double t = out.grid.time_at(k);
+      w.p_one[k] = s.p_before + (s.p_after - s.p_before) * s.transition.cdf(t);
+    }
+  }
+
+  std::vector<double> ins;
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    ProbabilityWaveform& w = out.node[id];
+    const double d = delays.delay(id).mean;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double t = out.grid.time_at(k) - d;
+      ins.clear();
+      for (NodeId f : node.fanins) ins.push_back(out.node[f].at(t));
+      w.p_one[k] = sigprob::gate_output_probability(node.type, ins);
+    }
+  }
+  return out;
+}
+
+}  // namespace spsta::power

@@ -1,0 +1,61 @@
+/// \file waveform_sim.hpp
+/// Probabilistic waveform simulation (the paper's background ref [15],
+/// Najm et al.'s CREST idea): propagate P(net = 1 at time t) waveforms
+/// through the netlist under an input-independence assumption. Where the
+/// four-value analysis summarizes a cycle by one value, the waveform keeps
+/// the full time profile — including the transient glitching windows the
+/// four-value logic filters — at grid-sampling cost.
+///
+/// Per gate: w_y(t) = F_gate(w_x1(t - d), ..., w_xk(t - d)) with F_gate
+/// the independent-input output probability (Eq. 5 machinery) and d the
+/// gate's mean delay. The instantaneous transition density follows as
+/// |dw/dt| under a monotone-switching approximation.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+#include "stats/piecewise.hpp"
+
+namespace spsta::power {
+
+/// P(net = 1) sampled on a uniform time grid.
+struct ProbabilityWaveform {
+  stats::GridSpec grid;
+  std::vector<double> p_one;
+
+  /// Linear interpolation (clamped to the edge samples outside the grid).
+  [[nodiscard]] double at(double t) const noexcept;
+  /// Integral of |dP/dt|: expected transition count under monotone
+  /// switching per crossing.
+  [[nodiscard]] double total_variation() const noexcept;
+};
+
+/// Waveform per node.
+struct WaveformResult {
+  std::vector<ProbabilityWaveform> node;
+  stats::GridSpec grid;
+};
+
+/// Input stimulus for one source: P(=1) before its (possible) transition,
+/// P(=1) after, and the transition-time distribution.
+struct SourceWaveform {
+  double p_before = 0.5;
+  double p_after = 0.5;
+  stats::Gaussian transition{0.0, 1.0};
+};
+
+/// Simulates waveforms. \p sources follows design.timing_sources() order
+/// (single element broadcasts); each source's waveform is
+///   w(t) = p_before + (p_after - p_before) * CDF_transition(t).
+/// Gate delays use their mean values (the classic zero-variance waveform
+/// abstraction); \p grid_dt controls sampling.
+[[nodiscard]] WaveformResult simulate_waveforms(const netlist::Netlist& design,
+                                                const netlist::DelayModel& delays,
+                                                std::span<const SourceWaveform> sources,
+                                                double grid_dt = 0.05);
+
+}  // namespace spsta::power

@@ -1,0 +1,50 @@
+#include "report/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spsta::report {
+
+void write_density_csv(std::ostream& out, std::span<const std::string> names,
+                       std::span<const stats::PiecewiseDensity> densities) {
+  if (names.size() != densities.size()) {
+    throw std::invalid_argument("write_density_csv: name/density count mismatch");
+  }
+  out << "t";
+  for (const std::string& n : names) out << ',' << n;
+  out << '\n';
+  if (densities.empty() || densities[0].empty()) return;
+  const stats::GridSpec& grid = densities[0].grid();
+  for (std::size_t i = 0; i < grid.n; ++i) {
+    const double t = grid.time_at(i);
+    out << t;
+    for (const stats::PiecewiseDensity& d : densities) out << ',' << d.value_at(t);
+    out << '\n';
+  }
+}
+
+std::string density_csv(std::span<const std::string> names,
+                        std::span<const stats::PiecewiseDensity> densities) {
+  std::ostringstream out;
+  write_density_csv(out, names, densities);
+  return out.str();
+}
+
+void write_yield_csv(std::ostream& out, std::span<const core::YieldPoint> curve) {
+  out << "period,yield\n";
+  for (const core::YieldPoint& p : curve) out << p.period << ',' << p.yield << '\n';
+}
+
+void write_node_summary_csv(std::ostream& out, const netlist::Netlist& design,
+                            const core::SpstaNumericResult& result) {
+  out << "name,p0,p1,pr,pf,rise_mu,rise_sigma,fall_mu,fall_sigma\n";
+  for (netlist::NodeId id = 0; id < design.node_count(); ++id) {
+    const core::NodeTopDensity& n = result.node[id];
+    out << design.node(id).name << ',' << n.probs.p0 << ',' << n.probs.p1 << ','
+        << n.probs.pr << ',' << n.probs.pf << ',' << n.rise.mean() << ','
+        << n.rise.stddev() << ',' << n.fall.mean() << ',' << n.fall.stddev() << '\n';
+  }
+}
+
+}  // namespace spsta::report

@@ -1,0 +1,35 @@
+/// \file csv.hpp
+/// CSV export of analysis artifacts for external plotting: t.o.p. density
+/// series, yield curves, and whole-circuit node summaries.
+
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/spsta.hpp"
+#include "core/yield.hpp"
+#include "netlist/netlist.hpp"
+#include "stats/piecewise.hpp"
+
+namespace spsta::report {
+
+/// Writes "t,<name0>,<name1>,..." rows sampling each density on the first
+/// density's grid. All spans must be equal length.
+void write_density_csv(std::ostream& out, std::span<const std::string> names,
+                       std::span<const stats::PiecewiseDensity> densities);
+
+/// Convenience: densities to a CSV string.
+[[nodiscard]] std::string density_csv(std::span<const std::string> names,
+                                      std::span<const stats::PiecewiseDensity> densities);
+
+/// Writes "period,yield" rows.
+void write_yield_csv(std::ostream& out, std::span<const core::YieldPoint> curve);
+
+/// Per-node summary of a numeric SPSTA result:
+/// name,p0,p1,pr,pf,rise_mu,rise_sigma,fall_mu,fall_sigma.
+void write_node_summary_csv(std::ostream& out, const netlist::Netlist& design,
+                            const core::SpstaNumericResult& result);
+
+}  // namespace spsta::report

@@ -1,0 +1,143 @@
+#include "report/experiment.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "netlist/delay_model.hpp"
+#include "sigprob/four_value_prop.hpp"
+
+namespace spsta::report {
+
+using netlist::NodeId;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// The most critical endpoint by SSTA mean arrival, restricted to
+// endpoints the input statistics actually exercise (SPSTA transition
+// probability above a small floor). An endpoint that never transitions is
+// a false path — exactly what the paper says STA/SSTA should exclude
+// (Fig. 1 caption) — and carries no Monte Carlo arrival statistics to
+// compare against. Falls back to the unrestricted maximum when nothing
+// clears the floor.
+NodeId critical_endpoint(const netlist::Netlist& design, const ssta::SstaResult& ssta,
+                         const core::SpstaResult& spsta, bool rising,
+                         double min_transition_probability = 5e-3) {
+  NodeId best = netlist::kInvalidNode;
+  double best_mean = -1e300;
+  NodeId fallback = netlist::kInvalidNode;
+  double fallback_mean = -1e300;
+  for (NodeId ep : design.timing_endpoints()) {
+    const stats::Gaussian& g = rising ? ssta.arrival[ep].rise : ssta.arrival[ep].fall;
+    const double p = rising ? spsta.node[ep].probs.pr : spsta.node[ep].probs.pf;
+    if (g.mean > fallback_mean) {
+      fallback_mean = g.mean;
+      fallback = ep;
+    }
+    if (p >= min_transition_probability && g.mean > best_mean) {
+      best_mean = g.mean;
+      best = ep;
+    }
+  }
+  return best != netlist::kInvalidNode ? best : fallback;
+}
+
+}  // namespace
+
+CircuitExperiment run_paper_experiment(const netlist::Netlist& design,
+                                       const ExperimentConfig& config) {
+  CircuitExperiment out;
+  const netlist::DelayModel delays = netlist::DelayModel::unit(design);
+  const std::vector<netlist::SourceStats> stats_vec{config.scenario};
+
+  auto t0 = std::chrono::steady_clock::now();
+  out.spsta = core::run_spsta_moment(design, delays, stats_vec);
+  out.runtime.spsta_seconds = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  out.ssta = ssta::run_ssta(design, delays, stats_vec);
+  out.runtime.ssta_seconds = seconds_since(t0);
+
+  mc::MonteCarloConfig mc_config;
+  mc_config.runs = config.mc_runs;
+  mc_config.seed = config.mc_seed;
+  t0 = std::chrono::steady_clock::now();
+  out.mc = mc::run_monte_carlo(design, delays, stats_vec, mc_config);
+  out.runtime.mc_seconds = seconds_since(t0);
+
+  out.runtime.circuit = design.name();
+
+  for (const bool rising : {true, false}) {
+    DirectionRow& row = rising ? out.rise : out.fall;
+    row.circuit = design.name();
+    row.rising = rising;
+    const NodeId ep = critical_endpoint(design, out.ssta, out.spsta, rising);
+    row.endpoint = ep;
+    if (ep == netlist::kInvalidNode) continue;
+
+    const core::NodeTop& sp = out.spsta.node[ep];
+    const core::TransitionTop& top = rising ? sp.rise : sp.fall;
+    row.spsta_mu = top.arrival.mean;
+    row.spsta_sigma = top.arrival.stddev();
+    row.spsta_p = rising ? sp.probs.pr : sp.probs.pf;
+
+    const stats::Gaussian& sa = rising ? out.ssta.arrival[ep].rise : out.ssta.arrival[ep].fall;
+    row.ssta_mu = sa.mean;
+    row.ssta_sigma = sa.stddev();
+
+    const mc::NodeEstimate& est = out.mc.node[ep];
+    const stats::RunningMoments& m = rising ? est.rise_time : est.fall_time;
+    row.mc_mu = m.mean();
+    row.mc_sigma = m.stddev();
+    row.mc_p = rising ? est.rise_probability() : est.fall_probability();
+  }
+
+  // Signal-probability accuracy: mean absolute error of SPSTA's final-one
+  // probability vs the Monte Carlo estimate, over all combinational nodes.
+  double err = 0.0;
+  std::size_t count = 0;
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    if (!netlist::is_combinational(design.node(id).type)) continue;
+    const double sp = out.spsta.node[id].probs.final_one();
+    const double mc_p = out.mc.node[id].probs().final_one();
+    err += std::abs(sp - mc_p);
+    ++count;
+  }
+  out.signal_prob_error = count > 0 ? err / static_cast<double>(count) : 0.0;
+  return out;
+}
+
+ErrorSummary summarize_errors(std::span<const DirectionRow> rows, double floor) {
+  ErrorSummary s;
+  for (const DirectionRow& r : rows) {
+    if (std::abs(r.mc_mu) > floor) {
+      s.spsta_mu += std::abs(r.spsta_mu - r.mc_mu) / std::abs(r.mc_mu);
+      s.ssta_mu += std::abs(r.ssta_mu - r.mc_mu) / std::abs(r.mc_mu);
+      ++s.rows_mu;
+    }
+    if (std::abs(r.mc_sigma) > floor) {
+      s.spsta_sigma += std::abs(r.spsta_sigma - r.mc_sigma) / r.mc_sigma;
+      s.ssta_sigma += std::abs(r.ssta_sigma - r.mc_sigma) / r.mc_sigma;
+      ++s.rows_sigma;
+    }
+    if (std::abs(r.mc_p) > floor) {
+      s.spsta_p += std::abs(r.spsta_p - r.mc_p) / r.mc_p;
+      ++s.rows_p;
+    }
+  }
+  if (s.rows_mu) {
+    s.spsta_mu /= static_cast<double>(s.rows_mu);
+    s.ssta_mu /= static_cast<double>(s.rows_mu);
+  }
+  if (s.rows_sigma) {
+    s.spsta_sigma /= static_cast<double>(s.rows_sigma);
+    s.ssta_sigma /= static_cast<double>(s.rows_sigma);
+  }
+  if (s.rows_p) s.spsta_p /= static_cast<double>(s.rows_p);
+  return s;
+}
+
+}  // namespace spsta::report

@@ -1,0 +1,60 @@
+#include "report/path_report.hpp"
+
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace spsta::report {
+
+using netlist::NodeId;
+
+std::string sta_path_report(const netlist::Netlist& design,
+                            const netlist::DelayModel& delays,
+                            const netlist::Path& path, double period) {
+  Table table({"point", "incr", "arrival"});
+  double arrival = 0.0;
+  for (NodeId id : path.nodes) {
+    const netlist::Node& n = design.node(id);
+    const double incr = netlist::is_combinational(n.type) ? delays.delay(id).mean : 0.0;
+    arrival += incr;
+    table.add_row({n.name + " (" + std::string(netlist::to_string(n.type)) + ")",
+                   Table::num(incr), Table::num(arrival)});
+  }
+  const double slack = period - arrival;
+  std::ostringstream out;
+  out << table.to_string();
+  out << "data arrival time   " << Table::num(arrival) << "\n";
+  out << "data required time  " << Table::num(period) << "\n";
+  out << "slack               " << Table::num(slack)
+      << (slack < 0.0 ? "  (VIOLATED)" : "  (MET)") << "\n";
+  return out.str();
+}
+
+std::string statistical_path_report(const netlist::Netlist& design,
+                                    const netlist::Path& path,
+                                    const ssta::SstaResult& ssta,
+                                    const core::SpstaResult& spsta) {
+  Table table({"point", "SSTA rise mu", "sigma", "SPSTA P(r)", "SPSTA mu", "sigma"});
+  for (NodeId id : path.nodes) {
+    const netlist::Node& n = design.node(id);
+    const stats::Gaussian& g = ssta.arrival[id].rise;
+    const core::NodeTop& t = spsta.node[id];
+    table.add_row({n.name + " (" + std::string(netlist::to_string(n.type)) + ")",
+                   Table::num(g.mean), Table::num(g.stddev()),
+                   Table::num(t.probs.pr, 3), Table::num(t.rise.arrival.mean),
+                   Table::num(t.rise.arrival.stddev())});
+  }
+  return table.to_string();
+}
+
+std::string critical_path_report(const netlist::Netlist& design,
+                                 const netlist::DelayModel& delays, double period) {
+  const auto paths = netlist::critical_paths(design, delays.means(), 1);
+  if (paths.empty()) return "no timing endpoints\n";
+  std::ostringstream out;
+  out << "critical path to " << design.node(paths[0].nodes.back()).name << ":\n";
+  out << sta_path_report(design, delays, paths[0], period);
+  return out.str();
+}
+
+}  // namespace spsta::report

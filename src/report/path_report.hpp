@@ -1,0 +1,42 @@
+/// \file path_report.hpp
+/// PrimeTime-style textual path reports: per-point arrival breakdown along
+/// a path, for deterministic STA and for the statistical engines (mean
+/// +- sigma per point). The human-readable face of a timing run.
+
+#pragma once
+
+#include <string>
+
+#include "core/spsta.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/graph.hpp"
+#include "netlist/netlist.hpp"
+#include "ssta/ssta.hpp"
+#include "ssta/sta.hpp"
+
+namespace spsta::report {
+
+/// Deterministic path report against a clock period:
+///
+///   point            incr   arrival  slack
+///   a (input)        0.00   0.00
+///   g1 (NAND)        1.00   1.00
+///   ...
+///   endpoint         ...    5.00     -1.00 VIOLATED
+[[nodiscard]] std::string sta_path_report(const netlist::Netlist& design,
+                                          const netlist::DelayModel& delays,
+                                          const netlist::Path& path, double period);
+
+/// Statistical path report: SSTA rise arrival mean/sigma plus SPSTA's
+/// rise transition probability and arrival at every point of the path.
+[[nodiscard]] std::string statistical_path_report(const netlist::Netlist& design,
+                                                  const netlist::Path& path,
+                                                  const ssta::SstaResult& ssta,
+                                                  const core::SpstaResult& spsta);
+
+/// Convenience: report the most critical endpoint path of a design.
+[[nodiscard]] std::string critical_path_report(const netlist::Netlist& design,
+                                               const netlist::DelayModel& delays,
+                                               double period);
+
+}  // namespace spsta::report

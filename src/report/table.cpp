@@ -1,0 +1,66 @@
+#include "report/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace spsta::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("Table::add_row: more cells than headers");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::string underline;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    underline += std::string(width[c], '-');
+    if (c + 1 < headers_.size()) underline += "  ";
+  }
+  os << underline << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace spsta::report

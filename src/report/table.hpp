@@ -1,0 +1,32 @@
+/// \file table.hpp
+/// Minimal ASCII table / CSV formatting for the benchmark harness — every
+/// bench binary prints its table or figure series through this.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spsta::report {
+
+/// Column-aligned plain-text table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; missing cells print empty, extra cells are rejected.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string to_string() const;
+  /// Renders as CSV (no quoting of commas needed for our content).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spsta::report

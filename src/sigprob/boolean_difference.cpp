@@ -1,0 +1,53 @@
+#include "sigprob/boolean_difference.hpp"
+
+namespace spsta::sigprob {
+
+using netlist::GateType;
+
+std::vector<double> boolean_difference_probabilities(GateType type,
+                                                     std::span<const double> p) {
+  const std::size_t n = p.size();
+  std::vector<double> out(n, 0.0);
+  switch (type) {
+    case GateType::Const0:
+    case GateType::Const1: break;  // no dependence
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::Buf:
+    case GateType::Not:
+      if (n >= 1) out[0] = 1.0;
+      break;
+    case GateType::And:
+    case GateType::Nand: {
+      // dy/dx_i = product of the other inputs.
+      for (std::size_t i = 0; i < n; ++i) {
+        double prod = 1.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i) prod *= p[j];
+        }
+        out[i] = prod;
+      }
+      break;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      // dy/dx_i = product of the other inputs' complements.
+      for (std::size_t i = 0; i < n; ++i) {
+        double prod = 1.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i) prod *= 1.0 - p[j];
+        }
+        out[i] = prod;
+      }
+      break;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      for (std::size_t i = 0; i < n; ++i) out[i] = 1.0;  // always sensitized
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace spsta::sigprob

@@ -1,0 +1,25 @@
+/// \file boolean_difference.hpp
+/// Boolean-difference probabilities under input independence (paper
+/// Eq. 7): P(dy/dx_i = 1) is the probability a toggle on input i
+/// propagates through the gate. Shared by transition-density power
+/// estimation (Eq. 6), toggle-moment propagation (Eq. 13) and COP
+/// observability analysis.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/gate_type.hpp"
+
+namespace spsta::sigprob {
+
+/// P(dy/dx_i = 1) for each input of a gate whose inputs are independent
+/// with the given one-probabilities: for AND/NAND the product of the
+/// other inputs' one-probabilities, for OR/NOR of their zero-
+/// probabilities; parity gates always sensitize; single-input gates pass
+/// through.
+[[nodiscard]] std::vector<double> boolean_difference_probabilities(
+    netlist::GateType type, std::span<const double> input_probs);
+
+}  // namespace spsta::sigprob

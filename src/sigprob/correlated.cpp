@@ -1,0 +1,175 @@
+#include "sigprob/correlated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::sigprob {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+std::size_t CorrelatedSignalProbabilities::index(std::size_t a, std::size_t b) const noexcept {
+  if (a < b) std::swap(a, b);
+  return a * (a + 1) / 2 + b;  // packed lower triangle, a >= b
+}
+
+double CorrelatedSignalProbabilities::covariance(NodeId a, NodeId b) const {
+  return cov_.at(index(a, b));
+}
+
+double CorrelatedSignalProbabilities::correlation(NodeId a, NodeId b) const {
+  const double va = covariance(a, a);
+  const double vb = covariance(b, b);
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return covariance(a, b) / std::sqrt(va * vb);
+}
+
+void CorrelatedSignalProbabilities::set_covariance(NodeId a, NodeId b, double c) {
+  cov_.at(index(a, b)) = c;
+}
+
+namespace {
+
+/// A working variable during gate folding: probability plus its covariance
+/// row against every already-finalized net.
+struct Virtual {
+  double p = 0.0;
+  std::vector<double> row;  // row[z] = cov(this, net z)
+};
+
+/// Loads a (possibly complemented) real net as a Virtual.
+Virtual load(const CorrelatedSignalProbabilities& state, std::size_t n, NodeId id,
+             bool complemented) {
+  Virtual v;
+  v.p = complemented ? 1.0 - state.probability(id) : state.probability(id);
+  v.row.resize(n);
+  for (std::size_t z = 0; z < n; ++z) {
+    const double c = state.covariance(id, static_cast<NodeId>(z));
+    v.row[z] = complemented ? -c : c;
+  }
+  // The self-entry becomes this variable's variance against the *real*
+  // net; diagonal handling happens at finalize time.
+  return v;
+}
+
+/// cov(a, b) where b is the (possibly complemented) real net `id`.
+double mutual(const Virtual& a, NodeId id, bool complemented) {
+  return complemented ? -a.row[id] : a.row[id];
+}
+
+/// Conjunction: P(ab) = Pa*Pb + cov(a,b);
+/// cov(ab, z) = Pa*cov(b,z) + Pb*cov(a,z)   (third cumulants truncated).
+Virtual conj(const Virtual& a, const Virtual& b, double cov_ab) {
+  Virtual out;
+  out.p = std::clamp(a.p * b.p + cov_ab, 0.0, 1.0);
+  out.row.resize(a.row.size());
+  for (std::size_t z = 0; z < a.row.size(); ++z) {
+    out.row[z] = a.p * b.row[z] + b.p * a.row[z];
+  }
+  return out;
+}
+
+/// Exclusive-or: y = a + b - 2ab.
+Virtual exclusive_or(const Virtual& a, const Virtual& b, double cov_ab) {
+  const Virtual ab = conj(a, b, cov_ab);
+  Virtual out;
+  out.p = std::clamp(a.p + b.p - 2.0 * ab.p, 0.0, 1.0);
+  out.row.resize(a.row.size());
+  for (std::size_t z = 0; z < a.row.size(); ++z) {
+    out.row[z] = a.row[z] + b.row[z] - 2.0 * ab.row[z];
+  }
+  return out;
+}
+
+void complement_in_place(Virtual& v) {
+  v.p = 1.0 - v.p;
+  for (double& c : v.row) c = -c;
+}
+
+}  // namespace
+
+CorrelatedSignalProbabilities propagate_correlated(const netlist::Netlist& design,
+                                                   std::span<const double> source_probs) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  if (source_probs.size() != sources.size() && source_probs.size() != 1) {
+    throw std::invalid_argument("propagate_correlated: source probability count mismatch");
+  }
+  const std::size_t n = design.node_count();
+  CorrelatedSignalProbabilities state(n);
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const double p = source_probs.size() == 1 ? source_probs[0] : source_probs[i];
+    state.set_probability(sources[i], p);
+    state.set_covariance(sources[i], sources[i], p * (1.0 - p));
+  }
+
+  const netlist::Levelization lv = netlist::levelize(design);
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+
+    const GateType t = node.type;
+    Virtual y;
+    switch (t) {
+      case GateType::Const0:
+      case GateType::Const1: {
+        y.p = t == GateType::Const1 ? 1.0 : 0.0;
+        y.row.assign(n, 0.0);
+        break;
+      }
+      case GateType::Buf:
+      case GateType::Not: {
+        y = load(state, n, node.fanins[0], t == GateType::Not);
+        break;
+      }
+      case GateType::And:
+      case GateType::Nand:
+      case GateType::Or:
+      case GateType::Nor: {
+        // AND folds fanins directly; OR folds complemented fanins and
+        // complements the result (De Morgan).
+        const bool fold_complemented = t == GateType::Or || t == GateType::Nor;
+        y = load(state, n, node.fanins[0], fold_complemented);
+        for (std::size_t i = 1; i < node.fanins.size(); ++i) {
+          const NodeId f = node.fanins[i];
+          const Virtual b = load(state, n, f, fold_complemented);
+          const double cab = mutual(y, f, fold_complemented);
+          y = conj(y, b, cab);
+        }
+        const bool invert = (t == GateType::Nand) || (t == GateType::Or);
+        if (invert) complement_in_place(y);
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        y = load(state, n, node.fanins[0], false);
+        for (std::size_t i = 1; i < node.fanins.size(); ++i) {
+          const NodeId f = node.fanins[i];
+          const Virtual b = load(state, n, f, false);
+          y = exclusive_or(y, b, mutual(y, f, false));
+        }
+        if (t == GateType::Xnor) complement_in_place(y);
+        break;
+      }
+      case GateType::Input:
+      case GateType::Dff: break;  // unreachable (non-combinational)
+    }
+
+    state.set_probability(id, std::clamp(y.p, 0.0, 1.0));
+    for (std::size_t z = 0; z < n; ++z) {
+      if (z == id) continue;
+      // Indicator covariances obey Frechet bounds; clamp for stability.
+      const double pz = state.probability(static_cast<NodeId>(z));
+      const double lo = std::max(-y.p * pz, -(1.0 - y.p) * (1.0 - pz));
+      const double hi = std::min(y.p * (1.0 - pz), pz * (1.0 - y.p));
+      state.set_covariance(id, static_cast<NodeId>(z), std::clamp(y.row[z], lo, hi));
+    }
+    state.set_covariance(id, id, y.p * (1.0 - y.p));
+  }
+  return state;
+}
+
+}  // namespace spsta::sigprob

@@ -1,0 +1,57 @@
+/// \file correlated.hpp
+/// First-order correlation-aware signal probability propagation
+/// (paper Sec. 3.5, Eq. 14-17): alongside each node's P(=1), pairwise
+/// covariances between every pair of nets are propagated with third- and
+/// higher-order joint cumulants truncated to zero. This sits between the
+/// independent method (Sec. 2.2.1) and the exact BDD method on the paper's
+/// accuracy/efficiency tradeoff: O(n^2) space/time versus potentially
+/// exponential BDDs.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::sigprob {
+
+/// Result of correlated propagation.
+class CorrelatedSignalProbabilities {
+ public:
+  CorrelatedSignalProbabilities(std::size_t n)
+      : n_(n), prob_(n, 0.0), cov_(n * (n + 1) / 2, 0.0) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+  [[nodiscard]] double probability(netlist::NodeId id) const { return prob_.at(id); }
+  [[nodiscard]] std::span<const double> probabilities() const noexcept { return prob_; }
+
+  /// Covariance of the 0/1 indicator variables of two nets. The diagonal
+  /// holds the Bernoulli variance P(1-P).
+  [[nodiscard]] double covariance(netlist::NodeId a, netlist::NodeId b) const;
+  /// Pearson correlation of two nets' indicators (0 when degenerate).
+  [[nodiscard]] double correlation(netlist::NodeId a, netlist::NodeId b) const;
+
+  void set_probability(netlist::NodeId id, double p) { prob_.at(id) = p; }
+  void set_covariance(netlist::NodeId a, netlist::NodeId b, double c);
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t a, std::size_t b) const noexcept;
+
+  std::size_t n_;
+  std::vector<double> prob_;
+  std::vector<double> cov_;  ///< packed lower triangle
+};
+
+/// Propagates probabilities and pairwise covariances through \p design.
+/// Sources are pairwise independent with the given P(=1) (broadcast if a
+/// single value is supplied). Multi-input gates fold pairwise through the
+/// covariance algebra:
+///   P(xy)      = P(x)P(y) + cov(x,y)                     (Eq. 15)
+///   cov(xy, z) = P(x)cov(y,z) + P(y)cov(x,z)             (Eq. 14 truncated)
+///   complement and XOR follow from set identities          (Eq. 17).
+[[nodiscard]] CorrelatedSignalProbabilities propagate_correlated(
+    const netlist::Netlist& design, std::span<const double> source_probs);
+
+}  // namespace spsta::sigprob

@@ -1,0 +1,35 @@
+#include "sigprob/exact_bdd.hpp"
+
+#include <stdexcept>
+
+#include "bdd/bdd_netlist.hpp"
+
+namespace spsta::sigprob {
+
+ExactSignalProbabilities exact_signal_probabilities(const netlist::Netlist& design,
+                                                    std::span<const double> source_probs,
+                                                    std::size_t max_bdd_nodes) {
+  const std::vector<netlist::NodeId> sources = design.timing_sources();
+  if (source_probs.size() != sources.size() && source_probs.size() != 1) {
+    throw std::invalid_argument("exact_signal_probabilities: source count mismatch");
+  }
+  std::vector<double> var_probs(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    var_probs[i] = source_probs.size() == 1 ? source_probs[0] : source_probs[i];
+  }
+
+  bdd::NetlistBdds bdds = bdd::build_netlist_bdds(design, max_bdd_nodes);
+  ExactSignalProbabilities out;
+  out.probability.assign(design.node_count(), std::nullopt);
+  out.bdd_nodes = bdds.manager.size();
+  for (netlist::NodeId id = 0; id < design.node_count(); ++id) {
+    if (bdds.function[id]) {
+      out.probability[id] = bdds.manager.probability(*bdds.function[id], var_probs);
+    } else {
+      ++out.overflowed;
+    }
+  }
+  return out;
+}
+
+}  // namespace spsta::sigprob

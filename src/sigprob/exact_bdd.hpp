@@ -1,0 +1,33 @@
+/// \file exact_bdd.hpp
+/// Exact signal probabilities via symbolic simulation (paper Sec. 3.5):
+/// build a BDD for every net and evaluate P(net = 1) over independent
+/// source probabilities. Unlike the topological method of signal_prob.hpp
+/// this accounts for all reconvergent-fanout correlation inside the cone.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::sigprob {
+
+/// Per-node exact probability, or nullopt where the BDD exceeded the node
+/// budget (such nodes fall back to approximate engines).
+struct ExactSignalProbabilities {
+  std::vector<std::optional<double>> probability;
+  /// Nodes that overflowed the budget.
+  std::size_t overflowed = 0;
+  /// Peak BDD manager size.
+  std::size_t bdd_nodes = 0;
+};
+
+/// Computes exact P(net = 1) for every node. \p source_probs follows
+/// design.timing_sources() order (or a single broadcast element).
+[[nodiscard]] ExactSignalProbabilities exact_signal_probabilities(
+    const netlist::Netlist& design, std::span<const double> source_probs,
+    std::size_t max_bdd_nodes = 1u << 22);
+
+}  // namespace spsta::sigprob

@@ -1,0 +1,167 @@
+#include "sigprob/four_value_prop.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::sigprob {
+
+using netlist::FourValue;
+using netlist::FourValueProbs;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+/// (P(initial=1), P(final=1), P(initial=1 AND final=1)) of one signal.
+struct Joint {
+  double init_one = 0.0;
+  double final_one = 0.0;
+  double both_one = 0.0;
+
+  [[nodiscard]] double both_zero() const noexcept {
+    return 1.0 - init_one - final_one + both_one;
+  }
+  [[nodiscard]] Joint complemented() const noexcept {
+    return {1.0 - init_one, 1.0 - final_one, both_zero()};
+  }
+  [[nodiscard]] FourValueProbs to_probs() const noexcept {
+    FourValueProbs out;
+    out.p1 = both_one;
+    out.pr = std::max(0.0, final_one - both_one);
+    out.pf = std::max(0.0, init_one - both_one);
+    out.p0 = std::max(0.0, 1.0 - out.p1 - out.pr - out.pf);
+    return out.normalized();
+  }
+};
+
+// AND over independent joints: both lanes are conjunctions.
+Joint and_joint(std::span<const FourValueProbs> inputs) noexcept {
+  Joint out{1.0, 1.0, 1.0};
+  for (const FourValueProbs& p : inputs) {
+    out.init_one *= p.initial_one();
+    out.final_one *= p.final_one();
+    out.both_one *= p.p1;
+  }
+  return out;
+}
+
+// OR: complement of the AND of complements.
+Joint or_joint(std::span<const FourValueProbs> inputs) noexcept {
+  Joint zeros{1.0, 1.0, 1.0};  // all inputs initial-0 / final-0 / both-0
+  for (const FourValueProbs& p : inputs) {
+    zeros.init_one *= 1.0 - p.initial_one();
+    zeros.final_one *= 1.0 - p.final_one();
+    zeros.both_one *= p.p0;
+  }
+  // `zeros` holds P(all initial 0), P(all final 0), P(all both-0); the OR
+  // output is 1 minus those events.
+  Joint out;
+  out.init_one = 1.0 - zeros.init_one;
+  out.final_one = 1.0 - zeros.final_one;
+  // P(out init 1 AND out final 1)
+  //   = 1 - P(init all-0) - P(final all-0) + P(both all-0).
+  out.both_one = 1.0 - zeros.init_one - zeros.final_one + zeros.both_one;
+  return out;
+}
+
+// XOR via parity characters: with u = E[(-1)^init], v = E[(-1)^final],
+// w = E[(-1)^(init+final)] per input, independence gives
+//   P(parityI=1)            = (1 - prod u) / 2
+//   P(parityF=1)            = (1 - prod v) / 2
+//   P(parityI=1, parityF=1) = (1 - prod u - prod v + prod w) / 4.
+Joint xor_joint(std::span<const FourValueProbs> inputs) noexcept {
+  double pu = 1.0, pv = 1.0, pw = 1.0;
+  for (const FourValueProbs& p : inputs) {
+    pu *= 1.0 - 2.0 * p.initial_one();
+    pv *= 1.0 - 2.0 * p.final_one();
+    pw *= p.p0 + p.p1 - p.pr - p.pf;
+  }
+  Joint out;
+  out.init_one = 0.5 * (1.0 - pu);
+  out.final_one = 0.5 * (1.0 - pv);
+  out.both_one = 0.25 * (1.0 - pu - pv + pw);
+  return out;
+}
+
+}  // namespace
+
+FourValueProbs gate_four_value(GateType type, std::span<const FourValueProbs> inputs) {
+  switch (type) {
+    case GateType::Const0: return {1.0, 0.0, 0.0, 0.0};
+    case GateType::Const1: return {0.0, 1.0, 0.0, 0.0};
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::Buf:
+      return inputs.empty() ? FourValueProbs{1.0, 0.0, 0.0, 0.0} : inputs[0];
+    case GateType::Not: {
+      const FourValueProbs& p = inputs.front();
+      return {p.p1, p.p0, p.pf, p.pr};  // 0<->1, r<->f
+    }
+    case GateType::And: return and_joint(inputs).to_probs();
+    case GateType::Nand: return and_joint(inputs).complemented().to_probs();
+    case GateType::Or: return or_joint(inputs).to_probs();
+    case GateType::Nor: return or_joint(inputs).complemented().to_probs();
+    case GateType::Xor: return xor_joint(inputs).to_probs();
+    case GateType::Xnor: return xor_joint(inputs).complemented().to_probs();
+  }
+  return {1.0, 0.0, 0.0, 0.0};
+}
+
+FourValueProbs gate_four_value_enumerated(GateType type,
+                                          std::span<const FourValueProbs> inputs) {
+  if (inputs.size() > 12) {
+    throw std::invalid_argument("gate_four_value_enumerated: too many inputs");
+  }
+  const std::size_t n = inputs.size();
+  FourValueProbs acc{0.0, 0.0, 0.0, 0.0};
+  std::vector<FourValue> values(n, FourValue::Zero);
+  std::size_t combos = 1;
+  for (std::size_t i = 0; i < n; ++i) combos *= 4;
+  static constexpr FourValue kValues[4] = {FourValue::Zero, FourValue::One,
+                                           FourValue::Rise, FourValue::Fall};
+  for (std::size_t code = 0; code < std::max<std::size_t>(combos, 1); ++code) {
+    double weight = 1.0;
+    std::size_t rem = code;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FourValue v = kValues[rem & 3u];
+      rem >>= 2;
+      values[i] = v;
+      weight *= inputs[i].prob(v);
+    }
+    if (weight == 0.0) continue;
+    switch (netlist::eval_four_value(type, values)) {
+      case FourValue::Zero: acc.p0 += weight; break;
+      case FourValue::One: acc.p1 += weight; break;
+      case FourValue::Rise: acc.pr += weight; break;
+      case FourValue::Fall: acc.pf += weight; break;
+    }
+  }
+  return acc;
+}
+
+std::vector<FourValueProbs> propagate_four_value(
+    const netlist::Netlist& design, std::span<const FourValueProbs> source_probs) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  if (source_probs.size() != sources.size() && source_probs.size() != 1) {
+    throw std::invalid_argument("propagate_four_value: source probability count mismatch");
+  }
+  std::vector<FourValueProbs> probs(design.node_count(), FourValueProbs{1.0, 0.0, 0.0, 0.0});
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    probs[sources[i]] =
+        (source_probs.size() == 1 ? source_probs[0] : source_probs[i]).normalized();
+  }
+  const netlist::Levelization lv = netlist::levelize(design);
+  std::vector<FourValueProbs> ins;
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    ins.clear();
+    for (NodeId f : node.fanins) ins.push_back(probs[f]);
+    probs[id] = gate_four_value(node.type, ins);
+  }
+  return probs;
+}
+
+}  // namespace spsta::sigprob

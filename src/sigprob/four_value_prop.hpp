@@ -1,0 +1,40 @@
+/// \file four_value_prop.hpp
+/// Four-value signal probability propagation (paper Sec. 3.3, Eq. 9/10):
+/// computes (P0, P1, Pr, Pf) per net from independent input statistics.
+///
+/// Internally every gate reduces to three quantities about its output —
+///   qI = P(initial value 1), qF = P(final value 1), qB = P(both 1) —
+/// from which P1 = qB, Pr = qF - qB, Pf = qI - qB, P0 = the rest. For
+/// AND/OR-family gates these have product closed forms that coincide with
+/// the paper's Eq. 10; XOR uses a parity-character identity; and an exact
+/// O(4^k) enumeration is provided as the general fallback and test oracle.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::sigprob {
+
+/// Output four-value probabilities of a gate with independent inputs,
+/// closed form. Matches the enumeration oracle to rounding for every gate
+/// type (including the glitch-filtering semantics of eval_four_value).
+[[nodiscard]] netlist::FourValueProbs gate_four_value(
+    netlist::GateType type, std::span<const netlist::FourValueProbs> inputs);
+
+/// Exact enumeration over all 4^k input combinations (k <= 12) — the
+/// oracle for gate_four_value.
+[[nodiscard]] netlist::FourValueProbs gate_four_value_enumerated(
+    netlist::GateType type, std::span<const netlist::FourValueProbs> inputs);
+
+/// Propagates four-value probabilities through \p design. \p source_probs
+/// is per timing source (design.timing_sources() order) or a single
+/// element broadcast to all sources. Returns one FourValueProbs per node.
+[[nodiscard]] std::vector<netlist::FourValueProbs> propagate_four_value(
+    const netlist::Netlist& design,
+    std::span<const netlist::FourValueProbs> source_probs);
+
+}  // namespace spsta::sigprob

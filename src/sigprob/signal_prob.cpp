@@ -1,0 +1,85 @@
+#include "sigprob/signal_prob.hpp"
+
+#include <stdexcept>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::sigprob {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+double gate_output_probability(GateType type, std::span<const double> p) {
+  switch (type) {
+    case GateType::Const0: return 0.0;
+    case GateType::Const1: return 1.0;
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::Buf: return p.empty() ? 0.0 : p[0];
+    case GateType::Not: return p.empty() ? 1.0 : 1.0 - p[0];
+    case GateType::And:
+    case GateType::Nand: {
+      double prod = 1.0;
+      for (double x : p) prod *= x;
+      return type == GateType::And ? prod : 1.0 - prod;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      double prod = 1.0;
+      for (double x : p) prod *= 1.0 - x;
+      return type == GateType::Or ? 1.0 - prod : prod;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      // P(parity odd) folds as p XOR q = p + q - 2pq.
+      double odd = 0.0;
+      for (double x : p) odd = odd + x - 2.0 * odd * x;
+      return type == GateType::Xor ? odd : 1.0 - odd;
+    }
+  }
+  return 0.0;
+}
+
+double gate_output_probability_enumerated(GateType type, std::span<const double> p) {
+  if (p.size() > 20) {
+    throw std::invalid_argument("gate_output_probability_enumerated: too many inputs");
+  }
+  const std::size_t n = p.size();
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    double weight = 1.0;
+    bool arr[24];
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool one = (mask >> i) & 1u;
+      arr[i] = one;
+      weight *= one ? p[i] : 1.0 - p[i];
+    }
+    if (netlist::eval_gate(type, std::span<const bool>(arr, n))) total += weight;
+  }
+  return total;
+}
+
+std::vector<double> propagate_signal_probabilities(const netlist::Netlist& design,
+                                                   std::span<const double> source_probs) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  if (source_probs.size() != sources.size() && source_probs.size() != 1) {
+    throw std::invalid_argument(
+        "propagate_signal_probabilities: source probability count mismatch");
+  }
+  std::vector<double> prob(design.node_count(), 0.0);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    prob[sources[i]] = source_probs.size() == 1 ? source_probs[0] : source_probs[i];
+  }
+  const netlist::Levelization lv = netlist::levelize(design);
+  std::vector<double> ins;
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    ins.clear();
+    for (NodeId f : node.fanins) ins.push_back(prob[f]);
+    prob[id] = gate_output_probability(node.type, ins);
+  }
+  return prob;
+}
+
+}  // namespace spsta::sigprob

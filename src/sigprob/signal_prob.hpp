@@ -1,0 +1,34 @@
+/// \file signal_prob.hpp
+/// Classical two-value signal probability propagation (paper Sec. 2.2.1,
+/// Eq. 5) assuming independent gate inputs: one breadth-first netlist
+/// traversal computing P(net = 1) for every node.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::sigprob {
+
+/// P(output = 1) of a gate with independent inputs of the given one-
+/// probabilities. Closed forms for all gate types (AND/OR chains, XOR via
+/// parity folding). Constants ignore inputs.
+[[nodiscard]] double gate_output_probability(netlist::GateType type,
+                                             std::span<const double> input_probs);
+
+/// Same value computed by brute-force enumeration of all 2^k input
+/// combinations — the test oracle for gate_output_probability.
+/// Precondition: input_probs.size() <= 20.
+[[nodiscard]] double gate_output_probability_enumerated(
+    netlist::GateType type, std::span<const double> input_probs);
+
+/// Propagates signal probabilities through \p design. \p source_probs
+/// maps each timing source (in design.timing_sources() order) to its
+/// P(=1); a single-element span broadcasts to all sources. Returns P(=1)
+/// per node id.
+[[nodiscard]] std::vector<double> propagate_signal_probabilities(
+    const netlist::Netlist& design, std::span<const double> source_probs);
+
+}  // namespace spsta::sigprob

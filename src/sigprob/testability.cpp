@@ -1,0 +1,82 @@
+#include "sigprob/testability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/levelize.hpp"
+#include "sigprob/boolean_difference.hpp"
+#include "sigprob/signal_prob.hpp"
+
+namespace spsta::sigprob {
+
+using netlist::NodeId;
+
+double TestabilityResult::expected_coverage(std::size_t vectors) const {
+  double covered = 0.0;
+  std::size_t faults = 0;
+  for (std::size_t i = 0; i < detect_sa0.size(); ++i) {
+    for (double p : {detect_sa0[i], detect_sa1[i]}) {
+      covered += 1.0 - std::pow(1.0 - std::clamp(p, 0.0, 1.0),
+                                static_cast<double>(vectors));
+      ++faults;
+    }
+  }
+  return faults > 0 ? covered / static_cast<double>(faults) : 0.0;
+}
+
+std::vector<NodeId> TestabilityResult::hard_faults(double p_floor) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < detect_sa0.size(); ++i) {
+    if (std::min(detect_sa0[i], detect_sa1[i]) < p_floor) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+TestabilityResult analyze_testability(const netlist::Netlist& design,
+                                      std::span<const double> source_probs) {
+  TestabilityResult out;
+  out.controllability_one = propagate_signal_probabilities(design, source_probs);
+
+  const std::size_t n = design.node_count();
+  out.observability.assign(n, 0.0);
+
+  // Endpoints are directly observable.
+  for (NodeId ep : design.timing_endpoints()) out.observability[ep] = 1.0;
+
+  // Backward pass in reverse topological order: a net's change is visible
+  // if it propagates through at least one fanout gate whose output is
+  // observable (independence across branches).
+  const netlist::Levelization lv = netlist::levelize(design);
+  std::vector<double> fanin_probs;
+  for (auto it = lv.order.rbegin(); it != lv.order.rend(); ++it) {
+    const NodeId id = *it;
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    if (out.observability[id] <= 0.0) continue;
+
+    fanin_probs.clear();
+    for (NodeId f : node.fanins) fanin_probs.push_back(out.controllability_one[f]);
+    const std::vector<double> diff =
+        boolean_difference_probabilities(node.type, fanin_probs);
+    for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+      const NodeId f = node.fanins[i];
+      const double through = out.observability[id] * diff[i];
+      // Combine with other observation paths: 1 - prod(1 - O_branch).
+      out.observability[f] = 1.0 - (1.0 - out.observability[f]) * (1.0 - through);
+    }
+  }
+
+  out.detect_sa0.resize(n);
+  out.detect_sa1.resize(n);
+  for (NodeId id = 0; id < n; ++id) {
+    // stuck-at-0 is detected when the net should be 1 and the site is
+    // observed; dually for stuck-at-1.
+    out.detect_sa0[id] = out.observability[id] * out.controllability_one[id];
+    out.detect_sa1[id] = out.observability[id] * (1.0 - out.controllability_one[id]);
+  }
+  return out;
+}
+
+}  // namespace spsta::sigprob

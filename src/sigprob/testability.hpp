@@ -1,0 +1,54 @@
+/// \file testability.hpp
+/// COP-style random-pattern testability analysis. The paper argues that
+/// "manufactured chips are tested dynamically, i.e., by given test vectors
+/// for a required fault coverage" (Sec. 1); this module computes the
+/// classical controllability/observability products that predict that
+/// coverage under random vectors:
+///
+///   controllability C1(net) = P(net = 1)   (the signal probability),
+///   observability   O(net)  = P(a value change on the net is visible at
+///                              some primary output / DFF D pin),
+///   detectability of stuck-at-v at net     = O(net) * P(net = !v).
+///
+/// Observability propagates backward: O(output) = 1; through a gate, an
+/// input's observability is the gate output's observability times the
+/// Boolean-difference probability (Eq. 7's sensitization condition —
+/// shared with the transition-density machinery). Reconvergent fanout is
+/// combined with the standard independence approximation
+/// O = 1 - prod(1 - O_branch).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::sigprob {
+
+/// Per-net testability measures.
+struct TestabilityResult {
+  std::vector<double> controllability_one;   ///< P(net = 1)
+  std::vector<double> observability;         ///< P(change visible at an endpoint)
+  /// detect_sa0[n] = P(random vector detects stuck-at-0 at n)
+  ///              = observability[n] * P(net = 1); dually for sa1.
+  std::vector<double> detect_sa0;
+  std::vector<double> detect_sa1;
+
+  /// Expected random-pattern fault coverage over the stuck-at fault list
+  /// (both polarities at every net) after \p vectors random vectors:
+  /// mean over faults of 1 - (1 - p_detect)^vectors.
+  [[nodiscard]] double expected_coverage(std::size_t vectors) const;
+  /// Nets whose harder-to-detect fault needs more than \p vectors random
+  /// patterns for 50% detection odds — the classic "random-pattern
+  /// resistant" list.
+  [[nodiscard]] std::vector<netlist::NodeId> hard_faults(double p_floor) const;
+};
+
+/// Runs COP analysis: one forward signal-probability pass plus one
+/// backward observability pass. \p source_probs follows
+/// design.timing_sources() order (single element broadcasts).
+[[nodiscard]] TestabilityResult analyze_testability(
+    const netlist::Netlist& design, std::span<const double> source_probs);
+
+}  // namespace spsta::sigprob

@@ -1,0 +1,115 @@
+#include "ssta/canonical_ssta.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "netlist/levelize.hpp"
+#include "ssta/ssta.hpp"
+
+namespace spsta::ssta {
+
+using netlist::GateType;
+using netlist::NodeId;
+using variational::CanonicalForm;
+
+double CanonicalSstaResult::rise_correlation(NodeId a, NodeId b) const {
+  return variational::correlation(arrival.at(a).rise, arrival.at(b).rise);
+}
+
+CanonicalSstaResult run_canonical_ssta(const netlist::Netlist& design,
+                                       const netlist::DelayModel& delays,
+                                       std::span<const netlist::SourceStats> source_stats,
+                                       const VariationModel& variation) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
+    throw std::invalid_argument("run_canonical_ssta: source stats count mismatch");
+  }
+  if (variation.global_fraction < 0.0 || variation.per_type_fraction < 0.0 ||
+      variation.global_fraction + variation.per_type_fraction > 1.0 + 1e-12) {
+    throw std::invalid_argument("run_canonical_ssta: variance fractions out of range");
+  }
+
+  constexpr std::size_t kNumTypes = static_cast<std::size_t>(GateType::Dff) + 1;
+  const bool with_type_params = variation.per_type_fraction > 0.0;
+  const std::size_t type_params = with_type_params ? kNumTypes : 0;
+
+  CanonicalSstaResult result;
+  result.first_source_param = 1 + type_params;
+  result.num_params = result.first_source_param + 2 * sources.size();
+
+  // Gate delay as a canonical form (per output direction).
+  const auto delay_form = [&](NodeId id, bool rising) {
+    const stats::Gaussian& d = delays.delay(id, rising);
+    CanonicalForm form(d.mean, result.num_params);
+    const double var = d.var;
+    if (var > 0.0) {
+      const double g = var * variation.global_fraction;
+      const double t = var * variation.per_type_fraction;
+      const double r = std::max(0.0, var - g - t);
+      form.set_sensitivity(0, std::sqrt(g));
+      if (with_type_params) {
+        const std::size_t tp = 1 + static_cast<std::size_t>(design.node(id).type);
+        form.set_sensitivity(tp, std::sqrt(t));
+      }
+      form.set_residual(std::sqrt(r));
+    }
+    return form;
+  };
+
+  result.arrival.assign(
+      design.node_count(),
+      CanonicalArrival{CanonicalForm(0.0, result.num_params),
+                       CanonicalForm(0.0, result.num_params)});
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const netlist::SourceStats& st =
+        source_stats.size() == 1 ? source_stats[0] : source_stats[i];
+    CanonicalForm rise(st.rise_arrival.mean, result.num_params);
+    rise.set_sensitivity(result.first_source_param + 2 * i, st.rise_arrival.stddev());
+    CanonicalForm fall(st.fall_arrival.mean, result.num_params);
+    fall.set_sensitivity(result.first_source_param + 2 * i + 1,
+                         st.fall_arrival.stddev());
+    result.arrival[sources[i]] = {std::move(rise), std::move(fall)};
+  }
+
+  const netlist::Levelization lv = netlist::levelize(design);
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    if (node.fanins.empty()) {
+      result.arrival[id] = {CanonicalForm(0.0, result.num_params),
+                            CanonicalForm(0.0, result.num_params)};
+      continue;
+    }
+    const bool inverted = inputs_inverted(node.type);
+    CanonicalArrival out{CanonicalForm(0.0, result.num_params),
+                         CanonicalForm(0.0, result.num_params)};
+    for (const bool output_rising : {true, false}) {
+      const ArrivalOp op = arrival_op(node.type, output_rising);
+      CanonicalForm acc(0.0, result.num_params);
+      bool first = true;
+      for (NodeId f : node.fanins) {
+        const CanonicalArrival& in = result.arrival[f];
+        CanonicalForm contrib(0.0, result.num_params);
+        if (node.type == GateType::Xor || node.type == GateType::Xnor) {
+          contrib = variational::max(in.rise, in.fall);
+        } else {
+          const bool take_rise = output_rising != inverted;
+          contrib = take_rise ? in.rise : in.fall;
+        }
+        if (first) {
+          acc = std::move(contrib);
+          first = false;
+        } else {
+          acc = (op == ArrivalOp::Max) ? variational::max(acc, contrib)
+                                       : variational::min(acc, contrib);
+        }
+      }
+      (output_rising ? out.rise : out.fall) =
+          variational::sum(acc, delay_form(id, output_rising));
+    }
+    result.arrival[id] = std::move(out);
+  }
+  return result;
+}
+
+}  // namespace spsta::ssta

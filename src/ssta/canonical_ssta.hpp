@@ -1,0 +1,58 @@
+/// \file canonical_ssta.hpp
+/// Parameterized block-based SSTA over canonical first-order forms (the
+/// paper's Sec. 1 background refs [14, 25]): gate delays decompose into a
+/// die-to-die global component, per-type regional components, and an
+/// independent random residual, so arrival times carry their correlation
+/// structure through Clark MAX/MIN. This is what "corner cannot be
+/// enumerated" engines deploy; it contrasts with plain moment SSTA (which
+/// forgets correlation at every merge) in the ablation benches.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+#include "variational/canonical.hpp"
+
+namespace spsta::ssta {
+
+/// How each gate's delay variance splits across parameters.
+struct VariationModel {
+  /// Fraction of each gate's delay *variance* assigned to the single
+  /// die-to-die parameter (perfectly correlated across all gates).
+  double global_fraction = 0.5;
+  /// Fraction assigned to a per-gate-type parameter (correlated among
+  /// same-type gates; models systematic per-cell variation).
+  double per_type_fraction = 0.0;
+  /// The remainder is an independent per-gate residual.
+};
+
+/// Canonical rise/fall arrivals per node.
+struct CanonicalArrival {
+  variational::CanonicalForm rise;
+  variational::CanonicalForm fall;
+};
+
+/// Result: arrivals plus the parameter layout.
+struct CanonicalSstaResult {
+  std::vector<CanonicalArrival> arrival;
+  /// Parameter 0: die-to-die. Parameters 1..: one per gate type (when
+  /// per_type_fraction > 0), then 2 per source (rise/fall arrivals).
+  std::size_t num_params = 0;
+  std::size_t first_source_param = 0;
+
+  /// Correlation of two nodes' rise arrivals through shared parameters.
+  [[nodiscard]] double rise_correlation(netlist::NodeId a, netlist::NodeId b) const;
+};
+
+/// Runs canonical SSTA. Source arrival distributions come from
+/// \p source_stats (value probabilities ignored, as in plain SSTA).
+[[nodiscard]] CanonicalSstaResult run_canonical_ssta(
+    const netlist::Netlist& design, const netlist::DelayModel& delays,
+    std::span<const netlist::SourceStats> source_stats,
+    const VariationModel& variation = {});
+
+}  // namespace spsta::ssta

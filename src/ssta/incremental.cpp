@@ -1,0 +1,128 @@
+#include "ssta/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spsta::ssta {
+
+using netlist::NodeId;
+
+namespace {
+bool nearly_equal(const stats::Gaussian& a, const stats::Gaussian& b) {
+  constexpr double kEps = 1e-12;
+  return std::abs(a.mean - b.mean) <= kEps && std::abs(a.var - b.var) <= kEps;
+}
+}  // namespace
+
+IncrementalSsta::IncrementalSsta(const netlist::Netlist& design,
+                                 netlist::DelayModel delays,
+                                 std::span<const netlist::SourceStats> source_stats)
+    : design_(design), delays_(std::move(delays)), levels_(netlist::levelize(design)) {
+  const std::vector<NodeId> sources = design_.timing_sources();
+  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
+    throw std::invalid_argument("IncrementalSsta: source stats count mismatch");
+  }
+  source_stats_.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    source_stats_.push_back(source_stats.size() == 1 ? source_stats[0]
+                                                     : source_stats[i]);
+  }
+
+  level_order_ = levels_.order;  // already topological, level-compatible
+  order_pos_.assign(design_.node_count(), 0);
+  for (std::size_t i = 0; i < level_order_.size(); ++i) order_pos_[level_order_[i]] = i;
+
+  // Initial full propagation.
+  arrival_.assign(design_.node_count(), NodeArrival{});
+  dirty_.assign(design_.node_count(), 0);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    arrival_[sources[i]] = {source_stats_[i].rise_arrival, source_stats_[i].fall_arrival};
+  }
+  for (NodeId id : level_order_) {
+    if (!netlist::is_combinational(design_.node(id).type)) continue;
+    arrival_[id] = propagate_gate_arrival(design_, id, arrival_, delays_);
+  }
+}
+
+void IncrementalSsta::mark_dirty(NodeId id) {
+  if (dirty_[id]) return;
+  dirty_[id] = 1;
+  const std::size_t pos = order_pos_[id];
+  if (!any_dirty_) {
+    dirty_lo_ = dirty_hi_ = pos;
+    any_dirty_ = true;
+  } else {
+    dirty_lo_ = std::min(dirty_lo_, pos);
+    dirty_hi_ = std::max(dirty_hi_, pos);
+  }
+}
+
+bool IncrementalSsta::recompute(NodeId id) {
+  const NodeArrival updated = propagate_gate_arrival(design_, id, arrival_, delays_);
+  ++nodes_reevaluated_;
+  if (nearly_equal(updated.rise, arrival_[id].rise) &&
+      nearly_equal(updated.fall, arrival_[id].fall)) {
+    return false;
+  }
+  arrival_[id] = updated;
+  return true;
+}
+
+void IncrementalSsta::propagate_dirty() {
+  if (!any_dirty_) return;
+  for (std::size_t pos = dirty_lo_; pos <= dirty_hi_ && pos < level_order_.size();
+       ++pos) {
+    const NodeId id = level_order_[pos];
+    if (!dirty_[id]) continue;
+    dirty_[id] = 0;
+    if (!netlist::is_combinational(design_.node(id).type)) continue;
+    if (recompute(id)) {
+      for (NodeId fo : design_.node(id).fanouts) {
+        if (!netlist::is_combinational(design_.node(fo).type)) continue;  // D pin
+        mark_dirty(fo);
+      }
+    }
+  }
+  any_dirty_ = false;
+}
+
+const NodeArrival& IncrementalSsta::arrival(NodeId id) {
+  propagate_dirty();
+  return arrival_.at(id);
+}
+
+const std::vector<NodeArrival>& IncrementalSsta::flush() {
+  propagate_dirty();
+  return arrival_;
+}
+
+void IncrementalSsta::set_delay(NodeId id, const stats::Gaussian& delay) {
+  if (id >= design_.node_count()) {
+    throw std::invalid_argument("IncrementalSsta::set_delay: bad node id");
+  }
+  if (nearly_equal(delays_.delay(id), delay)) return;
+  delays_.set_delay(id, delay);
+  if (netlist::is_combinational(design_.node(id).type)) {
+    mark_dirty(id);
+  }
+}
+
+void IncrementalSsta::set_source_arrival(std::size_t source_index,
+                                         const stats::Gaussian& rise,
+                                         const stats::Gaussian& fall) {
+  const std::vector<NodeId> sources = design_.timing_sources();
+  if (source_index >= sources.size()) {
+    throw std::invalid_argument("IncrementalSsta::set_source_arrival: bad index");
+  }
+  source_stats_[source_index].rise_arrival = rise;
+  source_stats_[source_index].fall_arrival = fall;
+  const NodeId src = sources[source_index];
+  arrival_[src] = {rise, fall};
+  for (NodeId fo : design_.node(src).fanouts) {
+    if (!netlist::is_combinational(design_.node(fo).type)) continue;
+    mark_dirty(fo);
+  }
+}
+
+}  // namespace spsta::ssta

@@ -1,0 +1,147 @@
+#include "ssta/node_criticality.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::ssta {
+
+using netlist::GateType;
+using netlist::NodeId;
+using stats::Gaussian;
+
+namespace {
+
+/// One contribution to a gate-lane merge: which fanin, through which of
+/// the fanin's lanes, and the probability that contribution won the merge.
+struct MergeShare {
+  NodeId fanin = netlist::kInvalidNode;
+  bool fanin_rising = true;
+  double win = 0.0;
+};
+
+}  // namespace
+
+NodeCriticality compute_node_criticality(const netlist::Netlist& design,
+                                         const netlist::DelayModel& delays,
+                                         std::span<const netlist::SourceStats> source_stats) {
+  NodeCriticality out;
+  out.ssta = run_ssta(design, delays, source_stats);
+  const std::size_t n = design.node_count();
+
+  // Forward: per gate and lane, the per-contribution win probabilities.
+  // merge[node][lane]: lane 0 = rise, 1 = fall.
+  std::vector<std::array<std::vector<MergeShare>, 2>> merge(n);
+  const netlist::Levelization lv = netlist::levelize(design);
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type) || node.fanins.empty()) continue;
+    const bool inverted = inputs_inverted(node.type);
+    for (const bool output_rising : {true, false}) {
+      const ArrivalOp op = arrival_op(node.type, output_rising);
+      std::vector<MergeShare>& shares = merge[id][output_rising ? 0 : 1];
+      Gaussian acc;
+      bool first = true;
+      for (NodeId f : node.fanins) {
+        const NodeArrival& in = out.ssta.arrival[f];
+        Gaussian contrib;
+        MergeShare share;
+        share.fanin = f;
+        if (node.type == GateType::Xor || node.type == GateType::Xnor) {
+          // The input contributes through whichever lane wins its local max.
+          const stats::ClarkResult lanes = stats::clark_max(in.rise, in.fall);
+          contrib = lanes.moments;
+          share.fanin_rising = lanes.tightness >= 0.5;
+          // Split precisely below once the merge share is known; store the
+          // rise share in `win`'s complement via a second entry.
+          // Handled after the fold; keep the lane split probability here.
+          share.win = lanes.tightness;  // temporarily: P(rise lane wins locally)
+        } else {
+          const bool take_rise = output_rising != inverted;
+          contrib = take_rise ? in.rise : in.fall;
+          share.fanin_rising = take_rise;
+          share.win = 1.0;  // placeholder until fold assigns probabilities
+        }
+        if (first) {
+          acc = contrib;
+          first = false;
+          shares.push_back(share);
+          shares.back().win = 1.0;  // sole contributor so far
+          if (node.type == GateType::Xor || node.type == GateType::Xnor) {
+            // Re-split between the input's lanes.
+            const stats::ClarkResult lanes = stats::clark_max(in.rise, in.fall);
+            shares.back().fanin_rising = true;
+            shares.back().win = lanes.tightness;
+            MergeShare fall_share = share;
+            fall_share.fanin_rising = false;
+            fall_share.win = 1.0 - lanes.tightness;
+            shares.push_back(fall_share);
+          }
+        } else {
+          const stats::ClarkResult cr = (op == ArrivalOp::Max)
+                                            ? stats::clark_max(acc, contrib)
+                                            : stats::clark_min(acc, contrib);
+          // Existing shares scale by P(acc side wins); the new contribution
+          // takes the complement.
+          for (MergeShare& s : shares) s.win *= cr.tightness;
+          const double new_win = 1.0 - cr.tightness;
+          if (node.type == GateType::Xor || node.type == GateType::Xnor) {
+            const stats::ClarkResult lanes = stats::clark_max(in.rise, in.fall);
+            MergeShare rise_share{f, true, new_win * lanes.tightness};
+            MergeShare fall_share{f, false, new_win * (1.0 - lanes.tightness)};
+            shares.push_back(rise_share);
+            shares.push_back(fall_share);
+          } else {
+            MergeShare s = share;
+            s.win = new_win;
+            shares.push_back(s);
+          }
+          acc = cr.moments;
+        }
+      }
+    }
+  }
+
+  // Endpoint seeding: probability each endpoint's rise arrival is the
+  // circuit-latest (Clark cascade over endpoints).
+  out.endpoint_criticality.assign(n, 0.0);
+  const std::vector<NodeId> endpoints = design.timing_endpoints();
+  if (!endpoints.empty()) {
+    std::vector<double> win(endpoints.size(), 0.0);
+    Gaussian running = out.ssta.arrival[endpoints[0]].rise;
+    win[0] = 1.0;
+    for (std::size_t i = 1; i < endpoints.size(); ++i) {
+      const stats::ClarkResult cr =
+          stats::clark_max(running, out.ssta.arrival[endpoints[i]].rise);
+      for (std::size_t j = 0; j < i; ++j) win[j] *= cr.tightness;
+      win[i] = 1.0 - cr.tightness;
+      running = cr.moments;
+    }
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      out.endpoint_criticality[endpoints[i]] += win[i];
+    }
+  }
+
+  // Backward sweep over (node, lane) criticalities.
+  std::vector<std::array<double, 2>> crit(n, {0.0, 0.0});
+  for (NodeId ep : endpoints) crit[ep][0] += out.endpoint_criticality[ep];
+  for (auto it = lv.order.rbegin(); it != lv.order.rend(); ++it) {
+    const NodeId id = *it;
+    for (int lane = 0; lane < 2; ++lane) {
+      const double c = crit[id][lane];
+      if (c <= 0.0) continue;
+      for (const MergeShare& s : merge[id][lane]) {
+        crit[s.fanin][s.fanin_rising ? 0 : 1] += c * s.win;
+      }
+    }
+  }
+
+  out.criticality.assign(n, 0.0);
+  for (NodeId id = 0; id < n; ++id) {
+    out.criticality[id] = std::min(1.0, crit[id][0] + crit[id][1]);
+  }
+  return out;
+}
+
+}  // namespace spsta::ssta

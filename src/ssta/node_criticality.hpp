@@ -1,0 +1,43 @@
+/// \file node_criticality.hpp
+/// Per-node statistical criticality for block-based SSTA: the probability
+/// that a node lies on the circuit's critical path, computed from the
+/// tightness probabilities of every Clark MAX/MIN merge (the standard
+/// block-based criticality cascade; paper Sec. 1 background credits
+/// path-based SSTA with "timing criticality probabilities ... for signoff
+/// analysis" — this is the block-based equivalent).
+///
+/// Two passes: forward SSTA recording each merge's per-input win
+/// probabilities, then a backward sweep seeding endpoints with their
+/// probability of being the circuit-latest arrival and distributing each
+/// node's criticality to the fanin that won its merge.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+#include "ssta/ssta.hpp"
+
+namespace spsta::ssta {
+
+/// Criticality result for one transition direction (rising by default —
+/// the paper's Table 2 headline direction).
+struct NodeCriticality {
+  /// criticality[node]: P(node is on the critical path), in [0, 1].
+  std::vector<double> criticality;
+  /// P(endpoint e is the circuit-latest), per node id (0 elsewhere).
+  std::vector<double> endpoint_criticality;
+  /// The underlying SSTA state.
+  SstaResult ssta;
+};
+
+/// Computes rising-arrival criticalities for \p design under \p delays and
+/// \p source_stats (same conventions as run_ssta).
+[[nodiscard]] NodeCriticality compute_node_criticality(
+    const netlist::Netlist& design, const netlist::DelayModel& delays,
+    std::span<const netlist::SourceStats> source_stats);
+
+}  // namespace spsta::ssta

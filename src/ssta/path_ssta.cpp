@@ -1,0 +1,75 @@
+#include "ssta/path_ssta.hpp"
+
+#include <algorithm>
+
+namespace spsta::ssta {
+
+using netlist::NodeId;
+using stats::Gaussian;
+
+PathSstaResult run_path_ssta(const netlist::Netlist& design,
+                             const netlist::DelayModel& delays,
+                             const Gaussian& source_arrival, std::size_t k) {
+  const std::vector<double> means = delays.means();
+  const std::vector<netlist::Path> structural = netlist::critical_paths(design, means, k);
+
+  PathSstaResult result;
+  result.paths.reserve(structural.size());
+  for (const netlist::Path& p : structural) {
+    Gaussian d = source_arrival;
+    for (NodeId id : p.nodes) d = stats::sum(d, delays.delay(id));
+    result.paths.push_back({p, d, 0.0});
+  }
+  std::stable_sort(result.paths.begin(), result.paths.end(),
+                   [](const PathTiming& a, const PathTiming& b) {
+                     return a.delay.mean > b.delay.mean;
+                   });
+
+  if (result.paths.empty()) return result;
+
+  // Pairwise covariance from shared gates (each gate's delay variance is
+  // common to every path through it). The running max folds paths in with
+  // Clark, using the covariance against the accumulated max approximated
+  // by the covariance against the heaviest path folded so far.
+  const auto shared_cov = [&](const PathTiming& a, const PathTiming& b) {
+    double cov = source_arrival.var;  // all endpoint paths share the source arrival
+    std::size_t i = 0;
+    // Paths are node id sequences; shared gates found via sorted copies.
+    std::vector<NodeId> sa = a.path.nodes, sb = b.path.nodes;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    std::size_t j = 0;
+    while (i < sa.size() && j < sb.size()) {
+      if (sa[i] == sb[j]) {
+        cov += delays.delay(sa[i]).var;
+        ++i;
+        ++j;
+      } else if (sa[i] < sb[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return cov;
+  };
+
+  Gaussian running = result.paths[0].delay;
+  std::vector<double> tightness(result.paths.size(), 0.0);
+  tightness[0] = 1.0;
+  for (std::size_t i = 1; i < result.paths.size(); ++i) {
+    const double cov = shared_cov(result.paths[i - 1], result.paths[i]);
+    const stats::ClarkResult cr = stats::clark_max(running, result.paths[i].delay, cov);
+    // The new path is critical when it beats the running max.
+    const double p_new = 1.0 - cr.tightness;
+    for (std::size_t j = 0; j < i; ++j) tightness[j] *= cr.tightness;
+    tightness[i] = p_new;
+    running = cr.moments;
+  }
+  for (std::size_t i = 0; i < result.paths.size(); ++i) {
+    result.paths[i].criticality = tightness[i];
+  }
+  result.max_delay = running;
+  return result;
+}
+
+}  // namespace spsta::ssta

@@ -1,0 +1,44 @@
+/// \file path_ssta.hpp
+/// Path-based SSTA over extracted near-critical paths (paper Sec. 1
+/// background, refs [18,19]): per-path delay distributions with shared-
+/// segment correlation, plus path criticality probabilities from cascaded
+/// Clark tightness.
+
+#pragma once
+
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/graph.hpp"
+#include "netlist/netlist.hpp"
+#include "stats/gaussian.hpp"
+
+namespace spsta::ssta {
+
+/// One analyzed path.
+struct PathTiming {
+  netlist::Path path;
+  /// Delay distribution of the whole path (sum of its gates' delays; the
+  /// source arrival is taken as the rise arrival of the path's source).
+  stats::Gaussian delay;
+  /// Approximate probability this path is the circuit-critical one
+  /// (cascaded Clark tightness over the path set).
+  double criticality = 0.0;
+};
+
+/// Result of path-based analysis.
+struct PathSstaResult {
+  std::vector<PathTiming> paths;  ///< sorted by decreasing mean delay
+  /// Moment-matched distribution of the max over all analyzed paths,
+  /// including pairwise correlation from shared path segments.
+  stats::Gaussian max_delay;
+};
+
+/// Analyzes the \p k structurally most critical endpoint paths. Pairwise
+/// path covariances equal the summed delay variances of shared gates.
+[[nodiscard]] PathSstaResult run_path_ssta(const netlist::Netlist& design,
+                                           const netlist::DelayModel& delays,
+                                           const stats::Gaussian& source_arrival,
+                                           std::size_t k);
+
+}  // namespace spsta::ssta

@@ -1,0 +1,62 @@
+#include "ssta/slew.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::ssta {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+void SlewModel::set_cell(GateType type, const SlewCell& cell) {
+  entries_[static_cast<std::size_t>(type)] = cell;
+}
+
+const SlewCell& SlewModel::cell(GateType type) const {
+  const auto& entry = entries_[static_cast<std::size_t>(type)];
+  return entry ? *entry : default_;
+}
+
+netlist::DelayModel SlewResult::to_delay_model(const netlist::Netlist& design) const {
+  netlist::DelayModel model(design);
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    model.set_delay(id, {delay.at(id), 0.0});
+  }
+  return model;
+}
+
+SlewResult propagate_slews(const netlist::Netlist& design, const SlewModel& model,
+                           std::span<const double> source_slews) {
+  const std::vector<NodeId> sources = design.timing_sources();
+  if (source_slews.size() != sources.size() && source_slews.size() != 1) {
+    throw std::invalid_argument("propagate_slews: source slew count mismatch");
+  }
+
+  SlewResult out;
+  out.slew.assign(design.node_count(), 0.0);
+  out.delay.assign(design.node_count(), 0.0);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out.slew[sources[i]] =
+        source_slews.size() == 1 ? source_slews[0] : source_slews[i];
+  }
+
+  const netlist::Levelization lv = netlist::levelize(design);
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    if (node.type == GateType::Const0 || node.type == GateType::Const1) {
+      continue;  // constants: zero slew, zero delay
+    }
+    double slew_in = 0.0;
+    for (NodeId f : node.fanins) slew_in = std::max(slew_in, out.slew[f]);
+    const SlewCell& cell = model.cell(node.type);
+    const double load = static_cast<double>(node.fanouts.size());
+    out.delay[id] = cell.d0 + cell.d_slew * slew_in + cell.d_load * load;
+    out.slew[id] = cell.s0 + cell.s_slew * slew_in + cell.s_load * load;
+  }
+  return out;
+}
+
+}  // namespace spsta::ssta

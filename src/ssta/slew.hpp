@@ -1,0 +1,71 @@
+/// \file slew.hpp
+/// Transition-time (slew) propagation: the signal-integrity dimension of
+/// static timing. Gate delay and output slew both depend on the input
+/// slew and the output load, so slews must be propagated before delays
+/// are credible; this module computes both in one pass and can emit a
+/// slew-aware DelayModel for every statistical engine in the library.
+///
+/// Linear cell model per gate type:
+///   delay      = d0 + d_slew * slew_in + d_load * fanout
+///   slew_out   = s0 + s_slew * slew_in + s_load * fanout
+/// with slew_in the worst (largest) fanin slew — the standard pessimistic
+/// convention. s_slew must stay below 1 for slews to settle along long
+/// paths.
+
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::ssta {
+
+/// Linear slew/delay coefficients of one cell type.
+struct SlewCell {
+  double d0 = 1.0;       ///< intrinsic delay
+  double d_slew = 0.1;   ///< delay per unit input slew
+  double d_load = 0.05;  ///< delay per fanout
+  double s0 = 0.2;       ///< intrinsic output slew
+  double s_slew = 0.3;   ///< output slew per unit input slew
+  double s_load = 0.1;   ///< output slew per fanout
+};
+
+/// Per-type coefficient table with a default row.
+class SlewModel {
+ public:
+  void set_cell(netlist::GateType type, const SlewCell& cell);
+  void set_default(const SlewCell& cell) { default_ = cell; }
+  /// The effective cell for a type (its entry or the default).
+  [[nodiscard]] const SlewCell& cell(netlist::GateType type) const;
+
+ private:
+  static constexpr std::size_t kTypes =
+      static_cast<std::size_t>(netlist::GateType::Dff) + 1;
+  std::array<std::optional<SlewCell>, kTypes> entries_{};
+  SlewCell default_;
+};
+
+/// Result of slew propagation.
+struct SlewResult {
+  /// Worst slew per node (sources get the configured input slew).
+  std::vector<double> slew;
+  /// Slew-aware deterministic delay per node.
+  std::vector<double> delay;
+
+  /// Packs the delays into a DelayModel (zero variance) for the
+  /// statistical engines.
+  [[nodiscard]] netlist::DelayModel to_delay_model(const netlist::Netlist& design) const;
+};
+
+/// Propagates slews and slew-aware delays through \p design.
+/// \p source_slews follows design.timing_sources() order (single element
+/// broadcasts).
+[[nodiscard]] SlewResult propagate_slews(const netlist::Netlist& design,
+                                         const SlewModel& model,
+                                         std::span<const double> source_slews);
+
+}  // namespace spsta::ssta

@@ -1,0 +1,65 @@
+/// \file ssta.hpp
+/// Block-based statistical static timing analysis — the baseline the paper
+/// compares against (Sec. 2.1 and the comparator implemented in Sec. 4):
+/// rise and fall arrival-time distributions are kept separate and
+/// propagated per gate with either Clark's MAX or MIN moment matching,
+/// chosen from the gate's logic and the input transition direction
+/// (e.g. AND: output rise = MAX of input rises, output fall = MIN of
+/// input falls; inverting gates swap the input direction).
+///
+/// This analysis is input-statistics-oblivious: it assumes a transition
+/// always occurs on every net — the very pessimism SPSTA removes.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+#include "stats/gaussian.hpp"
+
+namespace spsta::ssta {
+
+/// Rise/fall arrival distributions of one net.
+struct NodeArrival {
+  stats::Gaussian rise;
+  stats::Gaussian fall;
+};
+
+/// Which order statistic a gate applies to the contributing input arrivals
+/// for a given output transition direction.
+enum class ArrivalOp { Max, Min };
+
+/// The input transition direction that causes the given output direction
+/// (true = the gate inverts, so an output rise is caused by input falls).
+[[nodiscard]] bool inputs_inverted(netlist::GateType type) noexcept;
+
+/// MAX or MIN for the given gate and output transition direction
+/// (output_rising = true for the rising output arrival).
+[[nodiscard]] ArrivalOp arrival_op(netlist::GateType type, bool output_rising) noexcept;
+
+/// Full SSTA result: arrival distributions per node id.
+struct SstaResult {
+  std::vector<NodeArrival> arrival;
+};
+
+/// Recomputes one combinational gate's arrival from the current state
+/// (the single-gate kernel shared by the batch and incremental engines).
+/// Uses per-direction delays when the model carries them.
+/// Precondition: is_combinational(node type).
+[[nodiscard]] NodeArrival propagate_gate_arrival(const netlist::Netlist& design,
+                                                 netlist::NodeId id,
+                                                 std::span<const NodeArrival> state,
+                                                 const netlist::DelayModel& delays);
+
+/// Runs block-based SSTA over \p design. Source arrivals come from
+/// \p source_stats (rise_arrival / fall_arrival; the four-value
+/// probabilities are deliberately ignored — SSTA is input-oblivious).
+/// A single-element span broadcasts.
+[[nodiscard]] SstaResult run_ssta(const netlist::Netlist& design,
+                                  const netlist::DelayModel& delays,
+                                  std::span<const netlist::SourceStats> source_stats);
+
+}  // namespace spsta::ssta

@@ -1,0 +1,117 @@
+#include "ssta/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::ssta {
+
+using netlist::NodeId;
+
+StaResult run_sta(const netlist::Netlist& design, const netlist::DelayModel& delays,
+                  double period, const StaConfig& config) {
+  const std::size_t n = design.node_count();
+  StaResult out;
+  out.arrival.assign(n, config.source_arrival);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  out.required.assign(n, ArrivalBounds{-kInf, kInf});  // {earliest-req, latest-req}
+  out.slack.assign(n, kInf);
+
+  const netlist::Levelization lv = netlist::levelize(design);
+
+  // Per-node corner delays; directional models take the worse direction
+  // for the late corner and the better one for the early corner.
+  const auto late_delay = [&](NodeId id) {
+    const stats::Gaussian& r = delays.delay(id, true);
+    const stats::Gaussian& f = delays.delay(id, false);
+    return std::max(r.mean + config.k_sigma * r.stddev(),
+                    f.mean + config.k_sigma * f.stddev());
+  };
+  const auto early_delay = [&](NodeId id) {
+    const stats::Gaussian& r = delays.delay(id, true);
+    const stats::Gaussian& f = delays.delay(id, false);
+    return std::max(0.0, std::min(r.mean - config.k_sigma * r.stddev(),
+                                  f.mean - config.k_sigma * f.stddev()));
+  };
+
+  // Forward: earliest/latest arrivals with early/late corner delays.
+  for (NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    if (node.fanins.empty()) {
+      out.arrival[id] = {0.0, 0.0};
+      continue;
+    }
+    double earliest = kInf, latest = -kInf;
+    for (NodeId f : node.fanins) {
+      earliest = std::min(earliest, out.arrival[f].earliest);
+      latest = std::max(latest, out.arrival[f].latest);
+    }
+    out.arrival[id] = {earliest + early_delay(id), latest + late_delay(id)};
+  }
+
+  // Required times: `period` at every endpoint, propagated backward
+  // through late-corner delays (single-required-time convention; the
+  // `required` field keeps {earliest-req, latest-req} symmetry for hold-
+  // style extensions but setup slack uses the latest lane).
+  std::vector<double> required_late(n, kInf);
+  for (NodeId ep : design.timing_endpoints()) {
+    required_late[ep] = std::min(required_late[ep], period);
+  }
+  for (auto it = lv.order.rbegin(); it != lv.order.rend(); ++it) {
+    const NodeId id = *it;
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    if (required_late[id] == kInf) continue;
+    const double through = required_late[id] - late_delay(id);
+    for (NodeId f : node.fanins) {
+      required_late[f] = std::min(required_late[f], through);
+    }
+  }
+
+  double critical = -kInf;
+  for (NodeId id = 0; id < n; ++id) {
+    out.required[id] = {-kInf, required_late[id]};
+    out.slack[id] = required_late[id] == kInf
+                        ? kInf
+                        : required_late[id] - out.arrival[id].latest;
+  }
+  out.wns = kInf;
+  out.tns = 0.0;
+  out.hold_wns = kInf;
+  double shortest = kInf;
+  bool any_endpoint = false;
+  for (NodeId ep : design.timing_endpoints()) {
+    any_endpoint = true;
+    critical = std::max(critical, out.arrival[ep].latest);
+    shortest = std::min(shortest, out.arrival[ep].earliest);
+    const double s = period - out.arrival[ep].latest;
+    out.wns = std::min(out.wns, s);
+    if (s < 0.0) out.tns += s;
+    out.hold_wns = std::min(out.hold_wns, out.arrival[ep].earliest - config.hold_time);
+  }
+  out.critical_delay = any_endpoint ? critical : 0.0;
+  out.shortest_delay = any_endpoint ? shortest : 0.0;
+  if (!any_endpoint) {
+    out.wns = 0.0;
+    out.hold_wns = 0.0;
+  }
+  return out;
+}
+
+std::vector<NodeId> critical_nodes(const netlist::Netlist& design, const StaResult& sta,
+                                   double tolerance) {
+  double worst = std::numeric_limits<double>::infinity();
+  for (NodeId id = 0; id < design.node_count(); ++id) {
+    worst = std::min(worst, sta.slack[id]);
+  }
+  std::vector<NodeId> nodes;
+  const netlist::Levelization lv = netlist::levelize(design);
+  for (NodeId id : lv.order) {
+    if (sta.slack[id] <= worst + tolerance) nodes.push_back(id);
+  }
+  return nodes;
+}
+
+}  // namespace spsta::ssta

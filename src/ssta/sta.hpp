@@ -1,0 +1,64 @@
+/// \file sta.hpp
+/// Deterministic static timing analysis — the paper's introduction
+/// categories (1) and (2): traditional min/max analysis (separate earliest
+/// and latest arrivals) and corner-based analysis (min and max propagated
+/// simultaneously so both bounds are available per node), plus the
+/// required-time/slack machinery (WNS/TNS) downstream tools expect.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::ssta {
+
+/// Earliest/latest arrival bounds of one net (a "corner pair").
+struct ArrivalBounds {
+  double earliest = 0.0;
+  double latest = 0.0;
+};
+
+/// STA corner configuration: gate delays evaluated at mean + k*sigma for
+/// the late corner and mean - k*sigma for the early corner (k = 0 gives
+/// the classical single-corner analysis).
+struct StaConfig {
+  double k_sigma = 0.0;
+  /// Source arrival window applied to every timing source.
+  ArrivalBounds source_arrival{0.0, 0.0};
+  /// Hold requirement at endpoints: the earliest arrival must be at least
+  /// this (captures the classical min-delay check).
+  double hold_time = 0.0;
+};
+
+/// Full STA state.
+struct StaResult {
+  std::vector<ArrivalBounds> arrival;     ///< per node
+  std::vector<ArrivalBounds> required;    ///< per node (latest-required, earliest-required)
+  std::vector<double> slack;              ///< per node: required.latest - arrival.latest
+  double wns = 0.0;                       ///< worst negative setup slack over endpoints
+  double tns = 0.0;                       ///< total negative setup slack over endpoints
+  double hold_wns = 0.0;                  ///< worst negative hold slack over endpoints
+  double critical_delay = 0.0;            ///< max latest arrival over endpoints
+  double shortest_delay = 0.0;            ///< min earliest arrival over endpoints
+
+  [[nodiscard]] bool meets_timing() const noexcept {
+    return wns >= 0.0 && hold_wns >= 0.0;
+  }
+};
+
+/// Runs corner STA against a clock period: arrivals forward, required
+/// times backward from `period` at every timing endpoint, slack per node.
+[[nodiscard]] StaResult run_sta(const netlist::Netlist& design,
+                                const netlist::DelayModel& delays, double period,
+                                const StaConfig& config = {});
+
+/// Nodes on some critical (zero-worst-slack) path, in topological order —
+/// the classical critical-path report.
+[[nodiscard]] std::vector<netlist::NodeId> critical_nodes(const netlist::Netlist& design,
+                                                          const StaResult& sta,
+                                                          double tolerance = 1e-9);
+
+}  // namespace spsta::ssta

@@ -1,0 +1,71 @@
+#include "stats/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spsta::stats {
+
+namespace {
+
+struct Aligned {
+  PiecewiseDensity a;
+  PiecewiseDensity b;
+  GridSpec grid;
+  bool both_empty = false;
+};
+
+Aligned align(const PiecewiseDensity& a, const PiecewiseDensity& b) {
+  Aligned out;
+  if ((a.empty() || a.mass() <= 0.0) && (b.empty() || b.mass() <= 0.0)) {
+    out.both_empty = true;
+    return out;
+  }
+  out.grid = union_grid(a.grid(), b.grid());
+  out.a = a.normalized().resampled(out.grid).normalized();
+  out.b = b.normalized().resampled(out.grid).normalized();
+  return out;
+}
+
+}  // namespace
+
+double ks_distance(const PiecewiseDensity& a, const PiecewiseDensity& b) {
+  const Aligned al = align(a, b);
+  if (al.both_empty) return 0.0;
+  const std::vector<double> ca = al.a.cumulative();
+  const std::vector<double> cb = al.b.cumulative();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    worst = std::max(worst, std::abs(ca[i] - cb[i]));
+  }
+  return worst;
+}
+
+double wasserstein_distance(const PiecewiseDensity& a, const PiecewiseDensity& b) {
+  const Aligned al = align(a, b);
+  if (al.both_empty) return 0.0;
+  const std::vector<double> ca = al.a.cumulative();
+  const std::vector<double> cb = al.b.cumulative();
+  double acc = 0.0;
+  double prev = std::abs(ca[0] - cb[0]);
+  for (std::size_t i = 1; i < ca.size(); ++i) {
+    const double cur = std::abs(ca[i] - cb[i]);
+    acc += 0.5 * (prev + cur) * al.grid.dt;
+    prev = cur;
+  }
+  return acc;
+}
+
+double total_variation_distance(const PiecewiseDensity& a, const PiecewiseDensity& b) {
+  const Aligned al = align(a, b);
+  if (al.both_empty) return 0.0;
+  double acc = 0.0;
+  double prev = std::abs(al.a.values()[0] - al.b.values()[0]);
+  for (std::size_t i = 1; i < al.grid.n; ++i) {
+    const double cur = std::abs(al.a.values()[i] - al.b.values()[i]);
+    acc += 0.5 * (prev + cur) * al.grid.dt;
+    prev = cur;
+  }
+  return 0.5 * acc;
+}
+
+}  // namespace spsta::stats

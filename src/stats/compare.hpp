@@ -1,0 +1,29 @@
+/// \file compare.hpp
+/// Distribution-distance metrics between piecewise densities: the
+/// quantitative "same shape?" checks behind the t.o.p.-vs-Monte-Carlo
+/// validations (moments alone can't distinguish a skewed MAX output from
+/// a Gaussian with matched mean/sigma — these can).
+
+#pragma once
+
+#include "stats/piecewise.hpp"
+
+namespace spsta::stats {
+
+/// Kolmogorov–Smirnov distance: max_t |F_a(t) - F_b(t)| over both grids'
+/// union. Operands are normalized first; two zero-mass densities compare
+/// equal (0).
+[[nodiscard]] double ks_distance(const PiecewiseDensity& a, const PiecewiseDensity& b);
+
+/// 1-Wasserstein (earth mover's) distance: integral |F_a - F_b| dt over
+/// the union grid, operands normalized. For a pure shift of d time units
+/// this equals |d|.
+[[nodiscard]] double wasserstein_distance(const PiecewiseDensity& a,
+                                          const PiecewiseDensity& b);
+
+/// Total variation distance: 0.5 * integral |f_a - f_b| dt, operands
+/// normalized. 0 = identical, 1 = disjoint supports.
+[[nodiscard]] double total_variation_distance(const PiecewiseDensity& a,
+                                              const PiecewiseDensity& b);
+
+}  // namespace spsta::stats

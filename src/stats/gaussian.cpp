@@ -1,0 +1,71 @@
+#include "stats/gaussian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/normal.hpp"
+
+namespace spsta::stats {
+
+double Gaussian::stddev() const noexcept { return std::sqrt(std::max(var, 0.0)); }
+
+double Gaussian::pdf(double x) const noexcept {
+  const double sd = stddev();
+  if (sd == 0.0) {
+    return x == mean ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return normal_pdf(x, mean, sd);
+}
+
+double Gaussian::cdf(double x) const noexcept {
+  const double sd = stddev();
+  if (sd == 0.0) return x >= mean ? 1.0 : 0.0;
+  return normal_cdf(x, mean, sd);
+}
+
+double Gaussian::quantile(double p) const noexcept {
+  const double sd = stddev();
+  if (sd == 0.0) return mean;
+  return normal_quantile(p, mean, sd);
+}
+
+Gaussian sum(const Gaussian& a, const Gaussian& b, double cov) noexcept {
+  return {a.mean + b.mean, std::max(0.0, a.var + b.var + 2.0 * cov)};
+}
+
+Gaussian affine(const Gaussian& a, double k, double c) noexcept {
+  return {k * a.mean + c, k * k * a.var};
+}
+
+ClarkResult clark_max(const Gaussian& a, const Gaussian& b, double cov) noexcept {
+  const double theta2 = std::max(0.0, a.var + b.var - 2.0 * cov);
+  if (theta2 <= 0.0) {
+    // The operands differ by a constant: MAX is simply the larger one.
+    if (a.mean >= b.mean) return {a, 1.0};
+    return {b, 0.0};
+  }
+  const double theta = std::sqrt(theta2);
+  const double lambda = (a.mean - b.mean) / theta;
+  const double phi = normal_pdf(lambda);
+  const double q = normal_cdf(lambda);
+
+  const double mean = a.mean * q + b.mean * (1.0 - q) + theta * phi;
+  const double second = (a.mean * a.mean + a.var) * q +
+                        (b.mean * b.mean + b.var) * (1.0 - q) +
+                        (a.mean + b.mean) * theta * phi;
+  const double var = std::max(0.0, second - mean * mean);
+  return {{mean, var}, q};
+}
+
+ClarkResult clark_min(const Gaussian& a, const Gaussian& b, double cov) noexcept {
+  const ClarkResult neg = clark_max({-a.mean, a.var}, {-b.mean, b.var}, cov);
+  return {{-neg.moments.mean, neg.moments.var}, neg.tightness};
+}
+
+double exact_max_mean(const Gaussian& a, const Gaussian& b) noexcept {
+  // For independent Gaussians Clark's mean formula is exact.
+  return clark_max(a, b, 0.0).moments.mean;
+}
+
+}  // namespace spsta::stats

@@ -1,0 +1,54 @@
+/// \file gaussian.hpp
+/// A Gaussian random-variable value type and the SSTA SUM / Clark MAX/MIN
+/// operations on it (paper Sec. 2.1, Eq. 2 and Eq. 4).
+
+#pragma once
+
+namespace spsta::stats {
+
+/// A (possibly degenerate) Gaussian random variable described by its first
+/// two moments. `var == 0` denotes a deterministic value.
+struct Gaussian {
+  double mean = 0.0;
+  double var = 0.0;
+
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Density at \p x; a degenerate Gaussian returns +inf at its mean.
+  [[nodiscard]] double pdf(double x) const noexcept;
+  /// Cumulative probability at \p x.
+  [[nodiscard]] double cdf(double x) const noexcept;
+  /// Quantile for p in (0,1).
+  [[nodiscard]] double quantile(double p) const noexcept;
+
+  friend bool operator==(const Gaussian&, const Gaussian&) = default;
+};
+
+/// SSTA SUM (paper Eq. 2): the distribution of `a + b` where `a` and `b`
+/// are jointly Gaussian with covariance \p cov.
+[[nodiscard]] Gaussian sum(const Gaussian& a, const Gaussian& b, double cov = 0.0) noexcept;
+
+/// Scale-and-shift: the distribution of `k*a + c`.
+[[nodiscard]] Gaussian affine(const Gaussian& a, double k, double c) noexcept;
+
+/// Result of a Clark MAX/MIN: matched moments plus the "tightness"
+/// probability Q = P(first operand is the larger/smaller one).
+struct ClarkResult {
+  Gaussian moments;
+  double tightness = 0.5;
+};
+
+/// Clark's moment matching for MAX(a, b) of jointly Gaussian operands with
+/// covariance \p cov (paper Eq. 4). Handles the degenerate theta == 0 case
+/// (perfectly correlated equal-variance operands) exactly.
+[[nodiscard]] ClarkResult clark_max(const Gaussian& a, const Gaussian& b, double cov = 0.0) noexcept;
+
+/// Clark's moment matching for MIN(a, b) via MIN(a,b) = -MAX(-a,-b).
+/// The returned tightness is P(a < b), i.e. P(a is the minimum).
+[[nodiscard]] ClarkResult clark_min(const Gaussian& a, const Gaussian& b, double cov = 0.0) noexcept;
+
+/// Exact mean of MAX(a,b) for *independent* Gaussians, used as an oracle in
+/// tests (for independent operands Clark is exact in the first two moments).
+[[nodiscard]] double exact_max_mean(const Gaussian& a, const Gaussian& b) noexcept;
+
+}  // namespace spsta::stats

@@ -1,0 +1,50 @@
+#include "stats/histogram.hpp"
+
+#include <stdexcept>
+
+namespace spsta::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: require hi > lo and bins > 0");
+  }
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+  ++counts_[bin < counts_.size() ? bin : counts_.size() - 1];
+}
+
+double Histogram::bin_width() const noexcept {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width();
+}
+
+PiecewiseDensity Histogram::to_density() const {
+  const GridSpec grid{lo_ + 0.5 * bin_width(), bin_width(), counts_.size()};
+  std::vector<double> v(counts_.size(), 0.0);
+  if (total_ > 0) {
+    const double norm = 1.0 / (static_cast<double>(total_) * bin_width());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      v[i] = static_cast<double>(counts_[i]) * norm;
+    }
+  }
+  return PiecewiseDensity(grid, std::move(v));
+}
+
+}  // namespace spsta::stats

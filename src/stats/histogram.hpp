@@ -1,0 +1,45 @@
+/// \file histogram.hpp
+/// Fixed-range histogram used to tabulate Monte Carlo arrival-time samples
+/// (paper Fig. 1: the actual chip timing distribution).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/piecewise.hpp"
+
+namespace spsta::stats {
+
+/// A histogram over [lo, hi) with uniform bins; out-of-range samples are
+/// counted in underflow/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bin_width() const noexcept;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Converts counts to an (unnormalized) empirical density whose mass is
+  /// the in-range fraction of samples.
+  [[nodiscard]] PiecewiseDensity to_density() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace spsta::stats

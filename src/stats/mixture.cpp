@@ -1,0 +1,58 @@
+#include "stats/mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spsta::stats {
+
+GaussianMixture::GaussianMixture(std::vector<MixtureComponent> parts)
+    : parts_(std::move(parts)) {
+  std::erase_if(parts_, [](const MixtureComponent& c) { return c.weight <= 0.0; });
+}
+
+void GaussianMixture::add(double weight, const Gaussian& g) {
+  if (weight <= 0.0) return;
+  parts_.push_back({weight, g});
+}
+
+double GaussianMixture::mass() const noexcept {
+  double m = 0.0;
+  for (const auto& c : parts_) m += c.weight;
+  return m;
+}
+
+double GaussianMixture::mean() const noexcept {
+  const double m = mass();
+  if (m <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const auto& c : parts_) acc += c.weight * c.component.mean;
+  return acc / m;
+}
+
+double GaussianMixture::variance() const noexcept {
+  const double m = mass();
+  if (m <= 0.0) return 0.0;
+  const double mu = mean();
+  double acc = 0.0;
+  for (const auto& c : parts_) {
+    const double d = c.component.mean - mu;
+    acc += c.weight * (c.component.var + d * d);
+  }
+  return std::max(0.0, acc / m);
+}
+
+Gaussian GaussianMixture::moments() const noexcept { return {mean(), variance()}; }
+
+double GaussianMixture::pdf(double x) const noexcept {
+  double acc = 0.0;
+  for (const auto& c : parts_) acc += c.weight * c.component.pdf(x);
+  return acc;
+}
+
+double GaussianMixture::cdf(double x) const noexcept {
+  double acc = 0.0;
+  for (const auto& c : parts_) acc += c.weight * c.component.cdf(x);
+  return acc;
+}
+
+}  // namespace spsta::stats

@@ -1,0 +1,54 @@
+/// \file mixture.hpp
+/// Weighted Gaussian mixtures: the moment-engine representation of a
+/// WEIGHTED SUM of arrival-time distributions (paper Eq. 8/11). SPSTA's
+/// moment back-end forms a mixture over input-switching scenarios and
+/// collapses it to matched first/second moments (paper Sec. 3.4).
+
+#pragma once
+
+#include <vector>
+
+#include "stats/gaussian.hpp"
+
+namespace spsta::stats {
+
+/// One mixture component: `weight * N(component)`.
+struct MixtureComponent {
+  double weight = 0.0;
+  Gaussian component;
+};
+
+/// A non-normalized Gaussian mixture (weights need not sum to 1; the total
+/// weight is the t.o.p. mass, i.e. a transition probability).
+class GaussianMixture {
+ public:
+  GaussianMixture() = default;
+  explicit GaussianMixture(std::vector<MixtureComponent> parts);
+
+  /// Adds `weight * N(g)`; zero weights are ignored.
+  void add(double weight, const Gaussian& g);
+
+  [[nodiscard]] const std::vector<MixtureComponent>& components() const noexcept {
+    return parts_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return parts_.empty(); }
+
+  /// Total weight (mass).
+  [[nodiscard]] double mass() const noexcept;
+  /// Mean of the normalized mixture; 0 when mass vanishes.
+  [[nodiscard]] double mean() const noexcept;
+  /// Variance of the normalized mixture (law of total variance).
+  [[nodiscard]] double variance() const noexcept;
+  /// First two moments of the normalized mixture.
+  [[nodiscard]] Gaussian moments() const noexcept;
+
+  /// Mixture density at \p x (sum of weighted component densities).
+  [[nodiscard]] double pdf(double x) const noexcept;
+  /// Mixture cdf at \p x.
+  [[nodiscard]] double cdf(double x) const noexcept;
+
+ private:
+  std::vector<MixtureComponent> parts_;
+};
+
+}  // namespace spsta::stats

@@ -1,0 +1,33 @@
+/// \file normal.hpp
+/// Standard normal distribution primitives: pdf, cdf, inverse cdf.
+///
+/// These are the scalar building blocks for Clark's MAX/MIN moment matching
+/// (paper Eq. 4) and for discretizing Gaussian arrival-time densities onto
+/// piecewise grids.
+
+#pragma once
+
+namespace spsta::stats {
+
+/// Density of the standard normal distribution at \p x.
+[[nodiscard]] double normal_pdf(double x) noexcept;
+
+/// Density of N(\p mean, \p stddev^2) at \p x. \p stddev must be > 0.
+[[nodiscard]] double normal_pdf(double x, double mean, double stddev) noexcept;
+
+/// Cumulative distribution function of the standard normal at \p x.
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Cumulative distribution function of N(\p mean, \p stddev^2) at \p x.
+[[nodiscard]] double normal_cdf(double x, double mean, double stddev) noexcept;
+
+/// Inverse standard normal cdf (quantile function) for p in (0, 1).
+///
+/// Uses Acklam's rational approximation refined with one Halley step;
+/// absolute error is below 1e-12 over (1e-300, 1 - 1e-16).
+[[nodiscard]] double normal_quantile(double p) noexcept;
+
+/// Inverse cdf of N(\p mean, \p stddev^2).
+[[nodiscard]] double normal_quantile(double p, double mean, double stddev) noexcept;
+
+}  // namespace spsta::stats

@@ -1,0 +1,92 @@
+#include "stats/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace spsta::stats {
+
+EigenDecomposition jacobi_eigen(const SymmetricMatrix& m, int max_sweeps) {
+  const std::size_t n = m.size();
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a[i * n + j] = m(i, j);
+  }
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    }
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-30) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by decreasing eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+
+  EigenDecomposition out;
+  out.n = n;
+  out.values.resize(n);
+  out.vectors.assign(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a[order[j] * n + order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors[i * n + j] = v[i * n + order[j]];
+  }
+  return out;
+}
+
+Pca pca_from_covariance(const SymmetricMatrix& covariance) {
+  Pca out;
+  out.eigen = jacobi_eigen(covariance);
+  out.n = out.eigen.n;
+  out.loadings.assign(out.n * out.n, 0.0);
+  for (std::size_t k = 0; k < out.n; ++k) {
+    const double lambda = std::max(out.eigen.values[k], 0.0);
+    const double root = std::sqrt(lambda);
+    for (std::size_t i = 0; i < out.n; ++i) {
+      out.loadings[i * out.n + k] = out.eigen.vector(i, k) * root;
+    }
+  }
+  return out;
+}
+
+}  // namespace spsta::stats

@@ -1,0 +1,77 @@
+/// \file pca.hpp
+/// Small dense symmetric-matrix utilities: Jacobi eigendecomposition and
+/// principal component analysis.
+///
+/// The paper's background (Sec. 1) notes that correlated variational
+/// parameters are decomposed into uncorrelated random variables by PCA
+/// before canonical-form SSTA; `src/variational` uses this to orthogonalize
+/// correlated process parameters.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spsta::stats {
+
+/// A dense, row-major, square symmetric matrix.
+class SymmetricMatrix {
+ public:
+  SymmetricMatrix() = default;
+  explicit SymmetricMatrix(std::size_t n) : n_(n), a_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return a_[i * n_ + j];
+  }
+  /// Sets (i,j) and (j,i).
+  void set(std::size_t i, std::size_t j, double v) {
+    a_[i * n_ + j] = v;
+    a_[j * n_ + i] = v;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> a_;
+};
+
+/// Eigendecomposition result: `matrix = V * diag(values) * V^T` with
+/// eigenpairs sorted by decreasing eigenvalue; eigenvectors are the columns
+/// of V, stored row-major in `vectors` (vectors[i*n+j] = V(i,j)).
+struct EigenDecomposition {
+  std::vector<double> values;
+  std::vector<double> vectors;
+  std::size_t n = 0;
+
+  /// j-th eigenvector component i.
+  [[nodiscard]] double vector(std::size_t i, std::size_t j) const {
+    return vectors[i * n + j];
+  }
+};
+
+/// Cyclic Jacobi rotation eigendecomposition of a symmetric matrix.
+/// Converges to machine precision for the small (<= a few hundred)
+/// parameter-covariance matrices used here.
+[[nodiscard]] EigenDecomposition jacobi_eigen(const SymmetricMatrix& m,
+                                              int max_sweeps = 64);
+
+/// PCA over a covariance matrix: principal directions plus the loadings
+/// that express each original variable as a combination of uncorrelated
+/// unit-variance principal components.
+struct Pca {
+  EigenDecomposition eigen;
+  /// loadings[i*n+k] = contribution of principal component k (unit
+  /// variance) to original variable i; equals V(i,k) * sqrt(lambda_k).
+  std::vector<double> loadings;
+  std::size_t n = 0;
+
+  [[nodiscard]] double loading(std::size_t var, std::size_t comp) const {
+    return loadings[var * n + comp];
+  }
+};
+
+/// Computes the PCA of \p covariance (must be positive semi-definite;
+/// slightly negative eigenvalues from roundoff are clamped to zero).
+[[nodiscard]] Pca pca_from_covariance(const SymmetricMatrix& covariance);
+
+}  // namespace spsta::stats

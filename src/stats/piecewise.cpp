@@ -1,0 +1,285 @@
+#include "stats/piecewise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/normal.hpp"
+
+namespace spsta::stats {
+
+namespace {
+constexpr std::size_t kMaxGridPoints = 1 << 16;
+
+// Trapezoid integral of f(t)*w(t) over the grid where w is supplied per point.
+double trapezoid(const GridSpec& g, std::span<const double> v,
+                 const auto& weight) {
+  if (v.size() < 2) return 0.0;
+  double total = 0.0;
+  double prev = v[0] * weight(g.time_at(0));
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const double cur = v[i] * weight(g.time_at(i));
+    total += 0.5 * (prev + cur) * g.dt;
+    prev = cur;
+  }
+  return total;
+}
+}  // namespace
+
+GridSpec union_grid(const GridSpec& a, const GridSpec& b) {
+  if (a.n == 0) return b;
+  if (b.n == 0) return a;
+  const double dt = std::min(a.dt, b.dt);
+  const double t0 = std::min(a.t0, b.t0);
+  const double t1 = std::max(a.t_end(), b.t_end());
+  std::size_t n = static_cast<std::size_t>(std::ceil((t1 - t0) / dt)) + 1;
+  n = std::min(n, kMaxGridPoints);
+  return {t0, dt, std::max<std::size_t>(n, 2)};
+}
+
+PiecewiseDensity::PiecewiseDensity(GridSpec grid, std::vector<double> values)
+    : grid_(grid), values_(std::move(values)) {
+  if (values_.size() != grid_.n) {
+    throw std::invalid_argument("PiecewiseDensity: values/grid size mismatch");
+  }
+  for (double& v : values_) v = std::max(v, 0.0);
+}
+
+PiecewiseDensity PiecewiseDensity::zero(GridSpec grid) {
+  return PiecewiseDensity(grid, std::vector<double>(grid.n, 0.0));
+}
+
+PiecewiseDensity PiecewiseDensity::from_gaussian(const Gaussian& g, GridSpec grid,
+                                                 double mass) {
+  std::vector<double> v(grid.n);
+  const double sd = g.stddev();
+  if (sd == 0.0) {
+    // Deterministic value: place a narrow triangle of the requested mass at
+    // the nearest grid point (width one grid step each side).
+    PiecewiseDensity out = zero(grid);
+    if (grid.n >= 2 && grid.dt > 0.0) {
+      const double pos = (g.mean - grid.t0) / grid.dt;
+      const auto idx = static_cast<std::ptrdiff_t>(std::llround(pos));
+      if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(grid.n)) {
+        out.values_[static_cast<std::size_t>(idx)] = mass / grid.dt;
+      }
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < grid.n; ++i) {
+    v[i] = mass * normal_pdf(grid.time_at(i), g.mean, sd);
+  }
+  return PiecewiseDensity(grid, std::move(v));
+}
+
+PiecewiseDensity PiecewiseDensity::from_gaussian_auto(const Gaussian& g, double sigmas,
+                                                      std::size_t points, double mass) {
+  const double sd = std::max(g.stddev(), 1e-9);
+  const double t0 = g.mean - sigmas * sd;
+  const double t1 = g.mean + sigmas * sd;
+  const std::size_t n = std::max<std::size_t>(points, 3);
+  const GridSpec grid{t0, (t1 - t0) / static_cast<double>(n - 1), n};
+  return from_gaussian(g, grid, mass);
+}
+
+double PiecewiseDensity::value_at(double t) const noexcept {
+  if (values_.size() < 2 || grid_.dt <= 0.0) return 0.0;
+  const double pos = (t - grid_.t0) / grid_.dt;
+  if (pos < 0.0 || pos > static_cast<double>(values_.size() - 1)) return 0.0;
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= values_.size()) return values_.back();
+  const double frac = pos - static_cast<double>(i);
+  return values_[i] * (1.0 - frac) + values_[i + 1] * frac;
+}
+
+double PiecewiseDensity::mass() const noexcept {
+  return trapezoid(grid_, values_, [](double) { return 1.0; });
+}
+
+double PiecewiseDensity::mean() const noexcept {
+  const double m = mass();
+  if (m <= 0.0) return 0.0;
+  return trapezoid(grid_, values_, [](double t) { return t; }) / m;
+}
+
+double PiecewiseDensity::variance() const noexcept {
+  const double m = mass();
+  if (m <= 0.0) return 0.0;
+  const double mu = mean();
+  const double second =
+      trapezoid(grid_, values_, [mu](double t) { return (t - mu) * (t - mu); });
+  return std::max(0.0, second / m);
+}
+
+double PiecewiseDensity::stddev() const noexcept { return std::sqrt(variance()); }
+
+double PiecewiseDensity::skewness() const noexcept {
+  const double m = mass();
+  const double var = variance();
+  if (m <= 0.0 || var <= 0.0) return 0.0;
+  const double mu = mean();
+  const double third = trapezoid(grid_, values_, [mu](double t) {
+    const double d = t - mu;
+    return d * d * d;
+  });
+  return third / m / std::pow(var, 1.5);
+}
+
+Gaussian PiecewiseDensity::moments() const noexcept { return {mean(), variance()}; }
+
+std::vector<double> PiecewiseDensity::cumulative() const {
+  std::vector<double> c(values_.size(), 0.0);
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    c[i] = c[i - 1] + 0.5 * (values_[i - 1] + values_[i]) * grid_.dt;
+  }
+  return c;
+}
+
+double PiecewiseDensity::cdf_at(double t) const noexcept {
+  if (values_.size() < 2) return 0.0;
+  if (t <= grid_.t0) return 0.0;
+  double acc = 0.0;
+  double prev = values_[0];
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    const double ti = grid_.time_at(i);
+    if (t < ti) {
+      const double frac = (t - grid_.time_at(i - 1)) / grid_.dt;
+      const double vt = prev * (1.0 - frac) + values_[i] * frac;
+      acc += 0.5 * (prev + vt) * frac * grid_.dt;
+      return acc;
+    }
+    acc += 0.5 * (prev + values_[i]) * grid_.dt;
+    prev = values_[i];
+  }
+  return acc;
+}
+
+PiecewiseDensity PiecewiseDensity::scaled(double w) const {
+  PiecewiseDensity out = *this;
+  for (double& v : out.values_) v *= w;
+  return out;
+}
+
+PiecewiseDensity PiecewiseDensity::shifted(double delta) const {
+  PiecewiseDensity out = *this;
+  out.grid_.t0 += delta;
+  return out;
+}
+
+PiecewiseDensity PiecewiseDensity::normalized() const {
+  const double m = mass();
+  if (m <= 0.0) return *this;
+  return scaled(1.0 / m);
+}
+
+PiecewiseDensity PiecewiseDensity::resampled(GridSpec grid) const {
+  std::vector<double> v(grid.n, 0.0);
+  for (std::size_t i = 0; i < grid.n; ++i) v[i] = value_at(grid.time_at(i));
+  return PiecewiseDensity(grid, std::move(v));
+}
+
+void PiecewiseDensity::add_scaled(const PiecewiseDensity& other, double w) {
+  if (other.empty() || w == 0.0) return;
+  if (empty()) {
+    *this = other.scaled(w);
+    return;
+  }
+  GridSpec g = grid_;
+  const bool covers = grid_.t0 <= other.grid_.t0 + 1e-12 &&
+                      grid_.t_end() >= other.grid_.t_end() - 1e-12 &&
+                      grid_.dt <= other.grid_.dt + 1e-12;
+  if (!covers) {
+    g = union_grid(grid_, other.grid_);
+    *this = resampled(g);
+  }
+  for (std::size_t i = 0; i < grid_.n; ++i) {
+    values_[i] += w * other.value_at(grid_.time_at(i));
+  }
+}
+
+PiecewiseDensity PiecewiseDensity::convolve(const PiecewiseDensity& a,
+                                            const PiecewiseDensity& b) {
+  if (a.empty() || b.empty()) return {};
+  // Bring both operands onto a common step (the finer of the two).
+  const double dt = std::min(a.grid_.dt, b.grid_.dt);
+  const PiecewiseDensity& fa =
+      a.grid_.dt == dt ? a : a.resampled({a.grid_.t0, dt,
+          static_cast<std::size_t>(std::ceil((a.grid_.t_end() - a.grid_.t0) / dt)) + 1});
+  const PiecewiseDensity fb_tmp =
+      b.grid_.dt == dt ? b : b.resampled({b.grid_.t0, dt,
+          static_cast<std::size_t>(std::ceil((b.grid_.t_end() - b.grid_.t0) / dt)) + 1});
+  const PiecewiseDensity& fb = b.grid_.dt == dt ? b : fb_tmp;
+
+  const std::size_t n = std::min(fa.values_.size() + fb.values_.size(), kMaxGridPoints);
+  GridSpec g{fa.grid_.t0 + fb.grid_.t0, dt, n};
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < fa.values_.size(); ++i) {
+    const double w = fa.values_[i] * dt;
+    if (w == 0.0) continue;
+    for (std::size_t j = 0; j < fb.values_.size() && i + j < n; ++j) {
+      v[i + j] += w * fb.values_[j];
+    }
+  }
+  return PiecewiseDensity(g, std::move(v));
+}
+
+PiecewiseDensity PiecewiseDensity::convolve_gaussian(const PiecewiseDensity& a,
+                                                     const Gaussian& g, double sigmas) {
+  if (a.empty()) return {};
+  const double sd = g.stddev();
+  if (sd == 0.0) return a.shifted(g.mean);
+  const double pad = sigmas * sd;
+  const double dt = a.grid_.dt;
+  const std::size_t extra = static_cast<std::size_t>(std::ceil(pad / dt));
+  const std::size_t n =
+      std::min(a.values_.size() + 2 * extra, kMaxGridPoints);
+  GridSpec grid{a.grid_.t0 + g.mean - static_cast<double>(extra) * dt, dt, n};
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < a.values_.size(); ++i) {
+    const double w = a.values_[i] * dt;
+    if (w == 0.0) continue;
+    const double center = a.grid_.time_at(i) + g.mean;
+    const auto lo = static_cast<std::ptrdiff_t>(
+        std::floor((center - pad - grid.t0) / dt));
+    const auto hi = static_cast<std::ptrdiff_t>(
+        std::ceil((center + pad - grid.t0) / dt));
+    for (std::ptrdiff_t k = std::max<std::ptrdiff_t>(lo, 0);
+         k <= hi && k < static_cast<std::ptrdiff_t>(n); ++k) {
+      v[static_cast<std::size_t>(k)] +=
+          w * normal_pdf(grid.time_at(static_cast<std::size_t>(k)), center, sd);
+    }
+  }
+  return PiecewiseDensity(grid, std::move(v));
+}
+
+namespace {
+PiecewiseDensity order_stat(const PiecewiseDensity& a, const PiecewiseDensity& b,
+                            bool is_max) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const GridSpec g = union_grid(a.grid(), b.grid());
+  const PiecewiseDensity fa = a.resampled(g);
+  const PiecewiseDensity fb = b.resampled(g);
+  const std::vector<double> ca = fa.cumulative();
+  const std::vector<double> cb = fb.cumulative();
+  std::vector<double> v(g.n, 0.0);
+  for (std::size_t i = 0; i < g.n; ++i) {
+    const double wa = is_max ? cb[i] : (1.0 - cb[i]);
+    const double wb = is_max ? ca[i] : (1.0 - ca[i]);
+    v[i] = fa.values()[i] * wa + fb.values()[i] * wb;
+  }
+  return PiecewiseDensity(g, std::move(v));
+}
+}  // namespace
+
+PiecewiseDensity PiecewiseDensity::max_independent(const PiecewiseDensity& a,
+                                                   const PiecewiseDensity& b) {
+  return order_stat(a, b, /*is_max=*/true);
+}
+
+PiecewiseDensity PiecewiseDensity::min_independent(const PiecewiseDensity& a,
+                                                   const PiecewiseDensity& b) {
+  return order_stat(a, b, /*is_max=*/false);
+}
+
+}  // namespace spsta::stats

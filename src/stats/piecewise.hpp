@@ -1,0 +1,129 @@
+/// \file piecewise.hpp
+/// Piecewise-linear densities on uniform time grids.
+///
+/// This is the numerical representation of the paper's *signal transition
+/// temporal occurrence probability* (t.o.p.) function: a non-negative
+/// function of time whose integral is a transition probability (not
+/// necessarily 1). It supports exactly the operations SPSTA composes:
+///   * SUM with a delay        -> convolution / shift,
+///   * MAX / MIN of arrivals   -> CDF products (exact under independence),
+///   * WEIGHTED SUM            -> linear combination,
+/// plus normalization, resampling and moment extraction.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/gaussian.hpp"
+
+namespace spsta::stats {
+
+/// A uniform grid of `n` points `t0 + i*dt`, i in [0, n).
+struct GridSpec {
+  double t0 = 0.0;
+  double dt = 1.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double time_at(std::size_t i) const noexcept { return t0 + dt * static_cast<double>(i); }
+  [[nodiscard]] double t_end() const noexcept { return n == 0 ? t0 : time_at(n - 1); }
+  friend bool operator==(const GridSpec&, const GridSpec&) = default;
+};
+
+/// Smallest grid with step <= max(a.dt, b.dt is NOT used; the finer step is
+/// kept) covering the union of both grids' spans.
+[[nodiscard]] GridSpec union_grid(const GridSpec& a, const GridSpec& b);
+
+/// A non-negative piecewise-linear density sampled on a uniform grid.
+/// Integrals use the trapezoid rule; the function is 0 outside the grid.
+class PiecewiseDensity {
+ public:
+  /// Empty density (mass 0) on an empty grid.
+  PiecewiseDensity() = default;
+
+  /// Density with the given samples; negative samples are clamped to 0.
+  /// \p values.size() must equal \p grid.n.
+  PiecewiseDensity(GridSpec grid, std::vector<double> values);
+
+  /// All-zero density on \p grid.
+  [[nodiscard]] static PiecewiseDensity zero(GridSpec grid);
+
+  /// Gaussian density scaled by \p mass, sampled on \p grid.
+  [[nodiscard]] static PiecewiseDensity from_gaussian(const Gaussian& g, GridSpec grid,
+                                                      double mass = 1.0);
+
+  /// Gaussian density on an automatically sized grid spanning
+  /// mean +- \p sigmas standard deviations with \p points samples.
+  [[nodiscard]] static PiecewiseDensity from_gaussian_auto(const Gaussian& g,
+                                                           double sigmas = 8.0,
+                                                           std::size_t points = 513,
+                                                           double mass = 1.0);
+
+  [[nodiscard]] const GridSpec& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  /// Linear interpolation of the density at time \p t (0 outside the grid).
+  [[nodiscard]] double value_at(double t) const noexcept;
+
+  /// Total mass (integral of the density). For a normalized arrival pdf
+  /// this is 1; for a t.o.p. it is the transition probability.
+  [[nodiscard]] double mass() const noexcept;
+  /// Mean of the *normalized* density; 0 when the mass vanishes.
+  [[nodiscard]] double mean() const noexcept;
+  /// Variance of the *normalized* density; 0 when the mass vanishes.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standardized third central moment of the normalized density — the
+  /// shape information moment-matched SSTA discards (0 when degenerate).
+  [[nodiscard]] double skewness() const noexcept;
+  /// First two conditional moments packaged as a Gaussian summary.
+  [[nodiscard]] Gaussian moments() const noexcept;
+
+  /// Running integral at each grid point (trapezoid); same length as values.
+  [[nodiscard]] std::vector<double> cumulative() const;
+  /// Integral of the density over (-inf, t].
+  [[nodiscard]] double cdf_at(double t) const noexcept;
+
+  /// Returns the density multiplied by \p w (w >= 0).
+  [[nodiscard]] PiecewiseDensity scaled(double w) const;
+  /// Returns the density translated by \p delta (grid origin moves).
+  [[nodiscard]] PiecewiseDensity shifted(double delta) const;
+  /// Returns the density rescaled to unit mass; an empty/zero density stays zero.
+  [[nodiscard]] PiecewiseDensity normalized() const;
+  /// Linear-interpolation resampling onto \p grid.
+  [[nodiscard]] PiecewiseDensity resampled(GridSpec grid) const;
+
+  /// Accumulates `w * other` into this density (union grid as needed).
+  void add_scaled(const PiecewiseDensity& other, double w);
+
+  /// Density of X+Y for independent X ~ a, Y ~ b (discrete convolution on
+  /// a common step; total mass is the product of operand masses).
+  [[nodiscard]] static PiecewiseDensity convolve(const PiecewiseDensity& a,
+                                                 const PiecewiseDensity& b);
+
+  /// Density of X+G for independent X ~ a and Gaussian G; semi-analytic
+  /// (each sample convolved with the exact Gaussian kernel). When
+  /// `g.var == 0` this reduces to a shift by `g.mean`.
+  [[nodiscard]] static PiecewiseDensity convolve_gaussian(const PiecewiseDensity& a,
+                                                          const Gaussian& g,
+                                                          double sigmas = 8.0);
+
+  /// Density of MAX(X, Y) for independent X ~ a, Y ~ b. Operands should be
+  /// normalized pdfs; the result is exact up to discretization:
+  ///   h = a * CDF_b + b * CDF_a.
+  [[nodiscard]] static PiecewiseDensity max_independent(const PiecewiseDensity& a,
+                                                        const PiecewiseDensity& b);
+
+  /// Density of MIN(X, Y) for independent X ~ a, Y ~ b (normalized pdfs):
+  ///   h = a * (1 - CDF_b) + b * (1 - CDF_a).
+  [[nodiscard]] static PiecewiseDensity min_independent(const PiecewiseDensity& a,
+                                                        const PiecewiseDensity& b);
+
+ private:
+  GridSpec grid_{};
+  std::vector<double> values_;
+};
+
+}  // namespace spsta::stats

@@ -1,0 +1,96 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+
+namespace spsta::stats {
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.next();
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+bool Xoshiro256::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::size_t Xoshiro256::categorical(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double r = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+}  // namespace spsta::stats

@@ -1,0 +1,66 @@
+/// \file rng.hpp
+/// Deterministic random number generation for Monte Carlo simulation and
+/// the benchmark-circuit generator.
+///
+/// A small, fully reproducible stack: SplitMix64 for seeding, xoshiro256++
+/// as the workhorse generator, plus uniform / normal / categorical draws.
+/// Determinism across platforms matters more here than raw speed: every
+/// experiment in EXPERIMENTS.md must be re-runnable bit-for-bit.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace spsta::stats {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ pseudo-random generator (Blackman & Vigna).
+/// Satisfies the essentials of UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from \p seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). \p n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Standard normal draw (polar Box-Muller, caches the second deviate).
+  double normal() noexcept;
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  /// Bernoulli draw with success probability \p p.
+  bool bernoulli(double p) noexcept;
+  /// Categorical draw: returns i with probability weights[i] / sum(weights).
+  /// \p weights must be non-empty with a positive sum.
+  std::size_t categorical(std::span<const double> weights) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace spsta::stats

@@ -1,0 +1,92 @@
+#include "stats/welford.hpp"
+
+#include <cmath>
+
+namespace spsta::stats {
+
+void RunningMoments::add(double x) noexcept {
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningMoments::merge(const RunningMoments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ + delta2 * delta * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 = m4_ + other.m4_ +
+                    delta2 * delta2 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+                    6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+                    4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ += delta * nb / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+}
+
+double RunningMoments::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningMoments::sample_variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningMoments::skewness() const noexcept {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double RunningMoments::excess_kurtosis() const noexcept {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+void RunningCovariance::add(double x, double y) noexcept {
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double dx = x - mean_x_;
+  const double dy = y - mean_y_;
+  mean_x_ += dx / n;
+  mean_y_ += dy / n;
+  m2x_ += dx * (x - mean_x_);
+  m2y_ += dy * (y - mean_y_);
+  cxy_ += dx * (y - mean_y_);
+}
+
+double RunningCovariance::covariance() const noexcept {
+  return n_ < 2 ? 0.0 : cxy_ / static_cast<double>(n_);
+}
+
+double RunningCovariance::correlation() const noexcept {
+  if (n_ < 2 || m2x_ <= 0.0 || m2y_ <= 0.0) return 0.0;
+  return cxy_ / std::sqrt(m2x_ * m2y_);
+}
+
+}  // namespace spsta::stats

@@ -1,0 +1,62 @@
+/// \file welford.hpp
+/// Numerically stable running-moment accumulators (Welford / Pébay update
+/// formulas) used by the Monte Carlo simulator to collect arrival-time
+/// statistics, plus a two-variable covariance accumulator.
+
+#pragma once
+
+#include <cstdint>
+
+namespace spsta::stats {
+
+/// Single-variable running moments up to fourth order.
+class RunningMoments {
+ public:
+  /// Incorporates one observation.
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel/chunked accumulation).
+  void merge(const RunningMoments& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (divides by n); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample variance (divides by n-1); 0 for fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standardized third moment; 0 if the variance vanishes.
+  [[nodiscard]] double skewness() const noexcept;
+  /// Excess kurtosis (normal == 0); 0 if the variance vanishes.
+  [[nodiscard]] double excess_kurtosis() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+};
+
+/// Running covariance between paired observations (x, y).
+class RunningCovariance {
+ public:
+  void add(double x, double y) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean_x() const noexcept { return mean_x_; }
+  [[nodiscard]] double mean_y() const noexcept { return mean_y_; }
+  /// Population covariance; 0 for fewer than 2 samples.
+  [[nodiscard]] double covariance() const noexcept;
+  /// Pearson correlation; 0 if either variance vanishes.
+  [[nodiscard]] double correlation() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double m2x_ = 0.0;
+  double m2y_ = 0.0;
+  double cxy_ = 0.0;
+};
+
+}  // namespace spsta::stats

@@ -1,0 +1,83 @@
+#include "variational/canonical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spsta::variational {
+
+double CanonicalForm::variance() const noexcept {
+  double v = resid_ * resid_;
+  for (double s : sens_) v += s * s;
+  return v;
+}
+
+double CanonicalForm::evaluate(std::span<const double> params, double residual_draw) const {
+  double v = nominal_ + resid_ * residual_draw;
+  const std::size_t n = std::min(params.size(), sens_.size());
+  for (std::size_t i = 0; i < n; ++i) v += sens_[i] * params[i];
+  return v;
+}
+
+namespace {
+void check_compatible(const CanonicalForm& a, const CanonicalForm& b) {
+  if (a.num_params() != b.num_params()) {
+    throw std::invalid_argument("CanonicalForm: parameter count mismatch");
+  }
+}
+}  // namespace
+
+double covariance(const CanonicalForm& a, const CanonicalForm& b) {
+  check_compatible(a, b);
+  double c = 0.0;
+  for (std::size_t i = 0; i < a.num_params(); ++i) {
+    c += a.sensitivity(i) * b.sensitivity(i);
+  }
+  return c;
+}
+
+double correlation(const CanonicalForm& a, const CanonicalForm& b) {
+  const double va = a.variance();
+  const double vb = b.variance();
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return covariance(a, b) / std::sqrt(va * vb);
+}
+
+CanonicalForm sum(const CanonicalForm& a, const CanonicalForm& b) {
+  check_compatible(a, b);
+  std::vector<double> sens(a.num_params());
+  for (std::size_t i = 0; i < sens.size(); ++i) {
+    sens[i] = a.sensitivity(i) + b.sensitivity(i);
+  }
+  const double resid = std::hypot(a.residual(), b.residual());
+  return {a.nominal() + b.nominal(), std::move(sens), resid};
+}
+
+CanonicalForm max(const CanonicalForm& a, const CanonicalForm& b) {
+  check_compatible(a, b);
+  const stats::ClarkResult cr =
+      stats::clark_max(a.moments(), b.moments(), covariance(a, b));
+  const double t = cr.tightness;
+  std::vector<double> sens(a.num_params());
+  double global_var = 0.0;
+  for (std::size_t i = 0; i < sens.size(); ++i) {
+    sens[i] = t * a.sensitivity(i) + (1.0 - t) * b.sensitivity(i);
+    global_var += sens[i] * sens[i];
+  }
+  const double resid_var = std::max(0.0, cr.moments.var - global_var);
+  return {cr.moments.mean, std::move(sens), std::sqrt(resid_var)};
+}
+
+CanonicalForm min(const CanonicalForm& a, const CanonicalForm& b) {
+  check_compatible(a, b);
+  // MIN(a,b) = -MAX(-a,-b).
+  const auto negate = [](const CanonicalForm& f) {
+    std::vector<double> sens(f.num_params());
+    for (std::size_t i = 0; i < sens.size(); ++i) sens[i] = -f.sensitivity(i);
+    return CanonicalForm{-f.nominal(), std::move(sens), f.residual()};
+  };
+  const CanonicalForm neg = max(negate(a), negate(b));
+  return negate(neg);
+}
+
+}  // namespace spsta::variational

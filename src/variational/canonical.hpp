@@ -1,0 +1,75 @@
+/// \file canonical.hpp
+/// First-order canonical timing forms (the representation behind
+/// parameterized SSTA, paper Sec. 1 refs [14, 25], used here for the
+/// symbolic-analysis track of Sec. 3.6):
+///
+///   value = nominal + sum_i sens[i] * dX_i + resid * dR
+///
+/// with dX_i independent N(0,1) global process parameters (post-PCA) and
+/// dR an independent N(0,1) local residual. SUM is exact; MAX/MIN use
+/// Clark moments with tightness-weighted sensitivity blending, keeping
+/// the result in canonical form so correlations survive downstream.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/gaussian.hpp"
+
+namespace spsta::variational {
+
+/// A first-order canonical form over a fixed number of global parameters.
+class CanonicalForm {
+ public:
+  CanonicalForm() = default;
+  /// Deterministic value with \p num_params zero sensitivities.
+  CanonicalForm(double nominal, std::size_t num_params)
+      : nominal_(nominal), sens_(num_params, 0.0) {}
+  CanonicalForm(double nominal, std::vector<double> sens, double resid)
+      : nominal_(nominal), sens_(std::move(sens)), resid_(resid) {}
+
+  [[nodiscard]] double nominal() const noexcept { return nominal_; }
+  [[nodiscard]] std::span<const double> sensitivities() const noexcept { return sens_; }
+  [[nodiscard]] double sensitivity(std::size_t i) const { return sens_.at(i); }
+  [[nodiscard]] double residual() const noexcept { return resid_; }
+  [[nodiscard]] std::size_t num_params() const noexcept { return sens_.size(); }
+
+  void set_sensitivity(std::size_t i, double s) { sens_.at(i) = s; }
+  void set_residual(double r) noexcept { resid_ = r; }
+
+  /// First two moments (parameters are independent standard normals).
+  [[nodiscard]] double mean() const noexcept { return nominal_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] stats::Gaussian moments() const noexcept { return {mean(), variance()}; }
+
+  /// Realization at a concrete parameter/residual draw.
+  [[nodiscard]] double evaluate(std::span<const double> params,
+                                double residual_draw = 0.0) const;
+
+ private:
+  double nominal_ = 0.0;
+  std::vector<double> sens_;
+  double resid_ = 0.0;
+};
+
+/// Covariance implied by shared global parameters:
+/// sum_i a.sens[i] * b.sens[i]. Residuals are independent *across* forms,
+/// so this cross-form covariance omits them even when a and b are the
+/// same object.
+[[nodiscard]] double covariance(const CanonicalForm& a, const CanonicalForm& b);
+/// Pearson correlation (0 when either variance vanishes).
+[[nodiscard]] double correlation(const CanonicalForm& a, const CanonicalForm& b);
+
+/// Exact SUM of canonical forms (residuals RSS-combined).
+[[nodiscard]] CanonicalForm sum(const CanonicalForm& a, const CanonicalForm& b);
+
+/// Canonical MAX via Clark moments: sensitivities blend with the
+/// tightness T (s = T*a_i + (1-T)*b_i); the residual absorbs whatever
+/// variance Clark's matched second moment requires beyond the blended
+/// global part. MIN is the dual.
+[[nodiscard]] CanonicalForm max(const CanonicalForm& a, const CanonicalForm& b);
+[[nodiscard]] CanonicalForm min(const CanonicalForm& a, const CanonicalForm& b);
+
+}  // namespace spsta::variational

@@ -1,0 +1,68 @@
+#include "variational/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/levelize.hpp"
+
+namespace spsta::variational {
+
+Interval interval_max(const Interval& a, const Interval& b) noexcept {
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval interval_min(const Interval& a, const Interval& b) noexcept {
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+double AffineForm::radius() const noexcept {
+  double r = 0.0;
+  for (const auto& [sym, c] : terms_) r += std::abs(c);
+  return r;
+}
+
+Interval AffineForm::to_interval() const noexcept {
+  const double r = radius();
+  return {center_ - r, center_ + r};
+}
+
+AffineForm operator+(const AffineForm& a, const AffineForm& b) {
+  std::map<std::uint32_t, double> terms = a.terms_;
+  for (const auto& [sym, c] : b.terms_) terms[sym] += c;
+  return {a.center_ + b.center_, std::move(terms)};
+}
+
+std::vector<Interval> interval_sta(const netlist::Netlist& design,
+                                   const netlist::DelayModel& delays,
+                                   const Interval& source_arrival, double k_sigma) {
+  std::vector<Interval> arrival(design.node_count(), Interval{0.0, 0.0});
+  for (netlist::NodeId id : design.timing_sources()) arrival[id] = source_arrival;
+
+  const netlist::Levelization lv = netlist::levelize(design);
+  for (netlist::NodeId id : lv.order) {
+    const netlist::Node& node = design.node(id);
+    if (!netlist::is_combinational(node.type)) continue;
+    if (node.fanins.empty()) {
+      arrival[id] = {0.0, 0.0};
+      continue;
+    }
+    Interval acc = arrival[node.fanins[0]];
+    for (std::size_t i = 1; i < node.fanins.size(); ++i) {
+      // STA bounds: earliest possible (min of los) to latest possible
+      // (max of his) — the [min, max] corner pair of Fig. 1.
+      const Interval& in = arrival[node.fanins[i]];
+      acc = {std::min(acc.lo, in.lo), std::max(acc.hi, in.hi)};
+    }
+    // Directional models: enclose both directions' k-sigma ranges.
+    const stats::Gaussian& dr = delays.delay(id, true);
+    const stats::Gaussian& df = delays.delay(id, false);
+    const double lo = std::min(dr.mean - k_sigma * dr.stddev(),
+                               df.mean - k_sigma * df.stddev());
+    const double hi = std::max(dr.mean + k_sigma * dr.stddev(),
+                               df.mean + k_sigma * df.stddev());
+    arrival[id] = acc + Interval{lo, hi};
+  }
+  return arrival;
+}
+
+}  // namespace spsta::variational

@@ -1,0 +1,74 @@
+/// \file interval.hpp
+/// Interval and affine arithmetic (paper Sec. 3.6, refs [10, 20]):
+/// guaranteed enclosures of arrival times under bounded parameter
+/// uncertainty — the "interval-valued" alternative to moment propagation.
+/// Interval STA over a netlist yields corner-style bounds (paper Fig. 1's
+/// dotted STA lines).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta::variational {
+
+/// A closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+  [[nodiscard]] double mid() const noexcept { return 0.5 * (lo + hi); }
+  [[nodiscard]] bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+
+  friend Interval operator+(const Interval& a, const Interval& b) noexcept {
+    return {a.lo + b.lo, a.hi + b.hi};
+  }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+[[nodiscard]] Interval interval_max(const Interval& a, const Interval& b) noexcept;
+[[nodiscard]] Interval interval_min(const Interval& a, const Interval& b) noexcept;
+
+/// An affine form c0 + sum_i c_i eps_i (+ rad * eps_new), eps in [-1, 1].
+/// Shared noise symbols keep correlation through SUMs, so long paths don't
+/// blow up the way plain intervals do.
+class AffineForm {
+ public:
+  AffineForm() = default;
+  explicit AffineForm(double center) : center_(center) {}
+  AffineForm(double center, std::map<std::uint32_t, double> terms)
+      : center_(center), terms_(std::move(terms)) {}
+
+  [[nodiscard]] double center() const noexcept { return center_; }
+  [[nodiscard]] const std::map<std::uint32_t, double>& terms() const noexcept {
+    return terms_;
+  }
+  /// Total deviation radius: sum of |coefficients|.
+  [[nodiscard]] double radius() const noexcept;
+  /// Guaranteed enclosure.
+  [[nodiscard]] Interval to_interval() const noexcept;
+
+  friend AffineForm operator+(const AffineForm& a, const AffineForm& b);
+
+ private:
+  double center_ = 0.0;
+  std::map<std::uint32_t, double> terms_;
+};
+
+/// Interval STA over a netlist: arrival enclosure per node, with gate
+/// delays as [mean - k*sigma, mean + k*sigma] intervals and source
+/// arrivals likewise. A transition is assumed on every net (the STA
+/// convention); the result bounds every realization within the k-sigma
+/// parameter box.
+[[nodiscard]] std::vector<Interval> interval_sta(const netlist::Netlist& design,
+                                                 const netlist::DelayModel& delays,
+                                                 const Interval& source_arrival,
+                                                 double k_sigma = 3.0);
+
+}  // namespace spsta::variational

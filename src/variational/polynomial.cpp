@@ -1,0 +1,134 @@
+#include "variational/polynomial.hpp"
+
+#include <cmath>
+
+namespace spsta::variational {
+
+namespace {
+constexpr double kDropEps = 1e-15;
+
+/// E[X^k] for X ~ N(0,1): 0 for odd k, (k-1)!! for even k.
+double normal_moment(std::uint32_t k) {
+  if (k % 2 == 1) return 0.0;
+  double m = 1.0;
+  for (std::uint32_t i = k; i > 1; i -= 2) m *= static_cast<double>(i - 1);
+  return m;
+}
+
+/// E[prod X_v^e] over independent standard normals.
+double monomial_mean(const Monomial& m) {
+  double mean = 1.0;
+  for (const auto& [var, exp] : m) {
+    mean *= normal_moment(exp);
+    if (mean == 0.0) return 0.0;
+  }
+  return mean;
+}
+
+Monomial multiply(const Monomial& a, const Monomial& b) {
+  Monomial out = a;
+  for (const auto& [var, exp] : b) out[var] += exp;
+  return out;
+}
+}  // namespace
+
+Polynomial::Polynomial(double constant) {
+  if (std::abs(constant) > kDropEps) terms_.emplace(Monomial{}, constant);
+}
+
+Polynomial Polynomial::variable(std::uint32_t var) {
+  Polynomial p;
+  p.terms_.emplace(Monomial{{var, 1}}, 1.0);
+  return p;
+}
+
+std::uint32_t Polynomial::degree() const noexcept {
+  std::uint32_t d = 0;
+  for (const auto& [m, c] : terms_) {
+    std::uint32_t total = 0;
+    for (const auto& [var, exp] : m) total += exp;
+    d = std::max(d, total);
+  }
+  return d;
+}
+
+void Polynomial::add_term(const Monomial& m, double c) {
+  const auto it = terms_.find(m);
+  if (it == terms_.end()) {
+    if (std::abs(c) > kDropEps) terms_.emplace(m, c);
+    return;
+  }
+  it->second += c;
+  if (std::abs(it->second) <= kDropEps) terms_.erase(it);
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& o) {
+  for (const auto& [m, c] : o.terms_) add_term(m, c);
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& o) {
+  for (const auto& [m, c] : o.terms_) add_term(m, -c);
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(double k) {
+  if (k == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [m, c] : terms_) c *= k;
+  return *this;
+}
+
+Polynomial operator*(const Polynomial& a, const Polynomial& b) {
+  Polynomial out;
+  for (const auto& [ma, ca] : a.terms_) {
+    for (const auto& [mb, cb] : b.terms_) {
+      out.add_term(multiply(ma, mb), ca * cb);
+    }
+  }
+  return out;
+}
+
+Polynomial Polynomial::truncated(std::uint32_t max_degree) const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    std::uint32_t total = 0;
+    for (const auto& [var, exp] : m) total += exp;
+    if (total <= max_degree) out.terms_.emplace(m, c);
+  }
+  return out;
+}
+
+double Polynomial::evaluate(std::span<const double> params) const {
+  double acc = 0.0;
+  for (const auto& [m, c] : terms_) {
+    double v = c;
+    for (const auto& [var, exp] : m) {
+      const double x = var < params.size() ? params[var] : 0.0;
+      for (std::uint32_t e = 0; e < exp; ++e) v *= x;
+    }
+    acc += v;
+  }
+  return acc;
+}
+
+double Polynomial::mean_gaussian() const {
+  double mean = 0.0;
+  for (const auto& [m, c] : terms_) mean += c * monomial_mean(m);
+  return mean;
+}
+
+double Polynomial::variance_gaussian() const {
+  const Polynomial sq = (*this) * (*this);
+  const double mu = mean_gaussian();
+  return std::max(0.0, sq.mean_gaussian() - mu * mu);
+}
+
+double Polynomial::covariance_gaussian(const Polynomial& a, const Polynomial& b) {
+  const Polynomial prod = a * b;
+  return prod.mean_gaussian() - a.mean_gaussian() * b.mean_gaussian();
+}
+
+}  // namespace spsta::variational

@@ -1,0 +1,61 @@
+/// \file polynomial.hpp
+/// Sparse multivariate polynomials in variational parameters
+/// (paper Sec. 3.6, "polynomial computation" ref [8]): circuit quantities
+/// as closed-form polynomials of independent N(0,1) process parameters,
+/// with exact Gaussian-moment extraction and degree truncation — the
+/// accuracy/efficiency tradeoff the paper describes.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace spsta::variational {
+
+/// A monomial key: sorted (variable, exponent) pairs.
+using Monomial = std::map<std::uint32_t, std::uint32_t>;
+
+/// A sparse polynomial sum of coeff * prod X_v^e.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  /// Constant polynomial.
+  explicit Polynomial(double constant);
+  /// The polynomial "X_var".
+  [[nodiscard]] static Polynomial variable(std::uint32_t var);
+
+  [[nodiscard]] const std::map<Monomial, double>& terms() const noexcept { return terms_; }
+  [[nodiscard]] bool is_zero() const noexcept { return terms_.empty(); }
+  [[nodiscard]] std::uint32_t degree() const noexcept;
+
+  Polynomial& operator+=(const Polynomial& o);
+  Polynomial& operator-=(const Polynomial& o);
+  Polynomial& operator*=(double k);
+  friend Polynomial operator+(Polynomial a, const Polynomial& b) { return a += b; }
+  friend Polynomial operator-(Polynomial a, const Polynomial& b) { return a -= b; }
+  friend Polynomial operator*(Polynomial a, double k) { return a *= k; }
+  friend Polynomial operator*(const Polynomial& a, const Polynomial& b);
+
+  /// Drops every term of total degree greater than \p max_degree.
+  [[nodiscard]] Polynomial truncated(std::uint32_t max_degree) const;
+
+  /// Value at a concrete parameter assignment (missing vars read 0).
+  [[nodiscard]] double evaluate(std::span<const double> params) const;
+
+  /// E[poly] with all X_v independent standard normals
+  /// (E[X^k] = 0 for odd k, (k-1)!! for even k).
+  [[nodiscard]] double mean_gaussian() const;
+  /// Var[poly] = E[poly^2] - E[poly]^2 under the same distribution.
+  [[nodiscard]] double variance_gaussian() const;
+  /// Cov of two polynomials under the same distribution.
+  [[nodiscard]] static double covariance_gaussian(const Polynomial& a,
+                                                  const Polynomial& b);
+
+ private:
+  void add_term(const Monomial& m, double c);
+  std::map<Monomial, double> terms_;
+};
+
+}  // namespace spsta::variational

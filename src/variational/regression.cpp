@@ -1,0 +1,127 @@
+#include "variational/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spsta::variational {
+
+std::vector<double> least_squares(std::span<const double> x, std::size_t rows,
+                                  std::size_t cols, std::span<const double> y) {
+  if (x.size() != rows * cols || y.size() != rows) {
+    throw std::invalid_argument("least_squares: shape mismatch");
+  }
+  if (rows < cols) throw std::invalid_argument("least_squares: underdetermined system");
+
+  // Normal equations A = X^T X (cols x cols), b = X^T y.
+  std::vector<double> a(cols * cols, 0.0);
+  std::vector<double> b(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* xr = x.data() + r * cols;
+    for (std::size_t i = 0; i < cols; ++i) {
+      b[i] += xr[i] * y[r];
+      for (std::size_t j = i; j < cols; ++j) a[i * cols + j] += xr[i] * xr[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < i; ++j) a[i * cols + j] = a[j * cols + i];
+  }
+
+  // Cholesky A = L L^T with a tiny ridge for numerical robustness.
+  const double ridge = 1e-12;
+  std::vector<double> l(cols * cols, 0.0);
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a[i * cols + j] + (i == j ? ridge : 0.0);
+      for (std::size_t k = 0; k < j; ++k) s -= l[i * cols + k] * l[j * cols + k];
+      if (i == j) {
+        if (s <= 0.0) throw std::runtime_error("least_squares: singular normal equations");
+        l[i * cols + i] = std::sqrt(s);
+      } else {
+        l[i * cols + j] = s / l[j * cols + j];
+      }
+    }
+  }
+  // Solve L z = b, then L^T beta = z.
+  std::vector<double> z(cols, 0.0);
+  for (std::size_t i = 0; i < cols; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l[i * cols + k] * z[k];
+    z[i] = s / l[i * cols + i];
+  }
+  std::vector<double> beta(cols, 0.0);
+  for (std::size_t ii = cols; ii-- > 0;) {
+    double s = z[ii];
+    for (std::size_t k = ii + 1; k < cols; ++k) s -= l[k * cols + ii] * beta[k];
+    beta[ii] = s / l[ii * cols + ii];
+  }
+  return beta;
+}
+
+double LinearModel::predict(std::span<const double> params) const {
+  double v = intercept;
+  const std::size_t n = std::min(params.size(), coeffs.size());
+  for (std::size_t i = 0; i < n; ++i) v += coeffs[i] * params[i];
+  return v;
+}
+
+LinearModel fit_linear(std::span<const double> samples, std::size_t dims,
+                       std::span<const double> responses) {
+  const std::size_t n = responses.size();
+  if (samples.size() != n * dims) throw std::invalid_argument("fit_linear: shape mismatch");
+  const std::size_t cols = dims + 1;
+  std::vector<double> x(n * cols, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    x[r * cols] = 1.0;
+    for (std::size_t d = 0; d < dims; ++d) x[r * cols + 1 + d] = samples[r * dims + d];
+  }
+  const std::vector<double> beta = least_squares(x, n, cols, responses);
+  LinearModel m;
+  m.intercept = beta[0];
+  m.coeffs.assign(beta.begin() + 1, beta.end());
+  return m;
+}
+
+double QuadraticModel::predict(std::span<const double> params) const {
+  double v = intercept;
+  for (std::size_t i = 0; i < dims && i < params.size(); ++i) v += linear[i] * params[i];
+  std::size_t q = 0;
+  for (std::size_t i = 0; i < dims; ++i) {
+    for (std::size_t j = i; j < dims; ++j, ++q) {
+      const double xi = i < params.size() ? params[i] : 0.0;
+      const double xj = j < params.size() ? params[j] : 0.0;
+      v += quadratic[q] * xi * xj;
+    }
+  }
+  return v;
+}
+
+QuadraticModel fit_quadratic(std::span<const double> samples, std::size_t dims,
+                             std::span<const double> responses) {
+  const std::size_t n = responses.size();
+  if (samples.size() != n * dims) {
+    throw std::invalid_argument("fit_quadratic: shape mismatch");
+  }
+  const std::size_t quad_terms = dims * (dims + 1) / 2;
+  const std::size_t cols = 1 + dims + quad_terms;
+  std::vector<double> x(n * cols, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double* xr = x.data() + r * cols;
+    xr[0] = 1.0;
+    for (std::size_t d = 0; d < dims; ++d) xr[1 + d] = samples[r * dims + d];
+    std::size_t q = 0;
+    for (std::size_t i = 0; i < dims; ++i) {
+      for (std::size_t j = i; j < dims; ++j, ++q) {
+        xr[1 + dims + q] = samples[r * dims + i] * samples[r * dims + j];
+      }
+    }
+  }
+  const std::vector<double> beta = least_squares(x, n, cols, responses);
+  QuadraticModel m;
+  m.dims = dims;
+  m.intercept = beta[0];
+  m.linear.assign(beta.begin() + 1, beta.begin() + 1 + dims);
+  m.quadratic.assign(beta.begin() + 1 + dims, beta.end());
+  return m;
+}
+
+}  // namespace spsta::variational

@@ -1,0 +1,52 @@
+/// \file regression.hpp
+/// Least-squares fitting of variational delay models from sampled analyses
+/// (paper Sec. 3.6: "variational delays are obtained ... by sampling
+/// analysis and regression"). Normal equations solved by Cholesky; a
+/// quadratic feature expansion supports second-order polynomial models.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace spsta::variational {
+
+/// Ordinary least squares: finds beta minimizing ||X beta - y||^2.
+/// \p rows is the number of samples; X is row-major rows x cols.
+/// Throws std::invalid_argument on shape mismatch and std::runtime_error
+/// if the normal equations are singular.
+[[nodiscard]] std::vector<double> least_squares(std::span<const double> x,
+                                                std::size_t rows, std::size_t cols,
+                                                std::span<const double> y);
+
+/// A fitted linear model y ~= intercept + coeffs . params.
+struct LinearModel {
+  double intercept = 0.0;
+  std::vector<double> coeffs;
+
+  [[nodiscard]] double predict(std::span<const double> params) const;
+};
+
+/// Fits a first-order model from samples (each sample: one parameter
+/// vector and one response). `samples` is row-major n x dims.
+[[nodiscard]] LinearModel fit_linear(std::span<const double> samples, std::size_t dims,
+                                     std::span<const double> responses);
+
+/// A fitted quadratic model: intercept + linear + pairwise quadratic
+/// terms (including squares), in the feature order
+/// [x0..xd-1, x0*x0, x0*x1, ..., xd-1*xd-1].
+struct QuadraticModel {
+  std::size_t dims = 0;
+  double intercept = 0.0;
+  std::vector<double> linear;
+  std::vector<double> quadratic;  ///< packed upper triangle, size d(d+1)/2
+
+  [[nodiscard]] double predict(std::span<const double> params) const;
+};
+
+/// Fits a full quadratic response surface.
+[[nodiscard]] QuadraticModel fit_quadratic(std::span<const double> samples,
+                                           std::size_t dims,
+                                           std::span<const double> responses);
+
+}  // namespace spsta::variational

@@ -1,0 +1,179 @@
+// Tests for the BDD package: canonicity, ITE identities, cofactors,
+// Boolean differences, and weighted probability evaluation — all validated
+// against brute-force truth-table enumeration.
+
+#include "bdd/bdd.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace spsta::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  BddManager m(3);
+  EXPECT_EQ(m.num_vars(), 3u);
+  EXPECT_NE(m.var(0), m.var(1));
+  EXPECT_EQ(m.var(0), m.var(0));  // unique table canonicity
+  const bool assignment[3] = {true, false, true};
+  EXPECT_TRUE(m.evaluate(m.var(0), assignment));
+  EXPECT_FALSE(m.evaluate(m.var(1), assignment));
+  EXPECT_FALSE(m.evaluate(kFalse, assignment));
+  EXPECT_TRUE(m.evaluate(kTrue, assignment));
+}
+
+TEST(Bdd, NotOfNotIsIdentity) {
+  BddManager m(2);
+  const BddRef f = m.apply_and(m.var(0), m.var(1));
+  EXPECT_EQ(m.apply_not(m.apply_not(f)), f);
+}
+
+TEST(Bdd, CanonicityOfEquivalentFormulas) {
+  BddManager m(3);
+  // De Morgan: !(a & b) == !a | !b.
+  const BddRef lhs = m.apply_not(m.apply_and(m.var(0), m.var(1)));
+  const BddRef rhs = m.apply_or(m.apply_not(m.var(0)), m.apply_not(m.var(1)));
+  EXPECT_EQ(lhs, rhs);
+  // a ^ b == (a & !b) | (!a & b).
+  const BddRef x1 = m.apply_xor(m.var(0), m.var(1));
+  const BddRef x2 = m.apply_or(m.apply_and(m.var(0), m.apply_not(m.var(1))),
+                               m.apply_and(m.apply_not(m.var(0)), m.var(1)));
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(Bdd, IteIdentities) {
+  BddManager m(2);
+  const BddRef a = m.var(0);
+  const BddRef b = m.var(1);
+  EXPECT_EQ(m.ite(kTrue, a, b), a);
+  EXPECT_EQ(m.ite(kFalse, a, b), b);
+  EXPECT_EQ(m.ite(a, kTrue, kFalse), a);
+  EXPECT_EQ(m.ite(a, b, b), b);
+}
+
+TEST(Bdd, RestrictCofactors) {
+  BddManager m(2);
+  const BddRef f = m.apply_and(m.var(0), m.var(1));
+  EXPECT_EQ(m.restrict_var(f, 0, true), m.var(1));
+  EXPECT_EQ(m.restrict_var(f, 0, false), kFalse);
+  const BddRef g = m.apply_or(m.var(0), m.var(1));
+  EXPECT_EQ(m.restrict_var(g, 1, true), kTrue);
+}
+
+TEST(Bdd, BooleanDifference) {
+  BddManager m(2);
+  // d(a&b)/da = b; d(a^b)/da = 1; d(b)/da = 0.
+  EXPECT_EQ(m.boolean_difference(m.apply_and(m.var(0), m.var(1)), 0), m.var(1));
+  EXPECT_EQ(m.boolean_difference(m.apply_xor(m.var(0), m.var(1)), 0), kTrue);
+  EXPECT_EQ(m.boolean_difference(m.var(1), 0), kFalse);
+}
+
+TEST(Bdd, ExistentialQuantification) {
+  BddManager m(2);
+  const BddRef f = m.apply_and(m.var(0), m.var(1));
+  EXPECT_EQ(m.exists(f, 0), m.var(1));
+  EXPECT_EQ(m.exists(m.exists(f, 0), 1), kTrue);
+}
+
+TEST(Bdd, Support) {
+  BddManager m(4);
+  const BddRef f = m.apply_or(m.var(0), m.var(3));
+  const auto s = f == kFalse ? std::vector<std::size_t>{} : m.support(f);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_TRUE(m.support(kTrue).empty());
+}
+
+TEST(Bdd, SatCount) {
+  BddManager m(3);
+  EXPECT_DOUBLE_EQ(m.sat_count(kTrue), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(kFalse), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(0)), 4.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.apply_and(m.var(0), m.var(1))), 2.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.apply_xor(m.var(0), m.var(2))), 4.0);
+}
+
+TEST(Bdd, ProbabilityMatchesFormulas) {
+  BddManager m(2);
+  const std::vector<double> p{0.3, 0.6};
+  EXPECT_NEAR(m.probability(m.apply_and(m.var(0), m.var(1)), p), 0.18, 1e-12);
+  EXPECT_NEAR(m.probability(m.apply_or(m.var(0), m.var(1)), p), 0.72, 1e-12);
+  EXPECT_NEAR(m.probability(m.apply_xor(m.var(0), m.var(1)), p),
+              0.3 * 0.4 + 0.7 * 0.6, 1e-12);
+  EXPECT_NEAR(m.probability(m.apply_not(m.var(0)), p), 0.7, 1e-12);
+}
+
+TEST(Bdd, NodeCount) {
+  BddManager m(2);
+  EXPECT_EQ(m.node_count(kTrue), 1u);
+  EXPECT_EQ(m.node_count(m.var(0)), 3u);  // node + 2 terminals
+}
+
+TEST(Bdd, OverflowThrows) {
+  BddManager m(16, /*max_nodes=*/24);
+  BddRef f = m.var(0);
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 1; i < 16; ++i) f = m.apply_xor(f, m.var(i));
+      },
+      BddOverflow);
+}
+
+// Random-function property check: build a BDD from a random expression
+// tree and compare probability() against exhaustive enumeration.
+class RandomFunction : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFunction, ProbabilityMatchesEnumeration) {
+  constexpr std::size_t kVars = 6;
+  stats::Xoshiro256 rng(GetParam());
+  BddManager m(kVars);
+
+  // Random expression over the variables.
+  std::vector<BddRef> pool;
+  for (std::size_t i = 0; i < kVars; ++i) pool.push_back(m.var(i));
+  for (int step = 0; step < 24; ++step) {
+    const BddRef a = pool[rng.uniform_index(pool.size())];
+    const BddRef b = pool[rng.uniform_index(pool.size())];
+    switch (rng.uniform_index(4)) {
+      case 0: pool.push_back(m.apply_and(a, b)); break;
+      case 1: pool.push_back(m.apply_or(a, b)); break;
+      case 2: pool.push_back(m.apply_xor(a, b)); break;
+      default: pool.push_back(m.apply_not(a)); break;
+    }
+  }
+  const BddRef f = pool.back();
+
+  std::vector<double> probs(kVars);
+  for (double& p : probs) p = rng.uniform(0.05, 0.95);
+
+  double expected = 0.0;
+  for (std::size_t mask = 0; mask < (1u << kVars); ++mask) {
+    bool assignment[kVars];
+    double w = 1.0;
+    for (std::size_t i = 0; i < kVars; ++i) {
+      assignment[i] = (mask >> i) & 1u;
+      w *= assignment[i] ? probs[i] : 1.0 - probs[i];
+    }
+    if (m.evaluate(f, assignment)) expected += w;
+  }
+  EXPECT_NEAR(m.probability(f, probs), expected, 1e-12);
+  // sat_count is the probability at p = 1/2 scaled by 2^n.
+  double count = 0.0;
+  for (std::size_t mask = 0; mask < (1u << kVars); ++mask) {
+    bool assignment[kVars];
+    for (std::size_t i = 0; i < kVars; ++i) assignment[i] = (mask >> i) & 1u;
+    if (m.evaluate(f, assignment)) count += 1.0;
+  }
+  EXPECT_DOUBLE_EQ(m.sat_count(f), count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFunction,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace spsta::bdd

@@ -1,0 +1,120 @@
+// Tests for endpoint criticality probabilities, validated against the
+// Monte Carlo latest-endpoint counts.
+
+#include "core/criticality.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas89.hpp"
+
+namespace spsta::core {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Criticality, SingleEndpointTakesAllNonQuietMass) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  n.mark_output(y);
+
+  const SpstaNumericResult r = run_spsta_numeric(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  const CriticalityResult c = endpoint_criticality(n, r);
+  ASSERT_EQ(c.endpoints.size(), 1u);
+  EXPECT_NEAR(c.probability[0] + c.quiet_probability, 1.0, 0.01);
+  EXPECT_NEAR(c.probability[0], r.node[y].probs.toggle_probability(), 0.01);
+}
+
+TEST(Criticality, DominantEndpointWins) {
+  // Two endpoints: one behind a long chain, one direct. The deep one is
+  // almost always the later *when both transition*.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  NodeId chain = a;
+  for (int i = 0; i < 6; ++i) {
+    chain = n.add_gate(GateType::Buf, "c" + std::to_string(i), {chain});
+  }
+  const NodeId direct = n.add_gate(GateType::Buf, "direct", {b});
+  n.mark_output(chain);
+  n.mark_output(direct);
+
+  netlist::SourceStats sc;
+  sc.probs = {0.0, 0.0, 0.5, 0.5};  // always transitions
+  const SpstaNumericResult r =
+      run_spsta_numeric(n, netlist::DelayModel::unit(n), std::vector{sc});
+  const CriticalityResult c = endpoint_criticality(n, r);
+  ASSERT_EQ(c.endpoints.size(), 2u);
+  const std::size_t deep_idx = c.endpoints[0] == chain ? 0 : 1;
+  EXPECT_GT(c.probability[deep_idx], 0.95);
+  EXPECT_NEAR(c.quiet_probability, 0.0, 1e-9);
+}
+
+TEST(Criticality, SumsToOneWithQuietMass) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const SpstaNumericResult r = run_spsta_numeric(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  const CriticalityResult c = endpoint_criticality(n, r);
+  const double total =
+      std::accumulate(c.probability.begin(), c.probability.end(), c.quiet_probability);
+  EXPECT_NEAR(total, 1.0, 0.05);  // independence + discretization slack
+  for (double p : c.probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Criticality, TracksMonteCarloOnTreeCircuit) {
+  // Disjoint cones -> endpoint independence holds exactly; SPSTA
+  // criticalities must match the MC latest-endpoint frequencies.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c1 = n.add_input("c");
+  const NodeId d1 = n.add_input("d");
+  const NodeId e1 = n.add_gate(GateType::And, "e1", {a, b});
+  const NodeId e2 = n.add_gate(GateType::Or, "e2", {c1, d1});
+  n.mark_output(e1);
+  n.mark_output(e2);
+
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  SpstaOptions opt;
+  opt.grid_dt = 0.02;
+  const SpstaNumericResult r = run_spsta_numeric(n, d, sc, opt);
+  const CriticalityResult crit = endpoint_criticality(n, r);
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 200000;
+  cfg.seed = 31;
+  cfg.track_circuit_max = true;
+  const mc::MonteCarloResult mcr = mc::run_monte_carlo(n, d, sc, cfg);
+
+  EXPECT_NEAR(crit.quiet_probability,
+              static_cast<double>(mcr.quiet_runs) / cfg.runs, 0.01);
+  for (std::size_t i = 0; i < crit.endpoints.size(); ++i) {
+    const double mc_p = static_cast<double>(mcr.critical_count[crit.endpoints[i]]) /
+                        static_cast<double>(cfg.runs);
+    EXPECT_NEAR(crit.probability[i], mc_p, 0.015)
+        << n.node(crit.endpoints[i]).name;
+  }
+}
+
+TEST(Criticality, EmptyDesign) {
+  Netlist n;
+  const SpstaNumericResult r = run_spsta_numeric(
+      n, netlist::DelayModel(n), std::vector<netlist::SourceStats>{});
+  const CriticalityResult c = endpoint_criticality(n, r);
+  EXPECT_TRUE(c.endpoints.empty());
+  EXPECT_EQ(c.quiet_probability, 1.0);
+}
+
+}  // namespace
+}  // namespace spsta::core

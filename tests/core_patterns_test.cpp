@@ -1,0 +1,131 @@
+// Tests for switching-scenario enumeration — the WEIGHTED SUM's terms.
+// Key invariant: pattern weights for each output direction sum exactly to
+// the four-value transition probabilities (paper Eq. 11 vs Eq. 9/10).
+
+#include "core/patterns.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sigprob/four_value_prop.hpp"
+#include "stats/rng.hpp"
+
+namespace spsta::core {
+namespace {
+
+using netlist::FourValueProbs;
+using netlist::GateType;
+
+TEST(Patterns, TwoInputAndMatchesEquation12) {
+  // Paper Eq. 12: phi_r(y) = Pr1*P1_2*phi(x1) + P1_1*Pr2*phi(x2)
+  //                        + Pr1*Pr2*phi(MAX).
+  const FourValueProbs p{0.25, 0.25, 0.25, 0.25};
+  const std::vector<FourValueProbs> inputs{p, p};
+  const auto patterns = enumerate_switch_patterns(GateType::And, inputs);
+
+  double w_single_rise = 0.0, w_double_rise = 0.0;
+  for (const SwitchPattern& sp : patterns) {
+    if (!sp.output_rising) continue;
+    const int k = __builtin_popcount(sp.switching_mask);
+    if (k == 1) {
+      w_single_rise += sp.weight;
+      EXPECT_EQ(sp.rising_mask, sp.switching_mask);  // single riser
+    } else {
+      EXPECT_EQ(sp.op, SettleOp::Max);
+      w_double_rise += sp.weight;
+    }
+  }
+  EXPECT_NEAR(w_single_rise, 2.0 * 0.25 * 0.25, 1e-12);  // Pr*P1 twice
+  EXPECT_NEAR(w_double_rise, 0.25 * 0.25, 1e-12);        // Pr*Pr
+}
+
+TEST(Patterns, AndFallUsesMin) {
+  const FourValueProbs p{0.25, 0.25, 0.25, 0.25};
+  const auto patterns =
+      enumerate_switch_patterns(GateType::And, std::vector{p, p});
+  for (const SwitchPattern& sp : patterns) {
+    if (sp.output_rising) continue;
+    if (__builtin_popcount(sp.switching_mask) >= 2) {
+      EXPECT_EQ(sp.rising_mask, 0u);  // falling set
+      EXPECT_EQ(sp.op, SettleOp::Min);
+    }
+  }
+}
+
+TEST(Patterns, OrDirectionsAreDual) {
+  const FourValueProbs p{0.25, 0.25, 0.25, 0.25};
+  const auto patterns = enumerate_switch_patterns(GateType::Or, std::vector{p, p});
+  for (const SwitchPattern& sp : patterns) {
+    if (__builtin_popcount(sp.switching_mask) < 2) continue;
+    if (sp.output_rising) {
+      EXPECT_EQ(sp.op, SettleOp::Min);  // first riser sets an OR
+    } else {
+      EXPECT_EQ(sp.op, SettleOp::Max);  // last faller clears it
+    }
+  }
+}
+
+TEST(Patterns, XorAlwaysSettlesAtLastEvent) {
+  const FourValueProbs p{0.1, 0.2, 0.4, 0.3};
+  const auto patterns = enumerate_switch_patterns(GateType::Xor, std::vector{p, p, p});
+  for (const SwitchPattern& sp : patterns) {
+    EXPECT_EQ(sp.op, SettleOp::Max);
+    EXPECT_GT(__builtin_popcount(sp.switching_mask), 0);
+  }
+}
+
+TEST(Patterns, GlitchScenariosExcluded) {
+  // AND with one rising and one falling input yields no output transition,
+  // so no pattern may carry that switching combination.
+  const FourValueProbs p{0.25, 0.25, 0.25, 0.25};
+  const auto patterns = enumerate_switch_patterns(GateType::And, std::vector{p, p});
+  for (const SwitchPattern& sp : patterns) {
+    if (sp.switching_mask == 0b11u) {
+      EXPECT_TRUE(sp.rising_mask == 0b11u || sp.rising_mask == 0u)
+          << "mixed-direction AND scenario should have been glitch-filtered";
+    }
+  }
+}
+
+// The load-bearing invariant across gate types, fanins and distributions.
+class PatternWeightSum
+    : public ::testing::TestWithParam<std::tuple<GateType, std::size_t, std::uint64_t>> {};
+
+TEST_P(PatternWeightSum, WeightsSumToTransitionProbabilities) {
+  const auto [type, fanin, seed] = GetParam();
+  stats::Xoshiro256 rng(seed);
+  std::vector<FourValueProbs> inputs(fanin);
+  for (auto& p : inputs) {
+    p = FourValueProbs{rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()}
+            .normalized();
+  }
+  const auto patterns = enumerate_switch_patterns(type, inputs);
+  double rise = 0.0, fall = 0.0;
+  for (const SwitchPattern& sp : patterns) {
+    ASSERT_GT(sp.weight, 0.0);
+    ASSERT_NE(sp.switching_mask, 0u);
+    ASSERT_EQ(sp.rising_mask & ~sp.switching_mask, 0u);
+    (sp.output_rising ? rise : fall) += sp.weight;
+  }
+  const FourValueProbs expected = sigprob::gate_four_value(type, inputs);
+  EXPECT_NEAR(rise, expected.pr, 1e-10);
+  EXPECT_NEAR(fall, expected.pf, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, PatternWeightSum,
+    ::testing::Combine(::testing::Values(GateType::And, GateType::Nand, GateType::Or,
+                                         GateType::Nor, GateType::Xor, GateType::Xnor,
+                                         GateType::Not, GateType::Buf),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(2, 19, 77)));
+
+TEST(Patterns, RejectsWideGates) {
+  std::vector<FourValueProbs> wide(17);
+  EXPECT_THROW((void)enumerate_switch_patterns(GateType::And, wide),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::core

@@ -1,0 +1,222 @@
+// Tests for the moment-based SPSTA engine (paper Sec. 3.3/3.4): the
+// WEIGHTED SUM semantics on single gates (Fig. 4), mass/probability
+// consistency, and agreement with Monte Carlo.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/spsta.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas89.hpp"
+#include "sigprob/four_value_prop.hpp"
+
+namespace spsta::core {
+namespace {
+
+using netlist::FourValueProbs;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(SpstaMoment, SourcesCarryScenario) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  netlist::SourceStats sc = netlist::scenario_II();
+  sc.rise_arrival = {1.0, 2.0};
+  const SpstaResult r =
+      run_spsta_moment(n, netlist::DelayModel::unit(n), std::vector{sc});
+  EXPECT_EQ(r.node[a].probs, sc.probs);
+  EXPECT_NEAR(r.node[a].rise.mass, 0.02, 1e-12);
+  EXPECT_EQ(r.node[a].rise.arrival.mean, 1.0);
+  EXPECT_NEAR(r.node[a].fall.mass, 0.08, 1e-12);
+}
+
+TEST(SpstaMoment, MassEqualsFourValueProbabilities) {
+  // The WEIGHTED SUM masses must equal Pr/Pf from the closed-form
+  // propagation at every node (the paper's t.o.p. integral identity).
+  const Netlist n = netlist::make_paper_circuit("s344");
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const SpstaResult r =
+      run_spsta_moment(n, netlist::DelayModel::unit(n), std::vector{sc});
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(r.node[id].rise.mass, r.node[id].probs.pr, 1e-9) << n.node(id).name;
+    EXPECT_NEAR(r.node[id].fall.mass, r.node[id].probs.pf, 1e-9) << n.node(id).name;
+  }
+}
+
+TEST(SpstaMoment, ProbsMatchStandaloneFourValueEngine) {
+  const Netlist n = netlist::make_s27();
+  const netlist::SourceStats sc = netlist::scenario_II();
+  const SpstaResult r =
+      run_spsta_moment(n, netlist::DelayModel::unit(n), std::vector{sc});
+  const auto probs = sigprob::propagate_four_value(n, std::vector{sc.probs});
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(r.node[id].probs.pr, probs[id].pr, 1e-12);
+    EXPECT_NEAR(r.node[id].probs.p1, probs[id].p1, 1e-12);
+  }
+}
+
+TEST(SpstaMoment, Figure4WeightedSumStaysSymmetricCentered) {
+  // Paper Fig. 4: AND gate, both inputs signal probability 0.9, arrivals
+  // with the same mean but different deviations. The MAX operation skews
+  // the result upward; the WEIGHTED SUM keeps the mean at the input mean
+  // plus a small multiple-switching correction.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  n.mark_output(y);
+
+  // Signal probability 0.9 split between static one and transitions.
+  netlist::SourceStats sa;
+  sa.probs = {0.1, 0.8, 0.1, 0.0};  // mostly 1, sometimes rising
+  sa.rise_arrival = {5.0, 0.25};
+  netlist::SourceStats sb = sa;
+  sb.rise_arrival = {5.0, 4.0};  // same mean, larger deviation
+
+  netlist::DelayModel zero_delay(n);  // isolate the operation itself
+  const SpstaResult r = run_spsta_moment(n, zero_delay, std::vector{sa, sb});
+
+  // MAX-based SSTA-style result for comparison.
+  const stats::Gaussian max_result =
+      stats::clark_max(sa.rise_arrival, sb.rise_arrival).moments;
+
+  // Weighted sum: single-switching scenarios dominate (0.8 weight each of
+  // the total 0.8*0.1*2 + 0.1*0.1), so the mean stays near 5.0...
+  EXPECT_NEAR(r.node[y].rise.arrival.mean, 5.0, 0.2);
+  // ...while the MAX skews clearly above the common mean.
+  EXPECT_GT(max_result.mean, 5.5);
+  // Occurrence probability is far below 1 - only 0.17 of cycles transition.
+  EXPECT_NEAR(r.node[y].rise.mass, 0.8 * 0.1 * 2 + 0.1 * 0.1, 1e-10);
+}
+
+TEST(SpstaMoment, BufferChainShiftsMean) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 4; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const SpstaResult r =
+      run_spsta_moment(n, netlist::DelayModel::unit(n), std::vector{sc});
+  EXPECT_NEAR(r.node[prev].rise.arrival.mean, 4.0, 1e-9);
+  EXPECT_NEAR(r.node[prev].rise.arrival.var, 1.0, 1e-9);
+  EXPECT_NEAR(r.node[prev].rise.mass, 0.25, 1e-12);
+}
+
+TEST(SpstaMoment, InverterSwapsTops) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId inv = n.add_gate(GateType::Not, "inv", {a});
+  netlist::SourceStats sc;
+  sc.probs = {0.1, 0.2, 0.3, 0.4};
+  sc.rise_arrival = {1.0, 1.0};
+  sc.fall_arrival = {2.0, 4.0};
+  const SpstaResult r =
+      run_spsta_moment(n, netlist::DelayModel::unit(n), std::vector{sc});
+  EXPECT_NEAR(r.node[inv].rise.mass, 0.4, 1e-12);  // from input falls
+  EXPECT_NEAR(r.node[inv].rise.arrival.mean, 3.0, 1e-12);
+  EXPECT_NEAR(r.node[inv].fall.mass, 0.3, 1e-12);
+  EXPECT_NEAR(r.node[inv].fall.arrival.mean, 2.0, 1e-12);
+}
+
+TEST(SpstaMoment, MatchesMonteCarloOnTreeCircuit) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId d = n.add_input("d");
+  const NodeId g1 = n.add_gate(GateType::And, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::Nor, "g2", {c, d});
+  const NodeId g3 = n.add_gate(GateType::Or, "g3", {g1, g2});
+  n.mark_output(g3);
+
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const SpstaResult r =
+      run_spsta_moment(n, netlist::DelayModel::unit(n), std::vector{sc});
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 100000;
+  cfg.seed = 29;
+  const auto mcr =
+      mc::run_monte_carlo(n, netlist::DelayModel::unit(n), std::vector{sc}, cfg);
+
+  for (NodeId id : {g1, g2, g3}) {
+    EXPECT_NEAR(r.node[id].rise.mass, mcr.node[id].rise_probability(), 0.01)
+        << n.node(id).name;
+    EXPECT_NEAR(r.node[id].rise.arrival.mean, mcr.node[id].rise_time.mean(), 0.05)
+        << n.node(id).name;
+    EXPECT_NEAR(r.node[id].rise.arrival.stddev(), mcr.node[id].rise_time.stddev(), 0.06)
+        << n.node(id).name;
+    EXPECT_NEAR(r.node[id].fall.arrival.mean, mcr.node[id].fall_time.mean(), 0.05)
+        << n.node(id).name;
+  }
+}
+
+TEST(SpstaMoment, ZeroMassDirectionIsEmpty) {
+  // Inputs that never fall: an AND output never falls either.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  netlist::SourceStats sc;
+  sc.probs = {0.2, 0.5, 0.3, 0.0};
+  const SpstaResult r =
+      run_spsta_moment(n, netlist::DelayModel::unit(n), std::vector{sc});
+  EXPECT_EQ(r.node[y].fall.mass, 0.0);
+  EXPECT_GT(r.node[y].rise.mass, 0.0);
+}
+
+TEST(SpstaMoment, ThirdMomentTracksNumericSkewness) {
+  // On a mixed-depth merge the output t.o.p. is a visibly skewed mixture;
+  // the moment engine's third central moment should agree with the
+  // numeric engine's full-density skewness and with MC.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  NodeId deep = a;
+  for (int i = 0; i < 3; ++i) {
+    deep = n.add_gate(GateType::Buf, "d" + std::to_string(i), {deep});
+  }
+  const NodeId y = n.add_gate(GateType::Or, "y", {deep, b});
+  n.mark_output(y);
+
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  const SpstaResult moment = run_spsta_moment(n, d, sc);
+  SpstaOptions opt;
+  opt.grid_dt = 0.02;
+  const SpstaNumericResult numeric = run_spsta_numeric(n, d, sc, opt);
+
+  const double skew_moment = moment.node[y].rise.skewness();
+  const double skew_numeric = numeric.node[y].rise.skewness();
+  EXPECT_GT(std::abs(skew_numeric), 0.2) << "setup should actually be skewed";
+  EXPECT_NEAR(skew_moment, skew_numeric, 0.25);
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 150000;
+  cfg.seed = 21;
+  const auto mcr = mc::run_monte_carlo(n, d, sc, cfg);
+  EXPECT_NEAR(skew_moment, mcr.node[y].rise_time.skewness(), 0.3);
+}
+
+TEST(SpstaMoment, SymmetricSetupHasNearZeroThirdMoment) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  prev = n.add_gate(GateType::Buf, "b0", {prev});
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const SpstaResult r = run_spsta_moment(n, d, std::vector{netlist::scenario_I()});
+  EXPECT_NEAR(r.node[prev].rise.third_central, 0.0, 1e-12);
+  EXPECT_NEAR(r.node[prev].rise.skewness(), 0.0, 1e-12);
+}
+
+TEST(SpstaMoment, SourceMismatchThrows) {
+  const Netlist n = netlist::make_s27();
+  EXPECT_THROW((void)run_spsta_moment(n, netlist::DelayModel::unit(n),
+                                      std::vector<netlist::SourceStats>(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::core

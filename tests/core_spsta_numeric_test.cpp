@@ -1,0 +1,148 @@
+// Tests for the numeric (piecewise-density) SPSTA engine: consistency with
+// the moment engine, full-shape recovery (paper Fig. 4), and Monte Carlo
+// agreement.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/spsta.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas89.hpp"
+
+namespace spsta::core {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(SpstaNumeric, GridCoversSourceAndStructuralSpan) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const SpstaNumericResult r =
+      run_spsta_numeric(n, netlist::DelayModel::unit(n), std::vector{sc});
+  EXPECT_LT(r.grid.t0, -6.0);             // source arrivals minus padding
+  EXPECT_GT(r.grid.t_end(), 6.0 + 6.0);   // depth 6 plus padding
+}
+
+TEST(SpstaNumeric, MassMatchesProbabilities) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const SpstaNumericResult r =
+      run_spsta_numeric(n, netlist::DelayModel::unit(n), std::vector{sc});
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(r.node[id].rise.mass(), r.node[id].probs.pr, 5e-3) << n.node(id).name;
+    EXPECT_NEAR(r.node[id].fall.mass(), r.node[id].probs.pf, 5e-3) << n.node(id).name;
+  }
+}
+
+TEST(SpstaNumeric, AgreesWithMomentEngine) {
+  const Netlist n = netlist::make_paper_circuit("s344");
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const SpstaResult moment = run_spsta_moment(n, d, std::vector{sc});
+  const SpstaNumericResult numeric = run_spsta_numeric(n, d, std::vector{sc});
+
+  for (NodeId ep : n.timing_endpoints()) {
+    if (moment.node[ep].rise.mass < 1e-3) continue;
+    EXPECT_NEAR(numeric.node[ep].rise.mean(), moment.node[ep].rise.arrival.mean, 0.15)
+        << n.node(ep).name;
+    EXPECT_NEAR(numeric.node[ep].rise.stddev(), moment.node[ep].rise.arrival.stddev(),
+                0.2)
+        << n.node(ep).name;
+  }
+}
+
+TEST(SpstaNumeric, Figure4ShapesMaxSkewedWeightedSumSymmetric) {
+  // The paper's Fig. 4 in full: the numeric engine exposes the whole
+  // t.o.p. curve, so we can check symmetry properties directly.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  n.mark_output(y);
+
+  netlist::SourceStats sa;
+  sa.probs = {0.05, 0.85, 0.1, 0.0};
+  sa.rise_arrival = {0.0, 0.25};
+  netlist::SourceStats sb = sa;
+  sb.rise_arrival = {0.0, 4.0};
+
+  netlist::DelayModel zero_delay(n);
+  SpstaOptions opt;
+  opt.grid_dt = 0.02;
+  const SpstaNumericResult r =
+      run_spsta_numeric(n, zero_delay, std::vector{sa, sb}, opt);
+
+  const auto& top = r.node[y].rise;
+  const double mu = top.mean();
+  EXPECT_NEAR(mu, 0.0, 0.1);  // single-switch terms dominate, centered at 0
+  // Near-symmetry of the weighted sum: compare density at mu +- 1.
+  const double left = top.value_at(mu - 1.0);
+  const double right = top.value_at(mu + 1.0);
+  EXPECT_NEAR(left, right, 0.25 * std::max(left, right));
+
+  // Contrast: the pure MAX density is visibly asymmetric.
+  const auto na = stats::PiecewiseDensity::from_gaussian(sa.rise_arrival, r.grid);
+  const auto nb = stats::PiecewiseDensity::from_gaussian(sb.rise_arrival, r.grid);
+  const auto mx = stats::PiecewiseDensity::max_independent(na, nb);
+  const double mleft = mx.value_at(mx.mean() - 1.0);
+  const double mright = mx.value_at(mx.mean() + 1.0);
+  EXPECT_GT(std::abs(mleft - mright), 0.3 * std::max(mleft, mright));
+}
+
+TEST(SpstaNumeric, TracksMonteCarloShape) {
+  // Beyond moments: the numeric t.o.p. cdf should track the empirical MC
+  // arrival distribution at several quantile points.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId g1 = n.add_gate(GateType::And, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::Or, "g2", {g1, c});
+  n.mark_output(g2);
+
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  SpstaOptions opt;
+  opt.grid_dt = 0.02;
+  const SpstaNumericResult r = run_spsta_numeric(n, d, std::vector{sc}, opt);
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 200000;
+  cfg.seed = 31;
+  cfg.histogram_node = g2;
+  cfg.histogram_lo = -6.0;
+  cfg.histogram_hi = 10.0;
+  cfg.histogram_bins = 160;
+  const auto mcr = mc::run_monte_carlo(n, d, std::vector{sc}, cfg);
+  ASSERT_TRUE(mcr.histogram.has_value());
+
+  // Compare conditional CDFs of the rising arrival at a few time points.
+  const auto spsta_pdf = r.node[g2].rise.normalized();
+  const auto mc_pdf = mcr.histogram->to_density().normalized();
+  for (double t : {0.0, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(spsta_pdf.cdf_at(t), mc_pdf.cdf_at(t), 0.04) << "t=" << t;
+  }
+}
+
+TEST(SpstaNumeric, GridPointCapRespected) {
+  const Netlist n = netlist::make_paper_circuit("s1196");
+  SpstaOptions opt;
+  opt.grid_dt = 0.001;  // would need tens of thousands of points
+  opt.max_grid_points = 512;
+  const SpstaNumericResult r = run_spsta_numeric(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()}, opt);
+  EXPECT_LE(r.grid.n, 512u);
+}
+
+TEST(SpstaNumeric, SourceMismatchThrows) {
+  const Netlist n = netlist::make_s27();
+  EXPECT_THROW((void)run_spsta_numeric(n, netlist::DelayModel::unit(n),
+                                       std::vector<netlist::SourceStats>(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::core

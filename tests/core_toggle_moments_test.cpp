@@ -1,0 +1,112 @@
+// Tests for toggling-rate moment/correlation propagation (paper Eq. 13).
+
+#include "core/toggle_moments.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "netlist/four_value.hpp"
+#include "netlist/iscas89.hpp"
+
+namespace spsta::core {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(ToggleMoments, SourcesCarryScenarioMoments) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const ToggleMoments tm = propagate_toggle_moments(
+      n, std::vector<double>{0.5}, std::vector<SourceToggle>{{0.5, 0.25}});
+  EXPECT_DOUBLE_EQ(tm.mean(a), 0.5);
+  EXPECT_DOUBLE_EQ(tm.variance(a), 0.25);
+}
+
+TEST(ToggleMoments, BufferChainPreservesMoments) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 3; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  const ToggleMoments tm = propagate_toggle_moments(
+      n, std::vector<double>{0.5}, std::vector<SourceToggle>{{0.5, 0.25}});
+  EXPECT_NEAR(tm.mean(prev), 0.5, 1e-12);
+  EXPECT_NEAR(tm.variance(prev), 0.25, 1e-12);
+  EXPECT_NEAR(tm.correlation(prev, n.find("a")), 1.0, 1e-12);
+}
+
+TEST(ToggleMoments, AndGateEquation13) {
+  // y = AND(a, b), P(a)=P(b)=0.5: weights w = 0.5 each.
+  // mean  = 0.5*m_a + 0.5*m_b
+  // var   = 0.25*v_a + 0.25*v_b (independent sources)
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  const std::vector<SourceToggle> toggles{{0.4, 0.2}, {0.8, 0.1}};
+  const ToggleMoments tm =
+      propagate_toggle_moments(n, std::vector<double>{0.5}, toggles);
+  EXPECT_NEAR(tm.mean(y), 0.5 * 0.4 + 0.5 * 0.8, 1e-12);
+  EXPECT_NEAR(tm.variance(y), 0.25 * 0.2 + 0.25 * 0.1, 1e-12);
+  // cov(y, a) = w_a * var(a).
+  EXPECT_NEAR(tm.covariance(y, a), 0.5 * 0.2, 1e-12);
+}
+
+TEST(ToggleMoments, SharedSourceInducesCorrelation) {
+  // Two AND gates sharing input a: their toggle rates correlate through a.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId y1 = n.add_gate(GateType::And, "y1", {a, b});
+  const NodeId y2 = n.add_gate(GateType::And, "y2", {a, c});
+  const ToggleMoments tm = propagate_toggle_moments(
+      n, std::vector<double>{0.5}, std::vector<SourceToggle>{{0.5, 0.25}});
+  // cov(y1,y2) = w^2 var(a) = 0.25*0.25.
+  EXPECT_NEAR(tm.covariance(y1, y2), 0.25 * 0.25, 1e-12);
+  EXPECT_NEAR(tm.correlation(y1, y2), 0.5, 1e-12);
+  // Disjoint-support gates are uncorrelated.
+  const NodeId y3 = n.add_gate(GateType::And, "y3", {b, c});
+  const ToggleMoments tm2 = propagate_toggle_moments(
+      n, std::vector<double>{0.5}, std::vector<SourceToggle>{{0.5, 0.25}});
+  EXPECT_NEAR(tm2.covariance(n.find("y3"), y3), tm2.variance(y3), 1e-12);
+}
+
+TEST(ToggleMoments, XorPassesFullDensity) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::Xor, "y", {a, b});
+  const ToggleMoments tm = propagate_toggle_moments(
+      n, std::vector<double>{0.5}, std::vector<SourceToggle>{{0.3, 0.1}});
+  EXPECT_NEAR(tm.mean(y), 0.6, 1e-12);
+  EXPECT_NEAR(tm.variance(y), 0.2, 1e-12);
+}
+
+TEST(ToggleMoments, ScenarioIIInputsMatchPaper) {
+  // The paper's scenario II: 0.1 mean toggling rate, 0.09 variance.
+  const Netlist n = netlist::make_s27();
+  const netlist::SourceStats sc = netlist::scenario_II();
+  const double toggle_mean = sc.probs.toggle_probability();
+  const double toggle_var = toggle_mean * (1.0 - toggle_mean);
+  const ToggleMoments tm = propagate_toggle_moments(
+      n, std::vector<double>{sc.probs.final_one()},
+      std::vector<SourceToggle>{{toggle_mean, toggle_var}});
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_GE(tm.mean(id), 0.0);
+    EXPECT_GE(tm.variance(id), 0.0);
+  }
+}
+
+TEST(ToggleMoments, MismatchThrows) {
+  const Netlist n = netlist::make_s27();
+  EXPECT_THROW((void)propagate_toggle_moments(n, std::vector<double>{0.5},
+                                              std::vector<SourceToggle>(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::core

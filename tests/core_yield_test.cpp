@@ -1,0 +1,103 @@
+// Tests for timing-yield computation from SPSTA t.o.p. densities,
+// validated against the Monte Carlo empirical yield.
+
+#include "core/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas89.hpp"
+
+namespace spsta::core {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Yield, MonotoneAndBounded) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const SpstaNumericResult r =
+      run_spsta_numeric(n, d, std::vector{netlist::scenario_I()});
+
+  double prev = -1.0;
+  for (const YieldPoint& p : yield_curve(n, r, -2.0, 15.0, 35)) {
+    EXPECT_GE(p.yield, 0.0);
+    EXPECT_LE(p.yield, 1.0);
+    EXPECT_GE(p.yield, prev - 1e-9) << "yield must not decrease with period";
+    prev = p.yield;
+  }
+  // Large enough period: every transition met -> yield 1.
+  EXPECT_NEAR(timing_yield(n, r, 100.0), 1.0, 1e-6);
+}
+
+TEST(Yield, QuietEndpointAlwaysMeetsTiming) {
+  // Inputs that never transition: unit yield at any period.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  n.mark_output(n.add_gate(GateType::And, "y", {a, b}));
+  netlist::SourceStats quiet;
+  quiet.probs = {0.5, 0.5, 0.0, 0.0};
+  const SpstaNumericResult r = run_spsta_numeric(
+      n, netlist::DelayModel::unit(n), std::vector{quiet});
+  EXPECT_NEAR(timing_yield(n, r, -100.0), 1.0, 1e-9);
+}
+
+TEST(Yield, MatchesMonteCarloOnTreeCircuit) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId g1 = n.add_gate(GateType::And, "g1", {a, b});
+  const NodeId y = n.add_gate(GateType::Or, "y", {g1, c});
+  n.mark_output(y);
+
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  SpstaOptions opt;
+  opt.grid_dt = 0.02;
+  const SpstaNumericResult r = run_spsta_numeric(n, d, sc, opt);
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 100000;
+  cfg.seed = 42;
+  cfg.track_circuit_max = true;
+  const mc::MonteCarloResult mcr = mc::run_monte_carlo(n, d, sc, cfg);
+
+  for (double period : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    EXPECT_NEAR(timing_yield(n, r, period), mcr.empirical_yield(period), 0.02)
+        << "period " << period;
+  }
+}
+
+TEST(Yield, PeriodForYieldInvertsCurve) {
+  const Netlist n = netlist::make_paper_circuit("s344");
+  const SpstaNumericResult r = run_spsta_numeric(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  const double t95 = period_for_yield(n, r, 0.95, -2.0, 30.0);
+  EXPECT_GE(timing_yield(n, r, t95), 0.95 - 1e-6);
+  EXPECT_LT(timing_yield(n, r, t95 - 0.2), 0.97);
+  // Unreachable target returns the upper bound.
+  EXPECT_EQ(period_for_yield(n, r, 2.0, -2.0, 30.0), 30.0);
+}
+
+TEST(MonteCarlo, CircuitMaxTracking) {
+  const Netlist n = netlist::make_s27();
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 5000;
+  cfg.seed = 3;
+  cfg.track_circuit_max = true;
+  const mc::MonteCarloResult r = mc::run_monte_carlo(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()}, cfg);
+  EXPECT_EQ(r.circuit_max.count() + r.quiet_runs, cfg.runs);
+  EXPECT_TRUE(std::is_sorted(r.circuit_max_samples.begin(),
+                             r.circuit_max_samples.end()));
+  EXPECT_EQ(r.empirical_yield(1e9), 1.0);
+  EXPECT_NEAR(r.empirical_yield(-1e9),
+              static_cast<double>(r.quiet_runs) / cfg.runs, 1e-12);
+}
+
+}  // namespace
+}  // namespace spsta::core

@@ -1,0 +1,104 @@
+// Tests for variational Elmore delay: canonical sensitivities vs direct
+// perturbation and Monte Carlo sampling of wire-width variation.
+
+#include "interconnect/variational_elmore.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+namespace spsta::interconnect {
+namespace {
+
+TEST(VariationalElmore, NominalMatchesElmore) {
+  const RcTree wire = uniform_wire(1000.0, 2e-12, 8, 1e-12);
+  const RcNodeId sink = static_cast<RcNodeId>(wire.node_count() - 1);
+  const auto form = variational_elmore(wire, sink, WireVariation{});
+  EXPECT_DOUBLE_EQ(form.nominal(), wire.elmore_delay(sink));
+}
+
+TEST(VariationalElmore, SharedParameterMatchesScaledTree) {
+  // With one shared parameter, evaluating the form at dW = x must match
+  // the Elmore delay of the tree with R,C scaled accordingly (first
+  // order: exact for Elmore since T is bilinear and we perturb linearly;
+  // second-order term is r_sens*c_sens*x^2, small for small x).
+  WireVariation v;
+  v.r_sensitivity = -0.08;
+  v.c_sensitivity = 0.12;
+  const RcTree wire = uniform_wire(500.0, 1e-12, 6);
+  const RcNodeId sink = static_cast<RcNodeId>(wire.node_count() - 1);
+  const auto form = variational_elmore(wire, sink, v);
+
+  const double x = 0.5;
+  RcTree scaled = wire;
+  for (RcNodeId i = 1; i < wire.node_count(); ++i) {
+    scaled.set_resistance(i, wire.resistance(i) * (1.0 + v.r_sensitivity * x));
+    scaled.set_capacitance(i, wire.capacitance(i) * (1.0 + v.c_sensitivity * x));
+  }
+  const std::vector<double> at{x};
+  const double second_order = std::abs(v.r_sensitivity * v.c_sensitivity) * x * x *
+                              wire.elmore_delay(sink);
+  EXPECT_NEAR(form.evaluate(at), scaled.elmore_delay(sink), second_order * 1.1 + 1e-18);
+}
+
+TEST(VariationalElmore, WiderWireTradeoff) {
+  // With |c_sens| > |r_sens| a global width increase slows the wire.
+  WireVariation v;
+  v.r_sensitivity = -0.05;
+  v.c_sensitivity = 0.15;
+  const RcTree wire = uniform_wire(100.0, 1e-12, 4);
+  const RcNodeId sink = static_cast<RcNodeId>(wire.node_count() - 1);
+  const auto form = variational_elmore(wire, sink, v);
+  EXPECT_GT(form.sensitivity(0), 0.0);
+}
+
+TEST(VariationalElmore, PerSegmentVarianceSmallerThanShared) {
+  // Independent per-segment variation partially cancels: sigma is smaller
+  // than the fully correlated (shared) case with the same local sigmas.
+  WireVariation shared;
+  shared.per_segment = false;
+  WireVariation local = shared;
+  local.per_segment = true;
+
+  const RcTree wire = uniform_wire(1000.0, 2e-12, 10);
+  const RcNodeId sink = static_cast<RcNodeId>(wire.node_count() - 1);
+  const auto f_shared = variational_elmore(wire, sink, shared);
+  const auto f_local = variational_elmore(wire, sink, local);
+  EXPECT_LT(f_local.variance(), f_shared.variance());
+  EXPECT_GT(f_local.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(f_local.nominal(), f_shared.nominal());
+}
+
+TEST(VariationalElmore, MatchesMonteCarloSampling) {
+  WireVariation v;
+  v.r_sensitivity = -0.1;
+  v.c_sensitivity = 0.15;
+  v.per_segment = true;
+  const RcTree wire = uniform_wire(800.0, 1.5e-12, 5, 0.5e-12);
+  const RcNodeId sink = static_cast<RcNodeId>(wire.node_count() - 1);
+  const auto form = variational_elmore(wire, sink, v);
+
+  stats::Xoshiro256 rng(123);
+  stats::RunningMoments mom;
+  for (int run = 0; run < 60000; ++run) {
+    RcTree sample = wire;
+    for (RcNodeId i = 1; i < wire.node_count(); ++i) {
+      const double dw = rng.normal();
+      sample.set_resistance(
+          i, std::max(0.0, wire.resistance(i) * (1.0 + v.r_sensitivity * dw)));
+      sample.set_capacitance(
+          i, std::max(0.0, wire.capacitance(i) * (1.0 + v.c_sensitivity * dw)));
+    }
+    mom.add(sample.elmore_delay(sink));
+  }
+  // First-order form: mean matches to the (small) second-order bias, and
+  // sigma to a few percent.
+  EXPECT_NEAR(form.mean(), mom.mean(), 0.02 * form.mean());
+  EXPECT_NEAR(std::sqrt(form.variance()), mom.stddev(), 0.05 * mom.stddev());
+}
+
+}  // namespace
+}  // namespace spsta::interconnect

@@ -1,0 +1,166 @@
+// Tests for the Monte Carlo driver: determinism, convergence of source
+// statistics, and agreement with analytic four-value propagation.
+
+#include "mc/monte_carlo.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+#include "sigprob/four_value_prop.hpp"
+
+namespace spsta::mc {
+namespace {
+
+using netlist::FourValueProbs;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(MonteCarlo, DeterministicForSameSeed) {
+  const Netlist n = netlist::make_s27();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  MonteCarloConfig cfg;
+  cfg.runs = 500;
+  cfg.seed = 11;
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  const MonteCarloResult a = run_monte_carlo(n, d, sc, cfg);
+  const MonteCarloResult b = run_monte_carlo(n, d, sc, cfg);
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_EQ(a.node[id].count[2], b.node[id].count[2]);
+    EXPECT_DOUBLE_EQ(a.node[id].rise_time.mean(), b.node[id].rise_time.mean());
+  }
+}
+
+TEST(MonteCarlo, SourceStatisticsConverge) {
+  const Netlist n = netlist::make_s27();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  MonteCarloConfig cfg;
+  cfg.runs = 20000;
+  cfg.seed = 3;
+  const netlist::SourceStats sc = netlist::scenario_II();
+  const MonteCarloResult r = run_monte_carlo(n, d, std::vector{sc}, cfg);
+
+  for (NodeId src : n.timing_sources()) {
+    const FourValueProbs p = r.node[src].probs();
+    EXPECT_NEAR(p.p0, 0.75, 0.02);
+    EXPECT_NEAR(p.p1, 0.15, 0.02);
+    EXPECT_NEAR(p.pr, 0.02, 0.01);
+    EXPECT_NEAR(p.pf, 0.08, 0.01);
+    // Rise arrivals sample N(0,1).
+    if (r.node[src].rise_time.count() > 100) {
+      EXPECT_NEAR(r.node[src].rise_time.mean(), 0.0, 0.15);
+      EXPECT_NEAR(r.node[src].rise_time.stddev(), 1.0, 0.15);
+    }
+  }
+}
+
+TEST(MonteCarlo, MatchesAnalyticFourValueOnTree) {
+  // On a reconvergence-free circuit the analytic four-value probabilities
+  // are exact, so MC must converge to them.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId g1 = n.add_gate(GateType::Nand, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::Or, "g2", {g1, c});
+  n.mark_output(g2);
+
+  const netlist::SourceStats sc = netlist::scenario_I();
+  MonteCarloConfig cfg;
+  cfg.runs = 40000;
+  cfg.seed = 7;
+  const MonteCarloResult r =
+      run_monte_carlo(n, netlist::DelayModel::unit(n), std::vector{sc}, cfg);
+  const auto analytic = sigprob::propagate_four_value(n, std::vector{sc.probs});
+
+  for (NodeId id : {g1, g2}) {
+    const FourValueProbs mc_p = r.node[id].probs();
+    EXPECT_NEAR(mc_p.p0, analytic[id].p0, 0.01) << n.node(id).name;
+    EXPECT_NEAR(mc_p.p1, analytic[id].p1, 0.01);
+    EXPECT_NEAR(mc_p.pr, analytic[id].pr, 0.01);
+    EXPECT_NEAR(mc_p.pf, analytic[id].pf, 0.01);
+  }
+}
+
+TEST(MonteCarlo, SingleAndGateArrivalMoments) {
+  // AND with always-rising inputs: output arrival = max of two N(0,1) + 1.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  n.mark_output(y);
+
+  netlist::SourceStats sc;
+  sc.probs = {0.0, 0.0, 1.0, 0.0};  // always rise
+  MonteCarloConfig cfg;
+  cfg.runs = 60000;
+  cfg.seed = 9;
+  const MonteCarloResult r =
+      run_monte_carlo(n, netlist::DelayModel::unit(n), std::vector{sc}, cfg);
+  EXPECT_NEAR(r.node[y].probs().pr, 1.0, 1e-12);
+  EXPECT_NEAR(r.node[y].rise_time.mean(), 1.0 / std::sqrt(M_PI) + 1.0, 0.02);
+  EXPECT_NEAR(r.node[y].rise_time.stddev(), std::sqrt(1.0 - 1.0 / M_PI), 0.02);
+}
+
+TEST(MonteCarlo, VariationalDelaysWidenSpread) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 4; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  n.mark_output(prev);
+
+  netlist::SourceStats sc;
+  sc.probs = {0.0, 0.0, 1.0, 0.0};
+  sc.rise_arrival = {0.0, 0.0};  // deterministic launch
+
+  MonteCarloConfig cfg;
+  cfg.runs = 20000;
+  cfg.seed = 13;
+  const MonteCarloResult fixed = run_monte_carlo(
+      n, netlist::DelayModel::unit(n), std::vector{sc}, cfg);
+  const MonteCarloResult varied = run_monte_carlo(
+      n, netlist::DelayModel::gaussian(n, 1.0, 0.2), std::vector{sc}, cfg);
+
+  EXPECT_NEAR(fixed.node[prev].rise_time.mean(), 4.0, 1e-9);
+  EXPECT_NEAR(fixed.node[prev].rise_time.stddev(), 0.0, 1e-9);
+  EXPECT_NEAR(varied.node[prev].rise_time.mean(), 4.0, 0.02);
+  EXPECT_NEAR(varied.node[prev].rise_time.stddev(), 0.2 * 2.0, 0.02);  // sqrt(4)*0.2
+}
+
+TEST(MonteCarlo, HistogramCollectsRiseArrivals) {
+  const Netlist n = netlist::make_s27();
+  MonteCarloConfig cfg;
+  cfg.runs = 2000;
+  cfg.seed = 21;
+  cfg.histogram_node = n.primary_outputs()[0];
+  const MonteCarloResult r = run_monte_carlo(n, netlist::DelayModel::unit(n),
+                                             std::vector{netlist::scenario_I()}, cfg);
+  ASSERT_TRUE(r.histogram.has_value());
+  EXPECT_EQ(r.histogram->total(),
+            r.node[*cfg.histogram_node].count[static_cast<int>(netlist::FourValue::Rise)]);
+}
+
+TEST(MonteCarlo, GlitchesObservedOnSuiteCircuit) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  MonteCarloConfig cfg;
+  cfg.runs = 1000;
+  cfg.seed = 2;
+  const MonteCarloResult r = run_monte_carlo(n, netlist::DelayModel::unit(n),
+                                             std::vector{netlist::scenario_I()}, cfg);
+  EXPECT_GT(r.glitching_gates, 0u);
+}
+
+TEST(MonteCarlo, SourceStatsMismatchThrows) {
+  const Netlist n = netlist::make_s27();
+  MonteCarloConfig cfg;
+  cfg.runs = 10;
+  EXPECT_THROW((void)run_monte_carlo(n, netlist::DelayModel::unit(n),
+                                     std::vector<netlist::SourceStats>(2), cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::mc

@@ -1,0 +1,137 @@
+// Tests for the ISCAS'89 .bench parser/writer, including the genuine s27
+// fixture and error diagnostics.
+
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+#include "netlist/levelize.hpp"
+
+namespace spsta::netlist {
+namespace {
+
+TEST(BenchParser, ParsesS27) {
+  const Netlist n = make_s27();
+  EXPECT_EQ(n.name(), "s27");
+  EXPECT_EQ(n.primary_inputs().size(), 4u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_EQ(n.dffs().size(), 3u);
+  EXPECT_EQ(n.gate_count(), 10u);  // 2 NOT + 1 AND + 2 OR + 1 NAND + 4 NOR
+  EXPECT_NO_THROW(n.validate());
+  EXPECT_NO_THROW(levelize(n));
+}
+
+TEST(BenchParser, S27Structure) {
+  const Netlist n = make_s27();
+  const NodeId g11 = n.find("G11");
+  ASSERT_NE(g11, kInvalidNode);
+  EXPECT_EQ(n.node(g11).type, GateType::Nor);
+  ASSERT_EQ(n.node(g11).fanins.size(), 2u);
+  EXPECT_EQ(n.node(n.node(g11).fanins[0]).name, "G5");
+  EXPECT_EQ(n.node(n.node(g11).fanins[1]).name, "G9");
+  // G17 = NOT(G11) is the only primary output.
+  const NodeId g17 = n.primary_outputs()[0];
+  EXPECT_EQ(n.node(g17).name, "G17");
+  EXPECT_EQ(n.node(g17).type, GateType::Not);
+}
+
+TEST(BenchParser, HandlesCommentsAndBlankLines) {
+  const Netlist n = parse_bench(R"(
+# a comment
+INPUT(a)   # trailing comment
+
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+)");
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.gate_count(), 1u);
+}
+
+TEST(BenchParser, ForwardReferencesAllowed) {
+  // y uses z before z is defined — legal in the published files.
+  const Netlist n = parse_bench(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(z)
+z = BUFF(a)
+)");
+  EXPECT_EQ(n.node(n.find("y")).fanins[0], n.find("z"));
+}
+
+TEST(BenchParser, AllGateSpellings) {
+  const Netlist n = parse_bench(R"(
+INPUT(a)
+INPUT(b)
+g0 = BUFF(a)
+g1 = NOT(a)
+g2 = AND(a, b)
+g3 = NAND(a, b)
+g4 = OR(a, b)
+g5 = NOR(a, b)
+g6 = XOR(a, b)
+g7 = XNOR(a, b)
+g8 = DFF(g2)
+)");
+  EXPECT_EQ(n.node(n.find("g0")).type, GateType::Buf);
+  EXPECT_EQ(n.node(n.find("g7")).type, GateType::Xnor);
+  EXPECT_EQ(n.dffs().size(), 1u);
+}
+
+TEST(BenchParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_bench("INPUT(a)\ny = FROB(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("FROB"), std::string::npos);
+  }
+}
+
+TEST(BenchParser, RejectsUndefinedSignal) {
+  EXPECT_THROW((void)parse_bench("INPUT(a)\ny = AND(a, ghost)\n"), BenchParseError);
+}
+
+TEST(BenchParser, RejectsDuplicateDefinition) {
+  EXPECT_THROW((void)parse_bench("INPUT(a)\nINPUT(a)\n"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("INPUT(a)\na = NOT(a)\n"), BenchParseError);
+}
+
+TEST(BenchParser, RejectsMalformedSyntax) {
+  EXPECT_THROW((void)parse_bench("INPUT a\n"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("y = AND(a,)\nINPUT(a)\n"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("y = AND(a, b) extra\nINPUT(a)\nINPUT(b)\n"),
+               BenchParseError);
+  EXPECT_THROW((void)parse_bench("WIBBLE(a)\n"), BenchParseError);
+}
+
+TEST(BenchParser, RejectsOutputOfUndefinedSignal) {
+  EXPECT_THROW((void)parse_bench("OUTPUT(y)\n"), BenchParseError);
+}
+
+TEST(BenchWriter, RoundTripPreservesStructure) {
+  const Netlist original = make_s27();
+  const std::string text = write_bench(original);
+  const Netlist reparsed = parse_bench(text, "s27");
+
+  EXPECT_EQ(reparsed.node_count(), original.node_count());
+  EXPECT_EQ(reparsed.primary_inputs().size(), original.primary_inputs().size());
+  EXPECT_EQ(reparsed.primary_outputs().size(), original.primary_outputs().size());
+  EXPECT_EQ(reparsed.dffs().size(), original.dffs().size());
+  // Every node keeps its type and fanin names.
+  for (NodeId id = 0; id < original.node_count(); ++id) {
+    const Node& a = original.node(id);
+    const NodeId rid = reparsed.find(a.name);
+    ASSERT_NE(rid, kInvalidNode) << a.name;
+    const Node& b = reparsed.node(rid);
+    EXPECT_EQ(a.type, b.type) << a.name;
+    ASSERT_EQ(a.fanins.size(), b.fanins.size()) << a.name;
+    for (std::size_t i = 0; i < a.fanins.size(); ++i) {
+      EXPECT_EQ(original.node(a.fanins[i]).name, reparsed.node(b.fanins[i]).name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spsta::netlist

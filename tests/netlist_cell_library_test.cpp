@@ -1,0 +1,99 @@
+// Tests for the cell timing library and its DelayModel application.
+
+#include "netlist/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+
+namespace spsta::netlist {
+namespace {
+
+constexpr const char* kLib = R"(
+# type   mean  sigma  load_coeff
+NAND     0.90  0.05   0.08
+NOT      0.45  0.02   0.05
+AND      1.10  0.06   0.10
+default  1.00  0.03   0.00
+)";
+
+TEST(CellLibrary, ParsesEntriesAndDefault) {
+  const CellLibrary lib = CellLibrary::parse(kLib);
+  ASSERT_TRUE(lib.timing(GateType::Nand).has_value());
+  EXPECT_EQ(lib.timing(GateType::Nand)->mean, 0.90);
+  EXPECT_EQ(lib.timing(GateType::Not)->sigma, 0.02);
+  EXPECT_FALSE(lib.timing(GateType::Or).has_value());
+  EXPECT_EQ(lib.default_timing().mean, 1.00);
+  EXPECT_EQ(lib.default_timing().sigma, 0.03);
+}
+
+TEST(CellLibrary, DelayAppliesLoadTerm) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId g = n.add_gate(GateType::Nand, "g", {a, a});
+  const NodeId s1 = n.add_gate(GateType::Buf, "s1", {g});
+  const NodeId s2 = n.add_gate(GateType::Buf, "s2", {g});
+  (void)s1;
+  (void)s2;
+
+  const CellLibrary lib = CellLibrary::parse(kLib);
+  const stats::Gaussian d = lib.delay_of(n, g);
+  EXPECT_NEAR(d.mean, 0.90 + 0.08 * 2.0, 1e-12);  // two fanouts
+  EXPECT_NEAR(d.var, 0.05 * 0.05, 1e-12);
+  // Sources get zero delay.
+  EXPECT_EQ(lib.delay_of(n, a).mean, 0.0);
+}
+
+TEST(CellLibrary, ApplyBuildsFullModel) {
+  const Netlist n = make_s27();
+  const CellLibrary lib = CellLibrary::parse(kLib);
+  const DelayModel m = lib.apply(n);
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    const GateType t = n.node(id).type;
+    if (t == GateType::Input || t == GateType::Dff) {
+      EXPECT_EQ(m.delay(id).mean, 0.0) << n.node(id).name;
+    } else {
+      EXPECT_GT(m.delay(id).mean, 0.0) << n.node(id).name;
+    }
+  }
+  // NOT entries really differ from the default.
+  const NodeId g17 = n.find("G17");
+  EXPECT_NEAR(m.delay(g17).var, 0.02 * 0.02, 1e-12);
+}
+
+TEST(CellLibrary, TextRoundTrip) {
+  const CellLibrary lib = CellLibrary::parse(kLib);
+  const CellLibrary reparsed = CellLibrary::parse(lib.to_text());
+  EXPECT_EQ(reparsed.timing(GateType::Nand), lib.timing(GateType::Nand));
+  EXPECT_EQ(reparsed.timing(GateType::And), lib.timing(GateType::And));
+  EXPECT_EQ(reparsed.default_timing(), lib.default_timing());
+}
+
+TEST(CellLibrary, ErrorsCarryLineNumbers) {
+  try {
+    (void)CellLibrary::parse("NAND 0.9 0.05 0.08\nFROB 1 2 3\n");
+    FAIL() << "expected CellLibraryParseError";
+  } catch (const CellLibraryParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(CellLibrary, RejectsMalformedRows) {
+  EXPECT_THROW((void)CellLibrary::parse("NAND 0.9 0.05\n"), CellLibraryParseError);
+  EXPECT_THROW((void)CellLibrary::parse("NAND 0.9 0.05 0.08 extra\n"),
+               CellLibraryParseError);
+  EXPECT_THROW((void)CellLibrary::parse("NAND -1 0.05 0.08\n"), CellLibraryParseError);
+  EXPECT_THROW((void)CellLibrary::parse("INPUT 1 0 0\n"), CellLibraryParseError);
+}
+
+TEST(CellLibrary, EmptyLibraryUsesUnitDefault) {
+  const CellLibrary lib;
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId g = n.add_gate(GateType::Or, "g", {a, a});
+  EXPECT_EQ(lib.delay_of(n, g).mean, 1.0);
+  EXPECT_EQ(lib.delay_of(n, g).var, 0.0);
+}
+
+}  // namespace
+}  // namespace spsta::netlist

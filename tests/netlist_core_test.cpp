@@ -1,0 +1,194 @@
+// Tests for the netlist data model and gate-type traits.
+
+#include "netlist/netlist.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace spsta::netlist {
+namespace {
+
+Netlist tiny() {
+  Netlist n("tiny");
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId g = n.add_gate(GateType::And, "g", {a, b});
+  n.mark_output(g);
+  return n;
+}
+
+TEST(GateType, ParseRoundTrip) {
+  for (GateType t : {GateType::Buf, GateType::Not, GateType::And, GateType::Nand,
+                     GateType::Or, GateType::Nor, GateType::Xor, GateType::Xnor,
+                     GateType::Dff, GateType::Input}) {
+    EXPECT_EQ(parse_gate_type(to_string(t)), t);
+  }
+  EXPECT_EQ(parse_gate_type("nand"), GateType::Nand);
+  EXPECT_EQ(parse_gate_type("BUF"), GateType::Buf);
+  EXPECT_EQ(parse_gate_type("bogus"), std::nullopt);
+}
+
+TEST(GateType, ControllingValues) {
+  EXPECT_TRUE(has_controlling_value(GateType::And));
+  EXPECT_TRUE(has_controlling_value(GateType::Nor));
+  EXPECT_FALSE(has_controlling_value(GateType::Xor));
+  EXPECT_FALSE(has_controlling_value(GateType::Not));
+  EXPECT_FALSE(controlling_value(GateType::And));   // 0 controls AND
+  EXPECT_FALSE(controlling_value(GateType::Nand));
+  EXPECT_TRUE(controlling_value(GateType::Or));     // 1 controls OR
+  EXPECT_TRUE(controlling_value(GateType::Nor));
+}
+
+TEST(GateType, InversionFlags) {
+  EXPECT_TRUE(is_inverting(GateType::Not));
+  EXPECT_TRUE(is_inverting(GateType::Nand));
+  EXPECT_TRUE(is_inverting(GateType::Nor));
+  EXPECT_TRUE(is_inverting(GateType::Xnor));
+  EXPECT_FALSE(is_inverting(GateType::And));
+  EXPECT_FALSE(is_inverting(GateType::Buf));
+}
+
+// Exhaustive two-input truth tables for every binary gate type.
+class GateEval
+    : public ::testing::TestWithParam<std::tuple<GateType, bool, bool, bool>> {};
+
+TEST_P(GateEval, TwoInputTruthTable) {
+  const auto [type, a, b, expected] = GetParam();
+  const bool ins[2] = {a, b};
+  EXPECT_EQ(eval_gate(type, ins), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateEval,
+    ::testing::Values(
+        std::make_tuple(GateType::And, false, false, false),
+        std::make_tuple(GateType::And, false, true, false),
+        std::make_tuple(GateType::And, true, false, false),
+        std::make_tuple(GateType::And, true, true, true),
+        std::make_tuple(GateType::Nand, false, false, true),
+        std::make_tuple(GateType::Nand, true, true, false),
+        std::make_tuple(GateType::Or, false, false, false),
+        std::make_tuple(GateType::Or, false, true, true),
+        std::make_tuple(GateType::Nor, false, false, true),
+        std::make_tuple(GateType::Nor, true, false, false),
+        std::make_tuple(GateType::Xor, false, true, true),
+        std::make_tuple(GateType::Xor, true, true, false),
+        std::make_tuple(GateType::Xnor, true, true, true),
+        std::make_tuple(GateType::Xnor, false, true, false)));
+
+TEST(GateType, WideGates) {
+  const bool ins[3] = {true, true, false};
+  EXPECT_FALSE(eval_gate(GateType::And, ins));
+  EXPECT_TRUE(eval_gate(GateType::Or, ins));
+  EXPECT_FALSE(eval_gate(GateType::Xor, ins));  // parity of two ones
+  const bool all[3] = {true, true, true};
+  EXPECT_TRUE(eval_gate(GateType::And, all));
+  EXPECT_TRUE(eval_gate(GateType::Xor, all));
+}
+
+TEST(Netlist, BuildAndQuery) {
+  const Netlist n = tiny();
+  EXPECT_EQ(n.node_count(), 3u);
+  EXPECT_EQ(n.gate_count(), 1u);
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_NE(n.find("g"), kInvalidNode);
+  EXPECT_EQ(n.find("nope"), kInvalidNode);
+  EXPECT_EQ(n.node(n.find("g")).fanins.size(), 2u);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Netlist, FanoutsMaintained) {
+  const Netlist n = tiny();
+  const NodeId a = n.find("a");
+  ASSERT_EQ(n.node(a).fanouts.size(), 1u);
+  EXPECT_EQ(n.node(a).fanouts[0], n.find("g"));
+}
+
+TEST(Netlist, RejectsDuplicateNames) {
+  Netlist n;
+  n.add_input("x");
+  EXPECT_THROW(n.add_input("x"), std::invalid_argument);
+  EXPECT_THROW(n.declare(GateType::And, "x"), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsEmptyName) {
+  Netlist n;
+  EXPECT_THROW(n.add_input(""), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsBadArity) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  EXPECT_THROW(n.add_gate(GateType::Not, "inv", {a, b}), std::invalid_argument);
+  EXPECT_THROW(n.add_gate(GateType::Dff, "ff", {a, b}), std::invalid_argument);
+  EXPECT_NO_THROW(n.add_gate(GateType::Not, "inv", {a}));
+}
+
+TEST(Netlist, RejectsBadIds) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::Buf, "b", {static_cast<NodeId>(99)}),
+               std::invalid_argument);
+  EXPECT_THROW(n.connect(static_cast<NodeId>(99), {a}), std::invalid_argument);
+  EXPECT_THROW(n.mark_output(static_cast<NodeId>(99)), std::invalid_argument);
+}
+
+TEST(Netlist, ReconnectReplacesFanins) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId g = n.add_gate(GateType::Buf, "g", {a});
+  n.connect(g, {b});
+  EXPECT_EQ(n.node(g).fanins[0], b);
+  EXPECT_TRUE(n.node(a).fanouts.empty());
+  EXPECT_EQ(n.node(b).fanouts.size(), 1u);
+}
+
+TEST(Netlist, MarkOutputIdempotent) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  n.mark_output(a);
+  n.mark_output(a);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+}
+
+TEST(Netlist, TimingSourcesAndEndpoints) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId q = n.declare(GateType::Dff, "q");
+  const NodeId g = n.add_gate(GateType::And, "g", {a, q});
+  n.connect(q, {g});  // feedback through the DFF
+  n.mark_output(g);
+
+  const auto sources = n.timing_sources();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0], a);
+  EXPECT_EQ(sources[1], q);
+  EXPECT_TRUE(n.is_timing_source(q));
+  EXPECT_FALSE(n.is_timing_source(g));
+
+  // g is both a PO and the DFF's D input: reported once.
+  const auto endpoints = n.timing_endpoints();
+  ASSERT_EQ(endpoints.size(), 1u);
+  EXPECT_EQ(endpoints[0], g);
+}
+
+TEST(Netlist, TypeHistogram) {
+  const Netlist n = tiny();
+  const auto h = n.type_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::Input)], 2u);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::And)], 1u);
+}
+
+TEST(Netlist, ValidateCatchesUnconnectedGate) {
+  Netlist n;
+  n.add_input("a");
+  n.declare(GateType::And, "g");  // never connected
+  EXPECT_THROW(n.validate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spsta::netlist

@@ -1,0 +1,65 @@
+// Tests for DOT export.
+
+#include "netlist/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/graph.hpp"
+#include "netlist/iscas89.hpp"
+
+namespace spsta::netlist {
+namespace {
+
+TEST(DotExport, ContainsNodesAndEdges) {
+  Netlist n("tiny");
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId g = n.add_gate(GateType::Nand, "g", {a, b});
+  n.mark_output(g);
+
+  const std::string dot = to_dot(n);
+  EXPECT_NE(dot.find("digraph \"tiny\""), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("NAND"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);       // inputs
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);   // PO marker
+}
+
+TEST(DotExport, AnnotationsAppear) {
+  Netlist n;
+  n.add_input("a");
+  DotOptions opt;
+  opt.annotate = [](NodeId) { return std::string("P=0.5"); };
+  const std::string dot = to_dot(n, opt);
+  EXPECT_NE(dot.find("P=0.5"), std::string::npos);
+}
+
+TEST(DotExport, HighlightsCriticalPath) {
+  const Netlist n = make_s27();
+  const DelayModel d = DelayModel::unit(n);
+  const auto paths = critical_paths(n, d.means(), 1);
+  ASSERT_FALSE(paths.empty());
+  DotOptions opt;
+  opt.highlight = paths[0].nodes;
+  const std::string dot = to_dot(n, opt);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(DotExport, DffShape) {
+  const Netlist n = make_s27();
+  const std::string dot = to_dot(n);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(DotExport, EscapesQuotes) {
+  Netlist n("a\"b");
+  const std::string dot = to_dot(n);
+  EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spsta::netlist

@@ -1,0 +1,145 @@
+// Tests for the four-value logic: the paper's Table 1 must fall out of the
+// initial/final evaluation semantics, including glitch filtering.
+
+#include "netlist/four_value.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace spsta::netlist {
+namespace {
+
+using enum FourValue;
+
+TEST(FourValue, InitialFinalDecomposition) {
+  EXPECT_FALSE(initial_value(Zero));
+  EXPECT_FALSE(final_value(Zero));
+  EXPECT_TRUE(initial_value(One));
+  EXPECT_TRUE(final_value(One));
+  EXPECT_FALSE(initial_value(Rise));
+  EXPECT_TRUE(final_value(Rise));
+  EXPECT_TRUE(initial_value(Fall));
+  EXPECT_FALSE(final_value(Fall));
+  for (FourValue v : {Zero, One, Rise, Fall}) {
+    EXPECT_EQ(from_initial_final(initial_value(v), final_value(v)), v);
+  }
+}
+
+// Paper Table 1, AND column-by-column.
+class AndTable : public ::testing::TestWithParam<std::tuple<FourValue, FourValue, FourValue>> {};
+
+TEST_P(AndTable, MatchesPaper) {
+  const auto [a, b, expected] = GetParam();
+  const FourValue ins[2] = {a, b};
+  EXPECT_EQ(eval_four_value(GateType::And, ins), expected);
+  // AND is symmetric.
+  const FourValue swapped[2] = {b, a};
+  EXPECT_EQ(eval_four_value(GateType::And, swapped), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, AndTable,
+    ::testing::Values(std::make_tuple(Zero, Zero, Zero), std::make_tuple(Zero, One, Zero),
+                      std::make_tuple(Zero, Rise, Zero), std::make_tuple(Zero, Fall, Zero),
+                      std::make_tuple(One, One, One), std::make_tuple(One, Rise, Rise),
+                      std::make_tuple(One, Fall, Fall),
+                      std::make_tuple(Rise, Rise, Rise),   // r AND r = r (MAX timing)
+                      std::make_tuple(Rise, Fall, Zero),   // glitch filtered to 0
+                      std::make_tuple(Fall, Fall, Fall))); // f AND f = f (MIN timing)
+
+// Paper Table 1, OR.
+class OrTable : public ::testing::TestWithParam<std::tuple<FourValue, FourValue, FourValue>> {};
+
+TEST_P(OrTable, MatchesPaper) {
+  const auto [a, b, expected] = GetParam();
+  const FourValue ins[2] = {a, b};
+  EXPECT_EQ(eval_four_value(GateType::Or, ins), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, OrTable,
+    ::testing::Values(std::make_tuple(Zero, Zero, Zero), std::make_tuple(Zero, One, One),
+                      std::make_tuple(Zero, Rise, Rise), std::make_tuple(Zero, Fall, Fall),
+                      std::make_tuple(One, One, One), std::make_tuple(One, Rise, One),
+                      std::make_tuple(One, Fall, One),
+                      std::make_tuple(Rise, Rise, Rise),
+                      std::make_tuple(Rise, Fall, One),   // glitch filtered to 1
+                      std::make_tuple(Fall, Fall, Fall)));
+
+TEST(FourValue, InvertingGatesSwapDirections) {
+  const FourValue one_rise[2] = {One, Rise};
+  EXPECT_EQ(eval_four_value(GateType::Nand, one_rise), Fall);
+  const FourValue zero_rise[2] = {Zero, Rise};
+  EXPECT_EQ(eval_four_value(GateType::Nor, zero_rise), Fall);
+  const FourValue rise[1] = {Rise};
+  EXPECT_EQ(eval_four_value(GateType::Not, rise), Fall);
+  EXPECT_EQ(eval_four_value(GateType::Buf, rise), Rise);
+}
+
+TEST(FourValue, XorSemantics) {
+  const FourValue rr[2] = {Rise, Rise};
+  EXPECT_EQ(eval_four_value(GateType::Xor, rr), Zero);  // 0^0 -> 1^1: pulse filtered
+  const FourValue rf[2] = {Rise, Fall};
+  EXPECT_EQ(eval_four_value(GateType::Xor, rf), One);   // 0^1 -> 1^0: stays 1
+  const FourValue r0[2] = {Rise, Zero};
+  EXPECT_EQ(eval_four_value(GateType::Xor, r0), Rise);
+  const FourValue r1[2] = {Rise, One};
+  EXPECT_EQ(eval_four_value(GateType::Xor, r1), Fall);
+}
+
+TEST(FourValue, ThreeInputAnd) {
+  const FourValue ins[3] = {One, Rise, Rise};
+  EXPECT_EQ(eval_four_value(GateType::And, ins), Rise);
+  const FourValue mixed[3] = {One, Rise, Fall};
+  EXPECT_EQ(eval_four_value(GateType::And, mixed), Zero);
+}
+
+TEST(FourValueProbs, HelpersAndValidity) {
+  const FourValueProbs p{0.75, 0.15, 0.02, 0.08};
+  EXPECT_TRUE(p.is_valid());
+  EXPECT_DOUBLE_EQ(p.signal_probability(), 0.17);   // final-one convention
+  EXPECT_DOUBLE_EQ(p.average_one(), 0.20);          // the paper's 0.2
+  EXPECT_DOUBLE_EQ(p.toggle_probability(), 0.10);   // the paper's 0.1
+  EXPECT_DOUBLE_EQ(p.initial_one(), 0.23);
+  EXPECT_DOUBLE_EQ(p.prob(FourValue::Rise), 0.02);
+}
+
+TEST(FourValueProbs, InvalidDetected) {
+  EXPECT_FALSE((FourValueProbs{0.5, 0.5, 0.5, 0.5}.is_valid()));
+  EXPECT_FALSE((FourValueProbs{-0.1, 0.6, 0.3, 0.2}.is_valid()));
+}
+
+TEST(FourValueProbs, NormalizedClampsAndScales) {
+  const FourValueProbs p = FourValueProbs{-0.5, 2.0, 1.0, 1.0}.normalized();
+  EXPECT_TRUE(p.is_valid(1e-12));
+  EXPECT_DOUBLE_EQ(p.p0, 0.0);
+  EXPECT_DOUBLE_EQ(p.p1, 0.5);
+  // All-zero input degrades to uniform.
+  const FourValueProbs u = FourValueProbs{0.0, 0.0, 0.0, 0.0}.normalized();
+  EXPECT_DOUBLE_EQ(u.p0, 0.25);
+}
+
+TEST(Scenarios, MatchThePaper) {
+  const SourceStats s1 = scenario_I();
+  EXPECT_DOUBLE_EQ(s1.probs.p0, 0.25);
+  EXPECT_DOUBLE_EQ(s1.probs.toggle_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(s1.probs.average_one(), 0.5);
+  EXPECT_DOUBLE_EQ(s1.rise_arrival.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s1.rise_arrival.var, 1.0);
+
+  const SourceStats s2 = scenario_II();
+  EXPECT_DOUBLE_EQ(s2.probs.p0, 0.75);
+  EXPECT_DOUBLE_EQ(s2.probs.p1, 0.15);
+  EXPECT_DOUBLE_EQ(s2.probs.pr, 0.02);
+  EXPECT_DOUBLE_EQ(s2.probs.pf, 0.08);
+  EXPECT_DOUBLE_EQ(s2.probs.toggle_probability(), 0.1);
+  // The paper: "0.2 signal probability, 0.1 mean toggling rate, 0.09
+  // variance of toggling rate".
+  EXPECT_DOUBLE_EQ(s2.probs.average_one(), 0.2);
+  const double toggle_var = s2.probs.toggle_probability() * (1.0 - s2.probs.toggle_probability());
+  EXPECT_DOUBLE_EQ(toggle_var, 0.09);
+}
+
+}  // namespace
+}  // namespace spsta::netlist

@@ -1,0 +1,143 @@
+// Tests for the deterministic circuit generator and the paper suite specs.
+
+#include "netlist/generator.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/iscas89.hpp"
+#include "netlist/levelize.hpp"
+
+namespace spsta::netlist {
+namespace {
+
+TEST(Generator, RespectsCounts) {
+  GeneratorSpec spec;
+  spec.num_inputs = 6;
+  spec.num_outputs = 3;
+  spec.num_dffs = 4;
+  spec.num_gates = 40;
+  spec.target_depth = 6;
+  spec.seed = 99;
+  const Netlist n = generate_circuit(spec);
+  EXPECT_EQ(n.primary_inputs().size(), 6u);
+  EXPECT_EQ(n.primary_outputs().size(), 3u);
+  EXPECT_EQ(n.dffs().size(), 4u);
+  EXPECT_EQ(n.gate_count(), 40u);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Generator, HitsExactTargetDepth) {
+  for (std::size_t depth : {1u, 3u, 7u, 12u}) {
+    GeneratorSpec spec;
+    spec.num_inputs = 4;
+    spec.num_gates = 50;
+    spec.target_depth = depth;
+    spec.seed = depth;
+    const Levelization lv = levelize(generate_circuit(spec));
+    EXPECT_EQ(lv.depth, depth);
+  }
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const GeneratorSpec spec = paper_circuit_spec("s298");
+  const std::string a = write_bench(generate_circuit(spec));
+  const std::string b = write_bench(generate_circuit(spec));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorSpec spec = paper_circuit_spec("s298");
+  const std::string a = write_bench(generate_circuit(spec));
+  spec.seed ^= 0xDEADBEEF;
+  const std::string b = write_bench(generate_circuit(spec));
+  EXPECT_NE(a, b);
+}
+
+TEST(Generator, RejectsInconsistentSpecs) {
+  GeneratorSpec no_sources;
+  no_sources.num_inputs = 0;
+  no_sources.num_dffs = 0;
+  EXPECT_THROW((void)generate_circuit(no_sources), std::invalid_argument);
+
+  GeneratorSpec no_gates;
+  no_gates.num_inputs = 2;
+  no_gates.num_gates = 0;
+  no_gates.num_outputs = 1;
+  EXPECT_THROW((void)generate_circuit(no_gates), std::invalid_argument);
+
+  GeneratorSpec bad_fanin;
+  bad_fanin.max_fanin = 1;
+  EXPECT_THROW((void)generate_circuit(bad_fanin), std::invalid_argument);
+}
+
+TEST(Generator, DffsAreConnected) {
+  GeneratorSpec spec;
+  spec.num_inputs = 3;
+  spec.num_dffs = 5;
+  spec.num_gates = 30;
+  spec.target_depth = 4;
+  const Netlist n = generate_circuit(spec);
+  for (NodeId q : n.dffs()) {
+    ASSERT_EQ(n.node(q).fanins.size(), 1u);
+  }
+}
+
+TEST(PaperSuite, AllCircuitsBuildAndLevelize) {
+  for (std::string_view name : paper_circuit_names()) {
+    const Netlist n = make_paper_circuit(name);
+    EXPECT_EQ(n.name(), name);
+    EXPECT_NO_THROW(n.validate()) << name;
+    const Levelization lv = levelize(n);
+    const GeneratorSpec spec = paper_circuit_spec(name);
+    EXPECT_EQ(lv.depth, spec.target_depth) << name;
+    EXPECT_EQ(n.gate_count(), spec.num_gates) << name;
+    EXPECT_EQ(n.primary_inputs().size(), spec.num_inputs) << name;
+    EXPECT_EQ(n.dffs().size(), spec.num_dffs) << name;
+  }
+}
+
+TEST(PaperSuite, UnknownNameThrows) {
+  EXPECT_THROW((void)paper_circuit_spec("s9999"), std::invalid_argument);
+}
+
+TEST(PaperSuite, S27IsTheRealNetlist) {
+  const Netlist n = make_paper_circuit("s27");
+  EXPECT_EQ(n.gate_count(), 10u);
+  EXPECT_NE(n.find("G17"), kInvalidNode);
+}
+
+// Property sweep: the generator must produce valid, exactly-sized DAGs
+// across a spread of shapes and seeds.
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(GeneratorSweep, ValidAcyclicExactCounts) {
+  const auto [gates, depth, seed] = GetParam();
+  GeneratorSpec spec;
+  spec.num_inputs = 5;
+  spec.num_outputs = 2;
+  spec.num_dffs = 3;
+  spec.num_gates = gates;
+  spec.target_depth = depth;
+  spec.seed = seed;
+  const Netlist n = generate_circuit(spec);
+  n.validate();
+  const Levelization lv = levelize(n);  // throws on cycles
+  EXPECT_EQ(n.gate_count(), gates);
+  EXPECT_EQ(lv.depth, std::min(depth, gates));
+  // Round-trips through the .bench format.
+  const Netlist reparsed = parse_bench(write_bench(n), spec.name);
+  EXPECT_EQ(reparsed.node_count(), n.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeneratorSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(10, 60, 200),
+                       ::testing::Values<std::size_t>(2, 5, 9),
+                       ::testing::Values<std::uint64_t>(1, 17, 123456789)));
+
+}  // namespace
+}  // namespace spsta::netlist

@@ -1,0 +1,137 @@
+// Tests for structural graph queries: cones, reconvergence, path counts
+// and critical-path extraction.
+
+#include "netlist/graph.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "netlist/delay_model.hpp"
+#include "netlist/iscas89.hpp"
+
+namespace spsta::netlist {
+namespace {
+
+// a tree:      a, b -> g1(AND); c -> inv; g1, inv -> g2(OR)
+Netlist tree() {
+  Netlist n("tree");
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId g1 = n.add_gate(GateType::And, "g1", {a, b});
+  const NodeId inv = n.add_gate(GateType::Not, "inv", {c});
+  const NodeId g2 = n.add_gate(GateType::Or, "g2", {g1, inv});
+  n.mark_output(g2);
+  return n;
+}
+
+// reconvergent: a fans out to both fanins of g2 through g1a/g1b.
+Netlist diamond() {
+  Netlist n("diamond");
+  const NodeId a = n.add_input("a");
+  const NodeId g1a = n.add_gate(GateType::Buf, "g1a", {a});
+  const NodeId g1b = n.add_gate(GateType::Not, "g1b", {a});
+  const NodeId g2 = n.add_gate(GateType::And, "g2", {g1a, g1b});
+  n.mark_output(g2);
+  return n;
+}
+
+TEST(Graph, FaninConeOfTree) {
+  const Netlist n = tree();
+  const auto cone = fanin_cone(n, n.find("g2"));
+  EXPECT_EQ(cone.size(), 6u);  // everything
+  const auto cone1 = fanin_cone(n, n.find("g1"));
+  EXPECT_EQ(cone1.size(), 3u);  // a, b, g1
+  EXPECT_TRUE(std::binary_search(cone1.begin(), cone1.end(), n.find("a")));
+  EXPECT_FALSE(std::binary_search(cone1.begin(), cone1.end(), n.find("c")));
+}
+
+TEST(Graph, FanoutCone) {
+  const Netlist n = tree();
+  const auto cone = fanout_cone(n, n.find("a"));
+  EXPECT_EQ(cone.size(), 3u);  // a, g1, g2
+}
+
+TEST(Graph, TreeHasNoReconvergence) {
+  const Netlist n = tree();
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_FALSE(has_reconvergent_fanin(n, id)) << n.node(id).name;
+  }
+  EXPECT_TRUE(reconvergent_nodes(n).empty());
+}
+
+TEST(Graph, DiamondIsReconvergent) {
+  const Netlist n = diamond();
+  EXPECT_TRUE(has_reconvergent_fanin(n, n.find("g2")));
+  EXPECT_FALSE(has_reconvergent_fanin(n, n.find("g1a")));
+  const auto nodes = reconvergent_nodes(n);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], n.find("g2"));
+}
+
+TEST(Graph, S27HasReconvergence) {
+  const Netlist n = make_s27();
+  EXPECT_FALSE(reconvergent_nodes(n).empty());
+}
+
+TEST(Graph, PathCounts) {
+  const Netlist n = diamond();
+  const auto counts = path_counts(n);
+  EXPECT_EQ(counts[n.find("a")], 1u);
+  EXPECT_EQ(counts[n.find("g1a")], 1u);
+  EXPECT_EQ(counts[n.find("g2")], 2u);  // two paths from a
+}
+
+TEST(Graph, CriticalPathUnitDelay) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b1 = n.add_gate(GateType::Buf, "b1", {a});
+  const NodeId b2 = n.add_gate(GateType::Buf, "b2", {b1});
+  const NodeId g = n.add_gate(GateType::And, "g", {a, b2});
+  n.mark_output(g);
+
+  const DelayModel dm = DelayModel::unit(n);
+  const Path p = critical_path_to(n, g, dm.means());
+  EXPECT_DOUBLE_EQ(p.delay, 3.0);  // a -> b1 -> b2 -> g
+  ASSERT_EQ(p.nodes.size(), 4u);
+  EXPECT_EQ(p.nodes.front(), a);
+  EXPECT_EQ(p.nodes.back(), g);
+}
+
+TEST(Graph, CriticalPathRespectsWeights) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId fast = n.add_gate(GateType::Buf, "fast", {a});
+  const NodeId slow = n.add_gate(GateType::Buf, "slow", {a});
+  const NodeId g = n.add_gate(GateType::Or, "g", {fast, slow});
+  n.mark_output(g);
+
+  std::vector<double> delay(n.node_count(), 0.0);
+  delay[fast] = 0.1;
+  delay[slow] = 5.0;
+  delay[g] = 1.0;
+  const Path p = critical_path_to(n, g, delay);
+  EXPECT_DOUBLE_EQ(p.delay, 6.0);
+  EXPECT_EQ(p.nodes[1], slow);
+}
+
+TEST(Graph, CriticalPathsSortedAndBounded) {
+  const Netlist n = make_paper_circuit("s298");
+  const DelayModel dm = DelayModel::unit(n);
+  const auto paths = critical_paths(n, dm.means(), 4);
+  ASSERT_LE(paths.size(), 4u);
+  ASSERT_GE(paths.size(), 1u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].delay, paths[i].delay);
+  }
+}
+
+TEST(Graph, DelaySizeMismatchThrows) {
+  const Netlist n = tree();
+  EXPECT_THROW((void)critical_path_to(n, 0, std::vector<double>(2, 1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::netlist

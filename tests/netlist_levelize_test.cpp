@@ -1,0 +1,86 @@
+// Tests for topological levelization, including DFF loop breaking and
+// combinational cycle detection.
+
+#include "netlist/levelize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spsta::netlist {
+namespace {
+
+TEST(Levelize, ChainDepth) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 5; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  const Levelization lv = levelize(n);
+  EXPECT_EQ(lv.depth, 5u);
+  EXPECT_EQ(lv.order.size(), 6u);
+  EXPECT_EQ(lv.level[n.find("a")], 0u);
+  EXPECT_EQ(lv.level[n.find("b4")], 5u);
+}
+
+TEST(Levelize, FaninsPrecedeInOrder) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId g1 = n.add_gate(GateType::And, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::Or, "g2", {g1, a});
+  const Levelization lv = levelize(n);
+  std::vector<std::size_t> pos(n.node_count());
+  for (std::size_t i = 0; i < lv.order.size(); ++i) pos[lv.order[i]] = i;
+  EXPECT_LT(pos[a], pos[g1]);
+  EXPECT_LT(pos[b], pos[g1]);
+  EXPECT_LT(pos[g1], pos[g2]);
+}
+
+TEST(Levelize, LevelIsMaxFaninPlusOne) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b1 = n.add_gate(GateType::Buf, "b1", {a});
+  const NodeId b2 = n.add_gate(GateType::Buf, "b2", {b1});
+  const NodeId g = n.add_gate(GateType::And, "g", {a, b2});
+  const Levelization lv = levelize(n);
+  EXPECT_EQ(lv.level[g], 3u);  // 1 + max(0, 2)
+}
+
+TEST(Levelize, DffBreaksSequentialLoop) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId q = n.declare(GateType::Dff, "q");
+  const NodeId g = n.add_gate(GateType::Nand, "g", {a, q});
+  n.connect(q, {g});
+  const Levelization lv = levelize(n);
+  EXPECT_EQ(lv.level[q], 0u);  // DFF output is a source
+  EXPECT_EQ(lv.level[g], 1u);
+  EXPECT_EQ(lv.depth, 1u);
+}
+
+TEST(Levelize, DetectsCombinationalCycle) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId g1 = n.declare(GateType::And, "g1");
+  const NodeId g2 = n.add_gate(GateType::Or, "g2", {g1, a});
+  n.connect(g1, {g2, a});  // g1 <-> g2 combinational loop
+  EXPECT_THROW(levelize(n), std::logic_error);
+}
+
+TEST(Levelize, ConstantsAreSources) {
+  Netlist n;
+  const NodeId c = n.add_gate(GateType::Const1, "one", {});
+  const NodeId b = n.add_gate(GateType::Buf, "b", {c});
+  const Levelization lv = levelize(n);
+  EXPECT_EQ(lv.level[c], 0u);
+  EXPECT_EQ(lv.level[b], 1u);
+}
+
+TEST(Levelize, EmptyNetlist) {
+  Netlist n;
+  const Levelization lv = levelize(n);
+  EXPECT_TRUE(lv.order.empty());
+  EXPECT_EQ(lv.depth, 0u);
+}
+
+}  // namespace
+}  // namespace spsta::netlist

@@ -1,0 +1,153 @@
+// Tests for the structural-Verilog reader/writer.
+
+#include "netlist/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+
+namespace spsta::netlist {
+namespace {
+
+constexpr const char* kSmall = R"(
+// a tiny module
+module demo (a, b, y);
+  input a, b;
+  output y;
+  wire w1, w2;
+  and  g1 (w1, a, b);
+  not  g2 (w2, w1);
+  nand g3 (y, w2, a);
+endmodule
+)";
+
+TEST(VerilogParser, ParsesSmallModule) {
+  const Netlist n = parse_verilog(kSmall);
+  EXPECT_EQ(n.name(), "demo");
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_EQ(n.gate_count(), 3u);
+  const NodeId y = n.find("y");
+  ASSERT_NE(y, kInvalidNode);
+  EXPECT_EQ(n.node(y).type, GateType::Nand);
+  ASSERT_EQ(n.node(y).fanins.size(), 2u);
+  EXPECT_EQ(n.node(n.node(y).fanins[0]).name, "w2");
+}
+
+TEST(VerilogParser, BlockCommentsAndAnonymousInstances) {
+  const Netlist n = parse_verilog(R"(
+module m (a, y);
+  input a;
+  output y;
+  /* block
+     comment */ buf (y, a);
+endmodule
+)");
+  EXPECT_EQ(n.gate_count(), 1u);
+  EXPECT_EQ(n.node(n.find("y")).type, GateType::Buf);
+}
+
+TEST(VerilogParser, DffPrimitive) {
+  const Netlist n = parse_verilog(R"(
+module seq (clk_unused, d_in, q_out);
+  input clk_unused, d_in;
+  output q_out;
+  wire q;
+  dff ff (q, d_in);
+  buf b (q_out, q);
+endmodule
+)");
+  EXPECT_EQ(n.dffs().size(), 1u);
+  EXPECT_EQ(n.node(n.find("q")).type, GateType::Dff);
+}
+
+TEST(VerilogParser, ForwardReferencesAllowed) {
+  const Netlist n = parse_verilog(R"(
+module fw (a, y);
+  input a;
+  output y;
+  wire w;
+  not g1 (y, w);
+  buf g2 (w, a);
+endmodule
+)");
+  EXPECT_EQ(n.node(n.find("y")).fanins[0], n.find("w"));
+}
+
+TEST(VerilogParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_verilog("module m (a);\n  input a;\n  frob g (a, a);\nendmodule\n");
+    FAIL() << "expected VerilogParseError";
+  } catch (const VerilogParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(VerilogParser, RejectsDoubleDriver) {
+  EXPECT_THROW((void)parse_verilog(R"(
+module m (a, y);
+  input a;
+  output y;
+  buf g1 (y, a);
+  not g2 (y, a);
+endmodule
+)"),
+               VerilogParseError);
+}
+
+TEST(VerilogParser, RejectsUndrivenSignals) {
+  EXPECT_THROW((void)parse_verilog(R"(
+module m (a, y);
+  input a;
+  output y;
+  and g (y, a, ghost);
+endmodule
+)"),
+               VerilogParseError);
+  EXPECT_THROW((void)parse_verilog(R"(
+module m (y);
+  output y;
+endmodule
+)"),
+               VerilogParseError);
+}
+
+TEST(VerilogParser, RejectsMalformedStructure) {
+  EXPECT_THROW((void)parse_verilog("module m a, y);\nendmodule\n"), VerilogParseError);
+  EXPECT_THROW((void)parse_verilog("module m (a);\n  input a\nendmodule\n"),
+               VerilogParseError);
+  EXPECT_THROW((void)parse_verilog("module m (a);\n  input a; /* unterminated\n"),
+               VerilogParseError);
+}
+
+TEST(VerilogWriter, RoundTripS27) {
+  const Netlist original = make_s27();
+  const std::string text = write_verilog(original);
+  const Netlist reparsed = parse_verilog(text);
+
+  EXPECT_EQ(reparsed.name(), original.name());
+  EXPECT_EQ(reparsed.node_count(), original.node_count());
+  EXPECT_EQ(reparsed.dffs().size(), original.dffs().size());
+  for (NodeId id = 0; id < original.node_count(); ++id) {
+    const Node& a = original.node(id);
+    const NodeId rid = reparsed.find(a.name);
+    ASSERT_NE(rid, kInvalidNode) << a.name;
+    const Node& b = reparsed.node(rid);
+    EXPECT_EQ(a.type, b.type) << a.name;
+    ASSERT_EQ(a.fanins.size(), b.fanins.size()) << a.name;
+    for (std::size_t i = 0; i < a.fanins.size(); ++i) {
+      EXPECT_EQ(original.node(a.fanins[i]).name, reparsed.node(b.fanins[i]).name);
+    }
+  }
+}
+
+TEST(VerilogWriter, RoundTripGeneratedSuiteCircuit) {
+  const Netlist original = make_paper_circuit("s298");
+  const Netlist reparsed = parse_verilog(write_verilog(original));
+  EXPECT_EQ(reparsed.node_count(), original.node_count());
+  EXPECT_EQ(reparsed.gate_count(), original.gate_count());
+  EXPECT_EQ(reparsed.primary_outputs().size(), original.primary_outputs().size());
+}
+
+}  // namespace
+}  // namespace spsta::netlist

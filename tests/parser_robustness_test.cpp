@@ -1,0 +1,119 @@
+// Robustness fuzzing for the three text parsers (.bench, structural
+// Verilog, cell library): random garbage and random mutations of valid
+// inputs must produce a clean parse error (or a valid netlist), never a
+// crash, hang, or inconsistent object.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/iscas89.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/verilog_io.hpp"
+#include "stats/rng.hpp"
+
+namespace spsta::netlist {
+namespace {
+
+std::string random_garbage(stats::Xoshiro256& rng, std::size_t len) {
+  static constexpr char kChars[] =
+      "abcdefgXYZ0123456789 _().,=;#/*\n\t\"\\-+[]";
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(kChars[rng.uniform_index(sizeof(kChars) - 1)]);
+  }
+  return s;
+}
+
+std::string mutate(stats::Xoshiro256& rng, std::string text, int edits) {
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const std::size_t pos = rng.uniform_index(text.size());
+    switch (rng.uniform_index(3)) {
+      case 0: text.erase(pos, 1); break;
+      case 1: text.insert(pos, 1, static_cast<char>('!' + rng.uniform_index(90))); break;
+      default: text[pos] = static_cast<char>('!' + rng.uniform_index(90)); break;
+    }
+  }
+  return text;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, BenchGarbageNeverCrashes) {
+  stats::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = random_garbage(rng, 1 + rng.uniform_index(300));
+    try {
+      const Netlist n = parse_bench(text);
+      n.validate();               // success must yield a coherent object
+      (void)levelize(n);
+    } catch (const BenchParseError&) {
+    } catch (const std::logic_error&) {  // combinational cycle is acceptable
+    }
+  }
+}
+
+TEST_P(ParserFuzz, BenchMutationsOfS27NeverCrash) {
+  stats::Xoshiro256 rng(GetParam() ^ 0xBEEF);
+  const std::string base{s27_bench_text()};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = mutate(rng, base, 1 + static_cast<int>(rng.uniform_index(8)));
+    try {
+      const Netlist n = parse_bench(text);
+      n.validate();
+      (void)levelize(n);
+    } catch (const BenchParseError&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, VerilogGarbageNeverCrashes) {
+  stats::Xoshiro256 rng(GetParam() ^ 0xCAFE);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = "module m (a);\n";
+    text += random_garbage(rng, 1 + rng.uniform_index(200));
+    try {
+      const Netlist n = parse_verilog(text);
+      n.validate();
+      (void)levelize(n);
+    } catch (const VerilogParseError&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, VerilogMutationsNeverCrash) {
+  stats::Xoshiro256 rng(GetParam() ^ 0xD00D);
+  const std::string base = write_verilog(make_s27());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = mutate(rng, base, 1 + static_cast<int>(rng.uniform_index(6)));
+    try {
+      const Netlist n = parse_verilog(text);
+      n.validate();
+      (void)levelize(n);
+    } catch (const VerilogParseError&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, CellLibraryGarbageNeverCrashes) {
+  stats::Xoshiro256 rng(GetParam() ^ 0xFEED);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string text = random_garbage(rng, 1 + rng.uniform_index(120));
+    try {
+      (void)CellLibrary::parse(text);
+    } catch (const CellLibraryParseError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1, 7, 42, 1234, 987654321));
+
+}  // namespace
+}  // namespace spsta::netlist

@@ -1,0 +1,114 @@
+// Tests for probabilistic waveform simulation (paper background ref [15]).
+
+#include "power/waveform_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+#include "sigprob/signal_prob.hpp"
+
+namespace spsta::power {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Waveform, SourceWaveformIsTransitionCdf) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  SourceWaveform s;
+  s.p_before = 0.2;
+  s.p_after = 0.8;
+  s.transition = {1.0, 0.25};
+  const WaveformResult r =
+      simulate_waveforms(n, netlist::DelayModel::unit(n), std::vector{s});
+  EXPECT_NEAR(r.node[a].at(-5.0), 0.2, 1e-6);
+  EXPECT_NEAR(r.node[a].at(1.0), 0.5, 1e-6);  // cdf midpoint
+  EXPECT_NEAR(r.node[a].at(7.0), 0.8, 1e-6);
+  EXPECT_NEAR(r.node[a].total_variation(), 0.6, 1e-3);
+}
+
+TEST(Waveform, BufferChainDelaysTheWaveform) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 3; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  SourceWaveform s;
+  s.p_before = 0.0;
+  s.p_after = 1.0;
+  s.transition = {0.0, 0.04};
+  const WaveformResult r =
+      simulate_waveforms(n, netlist::DelayModel::unit(n), std::vector{s}, 0.02);
+  // The 50% crossing shifts by one unit delay per buffer.
+  EXPECT_NEAR(r.node[prev].at(3.0), 0.5, 0.02);
+  EXPECT_LT(r.node[prev].at(2.5), 0.05);
+  EXPECT_GT(r.node[prev].at(3.5), 0.95);
+}
+
+TEST(Waveform, InverterFlipsTheWaveform) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId inv = n.add_gate(GateType::Not, "inv", {a});
+  SourceWaveform s;
+  s.p_before = 0.0;
+  s.p_after = 1.0;
+  s.transition = {0.0, 1.0};
+  const WaveformResult r =
+      simulate_waveforms(n, netlist::DelayModel::unit(n), std::vector{s});
+  for (double t : {-2.0, 0.0, 2.0}) {
+    EXPECT_NEAR(r.node[inv].at(t + 1.0), 1.0 - r.node[a].at(t), 1e-6);
+  }
+}
+
+TEST(Waveform, SteadyStateMatchesSignalProbability) {
+  // Long after all transitions, the waveform equals the static signal
+  // probability of the final input values.
+  const Netlist n = netlist::make_s27();
+  SourceWaveform s;
+  s.p_before = 0.5;
+  s.p_after = 0.3;
+  s.transition = {0.0, 1.0};
+  const WaveformResult r =
+      simulate_waveforms(n, netlist::DelayModel::unit(n), std::vector{s});
+  const std::vector<double> final_probs =
+      sigprob::propagate_signal_probabilities(n, std::vector<double>{0.3});
+  const double t_end = r.grid.t_end();
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(r.node[id].at(t_end), final_probs[id], 1e-3) << n.node(id).name;
+  }
+}
+
+TEST(Waveform, AndGateShowsStaticHazardWindow) {
+  // a rising early, b falling late at an AND: the output probability rises
+  // transiently in between — the glitch window the four-value logic
+  // filters but the waveform exposes.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  std::vector<SourceWaveform> sources(2);
+  sources[0] = {0.0, 1.0, {0.0, 0.01}};   // a: rises around t=0
+  sources[1] = {1.0, 0.0, {2.0, 0.01}};   // b: falls around t=2
+  const WaveformResult r =
+      simulate_waveforms(n, netlist::DelayModel::unit(n), sources, 0.02);
+  EXPECT_LT(r.node[y].at(0.0), 0.05);   // before: a=0
+  EXPECT_GT(r.node[y].at(2.0), 0.9);    // in the window: both high
+  EXPECT_LT(r.node[y].at(4.5), 0.05);   // after: b=0
+  // Total variation counts both glitch edges.
+  EXPECT_NEAR(r.node[y].total_variation(), 2.0, 0.05);
+}
+
+TEST(Waveform, Validation) {
+  const Netlist n = netlist::make_s27();
+  EXPECT_THROW((void)simulate_waveforms(n, netlist::DelayModel::unit(n),
+                                        std::vector<SourceWaveform>(2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_waveforms(n, netlist::DelayModel::unit(n),
+                                        std::vector<SourceWaveform>(1), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::power

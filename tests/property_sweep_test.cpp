@@ -1,0 +1,140 @@
+// Randomized whole-pipeline property sweep: over random circuit shapes,
+// seeds and input scenarios, the analytic engines must satisfy their
+// invariants and track Monte Carlo within statistical tolerance.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/spsta.hpp"
+#include "core/spsta_canonical.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/generator.hpp"
+#include "sigprob/four_value_prop.hpp"
+#include "ssta/ssta.hpp"
+
+namespace spsta {
+namespace {
+
+using Param = std::tuple<std::size_t /*gates*/, std::size_t /*depth*/,
+                         std::uint64_t /*seed*/, bool /*scenario II*/>;
+
+class PipelineSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  netlist::Netlist make_circuit() const {
+    const auto [gates, depth, seed, second] = GetParam();
+    (void)second;
+    netlist::GeneratorSpec spec;
+    spec.name = "sweep";
+    spec.num_inputs = 6;
+    spec.num_outputs = 3;
+    spec.num_dffs = 2;
+    spec.num_gates = gates;
+    spec.target_depth = depth;
+    spec.seed = seed;
+    spec.weight_not = 2.5;  // keep transitions alive at depth
+    spec.max_fanin = 3;
+    return netlist::generate_circuit(spec);
+  }
+  netlist::SourceStats scenario() const {
+    return std::get<3>(GetParam()) ? netlist::scenario_II() : netlist::scenario_I();
+  }
+};
+
+TEST_P(PipelineSweep, FourValueProbsValidEverywhere) {
+  const netlist::Netlist n = make_circuit();
+  const auto probs =
+      sigprob::propagate_four_value(n, std::vector{scenario().probs});
+  for (netlist::NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_TRUE(probs[id].is_valid(1e-9)) << n.node(id).name;
+  }
+}
+
+TEST_P(PipelineSweep, MomentAndNumericEnginesAgree) {
+  const netlist::Netlist n = make_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{scenario()};
+  const core::SpstaResult moment = core::run_spsta_moment(n, d, sc);
+  const core::SpstaNumericResult numeric = core::run_spsta_numeric(n, d, sc);
+  for (netlist::NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(numeric.node[id].rise.mass(), moment.node[id].rise.mass, 0.01)
+        << n.node(id).name;
+    if (moment.node[id].rise.mass > 0.02) {
+      EXPECT_NEAR(numeric.node[id].rise.mean(), moment.node[id].rise.arrival.mean, 0.25)
+          << n.node(id).name;
+    }
+  }
+}
+
+TEST_P(PipelineSweep, CanonicalMassesMatchMomentEngine) {
+  const netlist::Netlist n = make_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{scenario()};
+  const core::SpstaResult moment = core::run_spsta_moment(n, d, sc);
+  const core::SpstaCanonicalResult canon = core::run_spsta_canonical(n, d, sc);
+  for (netlist::NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(canon.node[id].rise.mass, moment.node[id].rise.mass, 1e-9);
+    EXPECT_NEAR(canon.node[id].fall.mass, moment.node[id].fall.mass, 1e-9);
+  }
+}
+
+TEST_P(PipelineSweep, SpstaTracksMonteCarloProbabilities) {
+  const netlist::Netlist n = make_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{scenario()};
+  const core::SpstaResult spsta = core::run_spsta_moment(n, d, sc);
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 8000;
+  cfg.seed = std::get<2>(GetParam()) ^ 0xABCDEF;
+  const auto mcr = mc::run_monte_carlo(n, d, sc, cfg);
+
+  double err = 0.0;
+  std::size_t count = 0;
+  for (netlist::NodeId id = 0; id < n.node_count(); ++id) {
+    if (!netlist::is_combinational(n.node(id).type)) continue;
+    err += std::abs(spsta.node[id].probs.final_one() -
+                    mcr.node[id].probs().final_one());
+    ++count;
+  }
+  // Mean absolute signal-probability error stays well inside the paper's
+  // 14.28% figure even on random reconvergent circuits.
+  EXPECT_LT(err / static_cast<double>(count), 0.06);
+}
+
+TEST_P(PipelineSweep, SpstaSigmaAtLeastAsGoodAsSstaOnExercisedEndpoints) {
+  const netlist::Netlist n = make_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{scenario()};
+  const core::SpstaResult spsta = core::run_spsta_moment(n, d, sc);
+  const ssta::SstaResult ssta_result = ssta::run_ssta(n, d, sc);
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 8000;
+  cfg.seed = std::get<2>(GetParam()) + 17;
+  const auto mcr = mc::run_monte_carlo(n, d, sc, cfg);
+
+  double spsta_err = 0.0, ssta_err = 0.0;
+  std::size_t count = 0;
+  for (netlist::NodeId ep : n.timing_endpoints()) {
+    if (mcr.node[ep].rise_time.count() < 400) continue;
+    const double mc_sig = mcr.node[ep].rise_time.stddev();
+    spsta_err += std::abs(spsta.node[ep].rise.arrival.stddev() - mc_sig);
+    ssta_err += std::abs(ssta_result.arrival[ep].rise.stddev() - mc_sig);
+    ++count;
+  }
+  if (count == 0) GTEST_SKIP() << "no exercised endpoints for this shape";
+  EXPECT_LE(spsta_err, ssta_err + 0.05 * static_cast<double>(count))
+      << "SPSTA sigma should track MC at least as well as SSTA";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(40, 120),
+                       ::testing::Values<std::size_t>(4, 7),
+                       ::testing::Values<std::uint64_t>(11, 29, 61),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace spsta

@@ -1,0 +1,61 @@
+// Tests for the CSV exporters.
+
+#include "report/csv.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+
+namespace spsta::report {
+namespace {
+
+TEST(Csv, DensitySeriesHeaderAndRows) {
+  const std::vector<std::string> names{"a", "b"};
+  const std::vector<stats::PiecewiseDensity> densities{
+      stats::PiecewiseDensity({0.0, 0.5, 3}, {1.0, 2.0, 1.0}),
+      stats::PiecewiseDensity({0.0, 0.5, 3}, {0.0, 1.0, 0.0})};
+  const std::string csv = density_csv(names, densities);
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1,0");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.5,2,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,1,0");
+}
+
+TEST(Csv, DensityMismatchThrows) {
+  const std::vector<std::string> names{"a"};
+  const std::vector<stats::PiecewiseDensity> densities;
+  std::ostringstream out;
+  EXPECT_THROW(write_density_csv(out, names, densities), std::invalid_argument);
+}
+
+TEST(Csv, YieldCurve) {
+  const std::vector<core::YieldPoint> curve{{1.0, 0.5}, {2.0, 0.9}};
+  std::ostringstream out;
+  write_yield_csv(out, curve);
+  EXPECT_EQ(out.str(), "period,yield\n1,0.5\n2,0.9\n");
+}
+
+TEST(Csv, NodeSummaryCoversAllNodes) {
+  const netlist::Netlist n = netlist::make_s27();
+  const core::SpstaNumericResult r = core::run_spsta_numeric(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  std::ostringstream out;
+  write_node_summary_csv(out, n, r);
+  std::size_t lines = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, n.node_count() + 1);  // header + one per node
+  EXPECT_NE(out.str().find("G17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spsta::report

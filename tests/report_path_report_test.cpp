@@ -1,0 +1,78 @@
+// Tests for the textual path reports.
+
+#include "report/path_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+
+namespace spsta::report {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist chain() {
+  Netlist n("chain");
+  NodeId prev = n.add_input("a");
+  prev = n.add_gate(GateType::Nand, "g1", {prev, prev});
+  prev = n.add_gate(GateType::Not, "g2", {prev});
+  n.mark_output(prev);
+  return n;
+}
+
+TEST(PathReport, StaBreakdownAndSlack) {
+  const Netlist n = chain();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const netlist::Path p = netlist::critical_path_to(n, n.find("g2"), d.means());
+  const std::string rpt = sta_path_report(n, d, p, 5.0);
+  EXPECT_NE(rpt.find("a (INPUT)"), std::string::npos);
+  EXPECT_NE(rpt.find("g1 (NAND)"), std::string::npos);
+  EXPECT_NE(rpt.find("g2 (NOT)"), std::string::npos);
+  EXPECT_NE(rpt.find("data arrival time   2.00"), std::string::npos);
+  EXPECT_NE(rpt.find("slack               3.00  (MET)"), std::string::npos);
+}
+
+TEST(PathReport, ViolationMarked) {
+  const Netlist n = chain();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const netlist::Path p = netlist::critical_path_to(n, n.find("g2"), d.means());
+  const std::string rpt = sta_path_report(n, d, p, 1.0);
+  EXPECT_NE(rpt.find("(VIOLATED)"), std::string::npos);
+}
+
+TEST(PathReport, StatisticalColumnsPresent) {
+  const Netlist n = netlist::make_s27();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  const ssta::SstaResult ssta_result = ssta::run_ssta(n, d, sc);
+  const core::SpstaResult spsta = core::run_spsta_moment(n, d, sc);
+  const netlist::Path p =
+      netlist::critical_path_to(n, n.timing_endpoints().front(), d.means());
+
+  const std::string rpt = statistical_path_report(n, p, ssta_result, spsta);
+  EXPECT_NE(rpt.find("SSTA rise mu"), std::string::npos);
+  EXPECT_NE(rpt.find("SPSTA P(r)"), std::string::npos);
+  // One row per path node plus header/underline.
+  std::size_t lines = 0;
+  for (char c : rpt) lines += c == '\n';
+  EXPECT_EQ(lines, p.nodes.size() + 2);
+}
+
+TEST(PathReport, CriticalPathConvenience) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const std::string rpt =
+      critical_path_report(n, netlist::DelayModel::unit(n), 10.0);
+  EXPECT_NE(rpt.find("critical path to"), std::string::npos);
+  EXPECT_NE(rpt.find("slack"), std::string::npos);
+}
+
+TEST(PathReport, EmptyDesign) {
+  Netlist n;
+  EXPECT_EQ(critical_path_report(n, netlist::DelayModel(n), 1.0),
+            "no timing endpoints\n");
+}
+
+}  // namespace
+}  // namespace spsta::report

@@ -1,0 +1,124 @@
+// Tests for the first-order correlation-aware signal probability engine
+// (paper Sec. 3.5): identities like Eq. 15, and the accuracy ordering
+//   independent <= correlated <= exact    on reconvergent logic.
+
+#include "sigprob/correlated.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+#include "sigprob/exact_bdd.hpp"
+#include "sigprob/signal_prob.hpp"
+
+namespace spsta::sigprob {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Correlated, MatchesIndependentOnTrees) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId g1 = n.add_gate(GateType::And, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::Nor, "g2", {g1, c});
+  n.mark_output(g2);
+
+  const std::vector<double> src{0.3, 0.6, 0.8};
+  const auto corr = propagate_correlated(n, src);
+  const auto indep = propagate_signal_probabilities(n, src);
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(corr.probability(id), indep[id], 1e-12) << n.node(id).name;
+  }
+}
+
+TEST(Correlated, Eq15ConjunctionOfIdenticalSignals) {
+  // y = a AND a must give P(y) = P(a): cov(a,a) = p(1-p) makes Eq. 15
+  // exact where the independent engine would return p^2.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, a});
+  const std::vector<double> src{0.3};
+  const auto corr = propagate_correlated(n, src);
+  EXPECT_NEAR(corr.probability(y), 0.3, 1e-12);
+  const auto indep = propagate_signal_probabilities(n, src);
+  EXPECT_NEAR(indep[y], 0.09, 1e-12);  // what independence would claim
+}
+
+TEST(Correlated, ContradictionIsZero) {
+  // y = a AND NOT a == 0: the correlation term cancels exactly.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId inv = n.add_gate(GateType::Not, "inv", {a});
+  const NodeId y = n.add_gate(GateType::And, "y", {a, inv});
+  const auto corr = propagate_correlated(n, std::vector<double>{0.5});
+  EXPECT_NEAR(corr.probability(y), 0.0, 1e-12);
+  EXPECT_NEAR(corr.probability(inv), 0.5, 1e-12);
+}
+
+TEST(Correlated, TautologyIsOne) {
+  // y = a OR NOT a == 1.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId inv = n.add_gate(GateType::Not, "inv", {a});
+  const NodeId y = n.add_gate(GateType::Or, "y", {a, inv});
+  const auto corr = propagate_correlated(n, std::vector<double>{0.3});
+  EXPECT_NEAR(corr.probability(y), 1.0, 1e-12);
+}
+
+TEST(Correlated, XorOfIdenticalSignalsIsZero) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId y = n.add_gate(GateType::Xor, "y", {a, a});
+  const auto corr = propagate_correlated(n, std::vector<double>{0.7});
+  EXPECT_NEAR(corr.probability(y), 0.0, 1e-12);
+}
+
+TEST(Correlated, FanoutBranchesFullyCorrelated) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b1 = n.add_gate(GateType::Buf, "b1", {a});
+  const NodeId b2 = n.add_gate(GateType::Buf, "b2", {a});
+  const auto corr = propagate_correlated(n, std::vector<double>{0.4});
+  EXPECT_NEAR(corr.correlation(b1, b2), 1.0, 1e-12);
+  EXPECT_NEAR(corr.covariance(b1, b2), 0.4 * 0.6, 1e-12);
+}
+
+TEST(Correlated, InverterBranchesAntiCorrelated) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b1 = n.add_gate(GateType::Buf, "b1", {a});
+  const NodeId b2 = n.add_gate(GateType::Not, "b2", {a});
+  const auto corr = propagate_correlated(n, std::vector<double>{0.4});
+  EXPECT_NEAR(corr.correlation(b1, b2), -1.0, 1e-12);
+}
+
+TEST(Correlated, ImprovesOverIndependentOnS27) {
+  const Netlist n = netlist::make_s27();
+  const std::vector<double> src{0.5};
+  const auto indep = propagate_signal_probabilities(n, src);
+  const auto corr = propagate_correlated(n, src);
+  const auto exact = exact_signal_probabilities(n, src);
+
+  double err_indep = 0.0, err_corr = 0.0;
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    ASSERT_TRUE(exact.probability[id].has_value());
+    err_indep += std::abs(indep[id] - *exact.probability[id]);
+    err_corr += std::abs(corr.probability(id) - *exact.probability[id]);
+  }
+  EXPECT_LE(err_corr, err_indep + 1e-9)
+      << "correlated engine should not be worse than independent overall";
+}
+
+TEST(Correlated, SourceMismatchThrows) {
+  const Netlist n = netlist::make_s27();
+  EXPECT_THROW((void)propagate_correlated(n, std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::sigprob

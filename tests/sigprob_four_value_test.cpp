@@ -1,0 +1,150 @@
+// Tests for four-value probability propagation (paper Eq. 9/10): closed
+// forms versus exact enumeration, the paper's literal AND formulas, and
+// netlist-wide invariants.
+
+#include "sigprob/four_value_prop.hpp"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+#include "sigprob/signal_prob.hpp"
+#include "stats/rng.hpp"
+
+namespace spsta::sigprob {
+namespace {
+
+using netlist::FourValueProbs;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+FourValueProbs random_probs(stats::Xoshiro256& rng) {
+  FourValueProbs p{rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+  return p.normalized();
+}
+
+void expect_probs_near(const FourValueProbs& a, const FourValueProbs& b, double tol) {
+  EXPECT_NEAR(a.p0, b.p0, tol);
+  EXPECT_NEAR(a.p1, b.p1, tol);
+  EXPECT_NEAR(a.pr, b.pr, tol);
+  EXPECT_NEAR(a.pf, b.pf, tol);
+}
+
+TEST(FourValueGate, PaperEquation10ForAnd) {
+  // The paper's Eq. 10 closed forms for a 2-input AND.
+  const FourValueProbs x1{0.1, 0.4, 0.3, 0.2};
+  const FourValueProbs x2{0.25, 0.25, 0.25, 0.25};
+  const FourValueProbs y = gate_four_value(GateType::And, std::vector{x1, x2});
+
+  const double p1 = x1.p1 * x2.p1;
+  const double pr = (x1.p1 + x1.pr) * (x2.p1 + x2.pr) - p1;
+  const double pf = (x1.p1 + x1.pf) * (x2.p1 + x2.pf) - p1;
+  EXPECT_NEAR(y.p1, p1, 1e-12);
+  EXPECT_NEAR(y.pr, pr, 1e-12);
+  EXPECT_NEAR(y.pf, pf, 1e-12);
+  EXPECT_NEAR(y.p0, 1.0 - p1 - pr - pf, 1e-12);
+}
+
+TEST(FourValueGate, NotSwapsZeroOneAndRiseFall) {
+  const FourValueProbs x{0.1, 0.2, 0.3, 0.4};
+  const FourValueProbs y = gate_four_value(GateType::Not, std::vector{x});
+  EXPECT_DOUBLE_EQ(y.p0, 0.2);
+  EXPECT_DOUBLE_EQ(y.p1, 0.1);
+  EXPECT_DOUBLE_EQ(y.pr, 0.4);
+  EXPECT_DOUBLE_EQ(y.pf, 0.3);
+}
+
+TEST(FourValueGate, Constants) {
+  const FourValueProbs c0 = gate_four_value(GateType::Const0, {});
+  EXPECT_DOUBLE_EQ(c0.p0, 1.0);
+  const FourValueProbs c1 = gate_four_value(GateType::Const1, {});
+  EXPECT_DOUBLE_EQ(c1.p1, 1.0);
+}
+
+TEST(FourValueGate, GlitchMassGoesToConstants) {
+  // Inputs always switching in opposite directions: AND output is always
+  // 0 (the glitch is filtered), never a transition.
+  const FourValueProbs rise_only{0.0, 0.0, 1.0, 0.0};
+  const FourValueProbs fall_only{0.0, 0.0, 0.0, 1.0};
+  const FourValueProbs y =
+      gate_four_value(GateType::And, std::vector{rise_only, fall_only});
+  EXPECT_NEAR(y.p0, 1.0, 1e-12);
+  EXPECT_NEAR(y.pr + y.pf, 0.0, 1e-12);
+}
+
+// Closed form vs exact enumeration for every gate type, fanin and seed.
+class FourValueSweep
+    : public ::testing::TestWithParam<std::tuple<GateType, std::size_t, std::uint64_t>> {};
+
+TEST_P(FourValueSweep, ClosedFormEqualsEnumeration) {
+  const auto [type, fanin, seed] = GetParam();
+  stats::Xoshiro256 rng(seed);
+  std::vector<FourValueProbs> inputs(fanin);
+  for (auto& p : inputs) p = random_probs(rng);
+  const FourValueProbs closed = gate_four_value(type, inputs);
+  const FourValueProbs exact = gate_four_value_enumerated(type, inputs);
+  expect_probs_near(closed, exact, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, FourValueSweep,
+    ::testing::Combine(::testing::Values(GateType::And, GateType::Nand, GateType::Or,
+                                         GateType::Nor, GateType::Xor, GateType::Xnor,
+                                         GateType::Not, GateType::Buf),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 9, 42)));
+
+TEST(FourValuePropagation, AllNodesValidOnSuiteCircuit) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const std::vector<FourValueProbs> src{netlist::scenario_I().probs};
+  const auto probs = propagate_four_value(n, src);
+  ASSERT_EQ(probs.size(), n.node_count());
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_TRUE(probs[id].is_valid(1e-9)) << n.node(id).name;
+  }
+}
+
+TEST(FourValuePropagation, StationaryInputsStayStationary) {
+  // With cycle-stationary sources (initial-one prob == final-one prob),
+  // every internal net is stationary too: P(initial 1) == P(final 1).
+  const Netlist n = netlist::make_s27();
+  const std::vector<FourValueProbs> src{netlist::scenario_I().probs};
+  const auto probs = propagate_four_value(n, src);
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(probs[id].initial_one(), probs[id].final_one(), 1e-12)
+        << n.node(id).name;
+  }
+}
+
+TEST(FourValuePropagation, FinalOneMatchesTwoValueEngine) {
+  // P(final = 1) from the four-value engine must equal the classical
+  // signal probability computed on the final-value marginals.
+  const Netlist n = netlist::make_paper_circuit("s344");
+  const netlist::SourceStats sc = netlist::scenario_II();
+  const std::vector<FourValueProbs> src{sc.probs};
+  const auto probs = propagate_four_value(n, src);
+
+  const std::vector<double> final_probs =
+      sigprob::propagate_signal_probabilities(n, std::vector<double>{sc.probs.final_one()});
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(probs[id].final_one(), final_probs[id], 1e-9) << n.node(id).name;
+  }
+}
+
+TEST(FourValuePropagation, SourceMismatchThrows) {
+  const Netlist n = netlist::make_s27();
+  std::vector<FourValueProbs> two(2, netlist::scenario_I().probs);
+  EXPECT_THROW((void)propagate_four_value(n, two), std::invalid_argument);
+}
+
+TEST(FourValueEnumeration, RejectsWideGates) {
+  std::vector<FourValueProbs> wide(13, netlist::scenario_I().probs);
+  EXPECT_THROW((void)gate_four_value_enumerated(GateType::And, wide),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::sigprob

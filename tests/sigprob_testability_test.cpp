@@ -1,0 +1,156 @@
+// Tests for COP testability analysis, validated against Monte Carlo
+// stuck-at fault simulation.
+
+#include "sigprob/testability.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+#include "netlist/levelize.hpp"
+#include "stats/rng.hpp"
+
+namespace spsta::sigprob {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Testability, EndpointsFullyObservable) {
+  const Netlist n = netlist::make_s27();
+  const TestabilityResult t = analyze_testability(n, std::vector<double>{0.5});
+  for (NodeId ep : n.timing_endpoints()) {
+    EXPECT_DOUBLE_EQ(t.observability[ep], 1.0) << n.node(ep).name;
+  }
+}
+
+TEST(Testability, BufferChainPassesObservabilityThrough) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 3; ++i) {
+    prev = n.add_gate(GateType::Not, "g" + std::to_string(i), {prev});
+  }
+  n.mark_output(prev);
+  const TestabilityResult t = analyze_testability(n, std::vector<double>{0.5});
+  EXPECT_DOUBLE_EQ(t.observability[n.find("a")], 1.0);
+  EXPECT_DOUBLE_EQ(t.detect_sa0[n.find("a")], 0.5);
+  EXPECT_DOUBLE_EQ(t.detect_sa1[n.find("a")], 0.5);
+}
+
+TEST(Testability, AndSideInputGatesObservability) {
+  // A change on `a` reaches the output only when b = 1.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  n.mark_output(y);
+  const std::vector<double> probs{0.5, 0.3};
+  const TestabilityResult t = analyze_testability(n, probs);
+  EXPECT_NEAR(t.observability[a], 0.3, 1e-12);
+  EXPECT_NEAR(t.observability[b], 0.5, 1e-12);
+  // Stuck-at-1 at a: needs a=0 (p=0.5) and observation (0.3).
+  EXPECT_NEAR(t.detect_sa1[a], 0.5 * 0.3, 1e-12);
+}
+
+TEST(Testability, MultipleObservationPathsCombine) {
+  // a observed through two independent cones: O = 1 - (1-O1)(1-O2).
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId y1 = n.add_gate(GateType::And, "y1", {a, b});
+  const NodeId y2 = n.add_gate(GateType::And, "y2", {a, c});
+  n.mark_output(y1);
+  n.mark_output(y2);
+  const TestabilityResult t = analyze_testability(n, std::vector<double>{0.5});
+  EXPECT_NEAR(t.observability[a], 1.0 - 0.5 * 0.5, 1e-12);
+}
+
+TEST(Testability, HardFaultsListAndCoverage) {
+  // A 6-input AND: stuck-at-1 at the output needs all-ones minus... the
+  // output itself is observable, but sa0 at the output needs P(y=1) =
+  // 2^-6 — a classic random-pattern-resistant fault.
+  Netlist n;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 6; ++i) ins.push_back(n.add_input("i" + std::to_string(i)));
+  const NodeId y = n.add_gate(GateType::And, "y", ins);
+  n.mark_output(y);
+  const TestabilityResult t = analyze_testability(n, std::vector<double>{0.5});
+  EXPECT_NEAR(t.detect_sa0[y], 1.0 / 64.0, 1e-12);
+  const auto hard = t.hard_faults(0.05);
+  EXPECT_FALSE(hard.empty());
+  // Coverage grows with vector count and saturates.
+  const double c16 = t.expected_coverage(16);
+  const double c256 = t.expected_coverage(256);
+  EXPECT_LT(c16, c256);
+  EXPECT_LE(c256, 1.0);
+  EXPECT_GT(c256, 0.9);
+}
+
+// Oracle: Monte Carlo stuck-at fault simulation on a tree circuit (COP is
+// exact without reconvergence).
+TEST(Testability, MatchesFaultSimulationOnTree) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId d = n.add_input("d");
+  const NodeId g1 = n.add_gate(GateType::Nand, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::Or, "g2", {c, d});
+  const NodeId g3 = n.add_gate(GateType::And, "g3", {g1, g2});
+  n.mark_output(g3);
+
+  const TestabilityResult t = analyze_testability(n, std::vector<double>{0.5});
+
+  const netlist::Levelization lv = netlist::levelize(n);
+  const auto sources = n.timing_sources();
+  const auto simulate = [&](const std::vector<bool>& sv,
+                            NodeId fault_site, int fault_value) -> bool {
+    std::vector<bool> value(n.node_count(), false);
+    for (std::size_t i = 0; i < sources.size(); ++i) value[sources[i]] = sv[i];
+    for (NodeId id : lv.order) {
+      const netlist::Node& node = n.node(id);
+      if (netlist::is_combinational(node.type)) {
+        bool arr[8];
+        std::size_t k = 0;
+        for (NodeId f : node.fanins) arr[k++] = value[f];
+        value[id] = netlist::eval_gate(node.type, std::span<const bool>(arr, k));
+      }
+      if (id == fault_site && fault_value >= 0) value[id] = fault_value != 0;
+    }
+    return static_cast<bool>(value[g3]);  // copy out of the proxy before `value` dies
+  };
+
+  stats::Xoshiro256 rng(404);
+  constexpr int kVectors = 60000;
+  for (NodeId site : {a, b, g1, g2}) {
+    int detect0 = 0, detect1 = 0;
+    for (int v = 0; v < kVectors; ++v) {
+      std::vector<bool> sv(sources.size());
+      for (std::size_t i = 0; i < sv.size(); ++i) sv[i] = rng.bernoulli(0.5);
+      const bool good = simulate(sv, netlist::kInvalidNode, -1);
+      if (simulate(sv, site, 0) != good) ++detect0;
+      if (simulate(sv, site, 1) != good) ++detect1;
+    }
+    EXPECT_NEAR(t.detect_sa0[site], static_cast<double>(detect0) / kVectors, 0.01)
+        << n.node(site).name;
+    EXPECT_NEAR(t.detect_sa1[site], static_cast<double>(detect1) / kVectors, 0.01)
+        << n.node(site).name;
+  }
+}
+
+TEST(Testability, SuiteCircuitSanity) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const TestabilityResult t = analyze_testability(n, std::vector<double>{0.5});
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_GE(t.observability[id], 0.0);
+    EXPECT_LE(t.observability[id], 1.0);
+    EXPECT_LE(t.detect_sa0[id], t.observability[id] + 1e-12);
+  }
+  EXPECT_GT(t.expected_coverage(1000), 0.5);
+}
+
+}  // namespace
+}  // namespace spsta::sigprob

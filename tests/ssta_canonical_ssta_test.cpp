@@ -1,0 +1,195 @@
+// Tests for parameterized canonical SSTA with die-to-die / per-type /
+// residual variance decomposition.
+
+#include "ssta/canonical_ssta.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas89.hpp"
+#include "ssta/ssta.hpp"
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+namespace spsta::ssta {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist buffer_chain(int length) {
+  Netlist n("chain");
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < length; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  n.mark_output(prev);
+  return n;
+}
+
+TEST(CanonicalSsta, FullyGlobalVariationAddsLinearly) {
+  // With 100% die-to-die variance, delays are perfectly correlated:
+  // sigma of an L-stage chain is L*sigma_gate, not sqrt(L)*sigma_gate.
+  const int kLength = 9;
+  const Netlist n = buffer_chain(kLength);
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.1);
+  netlist::SourceStats sc;
+  sc.rise_arrival = {0.0, 0.0};
+  sc.fall_arrival = {0.0, 0.0};
+
+  VariationModel fully_global;
+  fully_global.global_fraction = 1.0;
+  const CanonicalSstaResult global =
+      run_canonical_ssta(n, d, std::vector{sc}, fully_global);
+
+  VariationModel fully_random;
+  fully_random.global_fraction = 0.0;
+  const CanonicalSstaResult random =
+      run_canonical_ssta(n, d, std::vector{sc}, fully_random);
+
+  const NodeId ep = n.timing_endpoints().front();
+  EXPECT_NEAR(std::sqrt(global.arrival[ep].rise.variance()), kLength * 0.1, 1e-9);
+  EXPECT_NEAR(std::sqrt(random.arrival[ep].rise.variance()),
+              std::sqrt(double(kLength)) * 0.1, 1e-9);
+  EXPECT_NEAR(global.arrival[ep].rise.mean(), double(kLength), 1e-9);
+}
+
+TEST(CanonicalSsta, MatchesPlainSstaMomentsOnTreeCircuits) {
+  // On a tree (no reconvergence, distinct sources per cone) with purely
+  // random delay variance, nothing is shared, so the canonical engine's
+  // moments equal plain SSTA's exactly. (On reconvergent circuits they
+  // differ *by design*: the canonical engine keeps the source-arrival
+  // correlation plain SSTA's cov=0 Clark discards.)
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId d1 = n.add_input("d");
+  const NodeId g1 = n.add_gate(GateType::Nand, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::Nor, "g2", {c, d1});
+  const NodeId g3 = n.add_gate(GateType::And, "g3", {g1, g2});
+  n.mark_output(g3);
+
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.05);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+
+  VariationModel fully_random;
+  fully_random.global_fraction = 0.0;
+  const CanonicalSstaResult canon = run_canonical_ssta(n, d, sc, fully_random);
+  const SstaResult plain = run_ssta(n, d, sc);
+
+  for (NodeId id : {g1, g2, g3}) {
+    EXPECT_NEAR(canon.arrival[id].rise.mean(), plain.arrival[id].rise.mean, 1e-9);
+    EXPECT_NEAR(canon.arrival[id].rise.variance(), plain.arrival[id].rise.var, 1e-9);
+    EXPECT_NEAR(canon.arrival[id].fall.mean(), plain.arrival[id].fall.mean, 1e-9);
+  }
+}
+
+TEST(CanonicalSsta, ReconvergenceBeatsPlainSstaAgainstMc) {
+  // Shared source, always-rising inputs: true arrival at y is a+2 exactly.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b1 = n.add_gate(GateType::Buf, "b1", {a});
+  const NodeId b2 = n.add_gate(GateType::Buf, "b2", {a});
+  const NodeId y = n.add_gate(GateType::And, "y", {b1, b2});
+  n.mark_output(y);
+
+  netlist::SourceStats sc;
+  sc.probs = {0.0, 0.0, 1.0, 0.0};
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const CanonicalSstaResult canon = run_canonical_ssta(n, d, std::vector{sc});
+  const SstaResult plain = run_ssta(n, d, std::vector{sc});
+
+  EXPECT_NEAR(canon.arrival[y].rise.mean(), 2.0, 1e-9);
+  EXPECT_NEAR(canon.arrival[y].rise.variance(), 1.0, 1e-9);
+  EXPECT_GT(plain.arrival[y].rise.mean, 2.3);  // Clark-on-iid artifact
+}
+
+TEST(CanonicalSsta, GlobalVariationRaisesEndpointCorrelation) {
+  const Netlist n = netlist::make_paper_circuit("s344");
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.1);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+
+  VariationModel none;
+  none.global_fraction = 0.0;
+  VariationModel heavy;
+  heavy.global_fraction = 0.9;
+  const CanonicalSstaResult uncorr = run_canonical_ssta(n, d, sc, none);
+  const CanonicalSstaResult corr = run_canonical_ssta(n, d, sc, heavy);
+
+  const auto eps = n.timing_endpoints();
+  ASSERT_GE(eps.size(), 2u);
+  EXPECT_GT(corr.rise_correlation(eps[0], eps[1]),
+            uncorr.rise_correlation(eps[0], eps[1]) + 0.1);
+}
+
+TEST(CanonicalSsta, TracksMonteCarloUnderGlobalVariation) {
+  // MC with a genuinely shared delay scale: sample one global factor per
+  // run, shift all delays, simulate. The canonical engine should predict
+  // the endpoint sigma far better than plain SSTA (which has no notion of
+  // shared variation and treats delay sigma as independent per gate).
+  const Netlist n = buffer_chain(6);
+  netlist::SourceStats sc;
+  sc.probs = {0.0, 0.0, 1.0, 0.0};
+  sc.rise_arrival = {0.0, 0.0};
+
+  const double sigma = 0.12;
+  VariationModel fully_global;
+  fully_global.global_fraction = 1.0;
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, sigma);
+  const CanonicalSstaResult canon =
+      run_canonical_ssta(n, d, std::vector{sc}, fully_global);
+
+  // Hand-rolled MC with a shared delay delta.
+  stats::Xoshiro256 rng(2);
+  stats::RunningMoments mom;
+  for (int run = 0; run < 100000; ++run) {
+    const double delta = rng.normal(0.0, sigma);
+    mom.add(6.0 * (1.0 + delta));
+  }
+  const NodeId ep = n.timing_endpoints().front();
+  EXPECT_NEAR(canon.arrival[ep].rise.mean(), mom.mean(), 0.01);
+  EXPECT_NEAR(std::sqrt(canon.arrival[ep].rise.variance()), mom.stddev(), 0.01);
+}
+
+TEST(CanonicalSsta, PerTypeParametersCorrelateSameTypeGates) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId g1 = n.add_gate(GateType::Nand, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::Nand, "g2", {a, b});
+  const NodeId g3 = n.add_gate(GateType::Nor, "g3", {a, b});
+  n.mark_output(g1);
+  n.mark_output(g2);
+  n.mark_output(g3);
+
+  netlist::SourceStats sc;
+  sc.rise_arrival = {0.0, 0.0};
+  sc.fall_arrival = {0.0, 0.0};
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.1);
+  VariationModel vm;
+  vm.global_fraction = 0.0;
+  vm.per_type_fraction = 1.0;
+  const CanonicalSstaResult r = run_canonical_ssta(n, d, std::vector{sc}, vm);
+  EXPECT_NEAR(r.rise_correlation(g1, g2), 1.0, 1e-9);   // same type
+  EXPECT_NEAR(r.rise_correlation(g1, g3), 0.0, 1e-9);   // different type
+}
+
+TEST(CanonicalSsta, Validation) {
+  const Netlist n = netlist::make_s27();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  VariationModel bad;
+  bad.global_fraction = 0.8;
+  bad.per_type_fraction = 0.5;
+  EXPECT_THROW(
+      (void)run_canonical_ssta(n, d, std::vector{netlist::scenario_I()}, bad),
+      std::invalid_argument);
+  EXPECT_THROW((void)run_canonical_ssta(n, d, std::vector<netlist::SourceStats>(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::ssta

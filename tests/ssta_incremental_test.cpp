@@ -1,0 +1,146 @@
+// Tests for incremental SSTA: results must match a from-scratch run after
+// any sequence of updates, while visiting only the affected cone.
+
+#include "ssta/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+#include "stats/rng.hpp"
+
+namespace spsta::ssta {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+void expect_same(const std::vector<NodeArrival>& a, const SstaResult& b,
+                 const Netlist& n) {
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(a[id].rise.mean, b.arrival[id].rise.mean, 1e-12) << n.node(id).name;
+    EXPECT_NEAR(a[id].rise.var, b.arrival[id].rise.var, 1e-12) << n.node(id).name;
+    EXPECT_NEAR(a[id].fall.mean, b.arrival[id].fall.mean, 1e-12) << n.node(id).name;
+    EXPECT_NEAR(a[id].fall.var, b.arrival[id].fall.var, 1e-12) << n.node(id).name;
+  }
+}
+
+TEST(IncrementalSsta, InitialStateMatchesBatch) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  IncrementalSsta inc(n, d, sc);
+  expect_same(inc.flush(), run_ssta(n, d, sc), n);
+  EXPECT_EQ(inc.nodes_reevaluated(), 0u);  // nothing dirtied yet
+}
+
+TEST(IncrementalSsta, DelayUpdateMatchesBatch) {
+  const Netlist n = netlist::make_paper_circuit("s344");
+  netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  IncrementalSsta inc(n, d, sc);
+
+  // Slow down one mid-circuit gate.
+  NodeId target = netlist::kInvalidNode;
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    if (netlist::is_combinational(n.node(id).type) && !n.node(id).fanouts.empty()) {
+      target = id;
+      break;
+    }
+  }
+  ASSERT_NE(target, netlist::kInvalidNode);
+  inc.set_delay(target, {2.5, 0.09});
+  d.set_delay(target, {2.5, 0.09});
+  expect_same(inc.flush(), run_ssta(n, d, sc), n);
+}
+
+TEST(IncrementalSsta, UpdateVisitsOnlyFanoutCone) {
+  const Netlist n = netlist::make_paper_circuit("s1196");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  IncrementalSsta inc(n, d, sc);
+
+  // Change a gate near the outputs: only a small cone should re-evaluate.
+  const NodeId deep = n.timing_endpoints().front();
+  inc.set_delay(deep, {1.5, 0.0});
+  (void)inc.flush();
+  EXPECT_GT(inc.nodes_reevaluated(), 0u);
+  EXPECT_LT(inc.nodes_reevaluated(), n.node_count() / 4)
+      << "incremental update should touch a small fraction of "
+      << n.node_count() << " nodes";
+}
+
+TEST(IncrementalSsta, NoopUpdateReevaluatesNothing) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  IncrementalSsta inc(n, d, std::vector{netlist::scenario_I()});
+  const NodeId some_gate = n.timing_endpoints().front();
+  inc.set_delay(some_gate, d.delay(some_gate));  // unchanged value
+  (void)inc.flush();
+  EXPECT_EQ(inc.nodes_reevaluated(), 0u);
+}
+
+TEST(IncrementalSsta, SourceArrivalUpdateMatchesBatch) {
+  const Netlist n = netlist::make_paper_circuit("s386");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  std::vector<netlist::SourceStats> sc(n.timing_sources().size(),
+                                       netlist::scenario_I());
+  IncrementalSsta inc(n, d, sc);
+
+  inc.set_source_arrival(2, {0.5, 2.0}, {-0.5, 0.5});
+  sc[2].rise_arrival = {0.5, 2.0};
+  sc[2].fall_arrival = {-0.5, 0.5};
+  expect_same(inc.flush(), run_ssta(n, d, sc), n);
+}
+
+TEST(IncrementalSsta, RandomUpdateSequenceStaysConsistent) {
+  const Netlist n = netlist::make_paper_circuit("s526");
+  netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  IncrementalSsta inc(n, d, sc);
+
+  stats::Xoshiro256 rng(606);
+  std::vector<NodeId> gates;
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    if (netlist::is_combinational(n.node(id).type)) gates.push_back(id);
+  }
+  for (int step = 0; step < 25; ++step) {
+    const NodeId g = gates[rng.uniform_index(gates.size())];
+    const stats::Gaussian delay{rng.uniform(0.5, 2.0), rng.uniform(0.0, 0.1)};
+    inc.set_delay(g, delay);
+    d.set_delay(g, delay);
+    if (step % 5 == 4) {  // interleave queries with updates
+      expect_same(inc.flush(), run_ssta(n, d, sc), n);
+    }
+  }
+  expect_same(inc.flush(), run_ssta(n, d, sc), n);
+  // The incremental engine must have done less work than 25 full passes.
+  EXPECT_LT(inc.nodes_reevaluated(), 25u * n.node_count());
+}
+
+TEST(IncrementalSsta, ArrivalQueryTriggersLazyUpdate) {
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  IncrementalSsta inc(n, d, std::vector{netlist::scenario_I()});
+  const NodeId ep = n.timing_endpoints().front();
+  const double before = inc.arrival(ep).rise.mean;
+  // Make every gate slower through the endpoint's fanin.
+  inc.set_delay(ep, {3.0, 0.0});
+  const double after = inc.arrival(ep).rise.mean;
+  EXPECT_NEAR(after, before + 2.0, 1e-9);
+}
+
+TEST(IncrementalSsta, Validation) {
+  const Netlist n = netlist::make_s27();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  IncrementalSsta inc(n, d, std::vector{netlist::scenario_I()});
+  EXPECT_THROW(inc.set_delay(static_cast<NodeId>(9999), {1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(inc.set_source_arrival(99, {0.0, 1.0}, {0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((IncrementalSsta(n, d, std::vector<netlist::SourceStats>(3))),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::ssta

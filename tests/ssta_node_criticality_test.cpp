@@ -1,0 +1,111 @@
+// Tests for block-based SSTA node criticality (tightness cascade).
+
+#include "ssta/node_criticality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+
+namespace spsta::ssta {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(NodeCriticality, ChainIsFullyCritical) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 4; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  n.mark_output(prev);
+  const NodeCriticality r = compute_node_criticality(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_NEAR(r.criticality[id], 1.0, 1e-9) << n.node(id).name;
+  }
+  EXPECT_NEAR(r.endpoint_criticality[prev], 1.0, 1e-9);
+}
+
+TEST(NodeCriticality, DominantBranchTakesTheCredit) {
+  // Long branch dominates the AND's rise merge: its nodes carry ~all the
+  // criticality, the short branch almost none.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId s1 = n.add_gate(GateType::Buf, "s1", {b});
+  NodeId chain = a;
+  for (int i = 0; i < 5; ++i) {
+    chain = n.add_gate(GateType::Buf, "c" + std::to_string(i), {chain});
+  }
+  const NodeId y = n.add_gate(GateType::And, "y", {s1, chain});
+  n.mark_output(y);
+
+  const NodeCriticality r = compute_node_criticality(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  EXPECT_NEAR(r.criticality[y], 1.0, 1e-9);
+  EXPECT_GT(r.criticality[chain], 0.95);
+  EXPECT_LT(r.criticality[s1], 0.05);
+  // The split is conserved at the merge.
+  EXPECT_NEAR(r.criticality[chain] + r.criticality[s1], 1.0, 1e-9);
+}
+
+TEST(NodeCriticality, BalancedMergeSplitsEvenly) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId p1 = n.add_gate(GateType::Buf, "p1", {a});
+  const NodeId p2 = n.add_gate(GateType::Buf, "p2", {b});
+  const NodeId y = n.add_gate(GateType::And, "y", {p1, p2});
+  n.mark_output(y);
+  const NodeCriticality r = compute_node_criticality(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  EXPECT_NEAR(r.criticality[p1], 0.5, 1e-9);
+  EXPECT_NEAR(r.criticality[p2], 0.5, 1e-9);
+}
+
+TEST(NodeCriticality, EndpointSeedsSumToOne) {
+  const Netlist n = netlist::make_paper_circuit("s344");
+  const NodeCriticality r = compute_node_criticality(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  double total = 0.0;
+  for (NodeId ep : n.timing_endpoints()) total += r.endpoint_criticality[ep];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_GE(r.criticality[id], 0.0);
+    EXPECT_LE(r.criticality[id], 1.0 + 1e-9);
+  }
+}
+
+TEST(NodeCriticality, InverterCrossesLanes) {
+  // Through a NOT, the output's rise criticality lands on the fanin (its
+  // fall lane) — same scalar per node, but the flow must not be lost.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId inv = n.add_gate(GateType::Not, "inv", {a});
+  const NodeId buf = n.add_gate(GateType::Buf, "out", {inv});
+  n.mark_output(buf);
+  const NodeCriticality r = compute_node_criticality(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  EXPECT_NEAR(r.criticality[a], 1.0, 1e-9);
+  EXPECT_NEAR(r.criticality[inv], 1.0, 1e-9);
+}
+
+TEST(NodeCriticality, SourceCriticalitiesConserveEndpointMass) {
+  // Total criticality over timing sources equals 1 (every critical path
+  // starts at some source) on any single-endpoint circuit.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId g1 = n.add_gate(GateType::Nand, "g1", {a, b});
+  const NodeId y = n.add_gate(GateType::Nor, "y", {g1, c});
+  n.mark_output(y);
+  const NodeCriticality r = compute_node_criticality(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  EXPECT_NEAR(r.criticality[a] + r.criticality[b] + r.criticality[c], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spsta::ssta

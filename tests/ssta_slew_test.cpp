@@ -1,0 +1,116 @@
+// Tests for slew propagation and slew-aware delays.
+
+#include "ssta/slew.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas89.hpp"
+
+namespace spsta::ssta {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Slew, SingleGateLinearModel) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  n.mark_output(y);
+
+  SlewModel model;
+  SlewCell cell;
+  cell.d0 = 1.0;
+  cell.d_slew = 0.2;
+  cell.d_load = 0.1;
+  cell.s0 = 0.3;
+  cell.s_slew = 0.4;
+  cell.s_load = 0.05;
+  model.set_default(cell);
+
+  // Worst fanin slew is max(0.5, 0.8) = 0.8; y has zero fanouts.
+  const std::vector<double> slews{0.5, 0.8};
+  const SlewResult r = propagate_slews(n, model, slews);
+  EXPECT_DOUBLE_EQ(r.slew[y], 0.3 + 0.4 * 0.8);
+  EXPECT_DOUBLE_EQ(r.delay[y], 1.0 + 0.2 * 0.8);
+}
+
+TEST(Slew, ChainConvergesToFixedPoint) {
+  // slew_{k+1} = s0 + s_slew * slew_k converges to s0/(1-s_slew).
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 40; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  n.mark_output(prev);
+
+  SlewModel model;
+  SlewCell cell;
+  cell.s0 = 0.2;
+  cell.s_slew = 0.5;
+  cell.s_load = 0.0;
+  model.set_default(cell);
+
+  const SlewResult r = propagate_slews(n, model, std::vector<double>{3.0});
+  EXPECT_NEAR(r.slew[prev], 0.2 / (1.0 - 0.5), 1e-9);
+}
+
+TEST(Slew, DegradedSlewSlowsDownstreamGates) {
+  // A big fanout node degrades slew, making the *next* stage slower.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId hub = n.add_gate(GateType::Buf, "hub", {a});
+  std::vector<NodeId> sinks;
+  for (int i = 0; i < 8; ++i) {
+    sinks.push_back(n.add_gate(GateType::Not, "s" + std::to_string(i), {hub}));
+  }
+  const NodeId lone = n.add_gate(GateType::Buf, "lone", {a});
+  const NodeId after_hub = n.add_gate(GateType::Not, "after_hub", {sinks[0]});
+  const NodeId after_lone = n.add_gate(GateType::Not, "after_lone", {lone});
+  n.mark_output(after_hub);
+  n.mark_output(after_lone);
+
+  SlewModel model;  // defaults: s_load = 0.1, d_slew = 0.1
+  const SlewResult r = propagate_slews(n, model, std::vector<double>{0.2});
+  EXPECT_GT(r.slew[hub], r.slew[lone]);           // 8 fanouts vs 1
+  EXPECT_GT(r.delay[sinks[0]], r.delay[after_lone]);
+}
+
+TEST(Slew, PerTypeCellsOverrideDefault) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId g1 = n.add_gate(GateType::Nand, "g1", {a, a});
+  const NodeId g2 = n.add_gate(GateType::Nor, "g2", {a, a});
+  n.mark_output(g1);
+  n.mark_output(g2);
+
+  SlewModel model;
+  SlewCell fast;
+  fast.d0 = 0.5;
+  model.set_cell(GateType::Nand, fast);
+  const SlewResult r = propagate_slews(n, model, std::vector<double>{0.0});
+  EXPECT_LT(r.delay[g1], r.delay[g2]);  // NAND uses the fast cell
+}
+
+TEST(Slew, ToDelayModelFeedsEngines) {
+  const Netlist n = netlist::make_s27();
+  SlewModel model;
+  const SlewResult r = propagate_slews(n, model, std::vector<double>{0.3});
+  const netlist::DelayModel d = r.to_delay_model(n);
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_DOUBLE_EQ(d.delay(id).mean, r.delay[id]);
+    EXPECT_DOUBLE_EQ(d.delay(id).var, 0.0);
+  }
+}
+
+TEST(Slew, SourceMismatchThrows) {
+  const Netlist n = netlist::make_s27();
+  SlewModel model;
+  EXPECT_THROW((void)propagate_slews(n, model, std::vector<double>{0.1, 0.2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::ssta

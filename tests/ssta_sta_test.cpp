@@ -1,0 +1,155 @@
+// Tests for deterministic (corner) STA: arrivals, required times, slack,
+// WNS/TNS and corner bounds.
+
+#include "ssta/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas89.hpp"
+
+namespace spsta::ssta {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist two_paths() {
+  // a -> s1 ----------+
+  //                   y (AND) -> PO
+  // a -> l1 -> l2 ----+
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId s1 = n.add_gate(GateType::Buf, "s1", {a});
+  const NodeId l1 = n.add_gate(GateType::Buf, "l1", {a});
+  const NodeId l2 = n.add_gate(GateType::Buf, "l2", {l1});
+  const NodeId y = n.add_gate(GateType::And, "y", {s1, l2});
+  n.mark_output(y);
+  return n;
+}
+
+TEST(Sta, ArrivalBoundsOnTwoPathCircuit) {
+  const Netlist n = two_paths();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const StaResult r = run_sta(n, d, 10.0);
+  const NodeId y = n.find("y");
+  EXPECT_DOUBLE_EQ(r.arrival[y].earliest, 2.0);  // via s1
+  EXPECT_DOUBLE_EQ(r.arrival[y].latest, 3.0);    // via l1, l2
+  EXPECT_DOUBLE_EQ(r.critical_delay, 3.0);
+}
+
+TEST(Sta, SlackAndWns) {
+  const Netlist n = two_paths();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const StaResult pass = run_sta(n, d, 5.0);
+  EXPECT_DOUBLE_EQ(pass.wns, 2.0);
+  EXPECT_DOUBLE_EQ(pass.tns, 0.0);
+  EXPECT_TRUE(pass.meets_timing());
+  EXPECT_DOUBLE_EQ(pass.slack[n.find("y")], 2.0);
+
+  const StaResult fail = run_sta(n, d, 2.5);
+  EXPECT_DOUBLE_EQ(fail.wns, -0.5);
+  EXPECT_DOUBLE_EQ(fail.tns, -0.5);
+  EXPECT_FALSE(fail.meets_timing());
+}
+
+TEST(Sta, RequiredTimesPropagateBackward) {
+  const Netlist n = two_paths();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const StaResult r = run_sta(n, d, 4.0);
+  // Through y (delay 1): required at its fanins is 3.
+  EXPECT_DOUBLE_EQ(r.required[n.find("s1")].latest, 3.0);
+  EXPECT_DOUBLE_EQ(r.required[n.find("l2")].latest, 3.0);
+  // Through the long branch: a must be ready by 4 - 1 - 1 - 1 = 1.
+  EXPECT_DOUBLE_EQ(r.required[n.find("a")].latest, 1.0);
+  // Slack along the long path is uniform (critical path property).
+  EXPECT_DOUBLE_EQ(r.slack[n.find("l1")], 1.0);
+  EXPECT_DOUBLE_EQ(r.slack[n.find("l2")], 1.0);
+  // The short branch has extra slack.
+  EXPECT_DOUBLE_EQ(r.slack[n.find("s1")], 2.0);
+}
+
+TEST(Sta, CriticalNodesFollowLongPath) {
+  const Netlist n = two_paths();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const StaResult r = run_sta(n, d, 3.0);  // exactly critical
+  const auto crit = critical_nodes(n, r);
+  // a, l1, l2, y are at worst slack 0; s1 has slack 1.
+  EXPECT_EQ(crit.size(), 4u);
+  for (NodeId id : crit) EXPECT_NE(id, n.find("s1"));
+}
+
+TEST(Sta, CornersWidenWithSigma) {
+  const Netlist n = two_paths();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.1);
+  const StaResult nominal = run_sta(n, d, 10.0, {0.0, {0.0, 0.0}});
+  const StaResult corner = run_sta(n, d, 10.0, {3.0, {0.0, 0.0}});
+  const NodeId y = n.find("y");
+  EXPECT_LT(corner.arrival[y].earliest, nominal.arrival[y].earliest);
+  EXPECT_GT(corner.arrival[y].latest, nominal.arrival[y].latest);
+  EXPECT_DOUBLE_EQ(corner.arrival[y].latest, 3.0 * (1.0 + 0.3));  // long path, late
+  EXPECT_DOUBLE_EQ(corner.arrival[y].earliest, 2.0 * 0.7);        // short path, early
+}
+
+TEST(Sta, SourceArrivalWindowShiftsEverything) {
+  const Netlist n = two_paths();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const StaResult r = run_sta(n, d, 10.0, {0.0, {-1.0, 2.0}});
+  const NodeId y = n.find("y");
+  EXPECT_DOUBLE_EQ(r.arrival[y].earliest, 1.0);
+  EXPECT_DOUBLE_EQ(r.arrival[y].latest, 5.0);
+}
+
+TEST(Sta, BoundsContainMonteCarloArrivals) {
+  // Property on a benchmark: 3-sigma corner STA with a 3-sigma source
+  // window must bound (essentially) every simulated arrival.
+  const Netlist n = netlist::make_paper_circuit("s344");
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.05);
+  const StaResult r = run_sta(n, d, 100.0, {4.0, {-4.0, 4.0}});
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 2000;
+  cfg.seed = 77;
+  const auto mcr = mc::run_monte_carlo(n, d, std::vector{netlist::scenario_I()}, cfg);
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    const auto& est = mcr.node[id];
+    if (est.rise_time.count() > 10) {
+      EXPECT_LE(est.rise_time.mean() + 3.0 * est.rise_time.stddev(),
+                r.arrival[id].latest + 1e-9)
+          << n.node(id).name;
+      EXPECT_GE(est.rise_time.mean() - 3.0 * est.rise_time.stddev(),
+                r.arrival[id].earliest - 1e-9)
+          << n.node(id).name;
+    }
+  }
+}
+
+TEST(Sta, HoldCheckUsesEarliestArrival) {
+  const Netlist n = two_paths();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  StaConfig cfg;
+  cfg.hold_time = 1.5;
+  const StaResult r = run_sta(n, d, 10.0, cfg);
+  // Earliest endpoint arrival is 2.0 (short path): hold slack 0.5.
+  EXPECT_DOUBLE_EQ(r.shortest_delay, 2.0);
+  EXPECT_DOUBLE_EQ(r.hold_wns, 0.5);
+  EXPECT_TRUE(r.meets_timing());
+
+  StaConfig tight = cfg;
+  tight.hold_time = 2.5;
+  const StaResult v = run_sta(n, d, 10.0, tight);
+  EXPECT_DOUBLE_EQ(v.hold_wns, -0.5);
+  EXPECT_FALSE(v.meets_timing());
+  EXPECT_DOUBLE_EQ(v.wns, 7.0);  // setup still fine
+}
+
+TEST(Sta, EmptyDesign) {
+  Netlist n;
+  const StaResult r = run_sta(n, netlist::DelayModel(n), 1.0);
+  EXPECT_EQ(r.wns, 0.0);
+  EXPECT_TRUE(r.meets_timing());
+}
+
+}  // namespace
+}  // namespace spsta::ssta

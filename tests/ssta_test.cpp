@@ -1,0 +1,154 @@
+// Tests for the block-based SSTA baseline: operation selection per gate
+// and direction, propagation identities, and agreement with Monte Carlo
+// in the always-switching regime where SSTA's assumption holds.
+
+#include "ssta/ssta.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas89.hpp"
+
+namespace spsta::ssta {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+using stats::Gaussian;
+
+TEST(ArrivalOp, MatchesTable1Semantics) {
+  // AND: rise -> MAX, fall -> MIN.
+  EXPECT_EQ(arrival_op(GateType::And, true), ArrivalOp::Max);
+  EXPECT_EQ(arrival_op(GateType::And, false), ArrivalOp::Min);
+  // OR: rise -> MIN, fall -> MAX.
+  EXPECT_EQ(arrival_op(GateType::Or, true), ArrivalOp::Min);
+  EXPECT_EQ(arrival_op(GateType::Or, false), ArrivalOp::Max);
+  // NAND: output rise comes from the first input fall -> MIN; fall from
+  // the last rise -> MAX.
+  EXPECT_EQ(arrival_op(GateType::Nand, true), ArrivalOp::Min);
+  EXPECT_EQ(arrival_op(GateType::Nand, false), ArrivalOp::Max);
+  // NOR: rise needs all inputs to fall -> MAX; fall from first rise -> MIN.
+  EXPECT_EQ(arrival_op(GateType::Nor, true), ArrivalOp::Max);
+  EXPECT_EQ(arrival_op(GateType::Nor, false), ArrivalOp::Min);
+}
+
+TEST(ArrivalOp, InputDirectionInversion) {
+  EXPECT_FALSE(inputs_inverted(GateType::And));
+  EXPECT_FALSE(inputs_inverted(GateType::Or));
+  EXPECT_TRUE(inputs_inverted(GateType::Nand));
+  EXPECT_TRUE(inputs_inverted(GateType::Nor));
+  EXPECT_TRUE(inputs_inverted(GateType::Not));
+}
+
+TEST(Ssta, BufferChainSumsDelays) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 3; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const SstaResult r =
+      run_ssta(n, netlist::DelayModel::unit(n), std::vector{sc});
+  EXPECT_NEAR(r.arrival[prev].rise.mean, 3.0, 1e-12);
+  EXPECT_NEAR(r.arrival[prev].rise.var, 1.0, 1e-12);  // source variance only
+}
+
+TEST(Ssta, InverterSwapsRiseAndFall) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId inv = n.add_gate(GateType::Not, "inv", {a});
+  netlist::SourceStats sc;
+  sc.rise_arrival = {1.0, 0.5};
+  sc.fall_arrival = {2.0, 0.25};
+  const SstaResult r = run_ssta(n, netlist::DelayModel::unit(n), std::vector{sc});
+  // Output rise comes from input fall (+1 delay).
+  EXPECT_NEAR(r.arrival[inv].rise.mean, 3.0, 1e-12);
+  EXPECT_NEAR(r.arrival[inv].rise.var, 0.25, 1e-12);
+  EXPECT_NEAR(r.arrival[inv].fall.mean, 2.0, 1e-12);
+  EXPECT_NEAR(r.arrival[inv].fall.var, 0.5, 1e-12);
+}
+
+TEST(Ssta, AndGateAppliesClark) {
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId y = n.add_gate(GateType::And, "y", {a, b});
+  const netlist::SourceStats sc = netlist::scenario_I();  // N(0,1) arrivals
+  const SstaResult r = run_ssta(n, netlist::DelayModel::unit(n), std::vector{sc});
+  const stats::ClarkResult expected_rise = stats::clark_max({0.0, 1.0}, {0.0, 1.0});
+  const stats::ClarkResult expected_fall = stats::clark_min({0.0, 1.0}, {0.0, 1.0});
+  EXPECT_NEAR(r.arrival[y].rise.mean, expected_rise.moments.mean + 1.0, 1e-12);
+  EXPECT_NEAR(r.arrival[y].rise.var, expected_rise.moments.var, 1e-12);
+  EXPECT_NEAR(r.arrival[y].fall.mean, expected_fall.moments.mean + 1.0, 1e-12);
+}
+
+TEST(Ssta, MinMaxShrinksVariance) {
+  // The paper's observation 3: repeated MIN/MAX shrinks sigma below the
+  // inputs' sigma.
+  const Netlist n = netlist::make_paper_circuit("s344");
+  const netlist::SourceStats sc = netlist::scenario_I();
+  const SstaResult r = run_ssta(n, netlist::DelayModel::unit(n), std::vector{sc});
+  double max_mean = -1e300;
+  NodeId deepest = netlist::kInvalidNode;
+  for (NodeId ep : n.timing_endpoints()) {
+    if (r.arrival[ep].rise.mean > max_mean) {
+      max_mean = r.arrival[ep].rise.mean;
+      deepest = ep;
+    }
+  }
+  ASSERT_NE(deepest, netlist::kInvalidNode);
+  EXPECT_LT(r.arrival[deepest].rise.stddev(), 1.0);  // below source sigma
+}
+
+TEST(Ssta, MatchesMonteCarloWhenAlwaysSwitching) {
+  // With every source always rising, AND-tree SSTA is the exact MAX
+  // recursion that the MC simulator realizes.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId b = n.add_input("b");
+  const NodeId c = n.add_input("c");
+  const NodeId d = n.add_input("d");
+  const NodeId g1 = n.add_gate(GateType::And, "g1", {a, b});
+  const NodeId g2 = n.add_gate(GateType::And, "g2", {c, d});
+  const NodeId g3 = n.add_gate(GateType::And, "g3", {g1, g2});
+  n.mark_output(g3);
+
+  netlist::SourceStats sc;
+  sc.probs = {0.0, 0.0, 1.0, 0.0};  // always rise
+  const SstaResult r = run_ssta(n, netlist::DelayModel::unit(n), std::vector{sc});
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 60000;
+  cfg.seed = 17;
+  const auto mcr =
+      mc::run_monte_carlo(n, netlist::DelayModel::unit(n), std::vector{sc}, cfg);
+  EXPECT_NEAR(r.arrival[g3].rise.mean, mcr.node[g3].rise_time.mean(), 0.02);
+  EXPECT_NEAR(r.arrival[g3].rise.stddev(), mcr.node[g3].rise_time.stddev(), 0.02);
+}
+
+TEST(Ssta, IgnoresInputProbabilities) {
+  // The baseline is input-statistics-oblivious: scenarios I and II give
+  // identical SSTA results (the paper's observation 1).
+  const Netlist n = netlist::make_paper_circuit("s386");
+  const SstaResult r1 =
+      run_ssta(n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()});
+  const SstaResult r2 =
+      run_ssta(n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_II()});
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_EQ(r1.arrival[id].rise, r2.arrival[id].rise);
+    EXPECT_EQ(r1.arrival[id].fall, r2.arrival[id].fall);
+  }
+}
+
+TEST(Ssta, SourceMismatchThrows) {
+  const Netlist n = netlist::make_s27();
+  EXPECT_THROW(
+      (void)run_ssta(n, netlist::DelayModel::unit(n), std::vector<netlist::SourceStats>(3)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spsta::ssta

@@ -1,0 +1,133 @@
+// Tests for the Gaussian value type and Clark MAX/MIN moment matching
+// (paper Eq. 2 and Eq. 4), validated against Monte Carlo sampling.
+
+#include "stats/gaussian.hpp"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+namespace spsta::stats {
+namespace {
+
+TEST(Gaussian, SumMeansAndVariancesAdd) {
+  const Gaussian a{2.0, 1.5};
+  const Gaussian b{-1.0, 0.5};
+  const Gaussian s = sum(a, b);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.var, 2.0);
+}
+
+TEST(Gaussian, SumWithCovariance) {
+  const Gaussian a{0.0, 1.0};
+  const Gaussian b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(sum(a, b, 0.5).var, 3.0);
+  EXPECT_DOUBLE_EQ(sum(a, b, -1.0).var, 0.0);  // perfectly anti-correlated
+}
+
+TEST(Gaussian, AffineTransform) {
+  const Gaussian g = affine({1.0, 4.0}, -2.0, 3.0);
+  EXPECT_DOUBLE_EQ(g.mean, 1.0);
+  EXPECT_DOUBLE_EQ(g.var, 16.0);
+}
+
+TEST(Gaussian, CdfPdfQuantileConsistency) {
+  const Gaussian g{5.0, 9.0};
+  EXPECT_NEAR(g.cdf(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.cdf(8.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(g.quantile(g.cdf(7.0)), 7.0, 1e-8);
+}
+
+TEST(Gaussian, DegenerateBehavesLikeConstant) {
+  const Gaussian c{2.0, 0.0};
+  EXPECT_EQ(c.cdf(1.9), 0.0);
+  EXPECT_EQ(c.cdf(2.0), 1.0);
+  EXPECT_EQ(c.quantile(0.7), 2.0);
+}
+
+TEST(ClarkMax, EqualOperandsKnownFormula) {
+  // MAX of two iid N(0,1): mean = 1/sqrt(pi), var = 1 - 1/pi.
+  const Gaussian g{0.0, 1.0};
+  const ClarkResult r = clark_max(g, g);
+  EXPECT_NEAR(r.moments.mean, 1.0 / std::sqrt(M_PI), 1e-12);
+  EXPECT_NEAR(r.moments.var, 1.0 - 1.0 / M_PI, 1e-12);
+  EXPECT_NEAR(r.tightness, 0.5, 1e-12);
+}
+
+TEST(ClarkMax, DominantOperandWins) {
+  const ClarkResult r = clark_max({100.0, 1.0}, {0.0, 1.0});
+  EXPECT_NEAR(r.moments.mean, 100.0, 1e-9);
+  EXPECT_NEAR(r.moments.var, 1.0, 1e-6);
+  EXPECT_NEAR(r.tightness, 1.0, 1e-12);
+}
+
+TEST(ClarkMax, PerfectlyCorrelatedEqualVariance) {
+  // theta == 0: the max is just the operand with the larger mean.
+  const Gaussian a{1.0, 2.0};
+  const Gaussian b{0.0, 2.0};
+  const ClarkResult r = clark_max(a, b, /*cov=*/2.0);
+  EXPECT_EQ(r.moments, a);
+  EXPECT_EQ(r.tightness, 1.0);
+}
+
+TEST(ClarkMin, DualOfMax) {
+  const Gaussian a{3.0, 1.0};
+  const Gaussian b{3.5, 2.0};
+  const ClarkResult mx = clark_max({-a.mean, a.var}, {-b.mean, b.var});
+  const ClarkResult mn = clark_min(a, b);
+  EXPECT_NEAR(mn.moments.mean, -mx.moments.mean, 1e-12);
+  EXPECT_NEAR(mn.moments.var, mx.moments.var, 1e-12);
+}
+
+TEST(ClarkMin, EqualIidKnownFormula) {
+  const Gaussian g{0.0, 1.0};
+  const ClarkResult r = clark_min(g, g);
+  EXPECT_NEAR(r.moments.mean, -1.0 / std::sqrt(M_PI), 1e-12);
+  EXPECT_NEAR(r.moments.var, 1.0 - 1.0 / M_PI, 1e-12);
+}
+
+// Clark is exact in the first two moments for independent operands:
+// cross-check against sampling across operand geometries.
+class ClarkVsMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<double, double, double, double>> {};
+
+TEST_P(ClarkVsMonteCarlo, MomentsMatchSampling) {
+  const auto [m1, s1, m2, s2] = GetParam();
+  const Gaussian a{m1, s1 * s1};
+  const Gaussian b{m2, s2 * s2};
+  const ClarkResult r = clark_max(a, b);
+
+  Xoshiro256 rng(42);
+  RunningMoments mom;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) {
+    mom.add(std::max(rng.normal(m1, s1), rng.normal(m2, s2)));
+  }
+  EXPECT_NEAR(r.moments.mean, mom.mean(), 0.01);
+  EXPECT_NEAR(r.moments.stddev(), mom.stddev(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ClarkVsMonteCarlo,
+    ::testing::Values(std::make_tuple(0.0, 1.0, 0.0, 1.0),
+                      std::make_tuple(0.0, 1.0, 0.5, 1.0),
+                      std::make_tuple(0.0, 1.0, 0.0, 3.0),
+                      std::make_tuple(-2.0, 0.5, 2.0, 0.5),
+                      std::make_tuple(1.0, 2.0, 1.2, 0.1),
+                      std::make_tuple(5.0, 1.0, -5.0, 1.0)));
+
+TEST(ClarkMax, TightnessIsProbabilityFirstWins) {
+  const Gaussian a{1.0, 1.0};
+  const Gaussian b{0.0, 1.0};
+  const ClarkResult r = clark_max(a, b);
+  // P(a > b) with a-b ~ N(1, 2).
+  const Gaussian diff{1.0, 2.0};
+  EXPECT_NEAR(r.tightness, 1.0 - diff.cdf(0.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace spsta::stats

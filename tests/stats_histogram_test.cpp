@@ -1,0 +1,55 @@
+// Tests for the Monte Carlo histogram.
+
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace spsta::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+  EXPECT_THROW((void)h.bin_center(10), std::out_of_range);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.0);  // exactly on the edge goes to the upper bin
+  h.add(3.999);
+  h.add(-1.0);  // underflow
+  h.add(4.0);   // overflow (half-open range)
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, DensityIntegratesToInRangeFraction) {
+  Histogram h(-4.0, 4.0, 64);
+  Xoshiro256 rng(17);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) h.add(rng.normal());
+  const PiecewiseDensity d = h.to_density();
+  const double in_range =
+      static_cast<double>(h.total() - h.underflow() - h.overflow()) / h.total();
+  EXPECT_NEAR(d.mass(), in_range, 0.02);
+  EXPECT_NEAR(d.mean(), 0.0, 0.02);
+  EXPECT_NEAR(d.variance(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace spsta::stats

@@ -1,0 +1,92 @@
+// Tests for Gaussian mixtures — the moment-engine WEIGHTED SUM carrier.
+
+#include "stats/mixture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+namespace spsta::stats {
+namespace {
+
+TEST(Mixture, EmptyHasZeroMass) {
+  GaussianMixture m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.mass(), 0.0);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(Mixture, SingleComponentPassesThrough) {
+  GaussianMixture m;
+  m.add(0.4, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.mass(), 0.4);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 3.0);
+}
+
+TEST(Mixture, ZeroWeightIgnored) {
+  GaussianMixture m;
+  m.add(0.0, {100.0, 1.0});
+  m.add(-1.0, {50.0, 1.0});
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Mixture, LawOfTotalVariance) {
+  // 50/50 mix of N(-1, 1) and N(1, 4):
+  // mean = 0, var = E[var] + var[means] = 2.5 + 1 = 3.5.
+  GaussianMixture m;
+  m.add(0.5, {-1.0, 1.0});
+  m.add(0.5, {1.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 3.5);
+}
+
+TEST(Mixture, UnnormalizedWeightsUseRatios) {
+  GaussianMixture m;
+  m.add(2.0, {0.0, 1.0});
+  m.add(6.0, {4.0, 1.0});
+  EXPECT_DOUBLE_EQ(m.mass(), 8.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);  // (2*0 + 6*4)/8
+}
+
+TEST(Mixture, PdfIsWeightedSumOfComponents) {
+  GaussianMixture m;
+  const Gaussian a{0.0, 1.0};
+  const Gaussian b{3.0, 1.0};
+  m.add(0.3, a);
+  m.add(0.7, b);
+  for (double x : {-1.0, 0.0, 1.5, 3.0}) {
+    EXPECT_NEAR(m.pdf(x), 0.3 * a.pdf(x) + 0.7 * b.pdf(x), 1e-14);
+    EXPECT_NEAR(m.cdf(x), 0.3 * a.cdf(x) + 0.7 * b.cdf(x), 1e-14);
+  }
+}
+
+TEST(Mixture, MomentsMatchSampling) {
+  GaussianMixture m;
+  m.add(0.2, {-2.0, 0.25});
+  m.add(0.5, {0.0, 1.0});
+  m.add(0.3, {5.0, 4.0});
+
+  Xoshiro256 rng(33);
+  RunningMoments mom;
+  const std::vector<double> weights{0.2, 0.5, 0.3};
+  for (int i = 0; i < 400000; ++i) {
+    switch (rng.categorical(weights)) {
+      case 0: mom.add(rng.normal(-2.0, 0.5)); break;
+      case 1: mom.add(rng.normal(0.0, 1.0)); break;
+      default: mom.add(rng.normal(5.0, 2.0)); break;
+    }
+  }
+  EXPECT_NEAR(m.mean(), mom.mean(), 0.02);
+  EXPECT_NEAR(m.variance(), mom.variance(), 0.06);
+}
+
+TEST(Mixture, ConstructorDropsNonPositiveWeights) {
+  GaussianMixture m(std::vector<MixtureComponent>{{0.5, {1.0, 1.0}}, {0.0, {9.0, 1.0}}});
+  EXPECT_DOUBLE_EQ(m.mass(), 0.5);
+}
+
+}  // namespace
+}  // namespace spsta::stats

@@ -1,0 +1,88 @@
+// Tests for the standard-normal primitives: pdf/cdf identities and
+// quantile round-trips.
+
+#include "stats/normal.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace spsta::stats {
+namespace {
+
+TEST(Normal, PdfPeakValue) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+}
+
+TEST(Normal, PdfSymmetry) {
+  for (double x : {0.1, 0.5, 1.0, 2.5, 4.0}) {
+    EXPECT_DOUBLE_EQ(normal_pdf(x), normal_pdf(-x));
+  }
+}
+
+TEST(Normal, PdfScaling) {
+  // N(m, s^2) density relates to the standard density by 1/s scaling.
+  const double m = 3.0, s = 2.0, x = 4.5;
+  EXPECT_NEAR(normal_pdf(x, m, s), normal_pdf((x - m) / s) / s, 1e-15);
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(Normal, CdfComplement) {
+  for (double x : {0.3, 1.2, 2.7, 5.0}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-14);
+  }
+}
+
+TEST(Normal, CdfIsDerivativeOfPdf) {
+  // Central difference of the cdf approximates the pdf.
+  const double h = 1e-6;
+  for (double x : {-2.0, -0.5, 0.0, 0.7, 1.9}) {
+    const double deriv = (normal_cdf(x + h) - normal_cdf(x - h)) / (2.0 * h);
+    EXPECT_NEAR(deriv, normal_pdf(x), 1e-7);
+  }
+}
+
+TEST(Normal, QuantileMedianAndTails) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_TRUE(std::isinf(normal_quantile(0.0)));
+  EXPECT_TRUE(std::isinf(normal_quantile(1.0)));
+  EXPECT_LT(normal_quantile(0.0), 0.0);
+  EXPECT_GT(normal_quantile(1.0), 0.0);
+}
+
+TEST(Normal, QuantileShiftScale) {
+  EXPECT_NEAR(normal_quantile(0.8413447460685429, 10.0, 2.0), 12.0, 1e-8);
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileRoundTrip,
+                         ::testing::Values(1e-10, 1e-6, 1e-3, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 0.999, 1.0 - 1e-6,
+                                           1.0 - 1e-10));
+
+class QuantileInverse : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileInverse, QuantileOfCdfIsIdentity) {
+  const double x = GetParam();
+  EXPECT_NEAR(normal_quantile(normal_cdf(x)), x, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileInverse,
+                         ::testing::Values(-5.0, -3.0, -1.5, -0.2, 0.0, 0.2, 1.5, 3.0,
+                                           5.0));
+
+}  // namespace
+}  // namespace spsta::stats

@@ -1,0 +1,109 @@
+// Tests for the Jacobi eigendecomposition and covariance PCA.
+
+#include "stats/pca.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace spsta::stats {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  SymmetricMatrix m(3);
+  m.set(0, 0, 3.0);
+  m.set(1, 1, 1.0);
+  m.set(2, 2, 2.0);
+  const EigenDecomposition e = jacobi_eigen(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1)/sqrt2,
+  // (1,-1)/sqrt2.
+  SymmetricMatrix m(2);
+  m.set(0, 0, 2.0);
+  m.set(1, 1, 2.0);
+  m.set(0, 1, 1.0);
+  const EigenDecomposition e = jacobi_eigen(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(e.vector(0, 0)), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(e.vector(1, 0)), inv_sqrt2, 1e-10);
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  SymmetricMatrix m(4);
+  const double vals[4][4] = {{4.0, 1.0, 0.5, 0.2},
+                             {1.0, 3.0, 0.3, 0.1},
+                             {0.5, 0.3, 2.0, 0.4},
+                             {0.2, 0.1, 0.4, 1.0}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i; j < 4; ++j) m.set(i, j, vals[i][j]);
+  }
+  const EigenDecomposition e = jacobi_eigen(m);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double rebuilt = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        rebuilt += e.vector(i, k) * e.values[k] * e.vector(j, k);
+      }
+      EXPECT_NEAR(rebuilt, vals[i][j], 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(Jacobi, EigenvectorsAreOrthonormal) {
+  SymmetricMatrix m(3);
+  m.set(0, 0, 2.0);
+  m.set(1, 1, 2.0);
+  m.set(2, 2, 2.0);
+  m.set(0, 1, 0.8);
+  m.set(1, 2, 0.3);
+  m.set(0, 2, -0.5);
+  const EigenDecomposition e = jacobi_eigen(m);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 3; ++i) dot += e.vector(i, a) * e.vector(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Pca, LoadingsReproduceCovariance) {
+  // cov = L L^T must hold when loadings scale eigenvectors by sqrt(lambda).
+  SymmetricMatrix cov(3);
+  cov.set(0, 0, 2.0);
+  cov.set(1, 1, 1.5);
+  cov.set(2, 2, 1.0);
+  cov.set(0, 1, 0.7);
+  cov.set(1, 2, 0.2);
+  cov.set(0, 2, 0.4);
+  const Pca p = pca_from_covariance(cov);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double rebuilt = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) rebuilt += p.loading(i, k) * p.loading(j, k);
+      EXPECT_NEAR(rebuilt, cov(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(Pca, RankDeficientCovarianceClampedToZero) {
+  // Perfectly correlated pair: one zero eigenvalue.
+  SymmetricMatrix cov(2);
+  cov.set(0, 0, 1.0);
+  cov.set(1, 1, 1.0);
+  cov.set(0, 1, 1.0);
+  const Pca p = pca_from_covariance(cov);
+  EXPECT_NEAR(p.eigen.values[0], 2.0, 1e-12);
+  EXPECT_NEAR(p.eigen.values[1], 0.0, 1e-12);
+  EXPECT_NEAR(p.loading(0, 1), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace spsta::stats

@@ -1,0 +1,193 @@
+// Tests for piecewise-linear densities — the numeric t.o.p. representation.
+// Every operation is validated against Gaussian closed forms or sampling.
+
+#include "stats/piecewise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/normal.hpp"
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+namespace spsta::stats {
+namespace {
+
+PiecewiseDensity std_normal(std::size_t points = 801) {
+  return PiecewiseDensity::from_gaussian_auto({0.0, 1.0}, 8.0, points);
+}
+
+TEST(Piecewise, GaussianDiscretizationMoments) {
+  const PiecewiseDensity d = PiecewiseDensity::from_gaussian_auto({3.0, 4.0});
+  EXPECT_NEAR(d.mass(), 1.0, 1e-6);
+  EXPECT_NEAR(d.mean(), 3.0, 1e-6);
+  EXPECT_NEAR(d.variance(), 4.0, 1e-4);
+}
+
+TEST(Piecewise, MassScalesWithParameter) {
+  const PiecewiseDensity d = PiecewiseDensity::from_gaussian_auto({0.0, 1.0}, 8.0, 801, 0.37);
+  EXPECT_NEAR(d.mass(), 0.37, 1e-6);
+  EXPECT_NEAR(d.mean(), 0.0, 1e-9);  // conditional moments unchanged
+}
+
+TEST(Piecewise, ValueAtInterpolatesAndVanishesOutside) {
+  const PiecewiseDensity d = std_normal();
+  EXPECT_NEAR(d.value_at(0.0), normal_pdf(0.0), 1e-4);
+  EXPECT_NEAR(d.value_at(1.0), normal_pdf(1.0), 1e-4);
+  EXPECT_EQ(d.value_at(100.0), 0.0);
+  EXPECT_EQ(d.value_at(-100.0), 0.0);
+}
+
+TEST(Piecewise, CdfMatchesNormalCdf) {
+  const PiecewiseDensity d = std_normal();
+  for (double t : {-2.0, -1.0, 0.0, 0.5, 1.5, 3.0}) {
+    EXPECT_NEAR(d.cdf_at(t), normal_cdf(t), 1e-4) << "t=" << t;
+  }
+}
+
+TEST(Piecewise, CumulativeEndsAtMass) {
+  const PiecewiseDensity d = PiecewiseDensity::from_gaussian_auto({1.0, 2.0}, 8.0, 401, 0.6);
+  const std::vector<double> c = d.cumulative();
+  EXPECT_NEAR(c.back(), d.mass(), 1e-12);
+  EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+}
+
+TEST(Piecewise, ShiftMovesMeanOnly) {
+  const PiecewiseDensity d = std_normal().shifted(2.5);
+  EXPECT_NEAR(d.mean(), 2.5, 1e-6);
+  EXPECT_NEAR(d.variance(), 1.0, 1e-4);
+  EXPECT_NEAR(d.mass(), 1.0, 1e-6);
+}
+
+TEST(Piecewise, ScaleAndNormalize) {
+  const PiecewiseDensity d = std_normal().scaled(0.25);
+  EXPECT_NEAR(d.mass(), 0.25, 1e-6);
+  EXPECT_NEAR(d.normalized().mass(), 1.0, 1e-9);
+  // Zero density normalizes to itself without NaNs.
+  const PiecewiseDensity z = PiecewiseDensity::zero({0.0, 0.1, 32});
+  EXPECT_EQ(z.normalized().mass(), 0.0);
+}
+
+TEST(Piecewise, ResamplePreservesMoments) {
+  const PiecewiseDensity d = std_normal();
+  const PiecewiseDensity r = d.resampled({-8.0, 0.05, 321});
+  EXPECT_NEAR(r.mass(), 1.0, 1e-3);
+  EXPECT_NEAR(r.mean(), 0.0, 1e-3);
+  EXPECT_NEAR(r.variance(), 1.0, 5e-3);
+}
+
+TEST(Piecewise, AddScaledCombinesMasses) {
+  PiecewiseDensity a = PiecewiseDensity::from_gaussian_auto({0.0, 1.0}, 8.0, 801, 0.5);
+  const PiecewiseDensity b = PiecewiseDensity::from_gaussian_auto({4.0, 1.0}, 8.0, 801, 1.0);
+  a.add_scaled(b, 0.25);
+  EXPECT_NEAR(a.mass(), 0.75, 1e-3);
+  // Mixture mean: (0.5*0 + 0.25*4) / 0.75.
+  EXPECT_NEAR(a.mean(), 4.0 / 3.0, 5e-3);
+}
+
+TEST(Piecewise, ConvolveTwoGaussians) {
+  const PiecewiseDensity a = PiecewiseDensity::from_gaussian_auto({1.0, 1.0}, 8.0, 601);
+  const PiecewiseDensity b = PiecewiseDensity::from_gaussian_auto({2.0, 0.5}, 8.0, 601);
+  const PiecewiseDensity c = PiecewiseDensity::convolve(a, b);
+  EXPECT_NEAR(c.mass(), 1.0, 2e-3);
+  EXPECT_NEAR(c.mean(), 3.0, 1e-2);
+  EXPECT_NEAR(c.variance(), 1.5, 2e-2);
+}
+
+TEST(Piecewise, ConvolveGaussianAnalyticKernel) {
+  const PiecewiseDensity a = PiecewiseDensity::from_gaussian_auto({0.0, 1.0}, 8.0, 601);
+  const PiecewiseDensity c = PiecewiseDensity::convolve_gaussian(a, {5.0, 2.0});
+  EXPECT_NEAR(c.mass(), 1.0, 2e-3);
+  EXPECT_NEAR(c.mean(), 5.0, 1e-2);
+  EXPECT_NEAR(c.variance(), 3.0, 3e-2);
+}
+
+TEST(Piecewise, ConvolveGaussianZeroVarianceIsShift) {
+  const PiecewiseDensity a = std_normal();
+  const PiecewiseDensity c = PiecewiseDensity::convolve_gaussian(a, {1.0, 0.0});
+  EXPECT_NEAR(c.mean(), 1.0, 1e-6);
+  EXPECT_NEAR(c.variance(), 1.0, 1e-4);
+}
+
+TEST(Piecewise, MaxOfIidStandardNormals) {
+  // Known closed form: mean 1/sqrt(pi), var 1 - 1/pi.
+  const PiecewiseDensity a = std_normal();
+  const PiecewiseDensity m = PiecewiseDensity::max_independent(a, a);
+  EXPECT_NEAR(m.mass(), 1.0, 1e-3);
+  EXPECT_NEAR(m.mean(), 1.0 / std::sqrt(M_PI), 2e-3);
+  EXPECT_NEAR(m.variance(), 1.0 - 1.0 / M_PI, 5e-3);
+}
+
+TEST(Piecewise, MinOfIidStandardNormals) {
+  const PiecewiseDensity a = std_normal();
+  const PiecewiseDensity m = PiecewiseDensity::min_independent(a, a);
+  EXPECT_NEAR(m.mean(), -1.0 / std::sqrt(M_PI), 2e-3);
+  EXPECT_NEAR(m.variance(), 1.0 - 1.0 / M_PI, 5e-3);
+}
+
+TEST(Piecewise, MaxAgainstSampling) {
+  const PiecewiseDensity a = PiecewiseDensity::from_gaussian_auto({0.0, 1.0}, 8.0, 801);
+  const PiecewiseDensity b = PiecewiseDensity::from_gaussian_auto({1.0, 4.0}, 8.0, 801);
+  const PiecewiseDensity m = PiecewiseDensity::max_independent(a, b);
+
+  Xoshiro256 rng(21);
+  RunningMoments mom;
+  for (int i = 0; i < 300000; ++i) {
+    mom.add(std::max(rng.normal(0.0, 1.0), rng.normal(1.0, 2.0)));
+  }
+  EXPECT_NEAR(m.mean(), mom.mean(), 0.01);
+  EXPECT_NEAR(m.stddev(), mom.stddev(), 0.01);
+}
+
+TEST(Piecewise, MaxIsNonSymmetricForEqualMeans) {
+  // The paper's Fig. 4 point: MAX of symmetric distributions is skewed.
+  const PiecewiseDensity a = std_normal();
+  const PiecewiseDensity m = PiecewiseDensity::max_independent(a, a);
+  const double mode_region = m.value_at(m.mean());
+  EXPECT_GT(m.mean(), 0.0);
+  EXPECT_NE(m.value_at(m.mean() - 1.0), m.value_at(m.mean() + 1.0));
+  EXPECT_GT(mode_region, 0.0);
+}
+
+TEST(Piecewise, SkewnessOfSymmetricDensityIsZero) {
+  EXPECT_NEAR(std_normal().skewness(), 0.0, 1e-6);
+  const PiecewiseDensity z = PiecewiseDensity::zero({0.0, 0.1, 16});
+  EXPECT_EQ(z.skewness(), 0.0);
+}
+
+TEST(Piecewise, SkewnessOfMaxMatchesSampling) {
+  const PiecewiseDensity a = std_normal();
+  const PiecewiseDensity m = PiecewiseDensity::max_independent(a, a);
+
+  Xoshiro256 rng(55);
+  RunningMoments mom;
+  for (int i = 0; i < 400000; ++i) mom.add(std::max(rng.normal(), rng.normal()));
+  EXPECT_GT(m.skewness(), 0.05);  // MAX of symmetric inputs skews right
+  EXPECT_NEAR(m.skewness(), mom.skewness(), 0.02);
+}
+
+TEST(Piecewise, UnionGridCoversBoth) {
+  const GridSpec a{0.0, 0.1, 11};   // [0, 1]
+  const GridSpec b{-1.0, 0.2, 6};   // [-1, 0]
+  const GridSpec u = union_grid(a, b);
+  EXPECT_DOUBLE_EQ(u.t0, -1.0);
+  EXPECT_LE(u.dt, 0.1);
+  EXPECT_GE(u.t_end(), 1.0 - 1e-12);
+}
+
+TEST(Piecewise, ConstructorRejectsSizeMismatch) {
+  EXPECT_THROW(PiecewiseDensity({0.0, 0.1, 5}, std::vector<double>(4, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Piecewise, NegativeSamplesClampToZero) {
+  const PiecewiseDensity d({0.0, 1.0, 3}, {-1.0, 2.0, -0.5});
+  EXPECT_EQ(d.values()[0], 0.0);
+  EXPECT_EQ(d.values()[2], 0.0);
+  EXPECT_EQ(d.values()[1], 2.0);
+}
+
+}  // namespace
+}  // namespace spsta::stats

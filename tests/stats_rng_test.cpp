@@ -1,0 +1,118 @@
+// Tests for the deterministic RNG stack: reproducibility and the
+// distributional properties the Monte Carlo engine relies on.
+
+#include "stats/rng.hpp"
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/welford.hpp"
+
+namespace spsta::stats {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  RunningMoments m;
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    m.add(u);
+  }
+  EXPECT_NEAR(m.mean(), 0.5, 0.005);
+  EXPECT_NEAR(m.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformIndexCoversRangeWithoutBias) {
+  Xoshiro256 rng(5);
+  std::array<int, 7> counts{};
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t k = rng.uniform_index(7);
+    ASSERT_LT(k, 7u);
+    ++counts[k];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 7.0, 400.0);
+}
+
+TEST(Xoshiro256, NormalMoments) {
+  Xoshiro256 rng(6);
+  RunningMoments m;
+  for (int i = 0; i < 400000; ++i) m.add(rng.normal());
+  EXPECT_NEAR(m.mean(), 0.0, 0.01);
+  EXPECT_NEAR(m.variance(), 1.0, 0.02);
+  EXPECT_NEAR(m.skewness(), 0.0, 0.02);
+  EXPECT_NEAR(m.excess_kurtosis(), 0.0, 0.05);
+}
+
+TEST(Xoshiro256, NormalShiftScale) {
+  Xoshiro256 rng(7);
+  RunningMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(m.mean(), 10.0, 0.05);
+  EXPECT_NEAR(m.stddev(), 3.0, 0.05);
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(8);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, CategoricalMatchesWeights) {
+  Xoshiro256 rng(9);
+  const std::vector<double> weights{1.0, 2.0, 1.0};  // 25% / 50% / 25%
+  std::array<int, 3> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.25, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.50, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.25, 0.01);
+}
+
+TEST(Xoshiro256, CategoricalZeroWeightNeverDrawn) {
+  Xoshiro256 rng(10);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+}  // namespace
+}  // namespace spsta::stats

@@ -1,0 +1,121 @@
+// Tests for the running-moment accumulators against closed-form references.
+
+#include "stats/welford.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace spsta::stats {
+namespace {
+
+TEST(RunningMoments, SmallKnownSample) {
+  RunningMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(m.stddev(), 2.0);
+}
+
+TEST(RunningMoments, SampleVarianceUsesN1) {
+  RunningMoments m;
+  for (double x : {1.0, 2.0, 3.0}) m.add(x);
+  EXPECT_DOUBLE_EQ(m.sample_variance(), 1.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 2.0 / 3.0);
+}
+
+TEST(RunningMoments, DegenerateCases) {
+  RunningMoments m;
+  EXPECT_EQ(m.variance(), 0.0);
+  m.add(5.0);
+  EXPECT_EQ(m.mean(), 5.0);
+  EXPECT_EQ(m.variance(), 0.0);
+  EXPECT_EQ(m.skewness(), 0.0);
+}
+
+TEST(RunningMoments, SkewnessOfAsymmetricSample) {
+  // Exponential-ish data is right-skewed.
+  RunningMoments m;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100000; ++i) m.add(-std::log(1.0 - rng.uniform()));
+  EXPECT_NEAR(m.mean(), 1.0, 0.02);
+  EXPECT_NEAR(m.variance(), 1.0, 0.05);
+  EXPECT_NEAR(m.skewness(), 2.0, 0.15);        // exponential skewness = 2
+  EXPECT_NEAR(m.excess_kurtosis(), 6.0, 1.0);  // exponential excess kurtosis = 6
+}
+
+TEST(RunningMoments, MergeEqualsSequential) {
+  Xoshiro256 rng(12);
+  std::vector<double> data(5000);
+  for (double& x : data) x = rng.normal(3.0, 2.0);
+
+  RunningMoments all;
+  for (double x : data) all.add(x);
+
+  RunningMoments left, right;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (i < 1700 ? left : right).add(data[i]);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(left.skewness(), all.skewness(), 1e-8);
+  EXPECT_NEAR(left.excess_kurtosis(), all.excess_kurtosis(), 1e-7);
+}
+
+TEST(RunningMoments, MergeWithEmpty) {
+  RunningMoments a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningMoments empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningMoments b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningCovariance, PerfectlyLinearData) {
+  RunningCovariance c;
+  for (int i = 0; i < 100; ++i) {
+    c.add(i, 2.0 * i + 1.0);
+  }
+  EXPECT_NEAR(c.correlation(), 1.0, 1e-12);
+}
+
+TEST(RunningCovariance, AntiCorrelated) {
+  RunningCovariance c;
+  for (int i = 0; i < 100; ++i) c.add(i, -3.0 * i);
+  EXPECT_NEAR(c.correlation(), -1.0, 1e-12);
+}
+
+TEST(RunningCovariance, IndependentNearZero) {
+  RunningCovariance c;
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 200000; ++i) c.add(rng.normal(), rng.normal());
+  EXPECT_NEAR(c.correlation(), 0.0, 0.01);
+}
+
+TEST(RunningCovariance, KnownCovariance) {
+  // y = x + e with var(x)=1, var(e)=1 -> cov(x,y)=1, corr = 1/sqrt(2).
+  RunningCovariance c;
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 400000; ++i) {
+    const double x = rng.normal();
+    c.add(x, x + rng.normal());
+  }
+  EXPECT_NEAR(c.covariance(), 1.0, 0.02);
+  EXPECT_NEAR(c.correlation(), 1.0 / std::sqrt(2.0), 0.01);
+}
+
+}  // namespace
+}  // namespace spsta::stats

@@ -1,0 +1,141 @@
+// Tests for first-order canonical forms: exact SUM, Clark-blended MAX,
+// and correlation preservation — validated against sampling.
+
+#include "variational/canonical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+namespace spsta::variational {
+namespace {
+
+TEST(Canonical, MomentsFromSensitivities) {
+  const CanonicalForm f(10.0, {3.0, 4.0}, 0.0);
+  EXPECT_DOUBLE_EQ(f.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(f.variance(), 25.0);
+  const CanonicalForm g(1.0, {0.0, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(g.variance(), 4.0);
+}
+
+TEST(Canonical, EvaluateRealization) {
+  const CanonicalForm f(1.0, {2.0, -1.0}, 0.5);
+  const std::vector<double> params{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(f.evaluate(params, 2.0), 1.0 + 2.0 - 2.0 + 1.0);
+}
+
+TEST(Canonical, CovarianceFromSharedParameters) {
+  const CanonicalForm a(0.0, {1.0, 0.0}, 1.0);
+  const CanonicalForm b(0.0, {2.0, 3.0}, 0.5);
+  EXPECT_DOUBLE_EQ(covariance(a, b), 2.0);
+  // Residuals never correlate across forms (covariance() computes the
+  // cross-form covariance, so even covariance(f, f) omits the residual).
+  const CanonicalForm c(0.0, {0.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(covariance(a, c), 0.0);
+  const CanonicalForm pure(0.0, {2.0, 1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(correlation(pure, pure), 1.0);
+}
+
+TEST(Canonical, SumIsExact) {
+  const CanonicalForm a(1.0, {1.0, 2.0}, 3.0);
+  const CanonicalForm b(2.0, {-1.0, 1.0}, 4.0);
+  const CanonicalForm s = sum(a, b);
+  EXPECT_DOUBLE_EQ(s.nominal(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sensitivity(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.sensitivity(1), 3.0);
+  EXPECT_DOUBLE_EQ(s.residual(), 5.0);  // hypot(3,4)
+  // Variance of the sum accounts for the shared-parameter correlation.
+  EXPECT_DOUBLE_EQ(s.variance(), a.variance() + b.variance() + 2.0 * covariance(a, b));
+}
+
+TEST(Canonical, MaxMomentsMatchClark) {
+  const CanonicalForm a(1.0, {1.0, 0.0}, 0.5);
+  const CanonicalForm b(1.5, {0.0, 2.0}, 0.0);
+  const CanonicalForm m = max(a, b);
+  const stats::ClarkResult ref =
+      stats::clark_max(a.moments(), b.moments(), covariance(a, b));
+  EXPECT_NEAR(m.mean(), ref.moments.mean, 1e-12);
+  EXPECT_NEAR(m.variance(), ref.moments.var, 1e-9);
+}
+
+TEST(Canonical, MaxOfDominantOperandIsThatOperand) {
+  const CanonicalForm a(100.0, {1.0, 0.0}, 0.0);
+  const CanonicalForm b(0.0, {0.0, 1.0}, 0.0);
+  const CanonicalForm m = max(a, b);
+  EXPECT_NEAR(m.mean(), 100.0, 1e-9);
+  EXPECT_NEAR(m.sensitivity(0), 1.0, 1e-9);
+  EXPECT_NEAR(m.sensitivity(1), 0.0, 1e-9);
+}
+
+TEST(Canonical, MinIsDualOfMax) {
+  const CanonicalForm a(0.0, {1.0, 0.5}, 0.2);
+  const CanonicalForm b(0.3, {0.5, 1.0}, 0.1);
+  const CanonicalForm mn = min(a, b);
+  const stats::ClarkResult ref =
+      stats::clark_min(a.moments(), b.moments(), covariance(a, b));
+  EXPECT_NEAR(mn.mean(), ref.moments.mean, 1e-12);
+  EXPECT_NEAR(mn.variance(), ref.moments.var, 1e-9);
+}
+
+TEST(Canonical, MaxPreservesDownstreamCorrelation) {
+  // After MAX, correlation against a shared parameter should survive —
+  // the whole point of canonical forms over plain moments.
+  const CanonicalForm a(0.0, {1.0, 0.0}, 0.0);
+  const CanonicalForm b(0.0, {0.8, 0.6}, 0.0);
+  const CanonicalForm m = max(a, b);
+  // The blended sensitivity to parameter 0 stays strictly positive.
+  EXPECT_GT(m.sensitivity(0), 0.5);
+
+  // Validate against sampling: corr(max(a,b), X0).
+  stats::Xoshiro256 rng(101);
+  stats::RunningCovariance rc;
+  for (int i = 0; i < 300000; ++i) {
+    const double x0 = rng.normal();
+    const double x1 = rng.normal();
+    const double va = x0;
+    const double vb = 0.8 * x0 + 0.6 * x1;
+    rc.add(std::max(va, vb), x0);
+  }
+  const double sampled_cov = rc.covariance();
+  EXPECT_NEAR(m.sensitivity(0), sampled_cov, 0.05);
+}
+
+TEST(Canonical, SumMismatchThrows) {
+  const CanonicalForm a(0.0, {1.0}, 0.0);
+  const CanonicalForm b(0.0, {1.0, 2.0}, 0.0);
+  EXPECT_THROW((void)sum(a, b), std::invalid_argument);
+  EXPECT_THROW((void)max(a, b), std::invalid_argument);
+}
+
+TEST(Canonical, ChainOfMaxSumTracksSampling) {
+  // A small "timing graph in canonical forms": d = max(a+g1, b+g2) + g3
+  // with shared parameter X0 in g1 and g2.
+  const std::size_t P = 2;
+  const CanonicalForm a(0.0, P);
+  const CanonicalForm b(0.2, P);
+  const CanonicalForm g1(1.0, {0.3, 0.0}, 0.1);
+  const CanonicalForm g2(1.0, {0.3, 0.1}, 0.1);
+  const CanonicalForm g3(1.0, {0.0, 0.2}, 0.05);
+  const CanonicalForm d = sum(max(sum(a, g1), sum(b, g2)), g3);
+
+  stats::Xoshiro256 rng(202);
+  stats::RunningMoments mom;
+  for (int i = 0; i < 400000; ++i) {
+    const double x0 = rng.normal();
+    const double x1 = rng.normal();
+    const double v1 = 0.0 + 1.0 + 0.3 * x0 + 0.1 * rng.normal();
+    const double v2 = 0.2 + 1.0 + 0.3 * x0 + 0.1 * x1 + 0.1 * rng.normal();
+    const double v3 = 1.0 + 0.2 * x1 + 0.05 * rng.normal();
+    mom.add(std::max(v1, v2) + v3);
+  }
+  EXPECT_NEAR(d.mean(), mom.mean(), 0.01);
+  EXPECT_NEAR(std::sqrt(d.variance()), mom.stddev(), 0.02);
+}
+
+}  // namespace
+}  // namespace spsta::variational

@@ -1,0 +1,100 @@
+// Tests for interval/affine arithmetic and interval STA bounds.
+
+#include "variational/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas89.hpp"
+#include "stats/rng.hpp"
+
+namespace spsta::variational {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Interval, BasicOps) {
+  const Interval a{1.0, 3.0};
+  const Interval b{-1.0, 2.0};
+  EXPECT_EQ(a + b, (Interval{0.0, 5.0}));
+  EXPECT_EQ(interval_max(a, b), (Interval{1.0, 3.0}));
+  EXPECT_EQ(interval_min(a, b), (Interval{-1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(a.width(), 2.0);
+  EXPECT_DOUBLE_EQ(a.mid(), 2.0);
+  EXPECT_TRUE(a.contains(2.5));
+  EXPECT_FALSE(a.contains(3.5));
+}
+
+TEST(Affine, SharedSymbolsCancel) {
+  // x - x = 0 in affine arithmetic (plain intervals would give [-2w, 2w]).
+  const AffineForm x(1.0, {{0, 0.5}});
+  const AffineForm neg(-1.0, {{0, -0.5}});
+  const AffineForm sum = x + neg;
+  EXPECT_DOUBLE_EQ(sum.center(), 0.0);
+  EXPECT_DOUBLE_EQ(sum.radius(), 0.0);
+}
+
+TEST(Affine, IndependentSymbolsAccumulate) {
+  const AffineForm a(0.0, {{0, 1.0}});
+  const AffineForm b(0.0, {{1, 2.0}});
+  const AffineForm s = a + b;
+  EXPECT_DOUBLE_EQ(s.radius(), 3.0);
+  EXPECT_EQ(s.to_interval(), (Interval{-3.0, 3.0}));
+}
+
+TEST(IntervalSta, ChainAccumulatesBounds) {
+  Netlist n;
+  NodeId prev = n.add_input("a");
+  for (int i = 0; i < 3; ++i) {
+    prev = n.add_gate(GateType::Buf, "b" + std::to_string(i), {prev});
+  }
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.1);
+  const auto arrival = interval_sta(n, d, {0.0, 0.0}, 3.0);
+  EXPECT_NEAR(arrival[prev].lo, 3.0 * (1.0 - 0.3), 1e-12);
+  EXPECT_NEAR(arrival[prev].hi, 3.0 * (1.0 + 0.3), 1e-12);
+}
+
+TEST(IntervalSta, BoundsContainMonteCarloArrivals) {
+  // Property: interval STA with wide-enough k-sigma must bound (almost)
+  // every simulated arrival on every net.
+  const Netlist n = netlist::make_paper_circuit("s298");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  // Sources arrive within +-5 sigma of N(0,1) virtually always.
+  const auto bounds = interval_sta(n, d, {-5.0, 5.0}, 5.0);
+
+  netlist::SourceStats sc = netlist::scenario_I();
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 2000;
+  cfg.seed = 55;
+  const auto mcr = mc::run_monte_carlo(n, d, std::vector{sc}, cfg);
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    const auto& est = mcr.node[id];
+    if (est.rise_time.count() > 10) {
+      EXPECT_GE(est.rise_time.mean(), bounds[id].lo - 1e-9) << n.node(id).name;
+      EXPECT_LE(est.rise_time.mean() + 3.0 * est.rise_time.stddev(),
+                bounds[id].hi + 1e-9)
+          << n.node(id).name;
+    }
+  }
+}
+
+TEST(IntervalSta, MinMaxCornerSemantics) {
+  // Two paths of different structural length: the bound spans from the
+  // short path's earliest to the long path's latest.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  const NodeId s1 = n.add_gate(GateType::Buf, "s1", {a});
+  const NodeId l1 = n.add_gate(GateType::Buf, "l1", {a});
+  const NodeId l2 = n.add_gate(GateType::Buf, "l2", {l1});
+  const NodeId y = n.add_gate(GateType::And, "y", {s1, l2});
+  n.mark_output(y);
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const auto bounds = interval_sta(n, d, {0.0, 0.0}, 0.0);
+  EXPECT_DOUBLE_EQ(bounds[y].lo, 2.0);  // via the short path
+  EXPECT_DOUBLE_EQ(bounds[y].hi, 3.0);  // via the long path
+}
+
+}  // namespace
+}  // namespace spsta::variational

@@ -1,0 +1,113 @@
+// Tests for sparse multivariate polynomials and their Gaussian moments
+// (paper Sec. 3.6 symbolic analysis).
+
+#include "variational/polynomial.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "stats/welford.hpp"
+
+namespace spsta::variational {
+namespace {
+
+TEST(Polynomial, ConstantAndVariable) {
+  const Polynomial c(3.0);
+  EXPECT_DOUBLE_EQ(c.evaluate({}), 3.0);
+  EXPECT_EQ(c.degree(), 0u);
+  const Polynomial x = Polynomial::variable(0);
+  const std::vector<double> at{2.5};
+  EXPECT_DOUBLE_EQ(x.evaluate(at), 2.5);
+  EXPECT_EQ(x.degree(), 1u);
+  EXPECT_TRUE(Polynomial{}.is_zero());
+}
+
+TEST(Polynomial, Arithmetic) {
+  const Polynomial x = Polynomial::variable(0);
+  const Polynomial y = Polynomial::variable(1);
+  const Polynomial p = (x + y) * (x - y);  // x^2 - y^2
+  const std::vector<double> at{3.0, 2.0};
+  EXPECT_DOUBLE_EQ(p.evaluate(at), 5.0);
+  EXPECT_EQ(p.degree(), 2u);
+
+  const Polynomial q = p - p;
+  EXPECT_TRUE(q.is_zero());
+
+  Polynomial scaled = p;
+  scaled *= 2.0;
+  EXPECT_DOUBLE_EQ(scaled.evaluate(at), 10.0);
+  scaled *= 0.0;
+  EXPECT_TRUE(scaled.is_zero());
+}
+
+TEST(Polynomial, CancellationRemovesTerms) {
+  const Polynomial x = Polynomial::variable(0);
+  const Polynomial p = x + x * -1.0;
+  EXPECT_TRUE(p.is_zero());
+}
+
+TEST(Polynomial, GaussianMeanOfMonomials) {
+  const Polynomial x = Polynomial::variable(0);
+  const Polynomial y = Polynomial::variable(1);
+  EXPECT_DOUBLE_EQ(x.mean_gaussian(), 0.0);
+  EXPECT_DOUBLE_EQ((x * x).mean_gaussian(), 1.0);           // E[X^2]
+  EXPECT_DOUBLE_EQ((x * x * x).mean_gaussian(), 0.0);       // E[X^3]
+  EXPECT_DOUBLE_EQ((x * x * x * x).mean_gaussian(), 3.0);   // E[X^4] = 3
+  EXPECT_DOUBLE_EQ((x * y).mean_gaussian(), 0.0);           // independent
+  EXPECT_DOUBLE_EQ((x * x * y * y).mean_gaussian(), 1.0);
+}
+
+TEST(Polynomial, GaussianVarianceOfLinearForm) {
+  // var(2X + 3Y + 5) = 4 + 9.
+  const Polynomial p =
+      Polynomial::variable(0) * 2.0 + Polynomial::variable(1) * 3.0 + Polynomial(5.0);
+  EXPECT_DOUBLE_EQ(p.mean_gaussian(), 5.0);
+  EXPECT_DOUBLE_EQ(p.variance_gaussian(), 13.0);
+}
+
+TEST(Polynomial, GaussianVarianceOfSquare) {
+  // var(X^2) = E[X^4] - E[X^2]^2 = 2.
+  const Polynomial x = Polynomial::variable(0);
+  EXPECT_DOUBLE_EQ((x * x).variance_gaussian(), 2.0);
+}
+
+TEST(Polynomial, CovarianceGaussian) {
+  const Polynomial x = Polynomial::variable(0);
+  const Polynomial y = Polynomial::variable(1);
+  // cov(X, X + Y) = 1.
+  EXPECT_DOUBLE_EQ(Polynomial::covariance_gaussian(x, x + y), 1.0);
+  // cov(X, Y) = 0; cov(X, X^2) = E[X^3] = 0.
+  EXPECT_DOUBLE_EQ(Polynomial::covariance_gaussian(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(Polynomial::covariance_gaussian(x, x * x), 0.0);
+}
+
+TEST(Polynomial, TruncationDropsHighDegrees) {
+  const Polynomial x = Polynomial::variable(0);
+  const Polynomial p = Polynomial(1.0) + x + x * x + x * x * x;
+  const Polynomial t = p.truncated(1);
+  EXPECT_EQ(t.degree(), 1u);
+  const std::vector<double> at{2.0};
+  EXPECT_DOUBLE_EQ(t.evaluate(at), 3.0);  // 1 + x
+}
+
+TEST(Polynomial, MomentsMatchSampling) {
+  // p = 1 + 0.5 X0 + 0.3 X1^2 + 0.2 X0 X1.
+  const Polynomial x0 = Polynomial::variable(0);
+  const Polynomial x1 = Polynomial::variable(1);
+  const Polynomial p =
+      Polynomial(1.0) + x0 * 0.5 + (x1 * x1) * 0.3 + (x0 * x1) * 0.2;
+
+  stats::Xoshiro256 rng(303);
+  stats::RunningMoments mom;
+  for (int i = 0; i < 400000; ++i) {
+    const std::vector<double> at{rng.normal(), rng.normal()};
+    mom.add(p.evaluate(at));
+  }
+  EXPECT_NEAR(p.mean_gaussian(), mom.mean(), 0.01);
+  EXPECT_NEAR(p.variance_gaussian(), mom.variance(), 0.02);
+}
+
+}  // namespace
+}  // namespace spsta::variational

@@ -1,0 +1,89 @@
+// Tests for least-squares fitting of variational delay models.
+
+#include "variational/regression.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace spsta::variational {
+namespace {
+
+TEST(LeastSquares, ExactSolveOfDeterminedSystem) {
+  // y = 2 x0 - x1 over 3 samples.
+  const std::vector<double> x{1.0, 0.0,   //
+                              0.0, 1.0,   //
+                              1.0, 1.0};
+  const std::vector<double> y{2.0, -1.0, 1.0};
+  const std::vector<double> beta = least_squares(x, 3, 2, y);
+  EXPECT_NEAR(beta[0], 2.0, 1e-9);
+  EXPECT_NEAR(beta[1], -1.0, 1e-9);
+}
+
+TEST(LeastSquares, ShapeValidation) {
+  EXPECT_THROW((void)least_squares(std::vector<double>(5, 0.0), 3, 2,
+                                   std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)least_squares(std::vector<double>(2, 0.0), 1, 2,
+                                   std::vector<double>(1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(FitLinear, RecoversCoefficientsFromNoisySamples) {
+  stats::Xoshiro256 rng(404);
+  constexpr std::size_t kDims = 3;
+  constexpr std::size_t kSamples = 2000;
+  const double truth[kDims] = {1.5, -2.0, 0.7};
+  const double intercept = 4.0;
+
+  std::vector<double> samples(kSamples * kDims);
+  std::vector<double> responses(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    double y = intercept;
+    for (std::size_t d = 0; d < kDims; ++d) {
+      const double v = rng.normal();
+      samples[i * kDims + d] = v;
+      y += truth[d] * v;
+    }
+    responses[i] = y + 0.05 * rng.normal();
+  }
+  const LinearModel m = fit_linear(samples, kDims, responses);
+  EXPECT_NEAR(m.intercept, intercept, 0.01);
+  for (std::size_t d = 0; d < kDims; ++d) EXPECT_NEAR(m.coeffs[d], truth[d], 0.01);
+
+  const std::vector<double> probe{1.0, 1.0, 1.0};
+  EXPECT_NEAR(m.predict(probe), intercept + 1.5 - 2.0 + 0.7, 0.05);
+}
+
+TEST(FitQuadratic, RecoversQuadraticSurface) {
+  stats::Xoshiro256 rng(505);
+  constexpr std::size_t kDims = 2;
+  constexpr std::size_t kSamples = 4000;
+  // y = 1 + 2 x0 - x1 + 0.5 x0^2 + 0.3 x0 x1 - 0.2 x1^2.
+  std::vector<double> samples(kSamples * kDims);
+  std::vector<double> responses(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    samples[i * kDims] = a;
+    samples[i * kDims + 1] = b;
+    responses[i] = 1.0 + 2.0 * a - b + 0.5 * a * a + 0.3 * a * b - 0.2 * b * b +
+                   0.02 * rng.normal();
+  }
+  const QuadraticModel m = fit_quadratic(samples, kDims, responses);
+  EXPECT_NEAR(m.intercept, 1.0, 0.02);
+  EXPECT_NEAR(m.linear[0], 2.0, 0.02);
+  EXPECT_NEAR(m.linear[1], -1.0, 0.02);
+  EXPECT_NEAR(m.quadratic[0], 0.5, 0.02);   // x0^2
+  EXPECT_NEAR(m.quadratic[1], 0.3, 0.02);   // x0 x1
+  EXPECT_NEAR(m.quadratic[2], -0.2, 0.02);  // x1^2
+
+  const std::vector<double> probe{0.5, -0.5};
+  const double expected = 1.0 + 1.0 + 0.5 + 0.5 * 0.25 + 0.3 * -0.25 - 0.2 * 0.25;
+  EXPECT_NEAR(m.predict(probe), expected, 0.05);
+}
+
+}  // namespace
+}  // namespace spsta::variational
