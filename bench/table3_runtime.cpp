@@ -4,6 +4,13 @@
 // elimination; the binary then prints the Table 3 layout. Only the
 // *relative* ordering (SPSTA ~ SSTA << 10K MC) is comparable to the
 // paper's 2008-era absolute numbers.
+//
+// The Monte Carlo column is measured twice — single-threaded and with the
+// pool sized by --threads (default 8) — and every parallel run is checked
+// to be BIT-IDENTICAL to the single-threaded statistics (the determinism
+// contract of the execution layer; see DESIGN.md). Pass --json=FILE to
+// append one JSON line per invocation: a timing trajectory that can be
+// tracked across commits.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/spsta.hpp"
 #include "mc/monte_carlo.hpp"
@@ -18,14 +26,61 @@
 #include "netlist/iscas89.hpp"
 #include "report/table.hpp"
 #include "ssta/ssta.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+/// Exact equality of the accumulated statistics two runs produced.
+bool same_statistics(const spsta::mc::MonteCarloResult& a,
+                     const spsta::mc::MonteCarloResult& b) {
+  if (a.node.size() != b.node.size() || a.glitching_gates != b.glitching_gates) {
+    return false;
+  }
+  for (std::size_t id = 0; id < a.node.size(); ++id) {
+    for (int v = 0; v < 4; ++v) {
+      if (a.node[id].count[v] != b.node[id].count[v]) return false;
+    }
+    if (a.node[id].rise_time.mean() != b.node[id].rise_time.mean() ||
+        a.node[id].rise_time.variance() != b.node[id].rise_time.variance() ||
+        a.node[id].fall_time.mean() != b.node[id].fall_time.mean() ||
+        a.node[id].fall_time.variance() != b.node[id].fall_time.variance()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct CircuitTiming {
+  std::string name;
+  double spsta = 0.0, ssta = 0.0, mc1 = 0.0, mcN = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace spsta;
   benchmark::Initialize(&argc, argv);
 
-  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  unsigned threads = 8;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    }
+  }
+  threads = util::resolve_threads(threads);
 
-  report::Table table({"test", "SPSTA (s)", "SSTA (s)", "10K MC (s)", "MC/SPSTA"});
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  std::vector<CircuitTiming> timings;
+
+  report::Table table({"test", "SPSTA (s)", "SSTA (s)", "10K MC 1t (s)",
+                       "10K MC " + std::to_string(threads) + "t (s)", "MC speedup",
+                       "MC/SPSTA"});
+  bool all_identical = true;
   for (std::string_view name : netlist::paper_circuit_names()) {
     const netlist::Netlist n = netlist::make_paper_circuit(name);
     const netlist::DelayModel d = netlist::DelayModel::unit(n);
@@ -47,18 +102,51 @@ int main(int argc, char** argv) {
         [&] { benchmark::DoNotOptimize(core::run_spsta_moment(n, d, sc)); }, 3);
     const double t_ssta =
         time_of([&] { benchmark::DoNotOptimize(ssta::run_ssta(n, d, sc)); }, 3);
+
     mc::MonteCarloConfig cfg;
     cfg.runs = 10000;
-    const double t_mc = time_of(
-        [&] { benchmark::DoNotOptimize(mc::run_monte_carlo(n, d, sc, cfg)); }, 1);
+    mc::MonteCarloResult r1, rN;
+    const double t_mc1 = time_of([&] { r1 = mc::run_monte_carlo(n, d, sc, cfg); }, 1);
+    cfg.threads = threads;
+    const double t_mcN = time_of([&] { rN = mc::run_monte_carlo(n, d, sc, cfg); }, 1);
+    const bool identical = same_statistics(r1, rN);
+    all_identical = all_identical && identical;
 
+    timings.push_back({std::string(name), t_spsta, t_ssta, t_mc1, t_mcN, identical});
     table.add_row({std::string(name), report::Table::num(t_spsta, 4),
-                   report::Table::num(t_ssta, 4), report::Table::num(t_mc, 4),
-                   report::Table::num(t_mc / std::max(t_spsta, 1e-9), 0) + "x"});
+                   report::Table::num(t_ssta, 4), report::Table::num(t_mc1, 4),
+                   report::Table::num(t_mcN, 4),
+                   report::Table::num(t_mc1 / std::max(t_mcN, 1e-9), 1) + "x" +
+                       (identical ? "" : " (MISMATCH)"),
+                   report::Table::num(t_mc1 / std::max(t_spsta, 1e-9), 0) + "x"});
   }
 
   std::printf("=== Table 3: CPU runtime (seconds) ===\n%s\n", table.to_string().c_str());
   std::printf("Paper's shape to reproduce: SPSTA within a small factor of SSTA,\n"
               "both orders of magnitude faster than 10K-run Monte Carlo.\n");
-  return 0;
+  std::printf("Parallel MC statistics bit-identical to single-threaded: %s\n",
+              all_identical ? "yes" : "NO — determinism contract violated");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "a");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for append\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\":\"table3_runtime\",\"threads\":%u,\"identical\":%s,"
+                    "\"circuits\":[",
+                 threads, all_identical ? "true" : "false");
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+      const CircuitTiming& t = timings[i];
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"spsta_s\":%.6g,\"ssta_s\":%.6g,"
+                   "\"mc_1t_s\":%.6g,\"mc_%ut_s\":%.6g,\"mc_speedup\":%.3g}",
+                   i ? "," : "", t.name.c_str(), t.spsta, t.ssta, t.mc1, threads,
+                   t.mcN, t.mc1 / std::max(t.mcN, 1e-9));
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("Appended timing trajectory to %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
 }

@@ -1,0 +1,64 @@
+#include "core/pattern_cache.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace spsta::core {
+
+using netlist::FourValueProbs;
+
+std::size_t PatternCache::KeyHash::operator()(const Key& k) const noexcept {
+  // FNV-1a over the key words.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint64_t w : k.words) {
+    h ^= w;
+    h *= 0x100000001B3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t PatternCache::size() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return map_.size();
+}
+
+PatternCache::Patterns PatternCache::get(
+    netlist::GateType type, std::span<const FourValueProbs> inputs) {
+  Key key;
+  key.words.reserve(1 + 4 * inputs.size());
+  key.words.push_back(static_cast<std::uint64_t>(type));
+  std::vector<FourValueProbs> quantized(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double q[4] = {inputs[i].p0, inputs[i].p1, inputs[i].pr, inputs[i].pf};
+    double r[4];
+    for (int j = 0; j < 4; ++j) {
+      if (quantum_ > 0.0) {
+        const double steps = std::max(0.0, std::round(q[j] / quantum_));
+        key.words.push_back(static_cast<std::uint64_t>(steps));
+        r[j] = steps * quantum_;
+      } else {
+        key.words.push_back(std::bit_cast<std::uint64_t>(q[j]));
+        r[j] = q[j];
+      }
+    }
+    quantized[i] = {r[0], r[1], r[2], r[3]};
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Compute outside the lock (concurrent misses for the same key produce
+  // identical values, so whichever insert wins is immaterial).
+  Patterns computed = std::make_shared<const std::vector<SwitchPattern>>(
+      enumerate_switch_patterns(type, quantized));
+  std::lock_guard<std::mutex> lk(mutex_);
+  return map_.emplace(std::move(key), std::move(computed)).first->second;
+}
+
+}  // namespace spsta::core

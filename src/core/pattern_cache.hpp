@@ -1,0 +1,75 @@
+/// \file pattern_cache.hpp
+/// Memoization of switch-pattern enumerations, shared by the moment and
+/// numeric SPSTA engines.
+///
+/// Real netlists repeat gate "situations": every 2-input NAND fed by
+/// scenario-I primary inputs sees the same fanin four-value probabilities,
+/// so its Eq. 8/11 scenario enumeration is identical. The cache keys on
+/// (gate type, *quantized* fanin probabilities) and — crucially for the
+/// deterministic parallel layer — computes the patterns FROM the quantized
+/// probabilities, so a hit and a recomputation yield bit-identical values
+/// no matter which thread populated the entry first.
+///
+/// A quantum of 0 (the default) keys on the exact probability bit
+/// patterns: results are then bitwise identical to uncached enumeration,
+/// and hits still occur wherever structural repetition reproduces the
+/// same probabilities exactly (the common case — identical gates fed by
+/// identical scenarios). A positive quantum trades bounded accuracy
+/// (error <= quantum/2 per probability) for additional near-miss hits; a
+/// zero probability always quantizes to zero, so support pruning is
+/// preserved either way.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/patterns.hpp"
+#include "netlist/four_value.hpp"
+
+namespace spsta::core {
+
+/// Thread-safe memoizing wrapper around enumerate_switch_patterns.
+class PatternCache {
+ public:
+  /// Default quantum: exact bit-pattern keys, zero numerical perturbation.
+  static constexpr double kExactKeys = 0.0;
+  /// A reasonable coarse quantum (2^-40 ~ 9.1e-13) for near-miss sharing.
+  static constexpr double kCoarseQuantum = 0x1p-40;
+
+  using Patterns = std::shared_ptr<const std::vector<SwitchPattern>>;
+
+  explicit PatternCache(double quantum = kExactKeys) : quantum_(quantum) {}
+
+  /// Patterns for (type, inputs), computed from the quantized inputs on a
+  /// miss. Safe to call concurrently; deterministic in its arguments.
+  [[nodiscard]] Patterns get(netlist::GateType type,
+                             std::span<const netlist::FourValueProbs> inputs);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Key {
+    /// words[0] is the gate type; then 4 quantized probabilities per input.
+    std::vector<std::uint64_t> words;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  double quantum_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Patterns, KeyHash> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace spsta::core

@@ -1,8 +1,9 @@
 #include "core/patterns.hpp"
 
-#include <map>
+#include <algorithm>
+#include <array>
 #include <stdexcept>
-#include <tuple>
+#include <unordered_map>
 
 namespace spsta::core {
 
@@ -24,6 +25,141 @@ SettleOp settle_op(GateType type, bool inputs_rising) {
   return SettleOp::Max;
 }
 
+/// Gate families with an O(1) output rule over running input counts; the
+/// enumeration walk below keeps the counts incrementally so leaves cost
+/// O(1) instead of re-evaluating the gate over all n inputs. First covers
+/// Buf/Not, which follow input 0 and ignore any extra inputs (matching
+/// eval_gate).
+enum class Family : std::uint8_t { AllOnes, AnyOne, Parity, First, Generic };
+
+struct FamilySpec {
+  Family family = Family::Generic;
+  bool invert = false;
+};
+
+FamilySpec classify(GateType type) {
+  switch (type) {
+    case GateType::Buf:
+      return {Family::First, false};
+    case GateType::Not:
+      return {Family::First, true};
+    case GateType::And:
+      return {Family::AllOnes, false};
+    case GateType::Nand:
+      return {Family::AllOnes, true};
+    case GateType::Or:
+      return {Family::AnyOne, false};
+    case GateType::Nor:
+      return {Family::AnyOne, true};
+    case GateType::Xor:
+      return {Family::Parity, false};
+    case GateType::Xnor:
+      return {Family::Parity, true};
+    default:
+      return {Family::Generic, false};
+  }
+}
+
+/// One nonzero-probability four-value of one input.
+struct Choice {
+  FourValue v = FourValue::Zero;
+  double p = 0.0;
+};
+
+/// Depth-first walk over the joint support, accumulating scenario weights
+/// keyed by (switching_mask, rising_mask, output direction). The key packs
+/// the old std::map tuple ordering so the emitted pattern order is stable.
+struct SupportWalker {
+  GateType type;
+  FamilySpec spec;
+  std::size_t n = 0;
+  std::span<const std::array<Choice, 4>> support;
+  std::span<const std::size_t> support_n;
+
+  std::uint32_t switching = 0;
+  std::uint32_t rising = 0;
+  std::size_t init_zeros = 0;
+  std::size_t fin_zeros = 0;
+  bool init_parity = false;  ///< parity of initial ones
+  bool fin_parity = false;
+  std::array<FourValue, 16> assignment{};
+
+  std::unordered_map<std::uint64_t, double> acc;
+
+  void walk(std::size_t i, double weight) {
+    if (i == n) {
+      emit(weight);
+      return;
+    }
+    for (std::size_t c = 0; c < support_n[i]; ++c) {
+      const Choice& ch = support[i][c];
+      const bool iv = netlist::initial_value(ch.v);
+      const bool fv = netlist::final_value(ch.v);
+      assignment[i] = ch.v;
+      init_zeros += iv ? 0 : 1;
+      fin_zeros += fv ? 0 : 1;
+      init_parity ^= iv;
+      fin_parity ^= fv;
+      const std::uint32_t bit = 1u << i;
+      if (ch.v == FourValue::Rise) {
+        switching |= bit;
+        rising |= bit;
+      } else if (ch.v == FourValue::Fall) {
+        switching |= bit;
+      }
+      walk(i + 1, weight * ch.p);
+      switching &= ~bit;
+      rising &= ~bit;
+      init_zeros -= iv ? 0 : 1;
+      fin_zeros -= fv ? 0 : 1;
+      init_parity ^= iv;
+      fin_parity ^= fv;
+    }
+  }
+
+  void emit(double weight) {
+    bool oi = false, of = false;
+    switch (spec.family) {
+      case Family::AllOnes:
+        oi = init_zeros == 0;
+        of = fin_zeros == 0;
+        break;
+      case Family::AnyOne:
+        oi = init_zeros < n;
+        of = fin_zeros < n;
+        break;
+      case Family::Parity:
+        oi = init_parity;
+        of = fin_parity;
+        break;
+      case Family::First:
+        oi = netlist::initial_value(assignment[0]);
+        of = netlist::final_value(assignment[0]);
+        break;
+      case Family::Generic: {
+        std::array<bool, 16> vi{}, vf{};
+        for (std::size_t j = 0; j < n; ++j) {
+          vi[j] = netlist::initial_value(assignment[j]);
+          vf[j] = netlist::final_value(assignment[j]);
+        }
+        oi = netlist::eval_gate(type, std::span<const bool>(vi.data(), n));
+        of = netlist::eval_gate(type, std::span<const bool>(vf.data(), n));
+        break;
+      }
+    }
+    if (spec.invert) {
+      oi = !oi;
+      of = !of;
+    }
+    if (oi == of) return;  // constant output: glitch-filtered, no transition
+    // Tuple order (switching, rising, output_rising), packed ascending.
+    const std::uint64_t key = (static_cast<std::uint64_t>(switching) << 17) |
+                              (static_cast<std::uint64_t>(rising) << 1) |
+                              static_cast<std::uint64_t>(of);
+    acc[key] += weight;
+  }
+};
+
 }  // namespace
 
 std::vector<SwitchPattern> enumerate_switch_patterns(
@@ -32,52 +168,57 @@ std::vector<SwitchPattern> enumerate_switch_patterns(
   if (n > 16) {
     throw std::invalid_argument("enumerate_switch_patterns: fanin > 16 unsupported");
   }
+  if (type == GateType::Const0 || type == GateType::Const1) return {};
 
-  // Key: (switching_mask, rising_mask, output_rising) -> accumulated weight.
-  std::map<std::tuple<std::uint32_t, std::uint32_t, bool>, double> acc;
-
+  // Support pruning — the fanin-cap hang fix: the walk covers only the
+  // joint assignments with nonzero probability instead of all 4^n codes,
+  // so a wide gate with sparse four-value support enumerates in
+  // micro/milliseconds. A genuinely dense joint support is rejected
+  // instead of silently looping for minutes.
+  static constexpr std::size_t kMaxSupportCombos = std::size_t{1} << 26;
+  std::vector<std::array<Choice, 4>> support(n);
+  std::vector<std::size_t> support_n(n, 0);
+  std::size_t combos = 1;
   static constexpr FourValue kValues[4] = {FourValue::Zero, FourValue::One,
                                            FourValue::Rise, FourValue::Fall};
-  std::vector<FourValue> assignment(n, FourValue::Zero);
-  std::size_t combos = 1;
-  for (std::size_t i = 0; i < n; ++i) combos *= 4;
-
-  for (std::size_t code = 0; code < combos; ++code) {
-    double weight = 1.0;
-    std::uint32_t switching = 0;
-    std::uint32_t rising = 0;
-    std::size_t rem = code;
-    for (std::size_t i = 0; i < n && weight > 0.0; ++i) {
-      const FourValue v = kValues[rem & 3u];
-      rem >>= 2;
-      assignment[i] = v;
-      weight *= inputs[i].prob(v);
-      if (v == FourValue::Rise) {
-        switching |= 1u << i;
-        rising |= 1u << i;
-      } else if (v == FourValue::Fall) {
-        switching |= 1u << i;
-      }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (FourValue v : kValues) {
+      const double p = inputs[i].prob(v);
+      if (p > 0.0) support[i][support_n[i]++] = {v, p};
     }
-    if (weight <= 0.0) continue;
-    const FourValue out = netlist::eval_four_value(type, assignment);
-    if (out != FourValue::Rise && out != FourValue::Fall) continue;
-    acc[{switching, rising, out == FourValue::Rise}] += weight;
+    if (support_n[i] == 0) return {};  // impossible input: empty support
+    if (combos > kMaxSupportCombos / support_n[i]) {
+      throw std::invalid_argument(
+          "enumerate_switch_patterns: joint input support exceeds 2^26 "
+          "assignments; reduce fanin or prune input probabilities");
+    }
+    combos *= support_n[i];
   }
 
+  SupportWalker w;
+  w.type = type;
+  w.spec = classify(type);
+  w.n = n;
+  w.support = support;
+  w.support_n = support_n;
+  w.acc.reserve(std::min<std::size_t>(combos, std::size_t{1} << 16));
+  w.walk(0, 1.0);
+
+  std::vector<std::pair<std::uint64_t, double>> ordered(w.acc.begin(), w.acc.end());
+  std::sort(ordered.begin(), ordered.end());
+
   std::vector<SwitchPattern> patterns;
-  patterns.reserve(acc.size());
-  for (const auto& [key, weight] : acc) {
-    const auto& [switching, rising, output_rising] = key;
+  patterns.reserve(ordered.size());
+  for (const auto& [key, weight] : ordered) {
     SwitchPattern p;
     p.weight = weight;
-    p.output_rising = output_rising;
-    p.switching_mask = switching;
-    p.rising_mask = rising;
+    p.output_rising = (key & 1u) != 0;
+    p.switching_mask = static_cast<std::uint32_t>(key >> 17);
+    p.rising_mask = static_cast<std::uint32_t>((key >> 1) & 0xFFFFu);
     // Homogeneous sets take the family op; mixed-direction sets (parity
     // gates only) settle at the last event.
-    const bool all_rising = rising == switching;
-    const bool all_falling = rising == 0;
+    const bool all_rising = p.rising_mask == p.switching_mask;
+    const bool all_falling = p.rising_mask == 0;
     if (all_rising || all_falling) {
       p.op = settle_op(type, all_rising);
     } else {

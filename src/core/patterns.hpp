@@ -4,10 +4,14 @@
 /// inputs that produces an output transition contributes one weighted term
 /// whose arrival distribution is the MAX (or MIN) over the subset.
 ///
-/// Enumeration is exact over the 4^k joint input assignments (independence
-/// assumed) but collapses assignments sharing the same switching set and
-/// directions, so each distinct (subset, directions) pair appears once
-/// with its total probability weight — the O(2^k) form the paper quotes.
+/// Enumeration is exact over the joint input assignments (independence
+/// assumed) but walks only the *support* — per-input four-values with
+/// nonzero probability — and collapses assignments sharing the same
+/// switching set and directions, so each distinct (subset, directions)
+/// pair appears once with its total probability weight — the O(2^k) form
+/// the paper quotes. A 12-input gate whose inputs are static (or have any
+/// pruned four-values) enumerates in milliseconds instead of walking all
+/// 4^12 codes.
 
 #pragma once
 
@@ -41,7 +45,9 @@ struct SwitchPattern {
 
 /// Enumerates all output-transition scenarios of \p type under the given
 /// independent input four-value probabilities. Zero-weight scenarios are
-/// dropped. Throws std::invalid_argument for more than 16 inputs.
+/// dropped. Throws std::invalid_argument for more than 16 inputs, or when
+/// the joint nonzero-probability support exceeds 2^26 assignments (a dense
+/// fanin-14+ gate) — previously such gates silently iterated for minutes.
 ///
 /// Invariants (tested):
 ///   sum of weights over rising scenarios  == gate_four_value(...).pr

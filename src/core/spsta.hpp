@@ -28,6 +28,8 @@
 
 namespace spsta::core {
 
+class PatternCache;
+
 /// Moment-form t.o.p. of one transition direction: occurrence probability
 /// plus the conditional arrival-time moments.
 struct TransitionTop {
@@ -76,8 +78,26 @@ struct SpstaOptions {
   /// Numeric engine: grid padding beyond the structural delay span, in
   /// source-arrival standard deviations.
   double grid_pad_sigma = 8.0;
-  /// Hard cap on numeric grid points.
+  /// Hard cap on numeric grid points (clamped to >= 2; a degenerate
+  /// [lo, lo] span is widened so the grid step stays positive).
   std::size_t max_grid_points = 4096;
+  /// Worker threads for level-parallel gate evaluation (0 = all hardware
+  /// threads). Nodes within one levelization level are independent, so
+  /// results are bit-identical at any thread count.
+  unsigned threads = 1;
+  /// Memoize switch-pattern enumeration keyed on (gate type, quantized
+  /// fanin probs). Cached patterns are computed from the quantized probs,
+  /// so results are reproducible at any thread count regardless of which
+  /// thread populates an entry first.
+  bool use_pattern_cache = true;
+  /// Quantization step for pattern-cache keys. 0 (default) keys on exact
+  /// bit patterns — bitwise identical to uncached enumeration; a positive
+  /// quantum (e.g. PatternCache::kCoarseQuantum) trades error bounded by
+  /// quantum/2 per probability for additional near-miss hits.
+  double pattern_quantum = 0.0;
+  /// Optional cache shared across runs/engines; when null and
+  /// use_pattern_cache is set, each run builds its own.
+  PatternCache* shared_pattern_cache = nullptr;
 };
 
 /// Runs the moment-based engine. \p source_stats follows
@@ -85,6 +105,12 @@ struct SpstaOptions {
 [[nodiscard]] SpstaResult run_spsta_moment(
     const netlist::Netlist& design, const netlist::DelayModel& delays,
     std::span<const netlist::SourceStats> source_stats);
+
+/// Moment engine with explicit options (threads / pattern cache; the grid
+/// fields are ignored). The no-options overload uses defaults.
+[[nodiscard]] SpstaResult run_spsta_moment(
+    const netlist::Netlist& design, const netlist::DelayModel& delays,
+    std::span<const netlist::SourceStats> source_stats, const SpstaOptions& options);
 
 /// Recomputes one combinational gate's four-value probabilities and
 /// rise/fall tops from the current state — the single-node kernel shared

@@ -1,11 +1,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/pattern_cache.hpp"
 #include "core/patterns.hpp"
 #include "core/spsta.hpp"
 #include "netlist/levelize.hpp"
 #include "sigprob/four_value_prop.hpp"
 #include "stats/mixture.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spsta::core {
 
@@ -65,9 +67,13 @@ Gaussian fold_arrivals(const SwitchPattern& p, std::span<const NodeTop> node,
 
 }  // namespace
 
-NodeTop propagate_node_top(const netlist::Netlist& design, NodeId id,
-                           std::span<const NodeTop> state,
-                           const netlist::DelayModel& delays) {
+namespace {
+
+/// Single-node kernel; \p cache (nullable) memoizes pattern enumeration.
+NodeTop propagate_node_top_impl(const netlist::Netlist& design, NodeId id,
+                                std::span<const NodeTop> state,
+                                const netlist::DelayModel& delays,
+                                PatternCache* cache) {
   const netlist::Node& node = design.node(id);
   NodeTop top;
   std::vector<FourValueProbs> fanin_probs;
@@ -77,8 +83,16 @@ NodeTop propagate_node_top(const netlist::Netlist& design, NodeId id,
 
   if (node.fanins.empty()) return top;  // constants: no transitions
 
-  const std::vector<SwitchPattern> patterns =
-      enumerate_switch_patterns(node.type, fanin_probs);
+  PatternCache::Patterns cached;
+  std::vector<SwitchPattern> owned;
+  if (cache != nullptr) {
+    cached = cache->get(node.type, fanin_probs);
+  } else {
+    owned = enumerate_switch_patterns(node.type, fanin_probs);
+  }
+  const std::span<const SwitchPattern> patterns =
+      cache != nullptr ? std::span<const SwitchPattern>(*cached)
+                       : std::span<const SwitchPattern>(owned);
   stats::GaussianMixture rise_mix, fall_mix;
   for (const SwitchPattern& p : patterns) {
     const Gaussian arrival = fold_arrivals(p, state, node.fanins);
@@ -95,9 +109,24 @@ NodeTop propagate_node_top(const netlist::Netlist& design, NodeId id,
   return top;
 }
 
+}  // namespace
+
+NodeTop propagate_node_top(const netlist::Netlist& design, NodeId id,
+                           std::span<const NodeTop> state,
+                           const netlist::DelayModel& delays) {
+  return propagate_node_top_impl(design, id, state, delays, nullptr);
+}
+
 SpstaResult run_spsta_moment(const netlist::Netlist& design,
                              const netlist::DelayModel& delays,
                              std::span<const netlist::SourceStats> source_stats) {
+  return run_spsta_moment(design, delays, source_stats, SpstaOptions{});
+}
+
+SpstaResult run_spsta_moment(const netlist::Netlist& design,
+                             const netlist::DelayModel& delays,
+                             std::span<const netlist::SourceStats> source_stats,
+                             const SpstaOptions& options) {
   const std::vector<NodeId> sources = design.timing_sources();
   if (source_stats.size() != sources.size() && source_stats.size() != 1) {
     throw std::invalid_argument("run_spsta_moment: source stats count mismatch");
@@ -114,10 +143,24 @@ SpstaResult run_spsta_moment(const netlist::Netlist& design,
     top.fall = {top.probs.pf, st.fall_arrival};
   }
 
+  PatternCache local_cache(options.pattern_quantum);
+  PatternCache* const cache =
+      options.shared_pattern_cache != nullptr
+          ? options.shared_pattern_cache
+          : (options.use_pattern_cache ? &local_cache : nullptr);
+
+  // Level-parallel propagation: nodes of one level depend only on strictly
+  // lower levels, so they evaluate concurrently and each writes its own
+  // slot — bit-identical results at any thread count.
   const netlist::Levelization lv = netlist::levelize(design);
-  for (NodeId id : lv.order) {
-    if (!netlist::is_combinational(design.node(id).type)) continue;
-    result.node[id] = propagate_node_top(design, id, result.node, delays);
+  util::ThreadPool pool(options.threads);
+  for (const std::vector<NodeId>& group : netlist::level_groups(lv)) {
+    pool.for_each_index(group.size(), [&](std::size_t k) {
+      const NodeId id = group[k];
+      if (!netlist::is_combinational(design.node(id).type)) return;
+      result.node[id] =
+          propagate_node_top_impl(design, id, result.node, delays, cache);
+    });
   }
   return result;
 }

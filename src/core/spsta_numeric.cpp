@@ -2,11 +2,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/pattern_cache.hpp"
 #include "core/patterns.hpp"
 #include "core/spsta.hpp"
 #include "netlist/graph.hpp"
 #include "netlist/levelize.hpp"
 #include "sigprob/four_value_prop.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spsta::core {
 
@@ -56,13 +58,19 @@ GridSpec choose_grid(const netlist::Netlist& design, const netlist::DelayModel& 
   const netlist::Levelization lv = netlist::levelize(design);
   hi += structural + options.grid_pad_sigma * delay_sd * std::sqrt(double(lv.depth) + 1.0);
 
-  double dt = options.grid_dt;
+  double dt = options.grid_dt > 0.0 ? options.grid_dt : 0.05;
+  // Degenerate span (a single deterministic arrival and zero structural
+  // delay): widen by one step so dt never collapses to 0.
+  if (!(hi > lo)) hi = lo + dt;
   std::size_t n = static_cast<std::size_t>(std::ceil((hi - lo) / dt)) + 1;
-  if (n > options.max_grid_points) {
-    n = options.max_grid_points;
+  // Clamp the cap to >= 2 so the dt recomputation never divides by n-1==0.
+  const std::size_t cap = std::max<std::size_t>(options.max_grid_points, 2);
+  if (n > cap) {
+    n = cap;
     dt = (hi - lo) / static_cast<double>(n - 1);
   }
-  return {lo, dt, std::max<std::size_t>(n, 8)};
+  // Floor of 8 points for a usable density, unless the cap is tighter.
+  return {lo, dt, std::max(n, std::min<std::size_t>(cap, 8))};
 }
 
 /// Folds the switching inputs' normalized arrival densities with exact
@@ -116,21 +124,37 @@ SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
     top.fall = PiecewiseDensity::from_gaussian(st.fall_arrival, result.grid, top.probs.pf);
   }
 
-  const netlist::Levelization lv = netlist::levelize(design);
-  std::vector<FourValueProbs> fanin_probs;
-  for (NodeId id : lv.order) {
+  PatternCache local_cache(options.pattern_quantum);
+  PatternCache* const cache =
+      options.shared_pattern_cache != nullptr
+          ? options.shared_pattern_cache
+          : (options.use_pattern_cache ? &local_cache : nullptr);
+
+  // Gate evaluation is level-parallel: a node's fanins live in strictly
+  // lower levels, so every node of one level reads finished state and
+  // writes only its own slot — results are identical at any thread count.
+  const auto eval_node = [&](NodeId id) {
     const netlist::Node& node = design.node(id);
-    if (!netlist::is_combinational(node.type)) continue;
+    if (!netlist::is_combinational(node.type)) return;
 
     NodeTopDensity& top = result.node[id];
-    fanin_probs.clear();
+    std::vector<FourValueProbs> fanin_probs;
+    fanin_probs.reserve(node.fanins.size());
     for (NodeId f : node.fanins) fanin_probs.push_back(result.node[f].probs);
     top.probs = sigprob::gate_four_value(node.type, fanin_probs);
 
-    if (node.fanins.empty()) continue;  // constants: zero densities stay
+    if (node.fanins.empty()) return;  // constants: zero densities stay
 
-    const std::vector<SwitchPattern> patterns =
-        enumerate_switch_patterns(node.type, fanin_probs);
+    PatternCache::Patterns cached;
+    std::vector<SwitchPattern> owned;
+    if (cache != nullptr) {
+      cached = cache->get(node.type, fanin_probs);
+    } else {
+      owned = enumerate_switch_patterns(node.type, fanin_probs);
+    }
+    const std::span<const SwitchPattern> patterns =
+        cache != nullptr ? std::span<const SwitchPattern>(*cached)
+                         : std::span<const SwitchPattern>(owned);
     PiecewiseDensity rise_acc = PiecewiseDensity::zero(result.grid);
     PiecewiseDensity fall_acc = PiecewiseDensity::zero(result.grid);
     for (const SwitchPattern& p : patterns) {
@@ -142,6 +166,13 @@ SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
                    .resampled(result.grid);
     top.fall = PiecewiseDensity::convolve_gaussian(fall_acc, delays.delay(id, false))
                    .resampled(result.grid);
+  };
+
+  const netlist::Levelization lv = netlist::levelize(design);
+  util::ThreadPool pool(options.threads);
+  for (const std::vector<NodeId>& group : netlist::level_groups(lv)) {
+    pool.for_each_index(group.size(),
+                        [&](std::size_t k) { eval_node(group[k]); });
   }
   return result;
 }

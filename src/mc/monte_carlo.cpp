@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spsta::mc {
 
@@ -13,7 +14,8 @@ using netlist::NodeId;
 
 netlist::FourValueProbs NodeEstimate::probs() const noexcept {
   const double total = static_cast<double>(count[0] + count[1] + count[2] + count[3]);
-  if (total <= 0.0) return {1.0, 0.0, 0.0, 0.0};
+  // No samples: return the uninformative uniform estimate, not "P0 = 1".
+  if (total <= 0.0) return {0.25, 0.25, 0.25, 0.25};
   return {static_cast<double>(count[static_cast<int>(FourValue::Zero)]) / total,
           static_cast<double>(count[static_cast<int>(FourValue::One)]) / total,
           static_cast<double>(count[static_cast<int>(FourValue::Rise)]) / total,
@@ -47,6 +49,24 @@ double MonteCarloResult::empirical_yield(double period) const {
   return static_cast<double>(met + quiet_runs) / static_cast<double>(runs);
 }
 
+namespace {
+
+/// Per-chunk partial result. Chunks cover contiguous run-index ranges in a
+/// layout that depends only on the total run count, and the final merge
+/// walks chunks in index order — so the accumulated statistics are
+/// bit-identical no matter how many threads processed the chunks.
+struct ChunkAccum {
+  std::vector<NodeEstimate> node;
+  std::uint64_t glitching_gates = 0;
+  std::optional<stats::Histogram> histogram;
+  stats::RunningMoments circuit_max;
+  std::uint64_t quiet_runs = 0;
+  std::vector<double> circuit_max_samples;
+  std::vector<std::uint64_t> critical_count;
+};
+
+}  // namespace
+
 MonteCarloResult run_monte_carlo(const netlist::Netlist& design,
                                  const netlist::DelayModel& delays,
                                  std::span<const netlist::SourceStats> source_stats,
@@ -57,100 +77,161 @@ MonteCarloResult run_monte_carlo(const netlist::Netlist& design,
   }
   const netlist::Levelization levels = netlist::levelize(design);
   const std::vector<NodeId> endpoints = design.timing_endpoints();
+  const std::size_t node_count = design.node_count();
 
   MonteCarloResult result;
-  result.node.resize(design.node_count());
-  result.critical_count.assign(design.node_count(), 0);
+  result.node.resize(node_count);
+  result.critical_count.assign(node_count, 0);
   result.runs = config.runs;
   if (config.histogram_node) {
     result.histogram.emplace(config.histogram_lo, config.histogram_hi,
                              config.histogram_bins);
   }
 
-  stats::Xoshiro256 rng(config.seed);
-  std::vector<SimValue> source_values(sources.size());
-  std::vector<double> rise_delays(design.node_count());
-  std::vector<double> fall_delays(design.node_count());
+  // Shared read-only baseline: mean delays, and whether any vary.
+  std::vector<double> base_rise(node_count);
+  std::vector<double> base_fall(node_count);
   bool delays_fixed = true;
-  for (NodeId id = 0; id < design.node_count(); ++id) {
-    rise_delays[id] = delays.delay(id, true).mean;
-    fall_delays[id] = delays.delay(id, false).mean;
+  for (NodeId id = 0; id < node_count; ++id) {
+    base_rise[id] = delays.delay(id, true).mean;
+    base_fall[id] = delays.delay(id, false).mean;
     if (delays.delay(id, true).var > 0.0 || delays.delay(id, false).var > 0.0) {
       delays_fixed = false;
     }
   }
 
-  for (std::uint64_t run = 0; run < config.runs; ++run) {
-    // Draw source values and transition times.
-    for (std::size_t i = 0; i < sources.size(); ++i) {
-      const netlist::SourceStats& st =
-          source_stats.size() == 1 ? source_stats[0] : source_stats[i];
-      const std::array<double, 4> weights{st.probs.p0, st.probs.p1, st.probs.pr,
-                                          st.probs.pf};
-      static constexpr std::array<FourValue, 4> values{FourValue::Zero, FourValue::One,
-                                                       FourValue::Rise, FourValue::Fall};
-      const FourValue v = values[rng.categorical(weights)];
-      SimValue sv;
-      sv.value = v;
-      if (v == FourValue::Rise) {
-        sv.time = rng.normal(st.rise_arrival.mean, st.rise_arrival.stddev());
-      } else if (v == FourValue::Fall) {
-        sv.time = rng.normal(st.fall_arrival.mean, st.fall_arrival.stddev());
-      }
-      source_values[i] = sv;
-    }
-    // Re-sample variational gate delays (per direction; only one applies
-    // per gate per cycle, so independent draws are fine).
-    if (!delays_fixed) {
-      for (NodeId id = 0; id < design.node_count(); ++id) {
-        const stats::Gaussian& dr = delays.delay(id, true);
-        const stats::Gaussian& df = delays.delay(id, false);
-        rise_delays[id] = dr.var > 0.0 ? rng.normal(dr.mean, dr.stddev()) : dr.mean;
-        fall_delays[id] = df.var > 0.0 ? rng.normal(df.mean, df.stddev()) : df.mean;
-      }
-    }
+  // Chunk layout: a function of `runs` alone (never of the thread count).
+  // At least 256 runs per chunk bounds accumulator memory; at most 32
+  // chunks bounds it from the other side while keeping 8+ threads busy.
+  static constexpr std::uint64_t kMinChunkRuns = 256;
+  static constexpr std::uint64_t kMaxChunks = 32;
+  const std::uint64_t chunk_runs =
+      std::max(kMinChunkRuns, (config.runs + kMaxChunks - 1) / kMaxChunks);
+  const std::size_t num_chunks =
+      config.runs == 0 ? 0
+                       : static_cast<std::size_t>((config.runs + chunk_runs - 1) / chunk_runs);
+  std::vector<ChunkAccum> chunks(num_chunks);
 
-    SimRunStats run_stats;
+  const auto run_chunk = [&](std::size_t c) {
+    ChunkAccum& acc = chunks[c];
+    acc.node.resize(node_count);
+    if (config.histogram_node) {
+      acc.histogram.emplace(config.histogram_lo, config.histogram_hi,
+                            config.histogram_bins);
+    }
+    if (config.track_circuit_max) acc.critical_count.assign(node_count, 0);
+
+    std::vector<SimValue> source_values(sources.size());
+    std::vector<double> rise_delays = base_rise;
+    std::vector<double> fall_delays = base_fall;
     std::vector<std::uint32_t> raw_changes;
-    const std::vector<SimValue> value =
-        simulate_once(design, levels, source_values, rise_delays, fall_delays,
-                      &run_stats, &raw_changes);
-    result.glitching_gates += run_stats.glitching_gates;
 
-    for (NodeId id = 0; id < design.node_count(); ++id) {
-      NodeEstimate& est = result.node[id];
-      ++est.count[static_cast<int>(value[id].value)];
-      est.raw_edges += raw_changes[id];
-      if (value[id].value == FourValue::Rise) {
-        est.rise_time.add(value[id].time);
-      } else if (value[id].value == FourValue::Fall) {
-        est.fall_time.add(value[id].time);
+    const std::uint64_t first = static_cast<std::uint64_t>(c) * chunk_runs;
+    const std::uint64_t last = std::min(config.runs, first + chunk_runs);
+    for (std::uint64_t run = first; run < last; ++run) {
+      // One RNG stream per run, seeded by (seed, run index): which thread
+      // executes the run is immaterial to what it draws.
+      stats::Xoshiro256 rng = stats::Xoshiro256::for_stream(config.seed, run);
+
+      // Draw source values and transition times.
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const netlist::SourceStats& st =
+            source_stats.size() == 1 ? source_stats[0] : source_stats[i];
+        const std::array<double, 4> weights{st.probs.p0, st.probs.p1, st.probs.pr,
+                                            st.probs.pf};
+        static constexpr std::array<FourValue, 4> values{
+            FourValue::Zero, FourValue::One, FourValue::Rise, FourValue::Fall};
+        const FourValue v = values[rng.categorical(weights)];
+        SimValue sv;
+        sv.value = v;
+        if (v == FourValue::Rise) {
+          sv.time = rng.normal(st.rise_arrival.mean, st.rise_arrival.stddev());
+        } else if (v == FourValue::Fall) {
+          sv.time = rng.normal(st.fall_arrival.mean, st.fall_arrival.stddev());
+        }
+        source_values[i] = sv;
       }
-    }
-    if (config.histogram_node && result.histogram) {
-      const SimValue& v = value[*config.histogram_node];
-      if (v.value == FourValue::Rise) result.histogram->add(v.time);
-    }
-    if (config.track_circuit_max) {
-      bool any = false;
-      double latest = 0.0;
-      NodeId latest_ep = 0;
-      for (NodeId ep : endpoints) {
-        const SimValue& v = value[ep];
-        if (v.value == FourValue::Rise || v.value == FourValue::Fall) {
-          if (!any || v.time > latest) {
-            latest = v.time;
-            latest_ep = ep;
-          }
-          any = true;
+      // Re-sample variational gate delays (per direction; only one applies
+      // per gate per cycle, so independent draws are fine).
+      if (!delays_fixed) {
+        for (NodeId id = 0; id < node_count; ++id) {
+          const stats::Gaussian& dr = delays.delay(id, true);
+          const stats::Gaussian& df = delays.delay(id, false);
+          rise_delays[id] = dr.var > 0.0 ? rng.normal(dr.mean, dr.stddev()) : dr.mean;
+          fall_delays[id] = df.var > 0.0 ? rng.normal(df.mean, df.stddev()) : df.mean;
         }
       }
-      if (any) {
-        result.circuit_max.add(latest);
-        result.circuit_max_samples.push_back(latest);
-        ++result.critical_count[latest_ep];
-      } else {
-        ++result.quiet_runs;
+
+      SimRunStats run_stats;
+      const std::vector<SimValue> value =
+          simulate_once(design, levels, source_values, rise_delays, fall_delays,
+                        &run_stats, &raw_changes);
+      acc.glitching_gates += run_stats.glitching_gates;
+
+      for (NodeId id = 0; id < node_count; ++id) {
+        NodeEstimate& est = acc.node[id];
+        ++est.count[static_cast<int>(value[id].value)];
+        est.raw_edges += raw_changes[id];
+        if (value[id].value == FourValue::Rise) {
+          est.rise_time.add(value[id].time);
+        } else if (value[id].value == FourValue::Fall) {
+          est.fall_time.add(value[id].time);
+        }
+      }
+      if (config.histogram_node && acc.histogram) {
+        const SimValue& v = value[*config.histogram_node];
+        if (v.value == FourValue::Rise) acc.histogram->add(v.time);
+      }
+      if (config.track_circuit_max) {
+        bool any = false;
+        double latest = 0.0;
+        NodeId latest_ep = 0;
+        for (NodeId ep : endpoints) {
+          const SimValue& v = value[ep];
+          if (v.value == FourValue::Rise || v.value == FourValue::Fall) {
+            if (!any || v.time > latest) {
+              latest = v.time;
+              latest_ep = ep;
+            }
+            any = true;
+          }
+        }
+        if (any) {
+          acc.circuit_max.add(latest);
+          acc.circuit_max_samples.push_back(latest);
+          ++acc.critical_count[latest_ep];
+        } else {
+          ++acc.quiet_runs;
+        }
+      }
+    }
+  };
+
+  {
+    util::ThreadPool pool(config.threads);
+    pool.for_each_index(num_chunks, run_chunk);
+  }
+
+  // Ordered merge: chunk index order == run order, independent of threads.
+  for (const ChunkAccum& acc : chunks) {
+    for (NodeId id = 0; id < node_count; ++id) {
+      NodeEstimate& est = result.node[id];
+      const NodeEstimate& part = acc.node[id];
+      for (int v = 0; v < 4; ++v) est.count[v] += part.count[v];
+      est.raw_edges += part.raw_edges;
+      est.rise_time.merge(part.rise_time);
+      est.fall_time.merge(part.fall_time);
+    }
+    result.glitching_gates += acc.glitching_gates;
+    if (result.histogram && acc.histogram) result.histogram->merge(*acc.histogram);
+    result.circuit_max.merge(acc.circuit_max);
+    result.quiet_runs += acc.quiet_runs;
+    result.circuit_max_samples.insert(result.circuit_max_samples.end(),
+                                      acc.circuit_max_samples.begin(),
+                                      acc.circuit_max_samples.end());
+    if (config.track_circuit_max) {
+      for (NodeId id = 0; id < node_count; ++id) {
+        result.critical_count[id] += acc.critical_count[id];
       }
     }
   }

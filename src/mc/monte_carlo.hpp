@@ -24,6 +24,11 @@ namespace spsta::mc {
 struct MonteCarloConfig {
   std::uint64_t runs = 10000;  ///< the paper uses 10K
   std::uint64_t seed = 1;
+  /// Worker threads sharding the runs (0 = all hardware threads). Each
+  /// run draws from its own RNG stream seeded by (seed, run index) and
+  /// runs are accumulated chunk-by-chunk in a layout that depends only on
+  /// `runs`, so results are bit-identical at any thread count.
+  unsigned threads = 1;
   /// Optional node whose rise-arrival samples are histogrammed (Fig. 1).
   std::optional<netlist::NodeId> histogram_node;
   double histogram_lo = -5.0;
@@ -43,6 +48,10 @@ struct NodeEstimate {
   stats::RunningMoments rise_time;
   stats::RunningMoments fall_time;
 
+  /// Empirical four-value probabilities. With zero observed samples the
+  /// estimate is the uninformative uniform {0.25, 0.25, 0.25, 0.25} — NOT
+  /// a confident "P0 = 1" — so accuracy comparisons against analytic
+  /// engines never score phantom agreement on never-simulated nodes.
   [[nodiscard]] netlist::FourValueProbs probs() const noexcept;
   /// P(value == Rise) over runs.
   [[nodiscard]] double rise_probability() const noexcept;

@@ -40,4 +40,10 @@ Levelization levelize(const Netlist& design) {
   return out;
 }
 
+std::vector<std::vector<NodeId>> level_groups(const Levelization& lv) {
+  std::vector<std::vector<NodeId>> groups(lv.order.empty() ? 0 : lv.depth + 1);
+  for (NodeId id : lv.order) groups[lv.level[id]].push_back(id);
+  return groups;
+}
+
 }  // namespace spsta::netlist

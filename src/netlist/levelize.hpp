@@ -29,4 +29,10 @@ struct Levelization {
 /// loops. Throws std::logic_error if a *combinational* cycle remains.
 [[nodiscard]] Levelization levelize(const Netlist& design);
 
+/// Nodes grouped by level: result[L] holds every node of level L, in
+/// topological-order within the group. A node's fanins always live in
+/// strictly lower groups, so nodes within one group are mutually
+/// independent — the unit of parallel gate evaluation.
+[[nodiscard]] std::vector<std::vector<NodeId>> level_groups(const Levelization& lv);
+
 }  // namespace spsta::netlist

@@ -26,6 +26,16 @@ void Histogram::add(double x) noexcept {
   ++counts_[bin < counts_.size() ? bin : counts_.size() - 1];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: incompatible layout");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 double Histogram::bin_width() const noexcept {
   return (hi_ - lo_) / static_cast<double>(counts_.size());
 }

@@ -19,6 +19,10 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Accumulates another histogram's counts (parallel/chunked collection).
+  /// Throws std::invalid_argument unless ranges and bin counts match.
+  void merge(const Histogram& other);
+
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }

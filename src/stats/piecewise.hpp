@@ -31,8 +31,9 @@ struct GridSpec {
   friend bool operator==(const GridSpec&, const GridSpec&) = default;
 };
 
-/// Smallest grid with step <= max(a.dt, b.dt is NOT used; the finer step is
-/// kept) covering the union of both grids' spans.
+/// Grid covering the union of both grids' spans, using the finer of the
+/// two steps (min(a.dt, b.dt)); the point count is capped, and an empty
+/// grid unions to the other operand unchanged.
 [[nodiscard]] GridSpec union_grid(const GridSpec& a, const GridSpec& b);
 
 /// A non-negative piecewise-linear density sampled on a uniform grid.

@@ -22,6 +22,48 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
   for (auto& s : state_) s = sm.next();
 }
 
+Xoshiro256 Xoshiro256::for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Whiten the experiment seed once, then mix in the stream index with an
+  // odd multiplier; the constructor's SplitMix64 expansion decorrelates
+  // the resulting 256-bit states even for adjacent stream indices.
+  SplitMix64 sm(seed);
+  return Xoshiro256(sm.next() ^ (0xD1342543DE82EF95ULL * (stream + 1)));
+}
+
+namespace {
+/// Applies one of the xoshiro256 jump polynomials to \p self.
+template <typename Gen>
+void apply_jump(Gen& self, std::array<std::uint64_t, 4>& state,
+                const std::uint64_t (&poly)[4]) noexcept {
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : poly) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state[i];
+      }
+      (void)self();
+    }
+  }
+  state = acc;
+}
+}  // namespace
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[4] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  apply_jump(*this, state_, kJump);
+  has_cached_normal_ = false;
+}
+
+void Xoshiro256::long_jump() noexcept {
+  static constexpr std::uint64_t kLongJump[4] = {
+      0x76E15D3EFEFDCBBFULL, 0xC5004E441C522FB3ULL, 0x77710069854EE241ULL,
+      0x39109BB02ACBE635ULL};
+  apply_jump(*this, state_, kLongJump);
+  has_cached_normal_ = false;
+}
+
 Xoshiro256::result_type Xoshiro256::operator()() noexcept {
   const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;

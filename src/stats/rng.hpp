@@ -36,6 +36,20 @@ class Xoshiro256 {
   /// Seeds the full 256-bit state from \p seed via SplitMix64.
   explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
 
+  /// Generator for logical stream \p stream of the experiment seeded by
+  /// \p seed: deterministic in (seed, stream) only, independent of how
+  /// streams are assigned to threads. This is the seeding contract behind
+  /// parallel Monte Carlo (one stream per run index) — see DESIGN.md.
+  [[nodiscard]] static Xoshiro256 for_stream(std::uint64_t seed,
+                                             std::uint64_t stream) noexcept;
+
+  /// Advances the state by 2^128 steps (Blackman & Vigna's jump
+  /// polynomial): splits the period into non-overlapping substreams for
+  /// up to 2^128 parallel consumers. Drops any cached normal deviate.
+  void jump() noexcept;
+  /// Advances the state by 2^192 steps — substreams of jump() substreams.
+  void long_jump() noexcept;
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~result_type{0}; }
 

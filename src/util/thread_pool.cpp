@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+namespace spsta::util {
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  workers_.reserve(n > 0 ? n - 1 : 0);
+  for (unsigned i = 1; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_job_share() {
+  // job_fn_ / job_count_ are stable for the lifetime of the job: workers
+  // copy them under the mutex before entering, and a new job cannot be
+  // armed while any participant is active.
+  const std::function<void(std::size_t)>& fn = *job_fn_;
+  const std::size_t count = job_count_;
+  for (;;) {
+    const std::size_t idx = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= count) break;
+    try {
+      fn(idx);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    job_cv_.wait(lk, [&] { return shutdown_ || job_generation_ != seen_generation; });
+    if (shutdown_) return;
+    seen_generation = job_generation_;
+    active_.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+    run_job_share();
+    lk.lock();
+    if (active_.fetch_sub(1, std::memory_order_relaxed) == 1) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t count,
+                                const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  // Wait out stragglers of the previous job so arming never races a stale
+  // participant's index fetch.
+  done_cv_.wait(lk, [&] { return active_.load(std::memory_order_relaxed) == 0; });
+  job_fn_ = &fn;
+  job_count_ = count;
+  next_index_.store(0, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  ++job_generation_;
+  lk.unlock();
+  job_cv_.notify_all();
+
+  run_job_share();  // the submitter works too
+
+  lk.lock();
+  done_cv_.wait(lk, [&] { return active_.load(std::memory_order_relaxed) == 0; });
+  const std::exception_ptr err = first_error_;
+  first_error_ = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+void parallel_for(unsigned threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  const unsigned n = resolve_threads(threads);
+  if (n <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(n);
+  pool.for_each_index(count, fn);
+}
+
+}  // namespace spsta::util

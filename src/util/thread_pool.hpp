@@ -1,0 +1,85 @@
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool with a blocking index-parallel dispatch —
+/// the deterministic execution layer under the Monte Carlo driver and the
+/// level-parallel SPSTA engines.
+///
+/// Design constraints (see DESIGN.md §"Threading and determinism"):
+///   * No work stealing and no per-task queues: one job at a time, indices
+///     handed out by a single atomic counter. Which thread runs which index
+///     is timing-dependent, but callers only submit *pure* per-index work
+///     (each index writes its own output slot), so results never depend on
+///     the schedule — determinism comes from the caller-side merge order,
+///     not from pinning work to threads.
+///   * The submitting thread participates in the job, so a pool of size n
+///     uses n worker threads plus the caller and `threads <= 1` degrades to
+///     a plain inline loop with zero synchronization.
+///   * Exceptions thrown by per-index work are captured; the first one (by
+///     completion time) is rethrown on the submitting thread after the job
+///     drains.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spsta::util {
+
+/// Resolves a requested thread count: 0 means "all hardware threads",
+/// anything else is taken literally. Always returns >= 1.
+[[nodiscard]] unsigned resolve_threads(unsigned requested) noexcept;
+
+/// Fixed-size pool executing one index-parallel job at a time.
+class ThreadPool {
+ public:
+  /// Spawns `resolve_threads(threads) - 1` workers (the caller is the
+  /// remaining participant). A pool of size <= 1 spawns none.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total participants (workers + the submitting thread).
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, count), blocking until all complete.
+  /// fn must be safe to invoke concurrently for distinct indices. Rethrows
+  /// the first captured exception. Must not be called re-entrantly from
+  /// inside a job.
+  void for_each_index(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_job_share();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   ///< workers wait here for a new job
+  std::condition_variable done_cv_;  ///< the submitter waits here for drain
+  std::uint64_t job_generation_ = 0;
+  bool shutdown_ = false;
+
+  // Current job state (stable while any participant is active).
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::atomic<std::size_t> next_index_{0};
+  /// Workers currently inside a job share; a new job is armed only at 0.
+  std::atomic<std::size_t> active_{0};
+  std::exception_ptr first_error_;
+};
+
+/// One-shot convenience: runs fn(i) for i in [0, count) on `threads`
+/// participants (inline when threads <= 1 or count <= 1). Prefer a
+/// long-lived ThreadPool when dispatching many jobs (e.g. per level).
+void parallel_for(unsigned threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace spsta::util

@@ -127,5 +127,41 @@ TEST(Patterns, RejectsWideGates) {
                std::invalid_argument);
 }
 
+TEST(Patterns, WideSparseFaninEnumeratesFast) {
+  // Regression for the fanin-cap hang: enumeration used to iterate all
+  // 4^n codes regardless of support, so a 12-input gate walked 16.7M
+  // combinations (and 14+ inputs ran for minutes). With support pruning
+  // this 12-input gate has 4 * 2^11 = 8192 joint assignments and must
+  // finish in milliseconds; ctest's timeout catches a reintroduced hang.
+  std::vector<FourValueProbs> inputs(12, FourValueProbs{0.6, 0.4, 0.0, 0.0});
+  inputs[0] = FourValueProbs{0.2, 0.2, 0.3, 0.3};  // the only switching input
+  const auto patterns = enumerate_switch_patterns(GateType::And, inputs);
+  double rise = 0.0, fall = 0.0;
+  for (const SwitchPattern& sp : patterns) {
+    EXPECT_EQ(sp.switching_mask, 1u);  // only input 0 can switch
+    (sp.output_rising ? rise : fall) += sp.weight;
+  }
+  const FourValueProbs expected = sigprob::gate_four_value(GateType::And, inputs);
+  EXPECT_NEAR(rise, expected.pr, 1e-12);
+  EXPECT_NEAR(fall, expected.pf, 1e-12);
+}
+
+TEST(Patterns, RejectsDenseJointSupportInsteadOfHanging) {
+  // 16 inputs with full four-value support: 4^16 = 2^32 joint assignments
+  // exceed the 2^26 cap, which must be reported as an error up front — not
+  // discovered as a multi-minute enumeration.
+  std::vector<FourValueProbs> dense(16, FourValueProbs{0.25, 0.25, 0.25, 0.25});
+  EXPECT_THROW((void)enumerate_switch_patterns(GateType::And, dense),
+               std::invalid_argument);
+}
+
+TEST(Patterns, ImpossibleInputYieldsNoPatterns) {
+  // An input with an all-zero support (invalid distribution) cannot occur;
+  // the enumeration returns no scenarios rather than fabricating weights.
+  std::vector<FourValueProbs> inputs{FourValueProbs{0.0, 0.0, 0.0, 0.0},
+                                     FourValueProbs{0.25, 0.25, 0.25, 0.25}};
+  EXPECT_TRUE(enumerate_switch_patterns(GateType::And, inputs).empty());
+}
+
 }  // namespace
 }  // namespace spsta::core

@@ -137,6 +137,48 @@ TEST(SpstaNumeric, GridPointCapRespected) {
   EXPECT_LE(r.grid.n, 512u);
 }
 
+TEST(SpstaNumeric, TinyGridPointCapStaysNonDegenerate) {
+  // Regression: max_grid_points < 2 used to make the dt recomputation
+  // divide by n - 1 == 0, poisoning every density with inf/NaN.
+  const Netlist n = netlist::make_s27();
+  SpstaOptions opt;
+  opt.max_grid_points = 1;
+  const SpstaNumericResult r = run_spsta_numeric(
+      n, netlist::DelayModel::unit(n), std::vector{netlist::scenario_I()}, opt);
+  EXPECT_GE(r.grid.n, 2u);
+  EXPECT_LE(r.grid.n, 2u);  // the (clamped) cap is authoritative
+  EXPECT_GT(r.grid.dt, 0.0);
+  ASSERT_TRUE(std::isfinite(r.grid.dt));
+  for (const auto& node : r.node) {
+    for (double v : node.rise.values()) ASSERT_TRUE(std::isfinite(v));
+    for (double v : node.fall.values()) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(SpstaNumeric, DegenerateSpanWidensInsteadOfCollapsing) {
+  // Regression: zero-variance sources at one instant plus zero structural
+  // delay made hi == lo, so the grid step collapsed to 0 (and with a cap
+  // hit, to NaN). The span must widen by one step instead.
+  Netlist n;
+  const NodeId a = n.add_input("a");
+  n.mark_output(n.add_gate(GateType::Buf, "y", {a}));
+  netlist::SourceStats st;
+  st.probs = {0.25, 0.25, 0.25, 0.25};
+  st.rise_arrival = {0.0, 0.0};  // deterministic arrival at t = 0
+  st.fall_arrival = {0.0, 0.0};
+  const netlist::DelayModel zero_delay(n);  // all-zero delays
+
+  const SpstaNumericResult r =
+      run_spsta_numeric(n, zero_delay, std::vector{st});
+  EXPECT_GT(r.grid.dt, 0.0);
+  ASSERT_TRUE(std::isfinite(r.grid.dt));
+  EXPECT_GE(r.grid.n, 2u);
+  for (const auto& node : r.node) {
+    for (double v : node.rise.values()) ASSERT_TRUE(std::isfinite(v));
+    for (double v : node.fall.values()) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
 TEST(SpstaNumeric, SourceMismatchThrows) {
   const Netlist n = netlist::make_s27();
   EXPECT_THROW((void)run_spsta_numeric(n, netlist::DelayModel::unit(n),

@@ -1,0 +1,171 @@
+// Determinism contract of the parallel execution layer: the Monte Carlo
+// driver and both SPSTA engines must produce BIT-IDENTICAL results at any
+// thread count (see DESIGN.md §"Threading and determinism"). Every
+// comparison below is exact double equality, not a tolerance.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spsta.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/netlist.hpp"
+
+namespace spsta {
+namespace {
+
+using netlist::NodeId;
+
+/// An ISCAS-scale generated circuit with reconvergent fanout and
+/// variational delays — enough structure to exercise multi-level parallel
+/// dispatch and multi-chunk Monte Carlo sharding.
+netlist::Netlist test_circuit() {
+  netlist::GeneratorSpec spec;
+  spec.name = "det";
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.num_gates = 120;
+  spec.target_depth = 8;
+  spec.seed = 42;
+  return netlist::generate_circuit(spec);
+}
+
+void expect_same_mc(const mc::MonteCarloResult& a, const mc::MonteCarloResult& b) {
+  ASSERT_EQ(a.node.size(), b.node.size());
+  for (std::size_t id = 0; id < a.node.size(); ++id) {
+    for (int v = 0; v < 4; ++v) ASSERT_EQ(a.node[id].count[v], b.node[id].count[v]);
+    ASSERT_EQ(a.node[id].raw_edges, b.node[id].raw_edges);
+    ASSERT_EQ(a.node[id].rise_time.count(), b.node[id].rise_time.count());
+    ASSERT_EQ(a.node[id].rise_time.mean(), b.node[id].rise_time.mean());
+    ASSERT_EQ(a.node[id].rise_time.variance(), b.node[id].rise_time.variance());
+    ASSERT_EQ(a.node[id].fall_time.mean(), b.node[id].fall_time.mean());
+    ASSERT_EQ(a.node[id].fall_time.variance(), b.node[id].fall_time.variance());
+  }
+  ASSERT_EQ(a.glitching_gates, b.glitching_gates);
+  ASSERT_EQ(a.quiet_runs, b.quiet_runs);
+  ASSERT_EQ(a.circuit_max.count(), b.circuit_max.count());
+  ASSERT_EQ(a.circuit_max.mean(), b.circuit_max.mean());
+  ASSERT_EQ(a.circuit_max.variance(), b.circuit_max.variance());
+  ASSERT_EQ(a.circuit_max_samples, b.circuit_max_samples);
+  ASSERT_EQ(a.critical_count, b.critical_count);
+}
+
+TEST(Determinism, MonteCarloIsThreadCountInvariant) {
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.08);
+  const std::vector sources{netlist::scenario_I()};
+
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 3000;  // > 8 chunks at the 256-run floor
+  cfg.seed = 2026;
+  cfg.track_circuit_max = true;
+
+  mc::MonteCarloConfig cfg2 = cfg;
+  cfg2.threads = 2;
+  mc::MonteCarloConfig cfg8 = cfg;
+  cfg8.threads = 8;
+
+  const auto r1 = mc::run_monte_carlo(n, d, sources, cfg);
+  const auto r2 = mc::run_monte_carlo(n, d, sources, cfg2);
+  const auto r8 = mc::run_monte_carlo(n, d, sources, cfg8);
+  expect_same_mc(r1, r2);
+  expect_same_mc(r1, r8);
+}
+
+TEST(Determinism, MonteCarloIsRerunStable) {
+  // Same (seed, runs) twice at a high thread count: the per-run stream
+  // seeding makes the draw sequence a pure function of (seed, run index).
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.08);
+  const std::vector sources{netlist::scenario_I()};
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 1500;
+  cfg.seed = 7;
+  cfg.threads = 8;
+  cfg.track_circuit_max = true;
+  expect_same_mc(mc::run_monte_carlo(n, d, sources, cfg),
+                 mc::run_monte_carlo(n, d, sources, cfg));
+}
+
+void expect_same_numeric(const core::SpstaNumericResult& a,
+                         const core::SpstaNumericResult& b) {
+  ASSERT_EQ(a.grid, b.grid);
+  ASSERT_EQ(a.node.size(), b.node.size());
+  for (std::size_t id = 0; id < a.node.size(); ++id) {
+    ASSERT_EQ(a.node[id].probs.p0, b.node[id].probs.p0);
+    ASSERT_EQ(a.node[id].probs.p1, b.node[id].probs.p1);
+    ASSERT_EQ(a.node[id].probs.pr, b.node[id].probs.pr);
+    ASSERT_EQ(a.node[id].probs.pf, b.node[id].probs.pf);
+    const auto rise_a = a.node[id].rise.values();
+    const auto rise_b = b.node[id].rise.values();
+    const auto fall_a = a.node[id].fall.values();
+    const auto fall_b = b.node[id].fall.values();
+    ASSERT_EQ(std::vector(rise_a.begin(), rise_a.end()),
+              std::vector(rise_b.begin(), rise_b.end()));
+    ASSERT_EQ(std::vector(fall_a.begin(), fall_a.end()),
+              std::vector(fall_b.begin(), fall_b.end()));
+  }
+}
+
+TEST(Determinism, NumericEngineIsThreadCountInvariant) {
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.05);
+  const std::vector sources{netlist::scenario_I()};
+
+  core::SpstaOptions o1;  // threads = 1 default
+  core::SpstaOptions o2 = o1;
+  o2.threads = 2;
+  core::SpstaOptions o8 = o1;
+  o8.threads = 8;
+
+  const auto r1 = core::run_spsta_numeric(n, d, sources, o1);
+  expect_same_numeric(r1, core::run_spsta_numeric(n, d, sources, o2));
+  expect_same_numeric(r1, core::run_spsta_numeric(n, d, sources, o8));
+}
+
+TEST(Determinism, PatternCacheIsTransparentAtExactKeys) {
+  // With the default quantum of 0 the cache keys on exact bit patterns, so
+  // cached and uncached runs are bitwise identical.
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector sources{netlist::scenario_I()};
+
+  core::SpstaOptions cached;
+  cached.threads = 4;
+  cached.use_pattern_cache = true;
+  core::SpstaOptions uncached;
+  uncached.threads = 4;
+  uncached.use_pattern_cache = false;
+  expect_same_numeric(core::run_spsta_numeric(n, d, sources, cached),
+                      core::run_spsta_numeric(n, d, sources, uncached));
+}
+
+TEST(Determinism, MomentEngineIsThreadCountInvariant) {
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.05);
+  const std::vector sources{netlist::scenario_I()};
+
+  const core::SpstaResult base = core::run_spsta_moment(n, d, sources);
+  for (unsigned threads : {2u, 8u}) {
+    core::SpstaOptions opt;
+    opt.threads = threads;
+    const core::SpstaResult r = core::run_spsta_moment(n, d, sources, opt);
+    ASSERT_EQ(r.node.size(), base.node.size());
+    for (std::size_t id = 0; id < r.node.size(); ++id) {
+      ASSERT_EQ(r.node[id].probs.pr, base.node[id].probs.pr);
+      ASSERT_EQ(r.node[id].probs.pf, base.node[id].probs.pf);
+      ASSERT_EQ(r.node[id].rise.mass, base.node[id].rise.mass);
+      ASSERT_EQ(r.node[id].rise.arrival.mean, base.node[id].rise.arrival.mean);
+      ASSERT_EQ(r.node[id].rise.arrival.var, base.node[id].rise.arrival.var);
+      ASSERT_EQ(r.node[id].rise.third_central, base.node[id].rise.third_central);
+      ASSERT_EQ(r.node[id].fall.mass, base.node[id].fall.mass);
+      ASSERT_EQ(r.node[id].fall.arrival.mean, base.node[id].fall.arrival.mean);
+      ASSERT_EQ(r.node[id].fall.arrival.var, base.node[id].fall.arrival.var);
+      ASSERT_EQ(r.node[id].fall.third_central, base.node[id].fall.third_central);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spsta

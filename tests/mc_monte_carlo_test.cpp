@@ -153,6 +153,33 @@ TEST(MonteCarlo, GlitchesObservedOnSuiteCircuit) {
   EXPECT_GT(r.glitching_gates, 0u);
 }
 
+TEST(MonteCarlo, ZeroSampleEstimateIsUninformativeUniform) {
+  // Regression: with no samples probs() used to report a confident
+  // "P0 = 1", which scored phantom agreement against analytic engines on
+  // never-simulated nodes. No data means the uniform estimate.
+  const NodeEstimate empty;
+  const netlist::FourValueProbs p = empty.probs();
+  EXPECT_DOUBLE_EQ(p.p0, 0.25);
+  EXPECT_DOUBLE_EQ(p.p1, 0.25);
+  EXPECT_DOUBLE_EQ(p.pr, 0.25);
+  EXPECT_DOUBLE_EQ(p.pf, 0.25);
+  EXPECT_DOUBLE_EQ(empty.rise_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.fall_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.raw_edge_rate(), 0.0);
+}
+
+TEST(MonteCarlo, ZeroRunsYieldUniformEstimates) {
+  const Netlist n = netlist::make_s27();
+  MonteCarloConfig cfg;
+  cfg.runs = 0;
+  const MonteCarloResult r = run_monte_carlo(n, netlist::DelayModel::unit(n),
+                                             std::vector{netlist::scenario_I()}, cfg);
+  for (const NodeEstimate& est : r.node) {
+    EXPECT_DOUBLE_EQ(est.probs().p0, 0.25);
+    EXPECT_DOUBLE_EQ(est.probs().pr, 0.25);
+  }
+}
+
 TEST(MonteCarlo, SourceStatsMismatchThrows) {
   const Netlist n = netlist::make_s27();
   MonteCarloConfig cfg;

@@ -108,6 +108,64 @@ TEST(Xoshiro256, CategoricalMatchesWeights) {
   EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.25, 0.01);
 }
 
+TEST(Xoshiro256, JumpIsDeterministicAndDiverges) {
+  Xoshiro256 a(11), b(11), stay(11);
+  a.jump();
+  b.jump();
+  int same_as_jumped = 0, same_as_start = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t va = a();
+    if (va == b()) ++same_as_jumped;
+    if (va == stay()) ++same_as_start;
+  }
+  EXPECT_EQ(same_as_jumped, 64);  // jump is a pure function of state
+  EXPECT_LT(same_as_start, 2);    // ... 2^128 steps away from the start
+}
+
+TEST(Xoshiro256, LongJumpDiffersFromJump) {
+  Xoshiro256 a(11), b(11);
+  a.jump();
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, JumpDropsCachedNormal) {
+  // Box-Muller caches the second deviate; a jumped generator must draw
+  // from the post-jump state, not hand out the pre-jump leftover.
+  Xoshiro256 replay(12);
+  (void)replay.normal();
+  const double stale_second = replay.normal();  // the cached deviate
+
+  Xoshiro256 jumped(12);
+  (void)jumped.normal();  // caches the same second deviate
+  jumped.jump();
+  EXPECT_NE(jumped.normal(), stale_second);
+}
+
+TEST(Xoshiro256, ForStreamIsAPureFunctionOfSeedAndStream) {
+  Xoshiro256 a = Xoshiro256::for_stream(99, 5);
+  Xoshiro256 b = Xoshiro256::for_stream(99, 5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DistinctStreamsDiverge) {
+  Xoshiro256 s0 = Xoshiro256::for_stream(99, 0);
+  Xoshiro256 s1 = Xoshiro256::for_stream(99, 1);
+  Xoshiro256 other_seed = Xoshiro256::for_stream(100, 0);
+  int same01 = 0, same_seed = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = s0();
+    if (v == s1()) ++same01;
+    if (v == other_seed()) ++same_seed;
+  }
+  EXPECT_LT(same01, 2);
+  EXPECT_LT(same_seed, 2);
+}
+
 TEST(Xoshiro256, CategoricalZeroWeightNeverDrawn) {
   Xoshiro256 rng(10);
   const std::vector<double> weights{0.0, 1.0, 0.0};

@@ -1,0 +1,81 @@
+// Tests for the deterministic execution layer: the fixed-size ThreadPool
+// and its blocking index-parallel dispatch.
+
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace spsta::util {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardwareAndNeverBelowOne) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(5), 5u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.for_each_index(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, SizeCountsWorkersPlusSubmitter) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(4).size(), 4u);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.for_each_index(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  // The level-parallel engines dispatch one job per level through a single
+  // pool; stale state from job k must never leak into job k+1.
+  ThreadPool pool(4);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::size_t> sum{0};
+    const std::size_t count = static_cast<std::size_t>(job % 7);
+    pool.for_each_index(count, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), count * (count + 1) / 2) << "job " << job;
+  }
+}
+
+TEST(ThreadPool, RethrowsFirstExceptionAfterDraining) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.for_each_index(64,
+                          [&](std::size_t i) {
+                            if (i == 13) throw std::runtime_error("boom");
+                            completed.fetch_add(1);
+                          }),
+      std::runtime_error);
+  // The pool stays usable after a throwing job.
+  std::atomic<int> after{0};
+  pool.for_each_index(8, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ParallelFor, MatchesSequentialResult) {
+  std::vector<std::size_t> out(257, 0);
+  parallel_for(8, out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace spsta::util
