@@ -1,0 +1,152 @@
+// spsta — one-shot CLI client for the analysis service.
+//
+// Drives exactly the same JSON-lines protocol as spsta_serviced, but
+// in-process: it builds the request lines a daemon client would send,
+// routes them through the batch scheduler, and prints the response lines.
+// The service layer — not the examples — is the canonical way to touch
+// the engines.
+//
+//   spsta run s298 --engine=ssta                 load + analyze a builtin
+//   spsta run netlist.bench --engine=mc --runs=2000 --seed=7
+//   spsta query s27 --node=G17                   per-node statistics
+//   spsta script session.jsonl                   raw protocol lines ( - = stdin)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/daemon.hpp"
+#include "service/json.hpp"
+
+namespace {
+
+using spsta::service::AnalysisService;
+using spsta::service::BatchScheduler;
+using spsta::service::Json;
+using spsta::service::Response;
+
+int usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "spsta — one-shot client for the spsta analysis service\n"
+      "  spsta run <circuit|file> [--engine=E] [--threads=N] [--runs=N] [--seed=N]\n"
+      "  spsta query <circuit|file> (--node=NAME | --path) [--engine=E]\n"
+      "  spsta script <file.jsonl | ->\n"
+      "Engines: spsta_moment (default) spsta_numeric canonical ssta mc.\n"
+      "<circuit> is a builtin name (s27, s208..s1238); <file> is .bench/.v.\n");
+  return to == stdout ? 0 : 2;
+}
+
+/// True for the builtin circuit names the service accepts.
+bool is_builtin_circuit(const std::string& name) {
+  return !name.empty() && name[0] == 's' &&
+         name.find('.') == std::string::npos &&
+         name.find('/') == std::string::npos;
+}
+
+Json load_request(const std::string& target) {
+  Json req = Json::object();
+  req.set("id", Json("load"));
+  req.set("cmd", Json("load"));
+  if (is_builtin_circuit(target)) {
+    req.set("circuit", Json(target));
+  } else {
+    req.set("path", Json(target));
+  }
+  return req;
+}
+
+/// The session key from a load response ("" on failure).
+std::string session_of(const Response& response) {
+  if (!response.ok) return "";
+  const Json* key = response.body.find("session");
+  return key != nullptr && key->is_string() ? key->as_string() : "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    return usage(args.empty() ? stderr : stdout);
+  }
+  const std::string mode = args[0];
+
+  if (mode == "script") {
+    if (args.size() != 2) return usage(stderr);
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (args[1] != "-") {
+      file.open(args[1]);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", args[1].c_str());
+        return 1;
+      }
+      in = &file;
+    }
+    AnalysisService service;
+    spsta::service::serve(*in, std::cout, service, {});
+    return 0;
+  }
+
+  if (mode != "run" && mode != "query") return usage(stderr);
+  if (args.size() < 2) return usage(stderr);
+  const std::string target = args[1];
+
+  std::string engine = "spsta_moment", node, threads, runs, seed;
+  bool path_query = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&](const char* prefix) -> std::string {
+      return a.substr(std::string(prefix).size());
+    };
+    if (a.rfind("--engine=", 0) == 0) engine = value("--engine=");
+    else if (a.rfind("--node=", 0) == 0) node = value("--node=");
+    else if (a.rfind("--threads=", 0) == 0) threads = value("--threads=");
+    else if (a.rfind("--runs=", 0) == 0) runs = value("--runs=");
+    else if (a.rfind("--seed=", 0) == 0) seed = value("--seed=");
+    else if (a == "--path") path_query = true;
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return usage(stderr);
+    }
+  }
+
+  // Two-phase: load first (to learn the session key), then the command —
+  // the same two lines a daemon client would pipe in.
+  AnalysisService service;
+  BatchScheduler scheduler(service, 0);
+  const Response loaded = scheduler.run_one(load_request(target).dump());
+  std::printf("%s\n", loaded.to_line().c_str());
+  const std::string session = session_of(loaded);
+  if (session.empty()) return 1;
+
+  Json req = Json::object();
+  req.set("id", Json(mode));
+  req.set("cmd", Json(mode == "run" ? "analyze" : "query"));
+  req.set("session", Json(session));
+  req.set("engine", Json(engine));
+  if (mode == "query") {
+    if (path_query || node.empty()) {
+      req.set("path", node.empty() ? Json(true) : Json(node));
+    } else {
+      req.set("node", Json(node));
+    }
+  }
+  Json params = Json::object();
+  try {
+    if (!threads.empty()) params.set("threads", Json(std::stod(threads)));
+    if (!runs.empty()) params.set("runs", Json(std::stod(runs)));
+    if (!seed.empty()) params.set("seed", Json(std::stod(seed)));
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "numeric option could not be parsed\n");
+    return 2;
+  }
+  if (!params.as_object().empty()) req.set("params", params);
+
+  const Response response = scheduler.run_one(req.dump());
+  std::printf("%s\n", response.to_line().c_str());
+  return response.ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// spsta_serviced — the long-lived analysis daemon.
+//
+// Speaks the JSON-lines protocol over stdin/stdout: one request per line,
+// one response line per request, in order. Designs are parsed once and
+// kept warm across requests; repeated analyses are served from the result
+// cache and ECO edits ride the incremental engine. Malformed input yields
+// structured error responses — nothing a client sends kills the daemon.
+//
+//   $ spsta_serviced [--threads=N] [--no-batch]
+//   {"id":1,"cmd":"load","circuit":"s27"}
+//   {"id":1,"ok":true,"result":{"session":"...","name":"s27",...}}
+//   {"id":2,"cmd":"analyze","session":"...","engine":"spsta_moment"}
+//   ...
+//   {"id":9,"cmd":"shutdown"}
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "service/daemon.hpp"
+
+int main(int argc, char** argv) {
+  spsta::service::ServeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg == "--no-batch") {
+      options.greedy_batch = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "spsta_serviced — JSON-lines analysis daemon over stdin/stdout\n"
+          "  --threads=N   scheduler pool size (default: all hardware threads)\n"
+          "  --no-batch    one request at a time (no greedy batch draining)\n"
+          "Protocol: see DESIGN.md §9. Commands: ping load analyze query\n"
+          "set_delay set_source stats unload shutdown\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Unbuffered interplay with pipes: std::cin unties from cout inside
+  // serve() via explicit flushes; keep iostreams fast.
+  std::ios::sync_with_stdio(false);
+
+  spsta::service::AnalysisService service;
+  const spsta::service::ServeReport report =
+      spsta::service::serve(std::cin, std::cout, service, options);
+  std::fprintf(stderr, "spsta_serviced: served %llu requests in %llu batches (%s)\n",
+               static_cast<unsigned long long>(report.requests),
+               static_cast<unsigned long long>(report.batches),
+               report.shutdown ? "shutdown" : "eof");
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "netlist/delay_model.hpp"
 #include "netlist/iscas89.hpp"
 #include "report/table.hpp"
+#include "service/service.hpp"
 #include "ssta/ssta.hpp"
 #include "util/thread_pool.hpp"
 
@@ -55,6 +56,61 @@ struct CircuitTiming {
   double spsta = 0.0, ssta = 0.0, mc1 = 0.0, mcN = 0.0;
   bool identical = false;
 };
+
+/// Throughput of the analysis service on one circuit, in requests/second:
+/// a warm session (design parsed once, repeated analyze served from the
+/// result cache) against cold one-shots (a fresh service doing load +
+/// analyze per request — what shelling out to a one-shot binary costs).
+struct ServiceThroughput {
+  std::string circuit;
+  double warm_rps = 0.0;
+  double cold_rps = 0.0;
+};
+
+ServiceThroughput measure_service(const std::string& circuit) {
+  using spsta::service::AnalysisService;
+  namespace chrono = std::chrono;
+  const std::string load_line =
+      "{\"cmd\":\"load\",\"circuit\":\"" + circuit + "\"}";
+  const auto analyze_line = [](const std::string& session) {
+    return "{\"cmd\":\"analyze\",\"session\":\"" + session +
+           "\",\"engine\":\"spsta_moment\"}";
+  };
+
+  ServiceThroughput out;
+  out.circuit = circuit;
+
+  {  // Warm: one long-lived session, cache populated by the first analyze.
+    AnalysisService service;
+    const auto loaded = service.execute_line(load_line);
+    const std::string session = loaded.body.find("session")->as_string();
+    const std::string line = analyze_line(session);
+    benchmark::DoNotOptimize(service.execute_line(line));
+    constexpr int kWarmRequests = 500;
+    const auto t0 = chrono::steady_clock::now();
+    for (int i = 0; i < kWarmRequests; ++i) {
+      benchmark::DoNotOptimize(service.execute_line(line));
+    }
+    const double secs =
+        chrono::duration<double>(chrono::steady_clock::now() - t0).count();
+    out.warm_rps = kWarmRequests / std::max(secs, 1e-12);
+  }
+
+  {  // Cold: every request pays parse + levelize + full analysis.
+    constexpr int kColdRequests = 10;
+    const auto t0 = chrono::steady_clock::now();
+    for (int i = 0; i < kColdRequests; ++i) {
+      AnalysisService service;
+      const auto loaded = service.execute_line(load_line);
+      const std::string session = loaded.body.find("session")->as_string();
+      benchmark::DoNotOptimize(service.execute_line(analyze_line(session)));
+    }
+    const double secs =
+        chrono::duration<double>(chrono::steady_clock::now() - t0).count();
+    out.cold_rps = kColdRequests / std::max(secs, 1e-12);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -127,6 +183,18 @@ int main(int argc, char** argv) {
   std::printf("Parallel MC statistics bit-identical to single-threaded: %s\n",
               all_identical ? "yes" : "NO — determinism contract violated");
 
+  // Service mode: what keeping the design warm in spsta_serviced buys over
+  // shelling out a one-shot binary per request (largest paper circuit).
+  const std::string service_circuit{netlist::paper_circuit_names().back()};
+  const ServiceThroughput svc = measure_service(service_circuit);
+  std::printf(
+      "\n=== Service mode (%s, spsta_moment) ===\n"
+      "warm session (cached analyze): %10.0f requests/s\n"
+      "cold one-shot (load+analyze):  %10.2f requests/s\n"
+      "warm/cold speedup:             %10.0fx\n",
+      service_circuit.c_str(), svc.warm_rps, svc.cold_rps,
+      svc.warm_rps / std::max(svc.cold_rps, 1e-12));
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "a");
     if (!f) {
@@ -144,7 +212,10 @@ int main(int argc, char** argv) {
                    i ? "," : "", t.name.c_str(), t.spsta, t.ssta, t.mc1, threads,
                    t.mcN, t.mc1 / std::max(t.mcN, 1e-9));
     }
-    std::fprintf(f, "]}\n");
+    std::fprintf(f,
+                 "],\"service\":{\"circuit\":\"%s\",\"warm_rps\":%.6g,"
+                 "\"cold_rps\":%.6g}}\n",
+                 svc.circuit.c_str(), svc.warm_rps, svc.cold_rps);
     std::fclose(f);
     std::printf("Appended timing trajectory to %s\n", json_path.c_str());
   }

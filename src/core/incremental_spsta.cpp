@@ -10,24 +10,25 @@ using netlist::NodeId;
 
 namespace {
 
-bool nearly_equal(const stats::Gaussian& a, const stats::Gaussian& b) {
-  constexpr double kEps = 1e-12;
-  return std::abs(a.mean - b.mean) <= kEps && std::abs(a.var - b.var) <= kEps;
+// With eps == 0 these demand exact (bitwise) equality, so skipped
+// propagation can never diverge from a fresh full run.
+bool nearly_equal(const stats::Gaussian& a, const stats::Gaussian& b, double eps) {
+  return std::abs(a.mean - b.mean) <= eps && std::abs(a.var - b.var) <= eps;
 }
 
-bool nearly_equal(const TransitionTop& a, const TransitionTop& b) {
-  return std::abs(a.mass - b.mass) <= 1e-12 && nearly_equal(a.arrival, b.arrival);
+bool nearly_equal(const TransitionTop& a, const TransitionTop& b, double eps) {
+  return std::abs(a.mass - b.mass) <= eps && nearly_equal(a.arrival, b.arrival, eps);
 }
 
-bool nearly_equal(const netlist::FourValueProbs& a, const netlist::FourValueProbs& b) {
-  constexpr double kEps = 1e-12;
-  return std::abs(a.p0 - b.p0) <= kEps && std::abs(a.p1 - b.p1) <= kEps &&
-         std::abs(a.pr - b.pr) <= kEps && std::abs(a.pf - b.pf) <= kEps;
+bool nearly_equal(const netlist::FourValueProbs& a, const netlist::FourValueProbs& b,
+                  double eps) {
+  return std::abs(a.p0 - b.p0) <= eps && std::abs(a.p1 - b.p1) <= eps &&
+         std::abs(a.pr - b.pr) <= eps && std::abs(a.pf - b.pf) <= eps;
 }
 
-bool nearly_equal(const NodeTop& a, const NodeTop& b) {
-  return nearly_equal(a.probs, b.probs) && nearly_equal(a.rise, b.rise) &&
-         nearly_equal(a.fall, b.fall);
+bool nearly_equal(const NodeTop& a, const NodeTop& b, double eps) {
+  return nearly_equal(a.probs, b.probs, eps) && nearly_equal(a.rise, b.rise, eps) &&
+         nearly_equal(a.fall, b.fall, eps);
 }
 
 NodeTop source_top(const netlist::SourceStats& st) {
@@ -42,11 +43,16 @@ NodeTop source_top(const netlist::SourceStats& st) {
 
 IncrementalSpsta::IncrementalSpsta(const netlist::Netlist& design,
                                    netlist::DelayModel delays,
-                                   std::span<const netlist::SourceStats> source_stats)
-    : design_(design), delays_(std::move(delays)), levels_(netlist::levelize(design)) {
+                                   std::span<const netlist::SourceStats> source_stats,
+                                   double settle_eps)
+    : design_(design), delays_(std::move(delays)), levels_(netlist::levelize(design)),
+      settle_eps_(settle_eps) {
   const std::vector<NodeId> sources = design_.timing_sources();
   if (source_stats.size() != sources.size() && source_stats.size() != 1) {
     throw std::invalid_argument("IncrementalSpsta: source stats count mismatch");
+  }
+  if (!(settle_eps_ >= 0.0)) {
+    throw std::invalid_argument("IncrementalSpsta: settle_eps must be >= 0");
   }
   order_pos_.assign(design_.node_count(), 0);
   for (std::size_t i = 0; i < levels_.order.size(); ++i) {
@@ -80,7 +86,7 @@ void IncrementalSpsta::mark_dirty(NodeId id) {
 bool IncrementalSpsta::recompute(NodeId id) {
   const NodeTop updated = propagate_node_top(design_, id, state_, delays_);
   ++nodes_reevaluated_;
-  if (nearly_equal(updated, state_[id])) return false;
+  if (nearly_equal(updated, state_[id], settle_eps_)) return false;
   state_[id] = updated;
   return true;
 }
@@ -117,7 +123,7 @@ void IncrementalSpsta::set_delay(NodeId id, const stats::Gaussian& delay) {
   if (id >= design_.node_count()) {
     throw std::invalid_argument("IncrementalSpsta::set_delay: bad node id");
   }
-  if (nearly_equal(delays_.delay(id), delay)) return;
+  if (nearly_equal(delays_.delay(id), delay, settle_eps_)) return;
   delays_.set_delay(id, delay);
   if (netlist::is_combinational(design_.node(id).type)) mark_dirty(id);
 }

@@ -22,9 +22,17 @@ namespace spsta::core {
 /// Incremental SPSTA session over a fixed netlist topology.
 class IncrementalSpsta {
  public:
-  /// Runs the initial full analysis.
+  /// Default settle tolerance: propagation past a recomputed node stops
+  /// when its state moved by no more than this per component.
+  static constexpr double kDefaultSettleEps = 1e-12;
+
+  /// Runs the initial full analysis. \p settle_eps controls early
+  /// stopping: 0 demands exact (bitwise) settlement, making every update
+  /// sequence bit-identical to a fresh full run — the mode the analysis
+  /// service uses so ECO re-queries match cold re-analysis exactly.
   IncrementalSpsta(const netlist::Netlist& design, netlist::DelayModel delays,
-                   std::span<const netlist::SourceStats> source_stats);
+                   std::span<const netlist::SourceStats> source_stats,
+                   double settle_eps = kDefaultSettleEps);
 
   /// Current state at \p id, lazily updating any dirty fanin cone.
   [[nodiscard]] const NodeTop& node(netlist::NodeId id);
@@ -42,6 +50,9 @@ class IncrementalSpsta {
     return nodes_reevaluated_;
   }
 
+  /// The settle tolerance this session was built with.
+  [[nodiscard]] double settle_eps() const noexcept { return settle_eps_; }
+
  private:
   void mark_dirty(netlist::NodeId id);
   void propagate_dirty();
@@ -57,6 +68,7 @@ class IncrementalSpsta {
   std::size_t dirty_hi_ = 0;
   bool any_dirty_ = false;
   std::uint64_t nodes_reevaluated_ = 0;
+  double settle_eps_ = kDefaultSettleEps;
 };
 
 }  // namespace spsta::core

@@ -21,6 +21,15 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
+// Editors on some platforms prepend a UTF-8 byte-order mark; it is not part
+// of the netlist and would otherwise glue onto the first token.
+std::string_view strip_utf8_bom(std::string_view s) {
+  if (s.size() >= 3 && s[0] == '\xEF' && s[1] == '\xBB' && s[2] == '\xBF') {
+    s.remove_prefix(3);
+  }
+  return s;
+}
+
 // One parsed statement before netlist construction.
 struct Statement {
   std::size_t line = 0;
@@ -70,6 +79,7 @@ std::pair<std::string, std::vector<std::string>> parse_call(std::string_view s,
 }  // namespace
 
 Netlist parse_bench(std::string_view text, std::string name) {
+  text = strip_utf8_bom(text);
   std::vector<Statement> statements;
   std::size_t line_no = 0;
   std::size_t pos = 0;
@@ -114,6 +124,10 @@ Netlist parse_bench(std::string_view text, std::string name) {
       st.args = std::move(args);
     }
     statements.push_back(std::move(st));
+  }
+  if (statements.empty()) {
+    throw BenchParseError(line_no == 0 ? 1 : line_no,
+                          "empty input: no INPUT/OUTPUT/gate statements");
   }
 
   // Pass 1: declare every defined signal.

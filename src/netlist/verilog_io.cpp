@@ -24,6 +24,10 @@ struct Token {
 
 /// Strips comments, splits into identifiers and single-char punctuation.
 std::vector<Token> tokenize(std::string_view text) {
+  // Tolerate a UTF-8 byte-order mark; it is whitespace-equivalent here.
+  if (text.size() >= 3 && text[0] == '\xEF' && text[1] == '\xBB' && text[2] == '\xBF') {
+    text.remove_prefix(3);
+  }
   std::vector<Token> tokens;
   std::size_t line = 1;
   std::size_t i = 0;
@@ -138,6 +142,9 @@ std::vector<Token> identifier_list(Cursor& cur) {
 
 Netlist parse_verilog(std::string_view text) {
   const std::vector<Token> tokens = tokenize(text);
+  if (tokens.empty()) {
+    throw VerilogParseError(1, "empty input: expected a module definition");
+  }
   Cursor cur{tokens};
 
   cur.expect("module");

@@ -1,0 +1,52 @@
+#include "service/daemon.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spsta::service {
+
+namespace {
+
+/// True when the line holds anything beyond whitespace (blank lines are
+/// ignored rather than answered, so interactive use stays pleasant).
+bool has_content(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ServeReport serve(std::istream& in, std::ostream& out, AnalysisService& service,
+                  const ServeOptions& options) {
+  BatchScheduler scheduler(service, options.threads);
+  ServeReport report;
+
+  std::string line;
+  while (!service.shutdown_requested() && std::getline(in, line)) {
+    std::vector<Incoming> batch;
+    if (has_content(line)) batch.push_back(Incoming{std::move(line)});
+    // Drain whole lines that are already buffered: piped scripts become
+    // real batches without blocking an interactive client.
+    while (options.greedy_batch && batch.size() < options.max_batch &&
+           in.rdbuf()->in_avail() > 0 && std::getline(in, line)) {
+      if (has_content(line)) batch.push_back(Incoming{std::move(line)});
+    }
+    if (batch.empty()) continue;
+
+    const std::vector<Response> responses = scheduler.run(batch);
+    for (const Response& response : responses) {
+      out << response.to_line() << '\n';
+    }
+    out.flush();
+    ++report.batches;
+    report.requests += batch.size();
+  }
+  report.shutdown = service.shutdown_requested();
+  return report;
+}
+
+}  // namespace spsta::service

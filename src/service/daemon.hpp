@@ -1,0 +1,38 @@
+/// \file daemon.hpp
+/// The JSON-lines serve loop shared by `spsta_serviced` (over real
+/// stdin/stdout) and the in-process client / tests (over string streams).
+///
+/// Reads one request per line, greedily draining whatever further whole
+/// lines are already buffered into the same batch (so piped scripts get
+/// genuine batch scheduling), hands the batch to the BatchScheduler and
+/// writes one response line per request, in order. Returns after a
+/// `shutdown` request or at end of input. No input can make it throw.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+#include "service/scheduler.hpp"
+#include "service/service.hpp"
+
+namespace spsta::service {
+
+struct ServeOptions {
+  unsigned threads = 0;          ///< scheduler pool size (0 = hardware)
+  std::size_t max_batch = 256;   ///< cap on greedily drained batch size
+  bool greedy_batch = true;      ///< drain buffered lines into one batch
+};
+
+struct ServeReport {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  bool shutdown = false;  ///< true when stopped by a shutdown request
+};
+
+/// Serves requests from \p in to \p out until shutdown or EOF.
+ServeReport serve(std::istream& in, std::ostream& out, AnalysisService& service,
+                  const ServeOptions& options = {});
+
+}  // namespace spsta::service

@@ -1,0 +1,337 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spsta::service {
+
+JsonParseError::JsonParseError(std::size_t offset, const std::string& message)
+    : std::runtime_error("json:" + std::to_string(offset) + ": " + message),
+      offset_(offset) {}
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) throw std::logic_error("Json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) throw std::logic_error("Json: not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) throw std::logic_error("Json: not a string");
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::Array) throw std::logic_error("Json: not an array");
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::Object) throw std::logic_error("Json: not an object");
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (type_ != Type::Object) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  if (type_ != Type::Array) throw std::logic_error("Json: push_back on non-array");
+  array_.push_back(std::move(value));
+}
+
+void Json::set(std::string_view key, Json value) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  if (type_ != Type::Object) throw std::logic_error("Json: set on non-object");
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t max_depth;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError(pos, message);
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const {
+    if (done()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  void expect(char c) {
+    if (done() || text[pos] != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool try_consume(char c) {
+    if (!done() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  void literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) fail("bad literal");
+    pos += word.size();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (done()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return out;
+      }
+      if (c < 0x20) fail("control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (done()) fail("unterminated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (done()) fail("truncated \\u escape");
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode the BMP code point; surrogate pairs are passed
+            // through as two 3-byte sequences (protocol strings are
+            // netlist/file names, not emoji — lossless is enough).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+        continue;
+      }
+      out.push_back(static_cast<char>(c));
+      ++pos;
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos;
+    if (try_consume('-')) {}
+    if (done() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      fail("bad number");
+    }
+    if (text[pos] == '0' && pos + 1 < text.size() &&
+        std::isdigit(static_cast<unsigned char>(text[pos + 1]))) {
+      fail("bad number: leading zero");
+    }
+    while (!done() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (try_consume('.')) {
+      if (done() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        fail("bad number: digits required after '.'");
+      }
+      while (!done() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (!done() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (!done() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (done() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        fail("bad number: exponent digits required");
+      }
+      while (!done() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    if (!std::isfinite(value)) fail("number out of range");
+    return value;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > max_depth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': {
+        ++pos;
+        Json::Object members;
+        skip_ws();
+        if (try_consume('}')) return Json(std::move(members));
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          for (const Json::Member& m : members) {
+            if (m.first == key) fail("duplicate key '" + key + "'");
+          }
+          skip_ws();
+          expect(':');
+          members.emplace_back(std::move(key), parse_value(depth + 1));
+          skip_ws();
+          if (try_consume(',')) continue;
+          expect('}');
+          return Json(std::move(members));
+        }
+      }
+      case '[': {
+        ++pos;
+        Json::Array items;
+        skip_ws();
+        if (try_consume(']')) return Json(std::move(items));
+        while (true) {
+          items.push_back(parse_value(depth + 1));
+          skip_ws();
+          if (try_consume(',')) continue;
+          expect(']');
+          return Json(std::move(items));
+        }
+      }
+      case '"': return Json(parse_string());
+      case 't': literal("true"); return Json(true);
+      case 'f': literal("false"); return Json(false);
+      case 'n': literal("null"); return Json(nullptr);
+      default: return Json(parse_number());
+    }
+  }
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  // Integers up to 2^53 print without an exponent or decimal point.
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  // Shortest round-trip form: try increasing precision until re-parsing
+  // reproduces the exact bits (17 significant digits always does).
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  Parser p{text, 0, max_depth};
+  Json value = p.parse_value(0);
+  p.skip_ws();
+  if (!p.done()) p.fail("trailing characters after document");
+  return value;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::Null: out += "null"; return;
+    case Type::Bool: out += bool_ ? "true" : "false"; return;
+    case Type::Number: out += json_number(number_); return;
+    case Type::String: append_escaped(out, string_); return;
+    case Type::Array: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out.push_back(',');
+        array_[i].dump_to(out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Type::Object: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out.push_back(',');
+        append_escaped(out, object_[i].first);
+        out.push_back(':');
+        object_[i].second.dump_to(out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace spsta::service

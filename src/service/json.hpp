@@ -1,0 +1,115 @@
+/// \file json.hpp
+/// Minimal JSON value type, parser and writer for the analysis service's
+/// JSON-lines protocol. Self-contained (no third-party dependency), with
+/// the properties the protocol needs:
+///
+///   * objects preserve insertion order, so responses serialize
+///     deterministically;
+///   * numbers round-trip doubles exactly (shortest form that re-reads to
+///     the same bits), so cached results compare bitwise across a dump /
+///     parse cycle;
+///   * the parser enforces a nesting-depth cap and reports byte offsets,
+///     so hostile input produces a clean JsonParseError, never a crash.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spsta::service {
+
+/// Error thrown by Json::parse; carries the byte offset of the failure.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t offset, const std::string& message);
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// An immutable-ish JSON value. Objects are ordered key/value vectors
+/// (duplicate keys are rejected by the parser; find returns the first).
+class Json {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() = default;                       ///< null
+  Json(std::nullptr_t) {}                 ///< null
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double n) : type_(Type::Number), number_(n) {}
+  /// Any other arithmetic type converts through double.
+  template <typename T>
+    requires(std::is_arithmetic_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, double>)
+  Json(T n) : type_(Type::Number), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::String), string_(s) {}
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), string_(s) {}
+  Json(Array a) : type_(Type::Array), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Appends to an array value (converts a null to an array first).
+  void push_back(Json value);
+  /// Sets an object member (converts a null to an object first; replaces
+  /// an existing member in place, preserving its position).
+  void set(std::string_view key, Json value);
+
+  /// Parses one JSON document; the whole input must be consumed (trailing
+  /// whitespace allowed). Throws JsonParseError.
+  [[nodiscard]] static Json parse(std::string_view text, std::size_t max_depth = 64);
+
+  /// Compact single-line serialization (no trailing newline). Doubles use
+  /// the shortest representation that parses back to the same value.
+  [[nodiscard]] std::string dump() const;
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Formats a double as the shortest decimal string that parses back to
+/// the same bits (JSON number syntax; non-finite values clamp to 0 as
+/// JSON has no representation for them).
+[[nodiscard]] std::string json_number(double value);
+
+}  // namespace spsta::service

@@ -1,0 +1,81 @@
+/// \file protocol.hpp
+/// The JSON-lines request/response protocol of the analysis service.
+///
+/// One request per line, one response line per request, always in request
+/// order. A request is a JSON object:
+///
+///   {"id": 7, "cmd": "analyze", "session": "9f..", "engine": "ssta",
+///    "params": {"threads": 4}, "deadline_ms": 250}
+///
+/// `id` (number or string) is echoed verbatim; `deadline_ms` is a
+/// relative deadline from enqueue, enforced by the batch scheduler.
+/// Responses are {"id":..,"ok":true,"result":{..}} or
+/// {"id":..,"ok":false,"error":{"code":"..","message":".."}} — a
+/// malformed request yields an error response, never a dead daemon.
+///
+/// Commands: ping, load, analyze, query, set_delay, set_source, stats,
+/// unload, shutdown (DESIGN.md §9 has the full grammar).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "service/json.hpp"
+
+namespace spsta::service {
+
+/// Structured error categories of the protocol.
+enum class ErrorCode {
+  ParseError,        ///< line is not a valid JSON object
+  BadRequest,        ///< object lacks a usable cmd / malformed envelope
+  UnknownCommand,    ///< cmd is not in the table
+  UnknownSession,    ///< session key not loaded
+  UnknownNode,       ///< node name / id not in the design
+  UnknownEngine,     ///< engine name not in the table
+  BadParams,         ///< command parameters missing or out of range
+  DeadlineExceeded,  ///< request expired before execution
+  IoError,           ///< file could not be read
+  InternalError,     ///< unexpected exception (caught, daemon stays up)
+};
+
+/// Wire name of an error code (e.g. "unknown_session").
+[[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
+
+/// A parsed request envelope. `body` is the full request object; command
+/// handlers read their parameters from it.
+struct Request {
+  Json id;                  ///< null when the client sent none
+  std::string cmd;
+  Json body;                ///< the whole request object
+  double deadline_ms = -1;  ///< relative deadline; < 0 means none
+};
+
+/// One response line.
+struct Response {
+  Json id;
+  bool ok = false;
+  Json body;  ///< result object (ok) or error object (!ok)
+
+  [[nodiscard]] static Response success(Json id, Json result);
+  [[nodiscard]] static Response failure(Json id, ErrorCode code, std::string message);
+
+  /// The response as one JSON line (no trailing newline).
+  [[nodiscard]] std::string to_line() const;
+  /// Error code of a failure response ("" for successes).
+  [[nodiscard]] std::string_view error_code() const;
+};
+
+/// Parses one request line. Returns the Request, or a ready error
+/// Response when the line is not a valid request envelope (invalid JSON,
+/// not an object, missing/empty cmd, bad id or deadline type).
+[[nodiscard]] std::variant<Request, Response> parse_request(std::string_view line);
+
+/// True for commands that mutate service state (load, set_delay,
+/// set_source, unload, shutdown): the batch scheduler runs these as
+/// barriers, never concurrently with other requests. Read-only commands
+/// (analyze, query, stats, ping) and unknown commands are parallel-safe.
+[[nodiscard]] bool is_mutating_command(std::string_view cmd) noexcept;
+
+}  // namespace spsta::service

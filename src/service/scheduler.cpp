@@ -1,0 +1,94 @@
+#include "service/scheduler.hpp"
+
+#include <utility>
+#include <variant>
+
+namespace spsta::service {
+
+namespace {
+
+/// A request parsed once up front, so classification (mutating or not)
+/// does not re-parse inside the pool job.
+struct Slot {
+  std::variant<Request, Response> parsed;
+  std::chrono::steady_clock::time_point enqueued;
+
+  [[nodiscard]] bool is_barrier() const {
+    const Request* req = std::get_if<Request>(&parsed);
+    return req != nullptr && is_mutating_command(req->cmd);
+  }
+};
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(AnalysisService& service, unsigned threads)
+    : service_(service), pool_(threads) {}
+
+std::vector<Response> BatchScheduler::run(const std::vector<Incoming>& batch) {
+  ++stats_.batches;
+  stats_.requests += batch.size();
+
+  std::vector<Slot> slots;
+  slots.reserve(batch.size());
+  for (const Incoming& incoming : batch) {
+    slots.push_back({parse_request(incoming.line), incoming.enqueued});
+  }
+
+  std::vector<Response> responses(batch.size());
+  // Written from pool threads; each slot touches only its own entry, so
+  // the counters can be summed race-free after the batch.
+  std::vector<unsigned char> expired(batch.size(), 0);
+  const auto execute_slot = [&](std::size_t i) {
+    Slot& slot = slots[i];
+    if (Response* early = std::get_if<Response>(&slot.parsed)) {
+      responses[i] = std::move(*early);  // envelope error, nothing to execute
+      return;
+    }
+    const Request& request = std::get<Request>(slot.parsed);
+    if (request.deadline_ms >= 0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - slot.enqueued)
+              .count();
+      if (elapsed_ms > request.deadline_ms) {
+        expired[i] = 1;
+        responses[i] = Response::failure(
+            request.id, ErrorCode::DeadlineExceeded,
+            "deadline of " + json_number(request.deadline_ms) + " ms exceeded (" +
+                json_number(elapsed_ms) + " ms in queue)");
+        return;
+      }
+    }
+    responses[i] = service_.execute(request);
+  };
+
+  std::size_t i = 0;
+  while (i < slots.size()) {
+    if (slots[i].is_barrier()) {
+      ++stats_.barriers;
+      execute_slot(i);
+      ++i;
+      continue;
+    }
+    // Maximal run of parallel-safe requests -> one pool job.
+    std::size_t end = i;
+    while (end < slots.size() && !slots[end].is_barrier()) ++end;
+    if (end - i == 1) {
+      execute_slot(i);
+    } else {
+      ++stats_.parallel_groups;
+      pool_.for_each_index(end - i,
+                           [&](std::size_t k) { execute_slot(i + k); });
+    }
+    i = end;
+  }
+  for (const unsigned char e : expired) stats_.deadline_expired += e;
+  return responses;
+}
+
+Response BatchScheduler::run_one(std::string line) {
+  std::vector<Response> responses = run({Incoming{std::move(line)}});
+  return std::move(responses.front());
+}
+
+}  // namespace spsta::service

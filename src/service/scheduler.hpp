@@ -1,0 +1,68 @@
+/// \file scheduler.hpp
+/// Batch scheduler: executes a batch of protocol requests against the
+/// analysis service, fanning independent requests out over the shared
+/// util::ThreadPool while emitting responses strictly in request order.
+///
+/// Scheduling rules (deterministic by construction):
+///   * the batch is split at *mutating* commands (load, set_delay,
+///     set_source, unload, shutdown) — each runs alone, as a barrier;
+///   * the read-only requests between two barriers form one parallel
+///     group dispatched as a single pool job; per-session mutexes inside
+///     the service serialize same-session work, and each request writes
+///     only its own response slot, so the output is independent of the
+///     thread count (the execution layer's usual contract);
+///   * a request whose `deadline_ms` has already elapsed when its turn
+///     comes is answered with a deadline_exceeded error instead of
+///     running — load shedding, not silent dropping;
+///   * exceptions never escape: each request resolves to exactly one
+///     structured response.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spsta::service {
+
+/// One raw request line plus its enqueue time (deadline origin).
+struct Incoming {
+  std::string line;
+  std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
+};
+
+/// Counters accumulated across batches.
+struct SchedulerStats {
+  std::uint64_t batches = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t parallel_groups = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t deadline_expired = 0;
+};
+
+class BatchScheduler {
+ public:
+  /// \p threads sizes the shared pool (0 = all hardware threads).
+  explicit BatchScheduler(AnalysisService& service, unsigned threads = 0);
+
+  /// Executes a batch; responses[i] answers batch[i].
+  [[nodiscard]] std::vector<Response> run(const std::vector<Incoming>& batch);
+
+  /// Convenience for single requests (a batch of one).
+  [[nodiscard]] Response run_one(std::string line);
+
+  [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] unsigned pool_size() const noexcept { return pool_.size(); }
+
+ private:
+  AnalysisService& service_;
+  util::ThreadPool pool_;
+  SchedulerStats stats_;
+};
+
+}  // namespace spsta::service

@@ -1,0 +1,704 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/graph.hpp"
+#include "netlist/iscas89.hpp"
+#include "netlist/verilog_io.hpp"
+
+namespace spsta::service {
+
+namespace {
+
+using netlist::NodeId;
+
+/// Internal control-flow error: handlers throw it, execute() converts it
+/// into a structured failure response.
+struct ServiceError {
+  ErrorCode code;
+  std::string message;
+};
+
+[[noreturn]] void fail(ErrorCode code, std::string message) {
+  throw ServiceError{code, std::move(message)};
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Engine parse_engine(std::string_view name) {
+  if (name == "spsta_moment") return Engine::SpstaMoment;
+  if (name == "spsta_numeric") return Engine::SpstaNumeric;
+  if (name == "canonical") return Engine::Canonical;
+  if (name == "ssta") return Engine::Ssta;
+  if (name == "mc") return Engine::Mc;
+  fail(ErrorCode::UnknownEngine,
+       "unknown engine '" + std::string(name) +
+           "' (expected spsta_moment|spsta_numeric|canonical|ssta|mc)");
+}
+
+double number_field(const Json& object, std::string_view key, double fallback,
+                    double lo, double hi) {
+  const Json* v = object.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    fail(ErrorCode::BadParams, "'" + std::string(key) + "' must be a number");
+  }
+  const double x = v->as_number();
+  if (!(x >= lo && x <= hi)) {
+    fail(ErrorCode::BadParams, "'" + std::string(key) + "' out of range");
+  }
+  return x;
+}
+
+AnalyzeParams parse_params(const Json& body) {
+  AnalyzeParams p;
+  const Json* params = body.find("params");
+  if (params == nullptr) return p;
+  if (!params->is_object()) {
+    fail(ErrorCode::BadParams, "'params' must be an object");
+  }
+  p.threads = static_cast<unsigned>(number_field(*params, "threads", 1, 0, 1024));
+  p.grid_dt = number_field(*params, "grid_dt", p.grid_dt, 1e-6, 1e6);
+  p.grid_pad_sigma = number_field(*params, "grid_pad_sigma", p.grid_pad_sigma, 0, 64);
+  p.max_grid_points = static_cast<std::size_t>(
+      number_field(*params, "max_grid_points", static_cast<double>(p.max_grid_points),
+                   2, 1 << 22));
+  p.runs = static_cast<std::uint64_t>(
+      number_field(*params, "runs", static_cast<double>(p.runs), 1, 1e9));
+  p.seed = static_cast<std::uint64_t>(
+      number_field(*params, "seed", static_cast<double>(p.seed), 0, 9.007199254740992e15));
+  for (const Json::Member& m : params->as_object()) {
+    if (m.first != "threads" && m.first != "grid_dt" && m.first != "grid_pad_sigma" &&
+        m.first != "max_grid_points" && m.first != "runs" && m.first != "seed") {
+      fail(ErrorCode::BadParams, "unknown parameter '" + m.first + "'");
+    }
+  }
+  return p;
+}
+
+Engine engine_of(const Json& body, Engine fallback = Engine::SpstaMoment) {
+  const Json* engine = body.find("engine");
+  if (engine == nullptr) return fallback;
+  if (!engine->is_string()) fail(ErrorCode::BadParams, "'engine' must be a string");
+  return parse_engine(engine->as_string());
+}
+
+/// Resolves a "node" field (name string or integer id) against the design.
+NodeId resolve_node(const Session& session, const Json& value) {
+  if (value.is_string()) {
+    const NodeId id = session.design.find(value.as_string());
+    if (id == netlist::kInvalidNode) {
+      fail(ErrorCode::UnknownNode, "no node named '" + value.as_string() + "'");
+    }
+    return id;
+  }
+  if (value.is_number()) {
+    const double x = value.as_number();
+    if (x < 0 || x != std::floor(x) ||
+        x >= static_cast<double>(session.design.node_count())) {
+      fail(ErrorCode::UnknownNode,
+           "node id " + json_number(x) + " out of range [0, " +
+               std::to_string(session.design.node_count()) + ")");
+    }
+    return static_cast<NodeId>(x);
+  }
+  fail(ErrorCode::BadParams, "'node' must be a name or an integer id");
+}
+
+Json direction_json(double p, double mean, double stddev) {
+  Json j = Json::object();
+  j.set("p", Json(p));
+  j.set("mean", Json(mean));
+  j.set("std", Json(stddev));
+  return j;
+}
+
+Json probs_json(const netlist::FourValueProbs& probs) {
+  Json j = Json::object();
+  j.set("p0", Json(probs.p0));
+  j.set("p1", Json(probs.p1));
+  j.set("pr", Json(probs.pr));
+  j.set("pf", Json(probs.pf));
+  return j;
+}
+
+/// Per-node stats of a cached analysis, engine-agnostic shape:
+/// {probs?, rise:{p,mean,std}, fall:{p,mean,std}}.
+Json node_stats_json(const CachedAnalysis& analysis, NodeId id) {
+  Json j = Json::object();
+  if (const auto* moment = std::get_if<core::SpstaResult>(&analysis.result)) {
+    const core::NodeTop& top = moment->node.at(id);
+    j.set("probs", probs_json(top.probs));
+    j.set("rise", direction_json(top.rise.mass, top.rise.arrival.mean,
+                                 top.rise.arrival.stddev()));
+    j.set("fall", direction_json(top.fall.mass, top.fall.arrival.mean,
+                                 top.fall.arrival.stddev()));
+  } else if (const auto* numeric =
+                 std::get_if<core::SpstaNumericResult>(&analysis.result)) {
+    const core::NodeTopDensity& top = numeric->node.at(id);
+    j.set("probs", probs_json(top.probs));
+    j.set("rise", direction_json(top.rise.mass(), top.rise.mean(), top.rise.stddev()));
+    j.set("fall", direction_json(top.fall.mass(), top.fall.mean(), top.fall.stddev()));
+  } else if (const auto* canonical =
+                 std::get_if<core::SpstaCanonicalResult>(&analysis.result)) {
+    const core::NodeCanonicalTop& top = canonical->node.at(id);
+    j.set("probs", probs_json(top.probs));
+    j.set("rise", direction_json(top.rise.mass, top.rise.arrival.mean(),
+                                 std::sqrt(top.rise.arrival.variance())));
+    j.set("fall", direction_json(top.fall.mass, top.fall.arrival.mean(),
+                                 std::sqrt(top.fall.arrival.variance())));
+  } else if (const auto* arrivals = std::get_if<ssta::SstaResult>(&analysis.result)) {
+    const spsta::ssta::NodeArrival& a = arrivals->arrival.at(id);
+    j.set("rise", direction_json(1.0, a.rise.mean, a.rise.stddev()));
+    j.set("fall", direction_json(1.0, a.fall.mean, a.fall.stddev()));
+  } else if (const auto* sampled = std::get_if<mc::MonteCarloResult>(&analysis.result)) {
+    const spsta::mc::NodeEstimate& e = sampled->node.at(id);
+    j.set("probs", probs_json(e.probs()));
+    j.set("rise", direction_json(e.rise_probability(), e.rise_time.mean(),
+                                 std::sqrt(e.rise_time.variance())));
+    j.set("fall", direction_json(e.fall_probability(), e.fall_time.mean(),
+                                 std::sqrt(e.fall_time.variance())));
+  }
+  return j;
+}
+
+/// Endpoint summary + worst endpoint (by mean arrival over both
+/// directions, transitions with vanishing probability excluded).
+Json endpoints_json(const Session& session, const CachedAnalysis& analysis) {
+  Json endpoints = Json::array();
+  double worst_mean = -1e300;
+  Json worst;
+  for (const NodeId ep : session.design.timing_endpoints()) {
+    Json row = node_stats_json(analysis, ep);
+    row.set("node", Json(static_cast<std::uint64_t>(ep)));
+    row.set("name", Json(session.design.node(ep).name));
+    for (const bool rising : {true, false}) {
+      const Json* dir = row.find(rising ? "rise" : "fall");
+      if (dir == nullptr) continue;
+      const double p = dir->find("p")->as_number();
+      const double mean = dir->find("mean")->as_number();
+      if (p >= 1e-9 && mean > worst_mean) {
+        worst_mean = mean;
+        worst = Json::object();
+        worst.set("node", Json(static_cast<std::uint64_t>(ep)));
+        worst.set("name", Json(session.design.node(ep).name));
+        worst.set("direction", Json(rising ? "rise" : "fall"));
+        worst.set("p", Json(p));
+        worst.set("mean", Json(mean));
+        worst.set("std", *dir->find("std"));
+      }
+    }
+    endpoints.push_back(std::move(row));
+  }
+  Json j = Json::object();
+  j.set("endpoints", std::move(endpoints));
+  if (!worst.is_null()) j.set("worst", std::move(worst));
+  return j;
+}
+
+struct LoadedText {
+  std::string format;  ///< "bench" | "verilog" | "circuit"
+  std::string content; ///< text, or the builtin circuit name
+};
+
+std::string infer_format(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  if (ext == ".bench") return "bench";
+  if (ext == ".v" || ext == ".verilog") return "verilog";
+  fail(ErrorCode::BadParams,
+       "cannot infer format from '" + path + "'; pass \"format\"");
+}
+
+}  // namespace
+
+std::string_view to_string(Engine engine) noexcept {
+  switch (engine) {
+    case Engine::SpstaMoment: return "spsta_moment";
+    case Engine::SpstaNumeric: return "spsta_numeric";
+    case Engine::Canonical: return "canonical";
+    case Engine::Ssta: return "ssta";
+    case Engine::Mc: return "mc";
+  }
+  return "spsta_moment";
+}
+
+std::string AnalyzeParams::cache_key(Engine engine) const {
+  std::string key{to_string(engine)};
+  switch (engine) {
+    case Engine::SpstaNumeric:
+      key += "|dt=" + json_number(grid_dt) + "|pad=" + json_number(grid_pad_sigma) +
+             "|maxpts=" + std::to_string(max_grid_points);
+      break;
+    case Engine::Mc:
+      key += "|runs=" + std::to_string(runs) + "|seed=" + std::to_string(seed);
+      break;
+    case Engine::SpstaMoment:
+    case Engine::Canonical:
+    case Engine::Ssta:
+      break;  // no result-affecting parameters
+  }
+  return key;
+}
+
+AnalysisService::AnalysisService() = default;
+
+Response AnalysisService::execute_line(std::string_view line) {
+  auto parsed = parse_request(line);
+  if (Response* error = std::get_if<Response>(&parsed)) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(*error);
+  }
+  return execute(std::get<Request>(parsed));
+}
+
+Response AnalysisService::execute(const Request& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Response response = dispatch(request);
+  if (!response.ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+Response AnalysisService::dispatch(const Request& request) {
+  try {
+    if (request.cmd == "ping") return handle_ping(request);
+    if (request.cmd == "load") return handle_load(request);
+    if (request.cmd == "analyze") return handle_analyze(request);
+    if (request.cmd == "query") return handle_query(request);
+    if (request.cmd == "set_delay") return handle_set_delay(request);
+    if (request.cmd == "set_source") return handle_set_source(request);
+    if (request.cmd == "stats") return handle_stats(request);
+    if (request.cmd == "unload") return handle_unload(request);
+    if (request.cmd == "shutdown") return handle_shutdown(request);
+    return Response::failure(request.id, ErrorCode::UnknownCommand,
+                             "unknown command '" + request.cmd + "'");
+  } catch (const ServiceError& e) {
+    return Response::failure(request.id, e.code, e.message);
+  } catch (const std::exception& e) {
+    return Response::failure(request.id, ErrorCode::InternalError, e.what());
+  } catch (...) {
+    return Response::failure(request.id, ErrorCode::InternalError,
+                             "unknown exception");
+  }
+}
+
+Session& AnalysisService::resolve_session(const Request& request) {
+  const Json* key = request.body.find("session");
+  if (key == nullptr || !key->is_string()) {
+    fail(ErrorCode::BadRequest, "missing string field 'session'");
+  }
+  Session* session = store_.find(key->as_string());
+  if (session == nullptr) {
+    fail(ErrorCode::UnknownSession, "no session '" + key->as_string() +
+                                        "' (load a design first)");
+  }
+  return *session;
+}
+
+Response AnalysisService::handle_ping(const Request& request) {
+  Json result = Json::object();
+  result.set("protocol", Json(1));
+  Json engines = Json::array();
+  for (const Engine e : {Engine::SpstaMoment, Engine::SpstaNumeric, Engine::Canonical,
+                         Engine::Ssta, Engine::Mc}) {
+    engines.push_back(Json(std::string(to_string(e))));
+  }
+  result.set("engines", std::move(engines));
+  return Response::success(request.id, std::move(result));
+}
+
+Response AnalysisService::handle_load(const Request& request) {
+  const Json* circuit = request.body.find("circuit");
+  const Json* text = request.body.find("text");
+  const Json* path = request.body.find("path");
+  const int given = (circuit != nullptr) + (text != nullptr) + (path != nullptr);
+  if (given != 1) {
+    fail(ErrorCode::BadRequest,
+         "load needs exactly one of 'circuit', 'text', 'path'");
+  }
+
+  LoadedText source;
+  if (circuit != nullptr) {
+    if (!circuit->is_string()) fail(ErrorCode::BadParams, "'circuit' must be a string");
+    source = {"circuit", circuit->as_string()};
+  } else {
+    const Json* format = request.body.find("format");
+    if (format != nullptr && !format->is_string()) {
+      fail(ErrorCode::BadParams, "'format' must be a string");
+    }
+    if (text != nullptr) {
+      if (!text->is_string()) fail(ErrorCode::BadParams, "'text' must be a string");
+      if (format == nullptr) fail(ErrorCode::BadParams, "'text' load needs 'format'");
+      source = {format->as_string(), text->as_string()};
+    } else {
+      if (!path->is_string()) fail(ErrorCode::BadParams, "'path' must be a string");
+      std::ifstream in(path->as_string(), std::ios::binary);
+      if (!in) fail(ErrorCode::IoError, "cannot open '" + path->as_string() + "'");
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source.format = format != nullptr ? format->as_string()
+                                        : infer_format(path->as_string());
+      source.content = buffer.str();
+    }
+    if (source.format != "bench" && source.format != "verilog") {
+      fail(ErrorCode::BadParams,
+           "format must be 'bench' or 'verilog', got '" + source.format + "'");
+    }
+  }
+
+  // Content hash = (format, bytes): identical content re-loads the
+  // existing session without re-parsing.
+  const std::uint64_t hash =
+      fnv1a64(source.content, fnv1a64(source.format) * 0x9e3779b97f4a7c15ull + 1);
+
+  netlist::Netlist design;
+  if (Session* existing = store_.find(hash_key(hash)); existing == nullptr) {
+    try {
+      if (source.format == "circuit") {
+        design = netlist::make_paper_circuit(source.content);
+      } else if (source.format == "bench") {
+        design = netlist::parse_bench(source.content);
+      } else {
+        design = netlist::parse_verilog(source.content);
+      }
+    } catch (const std::invalid_argument& e) {
+      fail(ErrorCode::BadParams, e.what());
+    } catch (const std::exception& e) {
+      fail(ErrorCode::BadParams, std::string("parse failed: ") + e.what());
+    }
+  }
+
+  const auto [session, fresh] = store_.load(hash, std::move(design));
+  Json result = Json::object();
+  result.set("session", Json(session->key));
+  result.set("name", Json(session->display_name));
+  result.set("reloaded", Json(!fresh));
+  result.set("nodes", Json(session->design.node_count()));
+  result.set("gates", Json(session->design.gate_count()));
+  result.set("inputs", Json(session->design.primary_inputs().size()));
+  result.set("outputs", Json(session->design.primary_outputs().size()));
+  result.set("dffs", Json(session->design.dffs().size()));
+  result.set("sources", Json(session->design.timing_sources().size()));
+  result.set("endpoints", Json(session->design.timing_endpoints().size()));
+  return Response::success(request.id, std::move(result));
+}
+
+std::pair<const CachedAnalysis*, bool> AnalysisService::ensure_analysis(
+    Session& session, Engine engine, const AnalyzeParams& params) {
+  const std::string key = params.cache_key(engine);
+  ++session.analyses;
+  if (const auto it = session.cache.find(key); it != session.cache.end()) {
+    ++it->second.hits;
+    ++session.cache_hits;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return {&it->second, true};
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  core::SpstaOptions options;
+  options.threads = params.threads;
+  options.grid_dt = params.grid_dt;
+  options.grid_pad_sigma = params.grid_pad_sigma;
+  options.max_grid_points = params.max_grid_points;
+  options.shared_pattern_cache = &pattern_cache_;
+
+  CachedAnalysis entry;
+  const double t0 = now_seconds();
+  switch (engine) {
+    case Engine::SpstaMoment: {
+      if (session.incremental) {
+        // Warm path: the incremental engine's settled state is
+        // bit-identical to a fresh full run (settle_eps == 0).
+        core::SpstaResult result;
+        result.node = session.incremental->flush();
+        entry.result = std::move(result);
+      } else {
+        entry.result = core::run_spsta_moment(session.design, session.delays,
+                                              session.sources, options);
+      }
+      break;
+    }
+    case Engine::SpstaNumeric:
+      entry.result = core::run_spsta_numeric(session.design, session.delays,
+                                             session.sources, options);
+      break;
+    case Engine::Canonical:
+      entry.result = core::run_spsta_canonical(session.design, session.delays,
+                                               session.sources);
+      break;
+    case Engine::Ssta:
+      entry.result = ssta::run_ssta(session.design, session.delays, session.sources);
+      break;
+    case Engine::Mc: {
+      mc::MonteCarloConfig config;
+      config.runs = params.runs;
+      config.seed = params.seed;
+      config.threads = params.threads;
+      entry.result = mc::run_monte_carlo(session.design, session.delays,
+                                         session.sources, config);
+      break;
+    }
+  }
+  entry.elapsed_seconds = now_seconds() - t0;
+  record_engine_run(engine, entry.elapsed_seconds);
+  const auto [it, inserted] = session.cache.emplace(key, std::move(entry));
+  (void)inserted;
+  return {&it->second, false};
+}
+
+Response AnalysisService::handle_analyze(const Request& request) {
+  Session& session = resolve_session(request);
+  const Engine engine = engine_of(request.body);
+  const AnalyzeParams params = parse_params(request.body);
+
+  const std::lock_guard<std::mutex> lock(session.mutex);
+  const auto [analysis, cached] = ensure_analysis(session, engine, params);
+
+  Json result = endpoints_json(session, *analysis);
+  result.set("engine", Json(std::string(to_string(engine))));
+  result.set("cached", Json(cached));
+  result.set("eco_version", Json(session.eco_version));
+  result.set("elapsed_ms", Json(analysis->elapsed_seconds * 1e3));
+  return Response::success(request.id, std::move(result));
+}
+
+Response AnalysisService::handle_query(const Request& request) {
+  Session& session = resolve_session(request);
+  const Engine engine = engine_of(request.body);
+  const AnalyzeParams params = parse_params(request.body);
+  const Json* node = request.body.find("node");
+  const Json* path = request.body.find("path");
+  if ((node == nullptr) == (path == nullptr)) {
+    fail(ErrorCode::BadRequest, "query needs exactly one of 'node', 'path'");
+  }
+
+  const std::lock_guard<std::mutex> lock(session.mutex);
+
+  // Resolve the query target *before* running any engine: a bogus node
+  // must not cost an analysis (or populate the cache).
+  NodeId query_node = netlist::kInvalidNode;
+  if (node != nullptr) query_node = resolve_node(session, *node);
+
+  const auto [analysis, cached] = ensure_analysis(session, engine, params);
+  ++session.queries;
+
+  Json result = Json::object();
+  result.set("engine", Json(std::string(to_string(engine))));
+  result.set("cached", Json(cached));
+  result.set("eco_version", Json(session.eco_version));
+
+  if (node != nullptr) {
+    const NodeId id = query_node;
+    Json stats = node_stats_json(*analysis, id);
+    stats.set("node", Json(static_cast<std::uint64_t>(id)));
+    stats.set("name", Json(session.design.node(id).name));
+    stats.set("type",
+              Json(std::string(netlist::to_string(session.design.node(id).type))));
+    result.set("stats", std::move(stats));
+    return Response::success(request.id, std::move(result));
+  }
+
+  // Path query: structural critical path (mean delays), each point
+  // annotated with the engine's arrival statistics.
+  NodeId endpoint = netlist::kInvalidNode;
+  const std::vector<double> means = session.delays.means();
+  if (path->is_string() || path->is_number()) {
+    endpoint = resolve_node(session, *path);
+  } else if (path->is_bool() && path->as_bool()) {
+    const auto worst = netlist::critical_paths(session.design, means, 1);
+    if (worst.empty()) fail(ErrorCode::BadParams, "design has no timing endpoints");
+    endpoint = worst.front().nodes.back();
+  } else {
+    fail(ErrorCode::BadParams, "'path' must be true or an endpoint node");
+  }
+  const netlist::Path critical =
+      netlist::critical_path_to(session.design, endpoint, means);
+  Json points = Json::array();
+  for (const NodeId id : critical.nodes) {
+    Json point = node_stats_json(*analysis, id);
+    point.set("node", Json(static_cast<std::uint64_t>(id)));
+    point.set("name", Json(session.design.node(id).name));
+    points.push_back(std::move(point));
+  }
+  Json path_json = Json::object();
+  path_json.set("endpoint", Json(session.design.node(endpoint).name));
+  path_json.set("delay", Json(critical.delay));
+  path_json.set("points", std::move(points));
+  result.set("path", std::move(path_json));
+  return Response::success(request.id, std::move(result));
+}
+
+Response AnalysisService::handle_set_delay(const Request& request) {
+  Session& session = resolve_session(request);
+  const Json* node = request.body.find("node");
+  if (node == nullptr) fail(ErrorCode::BadRequest, "set_delay needs 'node'");
+  const double mean = number_field(request.body, "mean", -1e301, -1e300, 1e300);
+  if (mean == -1e301) fail(ErrorCode::BadRequest, "set_delay needs 'mean'");
+  const double stddev = number_field(request.body, "std", 0.0, 0.0, 1e300);
+
+  const std::lock_guard<std::mutex> lock(session.mutex);
+  const NodeId id = resolve_node(session, *node);
+  session.apply_set_delay(id, stats::Gaussian{mean, stddev * stddev});
+
+  Json result = Json::object();
+  result.set("node", Json(static_cast<std::uint64_t>(id)));
+  result.set("name", Json(session.design.node(id).name));
+  result.set("eco_version", Json(session.eco_version));
+  result.set("nodes_reevaluated",
+             Json(session.incremental ? session.incremental->nodes_reevaluated() : 0));
+  return Response::success(request.id, std::move(result));
+}
+
+Response AnalysisService::handle_set_source(const Request& request) {
+  Session& session = resolve_session(request);
+  const Json* source = request.body.find("source");
+  if (source == nullptr || !source->is_number() ||
+      source->as_number() != std::floor(source->as_number()) ||
+      source->as_number() < 0) {
+    fail(ErrorCode::BadRequest, "set_source needs a non-negative integer 'source'");
+  }
+
+  const std::lock_guard<std::mutex> lock(session.mutex);
+  const std::size_t index = static_cast<std::size_t>(source->as_number());
+  if (index >= session.sources.size()) {
+    fail(ErrorCode::BadParams,
+         "source index " + std::to_string(index) + " out of range [0, " +
+             std::to_string(session.sources.size()) + ")");
+  }
+
+  netlist::SourceStats stats = session.sources[index];
+  if (const Json* probs = request.body.find("probs")) {
+    if (!probs->is_array() || probs->as_array().size() != 4) {
+      fail(ErrorCode::BadParams, "'probs' must be [p0, p1, pr, pf]");
+    }
+    double p[4];
+    for (int i = 0; i < 4; ++i) {
+      const Json& v = probs->as_array()[i];
+      if (!v.is_number() || v.as_number() < 0) {
+        fail(ErrorCode::BadParams, "'probs' entries must be non-negative numbers");
+      }
+      p[i] = v.as_number();
+    }
+    if (p[0] + p[1] + p[2] + p[3] <= 0) {
+      fail(ErrorCode::BadParams, "'probs' must not be all zero");
+    }
+    stats.probs = netlist::FourValueProbs{p[0], p[1], p[2], p[3]}.normalized();
+  }
+  const auto arrival = [&](std::string_view key,
+                           stats::Gaussian fallback) -> stats::Gaussian {
+    const Json* v = request.body.find(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_array() || v->as_array().size() != 2 ||
+        !v->as_array()[0].is_number() || !v->as_array()[1].is_number() ||
+        v->as_array()[1].as_number() < 0) {
+      fail(ErrorCode::BadParams,
+           "'" + std::string(key) + "' must be [mean, std] with std >= 0");
+    }
+    const double s = v->as_array()[1].as_number();
+    return {v->as_array()[0].as_number(), s * s};
+  };
+  stats.rise_arrival = arrival("rise", stats.rise_arrival);
+  stats.fall_arrival = arrival("fall", stats.fall_arrival);
+
+  session.apply_set_source(index, stats);
+
+  Json result = Json::object();
+  result.set("source", Json(index));
+  result.set("eco_version", Json(session.eco_version));
+  return Response::success(request.id, std::move(result));
+}
+
+Response AnalysisService::handle_stats(const Request& request) {
+  Json result = Json::object();
+  result.set("protocol", Json(1));
+  result.set("sessions", Json(store_.size()));
+  result.set("requests", Json(requests_.load(std::memory_order_relaxed)));
+  result.set("errors", Json(errors_.load(std::memory_order_relaxed)));
+
+  Json cache = Json::object();
+  cache.set("hits", Json(cache_hits_.load(std::memory_order_relaxed)));
+  cache.set("misses", Json(cache_misses_.load(std::memory_order_relaxed)));
+  result.set("analysis_cache", std::move(cache));
+
+  Json pattern = Json::object();
+  pattern.set("entries", Json(pattern_cache_.size()));
+  pattern.set("hits", Json(pattern_cache_.hits()));
+  pattern.set("misses", Json(pattern_cache_.misses()));
+  result.set("pattern_cache", std::move(pattern));
+
+  {
+    const std::lock_guard<std::mutex> lock(usage_mutex_);
+    Json engines = Json::object();
+    for (const auto& [name, usage] : usage_) {
+      Json u = Json::object();
+      u.set("runs", Json(usage.runs));
+      u.set("wall_ms", Json(usage.wall_seconds * 1e3));
+      engines.set(name, std::move(u));
+    }
+    result.set("engines", std::move(engines));
+  }
+
+  if (request.body.find("session") != nullptr) {
+    Session& session = resolve_session(request);
+    const std::lock_guard<std::mutex> lock(session.mutex);
+    Json s = Json::object();
+    s.set("name", Json(session.display_name));
+    s.set("nodes", Json(session.design.node_count()));
+    s.set("gates", Json(session.design.gate_count()));
+    s.set("analyses", Json(session.analyses));
+    s.set("cache_hits", Json(session.cache_hits));
+    s.set("cache_entries", Json(session.cache.size()));
+    s.set("queries", Json(session.queries));
+    s.set("eco_edits", Json(session.eco_edits));
+    s.set("eco_version", Json(session.eco_version));
+    s.set("nodes_reevaluated",
+          Json(session.incremental ? session.incremental->nodes_reevaluated() : 0));
+    result.set("session", std::move(s));
+  } else {
+    Json keys = Json::array();
+    for (const std::string& key : store_.keys()) keys.push_back(Json(key));
+    result.set("session_keys", std::move(keys));
+  }
+  return Response::success(request.id, std::move(result));
+}
+
+Response AnalysisService::handle_unload(const Request& request) {
+  const Json* key = request.body.find("session");
+  if (key == nullptr || !key->is_string()) {
+    fail(ErrorCode::BadRequest, "missing string field 'session'");
+  }
+  if (!store_.unload(key->as_string())) {
+    fail(ErrorCode::UnknownSession, "no session '" + key->as_string() + "'");
+  }
+  Json result = Json::object();
+  result.set("unloaded", Json(key->as_string()));
+  result.set("sessions", Json(store_.size()));
+  return Response::success(request.id, std::move(result));
+}
+
+Response AnalysisService::handle_shutdown(const Request& request) {
+  shutdown_.store(true, std::memory_order_release);
+  Json result = Json::object();
+  result.set("stopping", Json(true));
+  result.set("requests", Json(requests_.load(std::memory_order_relaxed)));
+  return Response::success(request.id, std::move(result));
+}
+
+void AnalysisService::record_engine_run(Engine engine, double seconds) {
+  const std::lock_guard<std::mutex> lock(usage_mutex_);
+  EngineUsage& usage = usage_[std::string(to_string(engine))];
+  ++usage.runs;
+  usage.wall_seconds += seconds;
+}
+
+}  // namespace spsta::service

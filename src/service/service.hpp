@@ -1,0 +1,116 @@
+/// \file service.hpp
+/// The analysis service: executes protocol requests against the session
+/// store, routing `analyze`/`query` through a per-session result cache
+/// keyed on (design content hash, eco version, engine, params) and ECO
+/// edits through the warm incremental engine.
+///
+/// Contract: execute() never throws — every failure becomes a structured
+/// error response, so the daemon survives anything a client sends.
+/// Read-only commands (analyze, query, stats, ping) may run concurrently
+/// (per-session mutexes serialize same-session work); mutating commands
+/// (load, set_delay, set_source, unload, shutdown) must be serialized by
+/// the caller — the batch scheduler treats them as barriers.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/pattern_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+
+namespace spsta::service {
+
+/// Engines the `analyze` / `query` commands accept.
+enum class Engine { SpstaMoment, SpstaNumeric, Canonical, Ssta, Mc };
+
+/// Wire name ("spsta_moment", "spsta_numeric", "canonical", "ssta", "mc").
+[[nodiscard]] std::string_view to_string(Engine engine) noexcept;
+
+/// Normalized analysis parameters (defaults match the one-shot binaries).
+struct AnalyzeParams {
+  unsigned threads = 1;           ///< engine-internal parallelism
+  double grid_dt = 0.05;          ///< numeric engine
+  double grid_pad_sigma = 8.0;    ///< numeric engine
+  std::size_t max_grid_points = 4096;
+  std::uint64_t runs = 10000;     ///< mc engine
+  std::uint64_t seed = 1;         ///< mc engine
+
+  /// Cache key for (engine, params). `threads` is deliberately excluded:
+  /// the execution layer's determinism contract makes results bit-identical
+  /// at any thread count, so a 1-thread and an 8-thread run share a cache
+  /// entry.
+  [[nodiscard]] std::string cache_key(Engine engine) const;
+};
+
+/// Aggregate wall-clock per engine, surfaced by `stats`.
+struct EngineUsage {
+  std::uint64_t runs = 0;
+  double wall_seconds = 0.0;
+};
+
+class AnalysisService {
+ public:
+  AnalysisService();
+
+  /// Executes one parsed request. Never throws.
+  [[nodiscard]] Response execute(const Request& request);
+
+  /// Parses and executes one protocol line. Never throws.
+  [[nodiscard]] Response execute_line(std::string_view line);
+
+  /// True once a `shutdown` request has been served.
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const SessionStore& store() const noexcept { return store_; }
+  [[nodiscard]] core::PatternCache& pattern_cache() noexcept { return pattern_cache_; }
+
+  /// Requests served so far (successes and failures).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Response dispatch(const Request& request);
+  Response handle_ping(const Request& request);
+  Response handle_load(const Request& request);
+  Response handle_analyze(const Request& request);
+  Response handle_query(const Request& request);
+  Response handle_set_delay(const Request& request);
+  Response handle_set_source(const Request& request);
+  Response handle_stats(const Request& request);
+  Response handle_unload(const Request& request);
+  Response handle_shutdown(const Request& request);
+
+  /// The session named by the request's "session" field, or throws.
+  Session& resolve_session(const Request& request);
+
+  /// Cache lookup / engine run for (session, engine, params). Caller must
+  /// hold session.mutex. Returns {entry, served_from_cache}.
+  std::pair<const CachedAnalysis*, bool> ensure_analysis(Session& session,
+                                                         Engine engine,
+                                                         const AnalyzeParams& params);
+
+  void record_engine_run(Engine engine, double seconds);
+
+  SessionStore store_;
+  core::PatternCache pattern_cache_;  ///< shared across sessions and engines
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+
+  std::mutex usage_mutex_;
+  std::map<std::string, EngineUsage> usage_;  ///< keyed by engine wire name
+};
+
+}  // namespace spsta::service

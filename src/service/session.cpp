@@ -1,0 +1,99 @@
+#include "service/session.hpp"
+
+#include <cstdio>
+
+namespace spsta::service {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hash_key(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+Session::Session(std::string key_, netlist::Netlist design_)
+    : key(std::move(key_)),
+      display_name(design_.name()),
+      design(std::move(design_)),
+      delays(netlist::DelayModel::unit(design)),
+      sources(design.timing_sources().size(), netlist::scenario_I()) {}
+
+core::IncrementalSpsta& Session::warm_incremental() {
+  if (!incremental) {
+    // Exact settlement: every update sequence stays bit-identical to a
+    // fresh full moment-engine run.
+    incremental = std::make_unique<core::IncrementalSpsta>(design, delays, sources,
+                                                           /*settle_eps=*/0.0);
+  }
+  return *incremental;
+}
+
+void Session::apply_set_delay(netlist::NodeId id, const stats::Gaussian& delay) {
+  // Build the warm engine from the pre-edit state, so the edit itself is a
+  // cone-limited update rather than a full re-analysis.
+  core::IncrementalSpsta& inc = warm_incremental();
+  delays.set_delay(id, delay);
+  inc.set_delay(id, delay);
+  ++eco_version;
+  ++eco_edits;
+  cache.clear();
+}
+
+void Session::apply_set_source(std::size_t source_index,
+                               const netlist::SourceStats& stats) {
+  core::IncrementalSpsta& inc = warm_incremental();
+  sources.at(source_index) = stats;
+  inc.set_source_stats(source_index, stats);
+  ++eco_version;
+  ++eco_edits;
+  cache.clear();
+}
+
+std::pair<Session*, bool> SessionStore::load(std::uint64_t content_hash,
+                                             netlist::Netlist design) {
+  const std::string key = hash_key(content_hash);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = sessions_.find(key); it != sessions_.end()) {
+    return {it->second.get(), false};
+  }
+  auto session = std::make_unique<Session>(key, std::move(design));
+  Session* raw = session.get();
+  sessions_.emplace(key, std::move(session));
+  order_.push_back(key);
+  return {raw, true};
+}
+
+Session* SessionStore::find(std::string_view key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(std::string(key));
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool SessionStore::unload(std::string_view key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(std::string(key));
+  if (it == sessions_.end()) return false;
+  sessions_.erase(it);
+  std::erase(order_, std::string(key));
+  return true;
+}
+
+std::size_t SessionStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::vector<std::string> SessionStore::keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return order_;
+}
+
+}  // namespace spsta::service

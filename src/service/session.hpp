@@ -1,0 +1,125 @@
+/// \file session.hpp
+/// The analysis service's session store: designs parsed once, addressed by
+/// a content hash, kept alive across requests together with their delay
+/// model, source statistics, warm incremental engine and per-(engine,
+/// params) analysis result cache.
+///
+/// This is what turns the repo's one-shot binaries into a serving system:
+/// the costly work (parsing, levelization, the first full analysis) is
+/// paid once per design, and every later request against the same content
+/// hash reuses it — the "efficient, incremental, suitable for
+/// optimization" property block-based SSTA is prized for, applied to the
+/// whole process boundary.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/incremental_spsta.hpp"
+#include "core/spsta.hpp"
+#include "core/spsta_canonical.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/netlist.hpp"
+#include "ssta/ssta.hpp"
+
+namespace spsta::service {
+
+/// FNV-1a 64-bit over arbitrary bytes — the content hash behind session
+/// keys and cache keys. Stable across platforms and runs.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = 0xcbf29ce484222325ull) noexcept;
+
+/// 16-hex-digit rendering of a 64-bit hash (session key format).
+[[nodiscard]] std::string hash_key(std::uint64_t h);
+
+/// One cached analysis: the full engine result plus bookkeeping.
+struct CachedAnalysis {
+  std::variant<core::SpstaResult, core::SpstaNumericResult,
+               core::SpstaCanonicalResult, ssta::SstaResult, mc::MonteCarloResult>
+      result;
+  double elapsed_seconds = 0.0;  ///< wall clock of the producing run
+  std::uint64_t hits = 0;        ///< times served from cache
+};
+
+/// A loaded design and everything the service keeps warm for it.
+///
+/// Thread model: the session store hands out stable Session pointers;
+/// all mutable state (cache, incremental engine, counters, delays) is
+/// guarded by `mutex`. The netlist itself is immutable after load, so
+/// concurrent engine runs over it are safe.
+struct Session {
+  std::string key;          ///< 16-hex content hash
+  std::string display_name; ///< netlist name (for humans)
+  netlist::Netlist design;
+  netlist::DelayModel delays;
+  std::vector<netlist::SourceStats> sources;
+
+  /// Warm incremental moment engine, created on first use (first
+  /// spsta_moment analysis or first ECO edit). Uses exact settle
+  /// comparison so its state is bit-identical to a fresh full run.
+  std::unique_ptr<core::IncrementalSpsta> incremental;
+
+  /// Bumped by every ECO edit (set_delay / set_source); stale cache
+  /// entries are dropped on the bump.
+  std::uint64_t eco_version = 0;
+
+  /// (engine|params) -> result, valid for the current eco_version only.
+  std::unordered_map<std::string, CachedAnalysis> cache;
+
+  // Per-session counters surfaced by `stats`.
+  std::uint64_t analyses = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t eco_edits = 0;
+  std::uint64_t queries = 0;
+
+  mutable std::mutex mutex;
+
+  Session(std::string key_, netlist::Netlist design_);
+
+  /// The warm incremental engine, constructing it (initial full analysis)
+  /// on first call. Caller must hold `mutex`.
+  core::IncrementalSpsta& warm_incremental();
+
+  /// Applies a delay ECO: updates the delay model, the warm incremental
+  /// engine, bumps eco_version and clears the cache. Caller holds `mutex`.
+  void apply_set_delay(netlist::NodeId id, const stats::Gaussian& delay);
+
+  /// Applies a source-stats ECO. Caller holds `mutex`.
+  void apply_set_source(std::size_t source_index, const netlist::SourceStats& stats);
+};
+
+/// Content-hash-addressed store of loaded designs.
+class SessionStore {
+ public:
+  /// Loads (or re-finds) a design from already-parsed content. The key is
+  /// the hash of (format tag, canonical text); loading identical content
+  /// twice returns the existing session without re-parsing.
+  /// Returns {session, freshly_created}.
+  std::pair<Session*, bool> load(std::uint64_t content_hash, netlist::Netlist design);
+
+  /// Session by key; nullptr when absent.
+  [[nodiscard]] Session* find(std::string_view key) const;
+
+  /// Removes a session. Returns false when absent.
+  bool unload(std::string_view key);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Keys in load order (for `stats`).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace spsta::service

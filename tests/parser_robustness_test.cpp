@@ -4,6 +4,7 @@
 // crash, hang, or inconsistent object.
 
 #include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -114,6 +115,68 @@ TEST_P(ParserFuzz, CellLibraryGarbageNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
                          ::testing::Values(1, 7, 42, 1234, 987654321));
+
+// ---------------------------------------------------------------------------
+// Deterministic hardening cases: files produced on other platforms (CRLF
+// line endings, UTF-8 byte-order marks) must parse to the identical design,
+// and degenerate inputs must produce a clean error, never a bogus netlist.
+
+std::string with_crlf(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + text.size() / 16);
+  for (char c : text) {
+    if (c == '\n') out += '\r';
+    out += c;
+  }
+  return out;
+}
+
+constexpr std::string_view kBom = "\xEF\xBB\xBF";
+
+TEST(ParserHardening, BenchCrlfParsesIdentically) {
+  const std::string base{s27_bench_text()};
+  const Netlist plain = parse_bench(base);
+  const Netlist crlf = parse_bench(with_crlf(base));
+  EXPECT_EQ(write_bench(plain), write_bench(crlf));
+}
+
+TEST(ParserHardening, BenchBomParsesIdentically) {
+  const std::string base{s27_bench_text()};
+  const Netlist plain = parse_bench(base);
+  const Netlist bom = parse_bench(std::string(kBom) + base);
+  EXPECT_EQ(write_bench(plain), write_bench(bom));
+  const Netlist both = parse_bench(std::string(kBom) + with_crlf(base));
+  EXPECT_EQ(write_bench(plain), write_bench(both));
+}
+
+TEST(ParserHardening, BenchEmptyInputIsACleanError) {
+  EXPECT_THROW((void)parse_bench(""), BenchParseError);
+  EXPECT_THROW((void)parse_bench("\n\n  \t \n"), BenchParseError);
+  EXPECT_THROW((void)parse_bench("# just a comment\n# another\n"), BenchParseError);
+  EXPECT_THROW((void)parse_bench(std::string(kBom)), BenchParseError);
+}
+
+TEST(ParserHardening, VerilogCrlfParsesIdentically) {
+  const std::string base = write_verilog(make_s27());
+  const Netlist plain = parse_verilog(base);
+  const Netlist crlf = parse_verilog(with_crlf(base));
+  EXPECT_EQ(write_verilog(plain), write_verilog(crlf));
+}
+
+TEST(ParserHardening, VerilogBomParsesIdentically) {
+  const std::string base = write_verilog(make_s27());
+  const Netlist plain = parse_verilog(base);
+  const Netlist bom = parse_verilog(std::string(kBom) + base);
+  EXPECT_EQ(write_verilog(plain), write_verilog(bom));
+}
+
+TEST(ParserHardening, VerilogEmptyInputIsACleanError) {
+  EXPECT_THROW((void)parse_verilog(""), VerilogParseError);
+  EXPECT_THROW((void)parse_verilog("  \r\n\t\n"), VerilogParseError);
+  EXPECT_THROW((void)parse_verilog("// nothing here\n/* still nothing */\n"),
+               VerilogParseError);
+  EXPECT_THROW((void)parse_verilog(std::string(kBom)), VerilogParseError);
+}
 
 }  // namespace
 }  // namespace spsta::netlist

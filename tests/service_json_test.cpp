@@ -1,0 +1,107 @@
+// Tests for the service's JSON value type: parse/dump round-trips, the
+// properties the protocol depends on (ordered objects, bit-exact number
+// round-trips, duplicate-key rejection, depth cap), and clean parse
+// errors on malformed input.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/json.hpp"
+
+namespace spsta::service {
+namespace {
+
+TEST(ServiceJson, ParsesEveryValueKind) {
+  const Json v = Json::parse(
+      R"({"null":null,"t":true,"f":false,"n":-2.5e3,"s":"hi","a":[1,2],"o":{"k":"v"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_TRUE(v.find("null")->is_null());
+  EXPECT_TRUE(v.find("t")->as_bool());
+  EXPECT_FALSE(v.find("f")->as_bool());
+  EXPECT_EQ(v.find("n")->as_number(), -2500.0);
+  EXPECT_EQ(v.find("s")->as_string(), "hi");
+  ASSERT_TRUE(v.find("a")->is_array());
+  EXPECT_EQ(v.find("a")->as_array().size(), 2u);
+  EXPECT_EQ(v.find("o")->find("k")->as_string(), "v");
+}
+
+TEST(ServiceJson, CompactDumpRoundTripsVerbatim) {
+  // Objects are ordered, the writer is compact: a compact document must
+  // survive parse → dump byte-for-byte (deterministic responses).
+  const std::string text =
+      R"({"id":7,"ok":true,"result":{"z":1,"a":[null,"x",-0.5],"m":{}}})";
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(ServiceJson, ObjectsPreserveInsertionOrder) {
+  Json j = Json::object();
+  j.set("zebra", Json(1));
+  j.set("alpha", Json(2));
+  j.set("mid", Json(3));
+  j.set("alpha", Json(9));  // replace in place, position kept
+  EXPECT_EQ(j.dump(), R"({"zebra":1,"alpha":9,"mid":3})");
+}
+
+TEST(ServiceJson, NumbersRoundTripBitExact) {
+  const double values[] = {0.0,    1.0,           0.1,     1.0 / 3.0, 2.5e-10,
+                           1e300,  5e-324,        -17.25,  123456.789,
+                           9007199254740991.0,    6.02214076e23};
+  for (const double v : values) {
+    const double back = Json::parse(json_number(v)).as_number();
+    EXPECT_EQ(v, back) << json_number(v);
+  }
+  // Integers inside the exact range print without an exponent.
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-1000000.0), "-1000000");
+}
+
+TEST(ServiceJson, StringEscapes) {
+  const Json v = Json::parse(R"(["A\n\t\"\\\/","é"])");
+  EXPECT_EQ(v.as_array()[0].as_string(), "A\n\t\"\\/");
+  EXPECT_EQ(v.as_array()[1].as_string(), "\xC3\xA9");  // é as UTF-8
+  // Control characters and non-printable bytes are escaped on output.
+  EXPECT_EQ(Json(std::string("a\nb")).dump(), R"("a\nb")");
+}
+
+TEST(ServiceJson, MalformedInputThrowsWithOffset) {
+  const char* bad[] = {"",        "{",         "[1,]",     "{\"a\":}",
+                       "nul",     "01",        "1e",       "\"unterminated",
+                       "{} tail", "\"ctrl\n\"", "{\"a\" 1}", "[1 2]"};
+  for (const char* text : bad) {
+    EXPECT_THROW((void)Json::parse(text), JsonParseError) << text;
+  }
+  try {
+    (void)Json::parse("[1, fal]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_GE(e.offset(), 4u);
+  }
+}
+
+TEST(ServiceJson, DuplicateObjectKeysAreRejected) {
+  EXPECT_THROW((void)Json::parse(R"({"a":1,"a":2})"), JsonParseError);
+}
+
+TEST(ServiceJson, NestingDepthIsCapped) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW((void)Json::parse(deep), JsonParseError);
+  EXPECT_NO_THROW((void)Json::parse(deep, 128));  // cap is adjustable
+}
+
+TEST(ServiceJson, TypeMismatchAccessorsThrow) {
+  const Json v = Json::parse("[1]");
+  EXPECT_THROW((void)v.as_string(), std::logic_error);
+  EXPECT_THROW((void)v.as_object(), std::logic_error);
+  EXPECT_EQ(v.find("anything"), nullptr);  // find on a non-object is safe
+}
+
+TEST(ServiceJson, Equality) {
+  EXPECT_EQ(Json::parse(R"({"a":[1,2]})"), Json::parse(R"({"a":[1,2]})"));
+  EXPECT_NE(Json::parse(R"({"a":[1,2]})"), Json::parse(R"({"a":[1,3]})"));
+}
+
+}  // namespace
+}  // namespace spsta::service

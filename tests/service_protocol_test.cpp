@@ -1,0 +1,270 @@
+// Protocol-layer tests for the analysis service: structured errors for
+// every malformed input (the daemon must survive anything), request
+// envelope validation, and the acceptance round-trip — a scripted
+// load → analyze → ECO → re-query session whose incremental answer is
+// bit-identical to a fresh full analysis of the edited design.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spsta.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/iscas89.hpp"
+#include "netlist/netlist.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+
+namespace spsta::service {
+namespace {
+
+/// Executes one line, asserting it fails with \p code.
+void expect_error(AnalysisService& service, const std::string& line,
+                  std::string_view code) {
+  const Response r = service.execute_line(line);
+  EXPECT_FALSE(r.ok) << line;
+  EXPECT_EQ(r.error_code(), code) << line << " -> " << r.to_line();
+}
+
+/// Executes one line, asserting success, and returns the result object.
+Json expect_ok(AnalysisService& service, const std::string& line) {
+  const Response r = service.execute_line(line);
+  EXPECT_TRUE(r.ok) << line << " -> " << r.to_line();
+  return r.body;
+}
+
+std::string load_line(const std::string& circuit) {
+  return R"({"id":1,"cmd":"load","circuit":")" + circuit + R"("})";
+}
+
+TEST(ServiceProtocol, RequestEnvelopeValidation) {
+  // Valid request parses into a Request.
+  auto ok = parse_request(R"({"id":3,"cmd":"ping"})");
+  ASSERT_TRUE(std::holds_alternative<Request>(ok));
+  EXPECT_EQ(std::get<Request>(ok).cmd, "ping");
+  EXPECT_EQ(std::get<Request>(ok).id.as_number(), 3.0);
+
+  // Envelope failures parse into ready error responses.
+  const char* bad[] = {
+      "not json at all",
+      "[1,2,3]",                             // not an object
+      R"({"id":1})",                         // missing cmd
+      R"({"id":1,"cmd":42})",                // cmd not a string
+      R"({"id":1,"cmd":""})",                // empty cmd
+      R"({"id":[1],"cmd":"ping"})",          // id must be number/string/null
+      R"({"id":1,"cmd":"ping","deadline_ms":"soon"})",
+      R"({"id":1,"cmd":"ping","deadline_ms":-5})",
+  };
+  for (const char* line : bad) {
+    auto parsed = parse_request(line);
+    ASSERT_TRUE(std::holds_alternative<Response>(parsed)) << line;
+    EXPECT_FALSE(std::get<Response>(parsed).ok) << line;
+  }
+}
+
+TEST(ServiceProtocol, MutatingCommandTable) {
+  for (const char* cmd : {"load", "set_delay", "set_source", "unload", "shutdown"}) {
+    EXPECT_TRUE(is_mutating_command(cmd)) << cmd;
+  }
+  for (const char* cmd : {"ping", "analyze", "query", "stats", "nonsense"}) {
+    EXPECT_FALSE(is_mutating_command(cmd)) << cmd;
+  }
+}
+
+TEST(ServiceProtocol, MalformedRequestsYieldStructuredErrorsAndServiceSurvives) {
+  AnalysisService service;
+  expect_error(service, "{definitely not json", "parse_error");
+  expect_error(service, R"({"id":1,"cmd":"frobnicate"})", "unknown_command");
+  expect_error(service, R"({"id":2,"cmd":"analyze","session":"feedfeedfeedfeed"})",
+               "unknown_session");
+  expect_error(service, R"({"id":3,"cmd":"load"})", "bad_request");
+  expect_error(service, R"({"id":4,"cmd":"load","circuit":"s9999"})", "bad_params");
+  expect_error(service, R"({"id":5,"cmd":"load","path":"/no/such/file.bench"})",
+               "io_error");
+
+  // After every one of those, the service still serves real work.
+  const Json loaded = expect_ok(service, load_line("s27"));
+  const std::string session = loaded.find("session")->as_string();
+
+  expect_error(service,
+               R"({"id":6,"cmd":"analyze","session":")" + session +
+                   R"(","engine":"quantum"})",
+               "unknown_engine");
+  expect_error(service,
+               R"({"id":7,"cmd":"query","session":")" + session +
+                   R"(","node":99999})",
+               "unknown_node");
+  expect_error(service,
+               R"({"id":8,"cmd":"query","session":")" + session +
+                   R"(","node":"NO_SUCH_NET"})",
+               "unknown_node");
+  expect_error(service,
+               R"({"id":9,"cmd":"set_delay","session":")" + session +
+                   R"(","node":"G11"})",
+               "bad_request");  // missing mean
+  expect_error(service,
+               R"({"id":10,"cmd":"analyze","session":")" + session +
+                   R"(","params":{"runs":0}})",
+               "bad_params");
+  expect_error(service,
+               R"({"id":11,"cmd":"analyze","session":")" + session +
+                   R"(","params":{"bogus_knob":1}})",
+               "bad_params");
+
+  // And still answers correctly afterwards.
+  const Json analyzed = expect_ok(
+      service, R"({"cmd":"analyze","session":")" + session + R"("})");
+  EXPECT_FALSE(analyzed.find("cached")->as_bool());
+  EXPECT_GT(analyzed.find("endpoints")->as_array().size(), 0u);
+}
+
+TEST(ServiceProtocol, RepeatedAnalyzeIsServedFromCache) {
+  AnalysisService service;
+  const std::string session =
+      expect_ok(service, load_line("s27")).find("session")->as_string();
+  const std::string analyze =
+      R"({"cmd":"analyze","session":")" + session + R"(","engine":"ssta"})";
+
+  const Json first = expect_ok(service, analyze);
+  const Json second = expect_ok(service, analyze);
+  EXPECT_FALSE(first.find("cached")->as_bool());
+  EXPECT_TRUE(second.find("cached")->as_bool());
+
+  // The cached reply carries the identical payload.
+  EXPECT_EQ(first.find("endpoints")->dump(), second.find("endpoints")->dump());
+
+  // Different params → different cache entry (mc keyed on runs/seed).
+  const std::string mc = R"({"cmd":"analyze","session":")" + session +
+                         R"(","engine":"mc","params":{"runs":200,"seed":9}})";
+  EXPECT_FALSE(expect_ok(service, mc).find("cached")->as_bool());
+  EXPECT_TRUE(expect_ok(service, mc).find("cached")->as_bool());
+  const std::string mc2 = R"({"cmd":"analyze","session":")" + session +
+                          R"(","engine":"mc","params":{"runs":200,"seed":10}})";
+  EXPECT_FALSE(expect_ok(service, mc2).find("cached")->as_bool());
+
+  // `threads` is NOT part of the cache key: determinism contract makes
+  // thread count irrelevant to the result.
+  const std::string threaded = R"({"cmd":"analyze","session":")" + session +
+                               R"(","engine":"ssta","params":{"threads":4}})";
+  EXPECT_TRUE(expect_ok(service, threaded).find("cached")->as_bool());
+}
+
+TEST(ServiceProtocol, LoadingIdenticalContentReusesTheSession) {
+  AnalysisService service;
+  const Json first = expect_ok(service, load_line("s27"));
+  const Json again = expect_ok(service, load_line("s27"));
+  EXPECT_EQ(first.find("session")->as_string(), again.find("session")->as_string());
+  EXPECT_FALSE(first.find("reloaded")->as_bool());
+  EXPECT_TRUE(again.find("reloaded")->as_bool());
+  EXPECT_EQ(service.store().size(), 1u);
+
+  // Same netlist text via the inline-text route hits the bench-format hash.
+  const std::string text{netlist::s27_bench_text()};
+  Json req = Json::object();
+  req.set("cmd", Json("load"));
+  req.set("format", Json("bench"));
+  req.set("text", Json(text));
+  const Json inline_load = expect_ok(service, req.dump());
+  EXPECT_EQ(inline_load.find("nodes")->as_number(),
+            first.find("nodes")->as_number());
+
+  // Unload removes it; the key is then unknown.
+  const std::string session = first.find("session")->as_string();
+  (void)expect_ok(service, R"({"cmd":"unload","session":")" + session + R"("})");
+  expect_error(service, R"({"cmd":"analyze","session":")" + session + R"("})",
+               "unknown_session");
+}
+
+// The acceptance criterion: a scripted session (load, analyze with two
+// engines, set_delay ECO, re-query) where the post-ECO incremental answer
+// is bit-identical — EXPECT_EQ on doubles, no tolerance — to a fresh full
+// analysis of the edited design.
+TEST(ServiceProtocol, EcoRequeryIsBitIdenticalToFreshFullAnalysis) {
+  AnalysisService service;
+  const std::string session =
+      expect_ok(service, load_line("s27")).find("session")->as_string();
+
+  // Analyze with two engines (warms the session; spsta_moment first so the
+  // ECO path has a settled incremental engine to update).
+  (void)expect_ok(service, R"({"cmd":"analyze","session":")" + session +
+                               R"(","engine":"spsta_moment"})");
+  (void)expect_ok(service, R"({"cmd":"analyze","session":")" + session +
+                               R"(","engine":"ssta"})");
+
+  // ECO: retime gate G11 (mean 2.5, sigma 0.1).
+  const Json eco = expect_ok(
+      service, R"({"cmd":"set_delay","session":")" + session +
+                   R"(","node":"G11","mean":2.5,"std":0.1})");
+  EXPECT_EQ(eco.find("eco_version")->as_number(), 1.0);
+
+  // The ECO invalidated the pre-edit cache: the next analyze recomputes
+  // (via the warm incremental engine, not from cache).
+  const Json post = expect_ok(service, R"({"cmd":"analyze","session":")" + session +
+                                           R"(","engine":"spsta_moment"})");
+  EXPECT_FALSE(post.find("cached")->as_bool());
+  EXPECT_EQ(post.find("eco_version")->as_number(), 1.0);
+
+  // Reference: a fresh full moment analysis of the edited design, built
+  // independently of the service.
+  netlist::Netlist design = netlist::make_paper_circuit("s27");
+  netlist::DelayModel delays = netlist::DelayModel::unit(design);
+  const std::vector<netlist::SourceStats> sources(design.timing_sources().size(),
+                                                  netlist::scenario_I());
+  delays.set_delay(design.find("G11"), stats::Gaussian{2.5, 0.1 * 0.1});
+  const core::SpstaResult fresh = core::run_spsta_moment(design, delays, sources);
+
+  // Re-query every node through the protocol; the incremental answer must
+  // match the fresh run bit for bit.
+  for (netlist::NodeId id = 0; id < design.node_count(); ++id) {
+    const Json q = expect_ok(service,
+                             R"({"cmd":"query","session":")" + session +
+                                 R"(","node":)" + std::to_string(id) + "}");
+    EXPECT_EQ(q.find("eco_version")->as_number(), 1.0);
+    const Json* s = q.find("stats");
+    ASSERT_NE(s, nullptr);
+    const core::NodeTop& ref = fresh.node.at(id);
+    EXPECT_EQ(s->find("probs")->find("p0")->as_number(), ref.probs.p0) << id;
+    EXPECT_EQ(s->find("probs")->find("p1")->as_number(), ref.probs.p1) << id;
+    EXPECT_EQ(s->find("probs")->find("pr")->as_number(), ref.probs.pr) << id;
+    EXPECT_EQ(s->find("probs")->find("pf")->as_number(), ref.probs.pf) << id;
+    EXPECT_EQ(s->find("rise")->find("p")->as_number(), ref.rise.mass) << id;
+    EXPECT_EQ(s->find("rise")->find("mean")->as_number(), ref.rise.arrival.mean) << id;
+    EXPECT_EQ(s->find("rise")->find("std")->as_number(), ref.rise.arrival.stddev())
+        << id;
+    EXPECT_EQ(s->find("fall")->find("p")->as_number(), ref.fall.mass) << id;
+    EXPECT_EQ(s->find("fall")->find("mean")->as_number(), ref.fall.arrival.mean) << id;
+    EXPECT_EQ(s->find("fall")->find("std")->as_number(), ref.fall.arrival.stddev())
+        << id;
+  }
+}
+
+TEST(ServiceProtocol, StatsSurfaceCountersAndShutdownIsAcknowledged) {
+  AnalysisService service;
+  const std::string session =
+      expect_ok(service, load_line("s27")).find("session")->as_string();
+  (void)expect_ok(service, R"({"cmd":"analyze","session":")" + session + R"("})");
+  (void)expect_ok(service, R"({"cmd":"analyze","session":")" + session + R"("})");
+  expect_error(service, "garbage", "parse_error");
+
+  const Json global = expect_ok(service, R"({"cmd":"stats"})");
+  EXPECT_EQ(global.find("sessions")->as_number(), 1.0);
+  EXPECT_GE(global.find("requests")->as_number(), 4.0);
+  EXPECT_GE(global.find("errors")->as_number(), 1.0);
+  EXPECT_EQ(global.find("analysis_cache")->find("hits")->as_number(), 1.0);
+
+  const Json per = expect_ok(
+      service, R"({"cmd":"stats","session":")" + session + R"("})");
+  const Json* sj = per.find("session");
+  ASSERT_NE(sj, nullptr);
+  EXPECT_EQ(sj->find("analyses")->as_number(), 2.0);
+  EXPECT_EQ(sj->find("cache_hits")->as_number(), 1.0);
+  EXPECT_EQ(sj->find("eco_version")->as_number(), 0.0);
+
+  EXPECT_FALSE(service.shutdown_requested());
+  (void)expect_ok(service, R"({"cmd":"shutdown"})");
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace spsta::service

@@ -1,0 +1,188 @@
+// Tests for the batch scheduler and the serve loop: responses strictly in
+// request order regardless of thread count, mutating commands as
+// barriers, deadline load-shedding, and the stream loop's behavior on
+// shutdown / EOF / garbage input.
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/daemon.hpp"
+
+namespace spsta::service {
+namespace {
+
+std::vector<Incoming> lines(std::initializer_list<std::string> texts) {
+  std::vector<Incoming> batch;
+  for (const std::string& t : texts) batch.push_back({t, std::chrono::steady_clock::now()});
+  return batch;
+}
+
+TEST(ServiceScheduler, ResponsesComeBackInRequestOrder) {
+  AnalysisService service;
+  BatchScheduler scheduler(service, 4);
+
+  std::vector<Incoming> batch;
+  batch.push_back({R"({"id":0,"cmd":"load","circuit":"s27"})", {}});
+  for (int i = 1; i <= 12; ++i) {
+    batch.push_back(
+        {R"({"id":)" + std::to_string(i) + R"(,"cmd":"ping"})", {}});
+  }
+  for (Incoming& in : batch) in.enqueued = std::chrono::steady_clock::now();
+
+  const std::vector<Response> responses = scheduler.run(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].ok) << responses[i].to_line();
+    EXPECT_EQ(responses[i].id.as_number(), static_cast<double>(i));
+  }
+}
+
+TEST(ServiceScheduler, MutatingCommandsAreBarriersReadsFormParallelGroups) {
+  AnalysisService service;
+  BatchScheduler scheduler(service, 4);
+
+  // [ping ping] [load] [ping ping ping] → 2 parallel groups, 1 barrier.
+  const auto responses = scheduler.run(lines({
+      R"({"id":1,"cmd":"ping"})",
+      R"({"id":2,"cmd":"ping"})",
+      R"({"id":3,"cmd":"load","circuit":"s27"})",
+      R"({"id":4,"cmd":"ping"})",
+      R"({"id":5,"cmd":"ping"})",
+      R"({"id":6,"cmd":"ping"})",
+  }));
+  ASSERT_EQ(responses.size(), 6u);
+  for (const Response& r : responses) EXPECT_TRUE(r.ok) << r.to_line();
+
+  const SchedulerStats& stats = scheduler.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.barriers, 1u);
+  EXPECT_EQ(stats.parallel_groups, 2u);
+}
+
+TEST(ServiceScheduler, GarbageLinesGetASlotAndDoNotPoisonTheBatch) {
+  AnalysisService service;
+  BatchScheduler scheduler(service, 2);
+  const auto responses = scheduler.run(lines({
+      R"({"id":1,"cmd":"ping"})",
+      "}{ broken",
+      R"({"id":3,"cmd":"ping"})",
+  }));
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_EQ(responses[1].error_code(), "parse_error");
+  EXPECT_TRUE(responses[2].ok);
+}
+
+TEST(ServiceScheduler, ExpiredDeadlinesAreShedNotExecuted) {
+  AnalysisService service;
+  BatchScheduler scheduler(service, 2);
+
+  Incoming stale{R"({"id":1,"cmd":"ping","deadline_ms":5})",
+                 std::chrono::steady_clock::now() - std::chrono::seconds(10)};
+  Incoming fresh{R"({"id":2,"cmd":"ping","deadline_ms":60000})",
+                 std::chrono::steady_clock::now()};
+
+  const auto responses = scheduler.run({stale, fresh});
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_EQ(responses[0].error_code(), "deadline_exceeded");
+  EXPECT_TRUE(responses[1].ok);
+  EXPECT_EQ(scheduler.stats().deadline_expired, 1u);
+}
+
+TEST(ServiceScheduler, DeterministicAcrossThreadCounts) {
+  // The same batch must produce byte-identical response lines at 1 and 8
+  // scheduler threads (the repo-wide determinism contract, applied to the
+  // service layer).
+  // Wall-clock fields (elapsed_ms) legitimately differ run to run, so the
+  // comparison is on the analysis payload, not the raw lines.
+  const auto run_at = [](unsigned threads) {
+    AnalysisService service;
+    BatchScheduler scheduler(service, threads);
+    const Response loaded =
+        scheduler.run_one(R"({"id":1,"cmd":"load","circuit":"s27"})");
+    const std::string key = loaded.body.find("session")->as_string();
+    const auto responses = scheduler.run(lines({
+        R"({"id":2,"cmd":"analyze","session":")" + key + R"("})",
+        R"({"id":3,"cmd":"analyze","session":")" + key + R"(","engine":"ssta"})",
+        R"({"id":4,"cmd":"query","session":")" + key + R"(","node":"G17"})",
+    }));
+    std::vector<std::string> out;
+    for (const Response& r : responses) {
+      EXPECT_TRUE(r.ok) << r.to_line();
+      const Json* payload = r.body.find("endpoints");
+      if (payload == nullptr) payload = r.body.find("stats");
+      if (payload == nullptr) {
+        ADD_FAILURE() << "no payload in " << r.to_line();
+        continue;
+      }
+      out.push_back(payload->dump());
+    }
+    return out;
+  };
+  EXPECT_EQ(run_at(1), run_at(8));
+}
+
+TEST(ServiceDaemon, ServeHandlesAScriptedSessionOverStreams) {
+  std::istringstream in(
+      R"({"id":1,"cmd":"load","circuit":"s27"})" "\n"
+      "\n"  // blank lines are skipped, not answered
+      R"({"id":2,"cmd":"stats"})" "\n"
+      "total garbage\n"
+      R"({"id":4,"cmd":"shutdown"})" "\n");
+  std::ostringstream out;
+  AnalysisService service;
+  const ServeReport report = serve(in, out, service, {.threads = 2});
+
+  EXPECT_TRUE(report.shutdown);
+  EXPECT_EQ(report.requests, 4u);
+  EXPECT_TRUE(service.shutdown_requested());
+
+  // One response line per non-blank request line, in order.
+  std::vector<std::string> replies;
+  std::istringstream echo(out.str());
+  for (std::string line; std::getline(echo, line);) replies.push_back(line);
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_NE(replies[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(replies[2].find("parse_error"), std::string::npos);
+  EXPECT_NE(replies[3].find("stopping"), std::string::npos);
+  // ids echo back in request order.
+  EXPECT_NE(replies[0].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(replies[1].find("\"id\":2"), std::string::npos);
+  EXPECT_NE(replies[3].find("\"id\":4"), std::string::npos);
+}
+
+TEST(ServiceDaemon, ServeStopsAtShutdownAndLeavesLaterLinesUnread) {
+  std::istringstream in(
+      R"({"id":1,"cmd":"ping"})" "\n"
+      R"({"id":2,"cmd":"shutdown"})" "\n"
+      R"({"id":3,"cmd":"ping"})" "\n");
+  std::ostringstream out;
+  AnalysisService service;
+  // One request per batch so the shutdown barrier takes effect before
+  // line 3 is ever read.
+  const ServeReport report =
+      serve(in, out, service, {.threads = 1, .greedy_batch = false});
+  EXPECT_TRUE(report.shutdown);
+  EXPECT_EQ(report.requests, 2u);
+  EXPECT_EQ(out.str().find("\"id\":3"), std::string::npos);
+}
+
+TEST(ServiceDaemon, ServeReturnsCleanlyOnEof) {
+  std::istringstream in(R"({"id":1,"cmd":"ping"})" "\n");
+  std::ostringstream out;
+  AnalysisService service;
+  const ServeReport report = serve(in, out, service, {.threads = 1});
+  EXPECT_FALSE(report.shutdown);
+  EXPECT_EQ(report.requests, 1u);
+  EXPECT_FALSE(service.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace spsta::service
