@@ -17,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/daemon.hpp"
 #include "service/json.hpp"
+#include "service/service.hpp"
 
 namespace {
 
@@ -34,6 +36,8 @@ int usage(std::FILE* to) {
       "  spsta run <circuit|file> [--engine=E] [--threads=N] [--runs=N] [--seed=N]\n"
       "  spsta query <circuit|file> (--node=NAME | --path) [--engine=E]\n"
       "  spsta script <file.jsonl | ->\n"
+      "  --metrics       dump the metrics registry (stage timers, counters)\n"
+      "                  to stderr after the command finishes\n"
       "Engines: spsta_moment (default) spsta_numeric canonical ssta mc.\n"
       "<circuit> is a builtin name (s27, s208..s1238); <file> is .bench/.v.\n");
   return to == stdout ? 0 : 2;
@@ -69,6 +73,23 @@ std::string session_of(const Response& response) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  bool dump_metrics = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--metrics") {
+      dump_metrics = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Dumps the registry (stage timers, cache counters, spans) once the
+  // command has run; stdout stays pure protocol lines.
+  const auto finish = [&](int code) {
+    if (dump_metrics) {
+      std::fprintf(stderr, "%s\n", spsta::service::metrics_json().dump().c_str());
+    }
+    return code;
+  };
   if (args.empty() || args[0] == "--help" || args[0] == "-h") {
     return usage(args.empty() ? stderr : stdout);
   }
@@ -88,7 +109,7 @@ int main(int argc, char** argv) {
     }
     AnalysisService service;
     spsta::service::serve(*in, std::cout, service, {});
-    return 0;
+    return finish(0);
   }
 
   if (mode != "run" && mode != "query") return usage(stderr);
@@ -121,7 +142,7 @@ int main(int argc, char** argv) {
   const Response loaded = scheduler.run_one(load_request(target).dump());
   std::printf("%s\n", loaded.to_line().c_str());
   const std::string session = session_of(loaded);
-  if (session.empty()) return 1;
+  if (session.empty()) return finish(1);
 
   Json req = Json::object();
   req.set("id", Json(mode));
@@ -148,5 +169,5 @@ int main(int argc, char** argv) {
 
   const Response response = scheduler.run_one(req.dump());
   std::printf("%s\n", response.to_line().c_str());
-  return response.ok ? 0 : 1;
+  return finish(response.ok ? 0 : 1);
 }

@@ -17,21 +17,32 @@
 #include <iostream>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "service/daemon.hpp"
 
 int main(int argc, char** argv) {
   spsta::service::ServeOptions options;
+  bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
       options.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
     } else if (arg == "--no-batch") {
       options.greedy_batch = false;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_path = arg.substr(8);
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--no-metrics") {
+      spsta::obs::set_enabled(false);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "spsta_serviced — JSON-lines analysis daemon over stdin/stdout\n"
           "  --threads=N   scheduler pool size (default: all hardware threads)\n"
           "  --no-batch    one request at a time (no greedy batch draining)\n"
+          "  --trace=FILE  append one JSON trace line per request to FILE\n"
+          "  --metrics     dump the metrics registry to stderr at exit\n"
+          "  --no-metrics  disable metric recording (zero-overhead serving)\n"
           "Protocol: see DESIGN.md §9. Commands: ping load analyze query\n"
           "set_delay set_source stats unload shutdown\n");
       return 0;
@@ -52,5 +63,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(report.requests),
                static_cast<unsigned long long>(report.batches),
                report.shutdown ? "shutdown" : "eof");
+  if (dump_metrics) {
+    std::fprintf(stderr, "%s\n", spsta::service::metrics_json().dump().c_str());
+  }
   return 0;
 }

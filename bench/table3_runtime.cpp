@@ -24,6 +24,7 @@
 #include "mc/monte_carlo.hpp"
 #include "netlist/delay_model.hpp"
 #include "netlist/iscas89.hpp"
+#include "obs/metrics.hpp"
 #include "report/table.hpp"
 #include "service/service.hpp"
 #include "ssta/ssta.hpp"
@@ -51,11 +52,45 @@ bool same_statistics(const spsta::mc::MonteCarloResult& a,
   return true;
 }
 
+/// Per-stage wall clock of one instrumented run, read back from the obs
+/// registry's stage histograms (all milliseconds).
+struct StageBreakdown {
+  double levelize_ms = 0.0;
+  double sigprob_ms = 0.0;
+  double moment_ms = 0.0;
+  double mc_shards_ms = 0.0;
+  double mc_merge_ms = 0.0;
+  bool available = false;  ///< false under --no-metrics / compiled-out obs
+};
+
 struct CircuitTiming {
   std::string name;
   double spsta = 0.0, ssta = 0.0, mc1 = 0.0, mcN = 0.0;
   bool identical = false;
+  StageBreakdown stages;
 };
+
+/// One fresh instrumented run per engine against a clean registry, so the
+/// stage totals describe exactly one spsta_moment run and one parallel MC
+/// run (the best-of-N timing loops above would tally every repetition).
+StageBreakdown measure_stages(const spsta::netlist::Netlist& n,
+                              const spsta::netlist::DelayModel& d,
+                              const std::vector<spsta::netlist::SourceStats>& sc,
+                              const spsta::mc::MonteCarloConfig& cfg) {
+  StageBreakdown out;
+  if (!spsta::obs::enabled()) return out;
+  spsta::obs::registry().reset_values();
+  benchmark::DoNotOptimize(spsta::core::run_spsta_moment(n, d, sc));
+  benchmark::DoNotOptimize(spsta::mc::run_monte_carlo(n, d, sc, cfg));
+  const spsta::obs::Snapshot snap = spsta::obs::registry().snapshot();
+  out.levelize_ms = snap.histogram_total_ms("stage.levelize");
+  out.sigprob_ms = snap.histogram_total_ms("stage.sigprob.propagate");
+  out.moment_ms = snap.histogram_total_ms("stage.moment.propagate");
+  out.mc_shards_ms = snap.histogram_total_ms("stage.mc.shards");
+  out.mc_merge_ms = snap.histogram_total_ms("stage.mc.merge");
+  out.available = true;
+  return out;
+}
 
 /// Throughput of the analysis service on one circuit, in requests/second:
 /// a warm session (design parsed once, repeated analyze served from the
@@ -126,6 +161,10 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--no-metrics") {
+      // Overhead A/B: compare wall clock against a default run to check the
+      // metrics layer's cost with recording disabled.
+      obs::set_enabled(false);
     }
   }
   threads = util::resolve_threads(threads);
@@ -135,7 +174,7 @@ int main(int argc, char** argv) {
 
   report::Table table({"test", "SPSTA (s)", "SSTA (s)", "10K MC 1t (s)",
                        "10K MC " + std::to_string(threads) + "t (s)", "MC speedup",
-                       "MC/SPSTA"});
+                       "MC/SPSTA", "stages lvl/sp/mom/shard/merge (ms)"});
   bool all_identical = true;
   for (std::string_view name : netlist::paper_circuit_names()) {
     const netlist::Netlist n = netlist::make_paper_circuit(name);
@@ -168,13 +207,25 @@ int main(int argc, char** argv) {
     const bool identical = same_statistics(r1, rN);
     all_identical = all_identical && identical;
 
-    timings.push_back({std::string(name), t_spsta, t_ssta, t_mc1, t_mcN, identical});
+    const StageBreakdown stages = measure_stages(n, d, sc, cfg);
+    const std::string stage_cell =
+        stages.available
+            ? report::Table::num(stages.levelize_ms, 2) + "/" +
+                  report::Table::num(stages.sigprob_ms, 2) + "/" +
+                  report::Table::num(stages.moment_ms, 2) + "/" +
+                  report::Table::num(stages.mc_shards_ms, 2) + "/" +
+                  report::Table::num(stages.mc_merge_ms, 2)
+            : "(metrics off)";
+
+    timings.push_back(
+        {std::string(name), t_spsta, t_ssta, t_mc1, t_mcN, identical, stages});
     table.add_row({std::string(name), report::Table::num(t_spsta, 4),
                    report::Table::num(t_ssta, 4), report::Table::num(t_mc1, 4),
                    report::Table::num(t_mcN, 4),
                    report::Table::num(t_mc1 / std::max(t_mcN, 1e-9), 1) + "x" +
                        (identical ? "" : " (MISMATCH)"),
-                   report::Table::num(t_mc1 / std::max(t_spsta, 1e-9), 0) + "x"});
+                   report::Table::num(t_mc1 / std::max(t_spsta, 1e-9), 0) + "x",
+                   stage_cell});
   }
 
   std::printf("=== Table 3: CPU runtime (seconds) ===\n%s\n", table.to_string().c_str());
@@ -208,9 +259,17 @@ int main(int argc, char** argv) {
       const CircuitTiming& t = timings[i];
       std::fprintf(f,
                    "%s{\"name\":\"%s\",\"spsta_s\":%.6g,\"ssta_s\":%.6g,"
-                   "\"mc_1t_s\":%.6g,\"mc_%ut_s\":%.6g,\"mc_speedup\":%.3g}",
+                   "\"mc_1t_s\":%.6g,\"mc_%ut_s\":%.6g,\"mc_speedup\":%.3g",
                    i ? "," : "", t.name.c_str(), t.spsta, t.ssta, t.mc1, threads,
                    t.mcN, t.mc1 / std::max(t.mcN, 1e-9));
+      if (t.stages.available) {
+        std::fprintf(f,
+                     ",\"stages_ms\":{\"levelize\":%.6g,\"sigprob\":%.6g,"
+                     "\"moment\":%.6g,\"mc_shards\":%.6g,\"mc_merge\":%.6g}",
+                     t.stages.levelize_ms, t.stages.sigprob_ms, t.stages.moment_ms,
+                     t.stages.mc_shards_ms, t.stages.mc_merge_ms);
+      }
+      std::fputc('}', f);
     }
     std::fprintf(f,
                  "],\"service\":{\"circuit\":\"%s\",\"warm_rps\":%.6g,"

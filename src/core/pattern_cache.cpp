@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace spsta::core {
 
 using netlist::FourValueProbs;
@@ -44,15 +46,19 @@ PatternCache::Patterns PatternCache::get(
     quantized[i] = {r[0], r[1], r[2], r[3]};
   }
 
+  static obs::Counter& hit_counter = obs::registry().counter("pattern_cache.hits");
+  static obs::Counter& miss_counter = obs::registry().counter("pattern_cache.misses");
   {
     std::lock_guard<std::mutex> lk(mutex_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_counter.add();
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter.add();
   // Compute outside the lock (concurrent misses for the same key produce
   // identical values, so whichever insert wins is immaterial).
   Patterns computed = std::make_shared<const std::vector<SwitchPattern>>(

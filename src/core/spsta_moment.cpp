@@ -5,6 +5,7 @@
 #include "core/patterns.hpp"
 #include "core/spsta.hpp"
 #include "netlist/levelize.hpp"
+#include "obs/metrics.hpp"
 #include "sigprob/four_value_prop.hpp"
 #include "stats/mixture.hpp"
 #include "util/thread_pool.hpp"
@@ -153,6 +154,9 @@ SpstaResult run_spsta_moment(const netlist::Netlist& design,
   // lower levels, so they evaluate concurrently and each writes its own
   // slot — bit-identical results at any thread count.
   const netlist::Levelization lv = netlist::levelize(design);
+  static obs::LatencyHistogram& stage_hist =
+      obs::registry().histogram("stage.moment.propagate");
+  const obs::StageTimer timer(stage_hist);
   util::ThreadPool pool(options.threads);
   for (const std::vector<NodeId>& group : netlist::level_groups(lv)) {
     pool.for_each_index(group.size(), [&](std::size_t k) {

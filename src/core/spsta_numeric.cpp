@@ -7,6 +7,7 @@
 #include "core/spsta.hpp"
 #include "netlist/graph.hpp"
 #include "netlist/levelize.hpp"
+#include "obs/metrics.hpp"
 #include "sigprob/four_value_prop.hpp"
 #include "util/thread_pool.hpp"
 
@@ -108,7 +109,12 @@ SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
   }
 
   SpstaNumericResult result;
-  result.grid = choose_grid(design, delays, source_stats, options);
+  {
+    static obs::LatencyHistogram& grid_hist =
+        obs::registry().histogram("stage.numeric.grid");
+    const obs::StageTimer timer(grid_hist);
+    result.grid = choose_grid(design, delays, source_stats, options);
+  }
   result.node.assign(design.node_count(), NodeTopDensity{});
   for (auto& n : result.node) {
     n.rise = PiecewiseDensity::zero(result.grid);
@@ -169,6 +175,9 @@ SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
   };
 
   const netlist::Levelization lv = netlist::levelize(design);
+  static obs::LatencyHistogram& stage_hist =
+      obs::registry().histogram("stage.numeric.propagate");
+  const obs::StageTimer timer(stage_hist);
   util::ThreadPool pool(options.threads);
   for (const std::vector<NodeId>& group : netlist::level_groups(lv)) {
     pool.for_each_index(group.size(),

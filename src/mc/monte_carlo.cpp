@@ -4,6 +4,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "stats/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -208,10 +209,16 @@ MonteCarloResult run_monte_carlo(const netlist::Netlist& design,
   };
 
   {
+    static obs::LatencyHistogram& shard_hist =
+        obs::registry().histogram("stage.mc.shards");
+    const obs::StageTimer timer(shard_hist);
     util::ThreadPool pool(config.threads);
     pool.for_each_index(num_chunks, run_chunk);
   }
 
+  static obs::LatencyHistogram& merge_hist =
+      obs::registry().histogram("stage.mc.merge");
+  const obs::StageTimer merge_timer(merge_hist);
   // Ordered merge: chunk index order == run order, independent of threads.
   for (const ChunkAccum& acc : chunks) {
     for (NodeId id = 0; id < node_count; ++id) {

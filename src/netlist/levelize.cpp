@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace spsta::netlist {
 
 Levelization levelize(const Netlist& design) {
+  static obs::LatencyHistogram& stage_hist =
+      obs::registry().histogram("stage.levelize");
+  const obs::StageTimer timer(stage_hist);
   const std::size_t n = design.node_count();
   Levelization out;
   out.level.assign(n, 0);

@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+namespace spsta::obs {
+
+namespace detail {
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+}  // namespace detail
+
+namespace {
+
+template <typename Map, typename Metric = typename Map::mapped_type::element_type>
+Metric& get_or_create(std::mutex& mutex, Map& map, std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  return *map.emplace(std::string(name), std::make_unique<Metric>()).first->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return get_or_create(mutex_, counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return get_or_create(mutex_, gauges_, name);
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name) {
+  return get_or_create(mutex_, histograms_, name);
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.enabled = enabled();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramValue v;
+    v.name = name;
+    v.count = h->count();
+    v.total_ns = h->total_ns();
+    v.max_ns = h->max_ns();
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n != 0) v.buckets.push_back({LatencyHistogram::bucket_upper_us(i), n});
+    }
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;
+}
+
+double Snapshot::histogram_total_ms(std::string_view name) const noexcept {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return static_cast<double>(h.total_ns) * 1e-6;
+  }
+  return 0.0;
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+Registry& registry() noexcept {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace spsta::obs

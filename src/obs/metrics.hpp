@@ -1,0 +1,246 @@
+/// \file metrics.hpp
+/// The observability layer's metrics registry: named counters, gauges and
+/// fixed-bucket latency histograms, plus the RAII stage timer the engines
+/// and the service use to attribute wall-clock to pipeline stages.
+///
+/// Overhead contract (DESIGN.md §10):
+///   * compiled out (SPSTA_OBS_ENABLED=0): every record path is a
+///     constant-false branch the compiler deletes — no atomics, no clock
+///     reads, no registry writes;
+///   * compiled in but disabled at runtime (set_enabled(false)): one
+///     relaxed atomic load per record site, nothing else;
+///   * enabled: one relaxed atomic add per counter increment; a timer
+///     costs two steady_clock reads plus a handful of relaxed adds at
+///     scope exit.
+///
+/// Metrics NEVER feed back into analysis: they are not part of any result
+/// cache key and no engine reads them, so results stay bit-identical with
+/// metrics on, off, or compiled out (the determinism contract holds;
+/// tests/determinism_test.cpp checks it).
+///
+/// Hot paths hold a reference obtained once:
+///
+///   static obs::LatencyHistogram& h = obs::registry().histogram("stage.x");
+///   obs::StageTimer timer(h);
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef SPSTA_OBS_ENABLED
+#define SPSTA_OBS_ENABLED 1
+#endif
+
+namespace spsta::obs {
+
+/// True when instrumentation was compiled in (SPSTA_OBS_ENABLED).
+inline constexpr bool kCompiledIn = SPSTA_OBS_ENABLED != 0;
+
+namespace detail {
+/// Runtime switch; one relaxed load per record site when compiled in.
+[[nodiscard]] std::atomic<bool>& enabled_flag() noexcept;
+}  // namespace detail
+
+/// True when recording is active (compiled in AND runtime-enabled).
+[[nodiscard]] inline bool enabled() noexcept {
+  if constexpr (!kCompiledIn) return false;
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// Toggles recording at runtime. A no-op when compiled out.
+inline void set_enabled(bool on) noexcept {
+  if constexpr (kCompiledIn) {
+    detail::enabled_flag().store(on, std::memory_order_relaxed);
+  }
+}
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (double payload).
+class Gauge {
+ public:
+  void set(double x) noexcept {
+    if (enabled()) {
+      bits_.store(std::bit_cast<std::uint64_t>(x), std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bucket latency histogram over log2-spaced microsecond bounds:
+/// bucket 0 holds sub-microsecond samples, bucket i (1 <= i < kBuckets-1)
+/// holds [2^(i-1), 2^i) µs, and the last bucket is the overflow. Bucket
+/// layout is fixed at compile time, so recording is a relaxed add with no
+/// allocation and snapshots need no locking.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 22;  ///< overflow at ~1.05 s
+
+  void record_ns(std::uint64_t ns) noexcept {
+    if (!enabled()) return;
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    // Relaxed CAS max: losing a race only ever keeps a larger value.
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket \p i in µs; UINT64_MAX for overflow.
+  [[nodiscard]] static std::uint64_t bucket_upper_us(std::size_t i) noexcept {
+    if (i + 1 >= kBuckets) return UINT64_MAX;
+    return std::uint64_t{1} << i;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns) noexcept {
+    const std::uint64_t us = ns / 1000;
+    if (us == 0) return 0;
+    return std::min<std::size_t>(kBuckets - 1, std::bit_width(us));
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Point-in-time copy of every registered metric (lock held only for the
+/// name walk; values are relaxed reads, so a snapshot taken concurrently
+/// with recording is approximate — by design).
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    struct Bucket {
+      std::uint64_t upper_us = 0;  ///< UINT64_MAX = overflow bucket
+      std::uint64_t count = 0;
+    };
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::vector<Bucket> buckets;  ///< non-empty buckets only
+  };
+
+  bool enabled = false;
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Convenience: total of histogram \p name in milliseconds (0 if absent).
+  [[nodiscard]] double histogram_total_ms(std::string_view name) const noexcept;
+  /// Convenience: value of counter \p name (0 if absent).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept;
+};
+
+/// Name-addressed metric store. Metrics live for the process lifetime
+/// (stable addresses), so hot paths cache references; get-or-create takes
+/// a mutex but is intended to run once per call site via a function-local
+/// static.
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name);
+
+  /// Zeroes every registered metric's value (registrations stay — cached
+  /// references remain valid). Benchmarks use this between sections.
+  void reset_values();
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry.
+[[nodiscard]] Registry& registry() noexcept;
+
+/// RAII stage timer: measures its own scope into a LatencyHistogram.
+/// Decides enabled-ness once at construction; a disabled timer never
+/// reads the clock.
+class StageTimer {
+ public:
+  explicit StageTimer(LatencyHistogram& sink) noexcept
+      : sink_(enabled() ? &sink : nullptr) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~StageTimer() {
+    if (sink_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      sink_->record_ns(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+    }
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  LatencyHistogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace spsta::obs

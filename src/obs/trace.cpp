@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace spsta::obs {
+
+namespace {
+
+/// Locale-independent shortest-round-trip double rendering; non-finite
+/// spans (should not happen — they come from clock differences) clamp to 0
+/// rather than corrupting the log with invalid JSON.
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) value = 0.0;
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, ec == std::errc() ? end : buf + 1);  // "0" fallback
+}
+
+/// Minimal JSON string escaping (commands come off the wire, so they can
+/// hold anything).
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      static constexpr char hex[] = "0123456789abcdef";
+      out += "\\u00";
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string trace_line(const TraceEvent& event) {
+  std::string out;
+  out.reserve(128);
+  out += "{\"trace_id\":\"t-";
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, event.trace_id);
+  out.append(buf, ec == std::errc() ? end : buf);
+  out += "\",\"cmd\":";
+  append_escaped(out, event.cmd);
+  out += ",\"ok\":";
+  out += event.ok ? "true" : "false";
+  out += ",\"queue_ms\":";
+  append_number(out, event.queue_ms);
+  out += ",\"execute_ms\":";
+  append_number(out, event.execute_ms);
+  out += ",\"serialize_ms\":";
+  append_number(out, event.serialize_ms);
+  out.push_back('}');
+  return out;
+}
+
+TraceLog::TraceLog(const std::string& path) : file_(std::fopen(path.c_str(), "a")) {}
+
+TraceLog::~TraceLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceLog::write(const TraceEvent& event) {
+  if (file_ == nullptr) return;
+  const std::string line = trace_line(event);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  ++events_;
+}
+
+}  // namespace spsta::obs

@@ -1,10 +1,36 @@
 #include "report/csv.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 namespace spsta::report {
+
+std::string csv_field(std::string_view text) {
+  const bool needs_quoting =
+      text.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(text);
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_number(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value < 0 ? "-inf" : "inf";
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;  // 40 bytes covers every shortest-round-trip double
+  return std::string(buf, end);
+}
 
 void write_density_csv(std::ostream& out, std::span<const std::string> names,
                        std::span<const stats::PiecewiseDensity> densities) {
@@ -12,14 +38,16 @@ void write_density_csv(std::ostream& out, std::span<const std::string> names,
     throw std::invalid_argument("write_density_csv: name/density count mismatch");
   }
   out << "t";
-  for (const std::string& n : names) out << ',' << n;
+  for (const std::string& n : names) out << ',' << csv_field(n);
   out << '\n';
   if (densities.empty() || densities[0].empty()) return;
   const stats::GridSpec& grid = densities[0].grid();
   for (std::size_t i = 0; i < grid.n; ++i) {
     const double t = grid.time_at(i);
-    out << t;
-    for (const stats::PiecewiseDensity& d : densities) out << ',' << d.value_at(t);
+    out << csv_number(t);
+    for (const stats::PiecewiseDensity& d : densities) {
+      out << ',' << csv_number(d.value_at(t));
+    }
     out << '\n';
   }
 }
@@ -33,7 +61,9 @@ std::string density_csv(std::span<const std::string> names,
 
 void write_yield_csv(std::ostream& out, std::span<const core::YieldPoint> curve) {
   out << "period,yield\n";
-  for (const core::YieldPoint& p : curve) out << p.period << ',' << p.yield << '\n';
+  for (const core::YieldPoint& p : curve) {
+    out << csv_number(p.period) << ',' << csv_number(p.yield) << '\n';
+  }
 }
 
 void write_node_summary_csv(std::ostream& out, const netlist::Netlist& design,
@@ -41,9 +71,11 @@ void write_node_summary_csv(std::ostream& out, const netlist::Netlist& design,
   out << "name,p0,p1,pr,pf,rise_mu,rise_sigma,fall_mu,fall_sigma\n";
   for (netlist::NodeId id = 0; id < design.node_count(); ++id) {
     const core::NodeTopDensity& n = result.node[id];
-    out << design.node(id).name << ',' << n.probs.p0 << ',' << n.probs.p1 << ','
-        << n.probs.pr << ',' << n.probs.pf << ',' << n.rise.mean() << ','
-        << n.rise.stddev() << ',' << n.fall.mean() << ',' << n.fall.stddev() << '\n';
+    out << csv_field(design.node(id).name) << ',' << csv_number(n.probs.p0) << ','
+        << csv_number(n.probs.p1) << ',' << csv_number(n.probs.pr) << ','
+        << csv_number(n.probs.pf) << ',' << csv_number(n.rise.mean()) << ','
+        << csv_number(n.rise.stddev()) << ',' << csv_number(n.fall.mean()) << ','
+        << csv_number(n.fall.stddev()) << '\n';
   }
 }
 

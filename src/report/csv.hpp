@@ -7,6 +7,7 @@
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "core/spsta.hpp"
 #include "core/yield.hpp"
@@ -14,6 +15,19 @@
 #include "stats/piecewise.hpp"
 
 namespace spsta::report {
+
+/// RFC 4180 field quoting: returns \p text unchanged unless it contains a
+/// comma, double quote, CR or LF, in which case it is wrapped in double
+/// quotes with embedded quotes doubled. Netlist node names are free-form
+/// (Verilog escaped identifiers may hold almost anything), so every name
+/// column goes through this.
+[[nodiscard]] std::string csv_field(std::string_view text);
+
+/// Locale-independent shortest round-trip rendering of a double
+/// (std::to_chars): parsing the field back recovers the exact bits, and a
+/// comma-decimal global locale cannot corrupt the column separator.
+/// Non-finite values render as "nan"/"inf"/"-inf".
+[[nodiscard]] std::string csv_number(double value);
 
 /// Writes "t,<name0>,<name1>,..." rows sampling each density on the first
 /// density's grid. All spans must be equal length.

@@ -1,9 +1,14 @@
 #include "service/daemon.hpp"
 
+#include <chrono>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spsta::service {
 
@@ -24,6 +29,12 @@ ServeReport serve(std::istream& in, std::ostream& out, AnalysisService& service,
                   const ServeOptions& options) {
   BatchScheduler scheduler(service, options.threads);
   ServeReport report;
+  const std::unique_ptr<obs::TraceLog> trace =
+      options.trace_path.empty() ? nullptr
+                                 : std::make_unique<obs::TraceLog>(options.trace_path);
+
+  static obs::LatencyHistogram& serialize_hist =
+      obs::registry().histogram("service.serialize");
 
   std::string line;
   while (!service.shutdown_requested() && std::getline(in, line)) {
@@ -39,7 +50,17 @@ ServeReport serve(std::istream& in, std::ostream& out, AnalysisService& service,
 
     const std::vector<Response> responses = scheduler.run(batch);
     for (const Response& response : responses) {
+      const auto t0 = std::chrono::steady_clock::now();
       out << response.to_line() << '\n';
+      const auto serialize_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+      serialize_hist.record_ns(static_cast<std::uint64_t>(serialize_ns));
+      if (trace != nullptr) {
+        trace->write({response.span.trace_id, response.span.cmd, response.ok,
+                      response.span.queue_ms, response.span.execute_ms,
+                      static_cast<double>(serialize_ns) * 1e-6});
+      }
     }
     out.flush();
     ++report.batches;

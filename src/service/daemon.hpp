@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "service/scheduler.hpp"
 #include "service/service.hpp"
@@ -23,6 +24,9 @@ struct ServeOptions {
   unsigned threads = 0;          ///< scheduler pool size (0 = hardware)
   std::size_t max_batch = 256;   ///< cap on greedily drained batch size
   bool greedy_batch = true;      ///< drain buffered lines into one batch
+  /// When non-empty, append one JSON trace line per served request
+  /// (trace_id, cmd, ok, queue/execute/serialize ms) to this file.
+  std::string trace_path;
 };
 
 struct ServeReport {

@@ -1,10 +1,10 @@
 #include "service/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <system_error>
 
 namespace spsta::service {
 
@@ -190,13 +190,56 @@ struct Parser {
       }
       while (!done() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
     }
-    const std::string token(text.substr(start, pos - start));
-    errno = 0;
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("bad number");
-    if (!std::isfinite(value)) fail("number out of range");
+    // std::from_chars: locale-independent, unlike strtod, which would
+    // reject "1.5" under a comma-decimal LC_NUMERIC.
+    const std::string_view token = text.substr(start, pos - start);
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range) {
+      // Grammar guarantees the magnitude is the issue: a negative decimal
+      // exponent means underflow (reads as zero, like strtod); otherwise
+      // the value exceeds double range.
+      if (decimal_exponent_is_negative(token)) {
+        return token.front() == '-' ? -0.0 : 0.0;
+      }
+      fail("number out of range");
+    }
+    if (ec != std::errc() || end != token.data() + token.size()) fail("bad number");
     return value;
+  }
+
+  /// Sign of the scale of an out-of-range numeric token: true when the
+  /// combined decimal exponent (significant integer digits + explicit
+  /// exponent) is negative, i.e. the value underflowed toward zero.
+  [[nodiscard]] static bool decimal_exponent_is_negative(std::string_view token) {
+    std::size_t i = token.front() == '-' ? 1 : 0;
+    long long int_digits = 0;  // significant digits before the '.'
+    bool leading = true;
+    for (; i < token.size() && token[i] >= '0' && token[i] <= '9'; ++i) {
+      if (leading && token[i] == '0') continue;
+      leading = false;
+      ++int_digits;
+    }
+    long long frac_leading_zeros = 0;
+    if (i < token.size() && token[i] == '.') {
+      ++i;
+      if (int_digits == 0) {
+        for (; i < token.size() && token[i] == '0'; ++i) ++frac_leading_zeros;
+      }
+      while (i < token.size() && token[i] >= '0' && token[i] <= '9') ++i;
+    }
+    long long exponent = 0;
+    if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+      ++i;
+      bool neg = false;
+      if (token[i] == '+' || token[i] == '-') neg = token[i++] == '-';
+      for (; i < token.size(); ++i) {
+        exponent = std::min<long long>(exponent * 10 + (token[i] - '0'), 1000000);
+      }
+      if (neg) exponent = -exponent;
+    }
+    // Decimal magnitude ~ 10^(int_digits - frac_leading_zeros + exponent).
+    return int_digits - frac_leading_zeros + exponent < 0;
   }
 
   Json parse_value(std::size_t depth) {
@@ -274,21 +317,22 @@ void append_escaped(std::string& out, const std::string& s) {
 }  // namespace
 
 std::string json_number(double value) {
-  if (!std::isfinite(value)) return "0";
-  // Integers up to 2^53 print without an exponent or decimal point.
-  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", value);
-    return buf;
-  }
-  // Shortest round-trip form: try increasing precision until re-parsing
-  // reproduces the exact bits (17 significant digits always does).
+  if (!std::isfinite(value)) throw NonFiniteNumberError();
   char buf[40];
-  for (int prec = 15; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof buf, "%.*g", prec, value);
-    if (std::strtod(buf, nullptr) == value) break;
-  }
-  return buf;
+  // Integers up to 2^53 print without an exponent or decimal point.
+  // std::to_chars is locale-independent (snprintf "%g" would emit "1,5"
+  // under a comma-decimal LC_NUMERIC) and the plain overload produces the
+  // shortest string that parses back to the same bits.
+  const auto [end, ec] =
+      value == std::floor(value) && std::abs(value) < 9.007199254740992e15
+          ? std::to_chars(buf, buf + sizeof buf, value, std::chars_format::fixed, 0)
+          : std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;  // 40 bytes always suffice for a double
+  return std::string(buf, end);
+}
+
+Json Json::number_or_null(double value) {
+  return std::isfinite(value) ? Json(value) : Json(nullptr);
 }
 
 Json Json::parse(std::string_view text, std::size_t max_depth) {

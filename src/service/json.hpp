@@ -34,6 +34,16 @@ class JsonParseError : public std::runtime_error {
   std::size_t offset_;
 };
 
+/// Thrown when a NaN or infinity reaches the serializer. JSON has no
+/// representation for non-finite numbers, and silently emitting `0` would
+/// fake a result (a zero delay) — the protocol layer converts this into a
+/// structured `internal_error` response instead.
+class NonFiniteNumberError : public std::invalid_argument {
+ public:
+  NonFiniteNumberError() : std::invalid_argument(
+      "non-finite number has no JSON representation") {}
+};
+
 /// An immutable-ish JSON value. Objects are ordered key/value vectors
 /// (duplicate keys are rejected by the parser; find returns the first).
 class Json {
@@ -61,6 +71,12 @@ class Json {
 
   [[nodiscard]] static Json array() { return Json(Array{}); }
   [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  /// \p value as a JSON number, or null when non-finite — for *optional*
+  /// numeric fields where "no value" is meaningful. Mandatory result
+  /// fields should carry the finite value or fail serialization (see
+  /// NonFiniteNumberError), never a placeholder.
+  [[nodiscard]] static Json number_or_null(double value);
 
   [[nodiscard]] Type type() const noexcept { return type_; }
   [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
@@ -92,6 +108,7 @@ class Json {
 
   /// Compact single-line serialization (no trailing newline). Doubles use
   /// the shortest representation that parses back to the same value.
+  /// Throws NonFiniteNumberError if the value holds a NaN or infinity.
   [[nodiscard]] std::string dump() const;
 
   friend bool operator==(const Json&, const Json&) = default;
@@ -108,8 +125,9 @@ class Json {
 };
 
 /// Formats a double as the shortest decimal string that parses back to
-/// the same bits (JSON number syntax; non-finite values clamp to 0 as
-/// JSON has no representation for them).
+/// the same bits (JSON number syntax), independent of the process locale.
+/// Throws NonFiniteNumberError for NaN / infinity — JSON has no
+/// representation for them and a fake `0` would corrupt results.
 [[nodiscard]] std::string json_number(double value);
 
 }  // namespace spsta::service

@@ -42,7 +42,21 @@ std::string Response::to_line() const {
   line.set("id", id);
   line.set("ok", Json(ok));
   line.set(ok ? "result" : "error", body);
-  return line.dump();
+  if (span.trace_id != 0) {
+    line.set("trace_id", Json("t-" + std::to_string(span.trace_id)));
+  }
+  try {
+    return line.dump();
+  } catch (const NonFiniteNumberError&) {
+    // An engine produced NaN/Inf and it reached serialization: surface a
+    // structured error. The failure body is all strings (and the id came
+    // off the wire, where non-finite numbers cannot be expressed), so the
+    // nested to_line() cannot throw again.
+    Response error =
+        failure(id, ErrorCode::InternalError, "non-finite number in response body");
+    error.span = span;
+    return error.to_line();
+  }
 }
 
 std::string_view Response::error_code() const {

@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -52,16 +53,29 @@ struct Request {
   double deadline_ms = -1;  ///< relative deadline; < 0 means none
 };
 
+/// Per-request observability span, filled by the batch scheduler. Not
+/// part of any cache key — purely descriptive, never result-affecting.
+struct RequestSpan {
+  std::uint64_t trace_id = 0;  ///< 0 = unassigned (direct execute path)
+  std::string cmd;             ///< command ("" for envelope errors)
+  double queue_ms = 0.0;       ///< enqueue -> execution start
+  double execute_ms = 0.0;     ///< handler wall-clock
+};
+
 /// One response line.
 struct Response {
   Json id;
   bool ok = false;
   Json body;  ///< result object (ok) or error object (!ok)
+  RequestSpan span;  ///< tracing metadata (trace_id echoed on the wire)
 
   [[nodiscard]] static Response success(Json id, Json result);
   [[nodiscard]] static Response failure(Json id, ErrorCode code, std::string message);
 
-  /// The response as one JSON line (no trailing newline).
+  /// The response as one JSON line (no trailing newline). When the span
+  /// carries a trace id it is echoed as `"trace_id":"t-<n>"`. A non-finite
+  /// number anywhere in the body degrades to a structured internal_error
+  /// line — never an invalid document, never a fake zero.
   [[nodiscard]] std::string to_line() const;
   /// Error code of a failure response ("" for successes).
   [[nodiscard]] std::string_view error_code() const;

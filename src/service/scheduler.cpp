@@ -3,6 +3,8 @@
 #include <utility>
 #include <variant>
 
+#include "obs/metrics.hpp"
+
 namespace spsta::service {
 
 namespace {
@@ -12,12 +14,19 @@ namespace {
 struct Slot {
   std::variant<Request, Response> parsed;
   std::chrono::steady_clock::time_point enqueued;
+  std::uint64_t trace_id = 0;  ///< assigned in request order (deterministic)
 
   [[nodiscard]] bool is_barrier() const {
     const Request* req = std::get_if<Request>(&parsed);
     return req != nullptr && is_mutating_command(req->cmd);
   }
 };
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
 
 }  // namespace
 
@@ -31,8 +40,16 @@ std::vector<Response> BatchScheduler::run(const std::vector<Incoming>& batch) {
   std::vector<Slot> slots;
   slots.reserve(batch.size());
   for (const Incoming& incoming : batch) {
-    slots.push_back({parse_request(incoming.line), incoming.enqueued});
+    // Trace ids are handed out here, in request order, NOT inside the
+    // pool job — so the id a request gets never depends on thread timing.
+    slots.push_back({parse_request(incoming.line), incoming.enqueued,
+                     trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1});
   }
+
+  static obs::LatencyHistogram& queue_hist =
+      obs::registry().histogram("service.queue_wait");
+  static obs::LatencyHistogram& execute_hist =
+      obs::registry().histogram("service.execute");
 
   std::vector<Response> responses(batch.size());
   // Written from pool threads; each slot touches only its own entry, so
@@ -40,26 +57,28 @@ std::vector<Response> BatchScheduler::run(const std::vector<Incoming>& batch) {
   std::vector<unsigned char> expired(batch.size(), 0);
   const auto execute_slot = [&](std::size_t i) {
     Slot& slot = slots[i];
+    const double queue_ms = ms_since(slot.enqueued);
+    queue_hist.record_ns(static_cast<std::uint64_t>(queue_ms * 1e6));
     if (Response* early = std::get_if<Response>(&slot.parsed)) {
       responses[i] = std::move(*early);  // envelope error, nothing to execute
+      responses[i].span = {slot.trace_id, "", queue_ms, 0.0};
       return;
     }
     const Request& request = std::get<Request>(slot.parsed);
-    if (request.deadline_ms >= 0) {
-      const double elapsed_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - slot.enqueued)
-              .count();
-      if (elapsed_ms > request.deadline_ms) {
-        expired[i] = 1;
-        responses[i] = Response::failure(
-            request.id, ErrorCode::DeadlineExceeded,
-            "deadline of " + json_number(request.deadline_ms) + " ms exceeded (" +
-                json_number(elapsed_ms) + " ms in queue)");
-        return;
-      }
+    if (request.deadline_ms >= 0 && queue_ms > request.deadline_ms) {
+      expired[i] = 1;
+      responses[i] = Response::failure(
+          request.id, ErrorCode::DeadlineExceeded,
+          "deadline of " + json_number(request.deadline_ms) + " ms exceeded (" +
+              json_number(queue_ms) + " ms in queue)");
+      responses[i].span = {slot.trace_id, request.cmd, queue_ms, 0.0};
+      return;
     }
+    const auto exec_start = std::chrono::steady_clock::now();
     responses[i] = service_.execute(request);
+    const double execute_ms = ms_since(exec_start);
+    execute_hist.record_ns(static_cast<std::uint64_t>(execute_ms * 1e6));
+    responses[i].span = {slot.trace_id, request.cmd, queue_ms, execute_ms};
   };
 
   std::size_t i = 0;

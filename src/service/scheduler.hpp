@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -63,6 +64,9 @@ class BatchScheduler {
   AnalysisService& service_;
   util::ThreadPool pool_;
   SchedulerStats stats_;
+  /// Per-scheduler trace-id sequence: every response gets `t-<n>` with n
+  /// counting from 1, so a fresh daemon's trace ids are reproducible.
+  std::atomic<std::uint64_t> trace_seq_{0};
 };
 
 }  // namespace spsta::service

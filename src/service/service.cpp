@@ -10,6 +10,7 @@
 #include "netlist/graph.hpp"
 #include "netlist/iscas89.hpp"
 #include "netlist/verilog_io.hpp"
+#include "obs/metrics.hpp"
 
 namespace spsta::service {
 
@@ -220,6 +221,39 @@ std::string infer_format(const std::string& path) {
 }
 
 }  // namespace
+
+Json metrics_json() {
+  const obs::Snapshot snap = obs::registry().snapshot();
+  Json j = Json::object();
+  j.set("enabled", Json(snap.enabled));
+  Json counters = Json::object();
+  for (const auto& c : snap.counters) counters.set(c.name, Json(c.value));
+  j.set("counters", std::move(counters));
+  if (!snap.gauges.empty()) {
+    Json gauges = Json::object();
+    for (const auto& g : snap.gauges) gauges.set(g.name, Json::number_or_null(g.value));
+    j.set("gauges", std::move(gauges));
+  }
+  Json stages = Json::object();
+  for (const auto& h : snap.histograms) {
+    Json s = Json::object();
+    s.set("count", Json(h.count));
+    s.set("total_ms", Json(static_cast<double>(h.total_ns) * 1e-6));
+    s.set("max_ms", Json(static_cast<double>(h.max_ns) * 1e-6));
+    Json buckets = Json::array();
+    for (const auto& b : h.buckets) {
+      Json row = Json::object();
+      // Overflow bucket: upper bound is unbounded -> null.
+      row.set("le_us", b.upper_us == UINT64_MAX ? Json(nullptr) : Json(b.upper_us));
+      row.set("count", Json(b.count));
+      buckets.push_back(std::move(row));
+    }
+    s.set("buckets", std::move(buckets));
+    stages.set(h.name, std::move(s));
+  }
+  j.set("stages", std::move(stages));
+  return j;
+}
 
 std::string_view to_string(Engine engine) noexcept {
   switch (engine) {
@@ -624,6 +658,7 @@ Response AnalysisService::handle_stats(const Request& request) {
   result.set("sessions", Json(store_.size()));
   result.set("requests", Json(requests_.load(std::memory_order_relaxed)));
   result.set("errors", Json(errors_.load(std::memory_order_relaxed)));
+  result.set("metrics", metrics_json());
 
   Json cache = Json::object();
   cache.set("hits", Json(cache_hits_.load(std::memory_order_relaxed)));

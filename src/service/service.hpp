@@ -29,6 +29,11 @@ namespace spsta::service {
 /// Engines the `analyze` / `query` commands accept.
 enum class Engine { SpstaMoment, SpstaNumeric, Canonical, Ssta, Mc };
 
+/// JSON rendering of the process-wide obs registry (counters, gauges,
+/// per-stage latency histograms). Shared by the `stats` command, the
+/// apps' `--metrics` dump and bench/table3_runtime's stage breakdown.
+[[nodiscard]] Json metrics_json();
+
 /// Wire name ("spsta_moment", "spsta_numeric", "canonical", "ssta", "mc").
 [[nodiscard]] std::string_view to_string(Engine engine) noexcept;
 

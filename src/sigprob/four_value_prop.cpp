@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "netlist/levelize.hpp"
+#include "obs/metrics.hpp"
 
 namespace spsta::sigprob {
 
@@ -147,6 +148,9 @@ std::vector<FourValueProbs> propagate_four_value(
   if (source_probs.size() != sources.size() && source_probs.size() != 1) {
     throw std::invalid_argument("propagate_four_value: source probability count mismatch");
   }
+  static obs::LatencyHistogram& stage_hist =
+      obs::registry().histogram("stage.sigprob.propagate");
+  const obs::StageTimer timer(stage_hist);
   std::vector<FourValueProbs> probs(design.node_count(), FourValueProbs{1.0, 0.0, 0.0, 0.0});
   for (std::size_t i = 0; i < sources.size(); ++i) {
     probs[sources[i]] =

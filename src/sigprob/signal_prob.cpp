@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "netlist/levelize.hpp"
+#include "obs/metrics.hpp"
 
 namespace spsta::sigprob {
 
@@ -66,6 +67,9 @@ std::vector<double> propagate_signal_probabilities(const netlist::Netlist& desig
     throw std::invalid_argument(
         "propagate_signal_probabilities: source probability count mismatch");
   }
+  static obs::LatencyHistogram& stage_hist =
+      obs::registry().histogram("stage.sigprob.propagate");
+  const obs::StageTimer timer(stage_hist);
   std::vector<double> prob(design.node_count(), 0.0);
   for (std::size_t i = 0; i < sources.size(); ++i) {
     prob[sources[i]] = source_probs.size() == 1 ? source_probs[0] : source_probs[i];

@@ -11,6 +11,7 @@
 #include "mc/monte_carlo.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 
 namespace spsta {
 namespace {
@@ -164,6 +165,48 @@ TEST(Determinism, MomentEngineIsThreadCountInvariant) {
       ASSERT_EQ(r.node[id].fall.arrival.var, base.node[id].fall.arrival.var);
       ASSERT_EQ(r.node[id].fall.third_central, base.node[id].fall.third_central);
     }
+  }
+}
+
+TEST(Determinism, MetricsRecordingDoesNotPerturbAnyEngine) {
+  // The observability layer is write-only from the engines' perspective:
+  // stage timers and counters must not change a single result bit,
+  // whether recording is on or off.
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.05);
+  const std::vector sources{netlist::scenario_I()};
+  core::SpstaOptions opt;
+  opt.threads = 4;
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 1000;
+  cfg.seed = 11;
+  cfg.threads = 4;
+
+  obs::set_enabled(true);
+  const core::SpstaResult moment_on = core::run_spsta_moment(n, d, sources, opt);
+  const core::SpstaNumericResult numeric_on =
+      core::run_spsta_numeric(n, d, sources, opt);
+  const mc::MonteCarloResult mc_on = mc::run_monte_carlo(n, d, sources, cfg);
+
+  obs::set_enabled(false);
+  const core::SpstaResult moment_off = core::run_spsta_moment(n, d, sources, opt);
+  const core::SpstaNumericResult numeric_off =
+      core::run_spsta_numeric(n, d, sources, opt);
+  const mc::MonteCarloResult mc_off = mc::run_monte_carlo(n, d, sources, cfg);
+  obs::set_enabled(true);
+
+  expect_same_numeric(numeric_on, numeric_off);
+  expect_same_mc(mc_on, mc_off);
+  ASSERT_EQ(moment_on.node.size(), moment_off.node.size());
+  for (std::size_t id = 0; id < moment_on.node.size(); ++id) {
+    ASSERT_EQ(moment_on.node[id].rise.arrival.mean,
+              moment_off.node[id].rise.arrival.mean);
+    ASSERT_EQ(moment_on.node[id].rise.arrival.var,
+              moment_off.node[id].rise.arrival.var);
+    ASSERT_EQ(moment_on.node[id].fall.arrival.mean,
+              moment_off.node[id].fall.arrival.mean);
+    ASSERT_EQ(moment_on.node[id].fall.arrival.var,
+              moment_off.node[id].fall.arrival.var);
   }
 }
 

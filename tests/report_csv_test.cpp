@@ -2,7 +2,10 @@
 
 #include "report/csv.hpp"
 
+#include <charconv>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -41,6 +44,44 @@ TEST(Csv, YieldCurve) {
   std::ostringstream out;
   write_yield_csv(out, curve);
   EXPECT_EQ(out.str(), "period,yield\n1,0.5\n2,0.9\n");
+}
+
+TEST(Csv, FieldQuotingFollowsRfc4180) {
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field(""), "");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_field("cr\rlf"), "\"cr\rlf\"");
+}
+
+TEST(Csv, NumbersRoundTripAndNonFiniteAreNamed) {
+  // Shortest round-trip: parsing the field back recovers the exact bits.
+  for (const double v : {0.1, 1.0 / 3.0, 2.5e-10, 1e300, -17.25, 5e-324}) {
+    const std::string text = csv_number(v);
+    double back = 0.0;
+    std::from_chars(text.data(), text.data() + text.size(), back);
+    EXPECT_EQ(back, v) << text;
+  }
+  EXPECT_EQ(csv_number(0.0), "0");
+  EXPECT_EQ(csv_number(0.5), "0.5");
+  EXPECT_EQ(csv_number(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(csv_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(csv_number(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(Csv, HostileNodeNamesStayOneFieldPerColumn) {
+  // Verilog escaped identifiers can contain commas and quotes; the name
+  // column must quote them so every row still splits into 3 fields.
+  const std::vector<std::string> names{"a,b", "q\"uote"};
+  const std::vector<stats::PiecewiseDensity> densities{
+      stats::PiecewiseDensity({0.0, 0.5, 2}, {1.0, 2.0}),
+      stats::PiecewiseDensity({0.0, 0.5, 2}, {0.0, 1.0})};
+  const std::string csv = density_csv(names, densities);
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "t,\"a,b\",\"q\"\"uote\"");
 }
 
 TEST(Csv, NodeSummaryCoversAllNodes) {

@@ -3,6 +3,10 @@
 // round-trips, duplicate-key rejection, depth cap), and clean parse
 // errors on malformed input.
 
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -62,6 +66,109 @@ TEST(ServiceJson, StringEscapes) {
   EXPECT_EQ(v.as_array()[1].as_string(), "\xC3\xA9");  // é as UTF-8
   // Control characters and non-printable bytes are escaped on output.
   EXPECT_EQ(Json(std::string("a\nb")).dump(), R"("a\nb")");
+}
+
+/// "\\u" built as two separate chars so no tool in the build or review
+/// pipeline can mistake the test source itself for an escape sequence.
+std::string u_esc(const char* hex4) { return std::string("\\") + "u" + hex4; }
+
+std::string quoted(const std::string& body) { return '"' + body + '"'; }
+
+TEST(ServiceJson, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse(quoted(u_esc("0041"))).as_string(), "A");
+  EXPECT_EQ(Json::parse(quoted(u_esc("00e9"))).as_string(), "\xC3\xA9");  // 2-byte
+  EXPECT_EQ(Json::parse(quoted(u_esc("20AC"))).as_string(), "\xE2\x82\xAC");  // 3-byte
+  EXPECT_EQ(Json::parse(quoted(u_esc("0000"))).as_string(), std::string(1, '\0'));
+}
+
+TEST(ServiceJson, MalformedUnicodeEscapesThrow) {
+  // Bad hex digit, truncated escape (mid-string and at end of input).
+  const char* bad[] = {R"("\u12gz")", R"("\u12")", R"("\u123)", R"("\u)"};
+  for (const char* text : bad) {
+    EXPECT_THROW((void)Json::parse(text), JsonParseError) << text;
+  }
+}
+
+TEST(ServiceJson, SurrogateEscapesPassThroughAsCodeUnits) {
+  // The parser does not pair surrogates; each escaped D800-DFFF code unit
+  // is emitted as its own 3-byte sequence (WTF-8 style) rather than being
+  // rejected or silently dropped. Documents round-tripping astral plane
+  // characters must send raw UTF-8 instead.
+  const std::string s =
+      Json::parse(quoted(u_esc("D83D") + u_esc("DE00"))).as_string();
+  EXPECT_EQ(s, "\xED\xA0\xBD\xED\xB8\x80");
+}
+
+TEST(ServiceJson, NonFiniteNumbersHaveNoRepresentation) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)json_number(nan), NonFiniteNumberError);
+  EXPECT_THROW((void)json_number(inf), NonFiniteNumberError);
+  EXPECT_THROW((void)json_number(-inf), NonFiniteNumberError);
+  EXPECT_THROW((void)Json(nan).dump(), NonFiniteNumberError);
+  Json arr = Json::array();
+  arr.push_back(Json(1.0));
+  arr.push_back(Json(inf));
+  EXPECT_THROW((void)arr.dump(), NonFiniteNumberError);
+  // NaN/Inf parse as malformed input, never as a number.
+  EXPECT_THROW((void)Json::parse("NaN"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("[Infinity]"), JsonParseError);
+}
+
+TEST(ServiceJson, NumberOrNullDegradesNonFiniteToNull) {
+  EXPECT_EQ(Json::number_or_null(2.5).dump(), "2.5");
+  EXPECT_EQ(Json::number_or_null(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+  EXPECT_EQ(Json::number_or_null(-std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(ServiceJson, ExtremeExponentsMatchStrtodSemantics) {
+  // Gradual underflow to zero (sign preserved), overflow is an error.
+  EXPECT_EQ(Json::parse("1e-5000").as_number(), 0.0);
+  EXPECT_TRUE(std::signbit(Json::parse("-1e-5000").as_number()));
+  EXPECT_EQ(Json::parse("0.0000000001e-400").as_number(), 0.0);
+  EXPECT_THROW((void)Json::parse("1e+400"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("-1e309"), JsonParseError);
+  // Subnormals still parse exactly.
+  EXPECT_EQ(Json::parse("5e-324").as_number(),
+            std::numeric_limits<double>::denorm_min());
+}
+
+/// Numeric I/O must not consult the C locale: under a comma-decimal locale
+/// (de_DE et al.) strtod("2.5") historically stopped at the dot and
+/// snprintf("%g") printed "2,5", corrupting the protocol. Exercised with
+/// every comma-decimal locale the host has; skipped (not passed) when none
+/// is installed — CI installs de_DE.UTF-8 for a dedicated shard.
+TEST(ServiceJson, RoundTripsUnderCommaDecimalLocale) {
+  const char* candidates[] = {"de_DE.UTF-8", "fr_FR.UTF-8", "it_IT.UTF-8",
+                              "de_DE.utf8", "fr_FR.utf8"};
+  const char* active = nullptr;
+  for (const char* name : candidates) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      active = name;
+      break;
+    }
+  }
+  if (active == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  // Prove the locale actually uses a comma before trusting the test.
+  char probe[32];
+  std::snprintf(probe, sizeof probe, "%.1f", 1.5);
+  const bool comma_locale = std::string(probe) == "1,5";
+
+  const std::string text = R"({"mu":2.5,"sigma":0.1,"big":1e+300,"neg":-17.25})";
+  const Json v = Json::parse(text);
+  EXPECT_EQ(v.find("mu")->as_number(), 2.5);
+  EXPECT_EQ(v.find("sigma")->as_number(), 0.1);
+  EXPECT_EQ(v.dump(), text);
+  EXPECT_EQ(json_number(0.5), "0.5");
+
+  std::setlocale(LC_ALL, "C");
+  if (!comma_locale) {
+    GTEST_SKIP() << active << " resolved but does not use a decimal comma";
+  }
 }
 
 TEST(ServiceJson, MalformedInputThrowsWithOffset) {

@@ -4,6 +4,7 @@
 // load → analyze → ECO → re-query session whose incremental answer is
 // bit-identical to a fresh full analysis of the edited design.
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -13,7 +14,9 @@
 #include "netlist/delay_model.hpp"
 #include "netlist/iscas89.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
+#include "service/scheduler.hpp"
 #include "service/service.hpp"
 
 namespace spsta::service {
@@ -264,6 +267,116 @@ TEST(ServiceProtocol, StatsSurfaceCountersAndShutdownIsAcknowledged) {
   EXPECT_FALSE(service.shutdown_requested());
   (void)expect_ok(service, R"({"cmd":"shutdown"})");
   EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(ServiceProtocol, StatsCarryMetricsSnapshot) {
+  AnalysisService service;
+  const std::string session =
+      expect_ok(service, load_line("s27")).find("session")->as_string();
+  (void)expect_ok(service, R"({"cmd":"analyze","session":")" + session + R"("})");
+
+  const Json stats = expect_ok(service, R"({"cmd":"stats"})");
+  const Json* metrics = stats.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("enabled"), nullptr);
+  if (!metrics->find("enabled")->as_bool()) return;  // compiled out / disabled
+
+  // The analyze above must have driven the engine stage timers.
+  const Json* stages = metrics->find("stages");
+  ASSERT_NE(stages, nullptr);
+  const Json* levelize = stages->find("stage.levelize");
+  ASSERT_NE(levelize, nullptr);
+  EXPECT_GE(levelize->find("count")->as_number(), 1.0);
+  EXPECT_GE(levelize->find("total_ms")->as_number(), 0.0);
+  ASSERT_NE(stages->find("stage.moment.propagate"), nullptr);
+}
+
+TEST(ServiceProtocol, NonFiniteResponseBodyDegradesToStructuredError) {
+  // A hand-built response with Inf in the body must serialize as a valid
+  // internal_error line — never "inf" (invalid JSON), never a fake 0.
+  Json body = Json::object();
+  body.set("mean", Json(std::numeric_limits<double>::infinity()));
+  Response poisoned = Response::success(Json(7.0), body);
+  poisoned.span.trace_id = 3;
+  const std::string line = poisoned.to_line();
+  const Json parsed = Json::parse(line);  // must be a valid document
+  EXPECT_FALSE(parsed.find("ok")->as_bool());
+  EXPECT_EQ(parsed.find("error")->find("code")->as_string(), "internal_error");
+  EXPECT_EQ(parsed.find("id")->as_number(), 7.0);
+  EXPECT_EQ(parsed.find("trace_id")->as_string(), "t-3");  // span survives
+
+  // End to end: an ECO with the largest accepted sigma overflows the
+  // variance to Inf inside the engine. Whatever the pipeline produces,
+  // the wire line must stay parseable — degraded to internal_error if
+  // any non-finite value reaches the body.
+  AnalysisService service;
+  const std::string session =
+      expect_ok(service, load_line("s27")).find("session")->as_string();
+  (void)expect_ok(service, R"({"cmd":"set_delay","session":")" + session +
+                               R"(","node":"G11","mean":1,"std":1e300})");
+  const Response r = service.execute_line(
+      R"({"cmd":"analyze","session":")" + session + R"("})");
+  const Json echoed = Json::parse(r.to_line());
+  if (!echoed.find("ok")->as_bool()) {
+    EXPECT_EQ(echoed.find("error")->find("code")->as_string(), "internal_error");
+  }
+}
+
+TEST(ServiceProtocol, SchedulerAssignsSequentialTraceIds) {
+  AnalysisService service;
+  BatchScheduler scheduler(service, 2);
+  const Response first = scheduler.run_one(R"({"id":1,"cmd":"ping"})");
+  const Response second = scheduler.run_one(R"({"id":2,"cmd":"ping"})");
+  EXPECT_EQ(first.span.trace_id, 1u);
+  EXPECT_EQ(second.span.trace_id, 2u);
+  EXPECT_EQ(first.span.cmd, "ping");
+  EXPECT_GE(first.span.execute_ms, 0.0);
+  EXPECT_NE(first.to_line().find(R"("trace_id":"t-1")"), std::string::npos);
+
+  // Batch order is request order, whatever the pool interleaving did.
+  std::vector<Incoming> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(Incoming{R"({"cmd":"ping"})"});
+  const std::vector<Response> responses = scheduler.run(batch);
+  ASSERT_EQ(responses.size(), 8u);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].span.trace_id, 3 + i);
+  }
+
+  // The direct (unscheduled) execute path carries no trace id — and no
+  // "trace_id" key on the wire.
+  const Response direct = service.execute_line(R"({"cmd":"ping"})");
+  EXPECT_EQ(direct.span.trace_id, 0u);
+  EXPECT_EQ(direct.to_line().find("trace_id"), std::string::npos);
+}
+
+TEST(ServiceProtocol, MetricsToggleDoesNotPerturbResultsOrCache) {
+  // Metrics are observational only: the analysis payload is byte-identical
+  // with recording on and off, and toggling never invalidates the cache.
+  AnalysisService on_service;
+  AnalysisService off_service;
+  const std::string load = load_line("s208");
+
+  obs::set_enabled(true);
+  const std::string s_on =
+      expect_ok(on_service, load).find("session")->as_string();
+  const Json r_on = expect_ok(
+      on_service, R"({"cmd":"analyze","session":")" + s_on + R"("})");
+
+  obs::set_enabled(false);
+  const std::string s_off =
+      expect_ok(off_service, load).find("session")->as_string();
+  const Json r_off = expect_ok(
+      off_service, R"({"cmd":"analyze","session":")" + s_off + R"("})");
+  obs::set_enabled(true);
+
+  EXPECT_EQ(r_on.find("endpoints")->dump(), r_off.find("endpoints")->dump());
+
+  // Same session, analyze again with metrics flipped: still a cache hit.
+  obs::set_enabled(false);
+  const Json again = expect_ok(
+      on_service, R"({"cmd":"analyze","session":")" + s_on + R"("})");
+  obs::set_enabled(true);
+  EXPECT_TRUE(again.find("cached")->as_bool());
 }
 
 }  // namespace
