@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_cli.dir/spsta.cpp.o"
+  "CMakeFiles/spsta_cli.dir/spsta.cpp.o.d"
+  "spsta"
+  "spsta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

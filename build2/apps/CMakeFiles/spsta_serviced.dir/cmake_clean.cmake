@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_serviced.dir/spsta_serviced.cpp.o"
+  "CMakeFiles/spsta_serviced.dir/spsta_serviced.cpp.o.d"
+  "spsta_serviced"
+  "spsta_serviced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_serviced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_correlation"
+  "../bench/ablation_correlation.pdb"
+  "CMakeFiles/ablation_correlation.dir/ablation_correlation.cpp.o"
+  "CMakeFiles/ablation_correlation.dir/ablation_correlation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

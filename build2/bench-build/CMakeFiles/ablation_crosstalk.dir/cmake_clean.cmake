@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_crosstalk"
+  "../bench/ablation_crosstalk.pdb"
+  "CMakeFiles/ablation_crosstalk.dir/ablation_crosstalk.cpp.o"
+  "CMakeFiles/ablation_crosstalk.dir/ablation_crosstalk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_engines"
+  "../bench/ablation_engines.pdb"
+  "CMakeFiles/ablation_engines.dir/ablation_engines.cpp.o"
+  "CMakeFiles/ablation_engines.dir/ablation_engines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_incremental"
+  "../bench/ablation_incremental.pdb"
+  "CMakeFiles/ablation_incremental.dir/ablation_incremental.cpp.o"
+  "CMakeFiles/ablation_incremental.dir/ablation_incremental.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sigprob"
+  "../bench/ablation_sigprob.pdb"
+  "CMakeFiles/ablation_sigprob.dir/ablation_sigprob.cpp.o"
+  "CMakeFiles/ablation_sigprob.dir/ablation_sigprob.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sigprob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_variation"
+  "../bench/ablation_variation.pdb"
+  "CMakeFiles/ablation_variation.dir/ablation_variation.cpp.o"
+  "CMakeFiles/ablation_variation.dir/ablation_variation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_distribution"
+  "../bench/fig1_distribution.pdb"
+  "CMakeFiles/fig1_distribution.dir/fig1_distribution.cpp.o"
+  "CMakeFiles/fig1_distribution.dir/fig1_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

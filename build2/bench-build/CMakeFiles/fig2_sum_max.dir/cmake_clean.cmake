@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_sum_max"
+  "../bench/fig2_sum_max.pdb"
+  "CMakeFiles/fig2_sum_max.dir/fig2_sum_max.cpp.o"
+  "CMakeFiles/fig2_sum_max.dir/fig2_sum_max.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sum_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

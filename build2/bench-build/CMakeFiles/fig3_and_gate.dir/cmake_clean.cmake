@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_and_gate"
+  "../bench/fig3_and_gate.pdb"
+  "CMakeFiles/fig3_and_gate.dir/fig3_and_gate.cpp.o"
+  "CMakeFiles/fig3_and_gate.dir/fig3_and_gate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_and_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

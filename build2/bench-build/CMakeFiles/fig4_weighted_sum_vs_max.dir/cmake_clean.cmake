@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_weighted_sum_vs_max"
+  "../bench/fig4_weighted_sum_vs_max.pdb"
+  "CMakeFiles/fig4_weighted_sum_vs_max.dir/fig4_weighted_sum_vs_max.cpp.o"
+  "CMakeFiles/fig4_weighted_sum_vs_max.dir/fig4_weighted_sum_vs_max.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_weighted_sum_vs_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_weighted_sum_vs_max.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_four_value_logic"
+  "../bench/table1_four_value_logic.pdb"
+  "CMakeFiles/table1_four_value_logic.dir/table1_four_value_logic.cpp.o"
+  "CMakeFiles/table1_four_value_logic.dir/table1_four_value_logic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_four_value_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

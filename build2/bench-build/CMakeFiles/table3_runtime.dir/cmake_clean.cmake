@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_runtime"
+  "../bench/table3_runtime.pdb"
+  "CMakeFiles/table3_runtime.dir/table3_runtime.cpp.o"
+  "CMakeFiles/table3_runtime.dir/table3_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incremental_optimization.dir/incremental_optimization.cpp.o"
+  "CMakeFiles/example_incremental_optimization.dir/incremental_optimization.cpp.o.d"
+  "example_incremental_optimization"
+  "example_incremental_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incremental_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

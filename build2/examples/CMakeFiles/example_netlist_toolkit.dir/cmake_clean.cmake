@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netlist_toolkit.dir/netlist_toolkit.cpp.o"
+  "CMakeFiles/example_netlist_toolkit.dir/netlist_toolkit.cpp.o.d"
+  "example_netlist_toolkit"
+  "example_netlist_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netlist_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

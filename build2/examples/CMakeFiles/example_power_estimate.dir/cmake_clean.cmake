@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_power_estimate.dir/power_estimate.cpp.o"
+  "CMakeFiles/example_power_estimate.dir/power_estimate.cpp.o.d"
+  "example_power_estimate"
+  "example_power_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_power_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

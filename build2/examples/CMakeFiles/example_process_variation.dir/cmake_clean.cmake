@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_process_variation.dir/process_variation.cpp.o"
+  "CMakeFiles/example_process_variation.dir/process_variation.cpp.o.d"
+  "example_process_variation"
+  "example_process_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_process_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

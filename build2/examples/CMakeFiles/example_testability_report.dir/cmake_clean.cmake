@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_testability_report.dir/testability_report.cpp.o"
+  "CMakeFiles/example_testability_report.dir/testability_report.cpp.o.d"
+  "example_testability_report"
+  "example_testability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_testability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

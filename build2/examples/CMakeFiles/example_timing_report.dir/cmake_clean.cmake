@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_timing_report.dir/timing_report.cpp.o"
+  "CMakeFiles/example_timing_report.dir/timing_report.cpp.o.d"
+  "example_timing_report"
+  "example_timing_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_timing_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_yield_analysis.dir/yield_analysis.cpp.o"
+  "CMakeFiles/example_yield_analysis.dir/yield_analysis.cpp.o.d"
+  "example_yield_analysis"
+  "example_yield_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_yield_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

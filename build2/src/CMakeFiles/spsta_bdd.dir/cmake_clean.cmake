@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/spsta_bdd.dir/bdd/bdd.cpp.o.d"
+  "CMakeFiles/spsta_bdd.dir/bdd/bdd_netlist.cpp.o"
+  "CMakeFiles/spsta_bdd.dir/bdd/bdd_netlist.cpp.o.d"
+  "CMakeFiles/spsta_bdd.dir/bdd/equivalence.cpp.o"
+  "CMakeFiles/spsta_bdd.dir/bdd/equivalence.cpp.o.d"
+  "libspsta_bdd.a"
+  "libspsta_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/criticality.cpp" "src/CMakeFiles/spsta_core.dir/core/criticality.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/criticality.cpp.o.d"
+  "/root/repo/src/core/incremental_spsta.cpp" "src/CMakeFiles/spsta_core.dir/core/incremental_spsta.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/incremental_spsta.cpp.o.d"
+  "/root/repo/src/core/pattern_cache.cpp" "src/CMakeFiles/spsta_core.dir/core/pattern_cache.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/pattern_cache.cpp.o.d"
+  "/root/repo/src/core/patterns.cpp" "src/CMakeFiles/spsta_core.dir/core/patterns.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/patterns.cpp.o.d"
+  "/root/repo/src/core/sequential.cpp" "src/CMakeFiles/spsta_core.dir/core/sequential.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/sequential.cpp.o.d"
+  "/root/repo/src/core/spsta_canonical.cpp" "src/CMakeFiles/spsta_core.dir/core/spsta_canonical.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/spsta_canonical.cpp.o.d"
+  "/root/repo/src/core/spsta_moment.cpp" "src/CMakeFiles/spsta_core.dir/core/spsta_moment.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/spsta_moment.cpp.o.d"
+  "/root/repo/src/core/spsta_numeric.cpp" "src/CMakeFiles/spsta_core.dir/core/spsta_numeric.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/spsta_numeric.cpp.o.d"
+  "/root/repo/src/core/toggle_moments.cpp" "src/CMakeFiles/spsta_core.dir/core/toggle_moments.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/toggle_moments.cpp.o.d"
+  "/root/repo/src/core/yield.cpp" "src/CMakeFiles/spsta_core.dir/core/yield.cpp.o" "gcc" "src/CMakeFiles/spsta_core.dir/core/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/spsta_sigprob.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_ssta.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_variational.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_bdd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

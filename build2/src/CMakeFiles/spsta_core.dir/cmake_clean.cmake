@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_core.dir/core/criticality.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/criticality.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/incremental_spsta.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/incremental_spsta.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/pattern_cache.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/pattern_cache.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/patterns.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/patterns.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/sequential.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/sequential.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/spsta_canonical.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/spsta_canonical.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/spsta_moment.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/spsta_moment.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/spsta_numeric.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/spsta_numeric.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/toggle_moments.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/toggle_moments.cpp.o.d"
+  "CMakeFiles/spsta_core.dir/core/yield.cpp.o"
+  "CMakeFiles/spsta_core.dir/core/yield.cpp.o.d"
+  "libspsta_core.a"
+  "libspsta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/crosstalk.cpp" "src/CMakeFiles/spsta_interconnect.dir/interconnect/crosstalk.cpp.o" "gcc" "src/CMakeFiles/spsta_interconnect.dir/interconnect/crosstalk.cpp.o.d"
+  "/root/repo/src/interconnect/rc_tree.cpp" "src/CMakeFiles/spsta_interconnect.dir/interconnect/rc_tree.cpp.o" "gcc" "src/CMakeFiles/spsta_interconnect.dir/interconnect/rc_tree.cpp.o.d"
+  "/root/repo/src/interconnect/variational_elmore.cpp" "src/CMakeFiles/spsta_interconnect.dir/interconnect/variational_elmore.cpp.o" "gcc" "src/CMakeFiles/spsta_interconnect.dir/interconnect/variational_elmore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/spsta_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_variational.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_interconnect.dir/interconnect/crosstalk.cpp.o"
+  "CMakeFiles/spsta_interconnect.dir/interconnect/crosstalk.cpp.o.d"
+  "CMakeFiles/spsta_interconnect.dir/interconnect/rc_tree.cpp.o"
+  "CMakeFiles/spsta_interconnect.dir/interconnect/rc_tree.cpp.o.d"
+  "CMakeFiles/spsta_interconnect.dir/interconnect/variational_elmore.cpp.o"
+  "CMakeFiles/spsta_interconnect.dir/interconnect/variational_elmore.cpp.o.d"
+  "libspsta_interconnect.a"
+  "libspsta_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_mc.dir/mc/logic_sim.cpp.o"
+  "CMakeFiles/spsta_mc.dir/mc/logic_sim.cpp.o.d"
+  "CMakeFiles/spsta_mc.dir/mc/monte_carlo.cpp.o"
+  "CMakeFiles/spsta_mc.dir/mc/monte_carlo.cpp.o.d"
+  "libspsta_mc.a"
+  "libspsta_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

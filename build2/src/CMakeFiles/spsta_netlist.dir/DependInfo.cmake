@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/bench_io.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/cell_library.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/delay_model.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/delay_model.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/delay_model.cpp.o.d"
+  "/root/repo/src/netlist/dot_export.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/dot_export.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/dot_export.cpp.o.d"
+  "/root/repo/src/netlist/four_value.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/four_value.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/four_value.cpp.o.d"
+  "/root/repo/src/netlist/gate_type.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/gate_type.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/gate_type.cpp.o.d"
+  "/root/repo/src/netlist/generator.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/generator.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/generator.cpp.o.d"
+  "/root/repo/src/netlist/graph.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/graph.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/graph.cpp.o.d"
+  "/root/repo/src/netlist/iscas89.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/iscas89.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/iscas89.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/levelize.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/levelize.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/transform.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/transform.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/transform.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/CMakeFiles/spsta_netlist.dir/netlist/verilog_io.cpp.o" "gcc" "src/CMakeFiles/spsta_netlist.dir/netlist/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/spsta_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_netlist.dir/netlist/bench_io.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/bench_io.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/cell_library.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/cell_library.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/delay_model.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/delay_model.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/dot_export.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/dot_export.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/four_value.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/four_value.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/gate_type.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/gate_type.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/generator.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/generator.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/graph.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/graph.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/iscas89.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/iscas89.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/levelize.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/levelize.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/transform.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/transform.cpp.o.d"
+  "CMakeFiles/spsta_netlist.dir/netlist/verilog_io.cpp.o"
+  "CMakeFiles/spsta_netlist.dir/netlist/verilog_io.cpp.o.d"
+  "libspsta_netlist.a"
+  "libspsta_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

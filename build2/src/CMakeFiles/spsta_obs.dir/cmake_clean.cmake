@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_obs.dir/obs/metrics.cpp.o"
+  "CMakeFiles/spsta_obs.dir/obs/metrics.cpp.o.d"
+  "CMakeFiles/spsta_obs.dir/obs/trace.cpp.o"
+  "CMakeFiles/spsta_obs.dir/obs/trace.cpp.o.d"
+  "libspsta_obs.a"
+  "libspsta_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

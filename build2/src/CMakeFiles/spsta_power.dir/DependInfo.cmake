@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/glitch.cpp" "src/CMakeFiles/spsta_power.dir/power/glitch.cpp.o" "gcc" "src/CMakeFiles/spsta_power.dir/power/glitch.cpp.o.d"
+  "/root/repo/src/power/transition_density.cpp" "src/CMakeFiles/spsta_power.dir/power/transition_density.cpp.o" "gcc" "src/CMakeFiles/spsta_power.dir/power/transition_density.cpp.o.d"
+  "/root/repo/src/power/waveform_sim.cpp" "src/CMakeFiles/spsta_power.dir/power/waveform_sim.cpp.o" "gcc" "src/CMakeFiles/spsta_power.dir/power/waveform_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/spsta_sigprob.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_bdd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_power.dir/power/glitch.cpp.o"
+  "CMakeFiles/spsta_power.dir/power/glitch.cpp.o.d"
+  "CMakeFiles/spsta_power.dir/power/transition_density.cpp.o"
+  "CMakeFiles/spsta_power.dir/power/transition_density.cpp.o.d"
+  "CMakeFiles/spsta_power.dir/power/waveform_sim.cpp.o"
+  "CMakeFiles/spsta_power.dir/power/waveform_sim.cpp.o.d"
+  "libspsta_power.a"
+  "libspsta_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

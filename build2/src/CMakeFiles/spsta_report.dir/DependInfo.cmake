@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/csv.cpp" "src/CMakeFiles/spsta_report.dir/report/csv.cpp.o" "gcc" "src/CMakeFiles/spsta_report.dir/report/csv.cpp.o.d"
+  "/root/repo/src/report/experiment.cpp" "src/CMakeFiles/spsta_report.dir/report/experiment.cpp.o" "gcc" "src/CMakeFiles/spsta_report.dir/report/experiment.cpp.o.d"
+  "/root/repo/src/report/path_report.cpp" "src/CMakeFiles/spsta_report.dir/report/path_report.cpp.o" "gcc" "src/CMakeFiles/spsta_report.dir/report/path_report.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/spsta_report.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/spsta_report.dir/report/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/spsta_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_mc.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_ssta.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_power.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_variational.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_sigprob.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_bdd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

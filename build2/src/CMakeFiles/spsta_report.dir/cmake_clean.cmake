@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_report.dir/report/csv.cpp.o"
+  "CMakeFiles/spsta_report.dir/report/csv.cpp.o.d"
+  "CMakeFiles/spsta_report.dir/report/experiment.cpp.o"
+  "CMakeFiles/spsta_report.dir/report/experiment.cpp.o.d"
+  "CMakeFiles/spsta_report.dir/report/path_report.cpp.o"
+  "CMakeFiles/spsta_report.dir/report/path_report.cpp.o.d"
+  "CMakeFiles/spsta_report.dir/report/table.cpp.o"
+  "CMakeFiles/spsta_report.dir/report/table.cpp.o.d"
+  "libspsta_report.a"
+  "libspsta_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

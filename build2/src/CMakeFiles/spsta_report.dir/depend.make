@@ -1,0 +1,2 @@
+# Empty dependencies file for spsta_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/daemon.cpp" "src/CMakeFiles/spsta_service.dir/service/daemon.cpp.o" "gcc" "src/CMakeFiles/spsta_service.dir/service/daemon.cpp.o.d"
+  "/root/repo/src/service/json.cpp" "src/CMakeFiles/spsta_service.dir/service/json.cpp.o" "gcc" "src/CMakeFiles/spsta_service.dir/service/json.cpp.o.d"
+  "/root/repo/src/service/protocol.cpp" "src/CMakeFiles/spsta_service.dir/service/protocol.cpp.o" "gcc" "src/CMakeFiles/spsta_service.dir/service/protocol.cpp.o.d"
+  "/root/repo/src/service/scheduler.cpp" "src/CMakeFiles/spsta_service.dir/service/scheduler.cpp.o" "gcc" "src/CMakeFiles/spsta_service.dir/service/scheduler.cpp.o.d"
+  "/root/repo/src/service/service.cpp" "src/CMakeFiles/spsta_service.dir/service/service.cpp.o" "gcc" "src/CMakeFiles/spsta_service.dir/service/service.cpp.o.d"
+  "/root/repo/src/service/session.cpp" "src/CMakeFiles/spsta_service.dir/service/session.cpp.o" "gcc" "src/CMakeFiles/spsta_service.dir/service/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/spsta_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_mc.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_ssta.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_sigprob.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_bdd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_variational.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_obs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

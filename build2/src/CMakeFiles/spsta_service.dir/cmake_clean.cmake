@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_service.dir/service/daemon.cpp.o"
+  "CMakeFiles/spsta_service.dir/service/daemon.cpp.o.d"
+  "CMakeFiles/spsta_service.dir/service/json.cpp.o"
+  "CMakeFiles/spsta_service.dir/service/json.cpp.o.d"
+  "CMakeFiles/spsta_service.dir/service/protocol.cpp.o"
+  "CMakeFiles/spsta_service.dir/service/protocol.cpp.o.d"
+  "CMakeFiles/spsta_service.dir/service/scheduler.cpp.o"
+  "CMakeFiles/spsta_service.dir/service/scheduler.cpp.o.d"
+  "CMakeFiles/spsta_service.dir/service/service.cpp.o"
+  "CMakeFiles/spsta_service.dir/service/service.cpp.o.d"
+  "CMakeFiles/spsta_service.dir/service/session.cpp.o"
+  "CMakeFiles/spsta_service.dir/service/session.cpp.o.d"
+  "libspsta_service.a"
+  "libspsta_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

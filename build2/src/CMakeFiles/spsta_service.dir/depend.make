@@ -1,0 +1,2 @@
+# Empty dependencies file for spsta_service.
+# This may be replaced when dependencies are built.

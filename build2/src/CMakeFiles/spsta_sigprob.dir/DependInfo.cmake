@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sigprob/boolean_difference.cpp" "src/CMakeFiles/spsta_sigprob.dir/sigprob/boolean_difference.cpp.o" "gcc" "src/CMakeFiles/spsta_sigprob.dir/sigprob/boolean_difference.cpp.o.d"
+  "/root/repo/src/sigprob/correlated.cpp" "src/CMakeFiles/spsta_sigprob.dir/sigprob/correlated.cpp.o" "gcc" "src/CMakeFiles/spsta_sigprob.dir/sigprob/correlated.cpp.o.d"
+  "/root/repo/src/sigprob/exact_bdd.cpp" "src/CMakeFiles/spsta_sigprob.dir/sigprob/exact_bdd.cpp.o" "gcc" "src/CMakeFiles/spsta_sigprob.dir/sigprob/exact_bdd.cpp.o.d"
+  "/root/repo/src/sigprob/four_value_prop.cpp" "src/CMakeFiles/spsta_sigprob.dir/sigprob/four_value_prop.cpp.o" "gcc" "src/CMakeFiles/spsta_sigprob.dir/sigprob/four_value_prop.cpp.o.d"
+  "/root/repo/src/sigprob/signal_prob.cpp" "src/CMakeFiles/spsta_sigprob.dir/sigprob/signal_prob.cpp.o" "gcc" "src/CMakeFiles/spsta_sigprob.dir/sigprob/signal_prob.cpp.o.d"
+  "/root/repo/src/sigprob/testability.cpp" "src/CMakeFiles/spsta_sigprob.dir/sigprob/testability.cpp.o" "gcc" "src/CMakeFiles/spsta_sigprob.dir/sigprob/testability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/spsta_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_bdd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_sigprob.dir/sigprob/boolean_difference.cpp.o"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/boolean_difference.cpp.o.d"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/correlated.cpp.o"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/correlated.cpp.o.d"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/exact_bdd.cpp.o"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/exact_bdd.cpp.o.d"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/four_value_prop.cpp.o"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/four_value_prop.cpp.o.d"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/signal_prob.cpp.o"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/signal_prob.cpp.o.d"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/testability.cpp.o"
+  "CMakeFiles/spsta_sigprob.dir/sigprob/testability.cpp.o.d"
+  "libspsta_sigprob.a"
+  "libspsta_sigprob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_sigprob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssta/canonical_ssta.cpp" "src/CMakeFiles/spsta_ssta.dir/ssta/canonical_ssta.cpp.o" "gcc" "src/CMakeFiles/spsta_ssta.dir/ssta/canonical_ssta.cpp.o.d"
+  "/root/repo/src/ssta/incremental.cpp" "src/CMakeFiles/spsta_ssta.dir/ssta/incremental.cpp.o" "gcc" "src/CMakeFiles/spsta_ssta.dir/ssta/incremental.cpp.o.d"
+  "/root/repo/src/ssta/node_criticality.cpp" "src/CMakeFiles/spsta_ssta.dir/ssta/node_criticality.cpp.o" "gcc" "src/CMakeFiles/spsta_ssta.dir/ssta/node_criticality.cpp.o.d"
+  "/root/repo/src/ssta/path_ssta.cpp" "src/CMakeFiles/spsta_ssta.dir/ssta/path_ssta.cpp.o" "gcc" "src/CMakeFiles/spsta_ssta.dir/ssta/path_ssta.cpp.o.d"
+  "/root/repo/src/ssta/slew.cpp" "src/CMakeFiles/spsta_ssta.dir/ssta/slew.cpp.o" "gcc" "src/CMakeFiles/spsta_ssta.dir/ssta/slew.cpp.o.d"
+  "/root/repo/src/ssta/ssta.cpp" "src/CMakeFiles/spsta_ssta.dir/ssta/ssta.cpp.o" "gcc" "src/CMakeFiles/spsta_ssta.dir/ssta/ssta.cpp.o.d"
+  "/root/repo/src/ssta/sta.cpp" "src/CMakeFiles/spsta_ssta.dir/ssta/sta.cpp.o" "gcc" "src/CMakeFiles/spsta_ssta.dir/ssta/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/spsta_netlist.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_variational.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/spsta_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

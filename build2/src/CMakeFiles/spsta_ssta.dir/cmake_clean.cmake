@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_ssta.dir/ssta/canonical_ssta.cpp.o"
+  "CMakeFiles/spsta_ssta.dir/ssta/canonical_ssta.cpp.o.d"
+  "CMakeFiles/spsta_ssta.dir/ssta/incremental.cpp.o"
+  "CMakeFiles/spsta_ssta.dir/ssta/incremental.cpp.o.d"
+  "CMakeFiles/spsta_ssta.dir/ssta/node_criticality.cpp.o"
+  "CMakeFiles/spsta_ssta.dir/ssta/node_criticality.cpp.o.d"
+  "CMakeFiles/spsta_ssta.dir/ssta/path_ssta.cpp.o"
+  "CMakeFiles/spsta_ssta.dir/ssta/path_ssta.cpp.o.d"
+  "CMakeFiles/spsta_ssta.dir/ssta/slew.cpp.o"
+  "CMakeFiles/spsta_ssta.dir/ssta/slew.cpp.o.d"
+  "CMakeFiles/spsta_ssta.dir/ssta/ssta.cpp.o"
+  "CMakeFiles/spsta_ssta.dir/ssta/ssta.cpp.o.d"
+  "CMakeFiles/spsta_ssta.dir/ssta/sta.cpp.o"
+  "CMakeFiles/spsta_ssta.dir/ssta/sta.cpp.o.d"
+  "libspsta_ssta.a"
+  "libspsta_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

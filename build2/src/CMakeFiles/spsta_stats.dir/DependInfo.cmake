@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/compare.cpp" "src/CMakeFiles/spsta_stats.dir/stats/compare.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/compare.cpp.o.d"
+  "/root/repo/src/stats/gaussian.cpp" "src/CMakeFiles/spsta_stats.dir/stats/gaussian.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/gaussian.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/spsta_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/mixture.cpp" "src/CMakeFiles/spsta_stats.dir/stats/mixture.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/mixture.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/CMakeFiles/spsta_stats.dir/stats/normal.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/normal.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/CMakeFiles/spsta_stats.dir/stats/pca.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/pca.cpp.o.d"
+  "/root/repo/src/stats/piecewise.cpp" "src/CMakeFiles/spsta_stats.dir/stats/piecewise.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/piecewise.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/CMakeFiles/spsta_stats.dir/stats/rng.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/rng.cpp.o.d"
+  "/root/repo/src/stats/welford.cpp" "src/CMakeFiles/spsta_stats.dir/stats/welford.cpp.o" "gcc" "src/CMakeFiles/spsta_stats.dir/stats/welford.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

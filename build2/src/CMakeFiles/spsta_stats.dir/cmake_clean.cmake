@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_stats.dir/stats/compare.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/compare.cpp.o.d"
+  "CMakeFiles/spsta_stats.dir/stats/gaussian.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/gaussian.cpp.o.d"
+  "CMakeFiles/spsta_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/spsta_stats.dir/stats/mixture.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/mixture.cpp.o.d"
+  "CMakeFiles/spsta_stats.dir/stats/normal.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/normal.cpp.o.d"
+  "CMakeFiles/spsta_stats.dir/stats/pca.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/pca.cpp.o.d"
+  "CMakeFiles/spsta_stats.dir/stats/piecewise.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/piecewise.cpp.o.d"
+  "CMakeFiles/spsta_stats.dir/stats/rng.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/rng.cpp.o.d"
+  "CMakeFiles/spsta_stats.dir/stats/welford.cpp.o"
+  "CMakeFiles/spsta_stats.dir/stats/welford.cpp.o.d"
+  "libspsta_stats.a"
+  "libspsta_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/spsta_util.dir/util/thread_pool.cpp.o.d"
+  "libspsta_util.a"
+  "libspsta_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

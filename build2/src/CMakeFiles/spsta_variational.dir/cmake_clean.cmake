@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsta_variational.dir/variational/canonical.cpp.o"
+  "CMakeFiles/spsta_variational.dir/variational/canonical.cpp.o.d"
+  "CMakeFiles/spsta_variational.dir/variational/interval.cpp.o"
+  "CMakeFiles/spsta_variational.dir/variational/interval.cpp.o.d"
+  "CMakeFiles/spsta_variational.dir/variational/polynomial.cpp.o"
+  "CMakeFiles/spsta_variational.dir/variational/polynomial.cpp.o.d"
+  "CMakeFiles/spsta_variational.dir/variational/regression.cpp.o"
+  "CMakeFiles/spsta_variational.dir/variational/regression.cpp.o.d"
+  "libspsta_variational.a"
+  "libspsta_variational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsta_variational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_criticality_test.dir/core_criticality_test.cpp.o"
+  "CMakeFiles/core_criticality_test.dir/core_criticality_test.cpp.o.d"
+  "core_criticality_test"
+  "core_criticality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_criticality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

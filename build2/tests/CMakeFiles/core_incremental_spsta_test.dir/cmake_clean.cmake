@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_incremental_spsta_test.dir/core_incremental_spsta_test.cpp.o"
+  "CMakeFiles/core_incremental_spsta_test.dir/core_incremental_spsta_test.cpp.o.d"
+  "core_incremental_spsta_test"
+  "core_incremental_spsta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_incremental_spsta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_patterns_test.dir/core_patterns_test.cpp.o"
+  "CMakeFiles/core_patterns_test.dir/core_patterns_test.cpp.o.d"
+  "core_patterns_test"
+  "core_patterns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sequential_test.dir/core_sequential_test.cpp.o"
+  "CMakeFiles/core_sequential_test.dir/core_sequential_test.cpp.o.d"
+  "core_sequential_test"
+  "core_sequential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

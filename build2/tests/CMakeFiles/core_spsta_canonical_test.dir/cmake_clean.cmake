@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_spsta_canonical_test.dir/core_spsta_canonical_test.cpp.o"
+  "CMakeFiles/core_spsta_canonical_test.dir/core_spsta_canonical_test.cpp.o.d"
+  "core_spsta_canonical_test"
+  "core_spsta_canonical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_spsta_canonical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_toggle_moments_test.dir/core_toggle_moments_test.cpp.o"
+  "CMakeFiles/core_toggle_moments_test.dir/core_toggle_moments_test.cpp.o.d"
+  "core_toggle_moments_test"
+  "core_toggle_moments_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_toggle_moments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

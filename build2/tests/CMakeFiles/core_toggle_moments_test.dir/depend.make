@@ -1,0 +1,2 @@
+# Empty dependencies file for core_toggle_moments_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_yield_test.dir/core_yield_test.cpp.o"
+  "CMakeFiles/core_yield_test.dir/core_yield_test.cpp.o.d"
+  "core_yield_test"
+  "core_yield_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_yield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directional_delay_test.dir/directional_delay_test.cpp.o"
+  "CMakeFiles/directional_delay_test.dir/directional_delay_test.cpp.o.d"
+  "directional_delay_test"
+  "directional_delay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directional_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

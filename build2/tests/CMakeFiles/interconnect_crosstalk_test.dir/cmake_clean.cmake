@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_crosstalk_test.dir/interconnect_crosstalk_test.cpp.o"
+  "CMakeFiles/interconnect_crosstalk_test.dir/interconnect_crosstalk_test.cpp.o.d"
+  "interconnect_crosstalk_test"
+  "interconnect_crosstalk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_crosstalk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_rc_tree_test.dir/interconnect_rc_tree_test.cpp.o"
+  "CMakeFiles/interconnect_rc_tree_test.dir/interconnect_rc_tree_test.cpp.o.d"
+  "interconnect_rc_tree_test"
+  "interconnect_rc_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_rc_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

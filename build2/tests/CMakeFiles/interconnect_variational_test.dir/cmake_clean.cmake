@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_variational_test.dir/interconnect_variational_test.cpp.o"
+  "CMakeFiles/interconnect_variational_test.dir/interconnect_variational_test.cpp.o.d"
+  "interconnect_variational_test"
+  "interconnect_variational_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_variational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_logic_sim_test.dir/mc_logic_sim_test.cpp.o"
+  "CMakeFiles/mc_logic_sim_test.dir/mc_logic_sim_test.cpp.o.d"
+  "mc_logic_sim_test"
+  "mc_logic_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_logic_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mc_logic_sim_test.
+# This may be replaced when dependencies are built.

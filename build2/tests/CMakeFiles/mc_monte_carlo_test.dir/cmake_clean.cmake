@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_monte_carlo_test.dir/mc_monte_carlo_test.cpp.o"
+  "CMakeFiles/mc_monte_carlo_test.dir/mc_monte_carlo_test.cpp.o.d"
+  "mc_monte_carlo_test"
+  "mc_monte_carlo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_monte_carlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_bench_io_test.dir/netlist_bench_io_test.cpp.o"
+  "CMakeFiles/netlist_bench_io_test.dir/netlist_bench_io_test.cpp.o.d"
+  "netlist_bench_io_test"
+  "netlist_bench_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_bench_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_cell_library_test.dir/netlist_cell_library_test.cpp.o"
+  "CMakeFiles/netlist_cell_library_test.dir/netlist_cell_library_test.cpp.o.d"
+  "netlist_cell_library_test"
+  "netlist_cell_library_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_cell_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

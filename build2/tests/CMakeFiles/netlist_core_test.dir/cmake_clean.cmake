@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_core_test.dir/netlist_core_test.cpp.o"
+  "CMakeFiles/netlist_core_test.dir/netlist_core_test.cpp.o.d"
+  "netlist_core_test"
+  "netlist_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

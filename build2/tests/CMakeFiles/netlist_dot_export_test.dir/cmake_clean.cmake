@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_dot_export_test.dir/netlist_dot_export_test.cpp.o"
+  "CMakeFiles/netlist_dot_export_test.dir/netlist_dot_export_test.cpp.o.d"
+  "netlist_dot_export_test"
+  "netlist_dot_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_dot_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_four_value_test.dir/netlist_four_value_test.cpp.o"
+  "CMakeFiles/netlist_four_value_test.dir/netlist_four_value_test.cpp.o.d"
+  "netlist_four_value_test"
+  "netlist_four_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_four_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_generator_test.dir/netlist_generator_test.cpp.o"
+  "CMakeFiles/netlist_generator_test.dir/netlist_generator_test.cpp.o.d"
+  "netlist_generator_test"
+  "netlist_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

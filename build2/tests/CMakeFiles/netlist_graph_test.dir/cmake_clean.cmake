@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_graph_test.dir/netlist_graph_test.cpp.o"
+  "CMakeFiles/netlist_graph_test.dir/netlist_graph_test.cpp.o.d"
+  "netlist_graph_test"
+  "netlist_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_verilog_io_test.dir/netlist_verilog_io_test.cpp.o"
+  "CMakeFiles/netlist_verilog_io_test.dir/netlist_verilog_io_test.cpp.o.d"
+  "netlist_verilog_io_test"
+  "netlist_verilog_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_verilog_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_glitch_test.dir/power_glitch_test.cpp.o"
+  "CMakeFiles/power_glitch_test.dir/power_glitch_test.cpp.o.d"
+  "power_glitch_test"
+  "power_glitch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_glitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_waveform_test.dir/power_waveform_test.cpp.o"
+  "CMakeFiles/power_waveform_test.dir/power_waveform_test.cpp.o.d"
+  "power_waveform_test"
+  "power_waveform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_waveform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_csv_test.dir/report_csv_test.cpp.o"
+  "CMakeFiles/report_csv_test.dir/report_csv_test.cpp.o.d"
+  "report_csv_test"
+  "report_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

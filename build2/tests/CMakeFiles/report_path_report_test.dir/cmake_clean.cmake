@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_path_report_test.dir/report_path_report_test.cpp.o"
+  "CMakeFiles/report_path_report_test.dir/report_path_report_test.cpp.o.d"
+  "report_path_report_test"
+  "report_path_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_path_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

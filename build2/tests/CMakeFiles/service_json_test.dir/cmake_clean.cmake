@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_json_test.dir/service_json_test.cpp.o"
+  "CMakeFiles/service_json_test.dir/service_json_test.cpp.o.d"
+  "service_json_test"
+  "service_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

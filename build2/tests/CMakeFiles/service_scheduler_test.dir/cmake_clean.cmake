@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_scheduler_test.dir/service_scheduler_test.cpp.o"
+  "CMakeFiles/service_scheduler_test.dir/service_scheduler_test.cpp.o.d"
+  "service_scheduler_test"
+  "service_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

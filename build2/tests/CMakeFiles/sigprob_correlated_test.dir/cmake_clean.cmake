@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigprob_correlated_test.dir/sigprob_correlated_test.cpp.o"
+  "CMakeFiles/sigprob_correlated_test.dir/sigprob_correlated_test.cpp.o.d"
+  "sigprob_correlated_test"
+  "sigprob_correlated_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigprob_correlated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigprob_four_value_test.dir/sigprob_four_value_test.cpp.o"
+  "CMakeFiles/sigprob_four_value_test.dir/sigprob_four_value_test.cpp.o.d"
+  "sigprob_four_value_test"
+  "sigprob_four_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigprob_four_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssta_canonical_ssta_test.dir/ssta_canonical_ssta_test.cpp.o"
+  "CMakeFiles/ssta_canonical_ssta_test.dir/ssta_canonical_ssta_test.cpp.o.d"
+  "ssta_canonical_ssta_test"
+  "ssta_canonical_ssta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssta_canonical_ssta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssta_incremental_test.dir/ssta_incremental_test.cpp.o"
+  "CMakeFiles/ssta_incremental_test.dir/ssta_incremental_test.cpp.o.d"
+  "ssta_incremental_test"
+  "ssta_incremental_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssta_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssta_node_criticality_test.dir/ssta_node_criticality_test.cpp.o"
+  "CMakeFiles/ssta_node_criticality_test.dir/ssta_node_criticality_test.cpp.o.d"
+  "ssta_node_criticality_test"
+  "ssta_node_criticality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssta_node_criticality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssta_slew_test.dir/ssta_slew_test.cpp.o"
+  "CMakeFiles/ssta_slew_test.dir/ssta_slew_test.cpp.o.d"
+  "ssta_slew_test"
+  "ssta_slew_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssta_slew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssta_sta_test.dir/ssta_sta_test.cpp.o"
+  "CMakeFiles/ssta_sta_test.dir/ssta_sta_test.cpp.o.d"
+  "ssta_sta_test"
+  "ssta_sta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssta_sta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

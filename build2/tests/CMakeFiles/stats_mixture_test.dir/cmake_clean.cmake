@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_mixture_test.dir/stats_mixture_test.cpp.o"
+  "CMakeFiles/stats_mixture_test.dir/stats_mixture_test.cpp.o.d"
+  "stats_mixture_test"
+  "stats_mixture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_mixture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_normal_test.dir/stats_normal_test.cpp.o"
+  "CMakeFiles/stats_normal_test.dir/stats_normal_test.cpp.o.d"
+  "stats_normal_test"
+  "stats_normal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_normal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

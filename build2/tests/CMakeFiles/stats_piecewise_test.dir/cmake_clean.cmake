@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_piecewise_test.dir/stats_piecewise_test.cpp.o"
+  "CMakeFiles/stats_piecewise_test.dir/stats_piecewise_test.cpp.o.d"
+  "stats_piecewise_test"
+  "stats_piecewise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_piecewise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_welford_test.dir/stats_welford_test.cpp.o"
+  "CMakeFiles/stats_welford_test.dir/stats_welford_test.cpp.o.d"
+  "stats_welford_test"
+  "stats_welford_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_welford_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

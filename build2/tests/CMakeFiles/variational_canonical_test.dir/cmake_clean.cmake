@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variational_canonical_test.dir/variational_canonical_test.cpp.o"
+  "CMakeFiles/variational_canonical_test.dir/variational_canonical_test.cpp.o.d"
+  "variational_canonical_test"
+  "variational_canonical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variational_canonical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variational_interval_test.dir/variational_interval_test.cpp.o"
+  "CMakeFiles/variational_interval_test.dir/variational_interval_test.cpp.o.d"
+  "variational_interval_test"
+  "variational_interval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variational_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

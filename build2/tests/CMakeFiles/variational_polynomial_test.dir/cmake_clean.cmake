@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variational_polynomial_test.dir/variational_polynomial_test.cpp.o"
+  "CMakeFiles/variational_polynomial_test.dir/variational_polynomial_test.cpp.o.d"
+  "variational_polynomial_test"
+  "variational_polynomial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variational_polynomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variational_regression_test.dir/variational_regression_test.cpp.o"
+  "CMakeFiles/variational_regression_test.dir/variational_regression_test.cpp.o.d"
+  "variational_regression_test"
+  "variational_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variational_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
