@@ -3,8 +3,9 @@
 // Drives exactly the same JSON-lines protocol as spsta_serviced, but
 // in-process: it builds the request lines a daemon client would send,
 // routes them through the batch scheduler, and prints the response lines.
-// The service layer — not the examples — is the canonical way to touch
-// the engines.
+// The service sits on the unified Analyzer API (spsta_api.hpp): each
+// loaded design keeps one Analyzer — and with it one compiled analysis
+// plan — warm across the requests of an invocation.
 //
 //   spsta run s298 --engine=ssta                 load + analyze a builtin
 //   spsta run netlist.bench --engine=mc --runs=2000 --seed=7
@@ -21,6 +22,7 @@
 #include "service/daemon.hpp"
 #include "service/json.hpp"
 #include "service/service.hpp"
+#include "spsta_api.hpp"
 
 namespace {
 
@@ -123,7 +125,15 @@ int main(int argc, char** argv) {
     const auto value = [&](const char* prefix) -> std::string {
       return a.substr(std::string(prefix).size());
     };
-    if (a.rfind("--engine=", 0) == 0) engine = value("--engine=");
+    if (a.rfind("--engine=", 0) == 0) {
+      engine = value("--engine=");
+      // Client-side validation against the unified API's engine registry,
+      // so a typo fails before any design is loaded.
+      if (!spsta::parse_engine(engine)) {
+        std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+        return usage(stderr);
+      }
+    }
     else if (a.rfind("--node=", 0) == 0) node = value("--node=");
     else if (a.rfind("--threads=", 0) == 0) threads = value("--threads=");
     else if (a.rfind("--runs=", 0) == 0) runs = value("--runs=");

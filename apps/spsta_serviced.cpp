@@ -1,10 +1,12 @@
 // spsta_serviced — the long-lived analysis daemon.
 //
 // Speaks the JSON-lines protocol over stdin/stdout: one request per line,
-// one response line per request, in order. Designs are parsed once and
-// kept warm across requests; repeated analyses are served from the result
-// cache and ECO edits ride the incremental engine. Malformed input yields
-// structured error responses — nothing a client sends kills the daemon.
+// one response line per request, in order. Each loaded design is parsed
+// once and held in a unified Analyzer (spsta_api.hpp) whose compiled
+// analysis plan stays warm across requests; repeated analyses are served
+// from the result cache and ECO edits ride the incremental engine.
+// Malformed input yields structured error responses — nothing a client
+// sends kills the daemon.
 //
 //   $ spsta_serviced [--threads=N] [--no-batch]
 //   {"id":1,"cmd":"load","circuit":"s27"}

@@ -1,18 +1,17 @@
-// Quickstart: build a small circuit through the Netlist API, attach input
-// statistics, and run signal-probability-based statistical timing analysis.
+// Quickstart: build a small circuit through the Netlist API, hand it to
+// the unified `Analyzer`, and run signal-probability-based statistical
+// timing analysis.
 //
 //   $ ./example_quickstart
 //
 // Walks through the three analyses of the paper on a 5-gate circuit and
-// prints per-net four-value probabilities and arrival statistics.
+// prints per-net four-value probabilities and arrival statistics. One
+// Analyzer owns the design and its compiled analysis plan; each engine is
+// selected by an AnalysisRequest.
 
 #include <cstdio>
 
-#include "core/spsta.hpp"
-#include "mc/monte_carlo.hpp"
-#include "netlist/delay_model.hpp"
-#include "netlist/netlist.hpp"
-#include "ssta/ssta.hpp"
+#include "spsta_api.hpp"
 
 int main() {
   using namespace spsta;
@@ -28,29 +27,36 @@ int main() {
   const auto y = design.add_gate(netlist::GateType::Or, "y", {g1, g2});
   design.mark_output(y);
 
-  // 2. Input statistics: the paper's scenario I — each source is 0/1/r/f
+  // 2. One Analyzer = design + delay model + input statistics + compiled
+  //    plan. This constructor applies the paper's experiment model: unit
+  //    gate delays, and scenario I on every source — each input is 0/1/r/f
   //    with probability 1/4 and transitions arrive as N(0, 1).
-  const std::vector<netlist::SourceStats> stats{netlist::scenario_I()};
+  Analyzer analyzer(std::move(design));
+  const netlist::Netlist& net = analyzer.design();
 
-  // 3. Unit gate delays, zero net delays (the paper's experiment model).
-  const netlist::DelayModel delays = netlist::DelayModel::unit(design);
+  // 3. SPSTA: four-value probabilities plus transition t.o.p. per net.
+  AnalysisRequest request;
+  request.engine = Engine::SpstaMoment;
+  const core::SpstaResult spsta =
+      std::get<core::SpstaResult>(analyzer.run(request).result);
 
-  // 4. SPSTA: four-value probabilities plus transition t.o.p. per net.
-  const core::SpstaResult spsta = core::run_spsta_moment(design, delays, stats);
-
-  // 5. The SSTA baseline and a 10K-run Monte Carlo reference.
-  const ssta::SstaResult ssta_result = ssta::run_ssta(design, delays, stats);
-  mc::MonteCarloConfig mc_cfg;
-  mc_cfg.runs = 10000;
-  const mc::MonteCarloResult mc_result = mc::run_monte_carlo(design, delays, stats, mc_cfg);
+  // 4. The SSTA baseline and a 10K-run Monte Carlo reference — same
+  //    analyzer, different engine per request; the compiled plan is reused.
+  request.engine = Engine::Ssta;
+  const ssta::SstaResult ssta_result =
+      std::get<ssta::SstaResult>(analyzer.run(request).result);
+  request.engine = Engine::Mc;
+  request.runs = 10000;
+  const mc::MonteCarloResult mc_result =
+      std::get<mc::MonteCarloResult>(analyzer.run(request).result);
 
   std::printf("net   P0    P1    Pr    Pf    | SPSTA rise mu/sigma | SSTA rise mu/sigma | MC rise mu/sigma\n");
-  for (netlist::NodeId id = 0; id < design.node_count(); ++id) {
+  for (netlist::NodeId id = 0; id < net.node_count(); ++id) {
     const core::NodeTop& nt = spsta.node[id];
     const auto& sa = ssta_result.arrival[id];
     const auto& est = mc_result.node[id];
     std::printf("%-4s  %.3f %.3f %.3f %.3f |   %6.3f / %-6.3f   |  %6.3f / %-6.3f   | %6.3f / %-6.3f\n",
-                design.node(id).name.c_str(), nt.probs.p0, nt.probs.p1, nt.probs.pr,
+                net.node(id).name.c_str(), nt.probs.p0, nt.probs.p1, nt.probs.pr,
                 nt.probs.pf, nt.rise.arrival.mean, nt.rise.arrival.stddev(),
                 sa.rise.mean, sa.rise.stddev(), est.rise_time.mean(),
                 est.rise_time.stddev());

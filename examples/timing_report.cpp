@@ -12,12 +12,14 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "netlist/bench_io.hpp"
 #include "netlist/graph.hpp"
 #include "netlist/iscas89.hpp"
 #include "report/experiment.hpp"
 #include "report/table.hpp"
+#include "spsta_api.hpp"
 
 int main(int argc, char** argv) {
   using namespace spsta;
@@ -25,24 +27,31 @@ int main(int argc, char** argv) {
   const std::string which = argc > 1 ? argv[1] : "s298";
   const std::string scenario = argc > 2 ? argv[2] : "I";
 
-  netlist::Netlist design;
+  netlist::Netlist parsed;
   if (std::filesystem::exists(which)) {
     std::ifstream in(which);
-    design = netlist::parse_bench_stream(in, std::filesystem::path(which).stem().string());
+    parsed = netlist::parse_bench_stream(in, std::filesystem::path(which).stem().string());
   } else {
-    design = netlist::make_paper_circuit(which);
+    parsed = netlist::make_paper_circuit(which);
   }
 
   report::ExperimentConfig cfg;
   cfg.scenario = scenario == "II" ? netlist::scenario_II() : netlist::scenario_I();
   cfg.mc_runs = 10000;
 
+  // One Analyzer owns the design, unit delay model, per-source statistics
+  // and the compiled analysis plan every engine below reuses.
+  netlist::DelayModel unit_delays = netlist::DelayModel::unit(parsed);
+  Analyzer analyzer(std::move(parsed), std::move(unit_delays),
+                    std::vector<netlist::SourceStats>{cfg.scenario});
+  const netlist::Netlist& design = analyzer.design();
+
   std::printf("circuit %s: %zu inputs, %zu outputs, %zu DFFs, %zu gates\n",
               design.name().c_str(), design.primary_inputs().size(),
               design.primary_outputs().size(), design.dffs().size(),
               design.gate_count());
 
-  const report::CircuitExperiment e = report::run_paper_experiment(design, cfg);
+  const report::CircuitExperiment e = report::run_paper_experiment(analyzer, cfg);
 
   report::Table table({"dir", "endpoint", "SPSTA mu", "SPSTA sig", "SPSTA P",
                        "SSTA mu", "SSTA sig", "MC mu", "MC sig", "MC P"});
@@ -60,9 +69,8 @@ int main(int argc, char** argv) {
   std::printf("runtimes: SPSTA %.3fs, SSTA %.3fs, 10K MC %.3fs\n\n",
               e.runtime.spsta_seconds, e.runtime.ssta_seconds, e.runtime.mc_seconds);
 
-  // Structural critical path under mean delays.
-  const netlist::DelayModel delays = netlist::DelayModel::unit(design);
-  const auto paths = netlist::critical_paths(design, delays.means(), 1);
+  // Structural critical path under the analyzer's mean delays.
+  const auto paths = netlist::critical_paths(design, analyzer.delays().means(), 1);
   if (!paths.empty()) {
     std::printf("structural critical path (delay %.1f):\n  ", paths[0].delay);
     for (std::size_t i = 0; i < paths[0].nodes.size(); ++i) {

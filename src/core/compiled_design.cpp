@@ -1,0 +1,197 @@
+#include "core/compiled_design.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/spsta.hpp"
+
+namespace spsta::core {
+
+using netlist::NodeId;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_bytes(std::uint64_t& h, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_double(std::uint64_t& h, double v) {
+  // Bit pattern, not value: the hash must move whenever the observable
+  // delay assignment moves, including -0.0 vs 0.0 style edits.
+  mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+void mix_gaussian(std::uint64_t& h, const stats::Gaussian& g) {
+  mix_double(h, g.mean);
+  mix_double(h, g.var);
+}
+
+}  // namespace
+
+CompiledDesign::CompiledDesign(const netlist::Netlist& design,
+                               const netlist::DelayModel& delays)
+    : design_(&design), delays_(delays), levels_(netlist::levelize(design)) {
+  if (delays.size() != design.node_count()) {
+    throw std::invalid_argument(
+        "CompiledDesign: delay model sized for a different netlist (" +
+        std::to_string(delays.size()) + " delays, " +
+        std::to_string(design.node_count()) + " nodes)");
+  }
+  const std::size_t n = design.node_count();
+
+  // Flat levelization: bucket lv.order stably by level so level_nodes(L)
+  // enumerates exactly the same nodes in the same order as the legacy
+  // level_groups(lv)[L] — a prerequisite for bit-identical parallel runs.
+  level_offsets_.assign(n == 0 ? 1 : levels_.depth + 2, 0);
+  for (NodeId id = 0; id < n; ++id) ++level_offsets_[levels_.level[id] + 1];
+  for (std::size_t l = 1; l < level_offsets_.size(); ++l) {
+    level_offsets_[l] += level_offsets_[l - 1];
+  }
+  level_order_.resize(n);
+  {
+    std::vector<std::size_t> cursor(level_offsets_.begin(), level_offsets_.end() - 1);
+    for (NodeId id : levels_.order) level_order_[cursor[levels_.level[id]]++] = id;
+  }
+
+  // Structure-of-arrays adjacency + per-node flags.
+  fanin_offsets_.assign(n + 1, 0);
+  fanout_offsets_.assign(n + 1, 0);
+  combinational_.assign(n, 0);
+  type_.resize(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const netlist::Node& node = design.node(id);
+    fanin_offsets_[id + 1] = fanin_offsets_[id] + node.fanins.size();
+    fanout_offsets_[id + 1] = fanout_offsets_[id] + node.fanouts.size();
+    combinational_[id] = netlist::is_combinational(node.type) ? 1 : 0;
+    type_[id] = node.type;
+  }
+  fanin_arena_.reserve(fanin_offsets_.back());
+  fanout_arena_.reserve(fanout_offsets_.back());
+  for (NodeId id = 0; id < n; ++id) {
+    const netlist::Node& node = design.node(id);
+    fanin_arena_.insert(fanin_arena_.end(), node.fanins.begin(), node.fanins.end());
+    fanout_arena_.insert(fanout_arena_.end(), node.fanouts.begin(), node.fanouts.end());
+  }
+
+  timing_sources_ = design.timing_sources();
+  timing_endpoints_ = design.timing_endpoints();
+
+  // Structural delay-span products the numeric engine's grid choice needs.
+  // One forward longest-path DP replaces the per-endpoint critical_paths
+  // scan the legacy engine ran; the recurrence (arrival = max fanin
+  // arrival + mean delay) is the same one critical_path_to evaluates, so
+  // the resulting maximum is bit-identical to the legacy value.
+  {
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    const std::vector<double> means = delays_.means();
+    std::vector<double> arrival(n, kNegInf);
+    for (NodeId id : levels_.order) {
+      if (combinational_[id] == 0 || fanins(id).empty()) {
+        arrival[id] = 0.0;  // sources and constants
+        continue;
+      }
+      double best = kNegInf;
+      for (NodeId f : fanins(id)) best = std::max(best, arrival[f]);
+      arrival[id] = best + means[id];
+    }
+    for (NodeId id : timing_endpoints_) {
+      const double d = arrival[id] == kNegInf ? 0.0 : arrival[id];
+      structural_delay_ = std::max(structural_delay_, d);
+    }
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    max_delay_stddev_ = std::max(max_delay_stddev_, delays_.delay(id).stddev());
+  }
+
+  // Content hash: netlist structure (names, types, wiring, output/DFF
+  // markings) plus the observable delay assignment. Field tags keep
+  // adjacent variable-length sections from aliasing.
+  std::uint64_t h = kFnvOffset;
+  mix(h, n);
+  for (NodeId id = 0; id < n; ++id) {
+    const netlist::Node& node = design.node(id);
+    mix(h, static_cast<std::uint64_t>(node.type));
+    mix(h, node.name.size());
+    mix_bytes(h, node.name);
+    mix(h, node.fanins.size());
+    for (NodeId f : node.fanins) mix(h, f);
+  }
+  mix(h, 0x6f757470u);  // outputs section
+  mix(h, design.primary_outputs().size());
+  for (NodeId id : design.primary_outputs()) mix(h, id);
+  mix(h, 0x64656c61u);  // delay section
+  for (NodeId id = 0; id < n; ++id) {
+    mix_gaussian(h, delays_.delay(id));
+    mix(h, delays_.is_directional(id) ? 1 : 0);
+    mix_gaussian(h, delays_.delay(id, true));
+    mix_gaussian(h, delays_.delay(id, false));
+  }
+  content_hash_ = h;
+}
+
+stats::GridSpec CompiledDesign::grid_for(
+    std::span<const netlist::SourceStats> source_stats,
+    const SpstaOptions& options) const {
+  // Mirrors the legacy numeric engine's choose_grid exactly (expression
+  // for expression) with the structural scan replaced by the precomputed
+  // structural_delay_ / max_delay_stddev_ / depth products.
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const netlist::SourceStats& st : source_stats) {
+    for (const stats::Gaussian& g : {st.rise_arrival, st.fall_arrival}) {
+      const double sd = g.stddev();
+      const double a = g.mean - options.grid_pad_sigma * sd;
+      const double b = g.mean + options.grid_pad_sigma * sd;
+      if (first) {
+        lo = a;
+        hi = b;
+        first = false;
+      } else {
+        lo = std::min(lo, a);
+        hi = std::max(hi, b);
+      }
+    }
+  }
+  hi += structural_delay_ + options.grid_pad_sigma * max_delay_stddev_ *
+                                std::sqrt(double(levels_.depth) + 1.0);
+
+  double dt = options.grid_dt > 0.0 ? options.grid_dt : 0.05;
+  // Degenerate span (a single deterministic arrival and zero structural
+  // delay): widen by one step so dt never collapses to 0.
+  if (!(hi > lo)) hi = lo + dt;
+  std::size_t n = static_cast<std::size_t>(std::ceil((hi - lo) / dt)) + 1;
+  // Clamp the cap to >= 2 so the dt recomputation never divides by n-1==0.
+  const std::size_t cap = std::max<std::size_t>(options.max_grid_points, 2);
+  if (n > cap) {
+    n = cap;
+    dt = (hi - lo) / static_cast<double>(n - 1);
+  }
+  // Floor of 8 points for a usable density, unless the cap is tighter.
+  return {lo, dt, std::max(n, std::min<std::size_t>(cap, 8))};
+}
+
+void CompiledDesign::check_source_stats(
+    std::span<const netlist::SourceStats> source_stats, const char* who) const {
+  if (source_stats.size() != timing_sources_.size() && source_stats.size() != 1) {
+    throw std::invalid_argument(std::string(who) + ": source stats count mismatch");
+  }
+}
+
+}  // namespace spsta::core

@@ -1,0 +1,158 @@
+/// \file compiled_design.hpp
+/// The reusable analysis plan: everything the engines re-derive from a
+/// `(Netlist, DelayModel)` pair on every call, compiled once and shared by
+/// every subsequent run — the amortization layer behind the `Analyzer`
+/// facade (spsta_api.hpp) and the service session store.
+///
+/// A `CompiledDesign` is immutable after construction and safe to share
+/// across threads; its only mutable component, the switch-pattern cache,
+/// is internally synchronized and keyed on exact probability bit patterns,
+/// so a cache hit is bit-identical to a recomputation no matter which run
+/// populated the entry. It carries:
+///
+///  * the levelization with per-level node ranges laid out contiguously
+///    (one flat array + offsets — the unit of level-parallel dispatch),
+///  * structure-of-arrays fanin/fanout adjacency (flat index + offset
+///    arrays instead of chasing per-node `std::vector`s),
+///  * cached timing sources / endpoints and per-node combinational flags,
+///  * the structural delay span products the numeric engine's grid choice
+///    needs (critical-path delay, worst per-gate delay sigma, depth),
+///  * a shared `PatternCache` that persists across runs, subsuming the
+///    per-run warm-up the engines used to pay, and
+///  * a content hash over the netlist structure and delay assignment,
+///    compatible with the service's session/result cache keys.
+///
+/// Every engine gains a `run_*(const CompiledDesign&, ...)` overload that
+/// skips all structural work; the legacy `(Netlist, DelayModel, ...)`
+/// overloads are thin compile-then-run wrappers over this type.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/pattern_cache.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/four_value.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "stats/piecewise.hpp"
+
+namespace spsta::core {
+
+struct SpstaOptions;
+
+/// Immutable per-(netlist, delay model) analysis plan.
+///
+/// Lifetime: holds a reference to \p design (which must outlive the plan)
+/// and a private copy of \p delays (so later edits to the caller's model
+/// cannot silently invalidate the precomputed delay-span products).
+class CompiledDesign {
+ public:
+  CompiledDesign(const netlist::Netlist& design, const netlist::DelayModel& delays);
+
+  [[nodiscard]] const netlist::Netlist& design() const noexcept { return *design_; }
+  [[nodiscard]] const netlist::DelayModel& delays() const noexcept { return delays_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return combinational_.size(); }
+
+  // -- Levelization ---------------------------------------------------
+  /// All nodes in topological order (the legacy Levelization view, kept
+  /// for engines that walk serially or need per-node levels).
+  [[nodiscard]] const netlist::Levelization& levelization() const noexcept {
+    return levels_;
+  }
+  /// Combinational depth in gate counts.
+  [[nodiscard]] std::size_t depth() const noexcept { return levels_.depth; }
+  /// Number of levels (depth + 1; 0 for an empty design).
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return level_offsets_.empty() ? 0 : level_offsets_.size() - 1;
+  }
+  /// Nodes of one level, contiguous in memory — the unit of parallel gate
+  /// evaluation (a node's fanins live in strictly lower levels).
+  [[nodiscard]] std::span<const netlist::NodeId> level_nodes(std::size_t level) const {
+    return {level_order_.data() + level_offsets_[level],
+            level_offsets_[level + 1] - level_offsets_[level]};
+  }
+
+  // -- Structure-of-arrays adjacency ----------------------------------
+  [[nodiscard]] std::span<const netlist::NodeId> fanins(netlist::NodeId id) const {
+    return {fanin_arena_.data() + fanin_offsets_[id],
+            fanin_offsets_[id + 1] - fanin_offsets_[id]};
+  }
+  [[nodiscard]] std::span<const netlist::NodeId> fanouts(netlist::NodeId id) const {
+    return {fanout_arena_.data() + fanout_offsets_[id],
+            fanout_offsets_[id + 1] - fanout_offsets_[id]};
+  }
+  /// True for logic gates and constants (nodes the propagation loops
+  /// evaluate; sources and DFFs carry externally supplied state).
+  [[nodiscard]] bool combinational(netlist::NodeId id) const {
+    return combinational_[id] != 0;
+  }
+  [[nodiscard]] netlist::GateType type(netlist::NodeId id) const { return type_[id]; }
+
+  [[nodiscard]] std::span<const netlist::NodeId> timing_sources() const noexcept {
+    return timing_sources_;
+  }
+  [[nodiscard]] std::span<const netlist::NodeId> timing_endpoints() const noexcept {
+    return timing_endpoints_;
+  }
+
+  // -- Structural delay-span products (numeric engine grid) ------------
+  /// Worst-case structural delay under mean gate delays (the longest
+  /// endpoint path).
+  [[nodiscard]] double structural_delay() const noexcept { return structural_delay_; }
+  /// Largest per-gate delay standard deviation in the model.
+  [[nodiscard]] double max_delay_stddev() const noexcept { return max_delay_stddev_; }
+  /// The numeric-engine grid for the given sources and options — the same
+  /// arithmetic the legacy engine performed per run, with the structural
+  /// scan amortized into compile time. Bit-identical to the legacy choice.
+  [[nodiscard]] stats::GridSpec grid_for(
+      std::span<const netlist::SourceStats> source_stats,
+      const SpstaOptions& options) const;
+
+  // -- Shared switch-pattern cache -------------------------------------
+  /// Exact-key pattern cache shared by every run over this plan. Warm
+  /// requests skip enumeration entirely; exact keys keep hits bit-identical
+  /// to recomputation (see pattern_cache.hpp).
+  [[nodiscard]] PatternCache& pattern_cache() const noexcept { return pattern_cache_; }
+
+  /// FNV-1a content hash over the netlist structure (names, types, fanins,
+  /// output/DFF markings) and the observable delay assignment. Equal
+  /// inputs hash equal across runs and platforms; any netlist or delay
+  /// change produces a different hash (modulo 64-bit collisions) — the
+  /// key the service session store files plans and results under.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept { return content_hash_; }
+
+  /// Throws std::invalid_argument unless \p source_stats has exactly one
+  /// entry (broadcast) or one per timing source — the shared precondition
+  /// of every engine.
+  void check_source_stats(std::span<const netlist::SourceStats> source_stats,
+                          const char* who) const;
+
+ private:
+  const netlist::Netlist* design_;
+  netlist::DelayModel delays_;
+
+  netlist::Levelization levels_;
+  std::vector<netlist::NodeId> level_order_;   ///< nodes grouped by level
+  std::vector<std::size_t> level_offsets_;     ///< level L = [offsets[L], offsets[L+1])
+
+  std::vector<netlist::NodeId> fanin_arena_;
+  std::vector<std::size_t> fanin_offsets_;
+  std::vector<netlist::NodeId> fanout_arena_;
+  std::vector<std::size_t> fanout_offsets_;
+  std::vector<char> combinational_;
+  std::vector<netlist::GateType> type_;
+
+  std::vector<netlist::NodeId> timing_sources_;
+  std::vector<netlist::NodeId> timing_endpoints_;
+
+  double structural_delay_ = 0.0;
+  double max_delay_stddev_ = 0.0;
+  std::uint64_t content_hash_ = 0;
+
+  mutable PatternCache pattern_cache_{PatternCache::kExactKeys};
+};
+
+}  // namespace spsta::core

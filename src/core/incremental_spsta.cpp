@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "core/compiled_design.hpp"
 
 namespace spsta::core {
 
@@ -45,7 +48,21 @@ IncrementalSpsta::IncrementalSpsta(const netlist::Netlist& design,
                                    netlist::DelayModel delays,
                                    std::span<const netlist::SourceStats> source_stats,
                                    double settle_eps)
-    : design_(design), delays_(std::move(delays)), levels_(netlist::levelize(design)),
+    : IncrementalSpsta(design, std::move(delays), netlist::levelize(design),
+                       source_stats, settle_eps) {}
+
+IncrementalSpsta::IncrementalSpsta(const CompiledDesign& plan,
+                                   std::span<const netlist::SourceStats> source_stats,
+                                   double settle_eps)
+    : IncrementalSpsta(plan.design(), plan.delays(), plan.levelization(),
+                       source_stats, settle_eps) {}
+
+IncrementalSpsta::IncrementalSpsta(const netlist::Netlist& design,
+                                   netlist::DelayModel delays,
+                                   netlist::Levelization levels,
+                                   std::span<const netlist::SourceStats> source_stats,
+                                   double settle_eps)
+    : design_(design), delays_(std::move(delays)), levels_(std::move(levels)),
       settle_eps_(settle_eps) {
   const std::vector<NodeId> sources = design_.timing_sources();
   if (source_stats.size() != sources.size() && source_stats.size() != 1) {

@@ -19,6 +19,8 @@
 
 namespace spsta::core {
 
+class CompiledDesign;
+
 /// Incremental SPSTA session over a fixed netlist topology.
 class IncrementalSpsta {
  public:
@@ -31,6 +33,13 @@ class IncrementalSpsta {
   /// sequence bit-identical to a fresh full run — the mode the analysis
   /// service uses so ECO re-queries match cold re-analysis exactly.
   IncrementalSpsta(const netlist::Netlist& design, netlist::DelayModel delays,
+                   std::span<const netlist::SourceStats> source_stats,
+                   double settle_eps = kDefaultSettleEps);
+
+  /// Same, seeded from a precompiled plan: reuses the plan's levelization
+  /// and delay model instead of re-deriving them. The session keeps
+  /// referencing the plan's netlist, which must outlive it.
+  IncrementalSpsta(const CompiledDesign& plan,
                    std::span<const netlist::SourceStats> source_stats,
                    double settle_eps = kDefaultSettleEps);
 
@@ -54,6 +63,11 @@ class IncrementalSpsta {
   [[nodiscard]] double settle_eps() const noexcept { return settle_eps_; }
 
  private:
+  IncrementalSpsta(const netlist::Netlist& design, netlist::DelayModel delays,
+                   netlist::Levelization levels,
+                   std::span<const netlist::SourceStats> source_stats,
+                   double settle_eps);
+
   void mark_dirty(netlist::NodeId id);
   void propagate_dirty();
   [[nodiscard]] bool recompute(netlist::NodeId id);

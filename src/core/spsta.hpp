@@ -26,8 +26,13 @@
 #include "stats/gaussian.hpp"
 #include "stats/piecewise.hpp"
 
+namespace spsta::util {
+class ThreadPool;
+}
+
 namespace spsta::core {
 
+class CompiledDesign;
 class PatternCache;
 
 /// Moment-form t.o.p. of one transition direction: occurrence probability
@@ -98,16 +103,36 @@ struct SpstaOptions {
   /// Optional cache shared across runs/engines; when null and
   /// use_pattern_cache is set, each run builds its own.
   PatternCache* shared_pattern_cache = nullptr;
+  /// Optional long-lived pool (e.g. the Analyzer's); when set it overrides
+  /// `threads` for dispatch and the run spawns no threads of its own. The
+  /// pool must be idle (ThreadPool runs one job at a time).
+  util::ThreadPool* shared_pool = nullptr;
 };
 
+// NOTE: the run_* functions below are implementation-level entry points.
+// Application code should go through the Analyzer facade (spsta_api.hpp),
+// which owns a CompiledDesign, validates requests against the selected
+// engine, and amortizes structural work across runs.
+
+/// Runs the moment engine on a precompiled plan — the warm path that skips
+/// all structural work. \p source_stats follows plan.timing_sources()
+/// order (single element broadcasts). With the default exact-key settings
+/// the run shares the plan's switch-pattern cache, so repeated runs skip
+/// pattern enumeration too; results are bit-identical either way.
+[[nodiscard]] SpstaResult run_spsta_moment(
+    const CompiledDesign& plan, std::span<const netlist::SourceStats> source_stats,
+    const SpstaOptions& options = {});
+
 /// Runs the moment-based engine. \p source_stats follows
-/// design.timing_sources() order (single element broadcasts).
+/// design.timing_sources() order (single element broadcasts). Thin
+/// compile-then-run wrapper over the CompiledDesign overload.
 [[nodiscard]] SpstaResult run_spsta_moment(
     const netlist::Netlist& design, const netlist::DelayModel& delays,
     std::span<const netlist::SourceStats> source_stats);
 
 /// Moment engine with explicit options (threads / pattern cache; the grid
-/// fields are ignored). The no-options overload uses defaults.
+/// fields are ignored — the Analyzer facade rejects requests that set
+/// them for this engine). The no-options overload uses defaults.
 [[nodiscard]] SpstaResult run_spsta_moment(
     const netlist::Netlist& design, const netlist::DelayModel& delays,
     std::span<const netlist::SourceStats> source_stats, const SpstaOptions& options);
@@ -120,7 +145,15 @@ struct SpstaOptions {
                                          std::span<const NodeTop> state,
                                          const netlist::DelayModel& delays);
 
-/// Runs the numeric (piecewise-density) engine.
+/// Runs the numeric engine on a precompiled plan: the grid comes from the
+/// plan's precomputed structural delay span (bit-identical to the legacy
+/// per-run scan) and no structural code executes.
+[[nodiscard]] SpstaNumericResult run_spsta_numeric(
+    const CompiledDesign& plan, std::span<const netlist::SourceStats> source_stats,
+    const SpstaOptions& options = {});
+
+/// Runs the numeric (piecewise-density) engine. Thin compile-then-run
+/// wrapper over the CompiledDesign overload.
 [[nodiscard]] SpstaNumericResult run_spsta_numeric(
     const netlist::Netlist& design, const netlist::DelayModel& delays,
     std::span<const netlist::SourceStats> source_stats,

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "core/compiled_design.hpp"
 #include "core/patterns.hpp"
-#include "netlist/levelize.hpp"
 #include "sigprob/four_value_prop.hpp"
 
 namespace spsta::core {
@@ -27,7 +26,7 @@ namespace {
 /// from the canonical forms themselves.
 CanonicalForm fold_arrivals(const SwitchPattern& p,
                             const std::vector<NodeCanonicalTop>& node,
-                            const std::vector<NodeId>& fanins) {
+                            std::span<const NodeId> fanins) {
   CanonicalForm acc;
   bool first = true;
   for (std::size_t i = 0; i < fanins.size(); ++i) {
@@ -80,17 +79,14 @@ CanonicalForm collapse_mixture(const std::vector<std::pair<double, CanonicalForm
 
 }  // namespace
 
-SpstaCanonicalResult run_spsta_canonical(const netlist::Netlist& design,
-                                         const netlist::DelayModel& delays,
+SpstaCanonicalResult run_spsta_canonical(const CompiledDesign& plan,
                                          std::span<const netlist::SourceStats> source_stats) {
-  const std::vector<NodeId> sources = design.timing_sources();
-  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
-    throw std::invalid_argument("run_spsta_canonical: source stats count mismatch");
-  }
+  plan.check_source_stats(source_stats, "run_spsta_canonical");
+  const std::span<const NodeId> sources = plan.timing_sources();
 
   SpstaCanonicalResult result;
   result.num_params = 2 * sources.size();
-  result.node.assign(design.node_count(),
+  result.node.assign(plan.node_count(),
                      NodeCanonicalTop{{}, {0.0, CanonicalForm(0.0, result.num_params)},
                                       {0.0, CanonicalForm(0.0, result.num_params)}});
 
@@ -109,28 +105,29 @@ SpstaCanonicalResult run_spsta_canonical(const netlist::Netlist& design,
     top.fall = {top.probs.pf, std::move(fall)};
   }
 
-  const netlist::Levelization lv = netlist::levelize(design);
   std::vector<FourValueProbs> fanin_probs;
-  for (NodeId id : lv.order) {
-    const netlist::Node& node = design.node(id);
-    if (!netlist::is_combinational(node.type)) continue;
+  for (NodeId id : plan.levelization().order) {
+    if (!plan.combinational(id)) continue;
+    const netlist::GateType type = plan.type(id);
+    const std::span<const NodeId> fanins = plan.fanins(id);
 
     NodeCanonicalTop& top = result.node[id];
     fanin_probs.clear();
-    for (NodeId f : node.fanins) fanin_probs.push_back(result.node[f].probs);
-    top.probs = sigprob::gate_four_value(node.type, fanin_probs);
+    for (NodeId f : fanins) fanin_probs.push_back(result.node[f].probs);
+    top.probs = sigprob::gate_four_value(type, fanin_probs);
 
-    if (node.fanins.empty()) {
+    if (fanins.empty()) {
       top.rise = {0.0, CanonicalForm(0.0, result.num_params)};
       top.fall = {0.0, CanonicalForm(0.0, result.num_params)};
       continue;
     }
 
-    const std::vector<SwitchPattern> patterns =
-        enumerate_switch_patterns(node.type, fanin_probs);
+    // The plan's exact-key cache memoizes enumeration across runs; a hit
+    // is bit-identical to recomputation (see pattern_cache.hpp).
+    const PatternCache::Patterns patterns = plan.pattern_cache().get(type, fanin_probs);
     std::vector<std::pair<double, CanonicalForm>> rise_mix, fall_mix;
-    for (const SwitchPattern& p : patterns) {
-      CanonicalForm arrival = fold_arrivals(p, result.node, node.fanins);
+    for (const SwitchPattern& p : *patterns) {
+      CanonicalForm arrival = fold_arrivals(p, result.node, fanins);
       (p.output_rising ? rise_mix : fall_mix).emplace_back(p.weight, std::move(arrival));
     }
 
@@ -146,10 +143,16 @@ SpstaCanonicalResult run_spsta_canonical(const netlist::Netlist& design,
                             std::hypot(form.residual(), d.stddev()));
       return {mass, std::move(shifted)};
     };
-    top.rise = finish(rise_mix, delays.delay(id, true));
-    top.fall = finish(fall_mix, delays.delay(id, false));
+    top.rise = finish(rise_mix, plan.delays().delay(id, true));
+    top.fall = finish(fall_mix, plan.delays().delay(id, false));
   }
   return result;
+}
+
+SpstaCanonicalResult run_spsta_canonical(const netlist::Netlist& design,
+                                         const netlist::DelayModel& delays,
+                                         std::span<const netlist::SourceStats> source_stats) {
+  return run_spsta_canonical(CompiledDesign(design, delays), source_stats);
 }
 
 }  // namespace spsta::core

@@ -27,6 +27,8 @@
 
 namespace spsta::core {
 
+class CompiledDesign;
+
 /// t.o.p. in canonical form: occurrence probability plus the conditional
 /// arrival as a canonical form over the source-arrival parameters.
 struct CanonicalTop {
@@ -53,9 +55,16 @@ struct SpstaCanonicalResult {
                                            netlist::NodeId b, bool b_rising) const;
 };
 
+/// Runs the canonical-form engine on a precompiled plan (implementation-
+/// level; application code goes through the Analyzer facade in
+/// spsta_api.hpp). Warm runs reuse the plan's levelization and
+/// switch-pattern cache; results are bit-identical to the legacy overload.
+[[nodiscard]] SpstaCanonicalResult run_spsta_canonical(
+    const CompiledDesign& plan, std::span<const netlist::SourceStats> source_stats);
+
 /// Runs the canonical-form SPSTA engine (source stats as elsewhere;
 /// single-element spans broadcast). Gate-delay variance is local and goes
-/// to the residual term.
+/// to the residual term. Thin compile-then-run wrapper.
 [[nodiscard]] SpstaCanonicalResult run_spsta_canonical(
     const netlist::Netlist& design, const netlist::DelayModel& delays,
     std::span<const netlist::SourceStats> source_stats);

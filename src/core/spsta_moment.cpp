@@ -1,10 +1,9 @@
 #include <cmath>
-#include <stdexcept>
 
+#include "core/compiled_design.hpp"
 #include "core/pattern_cache.hpp"
 #include "core/patterns.hpp"
 #include "core/spsta.hpp"
-#include "netlist/levelize.hpp"
 #include "obs/metrics.hpp"
 #include "sigprob/four_value_prop.hpp"
 #include "stats/mixture.hpp"
@@ -39,15 +38,11 @@ double mixture_third_central(const stats::GaussianMixture& mix) {
   return m3;
 }
 
-}  // namespace
-
-namespace {
-
 /// Folds the conditional arrival Gaussians of a scenario's switching
 /// inputs with Clark MAX/MIN (inputs treated as independent, as in the
 /// paper's implementation — see Sec. 4 observation 5).
 Gaussian fold_arrivals(const SwitchPattern& p, std::span<const NodeTop> node,
-                       const std::vector<NodeId>& fanins) {
+                       std::span<const NodeId> fanins) {
   Gaussian acc;
   bool first = true;
   for (std::size_t i = 0; i < fanins.size(); ++i) {
@@ -66,37 +61,33 @@ Gaussian fold_arrivals(const SwitchPattern& p, std::span<const NodeTop> node,
   return acc;
 }
 
-}  // namespace
-
-namespace {
-
 /// Single-node kernel; \p cache (nullable) memoizes pattern enumeration.
-NodeTop propagate_node_top_impl(const netlist::Netlist& design, NodeId id,
+NodeTop propagate_node_top_impl(netlist::GateType type,
+                                std::span<const NodeId> fanins, NodeId id,
                                 std::span<const NodeTop> state,
                                 const netlist::DelayModel& delays,
                                 PatternCache* cache) {
-  const netlist::Node& node = design.node(id);
   NodeTop top;
   std::vector<FourValueProbs> fanin_probs;
-  fanin_probs.reserve(node.fanins.size());
-  for (NodeId f : node.fanins) fanin_probs.push_back(state[f].probs);
-  top.probs = sigprob::gate_four_value(node.type, fanin_probs);
+  fanin_probs.reserve(fanins.size());
+  for (NodeId f : fanins) fanin_probs.push_back(state[f].probs);
+  top.probs = sigprob::gate_four_value(type, fanin_probs);
 
-  if (node.fanins.empty()) return top;  // constants: no transitions
+  if (fanins.empty()) return top;  // constants: no transitions
 
   PatternCache::Patterns cached;
   std::vector<SwitchPattern> owned;
   if (cache != nullptr) {
-    cached = cache->get(node.type, fanin_probs);
+    cached = cache->get(type, fanin_probs);
   } else {
-    owned = enumerate_switch_patterns(node.type, fanin_probs);
+    owned = enumerate_switch_patterns(type, fanin_probs);
   }
   const std::span<const SwitchPattern> patterns =
       cache != nullptr ? std::span<const SwitchPattern>(*cached)
                        : std::span<const SwitchPattern>(owned);
   stats::GaussianMixture rise_mix, fall_mix;
   for (const SwitchPattern& p : patterns) {
-    const Gaussian arrival = fold_arrivals(p, state, node.fanins);
+    const Gaussian arrival = fold_arrivals(p, state, fanins);
     (p.output_rising ? rise_mix : fall_mix).add(p.weight, arrival);
   }
   // Adding the (symmetric) gate delay leaves the third central moment of
@@ -110,12 +101,67 @@ NodeTop propagate_node_top_impl(const netlist::Netlist& design, NodeId id,
   return top;
 }
 
+/// Cache selection shared by both engines' compiled runs: an explicit
+/// shared cache wins; the default exact-key configuration reuses the
+/// plan's persistent cache (hits are bit-identical to recomputation); a
+/// custom quantum falls back to \p local so the plan's exact-key entries
+/// are never mixed with quantized ones.
+PatternCache* select_cache(const CompiledDesign& plan, const SpstaOptions& options,
+                           PatternCache& local) {
+  if (options.shared_pattern_cache != nullptr) return options.shared_pattern_cache;
+  if (!options.use_pattern_cache) return nullptr;
+  if (options.pattern_quantum == PatternCache::kExactKeys) return &plan.pattern_cache();
+  return &local;
+}
+
 }  // namespace
 
 NodeTop propagate_node_top(const netlist::Netlist& design, NodeId id,
                            std::span<const NodeTop> state,
                            const netlist::DelayModel& delays) {
-  return propagate_node_top_impl(design, id, state, delays, nullptr);
+  const netlist::Node& node = design.node(id);
+  return propagate_node_top_impl(node.type, node.fanins, id, state, delays, nullptr);
+}
+
+SpstaResult run_spsta_moment(const CompiledDesign& plan,
+                             std::span<const netlist::SourceStats> source_stats,
+                             const SpstaOptions& options) {
+  plan.check_source_stats(source_stats, "run_spsta_moment");
+  const std::span<const NodeId> sources = plan.timing_sources();
+
+  SpstaResult result;
+  result.node.assign(plan.node_count(), NodeTop{});
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const netlist::SourceStats& st =
+        source_stats.size() == 1 ? source_stats[0] : source_stats[i];
+    NodeTop& top = result.node[sources[i]];
+    top.probs = st.probs.normalized();
+    top.rise = {top.probs.pr, st.rise_arrival};
+    top.fall = {top.probs.pf, st.fall_arrival};
+  }
+
+  PatternCache local_cache(options.pattern_quantum);
+  PatternCache* const cache = select_cache(plan, options, local_cache);
+
+  // Level-parallel propagation: nodes of one level depend only on strictly
+  // lower levels, so they evaluate concurrently and each writes its own
+  // slot — bit-identical results at any thread count.
+  static obs::LatencyHistogram& stage_hist =
+      obs::registry().histogram("stage.moment.propagate");
+  const obs::StageTimer timer(stage_hist);
+  util::ThreadPool local_pool(options.shared_pool != nullptr ? 1 : options.threads);
+  util::ThreadPool& pool =
+      options.shared_pool != nullptr ? *options.shared_pool : local_pool;
+  for (std::size_t level = 0; level < plan.level_count(); ++level) {
+    const std::span<const NodeId> group = plan.level_nodes(level);
+    pool.for_each_index(group.size(), [&](std::size_t k) {
+      const NodeId id = group[k];
+      if (!plan.combinational(id)) return;
+      result.node[id] = propagate_node_top_impl(
+          plan.type(id), plan.fanins(id), id, result.node, plan.delays(), cache);
+    });
+  }
+  return result;
 }
 
 SpstaResult run_spsta_moment(const netlist::Netlist& design,
@@ -128,45 +174,7 @@ SpstaResult run_spsta_moment(const netlist::Netlist& design,
                              const netlist::DelayModel& delays,
                              std::span<const netlist::SourceStats> source_stats,
                              const SpstaOptions& options) {
-  const std::vector<NodeId> sources = design.timing_sources();
-  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
-    throw std::invalid_argument("run_spsta_moment: source stats count mismatch");
-  }
-
-  SpstaResult result;
-  result.node.assign(design.node_count(), NodeTop{});
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    const netlist::SourceStats& st =
-        source_stats.size() == 1 ? source_stats[0] : source_stats[i];
-    NodeTop& top = result.node[sources[i]];
-    top.probs = st.probs.normalized();
-    top.rise = {top.probs.pr, st.rise_arrival};
-    top.fall = {top.probs.pf, st.fall_arrival};
-  }
-
-  PatternCache local_cache(options.pattern_quantum);
-  PatternCache* const cache =
-      options.shared_pattern_cache != nullptr
-          ? options.shared_pattern_cache
-          : (options.use_pattern_cache ? &local_cache : nullptr);
-
-  // Level-parallel propagation: nodes of one level depend only on strictly
-  // lower levels, so they evaluate concurrently and each writes its own
-  // slot — bit-identical results at any thread count.
-  const netlist::Levelization lv = netlist::levelize(design);
-  static obs::LatencyHistogram& stage_hist =
-      obs::registry().histogram("stage.moment.propagate");
-  const obs::StageTimer timer(stage_hist);
-  util::ThreadPool pool(options.threads);
-  for (const std::vector<NodeId>& group : netlist::level_groups(lv)) {
-    pool.for_each_index(group.size(), [&](std::size_t k) {
-      const NodeId id = group[k];
-      if (!netlist::is_combinational(design.node(id).type)) return;
-      result.node[id] =
-          propagate_node_top_impl(design, id, result.node, delays, cache);
-    });
-  }
-  return result;
+  return run_spsta_moment(CompiledDesign(design, delays), source_stats, options);
 }
 
 }  // namespace spsta::core

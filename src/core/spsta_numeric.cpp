@@ -1,12 +1,7 @@
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
+#include "core/compiled_design.hpp"
 #include "core/pattern_cache.hpp"
 #include "core/patterns.hpp"
 #include "core/spsta.hpp"
-#include "netlist/graph.hpp"
-#include "netlist/levelize.hpp"
 #include "obs/metrics.hpp"
 #include "sigprob/four_value_prop.hpp"
 #include "util/thread_pool.hpp"
@@ -15,70 +10,15 @@ namespace spsta::core {
 
 using netlist::FourValueProbs;
 using netlist::NodeId;
-using stats::GridSpec;
 using stats::PiecewiseDensity;
 
 namespace {
-
-/// Chooses one engine grid spanning every arrival the analysis can
-/// produce: [earliest source arrival - pad, critical-path delay + latest
-/// source arrival + pad].
-GridSpec choose_grid(const netlist::Netlist& design, const netlist::DelayModel& delays,
-                     std::span<const netlist::SourceStats> source_stats,
-                     const SpstaOptions& options) {
-  double lo = 0.0, hi = 0.0, max_sd = 1.0;
-  bool first = true;
-  const std::size_t count = source_stats.size();
-  for (std::size_t i = 0; i < count; ++i) {
-    const netlist::SourceStats& st = source_stats[i];
-    for (const stats::Gaussian& g : {st.rise_arrival, st.fall_arrival}) {
-      const double sd = g.stddev();
-      max_sd = std::max(max_sd, sd);
-      const double a = g.mean - options.grid_pad_sigma * sd;
-      const double b = g.mean + options.grid_pad_sigma * sd;
-      if (first) {
-        lo = a;
-        hi = b;
-        first = false;
-      } else {
-        lo = std::min(lo, a);
-        hi = std::max(hi, b);
-      }
-    }
-  }
-  // Structural worst-case delay (mean) plus margin for delay variation.
-  double structural = 0.0;
-  double delay_sd = 0.0;
-  const std::vector<double> means = delays.means();
-  for (const netlist::Path& p : netlist::critical_paths(design, means, 1)) {
-    structural = std::max(structural, p.delay);
-  }
-  for (NodeId id = 0; id < design.node_count(); ++id) {
-    delay_sd = std::max(delay_sd, delays.delay(id).stddev());
-  }
-  const netlist::Levelization lv = netlist::levelize(design);
-  hi += structural + options.grid_pad_sigma * delay_sd * std::sqrt(double(lv.depth) + 1.0);
-
-  double dt = options.grid_dt > 0.0 ? options.grid_dt : 0.05;
-  // Degenerate span (a single deterministic arrival and zero structural
-  // delay): widen by one step so dt never collapses to 0.
-  if (!(hi > lo)) hi = lo + dt;
-  std::size_t n = static_cast<std::size_t>(std::ceil((hi - lo) / dt)) + 1;
-  // Clamp the cap to >= 2 so the dt recomputation never divides by n-1==0.
-  const std::size_t cap = std::max<std::size_t>(options.max_grid_points, 2);
-  if (n > cap) {
-    n = cap;
-    dt = (hi - lo) / static_cast<double>(n - 1);
-  }
-  // Floor of 8 points for a usable density, unless the cap is tighter.
-  return {lo, dt, std::max(n, std::min<std::size_t>(cap, 8))};
-}
 
 /// Folds the switching inputs' normalized arrival densities with exact
 /// independent MAX/MIN (CDF products).
 PiecewiseDensity fold_arrivals(const SwitchPattern& p,
                                const std::vector<NodeTopDensity>& node,
-                               const std::vector<NodeId>& fanins) {
+                               std::span<const NodeId> fanins) {
   PiecewiseDensity acc;
   bool first = true;
   for (std::size_t i = 0; i < fanins.size(); ++i) {
@@ -97,25 +37,32 @@ PiecewiseDensity fold_arrivals(const SwitchPattern& p,
   return acc;
 }
 
+/// Same selection policy as the moment engine (see spsta_moment.cpp):
+/// explicit shared cache > plan cache at exact keys > quantized local.
+PatternCache* select_cache(const CompiledDesign& plan, const SpstaOptions& options,
+                           PatternCache& local) {
+  if (options.shared_pattern_cache != nullptr) return options.shared_pattern_cache;
+  if (!options.use_pattern_cache) return nullptr;
+  if (options.pattern_quantum == PatternCache::kExactKeys) return &plan.pattern_cache();
+  return &local;
+}
+
 }  // namespace
 
-SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
-                                     const netlist::DelayModel& delays,
+SpstaNumericResult run_spsta_numeric(const CompiledDesign& plan,
                                      std::span<const netlist::SourceStats> source_stats,
                                      const SpstaOptions& options) {
-  const std::vector<NodeId> sources = design.timing_sources();
-  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
-    throw std::invalid_argument("run_spsta_numeric: source stats count mismatch");
-  }
+  plan.check_source_stats(source_stats, "run_spsta_numeric");
+  const std::span<const NodeId> sources = plan.timing_sources();
 
   SpstaNumericResult result;
   {
     static obs::LatencyHistogram& grid_hist =
         obs::registry().histogram("stage.numeric.grid");
     const obs::StageTimer timer(grid_hist);
-    result.grid = choose_grid(design, delays, source_stats, options);
+    result.grid = plan.grid_for(source_stats, options);
   }
-  result.node.assign(design.node_count(), NodeTopDensity{});
+  result.node.assign(plan.node_count(), NodeTopDensity{});
   for (auto& n : result.node) {
     n.rise = PiecewiseDensity::zero(result.grid);
     n.fall = PiecewiseDensity::zero(result.grid);
@@ -131,32 +78,30 @@ SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
   }
 
   PatternCache local_cache(options.pattern_quantum);
-  PatternCache* const cache =
-      options.shared_pattern_cache != nullptr
-          ? options.shared_pattern_cache
-          : (options.use_pattern_cache ? &local_cache : nullptr);
+  PatternCache* const cache = select_cache(plan, options, local_cache);
 
   // Gate evaluation is level-parallel: a node's fanins live in strictly
   // lower levels, so every node of one level reads finished state and
   // writes only its own slot — results are identical at any thread count.
   const auto eval_node = [&](NodeId id) {
-    const netlist::Node& node = design.node(id);
-    if (!netlist::is_combinational(node.type)) return;
+    if (!plan.combinational(id)) return;
+    const std::span<const NodeId> fanins = plan.fanins(id);
+    const netlist::GateType type = plan.type(id);
 
     NodeTopDensity& top = result.node[id];
     std::vector<FourValueProbs> fanin_probs;
-    fanin_probs.reserve(node.fanins.size());
-    for (NodeId f : node.fanins) fanin_probs.push_back(result.node[f].probs);
-    top.probs = sigprob::gate_four_value(node.type, fanin_probs);
+    fanin_probs.reserve(fanins.size());
+    for (NodeId f : fanins) fanin_probs.push_back(result.node[f].probs);
+    top.probs = sigprob::gate_four_value(type, fanin_probs);
 
-    if (node.fanins.empty()) return;  // constants: zero densities stay
+    if (fanins.empty()) return;  // constants: zero densities stay
 
     PatternCache::Patterns cached;
     std::vector<SwitchPattern> owned;
     if (cache != nullptr) {
-      cached = cache->get(node.type, fanin_probs);
+      cached = cache->get(type, fanin_probs);
     } else {
-      owned = enumerate_switch_patterns(node.type, fanin_probs);
+      owned = enumerate_switch_patterns(type, fanin_probs);
     }
     const std::span<const SwitchPattern> patterns =
         cache != nullptr ? std::span<const SwitchPattern>(*cached)
@@ -164,26 +109,37 @@ SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
     PiecewiseDensity rise_acc = PiecewiseDensity::zero(result.grid);
     PiecewiseDensity fall_acc = PiecewiseDensity::zero(result.grid);
     for (const SwitchPattern& p : patterns) {
-      const PiecewiseDensity arrival = fold_arrivals(p, result.node, node.fanins);
+      const PiecewiseDensity arrival = fold_arrivals(p, result.node, fanins);
       if (arrival.empty()) continue;
       (p.output_rising ? rise_acc : fall_acc).add_scaled(arrival, p.weight);
     }
-    top.rise = PiecewiseDensity::convolve_gaussian(rise_acc, delays.delay(id, true))
-                   .resampled(result.grid);
-    top.fall = PiecewiseDensity::convolve_gaussian(fall_acc, delays.delay(id, false))
-                   .resampled(result.grid);
+    top.rise =
+        PiecewiseDensity::convolve_gaussian(rise_acc, plan.delays().delay(id, true))
+            .resampled(result.grid);
+    top.fall =
+        PiecewiseDensity::convolve_gaussian(fall_acc, plan.delays().delay(id, false))
+            .resampled(result.grid);
   };
 
-  const netlist::Levelization lv = netlist::levelize(design);
   static obs::LatencyHistogram& stage_hist =
       obs::registry().histogram("stage.numeric.propagate");
   const obs::StageTimer timer(stage_hist);
-  util::ThreadPool pool(options.threads);
-  for (const std::vector<NodeId>& group : netlist::level_groups(lv)) {
+  util::ThreadPool local_pool(options.shared_pool != nullptr ? 1 : options.threads);
+  util::ThreadPool& pool =
+      options.shared_pool != nullptr ? *options.shared_pool : local_pool;
+  for (std::size_t level = 0; level < plan.level_count(); ++level) {
+    const std::span<const NodeId> group = plan.level_nodes(level);
     pool.for_each_index(group.size(),
                         [&](std::size_t k) { eval_node(group[k]); });
   }
   return result;
+}
+
+SpstaNumericResult run_spsta_numeric(const netlist::Netlist& design,
+                                     const netlist::DelayModel& delays,
+                                     std::span<const netlist::SourceStats> source_stats,
+                                     const SpstaOptions& options) {
+  return run_spsta_numeric(CompiledDesign(design, delays), source_stats, options);
 }
 
 }  // namespace spsta::core

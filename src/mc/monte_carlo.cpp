@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <stdexcept>
 
+#include "core/compiled_design.hpp"
 #include "obs/metrics.hpp"
 #include "stats/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -68,17 +68,16 @@ struct ChunkAccum {
 
 }  // namespace
 
-MonteCarloResult run_monte_carlo(const netlist::Netlist& design,
-                                 const netlist::DelayModel& delays,
+MonteCarloResult run_monte_carlo(const core::CompiledDesign& plan,
                                  std::span<const netlist::SourceStats> source_stats,
                                  const MonteCarloConfig& config) {
-  const std::vector<NodeId> sources = design.timing_sources();
-  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
-    throw std::invalid_argument("run_monte_carlo: source stats count mismatch");
-  }
-  const netlist::Levelization levels = netlist::levelize(design);
-  const std::vector<NodeId> endpoints = design.timing_endpoints();
-  const std::size_t node_count = design.node_count();
+  plan.check_source_stats(source_stats, "run_monte_carlo");
+  const netlist::Netlist& design = plan.design();
+  const netlist::DelayModel& delays = plan.delays();
+  const std::span<const NodeId> sources = plan.timing_sources();
+  const netlist::Levelization& levels = plan.levelization();
+  const std::span<const NodeId> endpoints = plan.timing_endpoints();
+  const std::size_t node_count = plan.node_count();
 
   MonteCarloResult result;
   result.node.resize(node_count);
@@ -212,7 +211,9 @@ MonteCarloResult run_monte_carlo(const netlist::Netlist& design,
     static obs::LatencyHistogram& shard_hist =
         obs::registry().histogram("stage.mc.shards");
     const obs::StageTimer timer(shard_hist);
-    util::ThreadPool pool(config.threads);
+    util::ThreadPool local_pool(config.shared_pool != nullptr ? 1 : config.threads);
+    util::ThreadPool& pool =
+        config.shared_pool != nullptr ? *config.shared_pool : local_pool;
     pool.for_each_index(num_chunks, run_chunk);
   }
 
@@ -244,6 +245,13 @@ MonteCarloResult run_monte_carlo(const netlist::Netlist& design,
   }
   std::sort(result.circuit_max_samples.begin(), result.circuit_max_samples.end());
   return result;
+}
+
+MonteCarloResult run_monte_carlo(const netlist::Netlist& design,
+                                 const netlist::DelayModel& delays,
+                                 std::span<const netlist::SourceStats> source_stats,
+                                 const MonteCarloConfig& config) {
+  return run_monte_carlo(core::CompiledDesign(design, delays), source_stats, config);
 }
 
 }  // namespace spsta::mc

@@ -18,6 +18,13 @@
 #include "stats/histogram.hpp"
 #include "stats/welford.hpp"
 
+namespace spsta::core {
+class CompiledDesign;
+}
+namespace spsta::util {
+class ThreadPool;
+}
+
 namespace spsta::mc {
 
 /// Monte Carlo configuration.
@@ -37,6 +44,10 @@ struct MonteCarloConfig {
   /// Track the per-run maximum arrival over all timing endpoints (either
   /// direction) — the circuit-level delay sample behind timing yield.
   bool track_circuit_max = false;
+  /// Optional long-lived pool (e.g. the Analyzer's); when set it overrides
+  /// `threads` for dispatch and the run spawns no threads of its own. The
+  /// pool must be idle (ThreadPool runs one job at a time).
+  util::ThreadPool* shared_pool = nullptr;
 };
 
 /// Accumulated per-node estimates.
@@ -85,11 +96,19 @@ struct MonteCarloResult {
   [[nodiscard]] double empirical_yield(double period) const;
 };
 
+/// Monte Carlo over a precompiled plan (implementation-level; application
+/// code goes through the Analyzer facade in spsta_api.hpp): reuses the
+/// plan's levelization and source/endpoint lists. Sampling depends only on
+/// (seed, run index), so results are bit-identical to the legacy overload.
+[[nodiscard]] MonteCarloResult run_monte_carlo(
+    const core::CompiledDesign& plan,
+    std::span<const netlist::SourceStats> source_stats, const MonteCarloConfig& config);
+
 /// Runs the Monte Carlo experiment: per run, each timing source draws a
 /// four-value from its probabilities and (for r/f) an arrival time from
 /// its rise/fall distribution; per-gate delays with nonzero variance are
 /// re-sampled each run. \p source_stats follows design.timing_sources()
-/// order (single element broadcasts).
+/// order (single element broadcasts). Thin compile-then-run wrapper.
 [[nodiscard]] MonteCarloResult run_monte_carlo(
     const netlist::Netlist& design, const netlist::DelayModel& delays,
     std::span<const netlist::SourceStats> source_stats, const MonteCarloConfig& config);

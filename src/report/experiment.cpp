@@ -1,7 +1,7 @@
 #include "report/experiment.hpp"
 
-#include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "netlist/delay_model.hpp"
 #include "sigprob/four_value_prop.hpp"
@@ -11,10 +11,6 @@ namespace spsta::report {
 using netlist::NodeId;
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
 
 // The most critical endpoint by SSTA mean arrival, restricted to
 // endpoints the input statistics actually exercise (SPSTA transition
@@ -47,26 +43,34 @@ NodeId critical_endpoint(const netlist::Netlist& design, const ssta::SstaResult&
 
 }  // namespace
 
-CircuitExperiment run_paper_experiment(const netlist::Netlist& design,
+CircuitExperiment run_paper_experiment(Analyzer& analyzer,
                                        const ExperimentConfig& config) {
   CircuitExperiment out;
-  const netlist::DelayModel delays = netlist::DelayModel::unit(design);
-  const std::vector<netlist::SourceStats> stats_vec{config.scenario};
+  const netlist::Netlist& design = analyzer.design();
 
-  auto t0 = std::chrono::steady_clock::now();
-  out.spsta = core::run_spsta_moment(design, delays, stats_vec);
-  out.runtime.spsta_seconds = seconds_since(t0);
-
-  t0 = std::chrono::steady_clock::now();
-  out.ssta = ssta::run_ssta(design, delays, stats_vec);
-  out.runtime.ssta_seconds = seconds_since(t0);
-
-  mc::MonteCarloConfig mc_config;
-  mc_config.runs = config.mc_runs;
-  mc_config.seed = config.mc_seed;
-  t0 = std::chrono::steady_clock::now();
-  out.mc = mc::run_monte_carlo(design, delays, stats_vec, mc_config);
-  out.runtime.mc_seconds = seconds_since(t0);
+  {
+    AnalysisRequest request;
+    request.engine = Engine::SpstaMoment;
+    AnalysisReport report = analyzer.run(request);
+    out.runtime.spsta_seconds = report.elapsed_seconds;
+    out.spsta = std::get<core::SpstaResult>(std::move(report.result));
+  }
+  {
+    AnalysisRequest request;
+    request.engine = Engine::Ssta;
+    AnalysisReport report = analyzer.run(request);
+    out.runtime.ssta_seconds = report.elapsed_seconds;
+    out.ssta = std::get<ssta::SstaResult>(std::move(report.result));
+  }
+  {
+    AnalysisRequest request;
+    request.engine = Engine::Mc;
+    request.runs = config.mc_runs;
+    request.seed = config.mc_seed;
+    AnalysisReport report = analyzer.run(request);
+    out.runtime.mc_seconds = report.elapsed_seconds;
+    out.mc = std::get<mc::MonteCarloResult>(std::move(report.result));
+  }
 
   out.runtime.circuit = design.name();
 
@@ -108,6 +112,12 @@ CircuitExperiment run_paper_experiment(const netlist::Netlist& design,
   }
   out.signal_prob_error = count > 0 ? err / static_cast<double>(count) : 0.0;
   return out;
+}
+
+CircuitExperiment run_paper_experiment(const netlist::Netlist& design,
+                                       const ExperimentConfig& config) {
+  Analyzer analyzer(design, netlist::DelayModel::unit(design), {config.scenario});
+  return run_paper_experiment(analyzer, config);
 }
 
 ErrorSummary summarize_errors(std::span<const DirectionRow> rows, double floor) {

@@ -18,6 +18,7 @@
 #include "mc/monte_carlo.hpp"
 #include "netlist/four_value.hpp"
 #include "netlist/netlist.hpp"
+#include "spsta_api.hpp"
 #include "ssta/ssta.hpp"
 
 namespace spsta::report {
@@ -62,13 +63,22 @@ struct CircuitExperiment {
   mc::MonteCarloResult mc;
 };
 
-/// Runs the full pipeline on \p design with unit gate delays. The
-/// critical endpoint of each direction is the timing endpoint with the
+/// Runs the full pipeline through an existing `Analyzer`: every engine
+/// dispatches via the unified API and reuses the analyzer's compiled plan,
+/// so repeated experiments against one analyzer pay levelization and
+/// pattern precomputation once. The analyzer's own delay model and source
+/// statistics govern; only `config.mc_runs` / `config.mc_seed` are read.
+/// The critical endpoint of each direction is the timing endpoint with the
 /// largest SSTA mean arrival in that direction among endpoints the input
 /// statistics actually exercise (SPSTA transition probability >= 0.5%);
 /// never-transitioning endpoints are false paths with no MC statistics —
 /// the exclusion the paper's Fig. 1 caption calls for. Falls back to the
 /// unrestricted maximum when no endpoint clears the floor.
+[[nodiscard]] CircuitExperiment run_paper_experiment(Analyzer& analyzer,
+                                                     const ExperimentConfig& config);
+
+/// Same pipeline on \p design with unit gate delays and `config.scenario`
+/// on every timing source: compiles a throwaway Analyzer and delegates.
 [[nodiscard]] CircuitExperiment run_paper_experiment(const netlist::Netlist& design,
                                                      const ExperimentConfig& config);
 

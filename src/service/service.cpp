@@ -35,12 +35,8 @@ double now_seconds() {
       .count();
 }
 
-Engine parse_engine(std::string_view name) {
-  if (name == "spsta_moment") return Engine::SpstaMoment;
-  if (name == "spsta_numeric") return Engine::SpstaNumeric;
-  if (name == "canonical") return Engine::Canonical;
-  if (name == "ssta") return Engine::Ssta;
-  if (name == "mc") return Engine::Mc;
+Engine require_engine(std::string_view name) {
+  if (const std::optional<Engine> engine = spsta::parse_engine(name)) return *engine;
   fail(ErrorCode::UnknownEngine,
        "unknown engine '" + std::string(name) +
            "' (expected spsta_moment|spsta_numeric|canonical|ssta|mc)");
@@ -67,16 +63,31 @@ AnalyzeParams parse_params(const Json& body) {
   if (!params->is_object()) {
     fail(ErrorCode::BadParams, "'params' must be an object");
   }
-  p.threads = static_cast<unsigned>(number_field(*params, "threads", 1, 0, 1024));
-  p.grid_dt = number_field(*params, "grid_dt", p.grid_dt, 1e-6, 1e6);
-  p.grid_pad_sigma = number_field(*params, "grid_pad_sigma", p.grid_pad_sigma, 0, 64);
-  p.max_grid_points = static_cast<std::size_t>(
-      number_field(*params, "max_grid_points", static_cast<double>(p.max_grid_points),
-                   2, 1 << 22));
-  p.runs = static_cast<std::uint64_t>(
-      number_field(*params, "runs", static_cast<double>(p.runs), 1, 1e9));
-  p.seed = static_cast<std::uint64_t>(
-      number_field(*params, "seed", static_cast<double>(p.seed), 0, 9.007199254740992e15));
+  // Only client-supplied fields are set on the request: unset optionals
+  // take the engine defaults, and a supplied field the engine cannot honor
+  // is rejected by Analyzer::validate in ensure_analysis.
+  if (params->find("threads") != nullptr) {
+    p.request.threads =
+        static_cast<unsigned>(number_field(*params, "threads", 1, 0, 1024));
+  }
+  if (params->find("grid_dt") != nullptr) {
+    p.request.grid_dt = number_field(*params, "grid_dt", 0.05, 1e-6, 1e6);
+  }
+  if (params->find("grid_pad_sigma") != nullptr) {
+    p.request.grid_pad_sigma = number_field(*params, "grid_pad_sigma", 8.0, 0, 64);
+  }
+  if (params->find("max_grid_points") != nullptr) {
+    p.request.max_grid_points = static_cast<std::size_t>(
+        number_field(*params, "max_grid_points", 4096, 2, 1 << 22));
+  }
+  if (params->find("runs") != nullptr) {
+    p.request.runs =
+        static_cast<std::uint64_t>(number_field(*params, "runs", 10000, 1, 1e9));
+  }
+  if (params->find("seed") != nullptr) {
+    p.request.seed = static_cast<std::uint64_t>(
+        number_field(*params, "seed", 1, 0, 9.007199254740992e15));
+  }
   for (const Json::Member& m : params->as_object()) {
     if (m.first != "threads" && m.first != "grid_dt" && m.first != "grid_pad_sigma" &&
         m.first != "max_grid_points" && m.first != "runs" && m.first != "seed") {
@@ -90,13 +101,13 @@ Engine engine_of(const Json& body, Engine fallback = Engine::SpstaMoment) {
   const Json* engine = body.find("engine");
   if (engine == nullptr) return fallback;
   if (!engine->is_string()) fail(ErrorCode::BadParams, "'engine' must be a string");
-  return parse_engine(engine->as_string());
+  return require_engine(engine->as_string());
 }
 
 /// Resolves a "node" field (name string or integer id) against the design.
 NodeId resolve_node(const Session& session, const Json& value) {
   if (value.is_string()) {
-    const NodeId id = session.design.find(value.as_string());
+    const NodeId id = session.design().find(value.as_string());
     if (id == netlist::kInvalidNode) {
       fail(ErrorCode::UnknownNode, "no node named '" + value.as_string() + "'");
     }
@@ -105,10 +116,10 @@ NodeId resolve_node(const Session& session, const Json& value) {
   if (value.is_number()) {
     const double x = value.as_number();
     if (x < 0 || x != std::floor(x) ||
-        x >= static_cast<double>(session.design.node_count())) {
+        x >= static_cast<double>(session.design().node_count())) {
       fail(ErrorCode::UnknownNode,
            "node id " + json_number(x) + " out of range [0, " +
-               std::to_string(session.design.node_count()) + ")");
+               std::to_string(session.design().node_count()) + ")");
     }
     return static_cast<NodeId>(x);
   }
@@ -178,10 +189,10 @@ Json endpoints_json(const Session& session, const CachedAnalysis& analysis) {
   Json endpoints = Json::array();
   double worst_mean = -1e300;
   Json worst;
-  for (const NodeId ep : session.design.timing_endpoints()) {
+  for (const NodeId ep : session.design().timing_endpoints()) {
     Json row = node_stats_json(analysis, ep);
     row.set("node", Json(static_cast<std::uint64_t>(ep)));
-    row.set("name", Json(session.design.node(ep).name));
+    row.set("name", Json(session.design().node(ep).name));
     for (const bool rising : {true, false}) {
       const Json* dir = row.find(rising ? "rise" : "fall");
       if (dir == nullptr) continue;
@@ -191,7 +202,7 @@ Json endpoints_json(const Session& session, const CachedAnalysis& analysis) {
         worst_mean = mean;
         worst = Json::object();
         worst.set("node", Json(static_cast<std::uint64_t>(ep)));
-        worst.set("name", Json(session.design.node(ep).name));
+        worst.set("name", Json(session.design().node(ep).name));
         worst.set("direction", Json(rising ? "rise" : "fall"));
         worst.set("p", Json(p));
         worst.set("mean", Json(mean));
@@ -255,27 +266,26 @@ Json metrics_json() {
   return j;
 }
 
-std::string_view to_string(Engine engine) noexcept {
-  switch (engine) {
-    case Engine::SpstaMoment: return "spsta_moment";
-    case Engine::SpstaNumeric: return "spsta_numeric";
-    case Engine::Canonical: return "canonical";
-    case Engine::Ssta: return "ssta";
-    case Engine::Mc: return "mc";
-  }
-  return "spsta_moment";
-}
-
 std::string AnalyzeParams::cache_key(Engine engine) const {
+  // Normalized values (supplied-or-default), so an explicit default and an
+  // omitted field share the cache entry.
   std::string key{to_string(engine)};
   switch (engine) {
-    case Engine::SpstaNumeric:
-      key += "|dt=" + json_number(grid_dt) + "|pad=" + json_number(grid_pad_sigma) +
-             "|maxpts=" + std::to_string(max_grid_points);
+    case Engine::SpstaNumeric: {
+      const core::SpstaOptions defaults;
+      key += "|dt=" + json_number(request.grid_dt.value_or(defaults.grid_dt)) +
+             "|pad=" +
+             json_number(request.grid_pad_sigma.value_or(defaults.grid_pad_sigma)) +
+             "|maxpts=" +
+             std::to_string(request.max_grid_points.value_or(defaults.max_grid_points));
       break;
-    case Engine::Mc:
-      key += "|runs=" + std::to_string(runs) + "|seed=" + std::to_string(seed);
+    }
+    case Engine::Mc: {
+      const mc::MonteCarloConfig defaults;
+      key += "|runs=" + std::to_string(request.runs.value_or(defaults.runs)) +
+             "|seed=" + std::to_string(request.seed.value_or(defaults.seed));
       break;
+    }
     case Engine::SpstaMoment:
     case Engine::Canonical:
     case Engine::Ssta:
@@ -412,23 +422,34 @@ Response AnalysisService::handle_load(const Request& request) {
     }
   }
 
-  const auto [session, fresh] = store_.load(hash, std::move(design));
+  const auto [session, fresh] = store_.load(hash, std::move(design), &pattern_cache_);
   Json result = Json::object();
   result.set("session", Json(session->key));
   result.set("name", Json(session->display_name));
   result.set("reloaded", Json(!fresh));
-  result.set("nodes", Json(session->design.node_count()));
-  result.set("gates", Json(session->design.gate_count()));
-  result.set("inputs", Json(session->design.primary_inputs().size()));
-  result.set("outputs", Json(session->design.primary_outputs().size()));
-  result.set("dffs", Json(session->design.dffs().size()));
-  result.set("sources", Json(session->design.timing_sources().size()));
-  result.set("endpoints", Json(session->design.timing_endpoints().size()));
+  result.set("nodes", Json(session->design().node_count()));
+  result.set("gates", Json(session->design().gate_count()));
+  result.set("inputs", Json(session->design().primary_inputs().size()));
+  result.set("outputs", Json(session->design().primary_outputs().size()));
+  result.set("dffs", Json(session->design().dffs().size()));
+  result.set("sources", Json(session->design().timing_sources().size()));
+  result.set("endpoints", Json(session->design().timing_endpoints().size()));
   return Response::success(request.id, std::move(result));
 }
 
 std::pair<const CachedAnalysis*, bool> AnalysisService::ensure_analysis(
     Session& session, Engine engine, const AnalyzeParams& params) {
+  AnalysisRequest request = params.request;
+  request.engine = engine;
+  // Reject engine/option mismatches (e.g. grid_dt with the moment engine)
+  // before touching counters or the cache: a request the engine cannot
+  // honor must not cost an analysis.
+  try {
+    Analyzer::validate(request);
+  } catch (const std::invalid_argument& e) {
+    fail(ErrorCode::BadParams, e.what());
+  }
+
   const std::string key = params.cache_key(engine);
   ++session.analyses;
   if (const auto it = session.cache.find(key); it != session.cache.end()) {
@@ -439,51 +460,20 @@ std::pair<const CachedAnalysis*, bool> AnalysisService::ensure_analysis(
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
 
-  core::SpstaOptions options;
-  options.threads = params.threads;
-  options.grid_dt = params.grid_dt;
-  options.grid_pad_sigma = params.grid_pad_sigma;
-  options.max_grid_points = params.max_grid_points;
-  options.shared_pattern_cache = &pattern_cache_;
-
   CachedAnalysis entry;
-  const double t0 = now_seconds();
-  switch (engine) {
-    case Engine::SpstaMoment: {
-      if (session.incremental) {
-        // Warm path: the incremental engine's settled state is
-        // bit-identical to a fresh full run (settle_eps == 0).
-        core::SpstaResult result;
-        result.node = session.incremental->flush();
-        entry.result = std::move(result);
-      } else {
-        entry.result = core::run_spsta_moment(session.design, session.delays,
-                                              session.sources, options);
-      }
-      break;
-    }
-    case Engine::SpstaNumeric:
-      entry.result = core::run_spsta_numeric(session.design, session.delays,
-                                             session.sources, options);
-      break;
-    case Engine::Canonical:
-      entry.result = core::run_spsta_canonical(session.design, session.delays,
-                                               session.sources);
-      break;
-    case Engine::Ssta:
-      entry.result = ssta::run_ssta(session.design, session.delays, session.sources);
-      break;
-    case Engine::Mc: {
-      mc::MonteCarloConfig config;
-      config.runs = params.runs;
-      config.seed = params.seed;
-      config.threads = params.threads;
-      entry.result = mc::run_monte_carlo(session.design, session.delays,
-                                         session.sources, config);
-      break;
-    }
+  if (engine == Engine::SpstaMoment && session.incremental) {
+    // Warm path: the incremental engine's settled state is bit-identical
+    // to a fresh full run (settle_eps == 0).
+    const double t0 = now_seconds();
+    core::SpstaResult result;
+    result.node = session.incremental->flush();
+    entry.result = std::move(result);
+    entry.elapsed_seconds = now_seconds() - t0;
+  } else {
+    AnalysisReport report = session.analyzer->run(request);
+    entry.result = std::move(report.result);
+    entry.elapsed_seconds = report.elapsed_seconds;
   }
-  entry.elapsed_seconds = now_seconds() - t0;
   record_engine_run(engine, entry.elapsed_seconds);
   const auto [it, inserted] = session.cache.emplace(key, std::move(entry));
   (void)inserted;
@@ -535,9 +525,9 @@ Response AnalysisService::handle_query(const Request& request) {
     const NodeId id = query_node;
     Json stats = node_stats_json(*analysis, id);
     stats.set("node", Json(static_cast<std::uint64_t>(id)));
-    stats.set("name", Json(session.design.node(id).name));
+    stats.set("name", Json(session.design().node(id).name));
     stats.set("type",
-              Json(std::string(netlist::to_string(session.design.node(id).type))));
+              Json(std::string(netlist::to_string(session.design().node(id).type))));
     result.set("stats", std::move(stats));
     return Response::success(request.id, std::move(result));
   }
@@ -545,27 +535,27 @@ Response AnalysisService::handle_query(const Request& request) {
   // Path query: structural critical path (mean delays), each point
   // annotated with the engine's arrival statistics.
   NodeId endpoint = netlist::kInvalidNode;
-  const std::vector<double> means = session.delays.means();
+  const std::vector<double> means = session.delays().means();
   if (path->is_string() || path->is_number()) {
     endpoint = resolve_node(session, *path);
   } else if (path->is_bool() && path->as_bool()) {
-    const auto worst = netlist::critical_paths(session.design, means, 1);
+    const auto worst = netlist::critical_paths(session.design(), means, 1);
     if (worst.empty()) fail(ErrorCode::BadParams, "design has no timing endpoints");
     endpoint = worst.front().nodes.back();
   } else {
     fail(ErrorCode::BadParams, "'path' must be true or an endpoint node");
   }
   const netlist::Path critical =
-      netlist::critical_path_to(session.design, endpoint, means);
+      netlist::critical_path_to(session.design(), endpoint, means);
   Json points = Json::array();
   for (const NodeId id : critical.nodes) {
     Json point = node_stats_json(*analysis, id);
     point.set("node", Json(static_cast<std::uint64_t>(id)));
-    point.set("name", Json(session.design.node(id).name));
+    point.set("name", Json(session.design().node(id).name));
     points.push_back(std::move(point));
   }
   Json path_json = Json::object();
-  path_json.set("endpoint", Json(session.design.node(endpoint).name));
+  path_json.set("endpoint", Json(session.design().node(endpoint).name));
   path_json.set("delay", Json(critical.delay));
   path_json.set("points", std::move(points));
   result.set("path", std::move(path_json));
@@ -586,7 +576,7 @@ Response AnalysisService::handle_set_delay(const Request& request) {
 
   Json result = Json::object();
   result.set("node", Json(static_cast<std::uint64_t>(id)));
-  result.set("name", Json(session.design.node(id).name));
+  result.set("name", Json(session.design().node(id).name));
   result.set("eco_version", Json(session.eco_version));
   result.set("nodes_reevaluated",
              Json(session.incremental ? session.incremental->nodes_reevaluated() : 0));
@@ -604,13 +594,13 @@ Response AnalysisService::handle_set_source(const Request& request) {
 
   const std::lock_guard<std::mutex> lock(session.mutex);
   const std::size_t index = static_cast<std::size_t>(source->as_number());
-  if (index >= session.sources.size()) {
+  if (index >= session.sources().size()) {
     fail(ErrorCode::BadParams,
          "source index " + std::to_string(index) + " out of range [0, " +
-             std::to_string(session.sources.size()) + ")");
+             std::to_string(session.sources().size()) + ")");
   }
 
-  netlist::SourceStats stats = session.sources[index];
+  netlist::SourceStats stats = session.sources()[index];
   if (const Json* probs = request.body.find("probs")) {
     if (!probs->is_array() || probs->as_array().size() != 4) {
       fail(ErrorCode::BadParams, "'probs' must be [p0, p1, pr, pf]");
@@ -688,8 +678,8 @@ Response AnalysisService::handle_stats(const Request& request) {
     const std::lock_guard<std::mutex> lock(session.mutex);
     Json s = Json::object();
     s.set("name", Json(session.display_name));
-    s.set("nodes", Json(session.design.node_count()));
-    s.set("gates", Json(session.design.gate_count()));
+    s.set("nodes", Json(session.design().node_count()));
+    s.set("gates", Json(session.design().gate_count()));
     s.set("analyses", Json(session.analyses));
     s.set("cache_hits", Json(session.cache_hits));
     s.set("cache_entries", Json(session.cache.size()));

@@ -23,28 +23,27 @@
 #include "core/pattern_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
+#include "spsta_api.hpp"
 
 namespace spsta::service {
 
-/// Engines the `analyze` / `query` commands accept.
-enum class Engine { SpstaMoment, SpstaNumeric, Canonical, Ssta, Mc };
+/// Engines the `analyze` / `query` commands accept — the unified API's
+/// enum; wire names come from spsta::to_string / spsta::parse_engine.
+using Engine = spsta::Engine;
+using spsta::to_string;
 
 /// JSON rendering of the process-wide obs registry (counters, gauges,
 /// per-stage latency histograms). Shared by the `stats` command, the
 /// apps' `--metrics` dump and bench/table3_runtime's stage breakdown.
 [[nodiscard]] Json metrics_json();
 
-/// Wire name ("spsta_moment", "spsta_numeric", "canonical", "ssta", "mc").
-[[nodiscard]] std::string_view to_string(Engine engine) noexcept;
-
-/// Normalized analysis parameters (defaults match the one-shot binaries).
+/// Parsed analysis parameters: an AnalysisRequest whose optional fields
+/// are set only when the client supplied them, so Analyzer validation
+/// rejects options the chosen engine cannot honor instead of silently
+/// ignoring them (the engine itself fills the defaults, which match the
+/// one-shot binaries).
 struct AnalyzeParams {
-  unsigned threads = 1;           ///< engine-internal parallelism
-  double grid_dt = 0.05;          ///< numeric engine
-  double grid_pad_sigma = 8.0;    ///< numeric engine
-  std::size_t max_grid_points = 4096;
-  std::uint64_t runs = 10000;     ///< mc engine
-  std::uint64_t seed = 1;         ///< mc engine
+  AnalysisRequest request;
 
   /// Cache key for (engine, params). `threads` is deliberately excluded:
   /// the execution layer's determinism contract makes results bit-identical

@@ -1,6 +1,7 @@
 #include "service/session.hpp"
 
 #include <cstdio>
+#include <utility>
 
 namespace spsta::service {
 
@@ -19,19 +20,27 @@ std::string hash_key(std::uint64_t h) {
   return buf;
 }
 
-Session::Session(std::string key_, netlist::Netlist design_)
-    : key(std::move(key_)),
-      display_name(design_.name()),
-      design(std::move(design_)),
-      delays(netlist::DelayModel::unit(design)),
-      sources(design.timing_sources().size(), netlist::scenario_I()) {}
+Session::Session(std::string key_, netlist::Netlist design_,
+                 core::PatternCache* shared_pattern_cache)
+    : key(std::move(key_)), display_name(design_.name()) {
+  // Built in the body, not the init list: the delay model and the expanded
+  // source vector both read `design_` before it is moved into the Analyzer.
+  netlist::DelayModel delays = netlist::DelayModel::unit(design_);
+  std::vector<netlist::SourceStats> sources(design_.timing_sources().size(),
+                                            netlist::scenario_I());
+  AnalyzerOptions options;
+  options.shared_pattern_cache = shared_pattern_cache;
+  analyzer = std::make_unique<Analyzer>(std::move(design_), std::move(delays),
+                                        std::move(sources), options);
+}
 
 core::IncrementalSpsta& Session::warm_incremental() {
   if (!incremental) {
     // Exact settlement: every update sequence stays bit-identical to a
-    // fresh full moment-engine run.
-    incremental = std::make_unique<core::IncrementalSpsta>(design, delays, sources,
-                                                           /*settle_eps=*/0.0);
+    // fresh full moment-engine run. Seeded from the compiled plan so the
+    // levelization is not re-derived.
+    incremental = std::make_unique<core::IncrementalSpsta>(
+        analyzer->plan(), analyzer->sources(), /*settle_eps=*/0.0);
   }
   return *incremental;
 }
@@ -40,7 +49,7 @@ void Session::apply_set_delay(netlist::NodeId id, const stats::Gaussian& delay) 
   // Build the warm engine from the pre-edit state, so the edit itself is a
   // cone-limited update rather than a full re-analysis.
   core::IncrementalSpsta& inc = warm_incremental();
-  delays.set_delay(id, delay);
+  analyzer->set_delay(id, delay);
   inc.set_delay(id, delay);
   ++eco_version;
   ++eco_edits;
@@ -50,7 +59,7 @@ void Session::apply_set_delay(netlist::NodeId id, const stats::Gaussian& delay) 
 void Session::apply_set_source(std::size_t source_index,
                                const netlist::SourceStats& stats) {
   core::IncrementalSpsta& inc = warm_incremental();
-  sources.at(source_index) = stats;
+  analyzer->set_source(source_index, stats);
   inc.set_source_stats(source_index, stats);
   ++eco_version;
   ++eco_edits;
@@ -58,13 +67,15 @@ void Session::apply_set_source(std::size_t source_index,
 }
 
 std::pair<Session*, bool> SessionStore::load(std::uint64_t content_hash,
-                                             netlist::Netlist design) {
+                                             netlist::Netlist design,
+                                             core::PatternCache* shared_pattern_cache) {
   const std::string key = hash_key(content_hash);
   const std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = sessions_.find(key); it != sessions_.end()) {
     return {it->second.get(), false};
   }
-  auto session = std::make_unique<Session>(key, std::move(design));
+  auto session =
+      std::make_unique<Session>(key, std::move(design), shared_pattern_cache);
   Session* raw = session.get();
   sessions_.emplace(key, std::move(session));
   order_.push_back(key);

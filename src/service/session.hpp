@@ -1,11 +1,11 @@
 /// \file session.hpp
 /// The analysis service's session store: designs parsed once, addressed by
-/// a content hash, kept alive across requests together with their delay
-/// model, source statistics, warm incremental engine and per-(engine,
-/// params) analysis result cache.
+/// a content hash, kept alive across requests together with their
+/// `Analyzer` (delay model, source statistics, compiled analysis plan),
+/// warm incremental engine and per-(engine, params) analysis result cache.
 ///
 /// This is what turns the repo's one-shot binaries into a serving system:
-/// the costly work (parsing, levelization, the first full analysis) is
+/// the costly work (parsing, plan compilation, the first full analysis) is
 /// paid once per design, and every later request against the same content
 /// hash reuses it — the "efficient, incremental, suitable for
 /// optimization" property block-based SSTA is prized for, applied to the
@@ -19,16 +19,10 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <variant>
 #include <vector>
 
 #include "core/incremental_spsta.hpp"
-#include "core/spsta.hpp"
-#include "core/spsta_canonical.hpp"
-#include "mc/monte_carlo.hpp"
-#include "netlist/delay_model.hpp"
-#include "netlist/netlist.hpp"
-#include "ssta/ssta.hpp"
+#include "spsta_api.hpp"
 
 namespace spsta::service {
 
@@ -42,9 +36,7 @@ namespace spsta::service {
 
 /// One cached analysis: the full engine result plus bookkeeping.
 struct CachedAnalysis {
-  std::variant<core::SpstaResult, core::SpstaNumericResult,
-               core::SpstaCanonicalResult, ssta::SstaResult, mc::MonteCarloResult>
-      result;
+  AnalysisResult result;
   double elapsed_seconds = 0.0;  ///< wall clock of the producing run
   std::uint64_t hits = 0;        ///< times served from cache
 };
@@ -52,19 +44,22 @@ struct CachedAnalysis {
 /// A loaded design and everything the service keeps warm for it.
 ///
 /// Thread model: the session store hands out stable Session pointers;
-/// all mutable state (cache, incremental engine, counters, delays) is
-/// guarded by `mutex`. The netlist itself is immutable after load, so
-/// concurrent engine runs over it are safe.
+/// all mutable state (cache, incremental engine, counters, the analyzer's
+/// delays/sources) is guarded by `mutex`. The netlist itself is immutable
+/// after load, so concurrent engine runs over it are safe.
 struct Session {
   std::string key;          ///< 16-hex content hash
   std::string display_name; ///< netlist name (for humans)
-  netlist::Netlist design;
-  netlist::DelayModel delays;
-  std::vector<netlist::SourceStats> sources;
+
+  /// The unified entry point: owns the netlist, delay model and source
+  /// statistics, and caches the CompiledDesign plan every analysis against
+  /// this session reuses (recompiled lazily after a delay ECO).
+  std::unique_ptr<Analyzer> analyzer;
 
   /// Warm incremental moment engine, created on first use (first
-  /// spsta_moment analysis or first ECO edit). Uses exact settle
-  /// comparison so its state is bit-identical to a fresh full run.
+  /// spsta_moment analysis or first ECO edit) from the compiled plan. Uses
+  /// exact settle comparison so its state is bit-identical to a fresh full
+  /// run.
   std::unique_ptr<core::IncrementalSpsta> incremental;
 
   /// Bumped by every ECO edit (set_delay / set_source); stale cache
@@ -82,14 +77,29 @@ struct Session {
 
   mutable std::mutex mutex;
 
-  Session(std::string key_, netlist::Netlist design_);
+  /// \p shared_pattern_cache (nullable) is the service's process-wide
+  /// switch-pattern cache, shared across sessions.
+  Session(std::string key_, netlist::Netlist design_,
+          core::PatternCache* shared_pattern_cache = nullptr);
+
+  // Forwarders for the analyzer-owned design state.
+  [[nodiscard]] const netlist::Netlist& design() const noexcept {
+    return analyzer->design();
+  }
+  [[nodiscard]] const netlist::DelayModel& delays() const noexcept {
+    return analyzer->delays();
+  }
+  [[nodiscard]] std::span<const netlist::SourceStats> sources() const noexcept {
+    return analyzer->sources();
+  }
 
   /// The warm incremental engine, constructing it (initial full analysis)
   /// on first call. Caller must hold `mutex`.
   core::IncrementalSpsta& warm_incremental();
 
-  /// Applies a delay ECO: updates the delay model, the warm incremental
-  /// engine, bumps eco_version and clears the cache. Caller holds `mutex`.
+  /// Applies a delay ECO: updates the analyzer (invalidating its plan),
+  /// the warm incremental engine, bumps eco_version and clears the cache.
+  /// Caller holds `mutex`.
   void apply_set_delay(netlist::NodeId id, const stats::Gaussian& delay);
 
   /// Applies a source-stats ECO. Caller holds `mutex`.
@@ -102,8 +112,10 @@ class SessionStore {
   /// Loads (or re-finds) a design from already-parsed content. The key is
   /// the hash of (format tag, canonical text); loading identical content
   /// twice returns the existing session without re-parsing.
+  /// \p shared_pattern_cache seeds fresh sessions' analyzers.
   /// Returns {session, freshly_created}.
-  std::pair<Session*, bool> load(std::uint64_t content_hash, netlist::Netlist design);
+  std::pair<Session*, bool> load(std::uint64_t content_hash, netlist::Netlist design,
+                                 core::PatternCache* shared_pattern_cache = nullptr);
 
   /// Session by key; nullptr when absent.
   [[nodiscard]] Session* find(std::string_view key) const;

@@ -1,0 +1,188 @@
+/// \file spsta_api.hpp
+/// The public face of the toolkit: one umbrella header, one `Analyzer`.
+///
+/// An `Analyzer` owns a design (netlist + delay model + source statistics)
+/// and the `CompiledDesign` analysis plan derived from it — levelization,
+/// arena adjacency, structural delay span, switch-pattern cache — compiled
+/// lazily on first use and reused by every subsequent run, so repeated
+/// analyses touch zero structural code. A single `AnalysisRequest` selects
+/// any engine (moment / numeric / canonical SPSTA, block-based SSTA, the
+/// Monte Carlo ground truth) and `run()` returns a unified
+/// `AnalysisReport`. Requests are validated against the selected engine:
+/// options the engine cannot honor (e.g. grid settings for the moment
+/// engine, run counts for anything but Monte Carlo) are rejected with
+/// `std::invalid_argument` instead of being silently ignored.
+///
+/// The per-engine `run_*` functions under src/core, src/ssta and src/mc
+/// remain available as implementation-level entry points; results through
+/// either path are bit-identical at any thread count (the repo's
+/// determinism contract, tests/determinism_test.cpp).
+///
+/// Quick start:
+///
+///     spsta::Analyzer analyzer(std::move(netlist));   // unit delays,
+///                                                     // scenario I inputs
+///     spsta::AnalysisRequest request;
+///     request.engine = spsta::Engine::SpstaMoment;
+///     const spsta::AnalysisReport report = analyzer.run(request);
+///     const auto& top = report.moment().node[some_id];
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/compiled_design.hpp"
+#include "core/spsta.hpp"
+#include "core/spsta_canonical.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/four_value.hpp"
+#include "netlist/netlist.hpp"
+#include "ssta/ssta.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spsta {
+
+/// The analysis engines one `Analyzer` dispatches to. Wire names (used by
+/// the service protocol and the CLI) are "spsta_moment", "spsta_numeric",
+/// "canonical", "ssta", "mc".
+enum class Engine { SpstaMoment, SpstaNumeric, Canonical, Ssta, Mc };
+
+/// Wire name of an engine.
+[[nodiscard]] std::string_view to_string(Engine engine) noexcept;
+
+/// Parses a wire name; nullopt for unknown names.
+[[nodiscard]] std::optional<Engine> parse_engine(std::string_view name) noexcept;
+
+/// One analysis request. Every field except `engine` is optional: unset
+/// fields take the engine's defaults (and the Analyzer's default thread
+/// count). A field set for an engine that cannot honor it is an error —
+/// `Analyzer::validate` throws std::invalid_argument — so a request never
+/// silently means less than it says:
+///   * grid_dt / grid_pad_sigma / max_grid_points — numeric engine only
+///   * runs / seed / track_circuit_max            — Monte Carlo only
+///   * threads — accepted by every engine (an execution hint; results are
+///     thread-count-invariant, and serial engines run on one thread).
+struct AnalysisRequest {
+  Engine engine = Engine::SpstaMoment;
+  std::optional<unsigned> threads;
+
+  std::optional<double> grid_dt;
+  std::optional<double> grid_pad_sigma;
+  std::optional<std::size_t> max_grid_points;
+
+  std::optional<std::uint64_t> runs;
+  std::optional<std::uint64_t> seed;
+  std::optional<bool> track_circuit_max;
+};
+
+/// Any engine's result.
+using AnalysisResult =
+    std::variant<core::SpstaResult, core::SpstaNumericResult,
+                 core::SpstaCanonicalResult, ssta::SstaResult, mc::MonteCarloResult>;
+
+/// The unified result of one `Analyzer::run`.
+struct AnalysisReport {
+  Engine engine = Engine::SpstaMoment;
+  AnalysisResult result;
+  double elapsed_seconds = 0.0;
+
+  /// Typed accessors; each throws std::logic_error when the report holds a
+  /// different engine's result.
+  [[nodiscard]] const core::SpstaResult& moment() const;
+  [[nodiscard]] const core::SpstaNumericResult& numeric() const;
+  [[nodiscard]] const core::SpstaCanonicalResult& canonical() const;
+  [[nodiscard]] const ssta::SstaResult& ssta() const;
+  [[nodiscard]] const mc::MonteCarloResult& monte_carlo() const;
+};
+
+/// Analyzer construction options. (Namespace-scope rather than nested so
+/// `= {}` default arguments can use its member initializers inside the
+/// Analyzer class body.)
+struct AnalyzerOptions {
+  /// Default worker threads for requests that leave `threads` unset
+  /// (0 = all hardware threads).
+  unsigned threads = 1;
+  /// Optional pattern cache shared across Analyzers (e.g. the service's
+  /// process-wide cache); when null each plan uses its own.
+  core::PatternCache* shared_pattern_cache = nullptr;
+};
+
+/// The unified analysis entry point: owns the design, its compiled plan,
+/// and the execution resources shared across runs (switch-pattern cache
+/// via the plan, thread pool).
+///
+/// Thread model: `run()` is safe to call concurrently — the plan compiles
+/// once under a lock and is immutable afterwards; concurrent runs that
+/// contend for the shared pool fall back to a private one. ECO edits
+/// (`set_delay`, `set_source`) must not race running analyses.
+class Analyzer {
+ public:
+  using Options = AnalyzerOptions;
+
+  /// Full construction: the Analyzer takes ownership of the netlist, delay
+  /// model and per-source statistics (one entry broadcasts to all sources,
+  /// as everywhere else).
+  Analyzer(netlist::Netlist design, netlist::DelayModel delays,
+           std::vector<netlist::SourceStats> sources, Options options = {});
+
+  /// Paper defaults: unit gate delays, scenario-I statistics on every
+  /// timing source.
+  explicit Analyzer(netlist::Netlist design, Options options = {});
+
+  Analyzer(const Analyzer&) = delete;
+  Analyzer& operator=(const Analyzer&) = delete;
+
+  [[nodiscard]] const netlist::Netlist& design() const noexcept { return design_; }
+  [[nodiscard]] const netlist::DelayModel& delays() const noexcept { return delays_; }
+  [[nodiscard]] std::span<const netlist::SourceStats> sources() const noexcept {
+    return sources_;
+  }
+
+  /// The compiled analysis plan, built on first use and cached until an
+  /// ECO edit invalidates it. Valid until the next `set_delay`.
+  [[nodiscard]] const core::CompiledDesign& plan();
+
+  /// Content hash of (netlist, delay model) — see
+  /// CompiledDesign::content_hash.
+  [[nodiscard]] std::uint64_t content_hash();
+
+  /// Throws std::invalid_argument when the request sets an option its
+  /// engine cannot honor, or sets a value out of range.
+  static void validate(const AnalysisRequest& request);
+
+  /// Validates, compiles (if needed) and dispatches the request.
+  [[nodiscard]] AnalysisReport run(const AnalysisRequest& request);
+
+  /// ECO edits. `set_delay` recompiles the plan on next use (the delay
+  /// span products and content hash move); `set_source` does not — source
+  /// statistics are run inputs, not part of the plan.
+  void set_delay(netlist::NodeId id, const stats::Gaussian& delay);
+  void set_source(std::size_t source_index, const netlist::SourceStats& stats);
+
+ private:
+  /// Pool for `threads` participants if the shared one is free, else null
+  /// (caller uses a private pool). The unique_lock keeps it reserved.
+  [[nodiscard]] util::ThreadPool* acquire_pool(unsigned threads,
+                                               std::unique_lock<std::mutex>& lock);
+
+  netlist::Netlist design_;
+  netlist::DelayModel delays_;
+  std::vector<netlist::SourceStats> sources_;
+  Options options_;
+
+  std::mutex plan_mutex_;
+  std::unique_ptr<core::CompiledDesign> plan_;
+
+  std::mutex pool_mutex_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace spsta

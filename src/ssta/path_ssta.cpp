@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/compiled_design.hpp"
+
 namespace spsta::ssta {
 
 using netlist::NodeId;
@@ -70,6 +72,11 @@ PathSstaResult run_path_ssta(const netlist::Netlist& design,
   }
   result.max_delay = running;
   return result;
+}
+
+PathSstaResult run_path_ssta(const core::CompiledDesign& plan,
+                             const Gaussian& source_arrival, std::size_t k) {
+  return run_path_ssta(plan.design(), plan.delays(), source_arrival, k);
 }
 
 }  // namespace spsta::ssta

@@ -13,6 +13,10 @@
 #include "netlist/netlist.hpp"
 #include "stats/gaussian.hpp"
 
+namespace spsta::core {
+class CompiledDesign;
+}
+
 namespace spsta::ssta {
 
 /// One analyzed path.
@@ -36,8 +40,16 @@ struct PathSstaResult {
 
 /// Analyzes the \p k structurally most critical endpoint paths. Pairwise
 /// path covariances equal the summed delay variances of shared gates.
+/// (Implementation-level; application code goes through the Analyzer
+/// facade in spsta_api.hpp.)
 [[nodiscard]] PathSstaResult run_path_ssta(const netlist::Netlist& design,
                                            const netlist::DelayModel& delays,
+                                           const stats::Gaussian& source_arrival,
+                                           std::size_t k);
+
+/// Same over a precompiled plan (path extraction is per-k and stays
+/// uncached; the plan supplies the netlist and frozen delay model).
+[[nodiscard]] PathSstaResult run_path_ssta(const core::CompiledDesign& plan,
                                            const stats::Gaussian& source_arrival,
                                            std::size_t k);
 

@@ -1,8 +1,6 @@
 #include "ssta/ssta.hpp"
 
-#include <stdexcept>
-
-#include "netlist/levelize.hpp"
+#include "core/compiled_design.hpp"
 
 namespace spsta::ssta {
 
@@ -38,28 +36,30 @@ ArrivalOp arrival_op(GateType type, bool output_rising) noexcept {
   }
 }
 
-SstaResult run_ssta(const netlist::Netlist& design, const netlist::DelayModel& delays,
+SstaResult run_ssta(const core::CompiledDesign& plan,
                     std::span<const netlist::SourceStats> source_stats) {
-  const std::vector<NodeId> sources = design.timing_sources();
-  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
-    throw std::invalid_argument("run_ssta: source stats count mismatch");
-  }
+  plan.check_source_stats(source_stats, "run_ssta");
+  const std::span<const NodeId> sources = plan.timing_sources();
 
   SstaResult result;
-  result.arrival.assign(design.node_count(), NodeArrival{});
+  result.arrival.assign(plan.node_count(), NodeArrival{});
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const netlist::SourceStats& st =
         source_stats.size() == 1 ? source_stats[0] : source_stats[i];
     result.arrival[sources[i]] = {st.rise_arrival, st.fall_arrival};
   }
 
-  const netlist::Levelization lv = netlist::levelize(design);
-  for (NodeId id : lv.order) {
-    const netlist::Node& node = design.node(id);
-    if (!netlist::is_combinational(node.type)) continue;
-    result.arrival[id] = propagate_gate_arrival(design, id, result.arrival, delays);
+  for (NodeId id : plan.levelization().order) {
+    if (!plan.combinational(id)) continue;
+    result.arrival[id] =
+        propagate_gate_arrival(plan.design(), id, result.arrival, plan.delays());
   }
   return result;
+}
+
+SstaResult run_ssta(const netlist::Netlist& design, const netlist::DelayModel& delays,
+                    std::span<const netlist::SourceStats> source_stats) {
+  return run_ssta(core::CompiledDesign(design, delays), source_stats);
 }
 
 NodeArrival propagate_gate_arrival(const netlist::Netlist& design, NodeId id,

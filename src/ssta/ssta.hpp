@@ -20,6 +20,10 @@
 #include "netlist/netlist.hpp"
 #include "stats/gaussian.hpp"
 
+namespace spsta::core {
+class CompiledDesign;
+}
+
 namespace spsta::ssta {
 
 /// Rise/fall arrival distributions of one net.
@@ -54,10 +58,17 @@ struct SstaResult {
                                                  std::span<const NodeArrival> state,
                                                  const netlist::DelayModel& delays);
 
+/// Runs block-based SSTA on a precompiled plan (implementation-level;
+/// application code goes through the Analyzer facade in spsta_api.hpp).
+/// Reuses the plan's levelization and cached source list; results are
+/// bit-identical to the legacy overload.
+[[nodiscard]] SstaResult run_ssta(const core::CompiledDesign& plan,
+                                  std::span<const netlist::SourceStats> source_stats);
+
 /// Runs block-based SSTA over \p design. Source arrivals come from
 /// \p source_stats (rise_arrival / fall_arrival; the four-value
 /// probabilities are deliberately ignored — SSTA is input-oblivious).
-/// A single-element span broadcasts.
+/// A single-element span broadcasts. Thin compile-then-run wrapper.
 [[nodiscard]] SstaResult run_ssta(const netlist::Netlist& design,
                                   const netlist::DelayModel& delays,
                                   std::span<const netlist::SourceStats> source_stats);

@@ -3,22 +3,24 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/compiled_design.hpp"
 #include "netlist/levelize.hpp"
 
 namespace spsta::ssta {
 
 using netlist::NodeId;
 
-StaResult run_sta(const netlist::Netlist& design, const netlist::DelayModel& delays,
-                  double period, const StaConfig& config) {
-  const std::size_t n = design.node_count();
+StaResult run_sta(const core::CompiledDesign& plan, double period,
+                  const StaConfig& config) {
+  const netlist::DelayModel& delays = plan.delays();
+  const std::size_t n = plan.node_count();
   StaResult out;
   out.arrival.assign(n, config.source_arrival);
   constexpr double kInf = std::numeric_limits<double>::infinity();
   out.required.assign(n, ArrivalBounds{-kInf, kInf});  // {earliest-req, latest-req}
   out.slack.assign(n, kInf);
 
-  const netlist::Levelization lv = netlist::levelize(design);
+  const netlist::Levelization& lv = plan.levelization();
 
   // Per-node corner delays; directional models take the worse direction
   // for the late corner and the better one for the early corner.
@@ -37,14 +39,14 @@ StaResult run_sta(const netlist::Netlist& design, const netlist::DelayModel& del
 
   // Forward: earliest/latest arrivals with early/late corner delays.
   for (NodeId id : lv.order) {
-    const netlist::Node& node = design.node(id);
-    if (!netlist::is_combinational(node.type)) continue;
-    if (node.fanins.empty()) {
+    if (!plan.combinational(id)) continue;
+    const std::span<const NodeId> fanins = plan.fanins(id);
+    if (fanins.empty()) {
       out.arrival[id] = {0.0, 0.0};
       continue;
     }
     double earliest = kInf, latest = -kInf;
-    for (NodeId f : node.fanins) {
+    for (NodeId f : fanins) {
       earliest = std::min(earliest, out.arrival[f].earliest);
       latest = std::max(latest, out.arrival[f].latest);
     }
@@ -56,16 +58,15 @@ StaResult run_sta(const netlist::Netlist& design, const netlist::DelayModel& del
   // `required` field keeps {earliest-req, latest-req} symmetry for hold-
   // style extensions but setup slack uses the latest lane).
   std::vector<double> required_late(n, kInf);
-  for (NodeId ep : design.timing_endpoints()) {
+  for (NodeId ep : plan.timing_endpoints()) {
     required_late[ep] = std::min(required_late[ep], period);
   }
   for (auto it = lv.order.rbegin(); it != lv.order.rend(); ++it) {
     const NodeId id = *it;
-    const netlist::Node& node = design.node(id);
-    if (!netlist::is_combinational(node.type)) continue;
+    if (!plan.combinational(id)) continue;
     if (required_late[id] == kInf) continue;
     const double through = required_late[id] - late_delay(id);
-    for (NodeId f : node.fanins) {
+    for (NodeId f : plan.fanins(id)) {
       required_late[f] = std::min(required_late[f], through);
     }
   }
@@ -82,7 +83,7 @@ StaResult run_sta(const netlist::Netlist& design, const netlist::DelayModel& del
   out.hold_wns = kInf;
   double shortest = kInf;
   bool any_endpoint = false;
-  for (NodeId ep : design.timing_endpoints()) {
+  for (NodeId ep : plan.timing_endpoints()) {
     any_endpoint = true;
     critical = std::max(critical, out.arrival[ep].latest);
     shortest = std::min(shortest, out.arrival[ep].earliest);
@@ -98,6 +99,11 @@ StaResult run_sta(const netlist::Netlist& design, const netlist::DelayModel& del
     out.hold_wns = 0.0;
   }
   return out;
+}
+
+StaResult run_sta(const netlist::Netlist& design, const netlist::DelayModel& delays,
+                  double period, const StaConfig& config) {
+  return run_sta(core::CompiledDesign(design, delays), period, config);
 }
 
 std::vector<NodeId> critical_nodes(const netlist::Netlist& design, const StaResult& sta,

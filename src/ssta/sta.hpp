@@ -13,6 +13,10 @@
 #include "netlist/delay_model.hpp"
 #include "netlist/netlist.hpp"
 
+namespace spsta::core {
+class CompiledDesign;
+}
+
 namespace spsta::ssta {
 
 /// Earliest/latest arrival bounds of one net (a "corner pair").
@@ -49,8 +53,15 @@ struct StaResult {
   }
 };
 
+/// Corner STA on a precompiled plan (implementation-level; application
+/// code goes through the Analyzer facade in spsta_api.hpp). Reuses the
+/// plan's levelization and endpoint list.
+[[nodiscard]] StaResult run_sta(const core::CompiledDesign& plan, double period,
+                                const StaConfig& config = {});
+
 /// Runs corner STA against a clock period: arrivals forward, required
 /// times backward from `period` at every timing endpoint, slack per node.
+/// Thin compile-then-run wrapper.
 [[nodiscard]] StaResult run_sta(const netlist::Netlist& design,
                                 const netlist::DelayModel& delays, double period,
                                 const StaConfig& config = {});

@@ -12,6 +12,7 @@
 #include "netlist/generator.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/metrics.hpp"
+#include "spsta_api.hpp"
 
 namespace spsta {
 namespace {
@@ -207,6 +208,63 @@ TEST(Determinism, MetricsRecordingDoesNotPerturbAnyEngine) {
               moment_off.node[id].fall.arrival.mean);
     ASSERT_EQ(moment_on.node[id].fall.arrival.var,
               moment_off.node[id].fall.arrival.var);
+  }
+}
+
+TEST(Determinism, AnalyzerMatchesLegacyAtOneAndManyThreads) {
+  // The acceptance criterion of the unified API: results through the
+  // Analyzer facade (compiled plan, shared pattern cache, shared pool)
+  // are bit-identical to the legacy engine entry points at 1 and N
+  // threads. Repeated runs over the same warm plan must not drift either.
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.05);
+  const std::vector sources{netlist::scenario_I()};
+
+  const core::SpstaResult legacy_moment = core::run_spsta_moment(n, d, sources);
+  const core::SpstaNumericResult legacy_numeric =
+      core::run_spsta_numeric(n, d, sources);
+  mc::MonteCarloConfig cfg;
+  cfg.runs = 1500;
+  cfg.seed = 7;
+  cfg.track_circuit_max = true;
+  const mc::MonteCarloResult legacy_mc = mc::run_monte_carlo(n, d, sources, cfg);
+
+  Analyzer analyzer(n, d, sources);
+  for (const unsigned threads : {1u, 8u}) {
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      AnalysisRequest request;
+      request.threads = threads;
+
+      request.engine = Engine::SpstaMoment;
+      const AnalysisReport moment_report = analyzer.run(request);
+      const core::SpstaResult& moment = moment_report.moment();
+      ASSERT_EQ(moment.node.size(), legacy_moment.node.size());
+      for (std::size_t id = 0; id < moment.node.size(); ++id) {
+        ASSERT_EQ(moment.node[id].probs.pr, legacy_moment.node[id].probs.pr);
+        ASSERT_EQ(moment.node[id].rise.mass, legacy_moment.node[id].rise.mass);
+        ASSERT_EQ(moment.node[id].rise.arrival.mean,
+                  legacy_moment.node[id].rise.arrival.mean);
+        ASSERT_EQ(moment.node[id].rise.arrival.var,
+                  legacy_moment.node[id].rise.arrival.var);
+        ASSERT_EQ(moment.node[id].rise.third_central,
+                  legacy_moment.node[id].rise.third_central);
+        ASSERT_EQ(moment.node[id].fall.arrival.mean,
+                  legacy_moment.node[id].fall.arrival.mean);
+        ASSERT_EQ(moment.node[id].fall.arrival.var,
+                  legacy_moment.node[id].fall.arrival.var);
+      }
+
+      request.engine = Engine::SpstaNumeric;
+      const AnalysisReport numeric_report = analyzer.run(request);
+      expect_same_numeric(numeric_report.numeric(), legacy_numeric);
+
+      request.engine = Engine::Mc;
+      request.runs = cfg.runs;
+      request.seed = cfg.seed;
+      request.track_circuit_max = true;
+      const AnalysisReport mc_report = analyzer.run(request);
+      expect_same_mc(mc_report.monte_carlo(), legacy_mc);
+    }
   }
 }
 
