@@ -1,0 +1,71 @@
+// Microbenchmark for the numeric kernel layer's direct->FFT crossover
+// (DESIGN.md §12). Times both convolution kernels over a sweep of output
+// lengths and prints the smallest length where the FFT wins — the value
+// the built-in default crossover in stats/conv_kernels.cpp is calibrated
+// against. Override at runtime with SPSTA_CONV_CROSSOVER or
+// stats::set_conv_crossover().
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "stats/conv_kernels.hpp"
+#include "stats/rng.hpp"
+#include "stats/workspace.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double best_seconds(const std::vector<double>& a, const std::vector<double>& b,
+                    std::vector<double>& out, int reps) {
+  spsta::stats::Workspace& ws = spsta::stats::Workspace::for_this_thread();
+  spsta::stats::conv_full(a, b, 1.0, out, ws);  // warm buffers and plans
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    spsta::stats::conv_full(a, b, 1.0, out, ws);
+    const std::chrono::duration<double> dt = Clock::now() - start;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spsta::stats;
+
+  Xoshiro256 rng(7);
+  std::printf("# direct vs FFT linear convolution (equal operands)\n");
+  std::printf("%10s %14s %14s %8s\n", "out_len", "direct_us", "fft_us", "winner");
+
+  std::size_t measured_crossover = 0;
+  for (std::size_t len : {64u, 128u, 256u, 512u, 768u, 1024u, 1536u, 2048u,
+                          4096u, 8192u, 16384u}) {
+    const std::size_t na = (len + 1) / 2;
+    const std::size_t nb = len + 1 - na;
+    std::vector<double> a(na), b(nb), out(len);
+    for (double& v : a) v = rng.uniform();
+    for (double& v : b) v = rng.uniform();
+    const int reps = len >= 4096 ? 20 : 200;
+
+    set_conv_crossover(1u << 30);  // force direct
+    const double t_direct = best_seconds(a, b, out, reps);
+    set_conv_crossover(1);  // force FFT
+    const double t_fft = best_seconds(a, b, out, reps);
+    set_conv_crossover(0);  // restore default
+
+    const bool fft_wins = t_fft < t_direct;
+    if (fft_wins && measured_crossover == 0) measured_crossover = len;
+    if (!fft_wins) measured_crossover = 0;  // require a stable win
+    std::printf("%10zu %14.2f %14.2f %8s\n", len, t_direct * 1e6, t_fft * 1e6,
+                fft_wins ? "fft" : "direct");
+  }
+
+  std::printf("\nmeasured crossover (first stable FFT win): %zu output points\n",
+              measured_crossover);
+  std::printf("built-in default: %zu output points\n", conv_crossover());
+  return 0;
+}

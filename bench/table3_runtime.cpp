@@ -168,6 +168,43 @@ ServiceThroughput measure_service(const std::string& circuit) {
   return out;
 }
 
+/// --grid-sweep: warm numeric-engine wall clock vs grid resolution on one
+/// circuit with stochastic (sigma > 0) delays — the scaling column for the
+/// kernel layer (direct O(n^2) vs FFT O(n log n); DESIGN.md §12). A tiny
+/// grid_dt makes the max_grid_points cap bind, so the grid size equals the
+/// requested point count exactly.
+struct GridSweepPoint {
+  std::size_t n = 0;
+  double seconds = 0.0;
+};
+
+std::vector<GridSweepPoint> measure_grid_sweep(const std::string& circuit) {
+  using namespace spsta;
+  const netlist::Netlist n = netlist::make_paper_circuit(circuit);
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.1);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  const core::CompiledDesign plan(n, d);
+
+  std::vector<GridSweepPoint> out;
+  for (const std::size_t cap : {256u, 1024u, 2048u, 4096u, 8192u}) {
+    core::SpstaOptions opts;
+    opts.grid_dt = 1e-4;
+    opts.max_grid_points = cap;
+    // Warm once (delay kernels, pattern cache, workspace), then best-of.
+    benchmark::DoNotOptimize(core::run_spsta_numeric(plan, sc, opts));
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(core::run_spsta_numeric(plan, sc, opts));
+      best = std::min(
+          best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count());
+    }
+    out.push_back({cap, best});
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,6 +212,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
 
   unsigned threads = 8;
+  bool grid_sweep = false;
   std::string json_path;
   std::vector<std::string> circuit_filter;
   for (int i = 1; i < argc; ++i) {
@@ -185,6 +223,8 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--circuits=", 0) == 0) {
       circuit_filter = parse_circuit_filter(arg.substr(11));
+    } else if (arg == "--grid-sweep") {
+      grid_sweep = true;
     } else if (arg == "--no-metrics") {
       // Overhead A/B: compare wall clock against a default run to check the
       // metrics layer's cost with recording disabled.
@@ -300,6 +340,18 @@ int main(int argc, char** argv) {
       service_circuit.c_str(), svc.warm_rps, svc.cold_rps,
       svc.warm_rps / std::max(svc.cold_rps, 1e-12));
 
+  std::vector<GridSweepPoint> sweep;
+  if (grid_sweep) {
+    const std::string sweep_circuit = circuits.back();
+    sweep = measure_grid_sweep(sweep_circuit);
+    std::printf("\n=== Numeric engine grid sweep (%s, gaussian delays, warm) ===\n",
+                sweep_circuit.c_str());
+    std::printf("%10s %12s\n", "grid n", "seconds");
+    for (const GridSweepPoint& p : sweep) {
+      std::printf("%10zu %12.4f\n", p.n, p.seconds);
+    }
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "a");
     if (!f) {
@@ -329,8 +381,18 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "],\"service\":{\"circuit\":\"%s\",\"warm_rps\":%.6g,"
-                 "\"cold_rps\":%.6g}}\n",
+                 "\"cold_rps\":%.6g}",
                  svc.circuit.c_str(), svc.warm_rps, svc.cold_rps);
+    if (!sweep.empty()) {
+      std::fprintf(f, ",\"grid_sweep\":{\"circuit\":\"%s\",\"points\":[",
+                   circuits.back().c_str());
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        std::fprintf(f, "%s{\"n\":%zu,\"seconds\":%.6g}", i ? "," : "",
+                     sweep[i].n, sweep[i].seconds);
+      }
+      std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("Appended timing trajectory to %s\n", json_path.c_str());
   }

@@ -187,6 +187,40 @@ stats::GridSpec CompiledDesign::grid_for(
   return {lo, dt, std::max(n, std::min<std::size_t>(cap, 8))};
 }
 
+std::shared_ptr<const DelayKernelSet> CompiledDesign::delay_kernels(double dt) const {
+  const std::uint64_t key = std::bit_cast<std::uint64_t>(dt);
+  {
+    std::lock_guard<std::mutex> lock(kernel_mutex_);
+    if (const auto it = kernel_cache_.find(key); it != kernel_cache_.end()) {
+      return it->second;
+    }
+  }
+  // Build outside the lock: kernels are pure functions of (delay, dt), so
+  // a racing duplicate build produces bit-identical kernels and the loser
+  // simply adopts the winner's set below.
+  auto set = std::make_shared<DelayKernelSet>();
+  set->dt = dt;
+  const std::size_t n = node_count();
+  set->rise.resize(n);
+  set->fall.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!combinational_[i]) continue;
+    const auto id = static_cast<netlist::NodeId>(i);
+    set->rise[i] = stats::make_delay_kernel(delays_.delay(id, /*rising=*/true), dt);
+    set->fall[i] = stats::make_delay_kernel(delays_.delay(id, /*rising=*/false), dt);
+  }
+  std::lock_guard<std::mutex> lock(kernel_mutex_);
+  const auto [it, inserted] = kernel_cache_.emplace(key, std::move(set));
+  if (inserted && kernel_cache_.size() > kMaxKernelSets) {
+    // Evict the smallest other key — bounded memory; outstanding
+    // shared_ptrs keep evicted sets alive for their users.
+    auto victim = kernel_cache_.begin();
+    if (victim == it) ++victim;
+    kernel_cache_.erase(victim);
+  }
+  return it->second;
+}
+
 void CompiledDesign::check_source_stats(
     std::span<const netlist::SourceStats> source_stats, const char* who) const {
   if (source_stats.size() != timing_sources_.size() && source_stats.size() != 1) {

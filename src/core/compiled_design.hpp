@@ -29,6 +29,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -37,11 +40,21 @@
 #include "netlist/four_value.hpp"
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "stats/conv_kernels.hpp"
 #include "stats/piecewise.hpp"
 
 namespace spsta::core {
 
 struct SpstaOptions;
+
+/// Per-(gate, transition) delay kernels discretized on one grid step —
+/// the numeric engine's SUM-with-delay operators, precomputed once per
+/// distinct `dt` and reused across patterns, runs, and ECO re-queries.
+struct DelayKernelSet {
+  double dt = 0.0;
+  std::vector<stats::DelayKernel> rise;  ///< indexed by NodeId
+  std::vector<stats::DelayKernel> fall;  ///< indexed by NodeId
+};
 
 /// Immutable per-(netlist, delay model) analysis plan.
 ///
@@ -117,6 +130,18 @@ class CompiledDesign {
   /// to recomputation (see pattern_cache.hpp).
   [[nodiscard]] PatternCache& pattern_cache() const noexcept { return pattern_cache_; }
 
+  // -- Precomputed delay kernels ---------------------------------------
+  /// Discretized Gaussian delay kernels for every combinational node on
+  /// grid step \p dt (sigmas fixed at 8.0 — the engine's tail coverage).
+  /// Built once per distinct step, internally synchronized, and shared —
+  /// a kernel is a pure function of (delay, dt), so cached and freshly
+  /// built kernels are bit-identical. The cache keeps the most recent
+  /// `kMaxKernelSets` steps; outstanding shared_ptrs stay valid after
+  /// eviction.
+  [[nodiscard]] std::shared_ptr<const DelayKernelSet> delay_kernels(double dt) const;
+
+  static constexpr std::size_t kMaxKernelSets = 16;
+
   /// FNV-1a content hash over the netlist structure (names, types, fanins,
   /// output/DFF markings) and the observable delay assignment. Equal
   /// inputs hash equal across runs and platforms; any netlist or delay
@@ -153,6 +178,10 @@ class CompiledDesign {
   std::uint64_t content_hash_ = 0;
 
   mutable PatternCache pattern_cache_{PatternCache::kExactKeys};
+
+  mutable std::mutex kernel_mutex_;
+  /// Keyed on the bit pattern of dt (exact match; no tolerance games).
+  mutable std::map<std::uint64_t, std::shared_ptr<const DelayKernelSet>> kernel_cache_;
 };
 
 }  // namespace spsta::core

@@ -83,7 +83,7 @@ IncrementalSpsta::IncrementalSpsta(const netlist::Netlist& design,
   }
   for (NodeId id : levels_.order) {
     if (!netlist::is_combinational(design_.node(id).type)) continue;
-    state_[id] = propagate_node_top(design_, id, state_, delays_);
+    state_[id] = propagate_node_top(design_, id, state_, delays_, &pattern_cache_);
   }
 }
 
@@ -101,7 +101,7 @@ void IncrementalSpsta::mark_dirty(NodeId id) {
 }
 
 bool IncrementalSpsta::recompute(NodeId id) {
-  const NodeTop updated = propagate_node_top(design_, id, state_, delays_);
+  const NodeTop updated = propagate_node_top(design_, id, state_, delays_, &pattern_cache_);
   ++nodes_reevaluated_;
   if (nearly_equal(updated, state_[id], settle_eps_)) return false;
   state_[id] = updated;

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/pattern_cache.hpp"
 #include "core/spsta.hpp"
 #include "netlist/delay_model.hpp"
 #include "netlist/levelize.hpp"
@@ -83,6 +84,10 @@ class IncrementalSpsta {
   bool any_dirty_ = false;
   std::uint64_t nodes_reevaluated_ = 0;
   double settle_eps_ = kDefaultSettleEps;
+  /// Persistent exact-key pattern cache: ECO update sequences revisit the
+  /// same nodes with mostly unchanged fanin probabilities, so repeated
+  /// recomputations skip pattern enumeration (hits are bit-identical).
+  PatternCache pattern_cache_{PatternCache::kExactKeys};
 };
 
 }  // namespace spsta::core

@@ -145,6 +145,16 @@ struct SpstaOptions {
                                          std::span<const NodeTop> state,
                                          const netlist::DelayModel& delays);
 
+/// Same single-node kernel with an explicit pattern cache (nullable):
+/// repeated recomputations of a node whose fanin probabilities are
+/// unchanged — the hot case in incremental/ECO re-queries — skip pattern
+/// enumeration. Exact keys keep hits bit-identical to recomputation.
+[[nodiscard]] NodeTop propagate_node_top(const netlist::Netlist& design,
+                                         netlist::NodeId id,
+                                         std::span<const NodeTop> state,
+                                         const netlist::DelayModel& delays,
+                                         PatternCache* cache);
+
 /// Runs the numeric engine on a precompiled plan: the grid comes from the
 /// plan's precomputed structural delay span (bit-identical to the legacy
 /// per-run scan) and no structural code executes.

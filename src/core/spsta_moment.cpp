@@ -123,6 +123,13 @@ NodeTop propagate_node_top(const netlist::Netlist& design, NodeId id,
   return propagate_node_top_impl(node.type, node.fanins, id, state, delays, nullptr);
 }
 
+NodeTop propagate_node_top(const netlist::Netlist& design, NodeId id,
+                           std::span<const NodeTop> state,
+                           const netlist::DelayModel& delays, PatternCache* cache) {
+  const netlist::Node& node = design.node(id);
+  return propagate_node_top_impl(node.type, node.fanins, id, state, delays, cache);
+}
+
 SpstaResult run_spsta_moment(const CompiledDesign& plan,
                              std::span<const netlist::SourceStats> source_stats,
                              const SpstaOptions& options) {

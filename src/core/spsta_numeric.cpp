@@ -1,9 +1,14 @@
+#include <algorithm>
+#include <memory>
+
 #include "core/compiled_design.hpp"
 #include "core/pattern_cache.hpp"
 #include "core/patterns.hpp"
 #include "core/spsta.hpp"
 #include "obs/metrics.hpp"
 #include "sigprob/four_value_prop.hpp"
+#include "stats/conv_kernels.hpp"
+#include "stats/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spsta::core {
@@ -14,27 +19,20 @@ using stats::PiecewiseDensity;
 
 namespace {
 
-/// Folds the switching inputs' normalized arrival densities with exact
-/// independent MAX/MIN (CDF products).
-PiecewiseDensity fold_arrivals(const SwitchPattern& p,
-                               const std::vector<NodeTopDensity>& node,
-                               std::span<const NodeId> fanins) {
-  PiecewiseDensity acc;
-  bool first = true;
-  for (std::size_t i = 0; i < fanins.size(); ++i) {
-    if (!(p.switching_mask & (1u << i))) continue;
-    const NodeTopDensity& in = node[fanins[i]];
-    const PiecewiseDensity contrib =
-        ((p.rising_mask & (1u << i)) ? in.rise : in.fall).normalized();
-    if (first) {
-      acc = contrib;
-      first = false;
-    } else {
-      acc = (p.op == SettleOp::Max) ? PiecewiseDensity::max_independent(acc, contrib)
-                                    : PiecewiseDensity::min_independent(acc, contrib);
-    }
+/// Trapezoid running integral into \p c: c[0] = 0,
+/// c[i] = c[i-1] + dt * (v[i-1] + v[i]) / 2 — the same accumulation order
+/// as PiecewiseDensity::cumulative, so CDF products match the reference
+/// operators bit for bit.
+void cumulative_into(std::span<const double> v, double dt, std::span<double> c) {
+  if (v.empty()) return;
+  const double* pv = v.data();
+  double* pc = c.data();
+  pc[0] = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    acc += 0.5 * (pv[i - 1] + pv[i]) * dt;
+    pc[i] = acc;
   }
-  return acc;
 }
 
 /// Same selection policy as the moment engine (see spsta_moment.cpp):
@@ -80,17 +78,25 @@ SpstaNumericResult run_spsta_numeric(const CompiledDesign& plan,
   PatternCache local_cache(options.pattern_quantum);
   PatternCache* const cache = select_cache(plan, options, local_cache);
 
+  // Every combinational node's SUM-with-delay operator, discretized once
+  // per grid step and shared across patterns, runs, and threads.
+  const std::shared_ptr<const DelayKernelSet> kernels =
+      plan.delay_kernels(result.grid.dt);
+
   // Gate evaluation is level-parallel: a node's fanins live in strictly
   // lower levels, so every node of one level reads finished state and
   // writes only its own slot — results are identical at any thread count.
+  // All per-node math runs on the shared grid in per-thread Workspace
+  // scratch (pure, fully overwritten), so the level loop performs zero
+  // steady-state heap allocations and stays schedule-independent.
   const auto eval_node = [&](NodeId id) {
     if (!plan.combinational(id)) return;
     const std::span<const NodeId> fanins = plan.fanins(id);
     const netlist::GateType type = plan.type(id);
 
     NodeTopDensity& top = result.node[id];
-    std::vector<FourValueProbs> fanin_probs;
-    fanin_probs.reserve(fanins.size());
+    thread_local std::vector<FourValueProbs> fanin_probs;
+    fanin_probs.clear();
     for (NodeId f : fanins) fanin_probs.push_back(result.node[f].probs);
     top.probs = sigprob::gate_four_value(type, fanin_probs);
 
@@ -106,19 +112,72 @@ SpstaNumericResult run_spsta_numeric(const CompiledDesign& plan,
     const std::span<const SwitchPattern> patterns =
         cache != nullptr ? std::span<const SwitchPattern>(*cached)
                          : std::span<const SwitchPattern>(owned);
-    PiecewiseDensity rise_acc = PiecewiseDensity::zero(result.grid);
-    PiecewiseDensity fall_acc = PiecewiseDensity::zero(result.grid);
+
+    stats::Workspace& ws = stats::Workspace::for_this_thread();
+    const std::size_t gn = result.grid.n;
+    const double dt = result.grid.dt;
+    const std::span<double> rise_acc = ws.scratch(0, gn);
+    const std::span<double> fall_acc = ws.scratch(1, gn);
+    const std::span<double> fold = ws.scratch(2, gn);
+    const std::span<double> contrib = ws.scratch(3, gn);
+    const std::span<double> cum_fold = ws.scratch(4, gn);
+    const std::span<double> cum_con = ws.scratch(5, gn);
+    std::fill(rise_acc.begin(), rise_acc.end(), 0.0);
+    std::fill(fall_acc.begin(), fall_acc.end(), 0.0);
+    bool any_rise = false;
+    bool any_fall = false;
+
     for (const SwitchPattern& p : patterns) {
-      const PiecewiseDensity arrival = fold_arrivals(p, result.node, fanins);
-      if (arrival.empty()) continue;
-      (p.output_rising ? rise_acc : fall_acc).add_scaled(arrival, p.weight);
+      if (p.weight == 0.0) continue;
+      // Fold the switching inputs' normalized arrivals with exact
+      // independent MAX/MIN (CDF products) on the shared grid.
+      bool first = true;
+      for (std::size_t i = 0; i < fanins.size(); ++i) {
+        if (!(p.switching_mask & (1u << i))) continue;
+        const NodeTopDensity& in = result.node[fanins[i]];
+        const PiecewiseDensity& d = (p.rising_mask & (1u << i)) ? in.rise : in.fall;
+        const double m = d.mass();
+        const double inv = m > 0.0 ? 1.0 / m : 1.0;
+        const double* pv = d.values().data();
+        if (first) {
+          double* pf = fold.data();
+          for (std::size_t j = 0; j < gn; ++j) pf[j] = pv[j] * inv;
+          first = false;
+          continue;
+        }
+        double* pc = contrib.data();
+        for (std::size_t j = 0; j < gn; ++j) pc[j] = pv[j] * inv;
+        cumulative_into(fold, dt, cum_fold);
+        cumulative_into(contrib, dt, cum_con);
+        double* pf = fold.data();
+        const double* ca = cum_fold.data();
+        const double* cb = cum_con.data();
+        if (p.op == SettleOp::Max) {
+          for (std::size_t j = 0; j < gn; ++j) pf[j] = pf[j] * cb[j] + pc[j] * ca[j];
+        } else {
+          for (std::size_t j = 0; j < gn; ++j) {
+            pf[j] = pf[j] * (1.0 - cb[j]) + pc[j] * (1.0 - ca[j]);
+          }
+        }
+      }
+      if (first) continue;  // no switching inputs in this scenario
+
+      // Weighted sum over switching scenarios (paper Eq. 8/11), fused.
+      const double w = p.weight;
+      double* acc = (p.output_rising ? rise_acc : fall_acc).data();
+      const double* pf = fold.data();
+      for (std::size_t j = 0; j < gn; ++j) acc[j] += w * pf[j];
+      (p.output_rising ? any_rise : any_fall) = true;
     }
-    top.rise =
-        PiecewiseDensity::convolve_gaussian(rise_acc, plan.delays().delay(id, true))
-            .resampled(result.grid);
-    top.fall =
-        PiecewiseDensity::convolve_gaussian(fall_acc, plan.delays().delay(id, false))
-            .resampled(result.grid);
+
+    if (any_rise) {
+      stats::apply_delay_kernel(rise_acc, kernels->rise[id],
+                                top.rise.mutable_values(), ws);
+    }
+    if (any_fall) {
+      stats::apply_delay_kernel(fall_acc, kernels->fall[id],
+                                top.fall.mutable_values(), ws);
+    }
   };
 
   static obs::LatencyHistogram& stage_hist =

@@ -70,6 +70,16 @@ enum class Engine { SpstaMoment, SpstaNumeric, Canonical, Ssta, Mc };
 ///   * runs / seed / track_circuit_max            — Monte Carlo only
 ///   * threads — accepted by every engine (an execution hint; results are
 ///     thread-count-invariant, and serial engines run on one thread).
+///
+/// Numeric runs execute on the fast kernel layer (DESIGN.md §12): delay
+/// kernels are precomputed in the plan and convolutions auto-select
+/// direct vs FFT by size. The direct->FFT crossover is a process-wide
+/// knob, not a per-request field — `stats::set_conv_crossover()` or the
+/// `SPSTA_CONV_CROSSOVER` environment variable — because it must stay
+/// constant while runs are in flight to keep the kernel choice a pure
+/// function of sizes. Any fixed setting preserves thread-count
+/// bit-identity; changing it between runs changes rounding (not
+/// accuracy) of subsequent results.
 struct AnalysisRequest {
   Engine engine = Engine::SpstaMoment;
   std::optional<unsigned> threads;

@@ -1,0 +1,304 @@
+#include "stats/conv_kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "stats/normal.hpp"
+#include "stats/workspace.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPSTA_RESTRICT __restrict__
+#else
+#define SPSTA_RESTRICT
+#endif
+
+namespace spsta::stats {
+
+namespace {
+
+/// Default direct->FFT crossover on the padded output length, measured by
+/// bench/conv_kernels_bench on the CI-class hardware this repo targets
+/// (see DESIGN.md §12): at 512 output points the radix-2 FFT already beats
+/// the direct loop ~1.7x (8us vs 14us) and the gap widens monotonically;
+/// below ~256 the direct loop's cache friendliness wins.
+constexpr std::size_t kDefaultCrossover = 512;
+
+std::atomic<std::size_t>& crossover_override() noexcept {
+  static std::atomic<std::size_t> v{0};  // 0 = use env/default
+  return v;
+}
+
+std::size_t env_crossover() noexcept {
+  // Read once: the knob must be stable for a process lifetime so the
+  // kernel choice stays a pure function of sizes.
+  static const std::size_t value = [] {
+    const char* s = std::getenv("SPSTA_CONV_CROSSOVER");
+    if (s == nullptr || *s == '\0') return kDefaultCrossover;
+    std::size_t parsed = 0;
+    const auto [ptr, ec] = std::from_chars(s, s + std::strlen(s), parsed);
+    if (ec != std::errc{} || *ptr != '\0' || parsed == 0) return kDefaultCrossover;
+    return parsed;
+  }();
+  return value;
+}
+
+obs::Counter& fft_counter() {
+  static obs::Counter& c = obs::registry().counter("stats.conv.fft");
+  return c;
+}
+obs::Counter& direct_counter() {
+  static obs::Counter& c = obs::registry().counter("stats.conv.direct");
+  return c;
+}
+obs::Counter& shift_counter() {
+  static obs::Counter& c = obs::registry().counter("stats.conv.shift");
+  return c;
+}
+obs::Counter& clip_counter() {
+  static obs::Counter& c = obs::registry().counter("stats.conv.clipped");
+  return c;
+}
+
+/// Iterative radix-2 Cooley-Tukey on split re/im lanes; the plan supplies
+/// bit-reversal and forward twiddles (inverse conjugates them). No output
+/// scaling — callers of the inverse fold 1/N into their final write.
+void fft_inplace(const Workspace::FftPlan& p, double* SPSTA_RESTRICT re,
+                 double* SPSTA_RESTRICT im, bool inverse) {
+  const std::size_t n = p.n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = p.bitrev[i];
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n / len;
+    for (std::size_t start = 0; start < n; start += len) {
+      std::size_t tw = 0;
+      for (std::size_t k = 0; k < half; ++k, tw += step) {
+        const double wr = p.wre[tw];
+        const double wi = inverse ? -p.wim[tw] : p.wim[tw];
+        const std::size_t u = start + k;
+        const std::size_t v = u + half;
+        const double tr = re[v] * wr - im[v] * wi;
+        const double ti = re[v] * wi + im[v] * wr;
+        re[v] = re[u] - tr;
+        im[v] = im[u] - ti;
+        re[u] += tr;
+        im[u] += ti;
+      }
+    }
+  }
+}
+
+/// FFT linear convolution with the real-pack trick: one forward transform
+/// of z = a + i*b yields both spectra (A(k) = (Z(k) + conj(Z(N-k)))/2,
+/// B(k) = (Z(k) - conj(Z(N-k)))/(2i)); their product inverts to the
+/// convolution in the real lane.
+void conv_fft(std::span<const double> a, std::span<const double> b, double scale,
+              std::span<double> out, Workspace& ws) {
+  const std::size_t len = a.size() + b.size() - 1;
+  const std::size_t n = std::bit_ceil(len);
+  const Workspace::FftPlan& plan = ws.fft_plan(n);
+  const std::span<double> re = ws.fft_re(n);
+  const std::span<double> im = ws.fft_im(n);
+  std::copy(a.begin(), a.end(), re.begin());
+  std::fill(re.begin() + static_cast<std::ptrdiff_t>(a.size()), re.end(), 0.0);
+  std::copy(b.begin(), b.end(), im.begin());
+  std::fill(im.begin() + static_cast<std::ptrdiff_t>(b.size()), im.end(), 0.0);
+
+  fft_inplace(plan, re.data(), im.data(), /*inverse=*/false);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const std::size_t k2 = (n - k) & (n - 1);
+    const double zr1 = re[k], zi1 = im[k];
+    const double zr2 = re[k2], zi2 = im[k2];
+    const double ar = 0.5 * (zr1 + zr2), ai = 0.5 * (zi1 - zi2);
+    const double br = 0.5 * (zi1 + zi2), bi = 0.5 * (zr2 - zr1);
+    const double cr = ar * br - ai * bi;
+    const double ci = ar * bi + ai * br;
+    re[k] = cr;
+    im[k] = ci;
+    re[k2] = cr;
+    im[k2] = -ci;
+  }
+  fft_inplace(plan, re.data(), im.data(), /*inverse=*/true);
+
+  const double norm = scale / static_cast<double>(n);
+  for (std::size_t k = 0; k < len; ++k) {
+    // Round-off can leave tiny negative values; densities stay >= 0.
+    out[k] = std::max(0.0, re[k] * norm);
+  }
+}
+
+void conv_direct(std::span<const double> a, std::span<const double> b, double scale,
+                 std::span<double> out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  const double* SPSTA_RESTRICT bp = b.data();
+  const std::size_t nb = b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double w = scale * a[i];
+    if (w == 0.0) continue;
+    double* SPSTA_RESTRICT o = out.data() + i;
+    for (std::size_t j = 0; j < nb; ++j) o[j] += w * bp[j];
+  }
+}
+
+}  // namespace
+
+std::size_t conv_crossover() noexcept {
+  const std::size_t v = crossover_override().load(std::memory_order_relaxed);
+  return v != 0 ? v : env_crossover();
+}
+
+void set_conv_crossover(std::size_t points) noexcept {
+  crossover_override().store(points, std::memory_order_relaxed);
+}
+
+ConvKernelChoice select_conv_kernel(std::size_t na, std::size_t nb) noexcept {
+  if (na == 0 || nb == 0) return ConvKernelChoice::Direct;
+  if (std::min(na, nb) < kMinFftOperand) return ConvKernelChoice::Direct;
+  return (na + nb - 1) >= conv_crossover() ? ConvKernelChoice::Fft
+                                           : ConvKernelChoice::Direct;
+}
+
+void conv_full(std::span<const double> a, std::span<const double> b, double scale,
+               std::span<double> out, Workspace& ws) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("conv_full: empty operand");
+  }
+  if (out.size() != a.size() + b.size() - 1) {
+    throw std::invalid_argument("conv_full: out must have size na + nb - 1");
+  }
+  const auto all_zero = [](std::span<const double> v) {
+    return std::all_of(v.begin(), v.end(), [](double x) { return x == 0.0; });
+  };
+  if (scale == 0.0 || all_zero(a) || all_zero(b)) {
+    // Exact zero for a zero operand: the FFT pack trick would otherwise
+    // leak ~1e-15 of the other operand's round-off into the result.
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  if (select_conv_kernel(a.size(), b.size()) == ConvKernelChoice::Fft) {
+    fft_counter().add();
+    conv_fft(a, b, scale, out, ws);
+  } else {
+    direct_counter().add();
+    conv_direct(a, b, scale, out);
+  }
+}
+
+DelayKernel make_delay_kernel(const Gaussian& g, double dt, double sigmas) {
+  if (!(dt > 0.0)) throw std::invalid_argument("make_delay_kernel: dt must be > 0");
+  DelayKernel k;
+  const double sd = g.stddev();
+  const double pad = sigmas * sd;
+  if (sd == 0.0 || pad < dt) {
+    // Degenerate (or sub-grid) delay: an exact fractional shift preserves
+    // mass and shape where a near-delta sampled kernel would alias.
+    k.exact_shift = true;
+    const double pos = g.mean / dt;
+    const double base = std::floor(pos);
+    k.shift = static_cast<std::ptrdiff_t>(base);
+    k.frac = std::clamp(pos - base, 0.0, 1.0);
+    if (k.frac == 1.0) {  // pos rounded up against floor's result
+      ++k.shift;
+      k.frac = 0.0;
+    }
+    return k;
+  }
+  k.first = static_cast<std::ptrdiff_t>(std::ceil((g.mean - pad) / dt));
+  const auto last = static_cast<std::ptrdiff_t>(std::floor((g.mean + pad) / dt));
+  k.taps.resize(static_cast<std::size_t>(last - k.first + 1));
+  for (std::size_t m = 0; m < k.taps.size(); ++m) {
+    const double t = static_cast<double>(k.first + static_cast<std::ptrdiff_t>(m)) * dt;
+    k.taps[m] = dt * normal_pdf(t, g.mean, sd);
+  }
+  return k;
+}
+
+namespace {
+
+/// out[i + offset] += w * in[i], folding out-of-range contributions into
+/// the nearest edge bin. Returns the folded mass (in density-value units).
+double axpy_shifted(std::span<const double> in, double w, std::ptrdiff_t offset,
+                    std::span<double> out) {
+  if (w == 0.0) return 0.0;
+  const auto n_in = static_cast<std::ptrdiff_t>(in.size());
+  const auto n_out = static_cast<std::ptrdiff_t>(out.size());
+  const std::ptrdiff_t i_lo = std::clamp<std::ptrdiff_t>(-offset, 0, n_in);
+  const std::ptrdiff_t i_hi = std::clamp<std::ptrdiff_t>(n_out - offset, i_lo, n_in);
+  double folded = 0.0;
+  double head = 0.0, tail = 0.0;
+  for (std::ptrdiff_t i = 0; i < i_lo; ++i) head += in[static_cast<std::size_t>(i)];
+  for (std::ptrdiff_t i = i_hi; i < n_in; ++i) tail += in[static_cast<std::size_t>(i)];
+  if (head != 0.0) {
+    out[0] += w * head;
+    folded += w * head;
+  }
+  if (tail != 0.0) {
+    out[out.size() - 1] += w * tail;
+    folded += w * tail;
+  }
+  const double* SPSTA_RESTRICT ip = in.data();
+  double* SPSTA_RESTRICT op = out.data() + offset;
+  for (std::ptrdiff_t i = i_lo; i < i_hi; ++i) op[i] += w * ip[i];
+  return folded;
+}
+
+}  // namespace
+
+void apply_delay_kernel(std::span<const double> in, const DelayKernel& k,
+                        std::span<double> out, Workspace& ws) {
+  if (in.empty() || out.empty()) return;
+  if (std::all_of(in.begin(), in.end(), [](double v) { return v == 0.0; })) return;
+
+  double folded = 0.0;
+  if (k.exact_shift) {
+    shift_counter().add();
+    folded += axpy_shifted(in, 1.0 - k.frac, k.shift, out);
+    if (k.frac != 0.0) folded += axpy_shifted(in, k.frac, k.shift + 1, out);
+  } else if (select_conv_kernel(in.size(), k.taps.size()) == ConvKernelChoice::Fft) {
+    fft_counter().add();
+    const std::size_t len = in.size() + k.taps.size() - 1;
+    const std::span<double> tmp = ws.conv_tmp(len);
+    conv_fft(in, k.taps, 1.0, tmp, ws);
+    folded += axpy_shifted(tmp, 1.0, k.first, out);
+  } else {
+    direct_counter().add();
+    const auto n_out = static_cast<std::ptrdiff_t>(out.size());
+    const auto taps = static_cast<std::ptrdiff_t>(k.taps.size());
+    const double* SPSTA_RESTRICT tp = k.taps.data();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const double w = in[i];
+      if (w == 0.0) continue;
+      const std::ptrdiff_t base = static_cast<std::ptrdiff_t>(i) + k.first;
+      const std::ptrdiff_t m_lo = std::clamp<std::ptrdiff_t>(-base, 0, taps);
+      const std::ptrdiff_t m_hi = std::clamp<std::ptrdiff_t>(n_out - base, m_lo, taps);
+      double head = 0.0, tail = 0.0;
+      for (std::ptrdiff_t m = 0; m < m_lo; ++m) head += tp[m];
+      for (std::ptrdiff_t m = m_hi; m < taps; ++m) tail += tp[m];
+      if (head != 0.0) {
+        out[0] += w * head;
+        folded += w * head;
+      }
+      if (tail != 0.0) {
+        out[out.size() - 1] += w * tail;
+        folded += w * tail;
+      }
+      double* SPSTA_RESTRICT op = out.data() + base;
+      for (std::ptrdiff_t m = m_lo; m < m_hi; ++m) op[m] += w * tp[m];
+    }
+  }
+  if (folded > 0.0) clip_counter().add();
+}
+
+}  // namespace spsta::stats

@@ -1,0 +1,96 @@
+/// \file conv_kernels.hpp
+/// The fast numeric kernel layer under the piecewise-density operations
+/// (DESIGN.md §12): size-dispatched direct/FFT linear convolution and
+/// precomputable discretized gate-delay kernels.
+///
+/// The reference implementation of SUM-with-delay paid an O(n^2) direct
+/// convolution (plus fresh heap allocation) per node x pattern — the
+/// histogram-propagation cost the grid-based SSTA literature identifies as
+/// the scaling bottleneck. This layer keeps the direct loop for small
+/// operands and switches to a radix-2 real-packed FFT once the operands
+/// pass a crossover, with every buffer drawn from a per-thread
+/// `Workspace` so steady-state convolutions allocate nothing.
+///
+/// Determinism contract: the kernel choice is a pure function of operand
+/// SIZES (never of thread id, timing, or data), and each kernel is a pure
+/// function of its inputs — so results are bit-identical at any thread
+/// count and across reruns. FFT and direct results agree to ~1e-12 L-inf
+/// on normalized densities (tests assert <= 1e-9).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/gaussian.hpp"
+
+namespace spsta::stats {
+
+class Workspace;
+
+/// Which convolution kernel `select_conv_kernel` picked.
+enum class ConvKernelChoice { Direct, Fft };
+
+/// Current direct->FFT crossover: the FFT path engages when the padded
+/// output length (na + nb - 1) is at least this AND the smaller operand
+/// has at least `kMinFftOperand` points (a short FIR against a long signal
+/// is linear-time already and stays direct). The default is calibrated by
+/// bench/conv_kernels_bench; the environment variable
+/// `SPSTA_CONV_CROSSOVER` (read once, first use) or
+/// `set_conv_crossover()` overrides it.
+[[nodiscard]] std::size_t conv_crossover() noexcept;
+
+/// Overrides the crossover at runtime (0 restores the built-in default).
+/// Takes effect for subsequent convolutions; intended for benchmarks and
+/// tests — not thread-safe against in-flight convolutions.
+void set_conv_crossover(std::size_t points) noexcept;
+
+/// Operands smaller than this never take the FFT path.
+inline constexpr std::size_t kMinFftOperand = 16;
+
+/// The kernel the layer will use for operand sizes (na, nb) — a pure
+/// function of sizes and the crossover knob only.
+[[nodiscard]] ConvKernelChoice select_conv_kernel(std::size_t na,
+                                                  std::size_t nb) noexcept;
+
+/// Dense linear convolution out[k] = scale * sum_i a[i] * b[k-i] for
+/// k in [0, na+nb-1). `out.size()` must be exactly na + nb - 1 and must
+/// not alias the inputs. Selects direct vs FFT by size; FFT round-off can
+/// produce tiny negative values, which are clamped to 0 so densities stay
+/// non-negative.
+void conv_full(std::span<const double> a, std::span<const double> b, double scale,
+               std::span<double> out, Workspace& ws);
+
+/// A gate delay's impulse response discretized on a fixed grid step `dt`:
+/// applying it to a density sampled at grid points maps X to X + delay on
+/// the SAME grid. Taps carry the dt quadrature weight, so application is
+/// a plain FIR. A (near-)deterministic delay (sigma == 0, or a +-sigmas
+/// window narrower than one grid step) is represented as an exact
+/// fractional shift instead of a near-delta kernel.
+struct DelayKernel {
+  bool exact_shift = false;
+  std::ptrdiff_t shift = 0;  ///< floor(mean / dt) (exact-shift form)
+  double frac = 0.0;         ///< mean/dt - shift, in [0, 1)
+  std::ptrdiff_t first = 0;  ///< grid offset of taps[0] relative to the input index
+  std::vector<double> taps;  ///< dt * normal_pdf((first + m) * dt; mean, sigma)
+
+  /// Number of FIR taps (0 for the exact-shift form).
+  [[nodiscard]] std::size_t size() const noexcept { return taps.size(); }
+};
+
+/// Builds the discretized kernel of \p g on step \p dt, covering
+/// mean +- sigmas * stddev. \p dt must be > 0.
+[[nodiscard]] DelayKernel make_delay_kernel(const Gaussian& g, double dt,
+                                            double sigmas = 8.0);
+
+/// Applies \p k to \p in, accumulating into \p out (same grid, same step;
+/// in and out must not alias): out[i + d] += in[i] * k(d). Contributions
+/// that land past either end of `out` are folded into the nearest edge
+/// bin — mass is never silently dropped — and each fold bumps the obs
+/// counter `stats.conv.clipped`. Large (input, tap) sizes take the FFT
+/// path per `select_conv_kernel`.
+void apply_delay_kernel(std::span<const double> in, const DelayKernel& k,
+                        std::span<double> out, Workspace& ws);
+
+}  // namespace spsta::stats

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "stats/conv_kernels.hpp"
 #include "stats/normal.hpp"
+#include "stats/workspace.hpp"
 
 namespace spsta::stats {
 
@@ -210,14 +213,26 @@ PiecewiseDensity PiecewiseDensity::convolve(const PiecewiseDensity& a,
           static_cast<std::size_t>(std::ceil((b.grid_.t_end() - b.grid_.t0) / dt)) + 1});
   const PiecewiseDensity& fb = b.grid_.dt == dt ? b : fb_tmp;
 
-  const std::size_t n = std::min(fa.values_.size() + fb.values_.size(), kMaxGridPoints);
+  const std::size_t na = fa.values_.size();
+  const std::size_t nb = fb.values_.size();
+  const std::size_t full = na + nb - 1;
+  const std::size_t n = std::min(na + nb, kMaxGridPoints);
   GridSpec g{fa.grid_.t0 + fb.grid_.t0, dt, n};
   std::vector<double> v(n, 0.0);
-  for (std::size_t i = 0; i < fa.values_.size(); ++i) {
-    const double w = fa.values_[i] * dt;
-    if (w == 0.0) continue;
-    for (std::size_t j = 0; j < fb.values_.size() && i + j < n; ++j) {
-      v[i + j] += w * fb.values_[j];
+
+  Workspace& ws = Workspace::for_this_thread();
+  const std::span<double> c = ws.conv_tmp(full);
+  conv_full(fa.values_, fb.values_, dt, c, ws);
+  std::copy_n(c.begin(), std::min(full, n), v.begin());
+  if (full > n) {
+    // The product's support extends past the grid cap. Fold the clipped
+    // tail into the last bin so no probability mass is silently dropped
+    // (the tail samples approximate the lost integral at step dt).
+    double tail = 0.0;
+    for (std::size_t k = n; k < full; ++k) tail += c[k];
+    if (tail > 0.0) {
+      v[n - 1] += tail;
+      obs::registry().counter("stats.conv.clipped").add();
     }
   }
   return PiecewiseDensity(g, std::move(v));
@@ -234,22 +249,16 @@ PiecewiseDensity PiecewiseDensity::convolve_gaussian(const PiecewiseDensity& a,
   const std::size_t n =
       std::min(a.values_.size() + 2 * extra, kMaxGridPoints);
   GridSpec grid{a.grid_.t0 + g.mean - static_cast<double>(extra) * dt, dt, n};
-  std::vector<double> v(n, 0.0);
-  for (std::size_t i = 0; i < a.values_.size(); ++i) {
-    const double w = a.values_[i] * dt;
-    if (w == 0.0) continue;
-    const double center = a.grid_.time_at(i) + g.mean;
-    const auto lo = static_cast<std::ptrdiff_t>(
-        std::floor((center - pad - grid.t0) / dt));
-    const auto hi = static_cast<std::ptrdiff_t>(
-        std::ceil((center + pad - grid.t0) / dt));
-    for (std::ptrdiff_t k = std::max<std::ptrdiff_t>(lo, 0);
-         k <= hi && k < static_cast<std::ptrdiff_t>(n); ++k) {
-      v[static_cast<std::size_t>(k)] +=
-          w * normal_pdf(grid.time_at(static_cast<std::size_t>(k)), center, sd);
-    }
-  }
-  return PiecewiseDensity(grid, std::move(v));
+  // The output grid is aligned with the input lattice, so a single
+  // discretized kernel (window bounds hoisted out of the per-sample loop)
+  // serves every row: input index i lands at output index i + extra plus
+  // the kernel's spread around the mean.
+  const DelayKernel k =
+      make_delay_kernel({static_cast<double>(extra) * dt, g.var}, dt, sigmas);
+  PiecewiseDensity out = zero(grid);
+  Workspace& ws = Workspace::for_this_thread();
+  apply_delay_kernel(a.values_, k, out.values_, ws);
+  return out;
 }
 
 namespace {

@@ -63,6 +63,10 @@ class PiecewiseDensity {
 
   [[nodiscard]] const GridSpec& grid() const noexcept { return grid_; }
   [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+  /// Mutable view of the samples for in-place kernel writes (the numeric
+  /// engine accumulates delay-kernel output directly into result storage).
+  /// Callers must keep samples non-negative.
+  [[nodiscard]] std::span<double> mutable_values() noexcept { return values_; }
   [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
 
   /// Linear interpolation of the density at time \p t (0 outside the grid).

@@ -1,0 +1,84 @@
+#include "stats/workspace.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace spsta::stats {
+
+namespace {
+
+obs::Counter& grow_counter() {
+  static obs::Counter& c = obs::registry().counter("stats.workspace.grow");
+  return c;
+}
+
+obs::Counter& reuse_counter() {
+  static obs::Counter& c = obs::registry().counter("stats.workspace.reuse");
+  return c;
+}
+
+}  // namespace
+
+Workspace& Workspace::for_this_thread() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+std::span<double> Workspace::sized(std::vector<double>& buf, std::size_t n) {
+  if (buf.capacity() < n) {
+    ++grows_;
+    grow_counter().add();
+    // Round capacity up to the next power of two so a slowly growing grid
+    // sequence costs O(log) reallocations, not one per size.
+    buf.reserve(std::bit_ceil(n));
+  } else {
+    ++reuses_;
+    reuse_counter().add();
+  }
+  buf.resize(n);
+  return {buf.data(), n};
+}
+
+std::span<double> Workspace::scratch(std::size_t slot, std::size_t n) {
+  if (slot >= kSlots) throw std::out_of_range("Workspace::scratch: bad slot");
+  return sized(slots_[slot], n);
+}
+
+std::span<double> Workspace::fft_re(std::size_t n) { return sized(fft_re_, n); }
+std::span<double> Workspace::fft_im(std::size_t n) { return sized(fft_im_, n); }
+std::span<double> Workspace::conv_tmp(std::size_t n) { return sized(conv_tmp_, n); }
+
+const Workspace::FftPlan& Workspace::fft_plan(std::size_t n) {
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("Workspace::fft_plan: size must be a power of two >= 2");
+  }
+  const auto log2n = static_cast<std::size_t>(std::countr_zero(n));
+  if (plans_.size() <= log2n) plans_.resize(log2n + 1);
+  if (!plans_[log2n]) {
+    auto plan = std::make_unique<FftPlan>();
+    plan->n = n;
+    plan->bitrev.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      plan->bitrev[i] = static_cast<std::uint32_t>(
+          std::uint64_t{i} == 0
+              ? 0
+              : (std::uint64_t{plan->bitrev[i >> 1]} >> 1) | ((i & 1) << (log2n - 1)));
+    }
+    plan->wre.resize(n / 2);
+    plan->wim.resize(n / 2);
+    const double step = -2.0 * M_PI / static_cast<double>(n);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      plan->wre[k] = std::cos(step * static_cast<double>(k));
+      plan->wim[k] = std::sin(step * static_cast<double>(k));
+    }
+    grow_counter().add();
+    ++grows_;
+    plans_[log2n] = std::move(plan);
+  }
+  return *plans_[log2n];
+}
+
+}  // namespace spsta::stats

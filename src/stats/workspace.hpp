@@ -1,0 +1,86 @@
+/// \file workspace.hpp
+/// Per-thread scratch arena for the numeric kernel layer.
+///
+/// The level-parallel numeric engine evaluates thousands of gates per run,
+/// and every evaluation needs a handful of grid-length buffers (scenario
+/// folds, CDF products, convolution spectra). Allocating them per node is
+/// exactly the steady-state churn DESIGN.md §12 forbids, so each worker
+/// thread owns one `Workspace`: a set of grow-only double buffers plus a
+/// cache of FFT plans (bit-reversal permutation + twiddle tables) keyed by
+/// transform size. After the first node of a run warms the arena, the
+/// level loop performs zero heap allocations.
+///
+/// Determinism: a workspace is pure scratch — every buffer is fully
+/// overwritten before use, and plans are value-identical for equal sizes —
+/// so which thread's arena serves a node can never change a result bit.
+/// Growth/reuse totals are mirrored to the obs counters
+/// `stats.workspace.grow` / `stats.workspace.reuse` (the allocation probe
+/// tests assert the grow counter stays flat across warm runs).
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace spsta::stats {
+
+class Workspace {
+ public:
+  /// General-purpose scratch slots available to callers. The convolution
+  /// kernels use private FFT buffers (below), never these, so an engine
+  /// may hold any slot across a conv_* call.
+  static constexpr std::size_t kSlots = 8;
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The calling thread's arena (thread-local; created on first use and
+  /// kept for the thread's lifetime, so repeated runs on a long-lived pool
+  /// reuse warm buffers).
+  [[nodiscard]] static Workspace& for_this_thread();
+
+  /// Scratch buffer for \p slot, sized to exactly \p n doubles. Contents
+  /// are unspecified — callers overwrite. Capacity only grows.
+  [[nodiscard]] std::span<double> scratch(std::size_t slot, std::size_t n);
+
+  /// Iterative radix-2 FFT plan for power-of-two size \p n: bit-reversal
+  /// permutation and forward twiddles exp(-2*pi*i*k/n), k < n/2.
+  struct FftPlan {
+    std::size_t n = 0;
+    std::vector<std::uint32_t> bitrev;
+    std::vector<double> wre;  ///< cos(-2*pi*k/n)
+    std::vector<double> wim;  ///< sin(-2*pi*k/n)
+  };
+
+  /// Cached plan for size \p n (must be a power of two >= 2).
+  [[nodiscard]] const FftPlan& fft_plan(std::size_t n);
+
+  /// Private FFT work buffers (real/imag lanes), sized to \p n.
+  [[nodiscard]] std::span<double> fft_re(std::size_t n);
+  [[nodiscard]] std::span<double> fft_im(std::size_t n);
+  /// Private staging buffer for full-length convolution results.
+  [[nodiscard]] std::span<double> conv_tmp(std::size_t n);
+
+  /// Buffer requests served without growing (warm hits).
+  [[nodiscard]] std::uint64_t reuses() const noexcept { return reuses_; }
+  /// Buffer requests that had to grow a slot (cold misses).
+  [[nodiscard]] std::uint64_t grows() const noexcept { return grows_; }
+
+ private:
+  [[nodiscard]] std::span<double> sized(std::vector<double>& buf, std::size_t n);
+
+  std::array<std::vector<double>, kSlots> slots_;
+  std::vector<double> fft_re_;
+  std::vector<double> fft_im_;
+  std::vector<double> conv_tmp_;
+  std::vector<std::unique_ptr<FftPlan>> plans_;  ///< indexed by log2(n)
+  std::uint64_t reuses_ = 0;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace spsta::stats

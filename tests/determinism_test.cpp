@@ -13,6 +13,8 @@
 #include "netlist/netlist.hpp"
 #include "obs/metrics.hpp"
 #include "spsta_api.hpp"
+#include "stats/conv_kernels.hpp"
+#include "stats/workspace.hpp"
 
 namespace spsta {
 namespace {
@@ -124,6 +126,56 @@ TEST(Determinism, NumericEngineIsThreadCountInvariant) {
   const auto r1 = core::run_spsta_numeric(n, d, sources, o1);
   expect_same_numeric(r1, core::run_spsta_numeric(n, d, sources, o2));
   expect_same_numeric(r1, core::run_spsta_numeric(n, d, sources, o8));
+}
+
+TEST(Determinism, NumericEngineFftPathIsThreadCountInvariant) {
+  // Force the kernel layer onto the FFT path (tiny crossover) on a dense
+  // grid with truly stochastic delays: the kernel choice is a pure
+  // function of sizes, so results stay bit-identical at any thread count.
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.12);
+  const std::vector sources{netlist::scenario_I()};
+
+  stats::set_conv_crossover(32);
+  core::SpstaOptions o1;
+  o1.grid_dt = 0.002;
+  o1.max_grid_points = 1 << 14;
+  core::SpstaOptions o2 = o1;
+  o2.threads = 2;
+  core::SpstaOptions o8 = o1;
+  o8.threads = 8;
+
+  const auto r1 = core::run_spsta_numeric(n, d, sources, o1);
+  expect_same_numeric(r1, core::run_spsta_numeric(n, d, sources, o2));
+  expect_same_numeric(r1, core::run_spsta_numeric(n, d, sources, o8));
+  stats::set_conv_crossover(0);
+
+  // Different crossover => possibly different kernels; results must still
+  // agree to discretization accuracy (spot-check total mass per node).
+  const auto r_direct = core::run_spsta_numeric(n, d, sources, o1);
+  ASSERT_EQ(r1.node.size(), r_direct.node.size());
+  for (std::size_t id = 0; id < r1.node.size(); ++id) {
+    EXPECT_NEAR(r1.node[id].rise.mass(), r_direct.node[id].rise.mass(), 1e-7);
+    EXPECT_NEAR(r1.node[id].fall.mass(), r_direct.node[id].fall.mass(), 1e-7);
+  }
+}
+
+TEST(Determinism, NumericEngineLevelLoopDoesNotAllocateWhenWarm) {
+  // threads = 1 dispatches inline on this thread, so the engine's scratch
+  // is this thread's Workspace: after one warm run, further identical runs
+  // must not grow any buffer (the "zero steady-state allocation" probe).
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.05);
+  const std::vector sources{netlist::scenario_I()};
+  const core::SpstaOptions opts;  // threads = 1
+
+  const auto warm = core::run_spsta_numeric(n, d, sources, opts);
+  stats::Workspace& ws = stats::Workspace::for_this_thread();
+  const std::uint64_t grows = ws.grows();
+  const auto again = core::run_spsta_numeric(n, d, sources, opts);
+  EXPECT_EQ(ws.grows(), grows);
+  EXPECT_GT(ws.reuses(), 0u);
+  expect_same_numeric(warm, again);
 }
 
 TEST(Determinism, PatternCacheIsTransparentAtExactKeys) {
