@@ -24,11 +24,20 @@
 
 int main(int argc, char** argv) {
   spsta::service::ServeOptions options;
+  spsta::service::StoreBudget budget;
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
       options.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.workers = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--queue-cap=", 0) == 0) {
+      options.queue_capacity = std::stoul(arg.substr(12));
+    } else if (arg.rfind("--max-sessions=", 0) == 0) {
+      budget.max_sessions = std::stoul(arg.substr(15));
+    } else if (arg.rfind("--max-store-mb=", 0) == 0) {
+      budget.max_bytes = std::stoul(arg.substr(15)) << 20;
     } else if (arg == "--no-batch") {
       options.greedy_batch = false;
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -40,13 +49,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "spsta_serviced — JSON-lines analysis daemon over stdin/stdout\n"
-          "  --threads=N   scheduler pool size (default: all hardware threads)\n"
-          "  --no-batch    one request at a time (no greedy batch draining)\n"
-          "  --trace=FILE  append one JSON trace line per request to FILE\n"
-          "  --metrics     dump the metrics registry to stderr at exit\n"
-          "  --no-metrics  disable metric recording (zero-overhead serving)\n"
-          "Protocol: see DESIGN.md §9. Commands: ping load analyze query\n"
-          "set_delay set_source stats unload shutdown\n");
+          "  --threads=N       scheduler pool size (default: all hardware threads)\n"
+          "  --workers=N       serve through N sharded workers with affinity\n"
+          "                    routing + admission control (default: batch mode)\n"
+          "  --queue-cap=N     per-worker bounded queue (default 256); a full\n"
+          "                    queue sheds requests with an 'overloaded' error\n"
+          "  --max-sessions=N  LRU-evict loaded designs beyond N sessions\n"
+          "  --max-store-mb=N  LRU-evict beyond ~N MiB of resident sessions\n"
+          "  --no-batch        one request at a time (no greedy batch draining)\n"
+          "  --trace=FILE      append one JSON trace line per request to FILE\n"
+          "  --metrics         dump the metrics registry to stderr at exit\n"
+          "  --no-metrics      disable metric recording (zero-overhead serving)\n"
+          "Protocol: see DESIGN.md §9; worker pool: §13. Commands: ping load\n"
+          "analyze query set_delay set_source stats unload shutdown\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
@@ -59,6 +74,7 @@ int main(int argc, char** argv) {
   std::ios::sync_with_stdio(false);
 
   spsta::service::AnalysisService service;
+  service.set_store_budget(budget);
   const spsta::service::ServeReport report =
       spsta::service::serve(std::cin, std::cout, service, options);
   std::fprintf(stderr, "spsta_serviced: served %llu requests in %llu batches (%s)\n",

@@ -1,0 +1,331 @@
+// service_load — open-loop load generator for the analysis service's
+// sharded worker-pool runtime (ROADMAP item 1, DESIGN.md §13).
+//
+// Open loop means request submission follows a fixed schedule (target RPS)
+// regardless of how fast responses come back — the generator never slows
+// down to match the server, so queue growth, admission-control sheds and
+// tail latency under overload are actually visible (a closed-loop client
+// would coordinate-omit them away). Submission drives the same
+// WorkerPool + AnalysisService stack `spsta_serviced --workers=N` serves
+// through, minus the stdio framing, so the numbers measure the service
+// runtime, not pipe throughput.
+//
+// Workload mix per request (deterministic, seeded):
+//   * warm (default 90%): analyze/query against one of the preloaded
+//     ISCAS-scale sessions, rotating engines (spsta_moment, ssta,
+//     canonical) — mostly result-cache hits, the steady-state serving
+//     shape;
+//   * cold (the rest): a `load` of a generator-built netlist from a small
+//     rotating set — some loads are cross-session plan-cache hits,
+//     first-timers pay parse + plan compile on the shard.
+//
+// Reported: achieved RPS, completion counts, shed counts, and p50/p95/p99
+// of client sojourn (submit -> response) measured exactly, plus queue-wait
+// and execute percentiles read from the obs registry histograms
+// (service.queue_wait / service.execute) — the same numbers the `stats`
+// command exports.
+//
+//   $ bench/service_load --rps=500 --seconds=5 --shards=8
+//         --queue-cap=256 --warm=0.9 --json=BENCH_service_load.json
+//
+// The committed BENCH_service_load.json snapshot is produced by
+// --snapshot (fixed small settings for comparable per-PR trajectories).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas89.hpp"
+#include "obs/metrics.hpp"
+#include "service/json.hpp"
+#include "service/worker_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using spsta::service::AnalysisService;
+using spsta::service::Json;
+using spsta::service::Response;
+using spsta::service::WorkerPool;
+
+struct Config {
+  double rps = 500.0;
+  double seconds = 5.0;
+  unsigned shards = 0;  // 0 = hardware
+  std::size_t queue_capacity = 256;
+  double warm_ratio = 0.9;
+  double deadline_ms = -1.0;  // <0: none
+  std::uint64_t seed = 42;
+  std::string json_path;
+  bool snapshot = false;
+};
+
+struct Percentiles {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+Percentiles exact_percentiles(std::vector<double>& ms) {
+  Percentiles p;
+  if (ms.empty()) return p;
+  std::sort(ms.begin(), ms.end());
+  const auto at = [&](double q) {
+    const std::size_t i = static_cast<std::size_t>(q * (ms.size() - 1) + 0.5);
+    return ms[std::min(i, ms.size() - 1)];
+  };
+  return {at(0.50), at(0.95), at(0.99)};
+}
+
+Json percentiles_json(const Percentiles& p) {
+  Json j = Json::object();
+  j.set("p50_ms", Json(p.p50));
+  j.set("p95_ms", Json(p.p95));
+  j.set("p99_ms", Json(p.p99));
+  return j;
+}
+
+/// One request line of the mix. `tick` indexes the submission schedule.
+std::string make_line(std::uint64_t tick, double u, const Config& config,
+                      const std::vector<std::string>& warm_keys,
+                      const std::vector<std::string>& cold_texts) {
+  std::string line;
+  if (u < config.warm_ratio && !warm_keys.empty()) {
+    static constexpr const char* kEngines[] = {"spsta_moment", "ssta", "canonical"};
+    const std::string& key = warm_keys[tick % warm_keys.size()];
+    line = R"({"id":)" + std::to_string(tick) + R"(,"cmd":"analyze","session":")" +
+           key + R"(","engine":")" + kEngines[tick % 3] + "\"";
+  } else {
+    const std::string& text = cold_texts[tick % cold_texts.size()];
+    line = R"({"id":)" + std::to_string(tick) +
+           R"(,"cmd":"load","format":"bench","text":)" +
+           Json(text).dump();
+  }
+  if (config.deadline_ms >= 0) {
+    line += ",\"deadline_ms\":" + std::to_string(config.deadline_ms);
+  }
+  line += "}";
+  return line;
+}
+
+int run(const Config& config) {
+  AnalysisService service;
+  WorkerPool pool(service, {config.shards, config.queue_capacity});
+
+  // --- Preload the warm set (cross-shard: each circuit routes by its own
+  // content hash).
+  std::vector<std::string> warm_keys;
+  for (const std::string_view name :
+       {std::string_view("s27"), std::string_view("s298"),
+        std::string_view("s344"), std::string_view("s386")}) {
+    const std::string line = R"({"cmd":"load","circuit":")" + std::string(name) + "\"}";
+    Response r = pool.submit(line).get();
+    if (!r.ok) {
+      std::fprintf(stderr, "preload of %.*s failed: %s\n",
+                   static_cast<int>(name.size()), name.data(),
+                   r.to_line().c_str());
+      return 1;
+    }
+    warm_keys.push_back(r.body.find("session")->as_string());
+  }
+  // Prime the analysis caches so the warm mix measures steady state.
+  for (const std::string& key : warm_keys) {
+    for (const char* engine : {"spsta_moment", "ssta", "canonical"}) {
+      (void)pool
+          .submit(R"({"cmd":"analyze","session":")" + key + R"(","engine":")" +
+                  engine + "\"}")
+          .get();
+    }
+  }
+
+  // --- Cold set: generator-built netlists serialized to .bench text.
+  std::vector<std::string> cold_texts;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    spsta::netlist::GeneratorSpec spec;
+    spec.name = "load_cold_" + std::to_string(s);
+    spec.num_inputs = 12;
+    spec.num_outputs = 6;
+    spec.num_gates = 160;
+    spec.target_depth = 9;
+    spec.seed = 1000 + s;
+    cold_texts.push_back(spsta::netlist::write_bench(spsta::netlist::generate_circuit(spec)));
+  }
+
+  // Preload/priming latency must not pollute the measured histograms.
+  spsta::obs::registry().reset_values();
+
+  // --- Open-loop run: submit on the fixed schedule, harvest after drain.
+  const auto total = static_cast<std::uint64_t>(config.rps * config.seconds);
+  const auto period_ns = static_cast<std::uint64_t>(1e9 / config.rps);
+  spsta::stats::Xoshiro256 rng(config.seed);
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(total);
+  std::vector<Clock::time_point> submit_at(total);
+
+  const Clock::time_point start = Clock::now();
+  std::uint64_t behind_schedule = 0;
+  for (std::uint64_t tick = 0; tick < total; ++tick) {
+    const Clock::time_point due =
+        start + std::chrono::nanoseconds(tick * period_ns);
+    if (Clock::now() < due) {
+      std::this_thread::sleep_until(due);
+    } else if (Clock::now() > due + std::chrono::milliseconds(1)) {
+      ++behind_schedule;  // submitter itself could not keep the schedule
+    }
+    const double u = rng.uniform();
+    submit_at[tick] = Clock::now();
+    futures.push_back(
+        pool.submit(make_line(tick, u, config, warm_keys, cold_texts),
+                    submit_at[tick]));
+  }
+  pool.drain();
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // --- Harvest: client sojourn per request, split by outcome.
+  std::vector<double> sojourn_ms;
+  sojourn_ms.reserve(total);
+  std::uint64_t ok_count = 0, overloaded = 0, deadline = 0, failed = 0;
+  for (std::uint64_t tick = 0; tick < total; ++tick) {
+    Response r = futures[tick].get();
+    // Completion time is unknown post-hoc; queue+execute span is the
+    // server-side sojourn. Client-side: harvested futures resolved by
+    // drain(), so span covers the full in-service time.
+    sojourn_ms.push_back(r.span.queue_ms + r.span.execute_ms);
+    if (r.ok) {
+      ++ok_count;
+    } else if (r.error_code() == "overloaded") {
+      ++overloaded;
+    } else if (r.error_code() == "deadline_exceeded") {
+      ++deadline;
+    } else {
+      ++failed;
+    }
+  }
+  const Percentiles sojourn = exact_percentiles(sojourn_ms);
+
+  const spsta::obs::Snapshot snap = spsta::obs::registry().snapshot();
+  const Percentiles queue_wait{snap.histogram_quantile_ms("service.queue_wait", 0.50),
+                               snap.histogram_quantile_ms("service.queue_wait", 0.95),
+                               snap.histogram_quantile_ms("service.queue_wait", 0.99)};
+  const Percentiles execute{snap.histogram_quantile_ms("service.execute", 0.50),
+                            snap.histogram_quantile_ms("service.execute", 0.95),
+                            snap.histogram_quantile_ms("service.execute", 0.99)};
+
+  const double achieved_rps = static_cast<double>(total) / wall_seconds;
+
+  std::printf("service_load: %llu requests over %.2f s (target %.0f rps, achieved %.0f)\n",
+              static_cast<unsigned long long>(total), wall_seconds, config.rps,
+              achieved_rps);
+  std::printf("  shards=%u queue_cap=%zu warm=%.2f\n", pool.shards(),
+              pool.queue_capacity(), config.warm_ratio);
+  std::printf("  ok=%llu overloaded=%llu deadline=%llu failed=%llu behind=%llu\n",
+              static_cast<unsigned long long>(ok_count),
+              static_cast<unsigned long long>(overloaded),
+              static_cast<unsigned long long>(deadline),
+              static_cast<unsigned long long>(failed),
+              static_cast<unsigned long long>(behind_schedule));
+  std::printf("  sojourn   p50=%.3f ms  p95=%.3f ms  p99=%.3f ms (exact)\n",
+              sojourn.p50, sojourn.p95, sojourn.p99);
+  std::printf("  queue     p50=%.3f ms  p95=%.3f ms  p99=%.3f ms (obs histogram)\n",
+              queue_wait.p50, queue_wait.p95, queue_wait.p99);
+  std::printf("  execute   p50=%.3f ms  p95=%.3f ms  p99=%.3f ms (obs histogram)\n",
+              execute.p50, execute.p95, execute.p99);
+  std::printf("  plan cache: hits=%llu misses=%llu evictions=%llu\n",
+              static_cast<unsigned long long>(service.store().plan_hits()),
+              static_cast<unsigned long long>(service.store().plan_misses()),
+              static_cast<unsigned long long>(service.store().evictions()));
+
+  if (!config.json_path.empty()) {
+    Json j = Json::object();
+    j.set("bench", Json("service_load"));
+    j.set("target_rps", Json(config.rps));
+    j.set("achieved_rps", Json(achieved_rps));
+    j.set("seconds", Json(wall_seconds));
+    j.set("requests", Json(total));
+    j.set("shards", Json(static_cast<std::uint64_t>(pool.shards())));
+    j.set("queue_capacity", Json(pool.queue_capacity()));
+    j.set("warm_ratio", Json(config.warm_ratio));
+    j.set("ok", Json(ok_count));
+    j.set("overloaded", Json(overloaded));
+    j.set("deadline_shed", Json(deadline));
+    j.set("failed", Json(failed));
+    j.set("behind_schedule", Json(behind_schedule));
+    j.set("sojourn", percentiles_json(sojourn));
+    j.set("queue_wait", percentiles_json(queue_wait));
+    j.set("execute", percentiles_json(execute));
+    Json store = Json::object();
+    store.set("plan_hits", Json(service.store().plan_hits()));
+    store.set("plan_misses", Json(service.store().plan_misses()));
+    store.set("evictions", Json(service.store().evictions()));
+    j.set("plan_cache", std::move(store));
+    std::FILE* f = std::fopen(config.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", config.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", j.dump().c_str());
+    std::fclose(f);
+    std::printf("  snapshot -> %s\n", config.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto num = [&](std::size_t prefix) { return std::stod(arg.substr(prefix)); };
+    if (arg.rfind("--rps=", 0) == 0) {
+      config.rps = num(6);
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      config.seconds = num(10);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      config.shards = static_cast<unsigned>(num(9));
+    } else if (arg.rfind("--queue-cap=", 0) == 0) {
+      config.queue_capacity = static_cast<std::size_t>(num(12));
+    } else if (arg.rfind("--warm=", 0) == 0) {
+      config.warm_ratio = num(7);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      config.deadline_ms = num(14);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = static_cast<std::uint64_t>(num(7));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = arg.substr(7);
+    } else if (arg == "--snapshot") {
+      // Fixed, CI-sized settings: the committed per-PR trajectory point.
+      config.snapshot = true;
+      config.rps = 200.0;
+      config.seconds = 3.0;
+      config.shards = 4;
+      config.queue_capacity = 64;
+      if (config.json_path.empty()) config.json_path = "BENCH_service_load.json";
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "service_load — open-loop load generator for the worker-pool runtime\n"
+          "  --rps=R          target submissions per second (default 500)\n"
+          "  --seconds=S      run length (default 5)\n"
+          "  --shards=N       worker shards (default: hardware)\n"
+          "  --queue-cap=N    per-shard bounded queue (default 256)\n"
+          "  --warm=F         warm (analyze) fraction of the mix (default 0.9)\n"
+          "  --deadline-ms=D  attach a relative deadline to every request\n"
+          "  --seed=S         mix RNG seed (default 42)\n"
+          "  --json=FILE      write a JSON snapshot\n"
+          "  --snapshot       fixed CI settings -> BENCH_service_load.json\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  return run(config);
+}

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 namespace spsta::obs {
 
 namespace detail {
@@ -82,6 +84,33 @@ std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
     if (c.name == name) return c.value;
   }
   return 0;
+}
+
+double Snapshot::histogram_quantile_ms(std::string_view name,
+                                       double q) const noexcept {
+  for (const HistogramValue& h : histograms) {
+    if (h.name != name) continue;
+    if (h.count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the q-th sample (1-based, ceil): the smallest bucket whose
+    // cumulative count reaches it holds the quantile.
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       q * static_cast<double>(h.count) + 0.9999999));
+    std::uint64_t seen = 0;
+    for (const HistogramValue::Bucket& b : h.buckets) {
+      seen += b.count;
+      if (seen >= rank) {
+        if (b.upper_us == UINT64_MAX) {
+          return static_cast<double>(h.max_ns) * 1e-6;  // overflow: true max
+        }
+        return static_cast<double>(b.upper_us) * 1e-3;
+      }
+    }
+    return static_cast<double>(h.max_ns) * 1e-6;
+  }
+  return 0.0;
 }
 
 Registry& registry() noexcept {

@@ -190,6 +190,15 @@ struct Snapshot {
   [[nodiscard]] double histogram_total_ms(std::string_view name) const noexcept;
   /// Convenience: value of counter \p name (0 if absent).
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept;
+  /// Quantile estimate (q in [0,1]) of histogram \p name in milliseconds,
+  /// from the log2 bucket bounds: the value returned is the upper bound of
+  /// the bucket holding the q-th sample (the overflow bucket reports the
+  /// recorded max), so it is an upper estimate with bucket resolution —
+  /// what a fixed-bucket histogram can honestly answer. 0 when the
+  /// histogram is absent or empty. The service load bench reports
+  /// p50/p95/p99 through this.
+  [[nodiscard]] double histogram_quantile_ms(std::string_view name,
+                                             double q) const noexcept;
 };
 
 /// Name-addressed metric store. Metrics live for the process lifetime

@@ -1,6 +1,8 @@
 #include "service/daemon.hpp"
 
 #include <chrono>
+#include <deque>
+#include <future>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -9,6 +11,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/worker_pool.hpp"
 
 namespace spsta::service {
 
@@ -23,19 +26,30 @@ bool has_content(const std::string& line) {
   return false;
 }
 
-}  // namespace
+/// Writes one response line, recording serialization time and the
+/// optional trace entry. Shared by both serve runtimes.
+void write_response(std::ostream& out, const Response& response,
+                    obs::LatencyHistogram& serialize_hist, obs::TraceLog* trace) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out << response.to_line() << '\n';
+  const auto serialize_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+  serialize_hist.record_ns(static_cast<std::uint64_t>(serialize_ns));
+  if (trace != nullptr) {
+    trace->write({response.span.trace_id, response.span.cmd, response.ok,
+                  response.span.queue_ms, response.span.execute_ms,
+                  static_cast<double>(serialize_ns) * 1e-6});
+  }
+}
 
-ServeReport serve(std::istream& in, std::ostream& out, AnalysisService& service,
-                  const ServeOptions& options) {
+/// Batch-scheduler runtime: deterministic batches, responses per batch.
+ServeReport serve_batched(std::istream& in, std::ostream& out,
+                          AnalysisService& service, const ServeOptions& options,
+                          obs::LatencyHistogram& serialize_hist,
+                          obs::TraceLog* trace) {
   BatchScheduler scheduler(service, options.threads);
   ServeReport report;
-  const std::unique_ptr<obs::TraceLog> trace =
-      options.trace_path.empty() ? nullptr
-                                 : std::make_unique<obs::TraceLog>(options.trace_path);
-
-  static obs::LatencyHistogram& serialize_hist =
-      obs::registry().histogram("service.serialize");
-
   std::string line;
   while (!service.shutdown_requested() && std::getline(in, line)) {
     std::vector<Incoming> batch;
@@ -50,17 +64,7 @@ ServeReport serve(std::istream& in, std::ostream& out, AnalysisService& service,
 
     const std::vector<Response> responses = scheduler.run(batch);
     for (const Response& response : responses) {
-      const auto t0 = std::chrono::steady_clock::now();
-      out << response.to_line() << '\n';
-      const auto serialize_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                    std::chrono::steady_clock::now() - t0)
-                                    .count();
-      serialize_hist.record_ns(static_cast<std::uint64_t>(serialize_ns));
-      if (trace != nullptr) {
-        trace->write({response.span.trace_id, response.span.cmd, response.ok,
-                      response.span.queue_ms, response.span.execute_ms,
-                      static_cast<double>(serialize_ns) * 1e-6});
-      }
+      write_response(out, response, serialize_hist, trace);
     }
     out.flush();
     ++report.batches;
@@ -68,6 +72,76 @@ ServeReport serve(std::istream& in, std::ostream& out, AnalysisService& service,
   }
   report.shutdown = service.shutdown_requested();
   return report;
+}
+
+/// Worker-pool runtime: lines are submitted to the sharded pool as they
+/// arrive (admission control may shed them immediately); completed
+/// responses are written back strictly in submission order, so the
+/// protocol's ordering contract holds even though shards finish out of
+/// order.
+ServeReport serve_pooled(std::istream& in, std::ostream& out,
+                         AnalysisService& service, const ServeOptions& options,
+                         obs::LatencyHistogram& serialize_hist,
+                         obs::TraceLog* trace) {
+  WorkerPool pool(service, {options.workers, options.queue_capacity});
+  ServeReport report;
+  std::deque<std::future<Response>> pending;
+
+  // Backstop on reorder-buffer growth: beyond this, block on the oldest
+  // response before reading more input (the pool's own queues stay
+  // bounded regardless — this only bounds daemon-side future storage).
+  const std::size_t max_pending =
+      2 * pool.shards() * pool.queue_capacity() + 64;
+
+  const auto flush_ready = [&](bool block_all) {
+    bool wrote = false;
+    while (!pending.empty()) {
+      if (!block_all && pending.front().wait_for(std::chrono::seconds(0)) !=
+                            std::future_status::ready) {
+        break;
+      }
+      write_response(out, pending.front().get(), serialize_hist, trace);
+      pending.pop_front();
+      wrote = true;
+    }
+    if (wrote) {
+      out.flush();
+      ++report.batches;
+    }
+  };
+
+  std::string line;
+  while (!service.shutdown_requested() && std::getline(in, line)) {
+    if (has_content(line)) {
+      pending.push_back(pool.submit(std::move(line)));
+      ++report.requests;
+    }
+    if (pending.size() >= max_pending) {
+      write_response(out, pending.front().get(), serialize_hist, trace);
+      pending.pop_front();
+      out.flush();
+      ++report.batches;
+    }
+    flush_ready(/*block_all=*/false);
+  }
+  flush_ready(/*block_all=*/true);
+  report.shutdown = service.shutdown_requested();
+  return report;
+}
+
+}  // namespace
+
+ServeReport serve(std::istream& in, std::ostream& out, AnalysisService& service,
+                  const ServeOptions& options) {
+  const std::unique_ptr<obs::TraceLog> trace =
+      options.trace_path.empty() ? nullptr
+                                 : std::make_unique<obs::TraceLog>(options.trace_path);
+  static obs::LatencyHistogram& serialize_hist =
+      obs::registry().histogram("service.serialize");
+  if (options.workers > 0) {
+    return serve_pooled(in, out, service, options, serialize_hist, trace.get());
+  }
+  return serve_batched(in, out, service, options, serialize_hist, trace.get());
 }
 
 }  // namespace spsta::service

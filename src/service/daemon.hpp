@@ -27,6 +27,13 @@ struct ServeOptions {
   /// When non-empty, append one JSON trace line per served request
   /// (trace_id, cmd, ok, queue/execute/serialize ms) to this file.
   std::string trace_path;
+
+  /// > 0 selects the sharded worker-pool runtime (DESIGN.md §13): that
+  /// many affinity-routed worker shards, each with a bounded queue of
+  /// `queue_capacity`, admission control answering `overloaded` when a
+  /// shard is full. 0 keeps the deterministic batch scheduler.
+  unsigned workers = 0;
+  std::size_t queue_capacity = 256;  ///< per-shard queue bound (pool mode)
 };
 
 struct ServeReport {

@@ -12,6 +12,7 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::UnknownEngine: return "unknown_engine";
     case ErrorCode::BadParams: return "bad_params";
     case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::Overloaded: return "overloaded";
     case ErrorCode::IoError: return "io_error";
     case ErrorCode::InternalError: return "internal_error";
   }
@@ -69,6 +70,12 @@ std::string_view Response::error_code() const {
 }
 
 std::variant<Request, Response> parse_request(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) {
+    return Response::failure(Json(), ErrorCode::BadRequest,
+                             "request line of " + std::to_string(line.size()) +
+                                 " bytes exceeds the " +
+                                 std::to_string(kMaxRequestBytes) + " byte limit");
+  }
   Json doc;
   try {
     doc = Json::parse(line);

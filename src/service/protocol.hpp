@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -37,9 +38,17 @@ enum class ErrorCode {
   UnknownEngine,     ///< engine name not in the table
   BadParams,         ///< command parameters missing or out of range
   DeadlineExceeded,  ///< request expired before execution
+  Overloaded,        ///< admission control shed the request (retry later)
   IoError,           ///< file could not be read
   InternalError,     ///< unexpected exception (caught, daemon stays up)
 };
+
+/// Hard cap on one request line. A longer line is answered with a
+/// structured bad_request instead of being parsed — backpressure against
+/// a runaway (or hostile) client long before the JSON parser allocates.
+/// Generous: inline `text` netlist payloads of every supported circuit
+/// size fit with orders of magnitude to spare.
+inline constexpr std::size_t kMaxRequestBytes = 8u << 20;
 
 /// Wire name of an error code (e.g. "unknown_session").
 [[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
@@ -51,6 +60,23 @@ struct Request {
   std::string cmd;
   Json body;                ///< the whole request object
   double deadline_ms = -1;  ///< relative deadline; < 0 means none
+  /// Deadline origin. parse_request stamps "now"; the scheduler / worker
+  /// pool overwrite it with the wire-arrival time so queue wait counts
+  /// against the deadline.
+  std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
+
+  /// Milliseconds since `enqueued`.
+  [[nodiscard]] double age_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - enqueued)
+        .count();
+  }
+  /// True when the deadline has lapsed. Checked at dispatch AND re-checked
+  /// by heavy handlers after they acquire the session mutex: a request that
+  /// sat behind same-session contention is shed, not silently run late.
+  [[nodiscard]] bool expired() const {
+    return deadline_ms >= 0 && age_ms() > deadline_ms;
+  }
 };
 
 /// Per-request observability span, filled by the batch scheduler. Not

@@ -31,7 +31,9 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 BatchScheduler::BatchScheduler(AnalysisService& service, unsigned threads)
-    : service_(service), pool_(threads) {}
+    : service_(service), pool_(threads),
+      global_queue_hist_(obs::registry().histogram("service.queue_wait")),
+      global_execute_hist_(obs::registry().histogram("service.execute")) {}
 
 std::vector<Response> BatchScheduler::run(const std::vector<Incoming>& batch) {
   ++stats_.batches;
@@ -44,21 +46,23 @@ std::vector<Response> BatchScheduler::run(const std::vector<Incoming>& batch) {
     // pool job — so the id a request gets never depends on thread timing.
     slots.push_back({parse_request(incoming.line), incoming.enqueued,
                      trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1});
+    if (Request* request = std::get_if<Request>(&slots.back().parsed)) {
+      // The deadline origin is wire arrival, not parse time: queue wait
+      // counts against the budget, here and in the handlers' re-check.
+      request->enqueued = incoming.enqueued;
+    }
   }
-
-  static obs::LatencyHistogram& queue_hist =
-      obs::registry().histogram("service.queue_wait");
-  static obs::LatencyHistogram& execute_hist =
-      obs::registry().histogram("service.execute");
 
   std::vector<Response> responses(batch.size());
   // Written from pool threads; each slot touches only its own entry, so
   // the counters can be summed race-free after the batch.
-  std::vector<unsigned char> expired(batch.size(), 0);
+  enum : unsigned char { kRan = 0, kShedQueue = 1, kShedExecute = 2 };
+  std::vector<unsigned char> expired(batch.size(), kRan);
   const auto execute_slot = [&](std::size_t i) {
     Slot& slot = slots[i];
     const double queue_ms = ms_since(slot.enqueued);
-    queue_hist.record_ns(static_cast<std::uint64_t>(queue_ms * 1e6));
+    queue_hist_.record_ns(static_cast<std::uint64_t>(queue_ms * 1e6));
+    global_queue_hist_.record_ns(static_cast<std::uint64_t>(queue_ms * 1e6));
     if (Response* early = std::get_if<Response>(&slot.parsed)) {
       responses[i] = std::move(*early);  // envelope error, nothing to execute
       responses[i].span = {slot.trace_id, "", queue_ms, 0.0};
@@ -66,7 +70,7 @@ std::vector<Response> BatchScheduler::run(const std::vector<Incoming>& batch) {
     }
     const Request& request = std::get<Request>(slot.parsed);
     if (request.deadline_ms >= 0 && queue_ms > request.deadline_ms) {
-      expired[i] = 1;
+      expired[i] = kShedQueue;
       responses[i] = Response::failure(
           request.id, ErrorCode::DeadlineExceeded,
           "deadline of " + json_number(request.deadline_ms) + " ms exceeded (" +
@@ -77,8 +81,14 @@ std::vector<Response> BatchScheduler::run(const std::vector<Incoming>& batch) {
     const auto exec_start = std::chrono::steady_clock::now();
     responses[i] = service_.execute(request);
     const double execute_ms = ms_since(exec_start);
-    execute_hist.record_ns(static_cast<std::uint64_t>(execute_ms * 1e6));
+    execute_hist_.record_ns(static_cast<std::uint64_t>(execute_ms * 1e6));
+    global_execute_hist_.record_ns(static_cast<std::uint64_t>(execute_ms * 1e6));
     responses[i].span = {slot.trace_id, request.cmd, queue_ms, execute_ms};
+    // The handlers re-check the deadline after winning the session mutex;
+    // count that second shed point separately from the queue one.
+    if (!responses[i].ok && responses[i].error_code() == "deadline_exceeded") {
+      expired[i] = kShedExecute;
+    }
   };
 
   std::size_t i = 0;
@@ -101,7 +111,11 @@ std::vector<Response> BatchScheduler::run(const std::vector<Incoming>& batch) {
     }
     i = end;
   }
-  for (const unsigned char e : expired) stats_.deadline_expired += e;
+  for (const unsigned char e : expired) {
+    stats_.deadline_expired_queue += e == kShedQueue;
+    stats_.deadline_expired_execute += e == kShedExecute;
+    stats_.deadline_expired += e != kRan;
+  }
   return responses;
 }
 

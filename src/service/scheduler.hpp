@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "util/thread_pool.hpp"
@@ -43,7 +44,11 @@ struct SchedulerStats {
   std::uint64_t requests = 0;
   std::uint64_t parallel_groups = 0;
   std::uint64_t barriers = 0;
+  /// Total deadline sheds: the dispatch-time check plus the re-check heavy
+  /// handlers perform after winning the session mutex.
   std::uint64_t deadline_expired = 0;
+  std::uint64_t deadline_expired_queue = 0;    ///< shed before dispatch
+  std::uint64_t deadline_expired_execute = 0;  ///< shed at execute start
 };
 
 class BatchScheduler {
@@ -60,10 +65,27 @@ class BatchScheduler {
   [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] unsigned pool_size() const noexcept { return pool_.size(); }
 
+  /// Per-instance latency histograms (queue wait, execute). Owned by the
+  /// scheduler — two schedulers in one process (e.g. two daemons in a
+  /// test) no longer bleed into each other's stats. The process-wide
+  /// registry histograms "service.queue_wait" / "service.execute" are
+  /// still recorded as the cross-instance aggregate the `stats` command
+  /// and the load bench read.
+  [[nodiscard]] const obs::LatencyHistogram& queue_histogram() const noexcept {
+    return queue_hist_;
+  }
+  [[nodiscard]] const obs::LatencyHistogram& execute_histogram() const noexcept {
+    return execute_hist_;
+  }
+
  private:
   AnalysisService& service_;
   util::ThreadPool pool_;
   SchedulerStats stats_;
+  obs::LatencyHistogram queue_hist_;    ///< this instance only
+  obs::LatencyHistogram execute_hist_;  ///< this instance only
+  obs::LatencyHistogram& global_queue_hist_;
+  obs::LatencyHistogram& global_execute_hist_;
   /// Per-scheduler trace-id sequence: every response gets `t-<n>` with n
   /// counting from 1, so a fresh daemon's trace ids are reproducible.
   std::atomic<std::uint64_t> trace_seq_{0};

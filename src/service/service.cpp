@@ -231,7 +231,24 @@ std::string infer_format(const std::string& path) {
        "cannot infer format from '" + path + "'; pass \"format\"");
 }
 
+/// Sheds a request whose deadline lapsed while it waited — called by the
+/// heavy handlers right after they win the session mutex, the second shed
+/// point the dispatch-time check cannot cover (ISSUE 6 satellite).
+void check_deadline(const Request& request) {
+  if (request.expired()) {
+    fail(ErrorCode::DeadlineExceeded,
+         "deadline of " + json_number(request.deadline_ms) +
+             " ms exceeded at execute start (" + json_number(request.age_ms()) +
+             " ms since enqueue)");
+  }
+}
+
 }  // namespace
+
+std::uint64_t load_content_hash(std::string_view format,
+                                std::string_view content) noexcept {
+  return fnv1a64(content, fnv1a64(format) * 0x9e3779b97f4a7c15ull + 1);
+}
 
 Json metrics_json() {
   const obs::Snapshot snap = obs::registry().snapshot();
@@ -336,17 +353,17 @@ Response AnalysisService::dispatch(const Request& request) {
   }
 }
 
-Session& AnalysisService::resolve_session(const Request& request) {
+std::shared_ptr<Session> AnalysisService::resolve_session(const Request& request) {
   const Json* key = request.body.find("session");
   if (key == nullptr || !key->is_string()) {
     fail(ErrorCode::BadRequest, "missing string field 'session'");
   }
-  Session* session = store_.find(key->as_string());
+  std::shared_ptr<Session> session = store_.find(key->as_string());
   if (session == nullptr) {
     fail(ErrorCode::UnknownSession, "no session '" + key->as_string() +
                                         "' (load a design first)");
   }
-  return *session;
+  return session;
 }
 
 Response AnalysisService::handle_ping(const Request& request) {
@@ -401,28 +418,33 @@ Response AnalysisService::handle_load(const Request& request) {
   }
 
   // Content hash = (format, bytes): identical content re-loads the
-  // existing session without re-parsing.
-  const std::uint64_t hash =
-      fnv1a64(source.content, fnv1a64(source.format) * 0x9e3779b97f4a7c15ull + 1);
+  // existing session without re-parsing — including content loaded by a
+  // different client, which is the cross-session plan-cache hit.
+  const std::uint64_t hash = load_content_hash(source.format, source.content);
 
-  netlist::Netlist design;
-  if (Session* existing = store_.find(hash_key(hash)); existing == nullptr) {
+  // The parse runs inside the store's design factory: outside the store
+  // mutex, and only when no session (ready or in flight) exists for the
+  // hash — concurrent identical loads wait on the per-key latch and never
+  // parse or compile twice.
+  const auto make_design = [&source]() -> netlist::Netlist {
     try {
       if (source.format == "circuit") {
-        design = netlist::make_paper_circuit(source.content);
-      } else if (source.format == "bench") {
-        design = netlist::parse_bench(source.content);
-      } else {
-        design = netlist::parse_verilog(source.content);
+        return netlist::make_paper_circuit(source.content);
       }
+      if (source.format == "bench") {
+        return netlist::parse_bench(source.content);
+      }
+      return netlist::parse_verilog(source.content);
+    } catch (const ServiceError&) {
+      throw;
     } catch (const std::invalid_argument& e) {
       fail(ErrorCode::BadParams, e.what());
     } catch (const std::exception& e) {
       fail(ErrorCode::BadParams, std::string("parse failed: ") + e.what());
     }
-  }
+  };
 
-  const auto [session, fresh] = store_.load(hash, std::move(design), &pattern_cache_);
+  const auto [session, fresh] = store_.load(hash, make_design, &pattern_cache_);
   Json result = Json::object();
   result.set("session", Json(session->key));
   result.set("name", Json(session->display_name));
@@ -481,11 +503,15 @@ std::pair<const CachedAnalysis*, bool> AnalysisService::ensure_analysis(
 }
 
 Response AnalysisService::handle_analyze(const Request& request) {
-  Session& session = resolve_session(request);
+  const std::shared_ptr<Session> session_ptr = resolve_session(request);
+  Session& session = *session_ptr;
   const Engine engine = engine_of(request.body);
   const AnalyzeParams params = parse_params(request.body);
 
   const std::lock_guard<std::mutex> lock(session.mutex);
+  // Second shed point: the wait for session.mutex (another client's long
+  // analysis) counts against the deadline too.
+  check_deadline(request);
   const auto [analysis, cached] = ensure_analysis(session, engine, params);
 
   Json result = endpoints_json(session, *analysis);
@@ -497,7 +523,8 @@ Response AnalysisService::handle_analyze(const Request& request) {
 }
 
 Response AnalysisService::handle_query(const Request& request) {
-  Session& session = resolve_session(request);
+  const std::shared_ptr<Session> session_ptr = resolve_session(request);
+  Session& session = *session_ptr;
   const Engine engine = engine_of(request.body);
   const AnalyzeParams params = parse_params(request.body);
   const Json* node = request.body.find("node");
@@ -507,6 +534,7 @@ Response AnalysisService::handle_query(const Request& request) {
   }
 
   const std::lock_guard<std::mutex> lock(session.mutex);
+  check_deadline(request);
 
   // Resolve the query target *before* running any engine: a bogus node
   // must not cost an analysis (or populate the cache).
@@ -563,7 +591,8 @@ Response AnalysisService::handle_query(const Request& request) {
 }
 
 Response AnalysisService::handle_set_delay(const Request& request) {
-  Session& session = resolve_session(request);
+  const std::shared_ptr<Session> session_ptr = resolve_session(request);
+  Session& session = *session_ptr;
   const Json* node = request.body.find("node");
   if (node == nullptr) fail(ErrorCode::BadRequest, "set_delay needs 'node'");
   const double mean = number_field(request.body, "mean", -1e301, -1e300, 1e300);
@@ -584,7 +613,8 @@ Response AnalysisService::handle_set_delay(const Request& request) {
 }
 
 Response AnalysisService::handle_set_source(const Request& request) {
-  Session& session = resolve_session(request);
+  const std::shared_ptr<Session> session_ptr = resolve_session(request);
+  Session& session = *session_ptr;
   const Json* source = request.body.find("source");
   if (source == nullptr || !source->is_number() ||
       source->as_number() != std::floor(source->as_number()) ||
@@ -655,6 +685,20 @@ Response AnalysisService::handle_stats(const Request& request) {
   cache.set("misses", Json(cache_misses_.load(std::memory_order_relaxed)));
   result.set("analysis_cache", std::move(cache));
 
+  {
+    // Cross-session plan cache (the LRU session store).
+    Json store = Json::object();
+    store.set("plan_hits", Json(store_.plan_hits()));
+    store.set("plan_misses", Json(store_.plan_misses()));
+    store.set("evictions", Json(store_.evictions()));
+    store.set("latch_waits", Json(store_.latch_waits()));
+    store.set("approx_bytes", Json(store_.approx_bytes()));
+    const StoreBudget budget = store_.budget();
+    if (budget.max_sessions != 0) store.set("max_sessions", Json(budget.max_sessions));
+    if (budget.max_bytes != 0) store.set("max_bytes", Json(budget.max_bytes));
+    result.set("plan_cache", std::move(store));
+  }
+
   Json pattern = Json::object();
   pattern.set("entries", Json(pattern_cache_.size()));
   pattern.set("hits", Json(pattern_cache_.hits()));
@@ -674,7 +718,8 @@ Response AnalysisService::handle_stats(const Request& request) {
   }
 
   if (request.body.find("session") != nullptr) {
-    Session& session = resolve_session(request);
+    const std::shared_ptr<Session> session_ptr = resolve_session(request);
+    Session& session = *session_ptr;
     const std::lock_guard<std::mutex> lock(session.mutex);
     Json s = Json::object();
     s.set("name", Json(session.display_name));

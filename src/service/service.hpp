@@ -6,10 +6,14 @@
 ///
 /// Contract: execute() never throws — every failure becomes a structured
 /// error response, so the daemon survives anything a client sends.
-/// Read-only commands (analyze, query, stats, ping) may run concurrently
-/// (per-session mutexes serialize same-session work); mutating commands
-/// (load, set_delay, set_source, unload, shutdown) must be serialized by
-/// the caller — the batch scheduler treats them as barriers.
+/// Thread model: every command may run concurrently with every other.
+/// Read-only commands (analyze, query, stats, ping) serialize same-session
+/// work on the per-session mutex; load/unload go through the session
+/// store's latch (compiles happen outside the store lock, DESIGN.md §13),
+/// and set_delay/set_source take the session mutex like reads. The batch
+/// scheduler still runs mutating commands as barriers for deterministic
+/// batch semantics; the sharded worker pool relies on per-shard FIFO plus
+/// this internal locking instead.
 
 #pragma once
 
@@ -36,6 +40,13 @@ using spsta::to_string;
 /// per-stage latency histograms). Shared by the `stats` command, the
 /// apps' `--metrics` dump and bench/table3_runtime's stage breakdown.
 [[nodiscard]] Json metrics_json();
+
+/// The content hash a `load` of (format, content) resolves to — the
+/// session key is hash_key() of this value. Exposed so the worker pool's
+/// affinity router sends a load to the same shard that will later serve
+/// the session it creates.
+[[nodiscard]] std::uint64_t load_content_hash(std::string_view format,
+                                              std::string_view content) noexcept;
 
 /// Parsed analysis parameters: an AnalysisRequest whose optional fields
 /// are set only when the client supplied them, so Analyzer validation
@@ -74,7 +85,11 @@ class AnalysisService {
   }
 
   [[nodiscard]] const SessionStore& store() const noexcept { return store_; }
+  [[nodiscard]] SessionStore& store() noexcept { return store_; }
   [[nodiscard]] core::PatternCache& pattern_cache() noexcept { return pattern_cache_; }
+
+  /// Configures the cross-session LRU budget (forwards to the store).
+  void set_store_budget(StoreBudget budget) { store_.set_budget(budget); }
 
   /// Requests served so far (successes and failures).
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
@@ -93,8 +108,10 @@ class AnalysisService {
   Response handle_unload(const Request& request);
   Response handle_shutdown(const Request& request);
 
-  /// The session named by the request's "session" field, or throws.
-  Session& resolve_session(const Request& request);
+  /// The session named by the request's "session" field, or throws. The
+  /// shared_ptr keeps the session alive across the handler even if a
+  /// concurrent unload or LRU eviction drops it from the store.
+  std::shared_ptr<Session> resolve_session(const Request& request);
 
   /// Cache lookup / engine run for (session, engine, params). Caller must
   /// hold session.mutex. Returns {entry, served_from_cache}.

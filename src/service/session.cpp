@@ -1,7 +1,10 @@
 #include "service/session.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace spsta::service {
 
@@ -20,6 +23,14 @@ std::string hash_key(std::uint64_t h) {
   return buf;
 }
 
+std::optional<std::uint64_t> parse_hash_key(std::string_view key) noexcept {
+  if (key.size() != 16) return std::nullopt;
+  std::uint64_t h = 0;
+  const auto [end, ec] = std::from_chars(key.data(), key.data() + key.size(), h, 16);
+  if (ec != std::errc{} || end != key.data() + key.size()) return std::nullopt;
+  return h;
+}
+
 Session::Session(std::string key_, netlist::Netlist design_,
                  core::PatternCache* shared_pattern_cache)
     : key(std::move(key_)), display_name(design_.name()) {
@@ -32,6 +43,13 @@ Session::Session(std::string key_, netlist::Netlist design_,
   options.shared_pattern_cache = shared_pattern_cache;
   analyzer = std::make_unique<Analyzer>(std::move(design_), std::move(delays),
                                         std::move(sources), options);
+  // Eager compile: the plan is the expensive, shareable artifact — build it
+  // here, outside any store lock, so every analyze (from any client of this
+  // content hash) starts warm.
+  (void)analyzer->plan();
+  // Footprint estimate: levelization/adjacency arenas, delay span, pattern
+  // cache share and one resident result all scale with node count.
+  approx_bytes = 4096 + design().node_count() * 1024;
 }
 
 core::IncrementalSpsta& Session::warm_incremental() {
@@ -66,45 +84,137 @@ void Session::apply_set_source(std::size_t source_index,
   cache.clear();
 }
 
-std::pair<Session*, bool> SessionStore::load(std::uint64_t content_hash,
-                                             netlist::Netlist design,
-                                             core::PatternCache* shared_pattern_cache) {
+std::pair<std::shared_ptr<Session>, bool> SessionStore::load(
+    std::uint64_t content_hash, const DesignFactory& make_design,
+    core::PatternCache* shared_pattern_cache) {
   const std::string key = hash_key(content_hash);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (const auto it = sessions_.find(key); it != sessions_.end()) {
-    return {it->second.get(), false};
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const auto it = sessions_.find(key);
+      if (it == sessions_.end()) break;  // absent: this thread builds
+      if (it->second != nullptr) {
+        // Ready: the cross-session plan-cache hit path.
+        touch_lru(key);
+        plan_hits_.fetch_add(1, std::memory_order_relaxed);
+        obs::registry().counter("service.store.plan_hits").add();
+        return {it->second, false};
+      }
+      // In flight: another loader is compiling this very design. Wait on
+      // the latch, NOT the builder's work — the store mutex is released
+      // while we sleep, so unrelated find/load/unload proceed.
+      latch_waits_.fetch_add(1, std::memory_order_relaxed);
+      ready_cv_.wait(lock);
+      // Re-check from scratch: the build may have succeeded (return it),
+      // failed (entry erased — we become the builder), or the session may
+      // even have been unloaded already.
+    }
+    sessions_.emplace(key, nullptr);  // in-flight marker
   }
-  auto session =
-      std::make_unique<Session>(key, std::move(design), shared_pattern_cache);
-  Session* raw = session.get();
-  sessions_.emplace(key, std::move(session));
-  order_.push_back(key);
-  return {raw, true};
+
+  // The expensive part — parse (factory) + Analyzer + eager plan compile —
+  // runs with NO store lock held.
+  std::shared_ptr<Session> session;
+  try {
+    session = std::make_shared<Session>(key, make_design(), shared_pattern_cache);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(key);
+    ready_cv_.notify_all();  // waiters retry; one becomes the next builder
+    throw;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sessions_[key] = session;
+    order_.push_back(key);
+    bytes_ += session->approx_bytes;
+    plan_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("service.store.plan_misses").add();
+    obs::registry().gauge("service.store.bytes").set(static_cast<double>(bytes_));
+    enforce_budget(key);
+    ready_cv_.notify_all();
+  }
+  return {session, true};
 }
 
-Session* SessionStore::find(std::string_view key) const {
+std::shared_ptr<Session> SessionStore::find(std::string_view key) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = sessions_.find(std::string(key));
-  return it == sessions_.end() ? nullptr : it->second.get();
+  if (it == sessions_.end() || it->second == nullptr) return nullptr;
+  touch_lru(it->first);
+  return it->second;
 }
 
 bool SessionStore::unload(std::string_view key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = sessions_.find(std::string(key));
-  if (it == sessions_.end()) return false;
+  if (it == sessions_.end() || it->second == nullptr) return false;
+  bytes_ -= it->second->approx_bytes;
   sessions_.erase(it);
   std::erase(order_, std::string(key));
+  obs::registry().gauge("service.store.bytes").set(static_cast<double>(bytes_));
   return true;
 }
 
 std::size_t SessionStore::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return sessions_.size();
+  return order_.size();
 }
 
 std::vector<std::string> SessionStore::keys() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return order_;
+}
+
+void SessionStore::set_budget(StoreBudget budget) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  budget_ = budget;
+  enforce_budget(order_.empty() ? std::string() : order_.back());
+}
+
+StoreBudget SessionStore::budget() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return budget_;
+}
+
+std::size_t SessionStore::approx_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t SessionStore::loading() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size() - order_.size();
+}
+
+void SessionStore::touch_lru(const std::string& key) const {
+  if (!order_.empty() && order_.back() == key) return;
+  std::erase(order_, key);
+  order_.push_back(key);
+}
+
+void SessionStore::enforce_budget(const std::string& keep) {
+  const auto over = [&] {
+    return (budget_.max_sessions != 0 && order_.size() > budget_.max_sessions) ||
+           (budget_.max_bytes != 0 && bytes_ > budget_.max_bytes);
+  };
+  std::size_t i = 0;
+  while (over() && i < order_.size()) {
+    if (order_[i] == keep) {
+      ++i;  // never evict the entry that triggered enforcement
+      continue;
+    }
+    const std::string victim = order_[i];
+    const auto it = sessions_.find(victim);
+    bytes_ -= it->second->approx_bytes;
+    sessions_.erase(it);
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("service.store.evictions").add();
+  }
+  obs::registry().gauge("service.store.bytes").set(static_cast<double>(bytes_));
 }
 
 }  // namespace spsta::service

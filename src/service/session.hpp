@@ -6,16 +6,30 @@
 ///
 /// This is what turns the repo's one-shot binaries into a serving system:
 /// the costly work (parsing, plan compilation, the first full analysis) is
-/// paid once per design, and every later request against the same content
-/// hash reuses it — the "efficient, incremental, suitable for
-/// optimization" property block-based SSTA is prized for, applied to the
-/// whole process boundary.
+/// paid once per design *content hash* — two clients loading the same
+/// netlist share one Session and therefore one compiled plan — and every
+/// later request against the same hash reuses it. The store doubles as the
+/// service's cross-session plan/result cache: sessions are kept in LRU
+/// order and evicted against an entry/byte budget.
+///
+/// Concurrency contract (the PR-6 bugfix): `load` never constructs a
+/// Session (netlist parse + Analyzer + eager plan compile — the expensive
+/// part) while holding the store mutex. A per-key in-flight latch makes
+/// concurrent loaders of the *same* hash wait for the first builder, while
+/// `find` / `unload` / `load` of other keys proceed unblocked for the
+/// whole duration of a compile. Sessions are handed out as shared_ptr, so
+/// an unload or LRU eviction can never free a session another thread is
+/// still analyzing.
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,6 +48,12 @@ namespace spsta::service {
 /// 16-hex-digit rendering of a 64-bit hash (session key format).
 [[nodiscard]] std::string hash_key(std::uint64_t h);
 
+/// Inverse of hash_key: parses a 16-hex-digit session key back to the
+/// content hash. nullopt when the string is not a 16-digit hex number.
+/// The worker pool uses this so a session-bearing request routes to the
+/// same shard as the `load` that created the session.
+[[nodiscard]] std::optional<std::uint64_t> parse_hash_key(std::string_view key) noexcept;
+
 /// One cached analysis: the full engine result plus bookkeeping.
 struct CachedAnalysis {
   AnalysisResult result;
@@ -43,8 +63,8 @@ struct CachedAnalysis {
 
 /// A loaded design and everything the service keeps warm for it.
 ///
-/// Thread model: the session store hands out stable Session pointers;
-/// all mutable state (cache, incremental engine, counters, the analyzer's
+/// Thread model: the session store hands out shared_ptr<Session>; all
+/// mutable state (cache, incremental engine, counters, the analyzer's
 /// delays/sources) is guarded by `mutex`. The netlist itself is immutable
 /// after load, so concurrent engine runs over it are safe.
 struct Session {
@@ -75,10 +95,19 @@ struct Session {
   std::uint64_t eco_edits = 0;
   std::uint64_t queries = 0;
 
+  /// Construction-time estimate of the session's resident footprint
+  /// (netlist + compiled plan + one warm result), the store's byte-budget
+  /// currency. An estimate by design: eviction needs a stable number it
+  /// can read without taking `mutex`.
+  std::size_t approx_bytes = 0;
+
   mutable std::mutex mutex;
 
   /// \p shared_pattern_cache (nullable) is the service's process-wide
-  /// switch-pattern cache, shared across sessions.
+  /// switch-pattern cache, shared across sessions. The constructor
+  /// compiles the analysis plan eagerly — Session construction IS the
+  /// expensive step the store's latch protects, and the first analyze
+  /// against the session finds the plan already warm.
   Session(std::string key_, netlist::Netlist design_,
           core::PatternCache* shared_pattern_cache = nullptr);
 
@@ -106,32 +135,101 @@ struct Session {
   void apply_set_source(std::size_t source_index, const netlist::SourceStats& stats);
 };
 
-/// Content-hash-addressed store of loaded designs.
+/// Entry/byte budget of the store's LRU eviction. 0 = unlimited. The byte
+/// budget compares against the sum of Session::approx_bytes.
+struct StoreBudget {
+  std::size_t max_sessions = 0;
+  std::size_t max_bytes = 0;
+};
+
+/// Content-hash-addressed store of loaded designs — the service's
+/// cross-session plan cache, with LRU eviction against a StoreBudget.
 class SessionStore {
  public:
-  /// Loads (or re-finds) a design from already-parsed content. The key is
-  /// the hash of (format tag, canonical text); loading identical content
-  /// twice returns the existing session without re-parsing.
+  /// Builds the design a fresh session will own. Invoked outside the store
+  /// mutex, and only when no session for the hash exists yet — so `load`
+  /// callers can defer parsing into the factory and pay it exactly once
+  /// per content hash.
+  using DesignFactory = std::function<netlist::Netlist()>;
+
+  /// Loads (or re-finds) a design. The key is the content hash rendered by
+  /// hash_key(). When a session for the hash already exists (or is being
+  /// built by a concurrent loader — the in-flight latch), the existing
+  /// session is returned and \p make_design is never invoked.
+  ///
+  /// The factory and the Session constructor run OUTSIDE the store mutex:
+  /// concurrent find/unload/load of other keys never wait for a compile.
+  /// If the factory or constructor throws, the in-flight marker is removed
+  /// (waiters retry, one becomes the next builder) and the exception
+  /// propagates to this caller only.
+  ///
   /// \p shared_pattern_cache seeds fresh sessions' analyzers.
   /// Returns {session, freshly_created}.
-  std::pair<Session*, bool> load(std::uint64_t content_hash, netlist::Netlist design,
-                                 core::PatternCache* shared_pattern_cache = nullptr);
+  std::pair<std::shared_ptr<Session>, bool> load(
+      std::uint64_t content_hash, const DesignFactory& make_design,
+      core::PatternCache* shared_pattern_cache = nullptr);
 
-  /// Session by key; nullptr when absent.
-  [[nodiscard]] Session* find(std::string_view key) const;
+  /// Session by key; nullptr when absent or still being built. A hit
+  /// refreshes the session's LRU position.
+  [[nodiscard]] std::shared_ptr<Session> find(std::string_view key) const;
 
-  /// Removes a session. Returns false when absent.
+  /// Removes a session. Returns false when absent or still in flight.
+  /// Threads still holding the shared_ptr keep the session alive.
   bool unload(std::string_view key);
 
+  /// Ready sessions (in-flight builds excluded).
   [[nodiscard]] std::size_t size() const;
 
-  /// Keys in load order (for `stats`).
+  /// Keys in LRU order, least recently used first (for `stats`).
   [[nodiscard]] std::vector<std::string> keys() const;
 
+  /// Sets the eviction budget and immediately enforces it.
+  void set_budget(StoreBudget budget);
+  [[nodiscard]] StoreBudget budget() const;
+
+  /// Sum of approx_bytes over ready sessions.
+  [[nodiscard]] std::size_t approx_bytes() const;
+
+  // Cross-session cache counters (process lifetime, relaxed).
+  [[nodiscard]] std::uint64_t plan_hits() const noexcept {
+    return plan_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t plan_misses() const noexcept {
+    return plan_misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Loads that waited on another loader's in-flight build of the same key.
+  [[nodiscard]] std::uint64_t latch_waits() const noexcept {
+    return latch_waits_.load(std::memory_order_relaxed);
+  }
+  /// In-flight builds right now (test observability for the latch).
+  [[nodiscard]] std::size_t loading() const;
+
  private:
+  /// Marks `key` most-recently-used. Caller holds mutex_.
+  void touch_lru(const std::string& key) const;
+  /// Evicts LRU sessions until the budget holds (never evicts in-flight
+  /// builds; `keep` — the key just inserted — survives even over budget).
+  /// Caller holds mutex_.
+  void enforce_budget(const std::string& keep);
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
-  std::vector<std::string> order_;
+  mutable std::condition_variable ready_cv_;  ///< in-flight latch wakeups
+  /// nullptr value = in-flight marker: a loader is building this session
+  /// outside the lock.
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+  /// Ready keys in LRU order (front = evict next). Mutable: `find` is
+  /// logically const but refreshes recency.
+  mutable std::vector<std::string> order_;
+  StoreBudget budget_;
+  std::size_t bytes_ = 0;  ///< sum of approx_bytes over ready sessions
+
+  std::atomic<std::uint64_t> plan_hits_{0};
+  std::atomic<std::uint64_t> plan_misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> latch_waits_{0};
 };
 
 }  // namespace spsta::service

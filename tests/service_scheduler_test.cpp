@@ -4,13 +4,16 @@
 // shutdown / EOF / garbage input.
 
 #include <chrono>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "service/daemon.hpp"
+#include "service/session.hpp"
 
 namespace spsta::service {
 namespace {
@@ -94,6 +97,63 @@ TEST(ServiceScheduler, ExpiredDeadlinesAreShedNotExecuted) {
   EXPECT_EQ(responses[0].error_code(), "deadline_exceeded");
   EXPECT_TRUE(responses[1].ok);
   EXPECT_EQ(scheduler.stats().deadline_expired, 1u);
+  // Shed before dispatch — the queue-side counter, not the execute-side.
+  EXPECT_EQ(scheduler.stats().deadline_expired_queue, 1u);
+  EXPECT_EQ(scheduler.stats().deadline_expired_execute, 0u);
+}
+
+TEST(ServiceScheduler, DeadlineIsRecheckedAfterWinningTheSessionMutex) {
+  // A request that was fresh at dispatch but burned its whole budget
+  // waiting on same-session mutex contention must be shed at execute
+  // start, and counted separately from queue-side sheds.
+  AnalysisService service;
+  BatchScheduler scheduler(service, 2);
+  const Response loaded =
+      scheduler.run_one(R"({"id":1,"cmd":"load","circuit":"s27"})");
+  ASSERT_TRUE(loaded.ok) << loaded.to_line();
+  const std::string key = loaded.body.find("session")->as_string();
+  const std::shared_ptr<Session> session = service.store().find(key);
+  ASSERT_NE(session, nullptr);
+
+  Response contended;
+  std::thread runner;
+  {
+    // The test plays the long-running same-session request by holding the
+    // session mutex directly; the analyze below passes the dispatch-time
+    // deadline check, then blocks on the mutex past its deadline. The
+    // mutex is released only after the deadline has certainly lapsed.
+    const std::lock_guard<std::mutex> hold(session->mutex);
+    runner = std::thread([&] {
+      contended = scheduler.run_one(
+          R"({"id":2,"cmd":"analyze","session":")" + key +
+          R"(","deadline_ms":400})");
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(900));
+  }
+  runner.join();
+  EXPECT_FALSE(contended.ok) << contended.to_line();
+  EXPECT_EQ(contended.error_code(), "deadline_exceeded");
+  EXPECT_EQ(scheduler.stats().deadline_expired_execute, 1u);
+  EXPECT_EQ(scheduler.stats().deadline_expired_queue, 0u);
+  EXPECT_EQ(scheduler.stats().deadline_expired, 1u);
+}
+
+TEST(ServiceScheduler, HistogramsArePerInstanceNotProcessGlobal)  {
+  // Regression: the scheduler's latency histograms used to be function-
+  // local statics, so every scheduler in the process wrote into one
+  // shared pair and per-daemon stats were cross-contaminated.
+  AnalysisService service_a;
+  AnalysisService service_b;
+  BatchScheduler active(service_a, 1);
+  BatchScheduler idle(service_b, 1);
+
+  (void)active.run_one(R"({"id":1,"cmd":"ping"})");
+  (void)active.run_one(R"({"id":2,"cmd":"ping"})");
+
+  EXPECT_EQ(active.execute_histogram().count(), 2u);
+  EXPECT_EQ(active.queue_histogram().count(), 2u);
+  EXPECT_EQ(idle.execute_histogram().count(), 0u);
+  EXPECT_EQ(idle.queue_histogram().count(), 0u);
 }
 
 TEST(ServiceScheduler, DeterministicAcrossThreadCounts) {
@@ -182,6 +242,94 @@ TEST(ServiceDaemon, ServeReturnsCleanlyOnEof) {
   EXPECT_FALSE(report.shutdown);
   EXPECT_EQ(report.requests, 1u);
   EXPECT_FALSE(service.shutdown_requested());
+}
+
+TEST(ServiceDaemon, EofMidLineStillAnswersThePartialFinalRequest) {
+  // A client that dies (or a pipe that closes) after writing a request
+  // but before the newline: getline yields the partial-terminated line at
+  // EOF and the daemon must still answer it, not drop it.
+  std::istringstream in(R"({"id":7,"cmd":"ping"})");  // no trailing \n
+  std::ostringstream out;
+  AnalysisService service;
+  const ServeReport report = serve(in, out, service, {.threads = 1});
+  EXPECT_FALSE(report.shutdown);
+  EXPECT_EQ(report.requests, 1u);
+  EXPECT_NE(out.str().find("\"id\":7"), std::string::npos);
+  EXPECT_NE(out.str().find("\"ok\":true"), std::string::npos);
+}
+
+TEST(ServiceDaemon, OversizedLineIsRejectedStructurallyNotParsed) {
+  // A line beyond kMaxRequestBytes is answered with bad_request before
+  // the JSON parser ever allocates for it, and the daemon keeps serving.
+  std::string huge = R"({"id":1,"cmd":"ping","pad":")";
+  huge.append(kMaxRequestBytes, 'x');
+  huge += "\"}\n";
+  huge += R"({"id":2,"cmd":"ping"})" "\n";
+  std::istringstream in(huge);
+  std::ostringstream out;
+  AnalysisService service;
+  const ServeReport report = serve(in, out, service, {.threads = 1});
+  EXPECT_EQ(report.requests, 2u);
+
+  std::vector<std::string> replies;
+  std::istringstream echo(out.str());
+  for (std::string line; std::getline(echo, line);) replies.push_back(line);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_NE(replies[0].find("bad_request"), std::string::npos) << replies[0];
+  EXPECT_NE(replies[0].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(replies[1].find("\"id\":2"), std::string::npos);
+  EXPECT_NE(replies[1].find("\"ok\":true"), std::string::npos);
+}
+
+TEST(ServiceDaemon, BlankOnlyInputProducesNoResponsesAndReturnsCleanly) {
+  std::istringstream in("\n   \n\t\n\r\n\n");
+  std::ostringstream out;
+  AnalysisService service;
+  const ServeReport report = serve(in, out, service, {.threads = 1});
+  EXPECT_FALSE(report.shutdown);
+  EXPECT_EQ(report.requests, 0u);
+  EXPECT_EQ(report.batches, 0u);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ServiceDaemon, ShutdownLandingBehindAParallelGroupAnswersEveryRequest) {
+  // One greedy batch: [analyze analyze ping] then the shutdown barrier.
+  // Every request ahead of the barrier must be answered before the daemon
+  // stops — shutdown drains, it does not abandon in-flight work.
+  AnalysisService service;
+  std::ostringstream out;
+  std::string body = R"({"id":0,"cmd":"load","circuit":"s27"})" "\n";
+  std::istringstream key_in(body);
+  std::ostringstream key_out;
+  (void)serve(key_in, key_out, service, {.threads = 2});
+  const std::string key_line = key_out.str();
+  const std::size_t at = key_line.find("\"session\":\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string key = key_line.substr(at + 11, 16);
+
+  std::string run;
+  for (int i = 1; i <= 3; ++i) {
+    run += R"({"id":)" + std::to_string(i) + R"(,"cmd":"analyze","session":")" +
+           key + R"(","engine":"ssta"})" "\n";
+  }
+  run += R"({"id":4,"cmd":"shutdown"})" "\n";
+  std::istringstream in(run);
+  const ServeReport report = serve(in, out, service, {.threads = 4});
+
+  EXPECT_TRUE(report.shutdown);
+  EXPECT_EQ(report.requests, 4u);
+  std::vector<std::string> replies;
+  std::istringstream echo(out.str());
+  for (std::string line; std::getline(echo, line);) replies.push_back(line);
+  ASSERT_EQ(replies.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(replies[static_cast<std::size_t>(i)].find(
+                  "\"id\":" + std::to_string(i + 1)),
+              std::string::npos);
+    EXPECT_NE(replies[static_cast<std::size_t>(i)].find("\"ok\":true"),
+              std::string::npos)
+        << replies[static_cast<std::size_t>(i)];
+  }
 }
 
 }  // namespace

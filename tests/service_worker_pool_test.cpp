@@ -1,0 +1,198 @@
+// Tests for the sharded worker pool: content-hash affinity routing,
+// admission control (bounded queues shed with a structured `overloaded`
+// error carrying retry_after_ms), deadline shedding at dequeue, drain
+// semantics, and the pooled serve runtime's in-order response writing.
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/daemon.hpp"
+#include "service/session.hpp"
+#include "service/worker_pool.hpp"
+
+namespace spsta::service {
+namespace {
+
+Request parse_ok(const std::string& line) {
+  auto parsed = parse_request(line);
+  EXPECT_TRUE(std::holds_alternative<Request>(parsed)) << line;
+  return std::get<Request>(std::move(parsed));
+}
+
+TEST(ServiceWorkerPool, AffinityRoutesLoadAndItsSessionToOneShard) {
+  AnalysisService service;
+  WorkerPool pool(service, {.shards = 8, .queue_capacity = 16});
+
+  // The load request routes on the content hash of what it loads...
+  const std::string load_line = R"({"id":1,"cmd":"load","circuit":"s27"})";
+  const unsigned load_shard = pool.route_shard(parse_ok(load_line));
+
+  // ...and once loaded, every request naming the resulting session key
+  // routes to the SAME shard: that is the affinity contract that keeps a
+  // design's compiled plan hot on one worker.
+  Response loaded = pool.submit(load_line).get();
+  ASSERT_TRUE(loaded.ok) << loaded.to_line();
+  const std::string key = loaded.body.find("session")->as_string();
+  const unsigned analyze_shard = pool.route_shard(
+      parse_ok(R"({"cmd":"analyze","session":")" + key + R"("})"));
+  EXPECT_EQ(analyze_shard, load_shard);
+
+  // Identical load submitted again (a different client, same content):
+  // same shard, and the session store dedups to one compiled plan.
+  EXPECT_EQ(pool.route_shard(parse_ok(load_line)), load_shard);
+  Response reloaded = pool.submit(load_line).get();
+  ASSERT_TRUE(reloaded.ok);
+  EXPECT_EQ(reloaded.body.find("session")->as_string(), key);
+  EXPECT_GE(service.store().plan_hits(), 1u);
+}
+
+TEST(ServiceWorkerPool, ResponsesResolveThroughFuturesWithCorrectIds) {
+  AnalysisService service;
+  WorkerPool pool(service, {.shards = 4, .queue_capacity = 64});
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(
+        pool.submit(R"({"id":)" + std::to_string(i) + R"(,"cmd":"ping"})"));
+  }
+  for (int i = 0; i < 24; ++i) {
+    const Response r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_TRUE(r.ok) << r.to_line();
+    EXPECT_EQ(r.id.as_number(), static_cast<double>(i));
+  }
+  EXPECT_EQ(pool.stats().executed, 24u);
+  EXPECT_EQ(pool.stats().rejected_overload, 0u);
+}
+
+TEST(ServiceWorkerPool, FullQueueShedsWithOverloadedAndRetryAfterHint) {
+  AnalysisService service;
+  // One shard, minimal queue: occupy the worker with a genuinely slow
+  // request (Monte Carlo with a large run count), fill the queue, then
+  // every further submit must be shed immediately.
+  WorkerPool pool(service, {.shards = 1, .queue_capacity = 1});
+
+  Response loaded = pool.submit(R"({"cmd":"load","circuit":"s386"})").get();
+  ASSERT_TRUE(loaded.ok) << loaded.to_line();
+  const std::string key = loaded.body.find("session")->as_string();
+
+  const std::string slow = R"({"id":"slow","cmd":"analyze","session":")" + key +
+                           R"(","engine":"mc","params":{"runs":20000}})";
+  std::vector<std::future<Response>> slow_futures;
+  // Enough slow requests that at least one is still queued whenever the
+  // burst below arrives: worker busy + queue occupied = admission closed.
+  for (int i = 0; i < 6; ++i) slow_futures.push_back(pool.submit(slow));
+
+  std::uint64_t shed = 0;
+  std::vector<std::future<Response>> burst;
+  for (int i = 0; i < 32; ++i) {
+    burst.push_back(
+        pool.submit(R"({"id":)" + std::to_string(i) + R"(,"cmd":"ping"})"));
+  }
+  for (auto& f : burst) {
+    const Response r = f.get();
+    if (r.ok) continue;
+    EXPECT_EQ(r.error_code(), "overloaded");
+    const Json* hint = r.body.find("retry_after_ms");
+    ASSERT_NE(hint, nullptr) << r.to_line();
+    EXPECT_GT(hint->as_number(), 0.0);
+    ++shed;
+  }
+  EXPECT_GT(shed, 0u);
+
+  // The slow submissions themselves overflow the 1-deep queue: some shed
+  // too. Every admitted one completes; every response is one of the two.
+  std::uint64_t slow_ok = 0, slow_shed = 0;
+  for (auto& f : slow_futures) {
+    const Response r = f.get();
+    if (r.ok) {
+      ++slow_ok;
+    } else {
+      EXPECT_EQ(r.error_code(), "overloaded") << r.to_line();
+      ++slow_shed;
+    }
+  }
+  EXPECT_GE(slow_ok, 1u);  // at least the one the worker was running
+  EXPECT_EQ(pool.stats().rejected_overload, shed + slow_shed);
+  pool.drain();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ServiceWorkerPool, StaleRequestsAreShedAtDequeue) {
+  AnalysisService service;
+  WorkerPool pool(service, {.shards = 2, .queue_capacity = 8});
+
+  // Submit with an enqueue stamp far in the past and a tiny deadline: the
+  // worker must shed at dequeue, not run the command.
+  const auto long_ago =
+      std::chrono::steady_clock::now() - std::chrono::seconds(30);
+  const Response r =
+      pool.submit(R"({"id":1,"cmd":"ping","deadline_ms":5})", long_ago).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_code(), "deadline_exceeded");
+  EXPECT_EQ(pool.stats().deadline_shed, 1u);
+  EXPECT_EQ(pool.stats().executed, 0u);
+}
+
+TEST(ServiceWorkerPool, DrainWaitsForEveryAcceptedRequest) {
+  AnalysisService service;
+  WorkerPool pool(service, {.shards = 4, .queue_capacity = 256});
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit(R"({"cmd":"ping"})"));
+  }
+  pool.drain();
+  // After drain every accepted future is ready — no waiting in get().
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_TRUE(f.get().ok);
+  }
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ServiceWorkerPool, MalformedLinesResolveImmediatelyWithParseError) {
+  AnalysisService service;
+  WorkerPool pool(service, {.shards = 2, .queue_capacity = 8});
+  const Response r = pool.submit("}{ not json").get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_code(), "parse_error");
+}
+
+TEST(ServiceDaemonPooled, ServeWritesResponsesInSubmissionOrder) {
+  // The pooled runtime completes requests out of order across shards but
+  // must write them back in submission order — same wire contract as the
+  // batch runtime.
+  std::string script;
+  script += R"({"id":0,"cmd":"load","circuit":"s27"})" "\n";
+  for (int i = 1; i <= 20; ++i) {
+    script += R"({"id":)" + std::to_string(i) + R"(,"cmd":"ping"})" "\n";
+  }
+  script += R"({"id":21,"cmd":"shutdown"})" "\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  AnalysisService service;
+  const ServeReport report =
+      serve(in, out, service, {.workers = 4, .queue_capacity = 64});
+
+  EXPECT_TRUE(report.shutdown);
+  EXPECT_EQ(report.requests, 22u);
+
+  std::vector<std::string> replies;
+  std::istringstream echo(out.str());
+  for (std::string line; std::getline(echo, line);) replies.push_back(line);
+  ASSERT_EQ(replies.size(), 22u);
+  for (int i = 0; i < 22; ++i) {
+    EXPECT_NE(replies[static_cast<std::size_t>(i)].find(
+                  "\"id\":" + std::to_string(i)),
+              std::string::npos)
+        << replies[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+}  // namespace spsta::service
