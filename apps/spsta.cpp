@@ -18,6 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/hier_bench_io.hpp"
 #include "obs/metrics.hpp"
 #include "service/daemon.hpp"
 #include "service/json.hpp"
@@ -38,10 +41,17 @@ int usage(std::FILE* to) {
       "  spsta run <circuit|file> [--engine=E] [--threads=N] [--runs=N] [--seed=N]\n"
       "  spsta query <circuit|file> (--node=NAME | --path) [--engine=E]\n"
       "  spsta script <file.jsonl | ->\n"
+      "  spsta gen --out=FILE [--gates=N] [--blocks=N] [--block-gates=N]\n"
+      "            [--block-inputs=N] [--block-outputs=N] [--block-depth=N]\n"
+      "            [--block-dffs=N] [--width=N] [--seed=N] [--random-wiring]\n"
+      "            [--flat-out=FILE]   emit a hierarchical .hbench design\n"
+      "                               (and optionally its flattened .bench)\n"
       "  --metrics       dump the metrics registry (stage timers, counters)\n"
       "                  to stderr after the command finishes\n"
       "Engines: spsta_moment (default) spsta_numeric canonical ssta mc.\n"
-      "<circuit> is a builtin name (s27, s208..s1238); <file> is .bench/.v.\n");
+      "<circuit> is a builtin name (s27, s208..s1238); <file> is\n"
+      ".bench/.v/.hbench (hierarchical designs analyze by block-model\n"
+      "composition, not flattening).\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -111,6 +121,71 @@ int main(int argc, char** argv) {
     }
     AnalysisService service;
     spsta::service::serve(*in, std::cout, service, {});
+    return finish(0);
+  }
+
+  if (mode == "gen") {
+    // Deterministic hierarchical design generation: same flags, same bytes,
+    // at any thread count — the size sweep's input producer.
+    spsta::netlist::HierGeneratorSpec spec;
+    std::string out_path, flat_path;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      const auto number = [&](const char* prefix) -> std::size_t {
+        return static_cast<std::size_t>(std::stoull(a.substr(std::string(prefix).size())));
+      };
+      try {
+        if (a.rfind("--out=", 0) == 0) out_path = a.substr(6);
+        else if (a.rfind("--flat-out=", 0) == 0) flat_path = a.substr(11);
+        else if (a.rfind("--gates=", 0) == 0) spec.total_gates = number("--gates=");
+        else if (a.rfind("--blocks=", 0) == 0) spec.unique_blocks = number("--blocks=");
+        else if (a.rfind("--block-gates=", 0) == 0) spec.block_gates = number("--block-gates=");
+        else if (a.rfind("--block-inputs=", 0) == 0) spec.block_inputs = number("--block-inputs=");
+        else if (a.rfind("--block-outputs=", 0) == 0) spec.block_outputs = number("--block-outputs=");
+        else if (a.rfind("--block-depth=", 0) == 0) spec.block_depth = number("--block-depth=");
+        else if (a.rfind("--block-dffs=", 0) == 0) spec.block_dffs = number("--block-dffs=");
+        else if (a.rfind("--width=", 0) == 0) spec.width = number("--width=");
+        else if (a.rfind("--seed=", 0) == 0) spec.seed = number("--seed=");
+        else if (a == "--random-wiring") spec.uniform_wiring = false;
+        else {
+          std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+          return usage(stderr);
+        }
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "numeric option could not be parsed: '%s'\n", a.c_str());
+        return 2;
+      }
+    }
+    if (out_path.empty()) {
+      std::fprintf(stderr, "gen needs --out=FILE\n");
+      return usage(stderr);
+    }
+    try {
+      const spsta::netlist::HierDesign design = spsta::netlist::generate_hier_circuit(spec);
+      {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+          return 1;
+        }
+        spsta::netlist::write_hier_bench(design, out);
+      }
+      std::fprintf(stderr, "wrote %s: %zu blocks, %zu instances, %zu expanded gates\n",
+                   out_path.c_str(), design.blocks().size(), design.instances().size(),
+                   design.expanded_gate_count());
+      if (!flat_path.empty()) {
+        std::ofstream out(flat_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n", flat_path.c_str());
+          return 1;
+        }
+        spsta::netlist::write_bench(design.flatten(), out);
+        std::fprintf(stderr, "wrote %s (flattened)\n", flat_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gen failed: %s\n", e.what());
+      return 1;
+    }
     return finish(0);
   }
 

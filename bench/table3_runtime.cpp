@@ -29,12 +29,16 @@
 
 #include "core/compiled_design.hpp"
 #include "core/spsta.hpp"
+#include "hier/hier_analyzer.hpp"
 #include "mc/monte_carlo.hpp"
 #include "netlist/delay_model.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/hier.hpp"
 #include "netlist/iscas89.hpp"
 #include "obs/metrics.hpp"
 #include "report/table.hpp"
 #include "service/service.hpp"
+#include "spsta_api.hpp"
 #include "ssta/ssta.hpp"
 #include "util/thread_pool.hpp"
 
@@ -205,6 +209,125 @@ std::vector<GridSweepPoint> measure_grid_sweep(const std::string& circuit) {
   return out;
 }
 
+/// --size-sweep: hierarchical composition vs flat analysis over generated
+/// designs of growing flattened size (DESIGN.md §14). For each size the
+/// same HierDesign is analyzed twice — composed through block models and
+/// flattened through the moment engine — so the runtime columns AND the
+/// composed-vs-flat accuracy columns come from one deterministic design.
+struct SizeSweepPoint {
+  std::size_t gates = 0, instances = 0, blocks = 0;
+  double gen_s = 0.0;
+  double hier_compile_s = 0.0;  ///< HierAnalyzer ctor: block compiles + graph
+  double hier_cold_s = 0.0;     ///< first composed run (pays extractions)
+  double hier_warm_s = 0.0;     ///< second run (every instance a cache hit)
+  double flatten_s = 0.0;
+  double flat_compile_s = 0.0;  ///< CompiledDesign over the flat netlist
+  double flat_warm_s = 0.0;     ///< warm flat moment run (best of 2)
+  std::uint64_t models_extracted = 0, model_cache_hits = 0;
+  double max_prob_delta = 0.0;      ///< composed vs flat probs/mass (abs)
+  double max_rel_mean_delta = 0.0;  ///< composed vs flat arrival mean (rel)
+  double max_rel_std_delta = 0.0;   ///< composed vs flat arrival std (rel)
+};
+
+SizeSweepPoint measure_size_point(std::size_t total_gates) {
+  using namespace spsta;
+  namespace chrono = std::chrono;
+  const auto tick = [] { return chrono::steady_clock::now(); };
+  const auto secs = [](auto t0, auto t1) {
+    return chrono::duration<double>(t1 - t0).count();
+  };
+
+  SizeSweepPoint out;
+  netlist::HierGeneratorSpec spec;
+  spec.total_gates = total_gates;
+
+  auto t0 = tick();
+  netlist::HierDesign design = netlist::generate_hier_circuit(spec);
+  out.gen_s = secs(t0, tick());
+  out.blocks = design.blocks().size();
+  out.instances = design.instances().size();
+  out.gates = design.expanded_gate_count();
+
+  // Flat reference: the exact analysis the composition must reproduce.
+  t0 = tick();
+  const netlist::Netlist flat = design.flatten();
+  out.flatten_s = secs(t0, tick());
+  const netlist::DelayModel delays = netlist::DelayModel::unit(flat);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  t0 = tick();
+  const core::CompiledDesign plan(flat, delays);
+  out.flat_compile_s = secs(t0, tick());
+  core::SpstaResult flat_result;
+  double flat_best = 1e300;
+  for (int rep = 0; rep < 2; ++rep) {  // first rep warms the pattern cache
+    t0 = tick();
+    flat_result = core::run_spsta_moment(plan, sc);
+    flat_best = std::min(flat_best, secs(t0, tick()));
+  }
+  out.flat_warm_s = flat_best;
+
+  // Hierarchical composition over the same design.
+  t0 = tick();
+  hier::HierAnalyzer analyzer(std::move(design));
+  out.hier_compile_s = secs(t0, tick());
+  spsta::AnalysisRequest request;
+  request.engine = Engine::SpstaMoment;
+  const hier::HierReport cold = analyzer.run(request);
+  out.hier_cold_s = cold.elapsed_seconds;
+  out.models_extracted = cold.models_extracted;
+  const hier::HierReport warm = analyzer.run(request);
+  out.hier_warm_s = warm.elapsed_seconds;
+  out.model_cache_hits = warm.model_cache_hits;
+
+  // Composed-vs-flat accuracy at every top output. The flat node behind
+  // hier signal "<inst>.<port>" is named "<inst>/<port>" by flatten().
+  for (const std::size_t sig : warm.outputs) {
+    std::string flat_name = warm.signal_names.at(sig);
+    const std::size_t dot = flat_name.find('.');
+    if (dot == std::string::npos) continue;  // a top input fed straight out
+    flat_name[dot] = '/';
+    const netlist::NodeId id = flat.find(flat_name);
+    if (id == netlist::kInvalidNode) continue;
+    const core::NodeTop& ref = flat_result.node.at(id);
+    const hier::PortTop& got = warm.signals.at(sig);
+    const auto abs_delta = [&](double a, double b) {
+      out.max_prob_delta = std::max(out.max_prob_delta, std::abs(a - b));
+    };
+    abs_delta(got.probs.p0, ref.probs.p0);
+    abs_delta(got.probs.p1, ref.probs.p1);
+    abs_delta(got.probs.pr, ref.probs.pr);
+    abs_delta(got.probs.pf, ref.probs.pf);
+    abs_delta(got.rise.mass, ref.rise.mass);
+    abs_delta(got.fall.mass, ref.fall.mass);
+    const auto rel_delta = [](double a, double b) {
+      return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 1e-12});
+    };
+    for (const bool rising : {true, false}) {
+      const core::TransitionTop& g = rising ? got.rise : got.fall;
+      const core::TransitionTop& r = rising ? ref.rise : ref.fall;
+      if (g.mass < 1e-12 && r.mass < 1e-12) continue;
+      out.max_rel_mean_delta =
+          std::max(out.max_rel_mean_delta, rel_delta(g.arrival.mean, r.arrival.mean));
+      out.max_rel_std_delta = std::max(
+          out.max_rel_std_delta, rel_delta(g.arrival.stddev(), r.arrival.stddev()));
+    }
+  }
+  return out;
+}
+
+/// Comma-separated --size-sweep= gate counts (empty on parse failure).
+std::vector<std::size_t> parse_size_list(const std::string& list) {
+  std::vector<std::size_t> out;
+  for (const std::string& item : parse_circuit_filter(list)) {
+    try {
+      out.push_back(std::stoull(item));
+    } catch (const std::exception&) {
+      return {};
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +336,7 @@ int main(int argc, char** argv) {
 
   unsigned threads = 8;
   bool grid_sweep = false;
+  std::vector<std::size_t> size_sweep;
   std::string json_path;
   std::vector<std::string> circuit_filter;
   for (int i = 1; i < argc; ++i) {
@@ -225,6 +349,14 @@ int main(int argc, char** argv) {
       circuit_filter = parse_circuit_filter(arg.substr(11));
     } else if (arg == "--grid-sweep") {
       grid_sweep = true;
+    } else if (arg == "--size-sweep") {
+      size_sweep = {20000, 100000};
+    } else if (arg.rfind("--size-sweep=", 0) == 0) {
+      size_sweep = parse_size_list(arg.substr(13));
+      if (size_sweep.empty()) {
+        std::fprintf(stderr, "--size-sweep: bad gate-count list\n");
+        return 2;
+      }
     } else if (arg == "--no-metrics") {
       // Overhead A/B: compare wall clock against a default run to check the
       // metrics layer's cost with recording disabled.
@@ -340,6 +472,36 @@ int main(int argc, char** argv) {
       service_circuit.c_str(), svc.warm_rps, svc.cold_rps,
       svc.warm_rps / std::max(svc.cold_rps, 1e-12));
 
+  // Hierarchy-vs-flat sweep: composed analysis through extracted block
+  // models against the flattened moment engine on the same design.
+  std::vector<SizeSweepPoint> size_points;
+  if (!size_sweep.empty()) {
+    report::Table hier_table(
+        {"gates", "inst", "hier compile (s)", "hier cold (s)", "hier warm (s)",
+         "flat compile (s)", "flat warm (s)", "warm x", "extract/hits",
+         "max |dP|", "max rel dmean", "max rel dstd"});
+    for (const std::size_t gates : size_sweep) {
+      const SizeSweepPoint p = measure_size_point(gates);
+      size_points.push_back(p);
+      hier_table.add_row(
+          {std::to_string(p.gates), std::to_string(p.instances),
+           report::Table::num(p.hier_compile_s, 4), report::Table::num(p.hier_cold_s, 4),
+           report::Table::num(p.hier_warm_s, 6),
+           report::Table::num(p.flatten_s + p.flat_compile_s, 4),
+           report::Table::num(p.flat_warm_s, 4),
+           report::Table::num(p.flat_warm_s / std::max(p.hier_warm_s, 1e-9), 0) + "x",
+           std::to_string(p.models_extracted) + "/" + std::to_string(p.model_cache_hits),
+           report::Table::num(p.max_prob_delta, 14),
+           report::Table::num(p.max_rel_mean_delta, 14),
+           report::Table::num(p.max_rel_std_delta, 14)});
+    }
+    std::printf("\n=== Hierarchical size sweep (generated designs, spsta_moment) ===\n%s\n",
+                hier_table.to_string().c_str());
+    std::printf("hier warm composes cached block models (O(instances)); flat warm\n"
+                "re-propagates every gate. Accuracy columns are composed-vs-flat\n"
+                "deltas at the top outputs (contract: src/hier/block_model.hpp).\n");
+  }
+
   std::vector<GridSweepPoint> sweep;
   if (grid_sweep) {
     const std::string sweep_circuit = circuits.back();
@@ -389,6 +551,28 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < sweep.size(); ++i) {
         std::fprintf(f, "%s{\"n\":%zu,\"seconds\":%.6g}", i ? "," : "",
                      sweep[i].n, sweep[i].seconds);
+      }
+      std::fprintf(f, "]}");
+    }
+    if (!size_points.empty()) {
+      std::fprintf(f, ",\"size_sweep\":{\"engine\":\"spsta_moment\",\"points\":[");
+      for (std::size_t i = 0; i < size_points.size(); ++i) {
+        const SizeSweepPoint& p = size_points[i];
+        std::fprintf(
+            f,
+            "%s{\"gates\":%zu,\"instances\":%zu,\"blocks\":%zu,"
+            "\"gen_s\":%.6g,\"hier_compile_s\":%.6g,\"hier_cold_s\":%.6g,"
+            "\"hier_warm_s\":%.6g,\"flatten_s\":%.6g,\"flat_compile_s\":%.6g,"
+            "\"flat_warm_s\":%.6g,\"warm_speedup\":%.6g,"
+            "\"models_extracted\":%llu,\"model_cache_hits\":%llu,"
+            "\"max_prob_delta\":%.6g,\"max_rel_mean_delta\":%.6g,"
+            "\"max_rel_std_delta\":%.6g}",
+            i ? "," : "", p.gates, p.instances, p.blocks, p.gen_s, p.hier_compile_s,
+            p.hier_cold_s, p.hier_warm_s, p.flatten_s, p.flat_compile_s, p.flat_warm_s,
+            p.flat_warm_s / std::max(p.hier_warm_s, 1e-9),
+            static_cast<unsigned long long>(p.models_extracted),
+            static_cast<unsigned long long>(p.model_cache_hits), p.max_prob_delta,
+            p.max_rel_mean_delta, p.max_rel_std_delta);
       }
       std::fprintf(f, "]}");
     }

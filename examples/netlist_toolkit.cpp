@@ -2,6 +2,8 @@
 // the substrate workflow around the timing engines.
 //
 //   $ ./example_netlist_toolkit [circuit-or-.bench-path]   (default: s344)
+//   $ ./example_netlist_toolkit design.hbench        hierarchical: flatten first
+//   $ ./example_netlist_toolkit gen-hier:20000:7     generate (gates:seed), then tour
 //
 // Steps: load -> sweep buffers -> decompose to 2-input gates -> prove
 // equivalence with the BDD checker -> report the effect on SPSTA runtime
@@ -17,7 +19,9 @@
 #include "core/spsta.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/dot_export.hpp"
+#include "netlist/generator.hpp"
 #include "netlist/graph.hpp"
+#include "netlist/hier_bench_io.hpp"
 #include "netlist/iscas89.hpp"
 #include "netlist/transform.hpp"
 #include "netlist/verilog_io.hpp"
@@ -35,7 +39,31 @@ int main(int argc, char** argv) {
 
   const std::string which = argc > 1 ? argv[1] : "s344";
   netlist::Netlist design;
-  if (std::filesystem::exists(which)) {
+  if (which.rfind("gen-hier", 0) == 0) {
+    // "gen-hier[:gates[:seed]]": deterministic hierarchical generation; the
+    // tour then runs over the flattened equivalent.
+    netlist::HierGeneratorSpec spec;
+    spec.total_gates = 20000;
+    const std::size_t c1 = which.find(':');
+    if (c1 != std::string::npos) {
+      const std::size_t c2 = which.find(':', c1 + 1);
+      spec.total_gates = std::stoull(which.substr(c1 + 1, c2 - c1 - 1));
+      if (c2 != std::string::npos) spec.seed = std::stoull(which.substr(c2 + 1));
+    }
+    const netlist::HierDesign hier = netlist::generate_hier_circuit(spec);
+    std::ofstream(spec.name + ".hbench") << netlist::write_hier_bench(hier);
+    std::printf("generated %s.hbench: %zu blocks, %zu instances, %zu expanded gates\n",
+                spec.name.c_str(), hier.blocks().size(), hier.instances().size(),
+                hier.expanded_gate_count());
+    design = hier.flatten();
+  } else if (which.size() > 7 && which.rfind(".hbench") == which.size() - 7) {
+    std::ifstream in(which);
+    const netlist::HierDesign hier = netlist::parse_hier_bench_stream(
+        in, std::filesystem::path(which).stem().string());
+    std::printf("hierarchical %s: %zu blocks, %zu instances -> flattening\n",
+                hier.name().c_str(), hier.blocks().size(), hier.instances().size());
+    design = hier.flatten();
+  } else if (std::filesystem::exists(which)) {
     std::ifstream in(which);
     design = netlist::parse_bench_stream(in, std::filesystem::path(which).stem().string());
   } else {

@@ -1,0 +1,100 @@
+#include "hier/block_model.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace spsta::hier {
+
+std::uint64_t hash_bytes(const void* data, std::size_t size, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  return hash_bytes(&v, sizeof v, h);
+}
+
+std::uint64_t hash_double(std::uint64_t h, double v) noexcept {
+  // Bit pattern, not value: the signature must distinguish -0.0/0.0 the
+  // same way the engines' arithmetic would not — exactness over cleverness.
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return hash_u64(h, bits);
+}
+
+}  // namespace
+
+std::uint64_t model_signature(std::uint64_t block_hash, Engine engine,
+                              const core::SpstaOptions& options,
+                              std::span<const netlist::SourceStats> normalized_sources) noexcept {
+  std::uint64_t h = hash_u64(0xcbf29ce484222325ull, block_hash);
+  h = hash_u64(h, static_cast<std::uint64_t>(engine));
+  if (engine == Engine::SpstaNumeric) {
+    h = hash_double(h, options.grid_dt);
+    h = hash_double(h, options.grid_pad_sigma);
+    h = hash_u64(h, options.max_grid_points);
+  }
+  for (const netlist::SourceStats& s : normalized_sources) {
+    h = hash_double(h, s.probs.p0);
+    h = hash_double(h, s.probs.p1);
+    h = hash_double(h, s.probs.pr);
+    h = hash_double(h, s.probs.pf);
+    h = hash_double(h, s.rise_arrival.mean);
+    h = hash_double(h, s.rise_arrival.var);
+    h = hash_double(h, s.fall_arrival.mean);
+    h = hash_double(h, s.fall_arrival.var);
+  }
+  return h;
+}
+
+BlockTimingModel extract_block_model(const core::CompiledDesign& plan, Engine engine,
+                                     std::span<const netlist::SourceStats> sources,
+                                     const core::SpstaOptions& options) {
+  BlockTimingModel model;
+  const auto& outputs = plan.design().primary_outputs();
+  model.outputs.reserve(outputs.size());
+  switch (engine) {
+    case Engine::SpstaMoment: {
+      const core::SpstaResult result = core::run_spsta_moment(plan, sources, options);
+      for (const netlist::NodeId out : outputs) {
+        const core::NodeTop& top = result.node[out];
+        model.outputs.push_back({top.probs, top.rise, top.fall});
+      }
+      break;
+    }
+    case Engine::SpstaNumeric: {
+      const core::SpstaNumericResult result = core::run_spsta_numeric(plan, sources, options);
+      for (const netlist::NodeId out : outputs) {
+        const core::NodeTopDensity& top = result.node[out];
+        PortTop port;
+        port.probs = top.probs;
+        // Boundary Gaussianization: the density's (mass, mean, variance)
+        // is all that crosses the interface — the kNumericAbsEps term of
+        // the accuracy contract.
+        port.rise.mass = top.rise.mass();
+        if (port.rise.mass > 0.0) {
+          port.rise.arrival = {top.rise.mean(), top.rise.variance()};
+        }
+        port.fall.mass = top.fall.mass();
+        if (port.fall.mass > 0.0) {
+          port.fall.arrival = {top.fall.mean(), top.fall.variance()};
+        }
+        model.outputs.push_back(std::move(port));
+      }
+      break;
+    }
+    default:
+      throw std::invalid_argument(
+          "extract_block_model: only spsta_moment and spsta_numeric extract block models");
+  }
+  return model;
+}
+
+}  // namespace spsta::hier

@@ -1,0 +1,123 @@
+/// \file hier_analyzer.hpp
+/// Hierarchical analysis by block-model composition (DESIGN.md §14): the
+/// counterpart of the flat `Analyzer` for a `HierDesign`. Instead of
+/// flattening, each instance is analyzed through its block's compiled plan
+/// exactly once per distinct boundary condition — every further instance
+/// with the same (block, engine, options, normalized input stats) is a
+/// BlockModelCache hit that costs a hash lookup, not an engine run.
+///
+/// Composition walks instances in topological order carrying PortTop
+/// boundary state per top-level signal; block inputs are seeded from the
+/// driving signals' state precisely the way the flat engines seed timing
+/// sources, which is what makes the composition exact for probabilities
+/// and moment-engine moments (accuracy contract in block_model.hpp).
+///
+/// Moment-engine extractions are keyed on mean-normalized input arrivals
+/// (minimum input mean subtracted), so a block seeing the same relative
+/// arrival pattern later in the clock cycle reuses the same model shifted
+/// — the key that collapses a regular W-wide grid level to ONE extraction.
+/// Blocks containing DFFs skip normalization (register stats are absolute);
+/// numeric-engine extractions are keyed absolutely (their grid choice is
+/// not shift-invariant).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hier/block_cache.hpp"
+#include "hier/block_model.hpp"
+#include "netlist/four_value.hpp"
+#include "netlist/hier.hpp"
+#include "spsta_api.hpp"
+
+namespace spsta::hier {
+
+/// Result of one hierarchical run: boundary state for every top-level
+/// signal (top inputs, then every instance output port in instance order).
+struct HierReport {
+  Engine engine = Engine::SpstaMoment;
+  std::vector<std::string> signal_names;
+  std::vector<PortTop> signals;        ///< parallel to signal_names
+  std::vector<std::size_t> outputs;    ///< signal index per top output, in order
+  double elapsed_seconds = 0.0;
+  std::uint64_t models_extracted = 0;  ///< engine runs this analysis paid
+  std::uint64_t model_cache_hits = 0;  ///< instances served from the cache
+
+  /// Boundary state of a named signal; nullptr when unknown.
+  [[nodiscard]] const PortTop* find(std::string_view name) const;
+};
+
+struct HierAnalyzerOptions {
+  /// Default worker threads for block engine runs when a request leaves
+  /// `threads` unset.
+  unsigned threads = 1;
+  /// Shared model cache (e.g. the service's process-wide one); when null
+  /// the analyzer uses a private cache.
+  BlockModelCache* shared_models = nullptr;
+  /// Shared compiled-block library; when null a private library is used.
+  BlockLibrary* shared_blocks = nullptr;
+};
+
+/// Compiled hierarchical design + composition engine. Construction interns
+/// and compiles every unique block (through the library) and resolves the
+/// top-level signal graph; `run` is the warm path.
+class HierAnalyzer {
+ public:
+  explicit HierAnalyzer(netlist::HierDesign design, HierAnalyzerOptions options = {});
+
+  [[nodiscard]] const netlist::HierDesign& design() const noexcept { return design_; }
+
+  /// Throws std::invalid_argument unless the request is valid (Analyzer
+  /// rules) AND its engine is spsta_moment or spsta_numeric — the engines
+  /// block models exist for.
+  static void validate(const AnalysisRequest& request);
+
+  /// Composes the hierarchy under scenario-I statistics on every top input
+  /// (and every block-internal DFF).
+  [[nodiscard]] HierReport run(const AnalysisRequest& request);
+
+  /// Composes with explicit top-input statistics: one entry broadcasts,
+  /// otherwise exactly one per top input. Block-internal DFF sources
+  /// receive \p top_sources[0] (use broadcast for flat-equivalence).
+  [[nodiscard]] HierReport run(const AnalysisRequest& request,
+                               std::span<const netlist::SourceStats> top_sources);
+
+  /// The model cache in use (shared or private) — cache counters for
+  /// stats/tests.
+  [[nodiscard]] BlockModelCache& models() noexcept { return *models_; }
+  [[nodiscard]] const BlockLibrary& library() const noexcept { return *library_; }
+
+  /// Flattened-equivalent gate count (the size this design's budget/report
+  /// lines should cite).
+  [[nodiscard]] std::size_t expanded_gates() const noexcept {
+    return design_.expanded_gate_count();
+  }
+
+  /// Resident footprint estimate: unique compiled blocks + composition
+  /// tables (NOT the expanded design — that is the point).
+  [[nodiscard]] std::size_t approx_bytes() const noexcept;
+
+ private:
+  netlist::HierDesign design_;
+  HierAnalyzerOptions options_;
+
+  std::unique_ptr<BlockModelCache> own_models_;
+  std::unique_ptr<BlockLibrary> own_library_;
+  BlockModelCache* models_ = nullptr;
+  BlockLibrary* library_ = nullptr;
+
+  std::vector<std::shared_ptr<const CompiledBlock>> compiled_;  ///< per block index
+  std::vector<std::size_t> topo_;                               ///< instance order
+  std::size_t signal_count_ = 0;
+  std::vector<std::size_t> instance_output_base_;        ///< per instance
+  std::vector<std::vector<std::size_t>> instance_inputs_;  ///< resolved signal ids
+  std::vector<std::string> signal_names_;
+  std::vector<std::size_t> output_signals_;  ///< per top output
+};
+
+}  // namespace spsta::hier

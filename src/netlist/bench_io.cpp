@@ -13,9 +13,9 @@ namespace spsta::netlist {
 BenchParseError::BenchParseError(std::size_t line, const std::string& message)
     : std::runtime_error("bench:" + std::to_string(line) + ": " + message), line_(line) {}
 
-namespace {
+namespace detail {
 
-std::string_view trim(std::string_view s) {
+std::string_view trim(std::string_view s) noexcept {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
   return s;
@@ -23,21 +23,14 @@ std::string_view trim(std::string_view s) {
 
 // Editors on some platforms prepend a UTF-8 byte-order mark; it is not part
 // of the netlist and would otherwise glue onto the first token.
-std::string_view strip_utf8_bom(std::string_view s) {
+std::string_view strip_utf8_bom(std::string_view s) noexcept {
   if (s.size() >= 3 && s[0] == '\xEF' && s[1] == '\xBB' && s[2] == '\xBF') {
     s.remove_prefix(3);
   }
   return s;
 }
 
-// One parsed statement before netlist construction.
-struct Statement {
-  std::size_t line = 0;
-  enum class Kind { Input, Output, Gate } kind = Kind::Gate;
-  std::string target;
-  GateType type = GateType::Input;
-  std::vector<std::string> args;
-};
+namespace {
 
 std::vector<std::string> split_args(std::string_view inside, std::size_t line) {
   std::vector<std::string> args;
@@ -60,7 +53,8 @@ std::vector<std::string> split_args(std::string_view inside, std::size_t line) {
   return args;
 }
 
-// Parses "HEAD(arg, arg, ...)" returning {HEAD, args}.
+}  // namespace
+
 std::pair<std::string, std::vector<std::string>> parse_call(std::string_view s,
                                                             std::size_t line) {
   const std::size_t open = s.find('(');
@@ -76,61 +70,72 @@ std::pair<std::string, std::vector<std::string>> parse_call(std::string_view s,
   return {head, split_args(s.substr(open + 1, close - open - 1), line)};
 }
 
-}  // namespace
+}  // namespace detail
 
-Netlist parse_bench(std::string_view text, std::string name) {
-  text = strip_utf8_bom(text);
-  std::vector<Statement> statements;
-  std::size_t line_no = 0;
-  std::size_t pos = 0;
-  while (pos <= text.size()) {
-    const std::size_t eol = text.find('\n', pos);
-    std::string_view raw = text.substr(
-        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
-    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
-    ++line_no;
+namespace {
 
-    const std::size_t hash = raw.find('#');
-    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
-    const std::string_view line = trim(raw);
-    if (line.empty()) continue;
+using detail::parse_call;
+using detail::trim;
 
-    const std::size_t eq = line.find('=');
-    Statement st;
-    st.line = line_no;
-    if (eq == std::string_view::npos) {
-      auto [head, args] = parse_call(line, line_no);
-      if (args.size() != 1) {
-        throw BenchParseError(line_no, head + " takes exactly one signal");
-      }
-      if (head == "INPUT" || head == "input") {
-        st.kind = Statement::Kind::Input;
-      } else if (head == "OUTPUT" || head == "output") {
-        st.kind = Statement::Kind::Output;
-      } else {
-        throw BenchParseError(line_no, "unknown declaration '" + head + "'");
-      }
-      st.target = args[0];
-    } else {
-      st.kind = Statement::Kind::Gate;
-      st.target = std::string(trim(line.substr(0, eq)));
-      if (st.target.empty()) throw BenchParseError(line_no, "missing gate output name");
-      auto [head, args] = parse_call(line.substr(eq + 1), line_no);
-      const auto type = parse_gate_type(head);
-      if (!type || *type == GateType::Input) {
-        throw BenchParseError(line_no, "unknown gate type '" + head + "'");
-      }
-      st.type = *type;
-      st.args = std::move(args);
+// One parsed statement before netlist construction. The parser is
+// line-streaming but netlist construction stays two-pass (declare all, then
+// connect) because the format allows forward references; the statement list
+// is O(netlist), the same order as the result itself.
+struct Statement {
+  std::size_t line = 0;
+  enum class Kind { Input, Output, Gate } kind = Kind::Gate;
+  std::string target;
+  GateType type = GateType::Input;
+  std::vector<std::string> args;
+};
+
+// Lexes one raw source line (comment stripping included) into `statements`.
+// Blank/comment-only lines produce nothing.
+void lex_line(std::string_view raw, std::size_t line_no, std::vector<Statement>& statements) {
+  const std::size_t hash = raw.find('#');
+  if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+  const std::string_view line = trim(raw);
+  if (line.empty()) return;
+
+  const std::size_t eq = line.find('=');
+  Statement st;
+  st.line = line_no;
+  if (eq == std::string_view::npos) {
+    auto [head, args] = parse_call(line, line_no);
+    if (args.size() != 1) {
+      throw BenchParseError(line_no, head + " takes exactly one signal");
     }
-    statements.push_back(std::move(st));
+    if (head == "INPUT" || head == "input") {
+      st.kind = Statement::Kind::Input;
+    } else if (head == "OUTPUT" || head == "output") {
+      st.kind = Statement::Kind::Output;
+    } else {
+      throw BenchParseError(line_no, "unknown declaration '" + head + "'");
+    }
+    st.target = args[0];
+  } else {
+    st.kind = Statement::Kind::Gate;
+    st.target = std::string(trim(line.substr(0, eq)));
+    if (st.target.empty()) throw BenchParseError(line_no, "missing gate output name");
+    auto [head, args] = parse_call(line.substr(eq + 1), line_no);
+    const auto type = parse_gate_type(head);
+    if (!type || *type == GateType::Input) {
+      throw BenchParseError(line_no, "unknown gate type '" + head + "'");
+    }
+    st.type = *type;
+    st.args = std::move(args);
   }
+  statements.push_back(std::move(st));
+}
+
+// Builds the netlist from the lexed statement list (pass 1 declares, pass 2
+// connects — forward references resolve here).
+Netlist build_netlist(const std::vector<Statement>& statements, std::string name,
+                      std::size_t last_line) {
   if (statements.empty()) {
-    throw BenchParseError(line_no == 0 ? 1 : line_no,
+    throw BenchParseError(last_line == 0 ? 1 : last_line,
                           "empty input: no INPUT/OUTPUT/gate statements");
   }
-
-  // Pass 1: declare every defined signal.
   Netlist design(std::move(name));
   for (const Statement& st : statements) {
     if (st.kind == Statement::Kind::Output) continue;
@@ -140,7 +145,6 @@ Netlist parse_bench(std::string_view text, std::string name) {
     }
     design.declare(type, st.target);
   }
-  // Pass 2: connect gates and mark outputs.
   for (const Statement& st : statements) {
     if (st.kind == Statement::Kind::Input) continue;
     const NodeId target = design.find(st.target);
@@ -170,14 +174,80 @@ Netlist parse_bench(std::string_view text, std::string name) {
   return design;
 }
 
-Netlist parse_bench_stream(std::istream& in, std::string name) {
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse_bench(buffer.str(), std::move(name));
+}  // namespace
+
+Netlist parse_bench(std::string_view text, std::string name) {
+  text = detail::strip_utf8_bom(text);
+  std::vector<Statement> statements;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (raw.size() > kMaxBenchLineBytes) {
+      throw BenchParseError(line_no, "line exceeds " + std::to_string(kMaxBenchLineBytes) +
+                                         " byte limit");
+    }
+    lex_line(raw, line_no, statements);
+  }
+  return build_netlist(statements, std::move(name), line_no);
 }
 
-std::string write_bench(const Netlist& design) {
-  std::ostringstream out;
+bool read_bench_line(std::istream& in, std::string& line, std::size_t line_no) {
+  line.clear();
+  char buf[1 << 16];
+  bool read_any = false;
+  for (;;) {
+    in.getline(buf, sizeof buf);
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    // istream::getline semantics: failbit without eofbit and a full buffer
+    // means the line continues; eofbit without failbit means a final
+    // unterminated line; otherwise a newline was consumed (counted by
+    // gcount but not stored).
+    const bool buffer_full = in.fail() && !in.eof() && got + 1 == sizeof buf;
+    if (in.fail() && !buffer_full && got == 0 && !read_any) {
+      return false;  // end of stream before any character
+    }
+    std::size_t stored;
+    bool line_done;
+    if (buffer_full) {
+      stored = got;
+      line_done = false;
+      in.clear(in.rdstate() & ~std::ios::failbit);
+    } else if (in.eof()) {
+      stored = got;
+      line_done = true;
+    } else {
+      stored = got > 0 ? got - 1 : 0;
+      line_done = true;
+    }
+    read_any = true;
+    if (line.size() + stored > kMaxBenchLineBytes) {
+      throw BenchParseError(line_no, "line exceeds " + std::to_string(kMaxBenchLineBytes) +
+                                         " byte limit");
+    }
+    line.append(buf, stored);
+    if (line_done) return true;
+  }
+}
+
+Netlist parse_bench_stream(std::istream& in, std::string name) {
+  std::vector<Statement> statements;
+  std::string line;
+  std::size_t line_no = 0;
+  while (read_bench_line(in, line, line_no + 1)) {
+    ++line_no;
+    std::string_view raw = line;
+    if (line_no == 1) raw = detail::strip_utf8_bom(raw);
+    lex_line(raw, line_no, statements);
+  }
+  return build_netlist(statements, std::move(name), line_no);
+}
+
+void write_bench(const Netlist& design, std::ostream& out) {
   out << "# " << design.name() << " — written by spsta\n";
   for (NodeId id : design.primary_inputs()) {
     out << "INPUT(" << design.node(id).name << ")\n";
@@ -196,6 +266,11 @@ std::string write_bench(const Netlist& design) {
     }
     out << ")\n";
   }
+}
+
+std::string write_bench(const Netlist& design) {
+  std::ostringstream out;
+  write_bench(design, out);
   return out.str();
 }
 

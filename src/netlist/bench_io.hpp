@@ -9,6 +9,12 @@
 ///
 /// Forward references are allowed (a gate may use a signal defined later),
 /// as in the published benchmark files.
+///
+/// Both entry points parse line by line. The stream reader never slurps the
+/// file into one std::string: it buffers at most one line (capped at
+/// kMaxBenchLineBytes), so million-gate files parse in memory proportional
+/// to the netlist, not to transient I/O copies, and a pathological
+/// newline-free file fails fast with a structured error instead of an OOM.
 
 #pragma once
 
@@ -16,6 +22,8 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "netlist/netlist.hpp"
 
@@ -31,16 +39,45 @@ class BenchParseError : public std::runtime_error {
   std::size_t line_;
 };
 
+/// Maximum accepted length of a single .bench line, matching the service
+/// protocol's 8 MiB request-line cap (service/protocol kMaxRequestBytes).
+/// Longer lines raise BenchParseError — streaming readers stop buffering at
+/// the cap rather than growing without bound.
+inline constexpr std::size_t kMaxBenchLineBytes = 8u << 20;
+
 /// Parses .bench text. \p name becomes the netlist name.
 /// Throws BenchParseError on malformed input (unknown gate type, duplicate
-/// definition, undefined signal, bad syntax).
+/// definition, undefined signal, bad syntax, over-long line).
 [[nodiscard]] Netlist parse_bench(std::string_view text, std::string name = "bench");
 
-/// Parses a .bench file from a stream.
+/// Parses a .bench file from a stream, line by line with bounded buffering
+/// (see file comment). Same error contract as parse_bench.
 [[nodiscard]] Netlist parse_bench_stream(std::istream& in, std::string name = "bench");
 
 /// Serializes \p design to .bench text (INPUTs, OUTPUTs, then gates in
 /// topological order). parse_bench(write_bench(n)) reproduces the design.
 [[nodiscard]] std::string write_bench(const Netlist& design);
+
+/// Streaming variant: writes directly to \p out without building the full
+/// text in memory — the writer half of the million-gate I/O path.
+void write_bench(const Netlist& design, std::ostream& out);
+
+/// Reads one newline-terminated line from \p in (terminator not stored).
+/// Returns false at end of stream with nothing read. Buffers at most
+/// kMaxBenchLineBytes: an over-long line throws BenchParseError(\p line_no)
+/// instead of growing the buffer. Shared by the flat and hierarchical
+/// parsers; exposed for any line-oriented netlist reader.
+bool read_bench_line(std::istream& in, std::string& line, std::size_t line_no);
+
+namespace detail {
+/// Statement-lexing helpers shared between the flat parser and the
+/// hierarchical parser in hier_bench_io.cpp. Not a stable public API.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+[[nodiscard]] std::string_view strip_utf8_bom(std::string_view s) noexcept;
+/// Parses "HEAD(arg, arg, ...)" returning {HEAD, args}; throws
+/// BenchParseError(\p line) on malformed syntax.
+[[nodiscard]] std::pair<std::string, std::vector<std::string>> parse_call(
+    std::string_view s, std::size_t line);
+}  // namespace detail
 
 }  // namespace spsta::netlist

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -12,11 +13,13 @@ namespace spsta::netlist {
 namespace {
 
 GateType pick_type(stats::Xoshiro256& rng, const GeneratorSpec& spec) {
-  const std::array<double, 6> weights{spec.weight_and, spec.weight_nand, spec.weight_or,
-                                      spec.weight_nor, spec.weight_not, spec.weight_buf};
-  static constexpr std::array<GateType, 6> kinds{GateType::And,  GateType::Nand,
-                                                 GateType::Or,   GateType::Nor,
-                                                 GateType::Not,  GateType::Buf};
+  const std::array<double, 8> weights{spec.weight_and, spec.weight_nand,
+                                      spec.weight_or,  spec.weight_nor,
+                                      spec.weight_not, spec.weight_buf,
+                                      spec.weight_xor, spec.weight_xnor};
+  static constexpr std::array<GateType, 8> kinds{
+      GateType::And, GateType::Nand, GateType::Or,  GateType::Nor,
+      GateType::Not, GateType::Buf,  GateType::Xor, GateType::Xnor};
   return kinds[rng.categorical(weights)];
 }
 
@@ -142,6 +145,127 @@ Netlist generate_circuit(const GeneratorSpec& spec) {
     }
     design.connect(q, {d});
     ++fanout_load[d];
+  }
+
+  design.validate();
+  return design;
+}
+
+HierDesign generate_hier_circuit(const HierGeneratorSpec& spec) {
+  if (spec.total_gates == 0 || spec.block_gates == 0) {
+    throw std::invalid_argument("generate_hier_circuit: need gates");
+  }
+  if (spec.unique_blocks == 0) {
+    throw std::invalid_argument("generate_hier_circuit: need at least one block");
+  }
+  if (spec.block_inputs == 0 || spec.block_outputs == 0) {
+    throw std::invalid_argument("generate_hier_circuit: blocks need inputs and outputs");
+  }
+
+  HierDesign design(spec.name);
+
+  // Unique block pool, each from an independently derived seed.
+  std::vector<std::vector<std::string>> port_names(spec.unique_blocks);
+  for (std::size_t b = 0; b < spec.unique_blocks; ++b) {
+    GeneratorSpec block;
+    block.name = spec.name + "_b" + std::to_string(b);
+    block.num_inputs = spec.block_inputs;
+    block.num_outputs = spec.block_outputs;
+    block.num_dffs = spec.block_dffs;
+    block.num_gates = spec.block_gates;
+    block.target_depth = spec.block_depth;
+    // Parity gates keep transition probability alive through the stacked
+    // block levels; a pure AND/OR mix attenuates it to exactly zero well
+    // before 10^5 gates, which would make the composed-vs-flat accuracy
+    // columns of the size sweep vacuous.
+    block.weight_xor = 2.0;
+    block.weight_xnor = 1.0;
+    block.seed = spec.seed + 0x9e3779b97f4a7c15ull * (b + 1);
+    const std::size_t index = design.add_block(generate_circuit(block));
+    const Netlist& built = design.blocks()[index];
+    // mark_output is idempotent, so tiny blocks can end up with fewer
+    // distinct ports than requested; wiring below indexes what exists.
+    for (const NodeId out : built.primary_outputs()) {
+      port_names[b].push_back(built.node(out).name);
+    }
+  }
+
+  const std::size_t instances =
+      (spec.total_gates + spec.block_gates - 1) / spec.block_gates;
+  const std::size_t width =
+      spec.width != 0
+          ? spec.width
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::llround(std::sqrt(
+                       static_cast<double>(instances)))));
+  const std::size_t levels = (instances + width - 1) / width;
+
+  for (std::size_t i = 0; i < spec.block_inputs; ++i) {
+    design.add_top_input("x" + std::to_string(i));
+  }
+
+  stats::Xoshiro256 rng(spec.seed ^ 0x5851f42d4c957f2dull);
+  std::vector<std::string> prev_names;  // instance names of the previous level
+  std::size_t prev_block = 0;
+  std::size_t placed = 0;
+  for (std::size_t level = 1; level <= levels; ++level) {
+    const std::size_t count = std::min(width, instances - placed);
+    const std::size_t blk = (level - 1) % spec.unique_blocks;
+    const std::size_t fanin_ports =
+        level == 1 ? spec.block_inputs : port_names[prev_block].size();
+    std::vector<std::string> names;
+    names.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      HierInstance inst;
+      inst.name = "u" + std::to_string(level) + "_" + std::to_string(k);
+      inst.block = blk;
+      inst.inputs.reserve(spec.block_inputs);
+      for (std::size_t j = 0; j < spec.block_inputs; ++j) {
+        if (level == 1) {
+          const std::size_t pick = spec.uniform_wiring
+                                       ? (k + j) % spec.block_inputs
+                                       : rng.uniform_index(spec.block_inputs);
+          inst.inputs.push_back(design.top_inputs()[pick]);
+          continue;
+        }
+        if (j == 0) {
+          // One feed-through per instance: port 0 always consumes a fresh
+          // primary input, so switching activity reaches every level no
+          // matter how deep the grid is. Top inputs share one source
+          // scenario, so this keeps per-level wiring statistics uniform.
+          const std::size_t pick = spec.uniform_wiring
+                                       ? (k + level) % spec.block_inputs
+                                       : rng.uniform_index(spec.block_inputs);
+          inst.inputs.push_back(design.top_inputs()[pick]);
+          continue;
+        }
+        std::size_t src_inst, src_port;
+        if (spec.uniform_wiring) {
+          // Rotated wiring: every instance of a level consumes the same
+          // multiset of (driver level, port) statistics — the block-model
+          // cache collapses the level to one extraction.
+          src_inst = (k + j) % prev_names.size();
+          src_port = j % fanin_ports;
+        } else {
+          src_inst = rng.uniform_index(prev_names.size());
+          src_port = rng.uniform_index(fanin_ports);
+        }
+        inst.inputs.push_back(prev_names[src_inst] + "." +
+                              port_names[prev_block][src_port]);
+      }
+      names.push_back(inst.name);
+      design.add_instance(std::move(inst));
+    }
+    placed += count;
+    prev_names = std::move(names);
+    prev_block = blk;
+  }
+
+  // Every port of the final level is a primary output.
+  for (const std::string& inst : prev_names) {
+    for (const std::string& port : port_names[prev_block]) {
+      design.add_top_output(inst + "." + port);
+    }
   }
 
   design.validate();

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "netlist/hier.hpp"
 #include "netlist/netlist.hpp"
 
 namespace spsta::netlist {
@@ -37,6 +38,11 @@ struct GeneratorSpec {
   double weight_nor = 2.0;
   double weight_not = 1.5;
   double weight_buf = 0.5;
+  /// XOR/XNOR keep switching activity alive through deep logic (an AND/OR
+  /// mix attenuates transition probability geometrically with depth). Off
+  /// by default so existing specs generate byte-identical netlists.
+  double weight_xor = 0.0;
+  double weight_xnor = 0.0;
 };
 
 /// Generates a valid, acyclic netlist per \p spec. The result always
@@ -45,5 +51,35 @@ struct GeneratorSpec {
 /// Throws std::invalid_argument on inconsistent specs (no sources, zero
 /// gates with nonzero outputs, etc.).
 [[nodiscard]] Netlist generate_circuit(const GeneratorSpec& spec);
+
+/// Parameters of a generated hierarchical circuit: a grid of levels ×
+/// width block instances drawn from a small pool of unique blocks, sized
+/// to reach `total_gates` flattened gates. With `uniform_wiring` every
+/// instance of a level receives the same multiset of upstream statistics,
+/// which is the block-model cache's best case (one extraction per level);
+/// without it wiring is seeded-random, the cache's stress case.
+struct HierGeneratorSpec {
+  std::string name = "hier";
+  /// Approximate flattened combinational gate count; the instance count is
+  /// ceil(total_gates / block_gates).
+  std::size_t total_gates = 100000;
+  std::size_t unique_blocks = 4;    ///< distinct block definitions (>= 1)
+  std::size_t block_gates = 400;    ///< gates per block
+  std::size_t block_inputs = 8;     ///< primary inputs per block
+  std::size_t block_outputs = 8;    ///< primary outputs per block
+  std::size_t block_depth = 12;     ///< target logic depth per block
+  std::size_t block_dffs = 0;       ///< DFFs per block
+  /// Instances per grid level; 0 = ~sqrt(instance count).
+  std::size_t width = 0;
+  std::uint64_t seed = 1;
+  bool uniform_wiring = true;
+};
+
+/// Generates a valid hierarchical design per \p spec: deterministic for a
+/// fixed spec (byte-identical write_hier_bench output at any thread count —
+/// generation is single-threaded by construction). The result passes
+/// HierDesign::validate() and flatten(). Throws std::invalid_argument on
+/// inconsistent specs.
+[[nodiscard]] HierDesign generate_hier_circuit(const HierGeneratorSpec& spec);
 
 }  // namespace spsta::netlist

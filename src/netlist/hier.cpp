@@ -1,0 +1,223 @@
+#include "netlist/hier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spsta::netlist {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw std::logic_error(message); }
+
+}  // namespace
+
+std::size_t HierDesign::add_block(Netlist block) {
+  if (block.name().empty()) {
+    throw std::invalid_argument("hier: block netlist must be named");
+  }
+  if (block_index_.contains(block.name())) {
+    throw std::invalid_argument("hier: duplicate block '" + block.name() + "'");
+  }
+  const std::size_t index = blocks_.size();
+  block_index_.emplace(block.name(), index);
+  blocks_.push_back(std::move(block));
+  return index;
+}
+
+std::optional<std::size_t> HierDesign::find_block(std::string_view name) const {
+  const auto it = block_index_.find(std::string(name));
+  return it == block_index_.end() ? std::nullopt : std::make_optional(it->second);
+}
+
+void HierDesign::add_top_input(std::string name) {
+  if (name.empty()) throw std::invalid_argument("hier: empty top input name");
+  if (!top_input_index_.emplace(name, top_inputs_.size()).second) {
+    throw std::invalid_argument("hier: duplicate top input '" + name + "'");
+  }
+  top_inputs_.push_back(std::move(name));
+}
+
+void HierDesign::add_top_output(std::string signal) {
+  if (signal.empty()) throw std::invalid_argument("hier: empty top output signal");
+  top_outputs_.push_back(std::move(signal));
+}
+
+std::size_t HierDesign::add_instance(HierInstance instance) {
+  if (instance.name.empty()) throw std::invalid_argument("hier: empty instance name");
+  if (!instance_index_.emplace(instance.name, instances_.size()).second) {
+    throw std::invalid_argument("hier: duplicate instance '" + instance.name + "'");
+  }
+  instances_.push_back(std::move(instance));
+  return instances_.size() - 1;
+}
+
+std::optional<HierSignalRef> HierDesign::resolve(std::string_view signal) const {
+  if (const auto in = top_input_index_.find(std::string(signal)); in != top_input_index_.end()) {
+    return HierSignalRef{HierSignalRef::kTopInput, in->second};
+  }
+  // Instance names may not contain '.' (validate enforces it), so the first
+  // dot splits "<instance>.<port>" unambiguously even if port names dot.
+  const std::size_t dot = signal.find('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == signal.size()) {
+    return std::nullopt;
+  }
+  const auto inst = instance_index_.find(std::string(signal.substr(0, dot)));
+  if (inst == instance_index_.end()) return std::nullopt;
+  const Netlist& block = blocks_.at(instances_[inst->second].block);
+  const NodeId node = block.find(signal.substr(dot + 1));
+  if (node == kInvalidNode) return std::nullopt;
+  const auto& outs = block.primary_outputs();
+  const auto pos = std::find(outs.begin(), outs.end(), node);
+  if (pos == outs.end()) return std::nullopt;
+  return HierSignalRef{inst->second,
+                       static_cast<std::size_t>(pos - outs.begin())};
+}
+
+std::vector<std::size_t> HierDesign::topo_instances() const {
+  // Kahn's algorithm over the instance graph; edges from driver instance to
+  // consumer. Unresolvable inputs and cycles both fail here.
+  const std::size_t n = instances_.size();
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> consumers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::string& sig : instances_[i].inputs) {
+      const auto ref = resolve(sig);
+      if (!ref) {
+        fail("hier: instance '" + instances_[i].name + "' input '" + sig +
+             "' does not resolve to a top input or instance output");
+      }
+      if (!ref->is_top_input()) {
+        consumers[ref->instance].push_back(i);
+        ++indegree[i];
+      }
+    }
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  // Process smallest index first so the order is deterministic and matches
+  // declaration order when the graph allows it.
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const std::size_t i = ready[head];
+    order.push_back(i);
+    for (const std::size_t c : consumers[i]) {
+      if (--indegree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (order.size() != n) {
+    fail("hier: instance graph has a cycle");
+  }
+  return order;
+}
+
+void HierDesign::validate() const {
+  if (blocks_.empty()) fail("hier: no block definitions");
+  if (instances_.empty()) fail("hier: no instances");
+  for (const std::string& in : top_inputs_) {
+    if (in.find('.') != std::string::npos) {
+      fail("hier: top input '" + in + "' may not contain '.'");
+    }
+    if (instance_index_.contains(in)) {
+      fail("hier: top input '" + in + "' collides with an instance name");
+    }
+  }
+  for (const Netlist& block : blocks_) {
+    block.validate();
+    if (block.primary_inputs().empty()) {
+      fail("hier: block '" + block.name() + "' has no primary inputs");
+    }
+    if (block.primary_outputs().empty()) {
+      fail("hier: block '" + block.name() + "' has no primary outputs");
+    }
+  }
+  for (const HierInstance& inst : instances_) {
+    if (inst.name.find('.') != std::string::npos) {
+      fail("hier: instance name '" + inst.name + "' may not contain '.'");
+    }
+    if (inst.block >= blocks_.size()) {
+      fail("hier: instance '" + inst.name + "' references unknown block index");
+    }
+    const Netlist& block = blocks_[inst.block];
+    if (inst.inputs.size() != block.primary_inputs().size()) {
+      fail("hier: instance '" + inst.name + "' connects " +
+           std::to_string(inst.inputs.size()) + " inputs, block '" + block.name() +
+           "' has " + std::to_string(block.primary_inputs().size()));
+    }
+  }
+  for (const std::string& out : top_outputs_) {
+    if (!resolve(out)) {
+      fail("hier: top output '" + out +
+           "' does not resolve to a top input or instance output");
+    }
+  }
+  (void)topo_instances();  // resolves every instance input; rejects cycles
+}
+
+std::size_t HierDesign::expanded_gate_count() const noexcept {
+  std::size_t total = 0;
+  for (const HierInstance& inst : instances_) total += blocks_[inst.block].gate_count();
+  return total;
+}
+
+std::size_t HierDesign::expanded_node_count() const noexcept {
+  // Block input ports collapse onto their driving nets when flattened.
+  std::size_t total = top_inputs_.size();
+  for (const HierInstance& inst : instances_) {
+    const Netlist& block = blocks_[inst.block];
+    total += block.node_count() - block.primary_inputs().size();
+  }
+  return total;
+}
+
+std::size_t HierDesign::expanded_dff_count() const noexcept {
+  std::size_t total = 0;
+  for (const HierInstance& inst : instances_) total += blocks_[inst.block].dffs().size();
+  return total;
+}
+
+Netlist HierDesign::flatten() const {
+  validate();
+  Netlist flat(name_);
+  // signal -> flat node, filled as instances are expanded in topo order.
+  std::unordered_map<std::string, NodeId> net;
+  net.reserve(top_inputs_.size() + instances_.size() * 4);
+  for (const std::string& in : top_inputs_) net.emplace(in, flat.add_input(in));
+
+  for (const std::size_t index : topo_instances()) {
+    const HierInstance& inst = instances_[index];
+    const Netlist& block = blocks_[inst.block];
+    std::vector<NodeId> map(block.node_count(), kInvalidNode);
+    // Input ports collapse onto the nets driving them.
+    const auto& ports = block.primary_inputs();
+    for (std::size_t j = 0; j < ports.size(); ++j) {
+      map[ports[j]] = net.at(inst.inputs[j]);
+    }
+    // Two-phase clone (declare then connect) mirrors the block's own
+    // forward-reference-friendly construction.
+    for (NodeId id = 0; id < block.node_count(); ++id) {
+      const Node& node = block.node(id);
+      if (node.type == GateType::Input) continue;
+      map[id] = flat.declare(node.type, inst.name + "/" + node.name);
+    }
+    for (NodeId id = 0; id < block.node_count(); ++id) {
+      const Node& node = block.node(id);
+      if (node.type == GateType::Input) continue;
+      std::vector<NodeId> fanins;
+      fanins.reserve(node.fanins.size());
+      for (const NodeId f : node.fanins) fanins.push_back(map[f]);
+      flat.connect(map[id], std::move(fanins));
+    }
+    for (const NodeId out : block.primary_outputs()) {
+      net.emplace(inst.name + "." + block.node(out).name, map[out]);
+    }
+  }
+
+  for (const std::string& out : top_outputs_) flat.mark_output(net.at(out));
+  flat.validate();
+  return flat;
+}
+
+}  // namespace spsta::netlist

@@ -1,0 +1,121 @@
+/// \file hier.hpp
+/// Hierarchical netlist representation: block definitions plus a top level
+/// made of block instances — the structural model behind the block-timing
+/// subsystem (src/hier/, DESIGN.md §14).
+///
+/// The top level is deliberately restricted to pure composition: INPUT /
+/// OUTPUT declarations and INSTANCE statements only, no glue gates and no
+/// top-level DFFs. Every top-level net is therefore either a top input or
+/// an instance output port, named "<instance>.<port>". This restriction is
+/// what lets hierarchical analysis compose extracted block models directly
+/// instead of flattening: arbitrary glue logic would itself need a timing
+/// model. Glue can always be expressed as one more (small) block.
+///
+/// flatten() expands the hierarchy into a plain Netlist (instance-local
+/// nodes named "<instance>/<node>") — the reference the composed analysis
+/// is tested against, and the bridge to every flat engine.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace spsta::netlist {
+
+/// One block instantiation at the top level.
+struct HierInstance {
+  std::string name;                 ///< instance name, unique at top level
+  std::size_t block = 0;            ///< index into HierDesign::blocks()
+  /// Driving signal per block primary input, positional: inputs[j] drives
+  /// the block's j-th primary input. Each entry is a top-input name or
+  /// "<instance>.<port>".
+  std::vector<std::string> inputs;
+};
+
+/// A resolved top-level signal: either a top input or an instance output.
+struct HierSignalRef {
+  static constexpr std::size_t kTopInput = static_cast<std::size_t>(-1);
+  std::size_t instance = kTopInput;  ///< kTopInput, or index into instances()
+  std::size_t index = 0;  ///< top-input index, or block primary-output index
+  [[nodiscard]] bool is_top_input() const noexcept { return instance == kTopInput; }
+};
+
+/// Block definitions + instances + top-level ports. Built by the
+/// hierarchical .bench parser (hier_bench_io) or the generator; validate()
+/// establishes the structural invariants every consumer relies on.
+class HierDesign {
+ public:
+  HierDesign() = default;
+  explicit HierDesign(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Registers a block definition under its netlist name. Throws
+  /// std::invalid_argument on an empty or duplicate name.
+  std::size_t add_block(Netlist block);
+  [[nodiscard]] const std::vector<Netlist>& blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::optional<std::size_t> find_block(std::string_view name) const;
+
+  void add_top_input(std::string name);
+  /// Declares \p signal (top input or "<instance>.<port>") a top output.
+  /// Resolution happens in validate(), so outputs may be declared before
+  /// the instances that drive them.
+  void add_top_output(std::string signal);
+  std::size_t add_instance(HierInstance instance);
+
+  [[nodiscard]] const std::vector<std::string>& top_inputs() const noexcept {
+    return top_inputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& top_outputs() const noexcept {
+    return top_outputs_;
+  }
+  [[nodiscard]] const std::vector<HierInstance>& instances() const noexcept {
+    return instances_;
+  }
+
+  /// Resolves a top-level signal name. nullopt when the name is neither a
+  /// top input nor "<existing instance>.<existing output port>".
+  [[nodiscard]] std::optional<HierSignalRef> resolve(std::string_view signal) const;
+
+  /// Instance indices in topological order (every instance after all
+  /// instances driving it). Throws std::logic_error on a cycle or an
+  /// unresolvable input signal.
+  [[nodiscard]] std::vector<std::size_t> topo_instances() const;
+
+  /// Checks every structural invariant: non-empty blocks/instances, block
+  /// indices in range, instance arity == block PI count, unique
+  /// instance/input names without '.', resolvable instance inputs and top
+  /// outputs, acyclic instance graph. Throws std::logic_error.
+  void validate() const;
+
+  // Expanded (post-flatten) totals, computed without flattening — the size
+  // a budget or report should attribute to this design.
+  [[nodiscard]] std::size_t expanded_gate_count() const noexcept;
+  [[nodiscard]] std::size_t expanded_node_count() const noexcept;
+  [[nodiscard]] std::size_t expanded_dff_count() const noexcept;
+
+  /// Expands the hierarchy into a flat Netlist: instance-local nodes are
+  /// named "<instance>/<node>", block input ports collapse onto their
+  /// driving nets, top outputs are marked as primary outputs. The result
+  /// validates; node order follows instance topological order.
+  [[nodiscard]] Netlist flatten() const;
+
+ private:
+  std::string name_;
+  std::vector<Netlist> blocks_;
+  std::unordered_map<std::string, std::size_t> block_index_;
+  std::vector<std::string> top_inputs_;
+  std::unordered_map<std::string, std::size_t> top_input_index_;
+  std::vector<std::string> top_outputs_;
+  std::vector<HierInstance> instances_;
+  std::unordered_map<std::string, std::size_t> instance_index_;
+};
+
+}  // namespace spsta::netlist

@@ -1,0 +1,196 @@
+#include "netlist/hier_bench_io.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spsta::netlist {
+
+namespace {
+
+using detail::parse_call;
+using detail::trim;
+
+// Incremental line-fed builder shared by the string and stream parsers.
+// Block bodies are accumulated and handed to the flat parser at END, so the
+// largest transient buffer is one block's text — never the whole file.
+class HierBuilder {
+ public:
+  explicit HierBuilder(std::string name) : design_(std::move(name)) {}
+
+  void feed(std::string_view raw, std::size_t line_no) {
+    std::string_view no_comment = raw;
+    const std::size_t hash = no_comment.find('#');
+    if (hash != std::string_view::npos) no_comment = no_comment.substr(0, hash);
+    const std::string_view line = trim(no_comment);
+
+    if (in_block_) {
+      if (line == "END" || line == "end") {
+        finish_block(line_no);
+        return;
+      }
+      // Raw line kept verbatim (comments included) for the flat parser.
+      body_.append(raw);
+      body_.push_back('\n');
+      ++body_lines_;
+      return;
+    }
+
+    if (line.empty()) return;
+    if (line == "END" || line == "end") {
+      throw BenchParseError(line_no, "END without a matching BLOCK");
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq != std::string_view::npos) {
+      const std::string target(trim(line.substr(0, eq)));
+      if (target.empty()) throw BenchParseError(line_no, "missing instance name");
+      auto [head, args] = parse_call(line.substr(eq + 1), line_no);
+      if (head != "INSTANCE" && head != "instance") {
+        throw BenchParseError(line_no, "top level allows only INSTANCE assignments; '" +
+                                           head + "' gates belong inside a BLOCK");
+      }
+      if (args.empty()) {
+        throw BenchParseError(line_no, "INSTANCE needs a block name");
+      }
+      const auto block = design_.find_block(args[0]);
+      if (!block) {
+        throw BenchParseError(line_no, "unknown block '" + args[0] + "'");
+      }
+      HierInstance inst;
+      inst.name = target;
+      inst.block = *block;
+      inst.inputs.assign(args.begin() + 1, args.end());
+      wrap(line_no, [&] { design_.add_instance(std::move(inst)); });
+      return;
+    }
+
+    auto [head, args] = parse_call(line, line_no);
+    if (args.size() != 1) {
+      throw BenchParseError(line_no, head + " takes exactly one argument");
+    }
+    if (head == "BLOCK" || head == "block") {
+      in_block_ = true;
+      block_name_ = args[0];
+      block_line_ = line_no;
+      body_.clear();
+      body_lines_ = 0;
+    } else if (head == "INPUT" || head == "input") {
+      wrap(line_no, [&] { design_.add_top_input(args[0]); });
+    } else if (head == "OUTPUT" || head == "output") {
+      wrap(line_no, [&] { design_.add_top_output(args[0]); });
+    } else {
+      throw BenchParseError(line_no,
+                            "unknown top-level declaration '" + head +
+                                "' (expected BLOCK, INPUT, OUTPUT or INSTANCE)");
+    }
+  }
+
+  HierDesign finish(std::size_t last_line) {
+    if (in_block_) {
+      throw BenchParseError(block_line_, "BLOCK(" + block_name_ + ") without END");
+    }
+    try {
+      design_.validate();
+    } catch (const std::logic_error& e) {
+      throw BenchParseError(last_line == 0 ? 1 : last_line, e.what());
+    }
+    return std::move(design_);
+  }
+
+ private:
+  template <typename Fn>
+  void wrap(std::size_t line_no, Fn&& fn) {
+    try {
+      fn();
+    } catch (const std::invalid_argument& e) {
+      throw BenchParseError(line_no, e.what());
+    }
+  }
+
+  void finish_block(std::size_t end_line) {
+    in_block_ = false;
+    Netlist parsed;
+    try {
+      parsed = parse_bench(body_, block_name_);
+    } catch (const BenchParseError& e) {
+      // Body line numbers are block-relative; re-anchor to the file.
+      const std::size_t file_line =
+          e.line() <= body_lines_ ? block_line_ + e.line() : end_line;
+      throw BenchParseError(file_line, std::string("in BLOCK(") + block_name_ +
+                                           "): " + e.what());
+    }
+    wrap(block_line_, [&] { design_.add_block(std::move(parsed)); });
+    body_.clear();
+  }
+
+  HierDesign design_;
+  bool in_block_ = false;
+  std::string block_name_;
+  std::size_t block_line_ = 0;
+  std::string body_;
+  std::size_t body_lines_ = 0;
+};
+
+}  // namespace
+
+HierDesign parse_hier_bench(std::string_view text, std::string name) {
+  text = detail::strip_utf8_bom(text);
+  HierBuilder builder(std::move(name));
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (raw.size() > kMaxBenchLineBytes) {
+      throw BenchParseError(line_no, "line exceeds " + std::to_string(kMaxBenchLineBytes) +
+                                         " byte limit");
+    }
+    builder.feed(raw, line_no);
+  }
+  return builder.finish(line_no);
+}
+
+HierDesign parse_hier_bench_stream(std::istream& in, std::string name) {
+  HierBuilder builder(std::move(name));
+  std::string line;
+  std::size_t line_no = 0;
+  while (read_bench_line(in, line, line_no + 1)) {
+    ++line_no;
+    std::string_view raw = line;
+    if (line_no == 1) raw = detail::strip_utf8_bom(raw);
+    builder.feed(raw, line_no);
+  }
+  return builder.finish(line_no);
+}
+
+void write_hier_bench(const HierDesign& design, std::ostream& out) {
+  out << "# " << design.name() << " — hierarchical, written by spsta\n";
+  for (const Netlist& block : design.blocks()) {
+    out << "BLOCK(" << block.name() << ")\n";
+    write_bench(block, out);
+    out << "END\n";
+  }
+  for (const std::string& in : design.top_inputs()) {
+    out << "INPUT(" << in << ")\n";
+  }
+  for (const std::string& sig : design.top_outputs()) {
+    out << "OUTPUT(" << sig << ")\n";
+  }
+  for (const HierInstance& inst : design.instances()) {
+    out << inst.name << " = INSTANCE(" << design.blocks()[inst.block].name();
+    for (const std::string& sig : inst.inputs) out << ", " << sig;
+    out << ")\n";
+  }
+}
+
+std::string write_hier_bench(const HierDesign& design) {
+  std::ostringstream out;
+  write_hier_bench(design, out);
+  return out.str();
+}
+
+}  // namespace spsta::netlist

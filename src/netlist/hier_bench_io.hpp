@@ -1,0 +1,50 @@
+/// \file hier_bench_io.hpp
+/// Reader/writer for the hierarchical .bench extension (".hbench"): block
+/// definitions wrapped in BLOCK/END, then a composition-only top level of
+/// INPUT/OUTPUT declarations and INSTANCE statements.
+///
+///   BLOCK(adder)
+///   INPUT(a)
+///   INPUT(b)
+///   OUTPUT(s)
+///   s = XOR(a, b)
+///   END
+///   INPUT(x0)
+///   INPUT(x1)
+///   OUTPUT(u1.s)
+///   u0 = INSTANCE(adder, x0, x1)
+///   u1 = INSTANCE(adder, u0.s, x1)
+///
+/// Block bodies are plain flat .bench. INSTANCE arguments are positional
+/// against the block's INPUT declaration order; instance outputs are
+/// referenced as "<instance>.<port>". Parsing is line-streaming with the
+/// same per-line byte cap as the flat reader (kMaxBenchLineBytes), so
+/// million-gate hierarchy files never buffer more than one block body.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/hier.hpp"
+
+namespace spsta::netlist {
+
+/// Parses hierarchical .bench text. Throws BenchParseError with file-global
+/// line numbers (block-body errors are re-anchored to the enclosing file).
+[[nodiscard]] HierDesign parse_hier_bench(std::string_view text,
+                                          std::string name = "hier");
+
+/// Streaming variant: reads line by line with bounded buffering.
+[[nodiscard]] HierDesign parse_hier_bench_stream(std::istream& in,
+                                                 std::string name = "hier");
+
+/// Writes the hierarchical design back out; a parse_hier_bench round trip
+/// reproduces it. Streaming — nothing larger than a line is buffered beyond
+/// each block's flat serialization.
+void write_hier_bench(const HierDesign& design, std::ostream& out);
+[[nodiscard]] std::string write_hier_bench(const HierDesign& design);
+
+}  // namespace spsta::netlist

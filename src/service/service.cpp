@@ -8,6 +8,7 @@
 
 #include "netlist/bench_io.hpp"
 #include "netlist/graph.hpp"
+#include "netlist/hier_bench_io.hpp"
 #include "netlist/iscas89.hpp"
 #include "netlist/verilog_io.hpp"
 #include "obs/metrics.hpp"
@@ -226,9 +227,53 @@ std::string infer_format(const std::string& path) {
   const std::size_t dot = path.rfind('.');
   const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
   if (ext == ".bench") return "bench";
+  if (ext == ".hbench") return "hier";
   if (ext == ".v" || ext == ".verilog") return "verilog";
   fail(ErrorCode::BadParams,
        "cannot infer format from '" + path + "'; pass \"format\"");
+}
+
+/// Boundary state of one hierarchical signal, the same engine-agnostic
+/// shape node_stats_json renders for flat analyses.
+Json port_top_json(const hier::PortTop& top) {
+  Json j = Json::object();
+  j.set("probs", probs_json(top.probs));
+  j.set("rise", direction_json(top.rise.mass, top.rise.arrival.mean,
+                               top.rise.arrival.stddev()));
+  j.set("fall", direction_json(top.fall.mass, top.fall.arrival.mean,
+                               top.fall.arrival.stddev()));
+  return j;
+}
+
+/// Hierarchical counterpart of endpoints_json: one row per top output,
+/// same worst-endpoint rule (max mean arrival, vanishing mass excluded).
+Json hier_endpoints_json(const hier::HierReport& report) {
+  Json endpoints = Json::array();
+  double worst_mean = -1e300;
+  Json worst;
+  for (const std::size_t sig : report.outputs) {
+    const hier::PortTop& top = report.signals.at(sig);
+    const std::string& name = report.signal_names.at(sig);
+    Json row = port_top_json(top);
+    row.set("name", Json(name));
+    for (const bool rising : {true, false}) {
+      const core::TransitionTop& t = rising ? top.rise : top.fall;
+      if (t.mass >= 1e-9 && t.arrival.mean > worst_mean) {
+        worst_mean = t.arrival.mean;
+        worst = Json::object();
+        worst.set("name", Json(name));
+        worst.set("direction", Json(rising ? "rise" : "fall"));
+        worst.set("p", Json(t.mass));
+        worst.set("mean", Json(t.arrival.mean));
+        worst.set("std", Json(t.arrival.stddev()));
+      }
+    }
+    endpoints.push_back(std::move(row));
+  }
+  Json j = Json::object();
+  j.set("endpoints", std::move(endpoints));
+  if (!worst.is_null()) j.set("worst", std::move(worst));
+  return j;
 }
 
 /// Sheds a request whose deadline lapsed while it waited — called by the
@@ -411,9 +456,10 @@ Response AnalysisService::handle_load(const Request& request) {
                                         : infer_format(path->as_string());
       source.content = buffer.str();
     }
-    if (source.format != "bench" && source.format != "verilog") {
+    if (source.format != "bench" && source.format != "verilog" &&
+        source.format != "hier") {
       fail(ErrorCode::BadParams,
-           "format must be 'bench' or 'verilog', got '" + source.format + "'");
+           "format must be 'bench', 'verilog' or 'hier', got '" + source.format + "'");
     }
   }
 
@@ -421,6 +467,42 @@ Response AnalysisService::handle_load(const Request& request) {
   // existing session without re-parsing — including content loaded by a
   // different client, which is the cross-session plan-cache hit.
   const std::uint64_t hash = load_content_hash(source.format, source.content);
+
+  if (source.format == "hier") {
+    // Hierarchical load: the factory parses the hierarchy and compiles its
+    // unique blocks (through the process-wide library, so two sessions
+    // sharing a block compile it once) under the same per-key latch.
+    const auto make_session = [this, &source](const std::string& key) {
+      try {
+        netlist::HierDesign design = netlist::parse_hier_bench(source.content);
+        hier::HierAnalyzerOptions options;
+        options.shared_models = &block_models_;
+        options.shared_blocks = &block_library_;
+        return std::make_shared<Session>(key, std::move(design), options);
+      } catch (const ServiceError&) {
+        throw;
+      } catch (const std::invalid_argument& e) {
+        fail(ErrorCode::BadParams, e.what());
+      } catch (const std::exception& e) {
+        fail(ErrorCode::BadParams, std::string("parse failed: ") + e.what());
+      }
+    };
+    const auto [session, fresh] = store_.load(hash, make_session);
+    const netlist::HierDesign& design = session->hier_analyzer->design();
+    Json result = Json::object();
+    result.set("session", Json(session->key));
+    result.set("name", Json(session->display_name));
+    result.set("reloaded", Json(!fresh));
+    result.set("hier", Json(true));
+    result.set("blocks", Json(design.blocks().size()));
+    result.set("instances", Json(design.instances().size()));
+    result.set("inputs", Json(design.top_inputs().size()));
+    result.set("outputs", Json(design.top_outputs().size()));
+    result.set("expanded_gates", Json(design.expanded_gate_count()));
+    result.set("expanded_nodes", Json(design.expanded_node_count()));
+    result.set("expanded_dffs", Json(design.expanded_dff_count()));
+    return Response::success(request.id, std::move(result));
+  }
 
   // The parse runs inside the store's design factory: outside the store
   // mutex, and only when no session (ready or in flight) exists for the
@@ -512,6 +594,45 @@ Response AnalysisService::handle_analyze(const Request& request) {
   // Second shed point: the wait for session.mutex (another client's long
   // analysis) counts against the deadline too.
   check_deadline(request);
+
+  if (session.is_hier()) {
+    // Hierarchical path: composition through block models, cached per
+    // (engine, params) like flat results. The validate step restricts the
+    // engine set to the two block models exist for.
+    AnalysisRequest hier_request = params.request;
+    hier_request.engine = engine;
+    try {
+      hier::HierAnalyzer::validate(hier_request);
+    } catch (const std::invalid_argument& e) {
+      fail(ErrorCode::BadParams, e.what());
+    }
+    const std::string key = params.cache_key(engine);
+    ++session.analyses;
+    bool cached = true;
+    auto it = session.hier_cache.find(key);
+    if (it == session.hier_cache.end()) {
+      cached = false;
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      hier::HierReport report = session.hier_analyzer->run(hier_request);
+      record_engine_run(engine, report.elapsed_seconds);
+      it = session.hier_cache.emplace(key, CachedHierAnalysis{std::move(report), 0})
+               .first;
+    } else {
+      ++it->second.hits;
+      ++session.cache_hits;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const hier::HierReport& report = it->second.report;
+    Json result = hier_endpoints_json(report);
+    result.set("engine", Json(std::string(to_string(engine))));
+    result.set("cached", Json(cached));
+    result.set("hier", Json(true));
+    result.set("elapsed_ms", Json(report.elapsed_seconds * 1e3));
+    result.set("models_extracted", Json(report.models_extracted));
+    result.set("model_cache_hits", Json(report.model_cache_hits));
+    return Response::success(request.id, std::move(result));
+  }
+
   const auto [analysis, cached] = ensure_analysis(session, engine, params);
 
   Json result = endpoints_json(session, *analysis);
@@ -527,6 +648,10 @@ Response AnalysisService::handle_query(const Request& request) {
   Session& session = *session_ptr;
   const Engine engine = engine_of(request.body);
   const AnalyzeParams params = parse_params(request.body);
+  if (session.is_hier()) {
+    fail(ErrorCode::BadParams,
+         "query targets flat sessions; analyze reports hierarchical endpoints");
+  }
   const Json* node = request.body.find("node");
   const Json* path = request.body.find("path");
   if ((node == nullptr) == (path == nullptr)) {
@@ -593,6 +718,9 @@ Response AnalysisService::handle_query(const Request& request) {
 Response AnalysisService::handle_set_delay(const Request& request) {
   const std::shared_ptr<Session> session_ptr = resolve_session(request);
   Session& session = *session_ptr;
+  if (session.is_hier()) {
+    fail(ErrorCode::BadParams, "set_delay is not supported on hierarchical sessions");
+  }
   const Json* node = request.body.find("node");
   if (node == nullptr) fail(ErrorCode::BadRequest, "set_delay needs 'node'");
   const double mean = number_field(request.body, "mean", -1e301, -1e300, 1e300);
@@ -615,6 +743,9 @@ Response AnalysisService::handle_set_delay(const Request& request) {
 Response AnalysisService::handle_set_source(const Request& request) {
   const std::shared_ptr<Session> session_ptr = resolve_session(request);
   Session& session = *session_ptr;
+  if (session.is_hier()) {
+    fail(ErrorCode::BadParams, "set_source is not supported on hierarchical sessions");
+  }
   const Json* source = request.body.find("source");
   if (source == nullptr || !source->is_number() ||
       source->as_number() != std::floor(source->as_number()) ||
@@ -696,6 +827,20 @@ Response AnalysisService::handle_stats(const Request& request) {
     const StoreBudget budget = store_.budget();
     if (budget.max_sessions != 0) store.set("max_sessions", Json(budget.max_sessions));
     if (budget.max_bytes != 0) store.set("max_bytes", Json(budget.max_bytes));
+
+    // Hierarchical sharing layers, budgeted alongside the session store.
+    Json models = Json::object();
+    models.set("hits", Json(block_models_.hits()));
+    models.set("misses", Json(block_models_.misses()));
+    models.set("evictions", Json(block_models_.evictions()));
+    models.set("entries", Json(block_models_.size()));
+    models.set("approx_bytes", Json(block_models_.approx_bytes()));
+    store.set("block_models", std::move(models));
+    Json library = Json::object();
+    library.set("entries", Json(block_library_.size()));
+    library.set("hits", Json(block_library_.hits()));
+    library.set("misses", Json(block_library_.misses()));
+    store.set("block_library", std::move(library));
     result.set("plan_cache", std::move(store));
   }
 
@@ -723,16 +868,25 @@ Response AnalysisService::handle_stats(const Request& request) {
     const std::lock_guard<std::mutex> lock(session.mutex);
     Json s = Json::object();
     s.set("name", Json(session.display_name));
-    s.set("nodes", Json(session.design().node_count()));
-    s.set("gates", Json(session.design().gate_count()));
+    if (session.is_hier()) {
+      const netlist::HierDesign& design = session.hier_analyzer->design();
+      s.set("hier", Json(true));
+      s.set("blocks", Json(design.blocks().size()));
+      s.set("instances", Json(design.instances().size()));
+      s.set("expanded_gates", Json(design.expanded_gate_count()));
+      s.set("cache_entries", Json(session.hier_cache.size()));
+    } else {
+      s.set("nodes", Json(session.design().node_count()));
+      s.set("gates", Json(session.design().gate_count()));
+      s.set("cache_entries", Json(session.cache.size()));
+      s.set("eco_edits", Json(session.eco_edits));
+      s.set("eco_version", Json(session.eco_version));
+      s.set("nodes_reevaluated",
+            Json(session.incremental ? session.incremental->nodes_reevaluated() : 0));
+    }
     s.set("analyses", Json(session.analyses));
     s.set("cache_hits", Json(session.cache_hits));
-    s.set("cache_entries", Json(session.cache.size()));
     s.set("queries", Json(session.queries));
-    s.set("eco_edits", Json(session.eco_edits));
-    s.set("eco_version", Json(session.eco_version));
-    s.set("nodes_reevaluated",
-          Json(session.incremental ? session.incremental->nodes_reevaluated() : 0));
     result.set("session", std::move(s));
   } else {
     Json keys = Json::array();

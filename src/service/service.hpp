@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "core/pattern_cache.hpp"
+#include "hier/block_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
 #include "spsta_api.hpp"
@@ -87,9 +88,17 @@ class AnalysisService {
   [[nodiscard]] const SessionStore& store() const noexcept { return store_; }
   [[nodiscard]] SessionStore& store() noexcept { return store_; }
   [[nodiscard]] core::PatternCache& pattern_cache() noexcept { return pattern_cache_; }
+  [[nodiscard]] hier::BlockModelCache& block_models() noexcept { return block_models_; }
+  [[nodiscard]] hier::BlockLibrary& block_library() noexcept { return block_library_; }
 
-  /// Configures the cross-session LRU budget (forwards to the store).
-  void set_store_budget(StoreBudget budget) { store_.set_budget(budget); }
+  /// Configures the cross-session LRU budget (forwards to the store). The
+  /// hierarchical block-model cache shares the same byte ceiling: extracted
+  /// port models are derived data, so they must never outgrow the sessions
+  /// they serve.
+  void set_store_budget(StoreBudget budget) {
+    store_.set_budget(budget);
+    block_models_.set_budget({0, budget.max_bytes});
+  }
 
   /// Requests served so far (successes and failures).
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
@@ -122,7 +131,9 @@ class AnalysisService {
   void record_engine_run(Engine engine, double seconds);
 
   SessionStore store_;
-  core::PatternCache pattern_cache_;  ///< shared across sessions and engines
+  core::PatternCache pattern_cache_;   ///< shared across sessions and engines
+  hier::BlockModelCache block_models_; ///< extracted port models, shared across hier sessions
+  hier::BlockLibrary block_library_;   ///< compiled blocks interned by content
 
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> requests_{0};

@@ -52,6 +52,16 @@ Session::Session(std::string key_, netlist::Netlist design_,
   approx_bytes = 4096 + design().node_count() * 1024;
 }
 
+Session::Session(std::string key_, netlist::HierDesign design_,
+                 const hier::HierAnalyzerOptions& hier_options)
+    : key(std::move(key_)), display_name(design_.name()) {
+  // Compiles every unique block (through the shared library) and resolves
+  // the composition graph — the hierarchical analogue of the eager plan
+  // compile above, likewise latch-protected by the store.
+  hier_analyzer = std::make_unique<hier::HierAnalyzer>(std::move(design_), hier_options);
+  approx_bytes = hier_analyzer->approx_bytes();
+}
+
 core::IncrementalSpsta& Session::warm_incremental() {
   if (!incremental) {
     // Exact settlement: every update sequence stays bit-identical to a
@@ -87,6 +97,15 @@ void Session::apply_set_source(std::size_t source_index,
 std::pair<std::shared_ptr<Session>, bool> SessionStore::load(
     std::uint64_t content_hash, const DesignFactory& make_design,
     core::PatternCache* shared_pattern_cache) {
+  return load(content_hash,
+              [&make_design, shared_pattern_cache](const std::string& key) {
+                return std::make_shared<Session>(key, make_design(),
+                                                 shared_pattern_cache);
+              });
+}
+
+std::pair<std::shared_ptr<Session>, bool> SessionStore::load(
+    std::uint64_t content_hash, const SessionFactory& make_session) {
   const std::string key = hash_key(content_hash);
 
   {
@@ -117,7 +136,7 @@ std::pair<std::shared_ptr<Session>, bool> SessionStore::load(
   // runs with NO store lock held.
   std::shared_ptr<Session> session;
   try {
-    session = std::make_shared<Session>(key, make_design(), shared_pattern_cache);
+    session = make_session(key);
   } catch (...) {
     const std::lock_guard<std::mutex> lock(mutex_);
     sessions_.erase(key);

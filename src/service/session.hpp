@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/incremental_spsta.hpp"
+#include "hier/hier_analyzer.hpp"
 #include "spsta_api.hpp"
 
 namespace spsta::service {
@@ -59,6 +60,12 @@ struct CachedAnalysis {
   AnalysisResult result;
   double elapsed_seconds = 0.0;  ///< wall clock of the producing run
   std::uint64_t hits = 0;        ///< times served from cache
+};
+
+/// One cached hierarchical analysis (composed block models).
+struct CachedHierAnalysis {
+  hier::HierReport report;
+  std::uint64_t hits = 0;
 };
 
 /// A loaded design and everything the service keeps warm for it.
@@ -89,6 +96,12 @@ struct Session {
   /// (engine|params) -> result, valid for the current eco_version only.
   std::unordered_map<std::string, CachedAnalysis> cache;
 
+  /// Hierarchical sessions only: the composition analyzer (flat sessions
+  /// leave this null — is_hier() is the discriminator) and its per-params
+  /// result cache. ECO edits are not supported on hierarchical sessions.
+  std::unique_ptr<hier::HierAnalyzer> hier_analyzer;
+  std::unordered_map<std::string, CachedHierAnalysis> hier_cache;
+
   // Per-session counters surfaced by `stats`.
   std::uint64_t analyses = 0;
   std::uint64_t cache_hits = 0;
@@ -111,7 +124,16 @@ struct Session {
   Session(std::string key_, netlist::Netlist design_,
           core::PatternCache* shared_pattern_cache = nullptr);
 
-  // Forwarders for the analyzer-owned design state.
+  /// Hierarchical session: owns a HierAnalyzer over \p design_. Block
+  /// compilation (through the shared library in \p hier_options) is the
+  /// expensive step here, protected by the same store latch.
+  Session(std::string key_, netlist::HierDesign design_,
+          const hier::HierAnalyzerOptions& hier_options);
+
+  [[nodiscard]] bool is_hier() const noexcept { return hier_analyzer != nullptr; }
+
+  // Forwarders for the analyzer-owned design state. Flat sessions only —
+  // hierarchical sessions have no flat analyzer (guard with is_hier()).
   [[nodiscard]] const netlist::Netlist& design() const noexcept {
     return analyzer->design();
   }
@@ -151,6 +173,16 @@ class SessionStore {
   /// callers can defer parsing into the factory and pay it exactly once
   /// per content hash.
   using DesignFactory = std::function<netlist::Netlist()>;
+
+  /// Generalized factory: builds the whole Session (flat or hierarchical)
+  /// for the given key. Same invocation contract as DesignFactory.
+  using SessionFactory = std::function<std::shared_ptr<Session>(const std::string& key)>;
+
+  /// Loads (or re-finds) a session built by \p make_session — the
+  /// hierarchical entry point and the primitive the DesignFactory overload
+  /// forwards to. Latch/eviction semantics are identical.
+  std::pair<std::shared_ptr<Session>, bool> load(std::uint64_t content_hash,
+                                                 const SessionFactory& make_session);
 
   /// Loads (or re-finds) a design. The key is the content hash rendered by
   /// hash_key(). When a session for the hash already exists (or is being

@@ -1,0 +1,294 @@
+// Tests for the hierarchical timing subsystem (src/hier/): block model
+// extraction, the model cache and compiled-block library, and the
+// composed-vs-flat accuracy contract declared in block_model.hpp —
+// signal probabilities and moment-engine moments compose exactly (within
+// kProbEps / kMomentRelEps), numeric-engine compositions Gaussianize each
+// boundary within kNumericAbsEps.
+
+#include "hier/hier_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/spsta.hpp"
+#include "hier/block_cache.hpp"
+#include "hier/block_model.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/hier_bench_io.hpp"
+
+namespace spsta::hier {
+namespace {
+
+using netlist::HierDesign;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::parse_hier_bench;
+
+/// A 3-instance chain of a reconvergent cell — small enough for quick flat
+/// reference runs, deep enough that boundary errors would compound.
+constexpr const char* kChain = R"(
+BLOCK(cell)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+n1 = NAND(a, b)
+n2 = OR(n1, b)
+y = NOT(n1)
+z = AND(n2, n1)
+END
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+OUTPUT(u2.y)
+OUTPUT(u2.z)
+u0 = INSTANCE(cell, x0, x1)
+u1 = INSTANCE(cell, x2, u0.y)
+u2 = INSTANCE(cell, u0.z, u1.y)
+)";
+
+/// Flat-reference moment result plus the name mapping for a hier design.
+core::SpstaResult flat_moment_reference(const HierDesign& design, Netlist& flat_out) {
+  flat_out = design.flatten();
+  const netlist::DelayModel delays = netlist::DelayModel::unit(flat_out);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  return core::run_spsta_moment(flat_out, delays, sc);
+}
+
+/// The flat node behind hier signal "<inst>.<port>" ("<inst>/<port>").
+NodeId flat_node_of(const Netlist& flat, std::string signal) {
+  signal[signal.find('.')] = '/';
+  return flat.find(signal);
+}
+
+TEST(HierModel, MomentCompositionMatchesFlatWithinContract) {
+  HierDesign design = parse_hier_bench(kChain);
+  Netlist flat;
+  const core::SpstaResult ref = flat_moment_reference(design, flat);
+
+  HierAnalyzer analyzer(std::move(design));
+  spsta::AnalysisRequest request;
+  request.engine = Engine::SpstaMoment;
+  const HierReport report = analyzer.run(request);
+
+  ASSERT_EQ(report.outputs.size(), 2u);
+  for (const std::size_t sig : report.outputs) {
+    const NodeId id = flat_node_of(flat, report.signal_names.at(sig));
+    ASSERT_NE(id, netlist::kInvalidNode) << report.signal_names.at(sig);
+    const core::NodeTop& want = ref.node.at(id);
+    const PortTop& got = report.signals.at(sig);
+    EXPECT_NEAR(got.probs.p0, want.probs.p0, kProbEps);
+    EXPECT_NEAR(got.probs.p1, want.probs.p1, kProbEps);
+    EXPECT_NEAR(got.probs.pr, want.probs.pr, kProbEps);
+    EXPECT_NEAR(got.probs.pf, want.probs.pf, kProbEps);
+    EXPECT_NEAR(got.rise.mass, want.rise.mass, kProbEps);
+    EXPECT_NEAR(got.fall.mass, want.fall.mass, kProbEps);
+    const auto rel_close = [](double a, double b) {
+      return std::abs(a - b) <= kMomentRelEps * std::max({std::abs(a), std::abs(b), 1.0});
+    };
+    EXPECT_TRUE(rel_close(got.rise.arrival.mean, want.rise.arrival.mean))
+        << got.rise.arrival.mean << " vs " << want.rise.arrival.mean;
+    EXPECT_TRUE(rel_close(got.rise.arrival.stddev(), want.rise.arrival.stddev()));
+    EXPECT_TRUE(rel_close(got.fall.arrival.mean, want.fall.arrival.mean));
+    EXPECT_TRUE(rel_close(got.fall.arrival.stddev(), want.fall.arrival.stddev()));
+  }
+}
+
+TEST(HierModel, NumericCompositionWithinDeclaredAbsoluteBound) {
+  HierDesign design = parse_hier_bench(kChain);
+  const Netlist flat = design.flatten();
+  const netlist::DelayModel delays = netlist::DelayModel::unit(flat);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  const core::SpstaNumericResult ref = core::run_spsta_numeric(flat, delays, sc);
+
+  HierAnalyzer analyzer(std::move(design));
+  spsta::AnalysisRequest request;
+  request.engine = Engine::SpstaNumeric;
+  const HierReport report = analyzer.run(request);
+
+  for (const std::size_t sig : report.outputs) {
+    const NodeId id = flat_node_of(flat, report.signal_names.at(sig));
+    ASSERT_NE(id, netlist::kInvalidNode);
+    const core::NodeTopDensity& want = ref.node.at(id);
+    const PortTop& got = report.signals.at(sig);
+    // Probabilities stay exact even on the numeric path.
+    EXPECT_NEAR(got.probs.p1, want.probs.p1, kProbEps);
+    EXPECT_NEAR(got.rise.mass, want.rise.mass(), 1e-9);
+    if (want.rise.mass() > 1e-9) {
+      EXPECT_NEAR(got.rise.arrival.mean, want.rise.mean(), kNumericAbsEps);
+      EXPECT_NEAR(got.rise.arrival.stddev(), want.rise.stddev(), kNumericAbsEps);
+    }
+    if (want.fall.mass() > 1e-9) {
+      EXPECT_NEAR(got.fall.arrival.mean, want.fall.mean(), kNumericAbsEps);
+      EXPECT_NEAR(got.fall.arrival.stddev(), want.fall.stddev(), kNumericAbsEps);
+    }
+  }
+}
+
+TEST(HierModel, SecondRunServedEntirelyFromTheModelCache) {
+  HierDesign design = parse_hier_bench(kChain);
+  HierAnalyzer analyzer(std::move(design));
+  spsta::AnalysisRequest request;
+  request.engine = Engine::SpstaMoment;
+  const HierReport cold = analyzer.run(request);
+  EXPECT_GT(cold.models_extracted, 0u);
+  const HierReport warm = analyzer.run(request);
+  EXPECT_EQ(warm.models_extracted, 0u);
+  EXPECT_EQ(warm.model_cache_hits, 3u);  // one per instance
+  // Bit-identical replay: cached models ARE the extraction results.
+  for (std::size_t i = 0; i < cold.signals.size(); ++i) {
+    EXPECT_EQ(warm.signals[i].rise.arrival.mean, cold.signals[i].rise.arrival.mean);
+    EXPECT_EQ(warm.signals[i].fall.arrival.var, cold.signals[i].fall.arrival.var);
+  }
+}
+
+TEST(HierModel, MeanShiftNormalizationReusesModelsAcrossLevels) {
+  // Uniform wiring: every instance of a level sees the same (shifted)
+  // boundary pattern, so the whole grid needs one extraction per level.
+  netlist::HierGeneratorSpec spec;
+  spec.total_gates = 1600;
+  spec.block_gates = 100;
+  spec.unique_blocks = 2;
+  spec.block_inputs = 4;
+  spec.block_outputs = 4;
+  spec.width = 4;  // 16 instances in 4 levels
+  HierDesign design = netlist::generate_hier_circuit(spec);
+  const std::size_t instances = design.instances().size();
+  ASSERT_EQ(instances, 16u);
+
+  HierAnalyzer analyzer(std::move(design));
+  spsta::AnalysisRequest request;
+  request.engine = Engine::SpstaMoment;
+  const HierReport cold = analyzer.run(request);
+  EXPECT_EQ(cold.models_extracted + cold.model_cache_hits, instances);
+  // At most one extraction per level (4 levels); the rest are shift hits.
+  EXPECT_LE(cold.models_extracted, 4u);
+  EXPECT_GE(cold.model_cache_hits, instances - 4u);
+}
+
+TEST(HierModel, ShiftedCompositionStaysExact) {
+  // Explicit top-input arrivals at a late absolute time: the normalized
+  // model is reused shifted, and the composed means shift with the inputs.
+  HierDesign design = parse_hier_bench(kChain);
+  Netlist flat = design.flatten();
+  netlist::SourceStats late = netlist::scenario_I();
+  late.rise_arrival.mean += 100.0;
+  late.fall_arrival.mean += 100.0;
+  const std::vector<netlist::SourceStats> sc{late};
+  const core::SpstaResult ref =
+      core::run_spsta_moment(flat, netlist::DelayModel::unit(flat), sc);
+
+  HierAnalyzer analyzer(std::move(design));
+  spsta::AnalysisRequest request;
+  request.engine = Engine::SpstaMoment;
+  const HierReport report = analyzer.run(request, sc);
+  for (const std::size_t sig : report.outputs) {
+    const NodeId id = flat_node_of(flat, report.signal_names.at(sig));
+    const core::NodeTop& want = ref.node.at(id);
+    const PortTop& got = report.signals.at(sig);
+    EXPECT_NEAR(got.rise.arrival.mean, want.rise.arrival.mean,
+                kMomentRelEps * std::max(1.0, std::abs(want.rise.arrival.mean)));
+    EXPECT_NEAR(got.fall.arrival.mean, want.fall.arrival.mean,
+                kMomentRelEps * std::max(1.0, std::abs(want.fall.arrival.mean)));
+  }
+}
+
+TEST(HierModel, ThreadCountDoesNotChangeComposedBits) {
+  netlist::HierGeneratorSpec spec;
+  spec.total_gates = 1200;
+  spec.block_gates = 150;
+  HierDesign d1 = netlist::generate_hier_circuit(spec);
+  HierDesign d2 = netlist::generate_hier_circuit(spec);
+
+  HierAnalyzer a1(std::move(d1));
+  HierAnalyzer a4(std::move(d2));
+  spsta::AnalysisRequest r1, r4;
+  r1.engine = r4.engine = Engine::SpstaMoment;
+  r1.threads = 1;
+  r4.threads = 4;
+  const HierReport one = a1.run(r1);
+  const HierReport four = a4.run(r4);
+  ASSERT_EQ(one.signals.size(), four.signals.size());
+  for (std::size_t i = 0; i < one.signals.size(); ++i) {
+    EXPECT_EQ(one.signals[i].rise.arrival.mean, four.signals[i].rise.arrival.mean);
+    EXPECT_EQ(one.signals[i].rise.arrival.var, four.signals[i].rise.arrival.var);
+    EXPECT_EQ(one.signals[i].probs.p1, four.signals[i].probs.p1);
+  }
+}
+
+TEST(HierModel, ValidateRejectsEnginesWithoutBlockModels) {
+  spsta::AnalysisRequest request;
+  request.engine = Engine::Mc;
+  EXPECT_THROW(HierAnalyzer::validate(request), std::invalid_argument);
+  request.engine = Engine::Ssta;
+  EXPECT_THROW(HierAnalyzer::validate(request), std::invalid_argument);
+  request.engine = Engine::SpstaMoment;
+  EXPECT_NO_THROW(HierAnalyzer::validate(request));
+}
+
+TEST(BlockModelCache, LruEvictsAgainstEntryBudgetButNeverTheLastEntry) {
+  BlockModelCache cache;
+  cache.set_budget({2, 0});
+  for (std::uint64_t sig = 1; sig <= 3; ++sig) {
+    auto model = std::make_shared<BlockTimingModel>();
+    model->signature = sig;
+    cache.insert(std::move(model));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(1), nullptr);  // oldest evicted
+  EXPECT_NE(cache.find(3), nullptr);
+  cache.set_budget({1, 0});
+  EXPECT_EQ(cache.size(), 1u);
+  // The byte budget can force size 1, but never zero.
+  cache.set_budget({0, 1});
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BlockLibrary, InternsIdenticalBlocksAcrossAnalyzers) {
+  BlockLibrary library;
+  BlockModelCache models;
+  HierAnalyzerOptions options;
+  options.shared_blocks = &library;
+  options.shared_models = &models;
+
+  HierDesign d1 = parse_hier_bench(kChain);
+  HierDesign d2 = parse_hier_bench(kChain);
+  HierAnalyzer a1(std::move(d1), options);
+  EXPECT_EQ(library.misses(), 1u);  // one unique block, compiled once
+  HierAnalyzer a2(std::move(d2), options);
+  EXPECT_EQ(library.misses(), 1u);
+  EXPECT_GE(library.hits(), 1u);
+
+  // The shared model cache also carries extractions across analyzers.
+  spsta::AnalysisRequest request;
+  request.engine = Engine::SpstaMoment;
+  const HierReport first = a1.run(request);
+  const HierReport second = a2.run(request);
+  EXPECT_GT(first.models_extracted, 0u);
+  EXPECT_EQ(second.models_extracted, 0u);
+  EXPECT_EQ(second.model_cache_hits, 3u);
+}
+
+TEST(BlockModel, SignatureSeparatesEnginesOptionsAndSources) {
+  const std::vector<netlist::SourceStats> a{netlist::scenario_I()};
+  std::vector<netlist::SourceStats> b = a;
+  b[0].rise_arrival.mean += 0.5;
+  const core::SpstaOptions opts;
+  const std::uint64_t base = model_signature(7, Engine::SpstaMoment, opts, a);
+  EXPECT_EQ(model_signature(7, Engine::SpstaMoment, opts, a), base);
+  EXPECT_NE(model_signature(8, Engine::SpstaMoment, opts, a), base);
+  EXPECT_NE(model_signature(7, Engine::SpstaNumeric, opts, a), base);
+  EXPECT_NE(model_signature(7, Engine::SpstaMoment, opts, b), base);
+  core::SpstaOptions fine = opts;
+  fine.grid_dt = 0.01;
+  // Grid options only key numeric models.
+  EXPECT_EQ(model_signature(7, Engine::SpstaMoment, fine, a), base);
+  EXPECT_NE(model_signature(7, Engine::SpstaNumeric, fine, a),
+            model_signature(7, Engine::SpstaNumeric, opts, a));
+}
+
+}  // namespace
+}  // namespace spsta::hier

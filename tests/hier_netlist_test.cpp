@@ -1,0 +1,271 @@
+// Tests for the hierarchical netlist layer: the HierDesign structure, the
+// .hbench reader/writer (streaming, bounded memory, structured errors),
+// flatten(), and the deterministic hierarchical generator.
+
+#include "netlist/hier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/hier_bench_io.hpp"
+#include "netlist/levelize.hpp"
+
+namespace spsta::netlist {
+namespace {
+
+constexpr const char* kTwoCellDesign = R"(# two chained cells
+BLOCK(cell)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+n1 = NAND(a, b)
+y = NOT(n1)
+z = OR(n1, b)
+END
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+OUTPUT(u2.y)
+OUTPUT(u2.z)
+u0 = INSTANCE(cell, x0, x1)
+u1 = INSTANCE(cell, x2, u0.y)
+u2 = INSTANCE(cell, u0.z, u1.y)
+)";
+
+TEST(HierDesign, ParsesBlocksAndInstances) {
+  const HierDesign d = parse_hier_bench(kTwoCellDesign);
+  EXPECT_NO_THROW(d.validate());
+  ASSERT_EQ(d.blocks().size(), 1u);
+  EXPECT_EQ(d.blocks()[0].name(), "cell");
+  EXPECT_EQ(d.blocks()[0].gate_count(), 3u);
+  EXPECT_EQ(d.top_inputs().size(), 3u);
+  EXPECT_EQ(d.top_outputs().size(), 2u);
+  ASSERT_EQ(d.instances().size(), 3u);
+  EXPECT_EQ(d.instances()[1].name, "u1");
+  ASSERT_EQ(d.instances()[1].inputs.size(), 2u);
+  EXPECT_EQ(d.instances()[1].inputs[1], "u0.y");
+  EXPECT_EQ(d.expanded_gate_count(), 9u);
+}
+
+TEST(HierDesign, ResolveSplitsAtFirstDot) {
+  const HierDesign d = parse_hier_bench(kTwoCellDesign);
+  const auto top = d.resolve("x1");
+  ASSERT_TRUE(top.has_value());
+  EXPECT_TRUE(top->is_top_input());
+  const auto port = d.resolve("u1.z");
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(port->instance, 1u);
+  EXPECT_FALSE(d.resolve("u9.y").has_value());
+  EXPECT_FALSE(d.resolve("u1.nope").has_value());
+}
+
+TEST(HierDesign, TopoOrdersDrivenInstancesLater) {
+  const HierDesign d = parse_hier_bench(kTwoCellDesign);
+  const std::vector<std::size_t> topo = d.topo_instances();
+  ASSERT_EQ(topo.size(), 3u);
+  // u0 must precede u1 and u2 (both consume its outputs).
+  const auto pos = [&](std::size_t inst) {
+    return std::find(topo.begin(), topo.end(), inst) - topo.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(HierDesign, RoundTripsThroughWriter) {
+  const HierDesign d = parse_hier_bench(kTwoCellDesign);
+  const std::string text = write_hier_bench(d);
+  const HierDesign again = parse_hier_bench(text);
+  EXPECT_EQ(write_hier_bench(again), text);
+  EXPECT_EQ(again.blocks().size(), d.blocks().size());
+  EXPECT_EQ(again.instances().size(), d.instances().size());
+  EXPECT_EQ(again.expanded_gate_count(), d.expanded_gate_count());
+}
+
+TEST(HierDesign, FlattenMatchesExpandedCountsAndValidates) {
+  const HierDesign d = parse_hier_bench(kTwoCellDesign);
+  const Netlist flat = d.flatten();
+  EXPECT_NO_THROW(flat.validate());
+  EXPECT_NO_THROW(levelize(flat));
+  EXPECT_EQ(flat.gate_count(), d.expanded_gate_count());
+  EXPECT_EQ(flat.node_count(), d.expanded_node_count());
+  EXPECT_EQ(flat.primary_inputs().size(), 3u);
+  EXPECT_EQ(flat.primary_outputs().size(), 2u);
+  // Instance-local nodes are named "<instance>/<node>"; block input ports
+  // collapse onto the driving nets.
+  EXPECT_NE(flat.find("u1/y"), kInvalidNode);
+  EXPECT_NE(flat.find("u2/n1"), kInvalidNode);
+  EXPECT_EQ(flat.find("u1/a"), kInvalidNode);
+  // u1's second input is u0's y output.
+  const NodeId u1n1 = flat.find("u1/n1");
+  ASSERT_NE(u1n1, kInvalidNode);
+  ASSERT_EQ(flat.node(u1n1).fanins.size(), 2u);
+  EXPECT_EQ(flat.node(flat.node(u1n1).fanins[1]).name, "u0/y");
+}
+
+TEST(HierParser, RejectsTopLevelGates) {
+  const std::string bad = "INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\n";
+  try {
+    (void)parse_hier_bench(bad);
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("INSTANCE"), std::string::npos);
+  }
+}
+
+TEST(HierParser, RejectsUnknownBlock) {
+  const std::string bad = "INPUT(a)\nu0 = INSTANCE(ghost, a)\n";
+  EXPECT_THROW((void)parse_hier_bench(bad), BenchParseError);
+}
+
+TEST(HierParser, RejectsArityMismatch) {
+  const std::string bad =
+      "BLOCK(inv)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\nEND\n"
+      "INPUT(x)\nOUTPUT(u0.y)\nu0 = INSTANCE(inv, x, x)\n";
+  EXPECT_THROW((void)parse_hier_bench(bad), BenchParseError);
+}
+
+TEST(HierParser, RejectsUnterminatedBlock) {
+  const std::string bad = "BLOCK(inv)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+  EXPECT_THROW((void)parse_hier_bench(bad), BenchParseError);
+}
+
+TEST(HierParser, RejectsEndOutsideBlock) {
+  EXPECT_THROW((void)parse_hier_bench("INPUT(a)\nEND\n"), BenchParseError);
+}
+
+TEST(HierParser, ReanchorsBlockBodyErrorsToFileLines) {
+  // The bogus gate sits on file line 4, inside the block body.
+  const std::string bad =
+      "# header\nBLOCK(inv)\nINPUT(a)\ny = FROB(a)\nOUTPUT(y)\nEND\n";
+  try {
+    (void)parse_hier_bench(bad);
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("in BLOCK(inv)"), std::string::npos);
+  }
+}
+
+TEST(HierParser, RejectsInstanceCycle) {
+  const std::string bad =
+      "BLOCK(cell)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\nEND\n"
+      "INPUT(x)\nOUTPUT(u0.y)\n"
+      "u0 = INSTANCE(cell, u1.y)\nu1 = INSTANCE(cell, u0.y)\n";
+  EXPECT_THROW((void)parse_hier_bench(bad), BenchParseError);
+}
+
+TEST(HierParser, StreamAndStringVariantsAgree) {
+  std::istringstream in(kTwoCellDesign);
+  const HierDesign streamed = parse_hier_bench_stream(in);
+  const HierDesign direct = parse_hier_bench(kTwoCellDesign);
+  EXPECT_EQ(write_hier_bench(streamed), write_hier_bench(direct));
+}
+
+// --- Streaming flat reader (satellite: bounded-memory parsing) ---------
+
+TEST(BenchStreaming, StreamParseMatchesStringParse) {
+  const std::string text =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn = NAND(a, b)\ny = NOT(n)\n";
+  std::istringstream in(text);
+  const Netlist streamed = parse_bench_stream(in, "t");
+  const Netlist direct = parse_bench(text, "t");
+  EXPECT_EQ(write_bench(streamed), write_bench(direct));
+}
+
+TEST(BenchStreaming, ReassemblesLinesLongerThanTheChunkBuffer) {
+  // A single statement longer than the 64 KiB read chunk but far below the
+  // 8 MiB cap: the chunked reader must reassemble it losslessly.
+  std::string name(100000, 'a');
+  const std::string text =
+      "INPUT(" + name + ")\nOUTPUT(y)\ny = BUFF(" + name + ")\n";
+  std::istringstream in(text);
+  const Netlist n = parse_bench_stream(in, "long");
+  EXPECT_NE(n.find(name), kInvalidNode);
+  EXPECT_EQ(n.gate_count(), 1u);
+}
+
+TEST(BenchStreaming, RejectsLinesOverTheByteCap) {
+  std::string line(kMaxBenchLineBytes + 16, 'x');
+  line.back() = '\n';
+  std::istringstream in(line);
+  try {
+    (void)parse_bench_stream(in, "huge");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_NE(std::string(e.what()).find("byte limit"), std::string::npos);
+  }
+}
+
+TEST(BenchStreaming, StringParserEnforcesTheSameCap) {
+  std::string text = "INPUT(a)\n# ";
+  text.append(kMaxBenchLineBytes + 16, 'x');
+  text += "\n";
+  EXPECT_THROW((void)parse_bench(text), BenchParseError);
+}
+
+TEST(BenchStreaming, HandlesMissingTrailingNewline) {
+  std::istringstream in("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)");
+  const Netlist n = parse_bench_stream(in, "t");
+  EXPECT_EQ(n.gate_count(), 1u);
+}
+
+// --- Hierarchical generator --------------------------------------------
+
+TEST(HierGenerator, DeterministicBytesForAFixedSeed) {
+  HierGeneratorSpec spec;
+  spec.total_gates = 4000;
+  spec.seed = 42;
+  const std::string once = write_hier_bench(generate_hier_circuit(spec));
+  const std::string twice = write_hier_bench(generate_hier_circuit(spec));
+  EXPECT_EQ(once, twice);
+  spec.seed = 43;
+  EXPECT_NE(write_hier_bench(generate_hier_circuit(spec)), once);
+}
+
+TEST(HierGenerator, ProducesRequestedScale) {
+  HierGeneratorSpec spec;
+  spec.total_gates = 4000;
+  spec.block_gates = 200;
+  spec.unique_blocks = 3;
+  const HierDesign d = generate_hier_circuit(spec);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.blocks().size(), 3u);
+  EXPECT_EQ(d.instances().size(), 20u);  // ceil(4000 / 200)
+  EXPECT_GE(d.expanded_gate_count(), 4000u);
+  const Netlist flat = d.flatten();
+  EXPECT_NO_THROW(flat.validate());
+  EXPECT_NO_THROW(levelize(flat));
+}
+
+TEST(HierGenerator, RandomWiringAlsoValidates) {
+  HierGeneratorSpec spec;
+  spec.total_gates = 2000;
+  spec.uniform_wiring = false;
+  spec.seed = 7;
+  const HierDesign d = generate_hier_circuit(spec);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_NO_THROW((void)d.flatten());
+  // Still deterministic: the rng is seeded from the spec alone.
+  EXPECT_EQ(write_hier_bench(generate_hier_circuit(spec)), write_hier_bench(d));
+}
+
+TEST(HierGenerator, RoundTripsThroughHbench) {
+  HierGeneratorSpec spec;
+  spec.total_gates = 1000;
+  const HierDesign d = generate_hier_circuit(spec);
+  const std::string text = write_hier_bench(d);
+  const HierDesign again = parse_hier_bench(text);
+  EXPECT_EQ(write_hier_bench(again), text);
+  EXPECT_EQ(again.expanded_gate_count(), d.expanded_gate_count());
+}
+
+}  // namespace
+}  // namespace spsta::netlist

@@ -1,0 +1,194 @@
+// Service-layer tests for hierarchical sessions: loading "hier" format
+// designs, analyzing them by block-model composition, the shared block
+// caches surfaced in `stats`, and the structured rejections for commands
+// hierarchical sessions do not support.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/spsta.hpp"
+#include "netlist/delay_model.hpp"
+#include "netlist/hier_bench_io.hpp"
+#include "service/service.hpp"
+
+namespace spsta::service {
+namespace {
+
+constexpr const char* kHierText =
+    "BLOCK(cell)\n"
+    "INPUT(a)\n"
+    "INPUT(b)\n"
+    "OUTPUT(y)\n"
+    "OUTPUT(z)\n"
+    "n1 = NAND(a, b)\n"
+    "y = NOT(n1)\n"
+    "z = OR(n1, b)\n"
+    "END\n"
+    "INPUT(x0)\n"
+    "INPUT(x1)\n"
+    "INPUT(x2)\n"
+    "OUTPUT(u2.y)\n"
+    "OUTPUT(u2.z)\n"
+    "u0 = INSTANCE(cell, x0, x1)\n"
+    "u1 = INSTANCE(cell, x2, u0.y)\n"
+    "u2 = INSTANCE(cell, u0.z, u1.y)\n";
+
+Json expect_ok(AnalysisService& service, const std::string& line) {
+  const Response r = service.execute_line(line);
+  EXPECT_TRUE(r.ok) << line << " -> " << r.to_line();
+  return r.body;
+}
+
+void expect_error(AnalysisService& service, const std::string& line,
+                  std::string_view code) {
+  const Response r = service.execute_line(line);
+  EXPECT_FALSE(r.ok) << line;
+  EXPECT_EQ(r.error_code(), code) << line << " -> " << r.to_line();
+}
+
+std::string hier_load_line() {
+  Json req = Json::object();
+  req.set("cmd", Json("load"));
+  req.set("format", Json("hier"));
+  req.set("text", Json(std::string(kHierText)));
+  return req.dump();
+}
+
+TEST(ServiceHier, LoadReportsHierShape) {
+  AnalysisService service;
+  const Json loaded = expect_ok(service, hier_load_line());
+  EXPECT_TRUE(loaded.find("hier")->as_bool());
+  EXPECT_EQ(loaded.find("blocks")->as_number(), 1.0);
+  EXPECT_EQ(loaded.find("instances")->as_number(), 3.0);
+  EXPECT_EQ(loaded.find("expanded_gates")->as_number(), 9.0);
+  EXPECT_EQ(loaded.find("outputs")->as_number(), 2.0);
+  // Identical content reloads the same session.
+  const Json again = expect_ok(service, hier_load_line());
+  EXPECT_EQ(again.find("session")->as_string(), loaded.find("session")->as_string());
+  EXPECT_TRUE(again.find("reloaded")->as_bool());
+}
+
+TEST(ServiceHier, AnalyzeComposesAndCaches) {
+  AnalysisService service;
+  const Json loaded = expect_ok(service, hier_load_line());
+  const std::string session = loaded.find("session")->as_string();
+  const std::string analyze =
+      R"({"cmd":"analyze","session":")" + session + R"(","engine":"spsta_moment"})";
+
+  const Json first = expect_ok(service, analyze);
+  EXPECT_TRUE(first.find("hier")->as_bool());
+  EXPECT_FALSE(first.find("cached")->as_bool());
+  EXPECT_GT(first.find("models_extracted")->as_number(), 0.0);
+  ASSERT_NE(first.find("endpoints"), nullptr);
+  EXPECT_EQ(first.find("endpoints")->as_array().size(), 2u);
+  ASSERT_NE(first.find("worst"), nullptr);
+  EXPECT_GT(first.find("worst")->find("mean")->as_number(), 0.0);
+
+  const Json second = expect_ok(service, analyze);
+  EXPECT_TRUE(second.find("cached")->as_bool());
+  // Cached replay reports the same worst endpoint bit-for-bit.
+  EXPECT_EQ(second.find("worst")->find("mean")->as_number(),
+            first.find("worst")->find("mean")->as_number());
+}
+
+TEST(ServiceHier, ComposedEndpointsMatchFlatAnalysisOfTheSameContent) {
+  AnalysisService service;
+  const Json hier_loaded = expect_ok(service, hier_load_line());
+  const std::string hier_session = hier_loaded.find("session")->as_string();
+
+  // Load the flattened equivalent as a plain bench session.
+  const netlist::HierDesign design = netlist::parse_hier_bench(kHierText);
+  const netlist::Netlist flat = design.flatten();
+  Json req = Json::object();
+  req.set("cmd", Json("load"));
+  req.set("format", Json("bench"));
+  req.set("text", Json(netlist::write_bench(flat)));
+  const Json flat_loaded = expect_ok(service, req.dump());
+  const std::string flat_session = flat_loaded.find("session")->as_string();
+
+  const auto worst_of = [&](const std::string& session) {
+    const Json r = expect_ok(service, R"({"cmd":"analyze","session":")" + session +
+                                          R"(","engine":"spsta_moment"})");
+    return *r.find("worst");
+  };
+  const Json hier_worst = worst_of(hier_session);
+  const Json flat_worst = worst_of(flat_session);
+  EXPECT_NEAR(hier_worst.find("mean")->as_number(),
+              flat_worst.find("mean")->as_number(), 1e-9);
+  EXPECT_NEAR(hier_worst.find("std")->as_number(),
+              flat_worst.find("std")->as_number(), 1e-9);
+  EXPECT_NEAR(hier_worst.find("p")->as_number(), flat_worst.find("p")->as_number(),
+              1e-12);
+}
+
+TEST(ServiceHier, RejectsEcoAndQueryOnHierSessions) {
+  AnalysisService service;
+  const Json loaded = expect_ok(service, hier_load_line());
+  const std::string session = loaded.find("session")->as_string();
+  expect_error(service,
+               R"({"cmd":"query","session":")" + session + R"(","node":"u2.y"})",
+               "bad_params");
+  expect_error(service,
+               R"({"cmd":"set_delay","session":")" + session +
+                   R"(","node":"u0.y","mean":2})",
+               "bad_params");
+  expect_error(service,
+               R"({"cmd":"set_source","session":")" + session + R"(","source":0})",
+               "bad_params");
+  // Engines without block models are rejected as bad params, not crashes.
+  expect_error(service,
+               R"({"cmd":"analyze","session":")" + session + R"(","engine":"mc"})",
+               "bad_params");
+}
+
+TEST(ServiceHier, RejectsMalformedHierText) {
+  AnalysisService service;
+  Json req = Json::object();
+  req.set("cmd", Json("load"));
+  req.set("format", Json("hier"));
+  req.set("text", Json(std::string("INPUT(a)\ny = AND(a, a)\n")));
+  expect_error(service, req.dump(), "bad_params");
+}
+
+TEST(ServiceHier, StatsSurfaceBlockCaches) {
+  AnalysisService service;
+  const Json loaded = expect_ok(service, hier_load_line());
+  const std::string session = loaded.find("session")->as_string();
+  (void)expect_ok(service, R"({"cmd":"analyze","session":")" + session +
+                               R"(","engine":"spsta_moment"})");
+
+  const Json stats = expect_ok(service, R"({"cmd":"stats"})");
+  const Json* plan_cache = stats.find("plan_cache");
+  ASSERT_NE(plan_cache, nullptr);
+  const Json* models = plan_cache->find("block_models");
+  ASSERT_NE(models, nullptr);
+  EXPECT_GT(models->find("entries")->as_number(), 0.0);
+  EXPECT_GT(models->find("approx_bytes")->as_number(), 0.0);
+  const Json* library = plan_cache->find("block_library");
+  ASSERT_NE(library, nullptr);
+  EXPECT_EQ(library->find("entries")->as_number(), 1.0);
+
+  // Per-session stats take the hierarchical branch.
+  const Json per = expect_ok(
+      service, R"({"cmd":"stats","session":")" + session + R"("})");
+  const Json* s = per.find("session");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->find("hier")->as_bool());
+  EXPECT_EQ(s->find("instances")->as_number(), 3.0);
+  EXPECT_EQ(s->find("expanded_gates")->as_number(), 9.0);
+}
+
+TEST(ServiceHier, StoreBudgetAlsoCapsTheModelCache) {
+  AnalysisService service;
+  service.set_store_budget({4, 1u << 20});
+  EXPECT_EQ(service.block_models().budget().max_bytes, 1u << 20);
+  const Json loaded = expect_ok(service, hier_load_line());
+  (void)expect_ok(service, R"({"cmd":"analyze","session":")" +
+                               loaded.find("session")->as_string() +
+                               R"(","engine":"spsta_moment"})");
+  EXPECT_GT(service.block_models().size(), 0u);
+}
+
+}  // namespace
+}  // namespace spsta::service
