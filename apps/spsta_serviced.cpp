@@ -21,14 +21,18 @@
 
 #include "obs/metrics.hpp"
 #include "service/daemon.hpp"
+#include "service/transport/server.hpp"
 
 int main(int argc, char** argv) {
   spsta::service::ServeOptions options;
   spsta::service::StoreBudget budget;
   bool dump_metrics = false;
+  std::string listen_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
+    if (arg.rfind("--listen=", 0) == 0) {
+      listen_spec = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
     } else if (arg.rfind("--workers=", 0) == 0) {
       options.workers = static_cast<unsigned>(std::stoul(arg.substr(10)));
@@ -49,6 +53,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "spsta_serviced — JSON-lines analysis daemon over stdin/stdout\n"
+          "  --listen=HOST:PORT  serve TCP connections instead of stdio; each\n"
+          "                      connection speaks JSON lines or, after the\n"
+          "                      \\0SPF1 magic, length-prefixed binary frames;\n"
+          "                      port 0 picks one (printed to stderr)\n"
           "  --threads=N       scheduler pool size (default: all hardware threads)\n"
           "  --workers=N       serve through N sharded workers with affinity\n"
           "                    routing + admission control (default: batch mode)\n"
@@ -75,6 +83,42 @@ int main(int argc, char** argv) {
 
   spsta::service::AnalysisService service;
   service.set_store_budget(budget);
+
+  if (!listen_spec.empty()) {
+    const auto spec = spsta::service::transport::parse_host_port(listen_spec);
+    if (!spec) {
+      std::fprintf(stderr, "bad --listen spec '%s' (want HOST:PORT)\n",
+                   listen_spec.c_str());
+      return 2;
+    }
+    spsta::service::transport::SocketServerOptions socket_options;
+    socket_options.host = spec->host;
+    socket_options.port = spec->port;
+    socket_options.workers = options.workers;
+    socket_options.queue_capacity = options.queue_capacity;
+    try {
+      spsta::service::transport::SocketServer server(service, socket_options);
+      const std::uint16_t port = server.listen();
+      std::fprintf(stderr, "spsta_serviced: listening on %s:%u\n",
+                   spec->host.c_str(), static_cast<unsigned>(port));
+      const spsta::service::transport::SocketServerReport report = server.serve();
+      std::fprintf(stderr,
+                   "spsta_serviced: served %llu requests over %llu connections "
+                   "(%llu binary-frame) (%s)\n",
+                   static_cast<unsigned long long>(report.requests),
+                   static_cast<unsigned long long>(report.connections),
+                   static_cast<unsigned long long>(report.frame_connections),
+                   report.shutdown ? "shutdown" : "stopped");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "spsta_serviced: %s\n", e.what());
+      return 1;
+    }
+    if (dump_metrics) {
+      std::fprintf(stderr, "%s\n", spsta::service::metrics_json().dump().c_str());
+    }
+    return 0;
+  }
+
   const spsta::service::ServeReport report =
       spsta::service::serve(std::cin, std::cout, service, options);
   std::fprintf(stderr, "spsta_serviced: served %llu requests in %llu batches (%s)\n",

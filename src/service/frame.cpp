@@ -1,0 +1,168 @@
+#include "service/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace spsta::service {
+
+namespace {
+
+/// Header = u32 length + u8 kind.
+constexpr std::size_t kHeaderBytes = 5;
+
+void append_u32_le(std::string& out, std::uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v & 0xff),
+                         static_cast<char>((v >> 8) & 0xff),
+                         static_cast<char>((v >> 16) & 0xff),
+                         static_cast<char>((v >> 24) & 0xff)};
+  out.append(bytes, 4);
+}
+
+std::uint32_t read_u32_le(const char* p) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+std::uint64_t to_le64(std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= ((v >> (8 * i)) & 0xff) << (8 * (7 - i));
+    return r;
+  }
+  return v;
+}
+
+bool known_kind(std::uint8_t kind) {
+  return kind == static_cast<std::uint8_t>(FrameKind::Json) ||
+         kind == static_cast<std::uint8_t>(FrameKind::Waveform);
+}
+
+}  // namespace
+
+void append_frame(std::string& out, FrameKind kind, std::string_view payload) {
+  append_u32_le(out, static_cast<std::uint32_t>(payload.size() + 1));
+  out.push_back(static_cast<char>(kind));
+  out.append(payload);
+}
+
+std::string encode_frame(FrameKind kind, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  append_frame(out, kind, payload);
+  return out;
+}
+
+void append_waveform_frame(std::string& out, std::span<const double> samples) {
+  append_u32_le(out, static_cast<std::uint32_t>(samples.size() * 8 + 1));
+  out.push_back(static_cast<char>(FrameKind::Waveform));
+  const std::size_t base = out.size();
+  out.resize(base + samples.size() * 8);
+  char* dst = out.data() + base;
+  for (const double sample : samples) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &sample, 8);
+    bits = to_le64(bits);
+    std::memcpy(dst, &bits, 8);
+    dst += 8;
+  }
+}
+
+std::vector<double> decode_waveform(std::string_view payload) {
+  std::vector<double> samples(payload.size() / 8);
+  const char* src = payload.data();
+  for (double& sample : samples) {
+    std::uint64_t bits;
+    std::memcpy(&bits, src, 8);
+    bits = to_le64(bits);
+    std::memcpy(&sample, &bits, 8);
+    src += 8;
+  }
+  return samples;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  // Discard-in-flight: an oversized payload is consumed as it streams in,
+  // never buffered — the cap holds on allocation, not just on yield.
+  if (skip_remaining_ > 0) {
+    const std::size_t eat = std::min<std::uint64_t>(skip_remaining_, bytes.size());
+    skip_remaining_ -= eat;
+    bytes.remove_prefix(eat);
+    if (skip_remaining_ > 0) return;
+  }
+  buffer_.append(bytes);
+}
+
+bool FrameDecoder::mid_frame() const noexcept {
+  if (skip_remaining_ > 0) return true;
+  if (buffer_.empty()) return false;
+  if (buffer_.size() < kHeaderBytes) return true;
+  const std::uint64_t length = read_u32_le(buffer_.data());
+  return buffer_.size() < 4 + length;
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  // A skipped frame reports its BadFrame only once fully consumed, so the
+  // caller answers exactly one bad_request per malformed frame.
+  if (skip_remaining_ > 0) return Status::NeedMore;
+  if (!pending_error_.empty()) {
+    error_ = std::move(pending_error_);
+    pending_error_.clear();
+    return Status::BadFrame;
+  }
+  if (buffer_.size() < kHeaderBytes) {
+    // A zero-length frame has no kind byte: the 4-byte header alone is the
+    // whole (malformed) frame.
+    if (buffer_.size() >= 4 && read_u32_le(buffer_.data()) == 0) {
+      buffer_.erase(0, 4);
+      error_ = "frame length must be >= 1 (no kind byte)";
+      return Status::BadFrame;
+    }
+    return Status::NeedMore;
+  }
+  const std::uint64_t length = read_u32_le(buffer_.data());
+  if (length == 0) {
+    buffer_.erase(0, 4);
+    error_ = "frame length must be >= 1 (no kind byte)";
+    return Status::BadFrame;
+  }
+  const std::uint64_t payload_bytes = length - 1;
+  if (payload_bytes > kMaxRequestBytes) {
+    // Enforced pre-allocation: drop the header, stream-discard the
+    // payload, and report once it is gone.
+    pending_error_ = "frame payload of " + std::to_string(payload_bytes) +
+                     " bytes exceeds the " + std::to_string(kMaxRequestBytes) +
+                     " byte limit";
+    const std::string_view rest(buffer_.data() + kHeaderBytes,
+                                buffer_.size() - kHeaderBytes);
+    const std::size_t eat = std::min<std::uint64_t>(payload_bytes, rest.size());
+    skip_remaining_ = payload_bytes - eat;
+    buffer_.erase(0, kHeaderBytes + eat);
+    if (skip_remaining_ > 0) return Status::NeedMore;
+    error_ = std::move(pending_error_);
+    pending_error_.clear();
+    return Status::BadFrame;
+  }
+  if (buffer_.size() < 4 + length) return Status::NeedMore;
+
+  const std::uint8_t kind = static_cast<std::uint8_t>(buffer_[4]);
+  if (!known_kind(kind)) {
+    buffer_.erase(0, 4 + length);
+    error_ = "unknown frame kind " + std::to_string(kind);
+    return Status::BadFrame;
+  }
+  if (kind == static_cast<std::uint8_t>(FrameKind::Waveform) &&
+      payload_bytes % 8 != 0) {
+    buffer_.erase(0, 4 + length);
+    error_ = "waveform frame payload of " + std::to_string(payload_bytes) +
+             " bytes is not a multiple of 8";
+    return Status::BadFrame;
+  }
+  out.kind = static_cast<FrameKind>(kind);
+  out.payload.assign(buffer_, kHeaderBytes, payload_bytes);
+  buffer_.erase(0, 4 + length);
+  return Status::Ready;
+}
+
+}  // namespace spsta::service

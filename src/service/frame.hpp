@@ -1,0 +1,114 @@
+/// \file frame.hpp
+/// Length-prefixed binary framing for the analysis service's socket
+/// transport (ROADMAP item 1, DESIGN.md §15).
+///
+/// Wire grammar, all integers little-endian:
+///
+///   frame   := u32 length ; u8 kind ; payload[length - 1]
+///   kind    := 0x00 JSON      (payload is one JSON document — exactly the
+///                              bytes of a JSON-lines request/response,
+///                              without the trailing newline)
+///            | 0x01 WAVEFORM  (payload is a raw array of IEEE-754 f64
+///                              samples, little-endian; length - 1 must be
+///                              a multiple of 8)
+///
+/// `length` counts the kind byte plus the payload, so a valid frame has
+/// length >= 1. The payload is capped at kMaxRequestBytes (the same 8 MiB
+/// cap the JSON-lines protocol puts on one request line) and the cap is
+/// enforced from the header alone, BEFORE any payload allocation: an
+/// oversized frame is skipped in bounded chunks and surfaced as a
+/// recoverable BadFrame, never a multi-gigabyte buffer.
+///
+/// A connection opens in JSON-lines mode; a client whose very first bytes
+/// are the 5-byte magic kFrameMagic ("\0SPF1") switches the connection to
+/// frame mode before any request (the NUL guarantees no collision with a
+/// JSON text line). Negotiation is per connection: one daemon serves
+/// JSON-lines and binary-frame clients side by side.
+///
+/// The decoder is incremental and transport-agnostic: feed() whatever
+/// bytes arrived, next() yields complete frames. Malformed frames (zero
+/// length, unknown kind, payload over the cap, a WAVEFORM payload that is
+/// not a multiple of 8) are reported as BadFrame with the framing intact —
+/// the caller answers a structured `bad_request` and keeps decoding.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace spsta::service {
+
+/// Payload discriminator of one frame.
+enum class FrameKind : std::uint8_t {
+  Json = 0x00,      ///< one JSON document (request or response)
+  Waveform = 0x01,  ///< raw little-endian f64 sample block
+};
+
+/// Connection-mode magic: a client that wants binary frames sends these 5
+/// bytes first. A JSON-lines request can never start with a NUL byte.
+inline constexpr char kFrameMagic[5] = {'\0', 'S', 'P', 'F', '1'};
+
+/// One decoded frame.
+struct Frame {
+  FrameKind kind = FrameKind::Json;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload) onto \p out.
+void append_frame(std::string& out, FrameKind kind, std::string_view payload);
+
+/// encode_frame(kind, payload) as a fresh string.
+[[nodiscard]] std::string encode_frame(FrameKind kind, std::string_view payload);
+
+/// Serializes \p samples as one WAVEFORM frame onto \p out.
+void append_waveform_frame(std::string& out, std::span<const double> samples);
+
+/// Decodes a WAVEFORM payload back to samples, bit-exactly. \p payload
+/// size must be a multiple of 8 (the decoder guarantees this for frames it
+/// yields with kind == Waveform).
+[[nodiscard]] std::vector<double> decode_waveform(std::string_view payload);
+
+/// Incremental frame decoder: feed() bytes as they arrive, next() yields
+/// whole frames. One instance per connection.
+class FrameDecoder {
+ public:
+  enum class Status {
+    NeedMore,  ///< no complete frame buffered yet
+    Ready,     ///< \p out holds the next frame
+    BadFrame,  ///< malformed frame consumed; error() says why; keep going
+  };
+
+  /// Appends raw transport bytes.
+  void feed(std::string_view bytes);
+
+  /// Yields the next frame. On BadFrame the offending frame has been
+  /// consumed (oversized payloads are discarded without buffering) and
+  /// decoding can continue with the following frame.
+  [[nodiscard]] Status next(Frame& out);
+
+  /// Description of the last BadFrame.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed (test observability).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+  /// True when a partial frame (header seen, payload incomplete) is
+  /// pending — an EOF now means the peer died mid-frame.
+  [[nodiscard]] bool mid_frame() const noexcept;
+
+ private:
+  std::string buffer_;
+  /// Remaining payload bytes of an oversized frame being discarded.
+  std::uint64_t skip_remaining_ = 0;
+  /// Error to report once the skipped frame has been fully consumed.
+  std::string pending_error_;
+  std::string error_;
+};
+
+}  // namespace spsta::service

@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
 #include "service/json.hpp"
 
@@ -64,6 +65,11 @@ struct Request {
   /// pool overwrite it with the wire-arrival time so queue wait counts
   /// against the deadline.
   std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
+  /// True when the request arrived on a binary-frame connection
+  /// (DESIGN.md §15): handlers may move bulk f64 payloads into
+  /// Response::waveforms instead of inlining them as JSON arrays. Set by
+  /// the socket transport only; stdio and batch paths leave it false.
+  bool binary_frames = false;
 
   /// Milliseconds since `enqueued`.
   [[nodiscard]] double age_ms() const {
@@ -94,6 +100,12 @@ struct Response {
   bool ok = false;
   Json body;  ///< result object (ok) or error object (!ok)
   RequestSpan span;  ///< tracing metadata (trace_id echoed on the wire)
+  /// Bulk f64 sidecars for binary-frame connections: filled only when the
+  /// producing request had binary_frames set. The body then carries
+  /// `"waveform_frames": N` and each entry is shipped as one WAVEFORM
+  /// frame right after the JSON response frame, in order. Always empty on
+  /// the JSON-lines path (to_line() does not serialize sidecars).
+  std::vector<std::vector<double>> waveforms;
 
   [[nodiscard]] static Response success(Json id, Json result);
   [[nodiscard]] static Response failure(Json id, ErrorCode code, std::string message);

@@ -657,6 +657,9 @@ Response AnalysisService::handle_query(const Request& request) {
   if ((node == nullptr) == (path == nullptr)) {
     fail(ErrorCode::BadRequest, "query needs exactly one of 'node', 'path'");
   }
+  if (request.body.find("density") != nullptr && node == nullptr) {
+    fail(ErrorCode::BadRequest, "'density' needs a 'node' query");
+  }
 
   const std::lock_guard<std::mutex> lock(session.mutex);
   check_deadline(request);
@@ -681,8 +684,53 @@ Response AnalysisService::handle_query(const Request& request) {
     stats.set("name", Json(session.design().node(id).name));
     stats.set("type",
               Json(std::string(netlist::to_string(session.design().node(id).type))));
+
+    // Full arrival density of one transition (numeric engine only): the
+    // grid spec plus every sample. On a JSON-lines connection the samples
+    // are inlined (shortest-round-trip doubles, so they are bit-exact);
+    // on a binary-frame connection they ship as one raw f64 WAVEFORM
+    // sidecar frame and the body says `samples_wire:"frame"` —
+    // DESIGN.md §15's bulk payload path.
+    std::vector<std::vector<double>> sidecars;
+    if (const Json* density = request.body.find("density")) {
+      const bool rise = density->is_string() && density->as_string() == "rise";
+      const bool fall = density->is_string() && density->as_string() == "fall";
+      if (!rise && !fall) {
+        fail(ErrorCode::BadParams, "'density' must be \"rise\" or \"fall\"");
+      }
+      const auto* numeric =
+          std::get_if<core::SpstaNumericResult>(&analysis->result);
+      if (numeric == nullptr) {
+        fail(ErrorCode::BadParams,
+             "'density' requires engine \"spsta_numeric\"");
+      }
+      const core::NodeTopDensity& top = numeric->node.at(id);
+      const stats::PiecewiseDensity& pd = rise ? top.rise : top.fall;
+      Json d = Json::object();
+      d.set("direction", Json(std::string(rise ? "rise" : "fall")));
+      d.set("t0", Json(pd.grid().t0));
+      d.set("dt", Json(pd.grid().dt));
+      d.set("n", Json(static_cast<std::uint64_t>(pd.grid().n)));
+      d.set("mass", Json(pd.mass()));
+      if (request.binary_frames) {
+        d.set("samples_wire", Json(std::string("frame")));
+        sidecars.emplace_back(pd.values().begin(), pd.values().end());
+      } else {
+        Json samples = Json::array();
+        for (const double v : pd.values()) samples.push_back(Json(v));
+        d.set("samples", std::move(samples));
+      }
+      stats.set("density", std::move(d));
+    }
+
     result.set("stats", std::move(stats));
-    return Response::success(request.id, std::move(result));
+    if (!sidecars.empty()) {
+      result.set("waveform_frames",
+                 Json(static_cast<std::uint64_t>(sidecars.size())));
+    }
+    Response response = Response::success(request.id, std::move(result));
+    response.waveforms = std::move(sidecars);
+    return response;
   }
 
   // Path query: structural critical path (mean delays), each point

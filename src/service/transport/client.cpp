@@ -1,0 +1,157 @@
+#include "service/transport/client.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstring>
+
+#include <sys/socket.h>
+
+namespace spsta::service::transport {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+bool SocketClient::connect(const std::string& host, std::uint16_t port,
+                           bool binary_frames) {
+  error_.clear();
+  line_buffer_.clear();
+  fd_ = tcp_connect(host, port, &error_);
+  if (!fd_.valid()) return false;
+  binary_frames_ = binary_frames;
+  if (binary_frames_ &&
+      !write_all(fd_.get(), kFrameMagic, sizeof(kFrameMagic))) {
+    error_ = "cannot send frame magic";
+    fd_.reset();
+    return false;
+  }
+  return true;
+}
+
+bool SocketClient::send(std::string_view request) {
+  if (!fd_.valid()) {
+    error_ = "not connected";
+    return false;
+  }
+  std::string wire;
+  if (binary_frames_) {
+    append_frame(wire, FrameKind::Json, request);
+  } else {
+    wire.assign(request);
+    wire.push_back('\n');
+  }
+  if (!write_all(fd_.get(), wire.data(), wire.size())) {
+    error_ = "send failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+void SocketClient::finish_sending() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+std::optional<Frame> SocketClient::next_frame() {
+  char chunk[kReadChunk];
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Status status = decoder_.next(frame);
+    if (status == FrameDecoder::Status::Ready) return frame;
+    if (status == FrameDecoder::Status::BadFrame) {
+      error_ = "malformed frame from server: " + decoder_.error();
+      return std::nullopt;
+    }
+    const ssize_t n = read_some(fd_.get(), chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0) {
+        error_ = "recv failed: " + std::string(std::strerror(errno));
+      } else if (decoder_.mid_frame()) {
+        error_ = "connection closed mid-frame";
+      }
+      return std::nullopt;
+    }
+    decoder_.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+  }
+}
+
+std::optional<ClientReply> SocketClient::recv() {
+  error_.clear();
+  if (!fd_.valid()) {
+    error_ = "not connected";
+    return std::nullopt;
+  }
+
+  if (binary_frames_) {
+    std::optional<Frame> frame = next_frame();
+    if (!frame) return std::nullopt;
+    if (frame->kind != FrameKind::Json) {
+      error_ = "expected a JSON response frame, got a waveform frame";
+      return std::nullopt;
+    }
+    ClientReply reply;
+    reply.line = std::move(frame->payload);
+    const std::size_t sidecars = waveform_frame_count(reply.line);
+    reply.waveforms.reserve(sidecars);
+    for (std::size_t i = 0; i < sidecars; ++i) {
+      std::optional<Frame> sidecar = next_frame();
+      if (!sidecar) {
+        if (error_.empty()) error_ = "connection closed before sidecar frames";
+        return std::nullopt;
+      }
+      if (sidecar->kind != FrameKind::Waveform) {
+        error_ = "expected a waveform sidecar frame";
+        return std::nullopt;
+      }
+      reply.waveforms.push_back(decode_waveform(sidecar->payload));
+    }
+    return reply;
+  }
+
+  char chunk[kReadChunk];
+  for (;;) {
+    const std::size_t nl = line_buffer_.find('\n');
+    if (nl != std::string::npos) {
+      ClientReply reply;
+      reply.line = line_buffer_.substr(0, nl);
+      line_buffer_.erase(0, nl + 1);
+      if (!reply.line.empty() && reply.line.back() == '\r') {
+        reply.line.pop_back();
+      }
+      return reply;
+    }
+    const ssize_t n = read_some(fd_.get(), chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0) {
+        error_ = "recv failed: " + std::string(std::strerror(errno));
+      } else if (!line_buffer_.empty()) {
+        error_ = "connection closed mid-line";
+      }
+      return std::nullopt;
+    }
+    line_buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::size_t waveform_frame_count(std::string_view response_line) {
+  // The service emits compact JSON, so the sidecar count is findable
+  // without a full parse — the key cannot appear inside any value the
+  // service produces.
+  static constexpr std::string_view kKey = "\"waveform_frames\":";
+  const std::size_t at = response_line.find(kKey);
+  if (at == std::string_view::npos) return 0;
+  std::size_t pos = at + kKey.size();
+  while (pos < response_line.size() &&
+         std::isspace(static_cast<unsigned char>(response_line[pos]))) {
+    ++pos;
+  }
+  std::size_t value = 0;
+  const auto* begin = response_line.data() + pos;
+  const auto* end = response_line.data() + response_line.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc()) return 0;
+  return value;
+}
+
+}  // namespace spsta::service::transport

@@ -1,0 +1,73 @@
+/// \file client.hpp
+/// Socket client for the analysis service (DESIGN.md §15): connects to a
+/// SocketServer (or `spsta_serviced --listen`), speaks either JSON lines
+/// or the length-prefixed binary frame protocol, and hands back responses
+/// in submission order together with any waveform sidecar frames.
+///
+/// Threading contract: one thread may send() while another thread recv()s
+/// (the socket is full duplex and the send/receive paths share no state);
+/// neither side is safe for two concurrent callers.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/frame.hpp"
+#include "service/transport/socket.hpp"
+
+namespace spsta::service::transport {
+
+/// One received response: the JSON document (no trailing newline) plus
+/// any binary waveform sidecars that followed it (frame mode only; the
+/// JSON's `waveform_frames` field says how many to expect).
+struct ClientReply {
+  std::string line;
+  std::vector<std::vector<double>> waveforms;
+};
+
+class SocketClient {
+ public:
+  /// Not yet connected; call connect().
+  SocketClient() = default;
+
+  /// Connects to host:port. \p binary_frames negotiates frame mode by
+  /// sending kFrameMagic as the first bytes. False + error() on failure.
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port,
+                             bool binary_frames);
+
+  /// Sends one request document (a JSON line WITHOUT the newline; the
+  /// client adds the newline or the frame header as the mode requires).
+  [[nodiscard]] bool send(std::string_view request);
+
+  /// Receives the next response in order. nullopt on EOF or a transport
+  /// error (error() distinguishes them: orderly EOF leaves it empty).
+  [[nodiscard]] std::optional<ClientReply> recv();
+
+  /// Half-closes the send side so the server sees EOF and drains; recv()
+  /// keeps working for the responses still in flight.
+  void finish_sending();
+
+  void close() { fd_.reset(); }
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  [[nodiscard]] bool binary_frames() const noexcept { return binary_frames_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  /// Reads until the decoder yields a frame (frame mode). nullopt on EOF.
+  [[nodiscard]] std::optional<Frame> next_frame();
+
+  ScopedFd fd_;
+  bool binary_frames_ = false;
+  std::string error_;
+  std::string line_buffer_;  ///< line mode: bytes past the last newline
+  FrameDecoder decoder_;     ///< frame mode
+};
+
+/// Extracts the `waveform_frames` sidecar count from a response document
+/// (0 when absent). Exposed for the transport tests.
+[[nodiscard]] std::size_t waveform_frame_count(std::string_view response_line);
+
+}  // namespace spsta::service::transport

@@ -52,7 +52,17 @@ WorkerPoolStats WorkerPool::stats() const noexcept {
   return {submitted_.load(std::memory_order_relaxed),
           executed_.load(std::memory_order_relaxed),
           rejected_.load(std::memory_order_relaxed),
-          deadline_shed_.load(std::memory_order_relaxed)};
+          deadline_shed_.load(std::memory_order_relaxed),
+          parse_errors_.load(std::memory_order_relaxed),
+          shutdown_shed_.load(std::memory_order_relaxed)};
+}
+
+void WorkerPool::stop_accepting() {
+  stopping_.store(true, std::memory_order_release);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->cv.notify_all();
+  }
 }
 
 unsigned WorkerPool::route_shard(const Request& request) const {
@@ -83,7 +93,16 @@ unsigned WorkerPool::route_shard(const Request& request) const {
           load_content_hash(format->as_string(), text->as_string()) % n);
     }
     // Path loads route on the path string: the content is not in hand
-    // yet, but identical paths still share a shard.
+    // yet, so identical paths share a shard and the parse/compile is still
+    // deduplicated by the session store's latch. KNOWN MISS: the session a
+    // path load creates is keyed on the *content* hash, so every later
+    // request on that session routes on fnv1a64(content) — generally a
+    // DIFFERENT shard than fnv1a64(path). A path-loaded design therefore
+    // splits its load traffic and its analyze traffic across two shards
+    // (the compiled plan itself is shared either way — the store is
+    // process-wide; only the per-design FIFO/affinity property is lost).
+    // service_worker_pool_test quantifies the split; clients that care
+    // should load by text or circuit name.
     const Json* path = request.body.find("path");
     if (path != nullptr && path->is_string()) {
       return static_cast<unsigned>(fnv1a64(path->as_string()) % n);
@@ -100,7 +119,8 @@ void WorkerPool::update_depth_gauge() const {
 }
 
 std::future<Response> WorkerPool::submit(
-    std::string line, std::chrono::steady_clock::time_point enqueued) {
+    std::string line, std::chrono::steady_clock::time_point enqueued,
+    bool binary_frames) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
@@ -109,14 +129,17 @@ std::future<Response> WorkerPool::submit(
 
   std::variant<Request, Response> parsed = parse_request(line);
   if (Response* error = std::get_if<Response>(&parsed)) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
     error->span = {trace_id, "", 0.0, 0.0};
     promise.set_value(std::move(*error));
     return future;
   }
   Request request = std::move(std::get<Request>(parsed));
   request.enqueued = enqueued;
+  request.binary_frames = binary_frames;
 
   if (stopping_.load(std::memory_order_acquire)) {
+    shutdown_shed_.fetch_add(1, std::memory_order_relaxed);
     Response r = Response::failure(request.id, ErrorCode::Overloaded,
                                    "service is shutting down");
     r.span = {trace_id, request.cmd, request.age_ms(), 0.0};
@@ -127,6 +150,18 @@ std::future<Response> WorkerPool::submit(
   Shard& shard = *shards_[route_shard(request)];
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
+    // Re-check under the shard lock: a worker only exits after observing
+    // stopping_ with this mutex held, so a submit that reaches the lock
+    // afterwards is guaranteed to see stopping_ too (mutex ordering plus
+    // read coherence) and never enqueues onto a dead shard.
+    if (stopping_.load(std::memory_order_acquire)) {
+      shutdown_shed_.fetch_add(1, std::memory_order_relaxed);
+      Response r = Response::failure(request.id, ErrorCode::Overloaded,
+                                     "service is shutting down");
+      r.span = {trace_id, request.cmd, request.age_ms(), 0.0};
+      promise.set_value(std::move(r));
+      return future;
+    }
     if (shard.queue.size() >= options_.queue_capacity) {
       // Admission control: shed NOW, with a hint, rather than queueing
       // without bound. The hint is how long the backlog ahead would take

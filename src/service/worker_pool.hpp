@@ -57,12 +57,26 @@ struct WorkerPoolOptions {
   std::size_t queue_capacity = 256;
 };
 
-/// Aggregated pool counters (relaxed snapshots).
+/// Aggregated pool counters (relaxed snapshots). Every submitted line is
+/// accounted to exactly one outcome, so after drain() the identity
+///
+///   submitted == executed + rejected_overload + deadline_shed
+///              + parse_errors + shutdown_shed
+///
+/// holds exactly (service_worker_pool_test asserts it).
 struct WorkerPoolStats {
   std::uint64_t submitted = 0;          ///< lines accepted into submit()
   std::uint64_t executed = 0;           ///< requests a worker ran
   std::uint64_t rejected_overload = 0;  ///< shed by admission control
   std::uint64_t deadline_shed = 0;      ///< shed at dequeue (stale)
+  std::uint64_t parse_errors = 0;       ///< answered at submit (bad envelope)
+  std::uint64_t shutdown_shed = 0;      ///< answered at submit while stopping
+
+  /// Outcomes accounted so far; equals `submitted` once the pool is idle.
+  [[nodiscard]] std::uint64_t resolved() const noexcept {
+    return executed + rejected_overload + deadline_shed + parse_errors +
+           shutdown_shed;
+  }
 };
 
 class WorkerPool {
@@ -78,12 +92,22 @@ class WorkerPool {
   /// Routes, admits and enqueues one request line. Returns a future that
   /// yields the response; a parse failure or an admission-control shed
   /// resolves the future immediately. \p enqueued is the deadline origin.
+  /// \p binary_frames marks requests from binary-frame connections
+  /// (DESIGN.md §15): handlers may then return bulk payloads as
+  /// Response::waveforms sidecars.
   [[nodiscard]] std::future<Response> submit(
       std::string line,
-      std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now());
+      std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now(),
+      bool binary_frames = false);
 
   /// Blocks until every queue is empty and no worker is mid-request.
   void drain();
+
+  /// Begins a graceful shutdown: every later submit() is answered with
+  /// `overloaded` ("shutting down") and counted in shutdown_shed; already
+  /// queued requests still execute and workers exit once their queues are
+  /// empty. Used by transports to fence late arrivals during drain.
+  void stop_accepting();
 
   [[nodiscard]] unsigned shards() const noexcept {
     return static_cast<unsigned>(shards_.size());
@@ -140,6 +164,8 @@ class WorkerPool {
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> deadline_shed_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> shutdown_shed_{0};
 };
 
 }  // namespace spsta::service

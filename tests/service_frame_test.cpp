@@ -1,0 +1,196 @@
+// Tests for the length-prefixed binary frame codec (DESIGN.md §15):
+// encode/decode round trips, bit-exact waveform payloads, the 8 MiB cap
+// enforced from the header alone, EOF-mid-frame detection, and recovery
+// after malformed frames — a bad frame must never desynchronize the
+// stream or kill the decoder.
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/frame.hpp"
+
+namespace spsta::service {
+namespace {
+
+void append_u32_le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+Frame decode_one(const std::string& wire) {
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::Ready);
+  EXPECT_EQ(decoder.buffered(), 0u);
+  return frame;
+}
+
+TEST(ServiceFrame, JsonFrameRoundTrips) {
+  const std::string payload = R"({"id":1,"cmd":"ping"})";
+  const Frame frame = decode_one(encode_frame(FrameKind::Json, payload));
+  EXPECT_EQ(frame.kind, FrameKind::Json);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(ServiceFrame, WaveformRoundTripsBitExactly) {
+  // Values chosen to break any text round trip that is not shortest-form:
+  // denormals, an exact negative zero, irrational-looking doubles.
+  const std::vector<double> samples = {
+      0.0, -0.0, 1.0 / 3.0, 6.02214076e23, std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(), -123.45678901234567,
+      std::numeric_limits<double>::max()};
+  std::string wire;
+  append_waveform_frame(wire, samples);
+  const Frame frame = decode_one(wire);
+  ASSERT_EQ(frame.kind, FrameKind::Waveform);
+  const std::vector<double> decoded = decode_waveform(frame.payload);
+  ASSERT_EQ(decoded.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Bitwise comparison: NaN-safe and distinguishes -0.0 from 0.0.
+    std::uint64_t a = 0, b = 0;
+    std::memcpy(&a, &samples[i], sizeof(a));
+    std::memcpy(&b, &decoded[i], sizeof(b));
+    EXPECT_EQ(a, b) << "sample " << i;
+  }
+}
+
+TEST(ServiceFrame, ByteByByteFeedingYieldsTheSameFrames) {
+  std::string wire;
+  append_frame(wire, FrameKind::Json, "first");
+  append_waveform_frame(wire, std::vector<double>{1.5, -2.5});
+  append_frame(wire, FrameKind::Json, "second");
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char byte : wire) {
+    decoder.feed(std::string_view(&byte, 1));
+    Frame frame;
+    while (decoder.next(frame) == FrameDecoder::Status::Ready) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].payload, "first");
+  EXPECT_EQ(frames[1].kind, FrameKind::Waveform);
+  EXPECT_EQ(decode_waveform(frames[1].payload), (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(frames[2].payload, "second");
+}
+
+TEST(ServiceFrame, PayloadExactlyAtTheCapIsAccepted) {
+  // length = 1 (kind) + payload; the cap applies to the payload.
+  const std::string payload(kMaxRequestBytes, 'x');
+  const Frame frame = decode_one(encode_frame(FrameKind::Json, payload));
+  EXPECT_EQ(frame.payload.size(), kMaxRequestBytes);
+}
+
+TEST(ServiceFrame, PayloadOneOverTheCapIsABadFrameAndRecoverable) {
+  std::string wire = encode_frame(FrameKind::Json, std::string(kMaxRequestBytes + 1, 'x'));
+  append_frame(wire, FrameKind::Json, "after");
+
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::BadFrame);
+  EXPECT_NE(decoder.error().find("exceeds"), std::string::npos) << decoder.error();
+  // The stream stays in sync: the next frame decodes normally.
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::Ready);
+  EXPECT_EQ(frame.payload, "after");
+}
+
+TEST(ServiceFrame, OversizedFrameIsDiscardedWithoutBuffering) {
+  // Feed the oversized frame in chunks: the decoder must never hold more
+  // than a chunk — the cap is enforced BEFORE payload allocation.
+  const std::uint32_t huge = 64u << 20;  // 64 MiB claimed
+  std::string header;
+  append_u32_le(header, huge);
+  header.push_back('\0');  // kind byte
+
+  FrameDecoder decoder;
+  decoder.feed(header);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::NeedMore);
+  const std::string chunk(1 << 16, 'z');
+  std::uint64_t sent = 1;  // the kind byte counts toward `len`
+  while (sent < huge) {
+    const std::size_t take = std::min<std::uint64_t>(chunk.size(), huge - sent);
+    decoder.feed(std::string_view(chunk).substr(0, take));
+    sent += take;
+    EXPECT_LE(decoder.buffered(), chunk.size());
+    if (sent < huge) {
+      EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::NeedMore);
+    }
+  }
+  // Fully consumed: exactly one BadFrame, then clean.
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::BadFrame);
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::NeedMore);
+  decoder.feed(encode_frame(FrameKind::Json, "ok"));
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::Ready);
+  EXPECT_EQ(frame.payload, "ok");
+}
+
+TEST(ServiceFrame, ZeroLengthFrameIsABadFrame) {
+  std::string wire(4, '\0');  // length 0: no kind byte, invalid
+  append_frame(wire, FrameKind::Json, "next");
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::BadFrame);
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::Ready);
+  EXPECT_EQ(frame.payload, "next");
+}
+
+TEST(ServiceFrame, UnknownKindIsABadFrameAndRecoverable) {
+  std::string wire;
+  append_u32_le(wire, 3);
+  wire.push_back(0x7f);  // unknown kind
+  wire.append("ab");
+  append_frame(wire, FrameKind::Json, "next");
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::BadFrame);
+  EXPECT_NE(decoder.error().find("kind"), std::string::npos) << decoder.error();
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::Ready);
+  EXPECT_EQ(frame.payload, "next");
+}
+
+TEST(ServiceFrame, WaveformPayloadMustBeAMultipleOf8) {
+  std::string wire;
+  append_u32_le(wire, 1 + 7);  // kind + 7 payload bytes
+  wire.push_back(0x01);
+  wire.append(7, 'q');
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::BadFrame);
+}
+
+TEST(ServiceFrame, EofMidFrameIsObservable) {
+  const std::string wire = encode_frame(FrameKind::Json, "truncated payload");
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.mid_frame());
+  decoder.feed(std::string_view(wire).substr(0, wire.size() - 3));
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::NeedMore);
+  // Header seen, payload incomplete: an EOF now means the peer died
+  // mid-frame, which transports report differently from a clean close.
+  EXPECT_TRUE(decoder.mid_frame());
+  decoder.feed(std::string_view(wire).substr(wire.size() - 3));
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::Ready);
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(ServiceFrame, EmptyWaveformIsValid) {
+  std::string wire;
+  append_waveform_frame(wire, std::vector<double>{});
+  const Frame frame = decode_one(wire);
+  EXPECT_EQ(frame.kind, FrameKind::Waveform);
+  EXPECT_TRUE(decode_waveform(frame.payload).empty());
+}
+
+}  // namespace
+}  // namespace spsta::service

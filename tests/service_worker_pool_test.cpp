@@ -4,6 +4,7 @@
 // semantics, and the pooled serve runtime's in-order response writing.
 
 #include <chrono>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
@@ -12,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "netlist/iscas89.hpp"
 #include "service/daemon.hpp"
 #include "service/session.hpp"
 #include "service/worker_pool.hpp"
@@ -161,6 +163,135 @@ TEST(ServiceWorkerPool, MalformedLinesResolveImmediatelyWithParseError) {
   const Response r = pool.submit("}{ not json").get();
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.error_code(), "parse_error");
+}
+
+TEST(ServiceWorkerPool, StatsIdentityHoldsAcrossEveryOutcomeClass) {
+  // Every line handed to submit() must resolve through exactly one of the
+  // five outcome counters: executed, rejected_overload, deadline_shed,
+  // parse_errors, shutdown_shed. Drive the pool through all five and
+  // assert the books balance — this is the identity the bench harness and
+  // CI check on every service_load run.
+  AnalysisService service;
+  WorkerPool pool(service, {.shards = 1, .queue_capacity = 1});
+
+  // deadline_shed: an already-stale request shed at dequeue (queue empty,
+  // so it cannot be confused with an admission reject).
+  const auto long_ago =
+      std::chrono::steady_clock::now() - std::chrono::seconds(30);
+  ASSERT_EQ(pool.submit(R"({"cmd":"ping","deadline_ms":5})", long_ago)
+                .get()
+                .error_code(),
+            "deadline_exceeded");
+
+  // parse_errors: answered at submit without touching a shard queue.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(pool.submit("}{ not json").get().error_code(), "parse_error");
+  }
+
+  // executed + rejected_overload: occupy the single worker with slow Monte
+  // Carlo work, then burst past the 1-deep queue.
+  Response loaded = pool.submit(R"({"cmd":"load","circuit":"s386"})").get();
+  ASSERT_TRUE(loaded.ok) << loaded.to_line();
+  const std::string key = loaded.body.find("session")->as_string();
+  const std::string slow = R"({"cmd":"analyze","session":")" + key +
+                           R"(","engine":"mc","params":{"runs":20000}})";
+  std::vector<std::future<Response>> inflight;
+  for (int i = 0; i < 4; ++i) inflight.push_back(pool.submit(slow));
+  for (int i = 0; i < 16; ++i) {
+    inflight.push_back(pool.submit(R"({"cmd":"ping"})"));
+  }
+
+  // shutdown_shed: once accepting stops, new submissions resolve
+  // immediately while everything already queued still completes.
+  pool.stop_accepting();
+  for (int i = 0; i < 2; ++i) {
+    const Response r = pool.submit(R"({"cmd":"ping"})").get();
+    EXPECT_EQ(r.error_code(), "overloaded");
+    EXPECT_NE(r.body.find("message")->as_string().find("shutting down"),
+              std::string::npos);
+  }
+  for (auto& f : inflight) (void)f.get();
+  pool.drain();
+
+  const WorkerPoolStats stats = pool.stats();
+  EXPECT_GE(stats.executed, 2u);  // the load + at least one admitted slow
+  EXPECT_GT(stats.rejected_overload, 0u);
+  EXPECT_EQ(stats.deadline_shed, 1u);
+  EXPECT_EQ(stats.parse_errors, 3u);
+  EXPECT_EQ(stats.shutdown_shed, 2u);
+  EXPECT_EQ(stats.submitted, stats.resolved())
+      << "identity broken: submitted=" << stats.submitted
+      << " executed=" << stats.executed
+      << " rejected=" << stats.rejected_overload
+      << " deadline=" << stats.deadline_shed
+      << " parse=" << stats.parse_errors
+      << " shutdown=" << stats.shutdown_shed;
+}
+
+TEST(ServiceWorkerPool, PathLoadsSplitRoutingFromTheSessionTheyCreate) {
+  // Documented KNOWN MISS in route_shard: a path load routes on
+  // fnv1a64(path) because the content is not in hand at routing time, but
+  // the session it creates is keyed on the CONTENT hash — so later
+  // requests naming that session generally land on a different shard.
+  // This test quantifies the split and pins the contrast: text/circuit
+  // loads colocate with their session, path loads need not.
+  AnalysisService service;
+  WorkerPool pool(service, {.shards = 16, .queue_capacity = 32});
+  const unsigned n = 16;
+
+  const std::string text{netlist::s27_bench_text()};
+  const std::string dir = ::testing::TempDir();
+
+  // Write the same netlist under several names and pick one whose path
+  // hash disagrees with the content hash modulo the shard count — with 16
+  // shards one of a handful of candidates always splits.
+  std::string split_path;
+  const std::uint64_t content_shard =
+      pool.route_shard(parse_ok(R"({"cmd":"load","format":"bench","text":)" +
+                                Json(text).dump() + "}"));
+  for (const char* name : {"a.bench", "b.bench", "c.bench", "d.bench",
+                           "e.bench", "f.bench", "g.bench", "h.bench"}) {
+    const std::string candidate = dir + "/" + name;
+    if (fnv1a64(candidate) % n != content_shard) {
+      split_path = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(split_path.empty());
+  {
+    std::ofstream out(split_path, std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good());
+  }
+
+  const std::string path_line =
+      R"({"cmd":"load","path":)" + Json(split_path).dump() + "}";
+  const unsigned path_shard = pool.route_shard(parse_ok(path_line));
+  EXPECT_EQ(path_shard, fnv1a64(split_path) % n);
+
+  Response loaded = pool.submit(path_line).get();
+  ASSERT_TRUE(loaded.ok) << loaded.to_line();
+  const std::string key = loaded.body.find("session")->as_string();
+
+  // The split: the session's traffic routes on the content hash, not the
+  // path hash the load itself used.
+  const unsigned session_shard = pool.route_shard(
+      parse_ok(R"({"cmd":"analyze","session":")" + key + R"("})"));
+  EXPECT_EQ(session_shard, content_shard);
+  EXPECT_NE(session_shard, path_shard)
+      << "path " << split_path << " was chosen to split, but routed with "
+      << "its session — route_shard's path rule changed";
+
+  // Contrast: an inline-text load of the identical netlist colocates with
+  // the session, and dedups onto the same compiled plan either way.
+  Response by_text = pool
+                         .submit(R"({"cmd":"load","format":"bench","text":)" +
+                                 Json(text).dump() + "}")
+                         .get();
+  ASSERT_TRUE(by_text.ok) << by_text.to_line();
+  EXPECT_EQ(by_text.body.find("session")->as_string(), key);
+  EXPECT_EQ(service.store().size(), 1u);
+  pool.drain();
 }
 
 TEST(ServiceDaemonPooled, ServeWritesResponsesInSubmissionOrder) {
