@@ -40,6 +40,7 @@
 #include "service/service.hpp"
 #include "spsta_api.hpp"
 #include "ssta/ssta.hpp"
+#include "stats/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -179,7 +180,8 @@ ServiceThroughput measure_service(const std::string& circuit) {
 /// requested point count exactly.
 struct GridSweepPoint {
   std::size_t n = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;         ///< auto-detected SIMD tier
+  double scalar_seconds = 0.0;  ///< forced-scalar reference (same bits)
 };
 
 std::vector<GridSweepPoint> measure_grid_sweep(const std::string& circuit) {
@@ -194,17 +196,27 @@ std::vector<GridSweepPoint> measure_grid_sweep(const std::string& circuit) {
     core::SpstaOptions opts;
     opts.grid_dt = 1e-4;
     opts.max_grid_points = cap;
-    // Warm once (delay kernels, pattern cache, workspace), then best-of.
-    benchmark::DoNotOptimize(core::run_spsta_numeric(plan, sc, opts));
-    double best = 1e300;
-    for (int rep = 0; rep < 3; ++rep) {
-      const auto t0 = std::chrono::steady_clock::now();
+    // Warm once (delay kernels, pattern cache, workspace), then best-of —
+    // once per dispatch tier; the scalar column is the vectorization
+    // roofline (both tiers produce bit-identical results).
+    GridSweepPoint p;
+    p.n = cap;
+    for (const bool scalar : {false, true}) {
+      stats::simd::set_force_scalar(scalar);
       benchmark::DoNotOptimize(core::run_spsta_numeric(plan, sc, opts));
-      best = std::min(
-          best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                    .count());
+      double best = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(core::run_spsta_numeric(plan, sc, opts));
+        best = std::min(
+            best,
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+      (scalar ? p.scalar_seconds : p.seconds) = best;
     }
-    out.push_back({cap, best});
+    stats::simd::set_force_scalar(false);
+    out.push_back(p);
   }
   return out;
 }
@@ -508,9 +520,10 @@ int main(int argc, char** argv) {
     sweep = measure_grid_sweep(sweep_circuit);
     std::printf("\n=== Numeric engine grid sweep (%s, gaussian delays, warm) ===\n",
                 sweep_circuit.c_str());
-    std::printf("%10s %12s\n", "grid n", "seconds");
+    std::printf("%10s %12s %12s %8s\n", "grid n", "seconds", "scalar_s", "simd x");
     for (const GridSweepPoint& p : sweep) {
-      std::printf("%10zu %12.4f\n", p.n, p.seconds);
+      std::printf("%10zu %12.4f %12.4f %7.2fx\n", p.n, p.seconds,
+                  p.scalar_seconds, p.scalar_seconds / std::max(p.seconds, 1e-12));
     }
   }
 
@@ -549,8 +562,9 @@ int main(int argc, char** argv) {
       std::fprintf(f, ",\"grid_sweep\":{\"circuit\":\"%s\",\"points\":[",
                    circuits.back().c_str());
       for (std::size_t i = 0; i < sweep.size(); ++i) {
-        std::fprintf(f, "%s{\"n\":%zu,\"seconds\":%.6g}", i ? "," : "",
-                     sweep[i].n, sweep[i].seconds);
+        std::fprintf(f, "%s{\"n\":%zu,\"seconds\":%.6g,\"scalar_seconds\":%.6g}",
+                     i ? "," : "", sweep[i].n, sweep[i].seconds,
+                     sweep[i].scalar_seconds);
       }
       std::fprintf(f, "]}");
     }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/spsta.hpp"
+#include "stats/workspace.hpp"
 
 namespace spsta::core {
 
@@ -187,8 +188,10 @@ stats::GridSpec CompiledDesign::grid_for(
   return {lo, dt, std::max(n, std::min<std::size_t>(cap, 8))};
 }
 
-std::shared_ptr<const DelayKernelSet> CompiledDesign::delay_kernels(double dt) const {
-  const std::uint64_t key = std::bit_cast<std::uint64_t>(dt);
+std::shared_ptr<const DelayKernelSet> CompiledDesign::delay_kernels(
+    double dt, std::size_t grid_n) const {
+  const std::pair<std::uint64_t, std::uint64_t> key{std::bit_cast<std::uint64_t>(dt),
+                                                    grid_n};
   {
     std::lock_guard<std::mutex> lock(kernel_mutex_);
     if (const auto it = kernel_cache_.find(key); it != kernel_cache_.end()) {
@@ -201,13 +204,43 @@ std::shared_ptr<const DelayKernelSet> CompiledDesign::delay_kernels(double dt) c
   auto set = std::make_shared<DelayKernelSet>();
   set->dt = dt;
   const std::size_t n = node_count();
-  set->rise.resize(n);
-  set->fall.resize(n);
+  set->rise_index.assign(n, 0);
+  set->fall_index.assign(n, 0);
+  // Dedup kernels on the exact bit patterns of (mean, var): a uniform
+  // delay model yields one unique kernel per direction instead of one
+  // per node, which is what makes per-kernel spectra affordable.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> unique;
+  const auto intern = [&](const stats::Gaussian& g) -> std::uint32_t {
+    const std::pair<std::uint64_t, std::uint64_t> gk{
+        std::bit_cast<std::uint64_t>(g.mean), std::bit_cast<std::uint64_t>(g.var)};
+    if (const auto it = unique.find(gk); it != unique.end()) return it->second;
+    const auto idx = static_cast<std::uint32_t>(set->kernels.size());
+    set->kernels.push_back(stats::make_delay_kernel(g, dt));
+    unique.emplace(gk, idx);
+    return idx;
+  };
   for (std::size_t i = 0; i < n; ++i) {
     if (!combinational_[i]) continue;
     const auto id = static_cast<netlist::NodeId>(i);
-    set->rise[i] = stats::make_delay_kernel(delays_.delay(id, /*rising=*/true), dt);
-    set->fall[i] = stats::make_delay_kernel(delays_.delay(id, /*rising=*/false), dt);
+    set->rise_index[i] = intern(delays_.delay(id, /*rising=*/true));
+    set->fall_index[i] = intern(delays_.delay(id, /*rising=*/false));
+  }
+  if (grid_n > 0) {
+    // Precompute each FFT-path kernel's half-spectrum at the size the
+    // engine will use, in deterministic (intern) order, until the byte
+    // budget runs out. Skipped kernels take the on-the-fly path with
+    // bit-identical results.
+    stats::Workspace& ws = stats::Workspace::local();
+    std::size_t bytes = 0;
+    for (stats::DelayKernel& k : set->kernels) {
+      const std::size_t fft_n = stats::delay_fft_size(grid_n, k);
+      if (fft_n == 0) continue;
+      const std::size_t cost = 2 * (fft_n / 2 + 1) * sizeof(double);
+      if (bytes + cost > kMaxSpectraBytes) continue;
+      stats::precompute_kernel_spectrum(k, fft_n, ws);
+      bytes += cost;
+    }
+    set->spec_grid_n = grid_n;
   }
   std::lock_guard<std::mutex> lock(kernel_mutex_);
   const auto [it, inserted] = kernel_cache_.emplace(key, std::move(set));

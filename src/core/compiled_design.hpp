@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/pattern_cache.hpp"
@@ -50,10 +51,28 @@ struct SpstaOptions;
 /// Per-(gate, transition) delay kernels discretized on one grid step —
 /// the numeric engine's SUM-with-delay operators, precomputed once per
 /// distinct `dt` and reused across patterns, runs, and ECO re-queries.
+///
+/// Kernels are deduplicated by the (mean, var) bit patterns of the
+/// underlying Gaussian delays — a uniform delay model collapses to one
+/// unique kernel per direction — and each node indexes into the unique
+/// pool. When built for a known grid size (`delay_kernels(dt, grid_n)`),
+/// the unique kernels additionally carry their FFT half-spectra
+/// precomputed for that size (under `kMaxSpectraBytes`), so the numeric
+/// engine's batched convolutions skip the kernel transform entirely.
+/// Spectra are built with the exact function the on-the-fly path uses,
+/// so precomputation changes cost, never a result bit.
 struct DelayKernelSet {
   double dt = 0.0;
-  std::vector<stats::DelayKernel> rise;  ///< indexed by NodeId
-  std::vector<stats::DelayKernel> fall;  ///< indexed by NodeId
+  std::size_t spec_grid_n = 0;  ///< grid size the spectra were built for (0 = none)
+  std::vector<stats::DelayKernel> kernels;            ///< unique kernels
+  std::vector<std::uint32_t> rise_index, fall_index;  ///< NodeId -> kernels
+
+  [[nodiscard]] const stats::DelayKernel& rise(netlist::NodeId id) const {
+    return kernels[rise_index[id]];
+  }
+  [[nodiscard]] const stats::DelayKernel& fall(netlist::NodeId id) const {
+    return kernels[fall_index[id]];
+  }
 };
 
 /// Immutable per-(netlist, delay model) analysis plan.
@@ -132,15 +151,23 @@ class CompiledDesign {
 
   // -- Precomputed delay kernels ---------------------------------------
   /// Discretized Gaussian delay kernels for every combinational node on
-  /// grid step \p dt (sigmas fixed at 8.0 — the engine's tail coverage).
-  /// Built once per distinct step, internally synchronized, and shared —
-  /// a kernel is a pure function of (delay, dt), so cached and freshly
-  /// built kernels are bit-identical. The cache keeps the most recent
-  /// `kMaxKernelSets` steps; outstanding shared_ptrs stay valid after
-  /// eviction.
-  [[nodiscard]] std::shared_ptr<const DelayKernelSet> delay_kernels(double dt) const;
+  /// grid step \p dt (sigmas fixed at 8.0 — the engine's tail coverage),
+  /// deduplicated across nodes. When \p grid_n (the engine's grid point
+  /// count) is nonzero, the unique kernels that would take the FFT path
+  /// at that size also carry precomputed half-spectra (bounded by
+  /// `kMaxSpectraBytes`). Built once per distinct (dt, grid_n), internally
+  /// synchronized, and shared — a kernel is a pure function of
+  /// (delay, dt), so cached and freshly built kernels are bit-identical.
+  /// The cache keeps the most recent `kMaxKernelSets` keys; outstanding
+  /// shared_ptrs stay valid after eviction.
+  [[nodiscard]] std::shared_ptr<const DelayKernelSet> delay_kernels(
+      double dt, std::size_t grid_n = 0) const;
 
   static constexpr std::size_t kMaxKernelSets = 16;
+  /// Upper bound on precomputed-spectrum bytes per kernel set; unique
+  /// kernels past the budget fall back to on-the-fly spectra (same bits,
+  /// more work).
+  static constexpr std::size_t kMaxSpectraBytes = std::size_t{64} << 20;
 
   /// FNV-1a content hash over the netlist structure (names, types, fanins,
   /// output/DFF markings) and the observable delay assignment. Equal
@@ -180,8 +207,11 @@ class CompiledDesign {
   mutable PatternCache pattern_cache_{PatternCache::kExactKeys};
 
   mutable std::mutex kernel_mutex_;
-  /// Keyed on the bit pattern of dt (exact match; no tolerance games).
-  mutable std::map<std::uint64_t, std::shared_ptr<const DelayKernelSet>> kernel_cache_;
+  /// Keyed on (bit pattern of dt, grid_n) — exact match, no tolerance
+  /// games; distinct grid sizes carry distinct precomputed spectra.
+  mutable std::map<std::pair<std::uint64_t, std::uint64_t>,
+                   std::shared_ptr<const DelayKernelSet>>
+      kernel_cache_;
 };
 
 }  // namespace spsta::core

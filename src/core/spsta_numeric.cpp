@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "sigprob/four_value_prop.hpp"
 #include "stats/conv_kernels.hpp"
+#include "stats/simd.hpp"
 #include "stats/workspace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -79,9 +80,11 @@ SpstaNumericResult run_spsta_numeric(const CompiledDesign& plan,
   PatternCache* const cache = select_cache(plan, options, local_cache);
 
   // Every combinational node's SUM-with-delay operator, discretized once
-  // per grid step and shared across patterns, runs, and threads.
+  // per grid step, deduplicated across nodes, with FFT half-spectra
+  // precomputed for this grid size — shared across patterns, runs, and
+  // threads.
   const std::shared_ptr<const DelayKernelSet> kernels =
-      plan.delay_kernels(result.grid.dt);
+      plan.delay_kernels(result.grid.dt, result.grid.n);
 
   // Gate evaluation is level-parallel: a node's fanins live in strictly
   // lower levels, so every node of one level reads finished state and
@@ -113,7 +116,11 @@ SpstaNumericResult run_spsta_numeric(const CompiledDesign& plan,
         cache != nullptr ? std::span<const SwitchPattern>(*cached)
                          : std::span<const SwitchPattern>(owned);
 
-    stats::Workspace& ws = stats::Workspace::for_this_thread();
+    // Resolve the thread's arena and the SIMD tier once per node, then
+    // pass both through every kernel call — no thread_local or dispatch
+    // lookups inside the pattern loop (workspace.hpp's contract).
+    stats::Workspace& ws = stats::Workspace::local();
+    const stats::simd::Ops& v = stats::simd::ops();
     const std::size_t gn = result.grid.n;
     const double dt = result.grid.dt;
     const std::span<double> rise_acc = ws.scratch(0, gn);
@@ -140,44 +147,46 @@ SpstaNumericResult run_spsta_numeric(const CompiledDesign& plan,
         const double inv = m > 0.0 ? 1.0 / m : 1.0;
         const double* pv = d.values().data();
         if (first) {
-          double* pf = fold.data();
-          for (std::size_t j = 0; j < gn; ++j) pf[j] = pv[j] * inv;
+          v.mul_scale(pv, inv, fold.data(), gn);
           first = false;
           continue;
         }
-        double* pc = contrib.data();
-        for (std::size_t j = 0; j < gn; ++j) pc[j] = pv[j] * inv;
+        v.mul_scale(pv, inv, contrib.data(), gn);
         cumulative_into(fold, dt, cum_fold);
         cumulative_into(contrib, dt, cum_con);
-        double* pf = fold.data();
-        const double* ca = cum_fold.data();
-        const double* cb = cum_con.data();
         if (p.op == SettleOp::Max) {
-          for (std::size_t j = 0; j < gn; ++j) pf[j] = pf[j] * cb[j] + pc[j] * ca[j];
+          v.cdf_mix_max(fold.data(), contrib.data(), cum_fold.data(),
+                        cum_con.data(), gn);
         } else {
-          for (std::size_t j = 0; j < gn; ++j) {
-            pf[j] = pf[j] * (1.0 - cb[j]) + pc[j] * (1.0 - ca[j]);
-          }
+          v.cdf_mix_min(fold.data(), contrib.data(), cum_fold.data(),
+                        cum_con.data(), gn);
         }
       }
       if (first) continue;  // no switching inputs in this scenario
 
       // Weighted sum over switching scenarios (paper Eq. 8/11), fused.
-      const double w = p.weight;
       double* acc = (p.output_rising ? rise_acc : fall_acc).data();
-      const double* pf = fold.data();
-      for (std::size_t j = 0; j < gn; ++j) acc[j] += w * pf[j];
+      v.axpy(fold.data(), p.weight, acc, gn);
       (p.output_rising ? any_rise : any_fall) = true;
     }
 
+    // One batched SUM-with-delay per node: both transition columns share
+    // the plan and (when the delay model dedups) the kernel spectrum.
+    stats::ConvExec ex;
+    ex.ws = &ws;
     if (any_rise) {
-      stats::apply_delay_kernel(rise_acc, kernels->rise[id],
-                                top.rise.mutable_values(), ws);
+      ex.src[ex.cols] = rise_acc;
+      ex.dst[ex.cols] = top.rise.mutable_values();
+      ex.kernel[ex.cols] = &kernels->rise(id);
+      ++ex.cols;
     }
     if (any_fall) {
-      stats::apply_delay_kernel(fall_acc, kernels->fall[id],
-                                top.fall.mutable_values(), ws);
+      ex.src[ex.cols] = fall_acc;
+      ex.dst[ex.cols] = top.fall.mutable_values();
+      ex.kernel[ex.cols] = &kernels->fall(id);
+      ++ex.cols;
     }
+    if (ex.cols > 0) stats::conv_execute(ex);
   };
 
   static obs::LatencyHistogram& stage_hist =

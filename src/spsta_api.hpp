@@ -71,15 +71,24 @@ enum class Engine { SpstaMoment, SpstaNumeric, Canonical, Ssta, Mc };
 ///   * threads — accepted by every engine (an execution hint; results are
 ///     thread-count-invariant, and serial engines run on one thread).
 ///
-/// Numeric runs execute on the fast kernel layer (DESIGN.md §12): delay
-/// kernels are precomputed in the plan and convolutions auto-select
-/// direct vs FFT by size. The direct->FFT crossover is a process-wide
-/// knob, not a per-request field — `stats::set_conv_crossover()` or the
-/// `SPSTA_CONV_CROSSOVER` environment variable — because it must stay
-/// constant while runs are in flight to keep the kernel choice a pure
-/// function of sizes. Any fixed setting preserves thread-count
-/// bit-identity; changing it between runs changes rounding (not
-/// accuracy) of subsequent results.
+/// Numeric runs execute on the fast kernel layer (DESIGN.md §12, §16):
+/// delay kernels and their FFT spectra are precomputed in the plan,
+/// each node issues one batched convolution over both transition
+/// columns, and the inner loops dispatch to a runtime-selected SIMD
+/// tier that is bit-identical to the scalar reference. Two process-wide
+/// knobs (not per-request fields) tune the layer:
+///   * direct->FFT crossover — `stats::set_conv_crossover()` or the
+///     `SPSTA_CONV_CROSSOVER` environment variable (malformed values
+///     are rejected with a one-time warning and fall back to the
+///     calibrated default). Process-wide because it must stay constant
+///     while runs are in flight to keep the kernel choice a pure
+///     function of sizes; changing it between runs changes rounding
+///     (not accuracy) of subsequent results.
+///   * SIMD tier — `SPSTA_FORCE_SCALAR=1` or
+///     `stats::simd::set_force_scalar()` pins the scalar reference.
+///     Tier choice never changes a result bit (the contract in
+///     stats/simd.hpp), so this knob trades only speed.
+/// Any fixed setting of either knob preserves thread-count bit-identity.
 struct AnalysisRequest {
   Engine engine = Engine::SpstaMoment;
   std::optional<unsigned> threads;

@@ -202,6 +202,12 @@ void PiecewiseDensity::add_scaled(const PiecewiseDensity& other, double w) {
 
 PiecewiseDensity PiecewiseDensity::convolve(const PiecewiseDensity& a,
                                             const PiecewiseDensity& b) {
+  return convolve(a, b, Workspace::local());
+}
+
+PiecewiseDensity PiecewiseDensity::convolve(const PiecewiseDensity& a,
+                                            const PiecewiseDensity& b,
+                                            Workspace& ws) {
   if (a.empty() || b.empty()) return {};
   // Bring both operands onto a common step (the finer of the two).
   const double dt = std::min(a.grid_.dt, b.grid_.dt);
@@ -220,9 +226,16 @@ PiecewiseDensity PiecewiseDensity::convolve(const PiecewiseDensity& a,
   GridSpec g{fa.grid_.t0 + fb.grid_.t0, dt, n};
   std::vector<double> v(n, 0.0);
 
-  Workspace& ws = Workspace::for_this_thread();
   const std::span<double> c = ws.conv_tmp(full);
-  conv_full(fa.values_, fb.values_, dt, c, ws);
+  ConvExec ex;
+  ex.form = ConvExec::Form::Dense;
+  ex.cols = 1;
+  ex.src[0] = fa.values_;
+  ex.dense = fb.values_;
+  ex.scale = dt;
+  ex.dst[0] = c;
+  ex.ws = &ws;
+  conv_execute(ex);
   std::copy_n(c.begin(), std::min(full, n), v.begin());
   if (full > n) {
     // The product's support extends past the grid cap. Fold the clipped
@@ -240,6 +253,12 @@ PiecewiseDensity PiecewiseDensity::convolve(const PiecewiseDensity& a,
 
 PiecewiseDensity PiecewiseDensity::convolve_gaussian(const PiecewiseDensity& a,
                                                      const Gaussian& g, double sigmas) {
+  return convolve_gaussian(a, g, sigmas, Workspace::local());
+}
+
+PiecewiseDensity PiecewiseDensity::convolve_gaussian(const PiecewiseDensity& a,
+                                                     const Gaussian& g, double sigmas,
+                                                     Workspace& ws) {
   if (a.empty()) return {};
   const double sd = g.stddev();
   if (sd == 0.0) return a.shifted(g.mean);
@@ -256,8 +275,13 @@ PiecewiseDensity PiecewiseDensity::convolve_gaussian(const PiecewiseDensity& a,
   const DelayKernel k =
       make_delay_kernel({static_cast<double>(extra) * dt, g.var}, dt, sigmas);
   PiecewiseDensity out = zero(grid);
-  Workspace& ws = Workspace::for_this_thread();
-  apply_delay_kernel(a.values_, k, out.values_, ws);
+  ConvExec ex;
+  ex.cols = 1;
+  ex.src[0] = a.values_;
+  ex.kernel[0] = &k;
+  ex.dst[0] = out.values_;
+  ex.ws = &ws;
+  conv_execute(ex);
   return out;
 }
 

@@ -20,6 +20,8 @@
 
 namespace spsta::stats {
 
+class Workspace;
+
 /// A uniform grid of `n` points `t0 + i*dt`, i in [0, n).
 struct GridSpec {
   double t0 = 0.0;
@@ -104,16 +106,27 @@ class PiecewiseDensity {
   void add_scaled(const PiecewiseDensity& other, double w);
 
   /// Density of X+Y for independent X ~ a, Y ~ b (discrete convolution on
-  /// a common step; total mass is the product of operand masses).
+  /// a common step; total mass is the product of operand masses). The
+  /// two-argument form borrows the calling thread's `Workspace::local()`;
+  /// engines that already hold a workspace pass it explicitly (see the
+  /// threading contract in workspace.hpp).
   [[nodiscard]] static PiecewiseDensity convolve(const PiecewiseDensity& a,
                                                  const PiecewiseDensity& b);
+  [[nodiscard]] static PiecewiseDensity convolve(const PiecewiseDensity& a,
+                                                 const PiecewiseDensity& b,
+                                                 Workspace& ws);
 
   /// Density of X+G for independent X ~ a and Gaussian G; semi-analytic
   /// (each sample convolved with the exact Gaussian kernel). When
-  /// `g.var == 0` this reduces to a shift by `g.mean`.
+  /// `g.var == 0` this reduces to a shift by `g.mean`. The short form
+  /// borrows `Workspace::local()`.
   [[nodiscard]] static PiecewiseDensity convolve_gaussian(const PiecewiseDensity& a,
                                                           const Gaussian& g,
                                                           double sigmas = 8.0);
+  [[nodiscard]] static PiecewiseDensity convolve_gaussian(const PiecewiseDensity& a,
+                                                          const Gaussian& g,
+                                                          double sigmas,
+                                                          Workspace& ws);
 
   /// Density of MAX(X, Y) for independent X ~ a, Y ~ b. Operands should be
   /// normalized pdfs; the result is exact up to discretization:

@@ -1,0 +1,184 @@
+#include "stats/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "stats/simd_detail.hpp"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+// This translation unit holds the scalar reference tier (and the NEON
+// tier, whose intrinsics are explicit about every multiply/add). It is
+// compiled with -ffp-contract=off (src/CMakeLists.txt) so the compiler
+// cannot fuse a*b+c into an FMA the vector tiers don't perform — the
+// bit-identity contract of simd.hpp depends on it.
+
+namespace spsta::stats::simd {
+
+namespace {
+
+void scalar_butterfly(double* ur, double* ui, double* vr, double* vi,
+                      const double* wr, const double* wi, double sign,
+                      std::size_t half) {
+  for (std::size_t k = 0; k < half; ++k) {
+    const double wrk = wr[k];
+    const double wik = sign * wi[k];
+    const double tr = vr[k] * wrk - vi[k] * wik;
+    const double ti = vr[k] * wik + vi[k] * wrk;
+    vr[k] = ur[k] - tr;
+    vi[k] = ui[k] - ti;
+    ur[k] += tr;
+    ui[k] += ti;
+  }
+}
+
+void scalar_mul_scale(const double* a, double s, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void scalar_axpy(const double* a, double w, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += w * a[i];
+}
+
+void scalar_cdf_mix_max(double* f, const double* c, const double* ca,
+                        const double* cb, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) f[i] = f[i] * cb[i] + c[i] * ca[i];
+}
+
+void scalar_cdf_mix_min(double* f, const double* c, const double* ca,
+                        const double* cb, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    f[i] = f[i] * (1.0 - cb[i]) + c[i] * (1.0 - ca[i]);
+  }
+}
+
+constexpr Ops kScalarOps{
+    "scalar",          scalar_butterfly,   scalar_mul_scale,
+    scalar_axpy,       scalar_cdf_mix_max, scalar_cdf_mix_min,
+};
+
+#if defined(__aarch64__)
+
+void neon_butterfly(double* ur, double* ui, double* vr, double* vi,
+                    const double* wr, const double* wi, double sign,
+                    std::size_t half) {
+  const float64x2_t vsign = vdupq_n_f64(sign);
+  std::size_t k = 0;
+  for (; k + 2 <= half; k += 2) {
+    const float64x2_t wrk = vld1q_f64(wr + k);
+    const float64x2_t wik = vmulq_f64(vsign, vld1q_f64(wi + k));
+    const float64x2_t xvr = vld1q_f64(vr + k);
+    const float64x2_t xvi = vld1q_f64(vi + k);
+    const float64x2_t tr = vsubq_f64(vmulq_f64(xvr, wrk), vmulq_f64(xvi, wik));
+    const float64x2_t ti = vaddq_f64(vmulq_f64(xvr, wik), vmulq_f64(xvi, wrk));
+    const float64x2_t xur = vld1q_f64(ur + k);
+    const float64x2_t xui = vld1q_f64(ui + k);
+    vst1q_f64(vr + k, vsubq_f64(xur, tr));
+    vst1q_f64(vi + k, vsubq_f64(xui, ti));
+    vst1q_f64(ur + k, vaddq_f64(xur, tr));
+    vst1q_f64(ui + k, vaddq_f64(xui, ti));
+  }
+  scalar_butterfly(ur + k, ui + k, vr + k, vi + k, wr + k, wi + k, sign,
+                   half - k);
+}
+
+void neon_mul_scale(const double* a, double s, double* out, std::size_t n) {
+  const float64x2_t vs = vdupq_n_f64(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) vst1q_f64(out + i, vmulq_f64(vld1q_f64(a + i), vs));
+  scalar_mul_scale(a + i, s, out + i, n - i);
+}
+
+void neon_axpy(const double* a, double w, double* out, std::size_t n) {
+  const float64x2_t vw = vdupq_n_f64(w);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vaddq_f64(vld1q_f64(out + i),
+                                 vmulq_f64(vw, vld1q_f64(a + i))));
+  }
+  scalar_axpy(a + i, w, out + i, n - i);
+}
+
+void neon_cdf_mix_max(double* f, const double* c, const double* ca,
+                      const double* cb, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t t = vaddq_f64(vmulq_f64(vld1q_f64(f + i), vld1q_f64(cb + i)),
+                                    vmulq_f64(vld1q_f64(c + i), vld1q_f64(ca + i)));
+    vst1q_f64(f + i, t);
+  }
+  scalar_cdf_mix_max(f + i, c + i, ca + i, cb + i, n - i);
+}
+
+void neon_cdf_mix_min(double* f, const double* c, const double* ca,
+                      const double* cb, std::size_t n) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t t = vaddq_f64(
+        vmulq_f64(vld1q_f64(f + i), vsubq_f64(one, vld1q_f64(cb + i))),
+        vmulq_f64(vld1q_f64(c + i), vsubq_f64(one, vld1q_f64(ca + i))));
+    vst1q_f64(f + i, t);
+  }
+  scalar_cdf_mix_min(f + i, c + i, ca + i, cb + i, n - i);
+}
+
+constexpr Ops kNeonOps{
+    "neon",      neon_butterfly,   neon_mul_scale,
+    neon_axpy,   neon_cdf_mix_max, neon_cdf_mix_min,
+};
+
+#endif  // __aarch64__
+
+/// The best tier this CPU supports (cached after the first probe).
+const Ops* best_ops() noexcept {
+  static const Ops* const best = [] {
+#if defined(__aarch64__)
+    return &kNeonOps;  // NEON is baseline on aarch64
+#elif defined(__x86_64__) || defined(_M_X64)
+    if (detail::avx2_ops() != nullptr && __builtin_cpu_supports("avx2")) {
+      return detail::avx2_ops();
+    }
+    return &kScalarOps;
+#else
+    return &kScalarOps;
+#endif
+  }();
+  return best;
+}
+
+std::atomic<const Ops*>& active() noexcept {
+  static std::atomic<const Ops*> a{nullptr};
+  return a;
+}
+
+const Ops* resolve() noexcept {
+  const char* env = std::getenv("SPSTA_FORCE_SCALAR");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+    return &kScalarOps;
+  }
+  return best_ops();
+}
+
+}  // namespace
+
+const Ops& ops() noexcept {
+  const Ops* p = active().load(std::memory_order_acquire);
+  if (p == nullptr) {
+    // Benign race: concurrent first calls resolve to the same table.
+    p = resolve();
+    active().store(p, std::memory_order_release);
+  }
+  return *p;
+}
+
+void set_force_scalar(bool force) noexcept {
+  active().store(force ? &kScalarOps : best_ops(), std::memory_order_release);
+}
+
+const char* tier_name() noexcept { return ops().name; }
+
+}  // namespace spsta::stats::simd

@@ -1,0 +1,75 @@
+/// \file simd.hpp
+/// Runtime-dispatched SIMD kernels for the numeric layer's fused span
+/// loops (DESIGN.md §16): radix-2 FFT butterflies, scaled copies, axpy
+/// accumulation, and the CDF-product MAX/MIN folds.
+///
+/// Dispatch model: one function table (`Ops`) per tier — scalar always,
+/// AVX2 on x86-64 when the CPU reports it, NEON on aarch64 — resolved
+/// once per process from `SPSTA_FORCE_SCALAR` plus CPU detection, and
+/// switchable at runtime through `set_force_scalar()` for tests and
+/// benchmarks.
+///
+/// Bit-identity contract: every vector implementation computes the SAME
+/// per-element operation DAG as the scalar reference — multiplies, adds
+/// and subtracts only, no fused multiply-add, no reassociation, no
+/// cross-lane reductions — so scalar and SIMD tiers produce bit-identical
+/// doubles for identical inputs. The scalar reference is compiled with
+/// contraction disabled (see src/CMakeLists.txt) so the compiler cannot
+/// fuse what the intrinsics keep separate. determinism_test and
+/// stats_conv_kernels_test assert the equality exactly.
+
+#pragma once
+
+#include <cstddef>
+
+namespace spsta::stats::simd {
+
+/// The dispatchable span kernels. All pointers are non-null; regions do
+/// not alias unless a parameter is documented in-place. `n`/`half` may be
+/// any size — implementations handle tails internally.
+struct Ops {
+  const char* name;  ///< "scalar", "avx2", or "neon"
+
+  /// One radix-2 FFT stage's butterflies over one block of `half` pairs,
+  /// with unit-stride twiddles (the per-stage tables in
+  /// `Workspace::FftPlan`). For each k < half:
+  ///   t  = (vr[k], vi[k]) * (wr[k], sign * wi[k])
+  ///   (vr[k], vi[k]) = (ur[k], ui[k]) - t
+  ///   (ur[k], ui[k]) += t
+  /// `sign` is +1 for the forward transform, -1 for the inverse.
+  void (*butterfly)(double* ur, double* ui, double* vr, double* vi,
+                    const double* wr, const double* wi, double sign,
+                    std::size_t half);
+
+  /// out[i] = a[i] * s
+  void (*mul_scale)(const double* a, double s, double* out, std::size_t n);
+
+  /// out[i] += w * a[i]
+  void (*axpy)(const double* a, double w, double* out, std::size_t n);
+
+  /// Independent-MAX CDF fold (in place on f):
+  ///   f[i] = f[i] * cb[i] + c[i] * ca[i]
+  void (*cdf_mix_max)(double* f, const double* c, const double* ca,
+                      const double* cb, std::size_t n);
+
+  /// Independent-MIN CDF fold (in place on f):
+  ///   f[i] = f[i] * (1 - cb[i]) + c[i] * (1 - ca[i])
+  void (*cdf_mix_min)(double* f, const double* c, const double* ca,
+                      const double* cb, std::size_t n);
+};
+
+/// The active tier. First call resolves it: `SPSTA_FORCE_SCALAR` set to a
+/// non-empty value other than "0" pins the scalar reference; otherwise the
+/// best tier the CPU supports wins.
+[[nodiscard]] const Ops& ops() noexcept;
+
+/// Runtime override for tests/benchmarks: `true` pins the scalar tier,
+/// `false` restores the auto-detected best tier (regardless of the
+/// environment knob). Takes effect for subsequent `ops()` calls; not
+/// intended to race in-flight kernels.
+void set_force_scalar(bool force) noexcept;
+
+/// Name of the tier `ops()` currently returns.
+[[nodiscard]] const char* tier_name() noexcept;
+
+}  // namespace spsta::stats::simd

@@ -1,0 +1,125 @@
+#include "stats/simd_detail.hpp"
+
+// AVX2 tier. Every kernel performs the same per-element multiply/add/sub
+// DAG as the scalar reference in simd.cpp — _mm256_mul_pd, _mm256_add_pd
+// and _mm256_sub_pd are IEEE-754 exact, and no FMA is used (the
+// target("avx2") attribute does not enable FMA codegen, and x86-64
+// scalar code has no FMA instruction to contract into) — so this tier is
+// bit-identical to scalar by construction. Tails fall through to the
+// scalar loops.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace spsta::stats::simd::detail {
+
+namespace {
+
+#define SPSTA_AVX2 __attribute__((target("avx2")))
+
+SPSTA_AVX2 void avx2_butterfly(double* ur, double* ui, double* vr, double* vi,
+                               const double* wr, const double* wi, double sign,
+                               std::size_t half) {
+  const __m256d vsign = _mm256_set1_pd(sign);
+  std::size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    const __m256d wrk = _mm256_loadu_pd(wr + k);
+    const __m256d wik = _mm256_mul_pd(vsign, _mm256_loadu_pd(wi + k));
+    const __m256d xvr = _mm256_loadu_pd(vr + k);
+    const __m256d xvi = _mm256_loadu_pd(vi + k);
+    const __m256d tr =
+        _mm256_sub_pd(_mm256_mul_pd(xvr, wrk), _mm256_mul_pd(xvi, wik));
+    const __m256d ti =
+        _mm256_add_pd(_mm256_mul_pd(xvr, wik), _mm256_mul_pd(xvi, wrk));
+    const __m256d xur = _mm256_loadu_pd(ur + k);
+    const __m256d xui = _mm256_loadu_pd(ui + k);
+    _mm256_storeu_pd(vr + k, _mm256_sub_pd(xur, tr));
+    _mm256_storeu_pd(vi + k, _mm256_sub_pd(xui, ti));
+    _mm256_storeu_pd(ur + k, _mm256_add_pd(xur, tr));
+    _mm256_storeu_pd(ui + k, _mm256_add_pd(xui, ti));
+  }
+  for (; k < half; ++k) {
+    const double wrk = wr[k];
+    const double wik = sign * wi[k];
+    const double tr = vr[k] * wrk - vi[k] * wik;
+    const double ti = vr[k] * wik + vi[k] * wrk;
+    vr[k] = ur[k] - tr;
+    vi[k] = ui[k] - ti;
+    ur[k] += tr;
+    ui[k] += ti;
+  }
+}
+
+SPSTA_AVX2 void avx2_mul_scale(const double* a, double s, double* out,
+                               std::size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), vs));
+  }
+  for (; i < n; ++i) out[i] = a[i] * s;
+}
+
+SPSTA_AVX2 void avx2_axpy(const double* a, double w, double* out,
+                          std::size_t n) {
+  const __m256d vw = _mm256_set1_pd(w);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t =
+        _mm256_add_pd(_mm256_loadu_pd(out + i),
+                      _mm256_mul_pd(vw, _mm256_loadu_pd(a + i)));
+    _mm256_storeu_pd(out + i, t);
+  }
+  for (; i < n; ++i) out[i] += w * a[i];
+}
+
+SPSTA_AVX2 void avx2_cdf_mix_max(double* f, const double* c, const double* ca,
+                                 const double* cb, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_loadu_pd(f + i), _mm256_loadu_pd(cb + i)),
+        _mm256_mul_pd(_mm256_loadu_pd(c + i), _mm256_loadu_pd(ca + i)));
+    _mm256_storeu_pd(f + i, t);
+  }
+  for (; i < n; ++i) f[i] = f[i] * cb[i] + c[i] * ca[i];
+}
+
+SPSTA_AVX2 void avx2_cdf_mix_min(double* f, const double* c, const double* ca,
+                                 const double* cb, std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_loadu_pd(f + i),
+                      _mm256_sub_pd(one, _mm256_loadu_pd(cb + i))),
+        _mm256_mul_pd(_mm256_loadu_pd(c + i),
+                      _mm256_sub_pd(one, _mm256_loadu_pd(ca + i))));
+    _mm256_storeu_pd(f + i, t);
+  }
+  for (; i < n; ++i) f[i] = f[i] * (1.0 - cb[i]) + c[i] * (1.0 - ca[i]);
+}
+
+#undef SPSTA_AVX2
+
+constexpr Ops kAvx2Ops{
+    "avx2",      avx2_butterfly,   avx2_mul_scale,
+    avx2_axpy,   avx2_cdf_mix_max, avx2_cdf_mix_min,
+};
+
+}  // namespace
+
+const Ops* avx2_ops() noexcept { return &kAvx2Ops; }
+
+}  // namespace spsta::stats::simd::detail
+
+#else  // not x86-64
+
+namespace spsta::stats::simd::detail {
+
+const Ops* avx2_ops() noexcept { return nullptr; }
+
+}  // namespace spsta::stats::simd::detail
+
+#endif

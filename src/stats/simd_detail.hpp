@@ -1,0 +1,15 @@
+/// \file simd_detail.hpp
+/// Internal linkage between the dispatch table (simd.cpp) and the
+/// per-ISA translation units. Not part of the public kernel API.
+
+#pragma once
+
+#include "stats/simd.hpp"
+
+namespace spsta::stats::simd::detail {
+
+/// The AVX2 tier's table, or nullptr when this build has no x86-64
+/// target (the caller still checks cpuid before selecting it).
+[[nodiscard]] const Ops* avx2_ops() noexcept;
+
+}  // namespace spsta::stats::simd::detail

@@ -22,7 +22,7 @@ obs::Counter& reuse_counter() {
 
 }  // namespace
 
-Workspace& Workspace::for_this_thread() {
+Workspace& Workspace::local() {
   thread_local Workspace ws;
   return ws;
 }
@@ -49,6 +49,10 @@ std::span<double> Workspace::scratch(std::size_t slot, std::size_t n) {
 
 std::span<double> Workspace::fft_re(std::size_t n) { return sized(fft_re_, n); }
 std::span<double> Workspace::fft_im(std::size_t n) { return sized(fft_im_, n); }
+std::span<double> Workspace::fft_re2(std::size_t n) { return sized(fft_re2_, n); }
+std::span<double> Workspace::fft_im2(std::size_t n) { return sized(fft_im2_, n); }
+std::span<double> Workspace::spec_re(std::size_t n) { return sized(spec_re_, n); }
+std::span<double> Workspace::spec_im(std::size_t n) { return sized(spec_im_, n); }
 std::span<double> Workspace::conv_tmp(std::size_t n) { return sized(conv_tmp_, n); }
 
 const Workspace::FftPlan& Workspace::fft_plan(std::size_t n) {
@@ -73,6 +77,29 @@ const Workspace::FftPlan& Workspace::fft_plan(std::size_t n) {
     for (std::size_t k = 0; k < n / 2; ++k) {
       plan->wre[k] = std::cos(step * static_cast<double>(k));
       plan->wim[k] = std::sin(step * static_cast<double>(k));
+    }
+    // Per-stage unit-stride copies of the master twiddles: stage s covers
+    // butterfly length 2^(s+1), whose k-th twiddle is the master entry at
+    // stride n / 2^(s+1). Copying (not recomputing) keeps the stage-table
+    // FFT bit-identical to the legacy strided walk.
+    plan->stage_wre.resize(n - 1);
+    plan->stage_wim.resize(n - 1);
+    for (std::size_t s = 0; s < log2n; ++s) {
+      const std::size_t half = std::size_t{1} << s;
+      const std::size_t stride = n >> (s + 1);
+      const std::size_t off = FftPlan::stage_offset(s);
+      for (std::size_t k = 0; k < half; ++k) {
+        plan->stage_wre[off + k] = plan->wre[k * stride];
+        plan->stage_wim[off + k] = plan->wim[k * stride];
+      }
+    }
+    // Double-size twiddles w_{2n}^k for the real-input FFT driver.
+    plan->half_wre.resize(n + 1);
+    plan->half_wim.resize(n + 1);
+    const double hstep = -M_PI / static_cast<double>(n);
+    for (std::size_t k = 0; k <= n; ++k) {
+      plan->half_wre[k] = std::cos(hstep * static_cast<double>(k));
+      plan->half_wim[k] = std::sin(hstep * static_cast<double>(k));
     }
     grow_counter().add();
     ++grows_;

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "spsta_api.hpp"
 #include "stats/conv_kernels.hpp"
+#include "stats/simd.hpp"
 #include "stats/workspace.hpp"
 
 namespace spsta {
@@ -160,6 +161,33 @@ TEST(Determinism, NumericEngineFftPathIsThreadCountInvariant) {
   }
 }
 
+TEST(Determinism, NumericEngineSimdTierIsBitTransparent) {
+  // The SIMD dispatch contract (stats/simd.hpp): every tier computes the
+  // identical per-element operation DAG, so the engine's results must be
+  // bit-identical between the auto-detected tier and the forced-scalar
+  // reference — at any thread count, on both the direct and FFT kernel
+  // paths. On hardware with no vector tier this degenerates to rerun
+  // stability, which is still a meaningful check.
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel d = netlist::DelayModel::gaussian(n, 1.0, 0.12);
+  const std::vector sources{netlist::scenario_I()};
+
+  core::SpstaOptions dense;  // dense grid => FFT path engages
+  dense.grid_dt = 0.002;
+  dense.max_grid_points = 1 << 14;
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    core::SpstaOptions opt = dense;
+    opt.threads = threads;
+    stats::simd::set_force_scalar(false);
+    const auto vec = core::run_spsta_numeric(n, d, sources, opt);
+    stats::simd::set_force_scalar(true);
+    const auto scalar = core::run_spsta_numeric(n, d, sources, opt);
+    stats::simd::set_force_scalar(false);
+    expect_same_numeric(vec, scalar);
+  }
+}
+
 TEST(Determinism, NumericEngineLevelLoopDoesNotAllocateWhenWarm) {
   // threads = 1 dispatches inline on this thread, so the engine's scratch
   // is this thread's Workspace: after one warm run, further identical runs
@@ -170,7 +198,7 @@ TEST(Determinism, NumericEngineLevelLoopDoesNotAllocateWhenWarm) {
   const core::SpstaOptions opts;  // threads = 1
 
   const auto warm = core::run_spsta_numeric(n, d, sources, opts);
-  stats::Workspace& ws = stats::Workspace::for_this_thread();
+  stats::Workspace& ws = stats::Workspace::local();
   const std::uint64_t grows = ws.grows();
   const auto again = core::run_spsta_numeric(n, d, sources, opts);
   EXPECT_EQ(ws.grows(), grows);
