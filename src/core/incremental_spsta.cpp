@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/compiled_design.hpp"
+#include "obs/metrics.hpp"
 
 namespace spsta::core {
 
@@ -20,7 +21,12 @@ bool nearly_equal(const stats::Gaussian& a, const stats::Gaussian& b, double eps
 }
 
 bool nearly_equal(const TransitionTop& a, const TransitionTop& b, double eps) {
-  return std::abs(a.mass - b.mass) <= eps && nearly_equal(a.arrival, b.arrival, eps);
+  // third_central matters: a wave can shift only the skew term (mean/var
+  // bitwise unchanged), and voting it "settled" would strand a stale third
+  // moment downstream.
+  return std::abs(a.mass - b.mass) <= eps &&
+         std::abs(a.third_central - b.third_central) <= eps &&
+         nearly_equal(a.arrival, b.arrival, eps);
 }
 
 bool nearly_equal(const netlist::FourValueProbs& a, const netlist::FourValueProbs& b,
@@ -42,6 +48,19 @@ NodeTop source_top(const netlist::SourceStats& st) {
   return top;
 }
 
+/// Levels narrowed to the frontier's key type.
+std::vector<std::uint32_t> narrow_levels(const std::vector<std::size_t>& level) {
+  std::vector<std::uint32_t> out(level.size());
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(level[i]);
+  }
+  return out;
+}
+
+/// Waves smaller than this stay sequential even with a pool: a dirty level
+/// of a few nodes costs less to evaluate inline than to wake workers for.
+constexpr std::size_t kParallelGrain = 8;
+
 }  // namespace
 
 IncrementalSpsta::IncrementalSpsta(const netlist::Netlist& design,
@@ -59,79 +78,125 @@ IncrementalSpsta::IncrementalSpsta(const CompiledDesign& plan,
 
 IncrementalSpsta::IncrementalSpsta(const netlist::Netlist& design,
                                    netlist::DelayModel delays,
-                                   netlist::Levelization levels,
+                                   const netlist::Levelization& levels,
                                    std::span<const netlist::SourceStats> source_stats,
                                    double settle_eps)
-    : design_(design), delays_(std::move(delays)), levels_(std::move(levels)),
-      settle_eps_(settle_eps) {
-  const std::vector<NodeId> sources = design_.timing_sources();
-  if (source_stats.size() != sources.size() && source_stats.size() != 1) {
+    : design_(design), delays_(std::move(delays)),
+      sources_(design_.timing_sources()), settle_eps_(settle_eps) {
+  if (source_stats.size() != sources_.size() && source_stats.size() != 1) {
     throw std::invalid_argument("IncrementalSpsta: source stats count mismatch");
   }
   if (!(settle_eps_ >= 0.0)) {
     throw std::invalid_argument("IncrementalSpsta: settle_eps must be >= 0");
   }
-  order_pos_.assign(design_.node_count(), 0);
-  for (std::size_t i = 0; i < levels_.order.size(); ++i) {
-    order_pos_[levels_.order[i]] = i;
-  }
+  frontier_.reset(narrow_levels(levels.level));
   state_.assign(design_.node_count(), NodeTop{});
-  dirty_.assign(design_.node_count(), 0);
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    state_[sources[i]] =
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    state_[sources_[i]] =
         source_top(source_stats.size() == 1 ? source_stats[0] : source_stats[i]);
   }
-  for (NodeId id : levels_.order) {
+  for (NodeId id : levels.order) {
     if (!netlist::is_combinational(design_.node(id).type)) continue;
     state_[id] = propagate_node_top(design_, id, state_, delays_, &pattern_cache_);
   }
 }
 
-void IncrementalSpsta::mark_dirty(NodeId id) {
-  if (dirty_[id]) return;
-  dirty_[id] = 1;
-  const std::size_t pos = order_pos_[id];
-  if (!any_dirty_) {
-    dirty_lo_ = dirty_hi_ = pos;
-    any_dirty_ = true;
-  } else {
-    dirty_lo_ = std::min(dirty_lo_, pos);
-    dirty_hi_ = std::max(dirty_hi_, pos);
+void IncrementalSpsta::require_no_txn(const char* what) const {
+  if (in_txn_) {
+    throw std::logic_error(std::string("IncrementalSpsta::") + what +
+                           ": transaction open (commit first)");
   }
 }
 
-bool IncrementalSpsta::recompute(NodeId id) {
-  const NodeTop updated = propagate_node_top(design_, id, state_, delays_, &pattern_cache_);
-  ++nodes_reevaluated_;
-  if (nearly_equal(updated, state_[id], settle_eps_)) return false;
-  state_[id] = updated;
-  return true;
+void IncrementalSpsta::mark_dirty(NodeId id) { (void)frontier_.mark(id); }
+
+void IncrementalSpsta::mark_fanouts(NodeId id, const std::vector<char>* mask) {
+  for (NodeId fo : design_.node(id).fanouts) {
+    if (!netlist::is_combinational(design_.node(fo).type)) continue;
+    if (mask != nullptr && (*mask)[fo] == 0) continue;
+    mark_dirty(fo);
+  }
+}
+
+void IncrementalSpsta::apply_source(NodeId src, const netlist::SourceStats& stats) {
+  state_[src] = source_top(stats);
+}
+
+IncrementalSpsta::CommitStats IncrementalSpsta::propagate_wave(
+    const std::vector<char>* mask,
+    std::vector<std::pair<NodeId, NodeTop>>* undo_tops) {
+  static obs::Counter& cone_counter = obs::registry().counter("incremental.cone_size");
+  static obs::Counter& settled_counter =
+      obs::registry().counter("incremental.settled_early");
+  // Cone-*size* histogram riding the latency-histogram machinery: a cone of
+  // N nodes is recorded as N µs (N * 1000 ns), so the log2-µs buckets read
+  // as log2-node-count buckets (DESIGN.md §17).
+  static obs::LatencyHistogram& cone_hist =
+      obs::registry().histogram("incremental.cone_nodes");
+
+  CommitStats stats;
+  if (threads_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(threads_);
+  }
+  while (frontier_.any()) {
+    const std::size_t level = frontier_.first_level();
+    frontier_.take_level(level, wave_ids_);
+    if (wave_ids_.empty()) continue;
+    ++stats.levels_touched;
+    const std::size_t n = wave_ids_.size();
+    wave_tops_.resize(n);
+    wave_changed_.assign(n, 0);
+
+    // Settle votes: evaluate the whole dirty level against the *pre-level*
+    // state. Every fanin lives at a strictly lower level, so concurrent
+    // evaluations read only settled data and each index writes only its own
+    // scratch slot — the result is schedule-independent.
+    const auto eval = [&](std::size_t k) {
+      const NodeId id = wave_ids_[k];
+      wave_tops_[k] = propagate_node_top(design_, id, state_, delays_, &pattern_cache_);
+      wave_changed_[k] = nearly_equal(wave_tops_[k], state_[id], settle_eps_) ? 0 : 1;
+    };
+    if (pool_ != nullptr && threads_ > 1 && n >= kParallelGrain) {
+      pool_->for_each_index(n, eval);
+    } else {
+      for (std::size_t k = 0; k < n; ++k) eval(k);
+    }
+    stats.cone_size += n;
+
+    // Deterministic merge in mark order: write changed states, extend the
+    // frontier, snapshot overwritten tops for the probe's undo log.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (wave_changed_[k] == 0) {
+        ++stats.settled_early;
+        continue;
+      }
+      const NodeId id = wave_ids_[k];
+      if (undo_tops != nullptr) undo_tops->emplace_back(id, state_[id]);
+      state_[id] = wave_tops_[k];
+      mark_fanouts(id, mask);
+    }
+  }
+  nodes_reevaluated_ += stats.cone_size;
+  settled_early_ += stats.settled_early;
+  cone_counter.add(stats.cone_size);
+  settled_counter.add(stats.settled_early);
+  cone_hist.record_ns(stats.cone_size * 1000);
+  return stats;
 }
 
 void IncrementalSpsta::propagate_dirty() {
-  if (!any_dirty_) return;
-  for (std::size_t pos = dirty_lo_;
-       pos <= dirty_hi_ && pos < levels_.order.size(); ++pos) {
-    const NodeId id = levels_.order[pos];
-    if (!dirty_[id]) continue;
-    dirty_[id] = 0;
-    if (!netlist::is_combinational(design_.node(id).type)) continue;
-    if (recompute(id)) {
-      for (NodeId fo : design_.node(id).fanouts) {
-        if (!netlist::is_combinational(design_.node(fo).type)) continue;
-        mark_dirty(fo);
-      }
-    }
-  }
-  any_dirty_ = false;
+  if (!frontier_.any()) return;
+  (void)propagate_wave(nullptr, nullptr);
 }
 
 const NodeTop& IncrementalSpsta::node(NodeId id) {
+  require_no_txn("node");
   propagate_dirty();
   return state_.at(id);
 }
 
 const std::vector<NodeTop>& IncrementalSpsta::flush() {
+  require_no_txn("flush");
   propagate_dirty();
   return state_;
 }
@@ -142,21 +207,143 @@ void IncrementalSpsta::set_delay(NodeId id, const stats::Gaussian& delay) {
   }
   if (nearly_equal(delays_.delay(id), delay, settle_eps_)) return;
   delays_.set_delay(id, delay);
+  ++epoch_;
   if (netlist::is_combinational(design_.node(id).type)) mark_dirty(id);
 }
 
 void IncrementalSpsta::set_source_stats(std::size_t source_index,
                                         const netlist::SourceStats& stats) {
-  const std::vector<NodeId> sources = design_.timing_sources();
-  if (source_index >= sources.size()) {
+  if (source_index >= sources_.size()) {
     throw std::invalid_argument("IncrementalSpsta::set_source_stats: bad index");
   }
-  const NodeId src = sources[source_index];
-  state_[src] = source_top(stats);
-  for (NodeId fo : design_.node(src).fanouts) {
-    if (!netlist::is_combinational(design_.node(fo).type)) continue;
-    mark_dirty(fo);
+  const NodeId src = sources_[source_index];
+  apply_source(src, stats);
+  ++epoch_;
+  mark_fanouts(src, nullptr);
+}
+
+void IncrementalSpsta::begin_eco() {
+  require_no_txn("begin_eco");
+  in_txn_ = true;
+}
+
+IncrementalSpsta::CommitStats IncrementalSpsta::commit() {
+  if (!in_txn_) {
+    throw std::logic_error("IncrementalSpsta::commit: no open transaction");
   }
+  in_txn_ = false;
+  static obs::Counter& commits = obs::registry().counter("incremental.commits");
+  commits.add();
+  return propagate_wave(nullptr, nullptr);
+}
+
+const std::vector<char>& IncrementalSpsta::target_mask(
+    std::span<const NodeId> targets) {
+  for (const NodeId t : targets) {
+    if (t >= design_.node_count()) {
+      throw std::invalid_argument("IncrementalSpsta::probe: bad target node id");
+    }
+  }
+  for (const MaskEntry& entry : mask_cache_) {
+    if (entry.targets.size() == targets.size() &&
+        std::equal(entry.targets.begin(), entry.targets.end(), targets.begin())) {
+      return entry.mask;
+    }
+  }
+  // Backward closure over fanins: every node whose state a target's
+  // recomputation can (transitively) read. Edits outside this mask cannot
+  // change any target, so the probe wave skips them entirely.
+  MaskEntry entry;
+  entry.targets.assign(targets.begin(), targets.end());
+  entry.mask.assign(design_.node_count(), 0);
+  std::vector<NodeId> stack(targets.begin(), targets.end());
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (entry.mask[id] != 0) continue;
+    entry.mask[id] = 1;
+    for (const NodeId fi : design_.node(id).fanins) stack.push_back(fi);
+  }
+  if (mask_cache_.size() >= kMaxMaskEntries) mask_cache_.erase(mask_cache_.begin());
+  mask_cache_.push_back(std::move(entry));
+  return mask_cache_.back().mask;
+}
+
+IncrementalSpsta::ProbeResult IncrementalSpsta::probe(
+    std::span<const EcoEdit> edits, std::span<const NodeId> targets) {
+  require_no_txn("probe");
+  // The probe baseline is the settled committed state: flush pending lazy
+  // edits first so the undo log only ever carries probe-local changes.
+  propagate_dirty();
+  const std::vector<char>& mask = target_mask(targets);
+
+  static obs::Counter& probes = obs::registry().counter("incremental.probes");
+  probes.add();
+
+  // Apply the edit batch, journaling everything the revert needs. Delay
+  // records keep all three DelayModel slots because set_delay clears
+  // per-direction overrides.
+  std::vector<UndoDelay> undo_delays;
+  std::vector<std::pair<NodeId, NodeTop>> undo_tops;
+  for (const EcoEdit& edit : edits) {
+    if (edit.kind == EcoEdit::Kind::kDelay) {
+      const NodeId id = edit.node;
+      if (id >= design_.node_count()) {
+        throw std::invalid_argument("IncrementalSpsta::probe: bad node id");
+      }
+      // Same no-op rule as set_delay, so probe(edits) answers exactly what
+      // commit(edits)-then-query would.
+      if (nearly_equal(delays_.delay(id), edit.delay, settle_eps_)) continue;
+      UndoDelay undo;
+      undo.node = id;
+      undo.common = delays_.delay(id);
+      undo.directional = delays_.is_directional(id);
+      if (undo.directional) {
+        undo.rise = delays_.delay(id, /*rising=*/true);
+        undo.fall = delays_.delay(id, /*rising=*/false);
+      }
+      undo_delays.push_back(undo);
+      delays_.set_delay(id, edit.delay);
+      if (netlist::is_combinational(design_.node(id).type) && mask[id] != 0) {
+        mark_dirty(id);
+      }
+    } else {
+      if (edit.source_index >= sources_.size()) {
+        throw std::invalid_argument("IncrementalSpsta::probe: bad source index");
+      }
+      const NodeId src = sources_[edit.source_index];
+      undo_tops.emplace_back(src, state_[src]);
+      apply_source(src, edit.source);
+      mark_fanouts(src, &mask);
+    }
+  }
+
+  ProbeResult result;
+  result.stats = propagate_wave(&mask, &undo_tops);
+  result.tops.reserve(targets.size());
+  for (const NodeId t : targets) result.tops.push_back(state_[t]);
+
+  // Revert: restore overwritten tops newest-first (a node edited twice
+  // lands on its oldest snapshot), then the delay slots. The frontier
+  // drained inside the wave, so no marks survive the probe.
+  for (auto it = undo_tops.rbegin(); it != undo_tops.rend(); ++it) {
+    state_[it->first] = it->second;
+  }
+  for (auto it = undo_delays.rbegin(); it != undo_delays.rend(); ++it) {
+    delays_.set_delay(it->node, it->common);
+    if (it->directional) {
+      delays_.set_rise_delay(it->node, it->rise);
+      delays_.set_fall_delay(it->node, it->fall);
+    }
+  }
+  return result;
+}
+
+void IncrementalSpsta::set_threads(unsigned threads) {
+  const unsigned resolved = util::resolve_threads(threads);
+  if (resolved == threads_) return;
+  threads_ = resolved;
+  pool_.reset();  // respawned lazily at the next wave
 }
 
 }  // namespace spsta::core

@@ -6,17 +6,33 @@
 /// statistics — only the transitive fanout cone is re-propagated, and the
 /// update stops early where both the four-value probabilities and the
 /// rise/fall tops settle.
+///
+/// The ECO hot path (DESIGN.md §17) adds three warm-edit surfaces on top of
+/// the lazy single-edit engine:
+///   * transactions — begin_eco() / N edits / commit() coalesce a batch
+///     into one merged dirty frontier and a single propagation wave;
+///   * what-if probes — probe(edits, targets) answers "what would these
+///     arrivals be under those edits" against a backward-cone-restricted
+///     wave and an O(cone) undo log, leaving state and delays bitwise
+///     untouched;
+///   * level-parallel propagation — set_threads(n) evaluates each dirty
+///     level through util::ThreadPool with settle votes merged in
+///     deterministic mark order, bit-identical at any thread count.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/pattern_cache.hpp"
 #include "core/spsta.hpp"
 #include "netlist/delay_model.hpp"
 #include "netlist/levelize.hpp"
+#include "util/dirty_frontier.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spsta::core {
 
@@ -28,6 +44,47 @@ class IncrementalSpsta {
   /// Default settle tolerance: propagation past a recomputed node stops
   /// when its state moved by no more than this per component.
   static constexpr double kDefaultSettleEps = 1e-12;
+
+  /// One edit of a transaction or probe batch.
+  struct EcoEdit {
+    enum class Kind : std::uint8_t { kDelay, kSource };
+    Kind kind = Kind::kDelay;
+    netlist::NodeId node = 0;       ///< kDelay: the gate whose delay changes
+    std::size_t source_index = 0;   ///< kSource: index into timing_sources()
+    stats::Gaussian delay;          ///< kDelay payload
+    netlist::SourceStats source;    ///< kSource payload
+
+    [[nodiscard]] static EcoEdit delay_edit(netlist::NodeId node,
+                                            const stats::Gaussian& delay) {
+      EcoEdit e;
+      e.kind = Kind::kDelay;
+      e.node = node;
+      e.delay = delay;
+      return e;
+    }
+    [[nodiscard]] static EcoEdit source_edit(std::size_t source_index,
+                                             const netlist::SourceStats& source) {
+      EcoEdit e;
+      e.kind = Kind::kSource;
+      e.source_index = source_index;
+      e.source = source;
+      return e;
+    }
+  };
+
+  /// Cost accounting of one propagation wave (a commit or a probe).
+  struct CommitStats {
+    std::uint64_t cone_size = 0;       ///< nodes re-evaluated by the wave
+    std::uint64_t settled_early = 0;   ///< re-evaluated nodes that settled
+    std::uint64_t levels_touched = 0;  ///< dirty levels the wave visited
+  };
+
+  /// What a probe answers: one NodeTop per requested target, plus the
+  /// restricted wave's cost.
+  struct ProbeResult {
+    std::vector<NodeTop> tops;
+    CommitStats stats;
+  };
 
   /// Runs the initial full analysis. \p settle_eps controls early
   /// stopping: 0 demands exact (bitwise) settlement, making every update
@@ -45,19 +102,59 @@ class IncrementalSpsta {
                    double settle_eps = kDefaultSettleEps);
 
   /// Current state at \p id, lazily updating any dirty fanin cone.
+  /// Throws std::logic_error while a transaction is open.
   [[nodiscard]] const NodeTop& node(netlist::NodeId id);
   /// Updates all dirty nodes and returns the full state.
+  /// Throws std::logic_error while a transaction is open.
   [[nodiscard]] const std::vector<NodeTop>& flush();
 
   /// Changes one gate's delay distribution; dirties its fanout cone.
+  /// Inside a transaction the edit joins the batched frontier; outside it
+  /// stays a lazy single edit (propagated on the next read).
   void set_delay(netlist::NodeId id, const stats::Gaussian& delay);
   /// Changes one timing source's statistics (probabilities and arrivals);
   /// dirties its fanout cone. Index follows design.timing_sources().
   void set_source_stats(std::size_t source_index, const netlist::SourceStats& stats);
 
-  /// Nodes re-evaluated by updates since construction.
+  /// Opens a transaction: subsequent edits accumulate into one merged
+  /// dirty frontier instead of each paying its own wave, and reads throw
+  /// until commit(). Throws std::logic_error when already open.
+  void begin_eco();
+  /// Closes the transaction with a single propagation wave over the merged
+  /// frontier; returns that wave's cost. Throws when no transaction is
+  /// open.
+  CommitStats commit();
+  /// True between begin_eco() and commit().
+  [[nodiscard]] bool in_transaction() const noexcept { return in_txn_; }
+
+  /// What-if mode: applies \p edits, propagates only the part of the dirty
+  /// cone that can reach \p targets (their backward closure), reads the
+  /// targets, then reverts everything from an O(cone) undo log — state,
+  /// delays and epoch are bitwise unchanged afterwards. Requires no open
+  /// transaction; pending lazy edits are flushed first so the probe
+  /// baseline is the committed state.
+  [[nodiscard]] ProbeResult probe(std::span<const EcoEdit> edits,
+                                  std::span<const netlist::NodeId> targets);
+
+  /// Thread count for level-parallel propagation (default 1 = sequential).
+  /// Results are bit-identical at any setting; 0 means all hardware
+  /// threads.
+  void set_threads(unsigned threads);
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Monotone edit epoch: bumped by every state-changing edit (set_delay /
+  /// set_source_stats, inside or outside transactions). Probes never bump
+  /// it. Endpoint query caches key on this.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Nodes re-evaluated by updates since construction (probes included).
   [[nodiscard]] std::uint64_t nodes_reevaluated() const noexcept {
     return nodes_reevaluated_;
+  }
+  /// Re-evaluated nodes whose state settled (did not change) since
+  /// construction.
+  [[nodiscard]] std::uint64_t settled_early() const noexcept {
+    return settled_early_;
   }
 
   /// The settle tolerance this session was built with.
@@ -65,25 +162,64 @@ class IncrementalSpsta {
 
  private:
   IncrementalSpsta(const netlist::Netlist& design, netlist::DelayModel delays,
-                   netlist::Levelization levels,
+                   const netlist::Levelization& levels,
                    std::span<const netlist::SourceStats> source_stats,
                    double settle_eps);
 
+  /// Undo-log record for a probe's delay edits. DelayModel::set_delay
+  /// clears per-direction overrides, so revert restores all three slots.
+  struct UndoDelay {
+    netlist::NodeId node = 0;
+    stats::Gaussian common;
+    stats::Gaussian rise;
+    stats::Gaussian fall;
+    bool directional = false;
+  };
+
+  void require_no_txn(const char* what) const;
   void mark_dirty(netlist::NodeId id);
+  void mark_fanouts(netlist::NodeId id, const std::vector<char>* mask);
+  void apply_source(netlist::NodeId src, const netlist::SourceStats& stats);
+  /// Drains the frontier level by level. \p mask restricts marking to ids
+  /// with mask[id] != 0 (the probe's backward cone); \p undo_tops records
+  /// every overwritten NodeTop for revert.
+  CommitStats propagate_wave(const std::vector<char>* mask,
+                             std::vector<std::pair<netlist::NodeId, NodeTop>>* undo_tops);
   void propagate_dirty();
-  [[nodiscard]] bool recompute(netlist::NodeId id);
+  /// Backward closure of \p targets as a node mask, memoized per distinct
+  /// target set (topology-only, so edits never invalidate it).
+  const std::vector<char>& target_mask(std::span<const netlist::NodeId> targets);
 
   const netlist::Netlist& design_;
   netlist::DelayModel delays_;
-  netlist::Levelization levels_;
-  std::vector<std::size_t> order_pos_;
+  std::vector<netlist::NodeId> sources_;  ///< design_.timing_sources()
   std::vector<NodeTop> state_;
-  std::vector<char> dirty_;
-  std::size_t dirty_lo_ = 0;
-  std::size_t dirty_hi_ = 0;
-  bool any_dirty_ = false;
+  util::DirtyFrontier frontier_;
+  bool in_txn_ = false;
+  std::uint64_t epoch_ = 0;
   std::uint64_t nodes_reevaluated_ = 0;
+  std::uint64_t settled_early_ = 0;
   double settle_eps_ = kDefaultSettleEps;
+
+  unsigned threads_ = 1;
+  /// Lazily spawned when threads_ > 1; reused across waves (one blocking
+  /// job per dirty level).
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  // Wave scratch, reused across propagations (no steady-state allocation).
+  std::vector<std::uint32_t> wave_ids_;
+  std::vector<NodeTop> wave_tops_;
+  std::vector<char> wave_changed_;
+
+  /// Memoized backward-cone masks for probe target sets (small: probes
+  /// overwhelmingly ask for the same endpoint set).
+  struct MaskEntry {
+    std::vector<netlist::NodeId> targets;
+    std::vector<char> mask;
+  };
+  static constexpr std::size_t kMaxMaskEntries = 8;
+  std::vector<MaskEntry> mask_cache_;
+
   /// Persistent exact-key pattern cache: ECO update sequences revisit the
   /// same nodes with mostly unchanged fanin probabilities, so repeated
   /// recomputations skip pattern enumeration (hits are bit-identical).

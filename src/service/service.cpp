@@ -144,6 +144,18 @@ Json probs_json(const netlist::FourValueProbs& probs) {
   return j;
 }
 
+/// Moment-engine node state as the engine-agnostic stats shape — shared by
+/// the warm-query fast path and probe result rendering.
+Json node_top_json(const core::NodeTop& top) {
+  Json j = Json::object();
+  j.set("probs", probs_json(top.probs));
+  j.set("rise", direction_json(top.rise.mass, top.rise.arrival.mean,
+                               top.rise.arrival.stddev()));
+  j.set("fall", direction_json(top.fall.mass, top.fall.arrival.mean,
+                               top.fall.arrival.stddev()));
+  return j;
+}
+
 /// Per-node stats of a cached analysis, engine-agnostic shape:
 /// {probs?, rise:{p,mean,std}, fall:{p,mean,std}}.
 Json node_stats_json(const CachedAnalysis& analysis, NodeId id) {
@@ -669,6 +681,49 @@ Response AnalysisService::handle_query(const Request& request) {
   NodeId query_node = netlist::kInvalidNode;
   if (node != nullptr) query_node = resolve_node(session, *node);
 
+  // Warm-query fast path: once a session has taken an ECO edit, a plain
+  // moment-engine node query reads the warm incremental engine directly —
+  // per-node, memoized against the monotone edit epoch — instead of
+  // materializing (and copying) a full SpstaResult per (engine, params)
+  // cache entry. Bit-identical: the engine settles exactly (eps == 0).
+  if (node != nullptr && engine == Engine::SpstaMoment && session.incremental &&
+      request.body.find("density") == nullptr) {
+    AnalysisRequest validate_request = params.request;
+    validate_request.engine = engine;
+    try {
+      Analyzer::validate(validate_request);
+    } catch (const std::invalid_argument& e) {
+      fail(ErrorCode::BadParams, e.what());
+    }
+    core::IncrementalSpsta& inc = *session.incremental;
+    if (session.query_cache_epoch != inc.epoch()) {
+      session.query_cache.clear();
+      session.query_cache_epoch = inc.epoch();
+    }
+    static obs::Counter& cache_hit_counter =
+        obs::registry().counter("incremental.cache_hit");
+    auto it = session.query_cache.find(query_node);
+    const bool hit = it != session.query_cache.end();
+    if (hit) {
+      cache_hit_counter.add();
+    } else {
+      it = session.query_cache.emplace(query_node, inc.node(query_node)).first;
+    }
+    ++session.queries;
+
+    Json stats = node_top_json(it->second);
+    stats.set("node", Json(static_cast<std::uint64_t>(query_node)));
+    stats.set("name", Json(session.design().node(query_node).name));
+    stats.set("type", Json(std::string(
+                          netlist::to_string(session.design().node(query_node).type))));
+    Json result = Json::object();
+    result.set("engine", Json(std::string(to_string(engine))));
+    result.set("cached", Json(hit));
+    result.set("eco_version", Json(session.eco_version));
+    result.set("stats", std::move(stats));
+    return Response::success(request.id, std::move(result));
+  }
+
   const auto [analysis, cached] = ensure_analysis(session, engine, params);
   ++session.queries;
 
@@ -764,27 +819,108 @@ Response AnalysisService::handle_query(const Request& request) {
 }
 
 Response AnalysisService::handle_set_delay(const Request& request) {
+  using EcoEdit = core::IncrementalSpsta::EcoEdit;
   const std::shared_ptr<Session> session_ptr = resolve_session(request);
   Session& session = *session_ptr;
   if (session.is_hier()) {
     fail(ErrorCode::BadParams, "set_delay is not supported on hierarchical sessions");
   }
+  const Json* edits_field = request.body.find("edits");
   const Json* node = request.body.find("node");
-  if (node == nullptr) fail(ErrorCode::BadRequest, "set_delay needs 'node'");
-  const double mean = number_field(request.body, "mean", -1e301, -1e300, 1e300);
-  if (mean == -1e301) fail(ErrorCode::BadRequest, "set_delay needs 'mean'");
-  const double stddev = number_field(request.body, "std", 0.0, 0.0, 1e300);
+  if ((edits_field == nullptr) == (node == nullptr)) {
+    fail(ErrorCode::BadRequest,
+         "set_delay needs exactly one of 'node' (single edit) or 'edits' (batch)");
+  }
+  bool probe = false;
+  if (const Json* p = request.body.find("probe")) {
+    if (!p->is_bool()) fail(ErrorCode::BadParams, "'probe' must be a boolean");
+    probe = p->as_bool();
+  }
+  if (edits_field != nullptr &&
+      (!edits_field->is_array() || edits_field->as_array().empty())) {
+    fail(ErrorCode::BadParams, "'edits' must be a non-empty array");
+  }
 
   const std::lock_guard<std::mutex> lock(session.mutex);
-  const NodeId id = resolve_node(session, *node);
-  session.apply_set_delay(id, stats::Gaussian{mean, stddev * stddev});
+  check_deadline(request);
+
+  // Resolve every edit before applying any: a bogus entry must not leave a
+  // half-applied batch behind.
+  const auto parse_edit = [&session](const Json& object) -> EcoEdit {
+    const Json* n = object.find("node");
+    if (n == nullptr) fail(ErrorCode::BadRequest, "set_delay edit needs 'node'");
+    const double mean = number_field(object, "mean", -1e301, -1e300, 1e300);
+    if (mean == -1e301) fail(ErrorCode::BadRequest, "set_delay edit needs 'mean'");
+    const double stddev = number_field(object, "std", 0.0, 0.0, 1e300);
+    return EcoEdit::delay_edit(resolve_node(session, *n),
+                               stats::Gaussian{mean, stddev * stddev});
+  };
+  std::vector<EcoEdit> edits;
+  if (edits_field != nullptr) {
+    edits.reserve(edits_field->as_array().size());
+    for (const Json& entry : edits_field->as_array()) {
+      if (!entry.is_object()) {
+        fail(ErrorCode::BadParams, "'edits' entries must be objects");
+      }
+      edits.push_back(parse_edit(entry));
+    }
+  } else {
+    edits.push_back(parse_edit(request.body));
+  }
+
+  if (probe) return run_probe(request, session, edits);
+
+  const core::IncrementalSpsta::CommitStats stats = session.apply_eco(edits);
 
   Json result = Json::object();
-  result.set("node", Json(static_cast<std::uint64_t>(id)));
-  result.set("name", Json(session.design().node(id).name));
+  if (node != nullptr) {
+    result.set("node", Json(static_cast<std::uint64_t>(edits.front().node)));
+    result.set("name", Json(session.design().node(edits.front().node).name));
+  }
+  result.set("edits", Json(edits.size()));
   result.set("eco_version", Json(session.eco_version));
-  result.set("nodes_reevaluated",
-             Json(session.incremental ? session.incremental->nodes_reevaluated() : 0));
+  // Per-request ECO cost: what THIS wave re-evaluated, not lifetime totals
+  // (`stats` still reports the session-lifetime counter).
+  result.set("nodes_reevaluated", Json(stats.cone_size));
+  result.set("settled_early", Json(stats.settled_early));
+  return Response::success(request.id, std::move(result));
+}
+
+Response AnalysisService::run_probe(const Request& request, Session& session,
+                                    std::span<const core::IncrementalSpsta::EcoEdit> edits) {
+  // Targets: an explicit 'nodes' list, defaulting to every timing endpoint
+  // (the set an ECO optimization loop watches).
+  std::vector<NodeId> targets;
+  if (const Json* nodes = request.body.find("nodes")) {
+    if (!nodes->is_array() || nodes->as_array().empty()) {
+      fail(ErrorCode::BadParams, "'nodes' must be a non-empty array");
+    }
+    targets.reserve(nodes->as_array().size());
+    for (const Json& entry : nodes->as_array()) {
+      targets.push_back(resolve_node(session, entry));
+    }
+  } else {
+    targets = session.design().timing_endpoints();
+  }
+
+  const core::IncrementalSpsta::ProbeResult probed = session.probe_eco(edits, targets);
+
+  Json results = Json::array();
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    Json row = node_top_json(probed.tops[i]);
+    row.set("node", Json(static_cast<std::uint64_t>(targets[i])));
+    row.set("name", Json(session.design().node(targets[i]).name));
+    results.push_back(std::move(row));
+  }
+  Json result = Json::object();
+  result.set("probe", Json(true));
+  result.set("edits", Json(edits.size()));
+  // A probe commits nothing: eco_version is unchanged and later queries
+  // still see the pre-probe state.
+  result.set("eco_version", Json(session.eco_version));
+  result.set("nodes_reevaluated", Json(probed.stats.cone_size));
+  result.set("settled_early", Json(probed.stats.settled_early));
+  result.set("results", std::move(results));
   return Response::success(request.id, std::move(result));
 }
 
@@ -843,11 +979,13 @@ Response AnalysisService::handle_set_source(const Request& request) {
   stats.rise_arrival = arrival("rise", stats.rise_arrival);
   stats.fall_arrival = arrival("fall", stats.fall_arrival);
 
-  session.apply_set_source(index, stats);
+  const core::IncrementalSpsta::CommitStats wave = session.apply_set_source(index, stats);
 
   Json result = Json::object();
   result.set("source", Json(index));
   result.set("eco_version", Json(session.eco_version));
+  result.set("nodes_reevaluated", Json(wave.cone_size));
+  result.set("settled_early", Json(wave.settled_early));
   return Response::success(request.id, std::move(result));
 }
 

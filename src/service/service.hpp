@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -112,6 +113,11 @@ class AnalysisService {
   Response handle_analyze(const Request& request);
   Response handle_query(const Request& request);
   Response handle_set_delay(const Request& request);
+  /// `set_delay` with `"probe":true`: what-if arrivals at the requested
+  /// (or all endpoint) nodes under the edit batch, committing nothing.
+  /// Caller (handle_set_delay) holds session.mutex.
+  Response run_probe(const Request& request, Session& session,
+                     std::span<const core::IncrementalSpsta::EcoEdit> edits);
   Response handle_set_source(const Request& request);
   Response handle_stats(const Request& request);
   Response handle_unload(const Request& request);

@@ -73,25 +73,55 @@ core::IncrementalSpsta& Session::warm_incremental() {
   return *incremental;
 }
 
-void Session::apply_set_delay(netlist::NodeId id, const stats::Gaussian& delay) {
-  // Build the warm engine from the pre-edit state, so the edit itself is a
-  // cone-limited update rather than a full re-analysis.
+core::IncrementalSpsta::CommitStats Session::apply_eco(
+    std::span<const core::IncrementalSpsta::EcoEdit> edits) {
+  // Build the warm engine from the pre-edit state, so the batch is a
+  // cone-limited update rather than a full re-analysis. One transaction:
+  // N edits merge into a single dirty frontier and one propagation wave.
   core::IncrementalSpsta& inc = warm_incremental();
-  analyzer->set_delay(id, delay);
-  inc.set_delay(id, delay);
+  inc.begin_eco();
+  core::IncrementalSpsta::CommitStats stats;
+  try {
+    for (const core::IncrementalSpsta::EcoEdit& edit : edits) {
+      if (edit.kind == core::IncrementalSpsta::EcoEdit::Kind::kDelay) {
+        analyzer->set_delay(edit.node, edit.delay);
+        inc.set_delay(edit.node, edit.delay);
+      } else {
+        analyzer->set_source(edit.source_index, edit.source);
+        inc.set_source_stats(edit.source_index, edit.source);
+      }
+    }
+    stats = inc.commit();
+  } catch (...) {
+    // Never leave the transaction open: a poisoned engine would turn every
+    // later read on this session into a logic_error.
+    if (inc.in_transaction()) (void)inc.commit();
+    throw;
+  }
   ++eco_version;
-  ++eco_edits;
+  eco_edits += edits.size();
   cache.clear();
+  return stats;
 }
 
-void Session::apply_set_source(std::size_t source_index,
-                               const netlist::SourceStats& stats) {
-  core::IncrementalSpsta& inc = warm_incremental();
-  analyzer->set_source(source_index, stats);
-  inc.set_source_stats(source_index, stats);
-  ++eco_version;
-  ++eco_edits;
-  cache.clear();
+core::IncrementalSpsta::ProbeResult Session::probe_eco(
+    std::span<const core::IncrementalSpsta::EcoEdit> edits,
+    std::span<const netlist::NodeId> targets) {
+  return warm_incremental().probe(edits, targets);
+}
+
+core::IncrementalSpsta::CommitStats Session::apply_set_delay(
+    netlist::NodeId id, const stats::Gaussian& delay) {
+  const core::IncrementalSpsta::EcoEdit edit =
+      core::IncrementalSpsta::EcoEdit::delay_edit(id, delay);
+  return apply_eco({&edit, 1});
+}
+
+core::IncrementalSpsta::CommitStats Session::apply_set_source(
+    std::size_t source_index, const netlist::SourceStats& stats) {
+  const core::IncrementalSpsta::EcoEdit edit =
+      core::IncrementalSpsta::EcoEdit::source_edit(source_index, stats);
+  return apply_eco({&edit, 1});
 }
 
 std::pair<std::shared_ptr<Session>, bool> SessionStore::load(

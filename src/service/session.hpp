@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -96,6 +97,13 @@ struct Session {
   /// (engine|params) -> result, valid for the current eco_version only.
   std::unordered_map<std::string, CachedAnalysis> cache;
 
+  /// Endpoint query cache for the warm moment engine, keyed on the
+  /// incremental engine's monotone edit epoch: repeated `query` of the
+  /// same nodes between edits reads here instead of re-walking (or
+  /// re-copying) engine state. Invalidated lazily when the epoch moves.
+  std::uint64_t query_cache_epoch = ~std::uint64_t{0};
+  std::unordered_map<netlist::NodeId, core::NodeTop> query_cache;
+
   /// Hierarchical sessions only: the composition analyzer (flat sessions
   /// leave this null — is_hier() is the discriminator) and its per-params
   /// result cache. ECO edits are not supported on hierarchical sessions.
@@ -148,13 +156,26 @@ struct Session {
   /// on first call. Caller must hold `mutex`.
   core::IncrementalSpsta& warm_incremental();
 
-  /// Applies a delay ECO: updates the analyzer (invalidating its plan),
-  /// the warm incremental engine, bumps eco_version and clears the cache.
-  /// Caller holds `mutex`.
-  void apply_set_delay(netlist::NodeId id, const stats::Gaussian& delay);
+  /// Applies a batch of ECO edits as one transaction: updates the analyzer
+  /// (delays/sources), commits a single merged propagation wave on the
+  /// warm incremental engine, bumps eco_version and clears the result
+  /// caches. Returns the wave's cost (the per-request `nodes_reevaluated`
+  /// / `settled_early` the protocol reports). Caller holds `mutex`.
+  core::IncrementalSpsta::CommitStats apply_eco(
+      std::span<const core::IncrementalSpsta::EcoEdit> edits);
 
-  /// Applies a source-stats ECO. Caller holds `mutex`.
-  void apply_set_source(std::size_t source_index, const netlist::SourceStats& stats);
+  /// What-if probe against the warm engine: arrivals under \p edits at
+  /// \p targets, with state/delays reverted afterwards. Neither
+  /// eco_version nor the caches move. Caller holds `mutex`.
+  core::IncrementalSpsta::ProbeResult probe_eco(
+      std::span<const core::IncrementalSpsta::EcoEdit> edits,
+      std::span<const netlist::NodeId> targets);
+
+  /// Single-edit conveniences forwarding to apply_eco.
+  core::IncrementalSpsta::CommitStats apply_set_delay(netlist::NodeId id,
+                                                      const stats::Gaussian& delay);
+  core::IncrementalSpsta::CommitStats apply_set_source(
+      std::size_t source_index, const netlist::SourceStats& stats);
 };
 
 /// Entry/byte budget of the store's LRU eviction. 0 = unlimited. The byte

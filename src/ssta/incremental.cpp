@@ -13,12 +13,20 @@ bool nearly_equal(const stats::Gaussian& a, const stats::Gaussian& b) {
   constexpr double kEps = 1e-12;
   return std::abs(a.mean - b.mean) <= kEps && std::abs(a.var - b.var) <= kEps;
 }
+
+std::vector<std::uint32_t> narrow_levels(const std::vector<std::size_t>& level) {
+  std::vector<std::uint32_t> out(level.size());
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(level[i]);
+  }
+  return out;
+}
 }  // namespace
 
 IncrementalSsta::IncrementalSsta(const netlist::Netlist& design,
                                  netlist::DelayModel delays,
                                  std::span<const netlist::SourceStats> source_stats)
-    : design_(design), delays_(std::move(delays)), levels_(netlist::levelize(design)) {
+    : design_(design), delays_(std::move(delays)) {
   const std::vector<NodeId> sources = design_.timing_sources();
   if (source_stats.size() != sources.size() && source_stats.size() != 1) {
     throw std::invalid_argument("IncrementalSsta: source stats count mismatch");
@@ -29,34 +37,21 @@ IncrementalSsta::IncrementalSsta(const netlist::Netlist& design,
                                                      : source_stats[i]);
   }
 
-  level_order_ = levels_.order;  // already topological, level-compatible
-  order_pos_.assign(design_.node_count(), 0);
-  for (std::size_t i = 0; i < level_order_.size(); ++i) order_pos_[level_order_[i]] = i;
+  const netlist::Levelization levels = netlist::levelize(design);
+  frontier_.reset(narrow_levels(levels.level));
 
   // Initial full propagation.
   arrival_.assign(design_.node_count(), NodeArrival{});
-  dirty_.assign(design_.node_count(), 0);
   for (std::size_t i = 0; i < sources.size(); ++i) {
     arrival_[sources[i]] = {source_stats_[i].rise_arrival, source_stats_[i].fall_arrival};
   }
-  for (NodeId id : level_order_) {
+  for (NodeId id : levels.order) {
     if (!netlist::is_combinational(design_.node(id).type)) continue;
     arrival_[id] = propagate_gate_arrival(design_, id, arrival_, delays_);
   }
 }
 
-void IncrementalSsta::mark_dirty(NodeId id) {
-  if (dirty_[id]) return;
-  dirty_[id] = 1;
-  const std::size_t pos = order_pos_[id];
-  if (!any_dirty_) {
-    dirty_lo_ = dirty_hi_ = pos;
-    any_dirty_ = true;
-  } else {
-    dirty_lo_ = std::min(dirty_lo_, pos);
-    dirty_hi_ = std::max(dirty_hi_, pos);
-  }
-}
+void IncrementalSsta::mark_dirty(NodeId id) { (void)frontier_.mark(id); }
 
 bool IncrementalSsta::recompute(NodeId id) {
   const NodeArrival updated = propagate_gate_arrival(design_, id, arrival_, delays_);
@@ -70,21 +65,16 @@ bool IncrementalSsta::recompute(NodeId id) {
 }
 
 void IncrementalSsta::propagate_dirty() {
-  if (!any_dirty_) return;
-  for (std::size_t pos = dirty_lo_; pos <= dirty_hi_ && pos < level_order_.size();
-       ++pos) {
-    const NodeId id = level_order_[pos];
-    if (!dirty_[id]) continue;
-    dirty_[id] = 0;
-    if (!netlist::is_combinational(design_.node(id).type)) continue;
-    if (recompute(id)) {
+  while (frontier_.any()) {
+    frontier_.take_level(frontier_.first_level(), wave_ids_);
+    for (const NodeId id : wave_ids_) {
+      if (!recompute(id)) continue;
       for (NodeId fo : design_.node(id).fanouts) {
         if (!netlist::is_combinational(design_.node(fo).type)) continue;  // D pin
         mark_dirty(fo);
       }
     }
   }
-  any_dirty_ = false;
 }
 
 const NodeArrival& IncrementalSsta::arrival(NodeId id) {

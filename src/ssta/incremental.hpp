@@ -15,6 +15,7 @@
 #include "netlist/delay_model.hpp"
 #include "netlist/levelize.hpp"
 #include "ssta/ssta.hpp"
+#include "util/dirty_frontier.hpp"
 
 namespace spsta::ssta {
 
@@ -63,16 +64,12 @@ class IncrementalSsta {
   const netlist::Netlist& design_;
   netlist::DelayModel delays_;
   std::vector<netlist::SourceStats> source_stats_;
-  netlist::Levelization levels_;
-  /// Node ids sorted by level (ties by id) for ordered dirty processing.
-  std::vector<netlist::NodeId> level_order_;
-  std::vector<std::size_t> order_pos_;
+  /// Shared level-bucketed dirty set (util::DirtyFrontier): the same
+  /// mark/dedup/level-window bookkeeping the core incremental engine uses.
+  util::DirtyFrontier frontier_;
   std::vector<NodeArrival> arrival_;
-  std::vector<char> dirty_;
-  /// Min/max positions (in level_order_) bracketing the dirty set.
-  std::size_t dirty_lo_ = 0;
-  std::size_t dirty_hi_ = 0;
-  bool any_dirty_ = false;
+  /// Scratch for draining one frontier level at a time.
+  std::vector<std::uint32_t> wave_ids_;
   std::uint64_t nodes_reevaluated_ = 0;
 };
 

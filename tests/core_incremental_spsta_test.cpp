@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "netlist/iscas89.hpp"
 #include "stats/rng.hpp"
 
@@ -102,6 +104,173 @@ TEST(IncrementalSpsta, RandomUpdateSequenceStaysConsistent) {
     if (step % 5 == 4) expect_same(inc.flush(), run_spsta_moment(n, d, sc), n);
   }
   expect_same(inc.flush(), run_spsta_moment(n, d, sc), n);
+}
+
+// ---- ECO transactions and what-if probes (DESIGN.md §17) ----
+
+// Bitwise equality: the transaction/probe contract is exact at
+// settle_eps == 0, not merely within tolerance.
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+bool bits_equal(const TransitionTop& a, const TransitionTop& b) {
+  return bits_equal(a.mass, b.mass) && bits_equal(a.arrival.mean, b.arrival.mean) &&
+         bits_equal(a.arrival.var, b.arrival.var) &&
+         bits_equal(a.third_central, b.third_central);
+}
+
+bool bits_equal(const NodeTop& a, const NodeTop& b) {
+  return bits_equal(a.probs.p0, b.probs.p0) && bits_equal(a.probs.p1, b.probs.p1) &&
+         bits_equal(a.probs.pr, b.probs.pr) && bits_equal(a.probs.pf, b.probs.pf) &&
+         bits_equal(a.rise, b.rise) && bits_equal(a.fall, b.fall);
+}
+
+void expect_bits_equal(const std::vector<NodeTop>& a, const std::vector<NodeTop>& b,
+                       const Netlist& n) {
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    EXPECT_TRUE(bits_equal(a[id], b[id])) << n.node(id).name;
+  }
+}
+
+TEST(IncrementalSpsta, TransactionCommitMatchesFreshFullRun) {
+  const Netlist n = netlist::make_paper_circuit("s1196");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  IncrementalSpsta inc(n, d, sc, /*settle_eps=*/0.0);
+
+  stats::Xoshiro256 rng(4242);
+  std::vector<NodeId> gates;
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    if (netlist::is_combinational(n.node(id).type)) gates.push_back(id);
+  }
+  netlist::DelayModel final_delays = d;
+  inc.begin_eco();
+  EXPECT_TRUE(inc.in_transaction());
+  for (int i = 0; i < 24; ++i) {
+    const NodeId g = gates[rng.uniform_index(gates.size())];
+    const stats::Gaussian delay{rng.uniform(0.5, 2.0), rng.uniform(0.0, 0.01)};
+    inc.set_delay(g, delay);
+    final_delays.set_delay(g, delay);
+  }
+  const auto stats = inc.commit();
+  EXPECT_FALSE(inc.in_transaction());
+  EXPECT_GT(stats.cone_size, 0u);
+
+  IncrementalSpsta fresh(n, final_delays, sc, /*settle_eps=*/0.0);
+  expect_bits_equal(inc.flush(), fresh.flush(), n);
+}
+
+TEST(IncrementalSpsta, ReadsThrowWhileTransactionOpen) {
+  const Netlist n = netlist::make_s27();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  IncrementalSpsta inc(n, d, std::vector{netlist::scenario_I()});
+  inc.begin_eco();
+  EXPECT_THROW((void)inc.node(0), std::logic_error);
+  EXPECT_THROW((void)inc.flush(), std::logic_error);
+  EXPECT_THROW(inc.begin_eco(), std::logic_error);
+  (void)inc.commit();
+  EXPECT_THROW((void)inc.commit(), std::logic_error);  // no open transaction
+  (void)inc.flush();                                   // usable again
+}
+
+TEST(IncrementalSpsta, ProbeMatchesCommitThenQuery) {
+  const Netlist n = netlist::make_paper_circuit("s1238");
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  const std::vector<netlist::SourceStats> sc{netlist::scenario_I()};
+  const std::vector<NodeId> endpoints = n.timing_endpoints();
+  const std::vector<NodeId> targets{endpoints[0], endpoints[endpoints.size() / 2]};
+
+  stats::Xoshiro256 rng(99);
+  std::vector<NodeId> gates;
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    if (netlist::is_combinational(n.node(id).type)) gates.push_back(id);
+  }
+  std::vector<IncrementalSpsta::EcoEdit> edits;
+  for (int i = 0; i < 6; ++i) {
+    edits.push_back(IncrementalSpsta::EcoEdit::delay_edit(
+        gates[rng.uniform_index(gates.size())],
+        stats::Gaussian{rng.uniform(0.5, 2.0), 0.0}));
+  }
+
+  IncrementalSpsta prober(n, d, sc, /*settle_eps=*/0.0);
+  const auto probed = prober.probe(edits, targets);
+  ASSERT_EQ(probed.tops.size(), targets.size());
+
+  IncrementalSpsta committed(n, d, sc, /*settle_eps=*/0.0);
+  committed.begin_eco();
+  for (const auto& e : edits) committed.set_delay(e.node, e.delay);
+  (void)committed.commit();
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_TRUE(bits_equal(probed.tops[i], committed.node(targets[i])));
+  }
+}
+
+TEST(IncrementalSpsta, ProbeLeavesStateAndDelaysBitwiseUntouched) {
+  const Netlist n = netlist::make_paper_circuit("s344");
+  netlist::DelayModel d = netlist::DelayModel::unit(n);
+  std::vector<NodeId> gates;
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    if (netlist::is_combinational(n.node(id).type)) gates.push_back(id);
+  }
+  // Directional override on one probed gate: revert must restore all three
+  // delay slots, because set_delay clears rise/fall overrides.
+  const NodeId dir_gate = gates[2];
+  d.set_rise_delay(dir_gate, {1.5, 0.01});
+  d.set_fall_delay(dir_gate, {0.75, 0.02});
+
+  IncrementalSpsta inc(n, d, std::vector{netlist::scenario_I()},
+                       /*settle_eps=*/0.0);
+  const std::vector<NodeTop> before = inc.flush();  // copy
+
+  const std::vector<NodeId> targets{n.timing_endpoints().front()};
+  const std::vector<IncrementalSpsta::EcoEdit> edits{
+      IncrementalSpsta::EcoEdit::delay_edit(gates[0], {1.9, 0.0}),
+      IncrementalSpsta::EcoEdit::delay_edit(dir_gate, {0.6, 0.0}),
+  };
+  for (int round = 0; round < 3; ++round) {
+    (void)inc.probe(edits, targets);
+  }
+  expect_bits_equal(inc.flush(), before, n);
+
+  // The directional override survived probe/revert: committing an unrelated
+  // edit and re-flushing still matches a fresh run over the original model.
+  inc.set_delay(gates[1], {1.3, 0.0});
+  netlist::DelayModel d2 = d;
+  d2.set_delay(gates[1], {1.3, 0.0});
+  IncrementalSpsta fresh(n, d2, std::vector{netlist::scenario_I()},
+                         /*settle_eps=*/0.0);
+  expect_bits_equal(inc.flush(), fresh.flush(), n);
+}
+
+TEST(IncrementalSpsta, ProbeValidatesEditsAndTargets) {
+  const Netlist n = netlist::make_s27();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  IncrementalSpsta inc(n, d, std::vector{netlist::scenario_I()});
+  const std::vector<NodeId> ok_target{n.timing_endpoints().front()};
+  const std::vector<IncrementalSpsta::EcoEdit> bad_edit{
+      IncrementalSpsta::EcoEdit::delay_edit(static_cast<NodeId>(9999), {1.0, 0.0})};
+  EXPECT_THROW((void)inc.probe(bad_edit, ok_target), std::invalid_argument);
+  const std::vector<IncrementalSpsta::EcoEdit> ok_edit{
+      IncrementalSpsta::EcoEdit::delay_edit(ok_target.front(), {1.5, 0.0})};
+  const std::vector<NodeId> bad_target{static_cast<NodeId>(9999)};
+  EXPECT_THROW((void)inc.probe(ok_edit, bad_target), std::invalid_argument);
+  inc.begin_eco();
+  EXPECT_THROW((void)inc.probe(ok_edit, ok_target), std::logic_error);
+  (void)inc.commit();
+}
+
+TEST(IncrementalSpsta, EpochAdvancesOnEffectiveEditsOnly) {
+  const Netlist n = netlist::make_s27();
+  const netlist::DelayModel d = netlist::DelayModel::unit(n);
+  IncrementalSpsta inc(n, d, std::vector{netlist::scenario_I()});
+  const std::uint64_t e0 = inc.epoch();
+  const NodeId g = n.timing_endpoints().front();
+  inc.set_delay(g, {1.0, 0.0});  // no-op: unit delay already
+  EXPECT_EQ(inc.epoch(), e0);
+  inc.set_delay(g, {1.5, 0.0});
+  EXPECT_GT(inc.epoch(), e0);
 }
 
 TEST(IncrementalSpsta, Validation) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/incremental_spsta.hpp"
 #include "core/spsta.hpp"
 #include "mc/monte_carlo.hpp"
 #include "netlist/generator.hpp"
@@ -346,6 +347,86 @@ TEST(Determinism, AnalyzerMatchesLegacyAtOneAndManyThreads) {
       expect_same_mc(mc_report.monte_carlo(), legacy_mc);
     }
   }
+}
+
+TEST(Determinism, EcoTransactionsProbesAndQueriesAreThreadCountInvariant) {
+  // The incremental engine's level-parallel wave (DESIGN.md §17): an
+  // interleaved sequence of batched transactions, what-if probes and point
+  // queries must be bit-identical at 1/2/8 threads AND to a fresh full run
+  // over the final delay model — probes included, since they propagate
+  // through the same parallel wave before their undo log rolls them back.
+  const netlist::Netlist n = test_circuit();
+  const netlist::DelayModel unit = netlist::DelayModel::unit(n);
+  const std::vector sources{netlist::scenario_I()};
+  const std::vector<NodeId> endpoints = n.timing_endpoints();
+
+  std::vector<NodeId> gates;
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    if (netlist::is_combinational(n.node(id).type)) gates.push_back(id);
+  }
+
+  // One deterministic interleaved script, replayed per thread count.
+  const auto run_script = [&](unsigned threads) {
+    core::IncrementalSpsta inc(n, unit, sources, /*settle_eps=*/0.0);
+    inc.set_threads(threads);
+    std::vector<core::NodeTop> probed;   // every probe answer, in order
+    std::vector<core::NodeTop> queried;  // every point query, in order
+    for (int round = 0; round < 6; ++round) {
+      inc.begin_eco();
+      for (int k = 0; k < 8; ++k) {
+        const std::size_t g = (round * 37 + k * 11) % gates.size();
+        inc.set_delay(gates[g], {1.0 + 0.1 * static_cast<double>(k + round), 0.0});
+      }
+      (void)inc.commit();
+      const core::IncrementalSpsta::EcoEdit what_if =
+          core::IncrementalSpsta::EcoEdit::delay_edit(
+              gates[(round * 13) % gates.size()], {0.6, 0.0});
+      const NodeId target = endpoints[round % endpoints.size()];
+      const auto probe = inc.probe({&what_if, 1}, {&target, 1});
+      probed.push_back(probe.tops.front());
+      queried.push_back(inc.node(endpoints[(round * 5) % endpoints.size()]));
+    }
+    std::vector<core::NodeTop> state = inc.flush();
+    return std::tuple(std::move(state), std::move(probed), std::move(queried));
+  };
+
+  const auto expect_tops_equal = [](const std::vector<core::NodeTop>& a,
+                                    const std::vector<core::NodeTop>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].probs.pr, b[i].probs.pr);
+      ASSERT_EQ(a[i].probs.pf, b[i].probs.pf);
+      ASSERT_EQ(a[i].rise.mass, b[i].rise.mass);
+      ASSERT_EQ(a[i].rise.arrival.mean, b[i].rise.arrival.mean);
+      ASSERT_EQ(a[i].rise.arrival.var, b[i].rise.arrival.var);
+      ASSERT_EQ(a[i].rise.third_central, b[i].rise.third_central);
+      ASSERT_EQ(a[i].fall.mass, b[i].fall.mass);
+      ASSERT_EQ(a[i].fall.arrival.mean, b[i].fall.arrival.mean);
+      ASSERT_EQ(a[i].fall.arrival.var, b[i].fall.arrival.var);
+      ASSERT_EQ(a[i].fall.third_central, b[i].fall.third_central);
+    }
+  };
+
+  const auto [state1, probed1, queried1] = run_script(1);
+  for (const unsigned threads : {2u, 8u}) {
+    const auto [state, probed, queried] = run_script(threads);
+    expect_tops_equal(state, state1);
+    expect_tops_equal(probed, probed1);
+    expect_tops_equal(queried, queried1);
+  }
+
+  // Fresh full run over the final committed delays (probes must not have
+  // left a trace): replay only the committed edits into a plain model.
+  netlist::DelayModel final_delays = unit;
+  for (int round = 0; round < 6; ++round) {
+    for (int k = 0; k < 8; ++k) {
+      const std::size_t g = (round * 37 + k * 11) % gates.size();
+      final_delays.set_delay(gates[g],
+                             {1.0 + 0.1 * static_cast<double>(k + round), 0.0});
+    }
+  }
+  core::IncrementalSpsta fresh(n, final_delays, sources, /*settle_eps=*/0.0);
+  expect_tops_equal(state1, fresh.flush());
 }
 
 }  // namespace

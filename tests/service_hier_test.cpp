@@ -133,6 +133,16 @@ TEST(ServiceHier, RejectsEcoAndQueryOnHierSessions) {
                R"({"cmd":"set_delay","session":")" + session +
                    R"(","node":"u0.y","mean":2})",
                "bad_params");
+  // The batched/probe forms go through the same guard: a hier session has
+  // no warm incremental engine to transact against.
+  expect_error(service,
+               R"({"cmd":"set_delay","session":")" + session +
+                   R"(","edits":[{"node":"u0.y","mean":2}]})",
+               "bad_params");
+  expect_error(service,
+               R"({"cmd":"set_delay","session":")" + session +
+                   R"(","probe":true,"edits":[{"node":"u0.y","mean":2}]})",
+               "bad_params");
   expect_error(service,
                R"({"cmd":"set_source","session":")" + session + R"(","source":0})",
                "bad_params");

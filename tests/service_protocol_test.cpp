@@ -242,6 +242,117 @@ TEST(ServiceProtocol, EcoRequeryIsBitIdenticalToFreshFullAnalysis) {
   }
 }
 
+// Batched ECO transactions and what-if probes over the protocol: the
+// `edits` array commits as ONE transaction (one eco_version bump, true
+// per-request work counters), and `"probe":true` answers without
+// committing anything.
+TEST(ServiceProtocol, BatchedEditsCommitAsOneTransactionAndProbesCommitNothing) {
+  AnalysisService service;
+  const std::string session =
+      expect_ok(service, load_line("s1238")).find("session")->as_string();
+  (void)expect_ok(service, R"({"cmd":"analyze","session":")" + session +
+                               R"(","engine":"spsta_moment"})");
+
+  // Pick real gate names from the same (deterministically generated)
+  // circuit. The deepest endpoint gate makes a good probe target.
+  const netlist::Netlist ref = netlist::make_paper_circuit("s1238");
+  std::vector<std::string> gname;
+  for (netlist::NodeId id = 0; id < ref.node_count() && gname.size() < 3; ++id) {
+    if (netlist::is_combinational(ref.node(id).type)) gname.push_back(ref.node(id).name);
+  }
+  ASSERT_EQ(gname.size(), 3u);
+  const std::string target = ref.node(ref.timing_endpoints().front()).name;
+
+  // Exactly one of 'node' and 'edits' must be present, and edits non-empty.
+  expect_error(service,
+               R"({"cmd":"set_delay","session":")" + session + R"(","node":")" +
+                   gname[0] + R"(","mean":2.0,"edits":[{"node":")" + gname[1] +
+                   R"(","mean":2.0}]})",
+               "bad_request");
+  expect_error(service,
+               R"({"cmd":"set_delay","session":")" + session + R"("})",
+               "bad_request");
+  expect_error(service,
+               R"({"cmd":"set_delay","session":")" + session + R"(","edits":[]})",
+               "bad_params");
+  expect_error(service,
+               R"({"cmd":"set_delay","session":")" + session +
+                   R"(","edits":[{"node":")" + gname[0] + R"("}]})",
+               "bad_request");  // edit missing mean
+  // All-or-nothing: one bad node in the batch commits none of it.
+  expect_error(service,
+               R"({"cmd":"set_delay","session":")" + session +
+                   R"(","edits":[{"node":")" + gname[0] +
+                   R"(","mean":2.0},{"node":"NO_SUCH","mean":2.0}]})",
+               "unknown_node");
+  const Json unchanged = expect_ok(
+      service, R"({"cmd":"stats","session":")" + session + R"("})");
+  EXPECT_EQ(unchanged.find("session")->find("eco_version")->as_number(), 0.0);
+
+  // A three-edit batch: one eco_version bump, per-request work counters.
+  const Json batched = expect_ok(
+      service, R"({"cmd":"set_delay","session":")" + session +
+                   R"(","edits":[{"node":")" + gname[0] +
+                   R"(","mean":2.0},{"node":")" + gname[1] +
+                   R"(","mean":1.5,"std":0.1},{"node":")" + gname[2] +
+                   R"(","mean":0.5}]})");
+  EXPECT_EQ(batched.find("eco_version")->as_number(), 1.0);
+  EXPECT_EQ(batched.find("edits")->as_number(), 3.0);
+  ASSERT_NE(batched.find("nodes_reevaluated"), nullptr);
+  ASSERT_NE(batched.find("settled_early"), nullptr);
+  EXPECT_GT(batched.find("nodes_reevaluated")->as_number(), 0.0);
+
+  // Single-edit form still works and reports the same counters.
+  const Json single = expect_ok(
+      service, R"({"cmd":"set_delay","session":")" + session + R"(","node":")" +
+                   gname[0] + R"(","mean":2.25})");
+  EXPECT_EQ(single.find("eco_version")->as_number(), 2.0);
+  EXPECT_EQ(single.find("edits")->as_number(), 1.0);
+  EXPECT_GT(single.find("nodes_reevaluated")->as_number(), 0.0);
+
+  // set_source carries the counters too.
+  const Json src = expect_ok(
+      service, R"({"cmd":"set_source","session":")" + session +
+                   R"(","source":0,"rise":[0.5,0.2]})");
+  ASSERT_NE(src.find("nodes_reevaluated"), nullptr);
+  ASSERT_NE(src.find("settled_early"), nullptr);
+
+  // Probe: what-if arrivals at explicit targets, nothing committed. The
+  // edit retimes the target endpoint gate itself, so its what-if arrival
+  // must differ from the committed state's.
+  const Json probed = expect_ok(
+      service, R"({"cmd":"set_delay","session":")" + session +
+                   R"(","probe":true,"edits":[{"node":")" + target +
+                   R"(","mean":9.0}],"nodes":[")" + target + R"("]})");
+  EXPECT_TRUE(probed.find("probe")->as_bool());
+  EXPECT_EQ(probed.find("eco_version")->as_number(), 3.0);  // unchanged
+  const Json* results = probed.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->as_array().size(), 1u);
+  const Json& r0 = results->as_array().front();
+  EXPECT_EQ(r0.find("name")->as_string(), target);
+  ASSERT_NE(r0.find("rise"), nullptr);
+  ASSERT_NE(r0.find("fall"), nullptr);
+  ASSERT_NE(r0.find("probs"), nullptr);
+  const Json committed_now = expect_ok(
+      service, R"({"cmd":"query","session":")" + session + R"(","node":")" +
+                   target + R"("})");
+  EXPECT_NE(r0.find("rise")->find("mean")->as_number(),
+            committed_now.find("stats")->find("rise")->find("mean")->as_number());
+
+  // Probe with no explicit targets answers at every timing endpoint, and
+  // still does not advance the ECO version.
+  const Json all_eps = expect_ok(
+      service, R"({"cmd":"set_delay","session":")" + session +
+                   R"(","probe":true,"edits":[{"node":")" + gname[0] +
+                   R"(","mean":3.0}]})");
+  EXPECT_EQ(all_eps.find("results")->as_array().size(),
+            ref.timing_endpoints().size());
+  const Json after = expect_ok(
+      service, R"({"cmd":"stats","session":")" + session + R"("})");
+  EXPECT_EQ(after.find("session")->find("eco_version")->as_number(), 3.0);
+}
+
 TEST(ServiceProtocol, StatsSurfaceCountersAndShutdownIsAcknowledged) {
   AnalysisService service;
   const std::string session =
